@@ -1,0 +1,357 @@
+//! The accelerator design space (Fig. 3 of the paper).
+//!
+//! Eight configurable parameters of a CHaiDNN-style FPGA accelerator form
+//! 8,640 valid combinations: parallelism in the filter and pixel dimensions,
+//! three on-chip buffer depths, the external memory interface width, an
+//! optional pooling engine, and `ratio_conv_engines` — the paper's addition
+//! that splits the DSP budget between a 3×3-specialized and a
+//! 1×1-specialized convolution engine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the DSP budget is divided between convolution engines.
+///
+/// `Single` is CHaiDNN's default (one general engine runs every convolution);
+/// the fractional variants give that fraction of the MAC array to a
+/// 3×3-specialized engine and the remainder to a 1×1-specialized engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ConvEngineRatio {
+    /// One general-purpose convolution engine (`ratio = 1`).
+    Single,
+    /// 75% of MACs to the 3×3 engine, 25% to the 1×1 engine.
+    R75,
+    /// 67% / 33% split.
+    R67,
+    /// 50% / 50% split.
+    R50,
+    /// 33% / 67% split.
+    R33,
+    /// 25% / 75% split.
+    R25,
+}
+
+impl ConvEngineRatio {
+    /// All ratio options in the paper's order `{1, 0.75, 0.67, 0.5, 0.33, 0.25}`.
+    pub const ALL: [ConvEngineRatio; 6] = [
+        ConvEngineRatio::Single,
+        ConvEngineRatio::R75,
+        ConvEngineRatio::R67,
+        ConvEngineRatio::R50,
+        ConvEngineRatio::R33,
+        ConvEngineRatio::R25,
+    ];
+
+    /// The fraction of MACs assigned to the 3×3-specialized engine
+    /// (1.0 means a single general engine).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        match self {
+            ConvEngineRatio::Single => 1.0,
+            ConvEngineRatio::R75 => 0.75,
+            ConvEngineRatio::R67 => 0.67,
+            ConvEngineRatio::R50 => 0.5,
+            ConvEngineRatio::R33 => 0.33,
+            ConvEngineRatio::R25 => 0.25,
+        }
+    }
+
+    /// Returns `true` when two specialized engines exist.
+    #[must_use]
+    pub fn is_split(&self) -> bool {
+        !matches!(self, ConvEngineRatio::Single)
+    }
+}
+
+impl fmt::Display for ConvEngineRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+/// One point in the accelerator design space.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_accel::{AcceleratorConfig, ConfigSpace};
+///
+/// let space = ConfigSpace::chaidnn();
+/// assert_eq!(space.len(), 8640);
+/// let config = space.get(0);
+/// assert!(space.iter().any(|c| c == config));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Output-filter parallelism of the convolution MAC array (8 or 16).
+    pub filter_par: usize,
+    /// Pixel parallelism of the MAC array (4–64).
+    pub pixel_par: usize,
+    /// Input (activation) buffer depth in 64-bit words.
+    pub input_buffer_depth: usize,
+    /// Weight buffer depth in 64-bit words.
+    pub weight_buffer_depth: usize,
+    /// Output buffer depth in 64-bit words.
+    pub output_buffer_depth: usize,
+    /// External memory interface width in bits (256 or 512).
+    pub mem_interface_width: usize,
+    /// Whether the dedicated pooling engine is instantiated.
+    pub pool_enable: bool,
+    /// DSP split between specialized convolution engines.
+    pub ratio_conv_engines: ConvEngineRatio,
+}
+
+impl AcceleratorConfig {
+    /// Total MAC-array multiplier slots (`filter_par × pixel_par`).
+    #[must_use]
+    pub fn mac_count(&self) -> usize {
+        self.filter_par * self.pixel_par
+    }
+
+    /// MACs per cycle of the 3×3-specialized engine (the whole array for
+    /// [`ConvEngineRatio::Single`]).
+    #[must_use]
+    pub fn macs_3x3(&self) -> usize {
+        ((self.mac_count() as f64) * self.ratio_conv_engines.value()).round() as usize
+    }
+
+    /// MACs per cycle of the 1×1-specialized engine (0 for a single engine).
+    #[must_use]
+    pub fn macs_1x1(&self) -> usize {
+        if self.ratio_conv_engines.is_split() {
+            self.mac_count() - self.macs_3x3()
+        } else {
+            0
+        }
+    }
+
+    /// Short textual form, e.g. for experiment reports.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "fp{} pp{} buf({},{},{}) mem{} pool{} ratio{}",
+            self.filter_par,
+            self.pixel_par,
+            self.input_buffer_depth,
+            self.weight_buffer_depth,
+            self.output_buffer_depth,
+            self.mem_interface_width,
+            u8::from(self.pool_enable),
+            self.ratio_conv_engines,
+        )
+    }
+}
+
+impl fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// The discrete option lists defining a configurable accelerator family.
+///
+/// [`ConfigSpace::chaidnn`] reproduces Fig. 3 exactly; custom spaces support
+/// the "more parameter-rich hardware design space" direction the paper's
+/// conclusion calls for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    filter_par: Vec<usize>,
+    pixel_par: Vec<usize>,
+    input_buffer_depth: Vec<usize>,
+    weight_buffer_depth: Vec<usize>,
+    output_buffer_depth: Vec<usize>,
+    mem_interface_width: Vec<usize>,
+    pool_enable: Vec<bool>,
+    ratio_conv_engines: Vec<ConvEngineRatio>,
+}
+
+/// Number of decision dimensions an accelerator config exposes to the
+/// controller.
+pub const NUM_DECISIONS: usize = 8;
+
+impl ConfigSpace {
+    /// The paper's CHaiDNN space (Fig. 3): 8,640 combinations.
+    #[must_use]
+    pub fn chaidnn() -> Self {
+        Self {
+            filter_par: vec![8, 16],
+            pixel_par: vec![4, 8, 16, 32, 64],
+            input_buffer_depth: vec![1024, 2048, 4096, 8192],
+            weight_buffer_depth: vec![1024, 2048, 4096],
+            output_buffer_depth: vec![1024, 2048, 4096],
+            mem_interface_width: vec![256, 512],
+            pool_enable: vec![false, true],
+            ratio_conv_engines: ConvEngineRatio::ALL.to_vec(),
+        }
+    }
+
+    /// Number of configurations in the space.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.option_counts().iter().product()
+    }
+
+    /// Returns `true` for a degenerate space with no options.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Option count per decision dimension, in decode order.
+    #[must_use]
+    pub fn option_counts(&self) -> [usize; NUM_DECISIONS] {
+        [
+            self.filter_par.len(),
+            self.pixel_par.len(),
+            self.input_buffer_depth.len(),
+            self.weight_buffer_depth.len(),
+            self.output_buffer_depth.len(),
+            self.mem_interface_width.len(),
+            self.pool_enable.len(),
+            self.ratio_conv_engines.len(),
+        ]
+    }
+
+    /// Decodes a per-dimension index vector into a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for its dimension.
+    #[must_use]
+    pub fn decode(&self, indices: &[usize; NUM_DECISIONS]) -> AcceleratorConfig {
+        AcceleratorConfig {
+            filter_par: self.filter_par[indices[0]],
+            pixel_par: self.pixel_par[indices[1]],
+            input_buffer_depth: self.input_buffer_depth[indices[2]],
+            weight_buffer_depth: self.weight_buffer_depth[indices[3]],
+            output_buffer_depth: self.output_buffer_depth[indices[4]],
+            mem_interface_width: self.mem_interface_width[indices[5]],
+            pool_enable: self.pool_enable[indices[6]],
+            ratio_conv_engines: self.ratio_conv_engines[indices[7]],
+        }
+    }
+
+    /// Encodes a configuration back into per-dimension indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's values are not members of this space.
+    #[must_use]
+    pub fn encode(&self, config: &AcceleratorConfig) -> [usize; NUM_DECISIONS] {
+        let pos = |opts: &[usize], v: usize, name: &str| {
+            opts.iter().position(|&o| o == v).unwrap_or_else(|| {
+                panic!("{name} value {v} is not in the configuration space")
+            })
+        };
+        [
+            pos(&self.filter_par, config.filter_par, "filter_par"),
+            pos(&self.pixel_par, config.pixel_par, "pixel_par"),
+            pos(&self.input_buffer_depth, config.input_buffer_depth, "input_buffer_depth"),
+            pos(&self.weight_buffer_depth, config.weight_buffer_depth, "weight_buffer_depth"),
+            pos(&self.output_buffer_depth, config.output_buffer_depth, "output_buffer_depth"),
+            pos(&self.mem_interface_width, config.mem_interface_width, "mem_interface_width"),
+            self.pool_enable
+                .iter()
+                .position(|&b| b == config.pool_enable)
+                .expect("pool_enable option missing"),
+            self.ratio_conv_engines
+                .iter()
+                .position(|&r| r == config.ratio_conv_engines)
+                .expect("ratio option missing"),
+        ]
+    }
+
+    /// The configuration at flat index `i` (row-major over the dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> AcceleratorConfig {
+        assert!(i < self.len(), "config index {i} out of range {}", self.len());
+        let counts = self.option_counts();
+        let mut rem = i;
+        let mut idx = [0usize; NUM_DECISIONS];
+        for d in (0..NUM_DECISIONS).rev() {
+            idx[d] = rem % counts[d];
+            rem /= counts[d];
+        }
+        self.decode(&idx)
+    }
+
+    /// Iterates over every configuration in the space.
+    pub fn iter(&self) -> impl Iterator<Item = AcceleratorConfig> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl Default for ConfigSpace {
+    fn default() -> Self {
+        Self::chaidnn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaidnn_space_has_8640_configs() {
+        let space = ConfigSpace::chaidnn();
+        assert_eq!(space.len(), 8640);
+        assert_eq!(space.option_counts(), [2, 5, 4, 3, 3, 2, 2, 6]);
+    }
+
+    #[test]
+    fn get_covers_all_distinct_configs() {
+        let space = ConfigSpace::chaidnn();
+        let mut seen = std::collections::HashSet::new();
+        for c in space.iter() {
+            assert!(seen.insert(c), "duplicate config {c}");
+        }
+        assert_eq!(seen.len(), 8640);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let space = ConfigSpace::chaidnn();
+        for i in [0usize, 1, 17, 1234, 8639] {
+            let c = space.get(i);
+            let idx = space.encode(&c);
+            assert_eq!(space.decode(&idx), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = ConfigSpace::chaidnn().get(8640);
+    }
+
+    #[test]
+    fn ratio_values_match_paper() {
+        let vals: Vec<f64> = ConvEngineRatio::ALL.iter().map(ConvEngineRatio::value).collect();
+        assert_eq!(vals, vec![1.0, 0.75, 0.67, 0.5, 0.33, 0.25]);
+    }
+
+    #[test]
+    fn engine_split_conserves_macs() {
+        let space = ConfigSpace::chaidnn();
+        for c in space.iter() {
+            if c.ratio_conv_engines.is_split() {
+                assert_eq!(c.macs_3x3() + c.macs_1x1(), c.mac_count(), "{c}");
+                assert!(c.macs_3x3() > 0 && c.macs_1x1() > 0, "{c}");
+            } else {
+                assert_eq!(c.macs_3x3(), c.mac_count());
+                assert_eq!(c.macs_1x1(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_mentions_every_parameter() {
+        let c = ConfigSpace::chaidnn().get(42);
+        let s = c.summary();
+        assert!(s.contains("fp") && s.contains("pp") && s.contains("mem"));
+    }
+}

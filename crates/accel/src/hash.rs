@@ -1,0 +1,100 @@
+//! A fast, non-cryptographic hasher for the latency lookup table.
+//!
+//! LUT lookups are the innermost operation of the Fig. 4 space enumeration
+//! (billions of scheduler queries); the standard library's SipHash dominates
+//! the profile there. This is the Firefox `FxHash` multiply-fold, which is
+//! ample for `OpInstance` keys (small structs of integers, no adversarial
+//! input).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-fold hasher (the `FxHash` algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrips() {
+        let mut m: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i, i * 3), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i, i * 3)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn unaligned_bytes_do_not_collide_trivially() {
+        let h = |bytes: &[u8]| {
+            let mut x = FxHasher::default();
+            x.write(bytes);
+            x.finish()
+        };
+        assert_ne!(h(b"abc"), h(b"abd"));
+        assert_ne!(h(b"abcdefgh1"), h(b"abcdefgh2"));
+    }
+}

@@ -1,0 +1,436 @@
+//! The per-operation latency model (§II-C2, part 1: the lookup table).
+//!
+//! The paper measures each of the "85 unique variations of convolutions,
+//! pooling and element-wise operations" on the FPGA and stores the results in
+//! a lookup table. Without the board, this module computes those entries from
+//! an analytical engine model instead (see the substitution notes in
+//! `DESIGN.md`): convolutions run on a MAC array whose compute time is the
+//! quantized ideal cycle count divided by a pipeline efficiency, overlapped
+//! (double-buffered) with external-memory traffic whose volume depends on how
+//! the layer tiles into the configured on-chip buffers; pooling runs on the
+//! dedicated engine when present; everything CHaiDNN does not accelerate
+//! (element-wise adds, concats, global pooling, the classifier) falls back to
+//! the embedded CPU.
+
+use serde::{Deserialize, Serialize};
+
+use codesign_nasbench::{OpInstance, OpKind};
+
+use crate::config::AcceleratorConfig;
+
+/// Compute units an operation can be placed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The single general convolution engine (`ratio_conv_engines = 1`).
+    GeneralConv,
+    /// The 3×3-specialized convolution engine (`ratio < 1`).
+    Conv3x3,
+    /// The 1×1-specialized convolution engine (`ratio < 1`).
+    Conv1x1,
+    /// The dedicated pooling engine (`pool_enable`).
+    Pool,
+    /// The embedded CPU running CHaiDNN's unsupported layers.
+    Cpu,
+}
+
+impl EngineKind {
+    /// Number of engine kinds (dense-array indexing in the scheduler).
+    pub const COUNT: usize = 5;
+
+    /// Dense index of this kind, `0..COUNT`.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            EngineKind::GeneralConv => 0,
+            EngineKind::Conv3x3 => 1,
+            EngineKind::Conv1x1 => 2,
+            EngineKind::Pool => 3,
+            EngineKind::Cpu => 4,
+        }
+    }
+
+    /// All kinds, in [`EngineKind::index`] order.
+    pub const ALL: [EngineKind; EngineKind::COUNT] = [
+        EngineKind::GeneralConv,
+        EngineKind::Conv3x3,
+        EngineKind::Conv1x1,
+        EngineKind::Pool,
+        EngineKind::Cpu,
+    ];
+}
+
+/// Analytical latency model constants.
+///
+/// Calibrated (see `EXPERIMENTS.md`) so the ResNet-cell network on its best
+/// accelerator lands near Table II's 42 ms and the GoogLeNet-cell network
+/// near 19 ms, with the 0–400 ms spread of Fig. 4 across the space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Accelerator clock, MHz.
+    pub clock_mhz: f64,
+    /// Bytes per activation/weight element (16-bit CHaiDNN deployment).
+    pub bytes_per_elem: f64,
+    /// Fraction of peak DRAM bandwidth that is sustainable.
+    pub dram_efficiency: f64,
+    /// Fraction of peak MAC throughput the HLS pipeline sustains.
+    pub compute_efficiency: f64,
+    /// Effective CPU memory throughput for element-wise ops, bytes/second.
+    pub cpu_bytes_per_sec: f64,
+    /// CPU multiply-accumulate throughput (classifier layer), MACs/second.
+    pub cpu_macs_per_sec: f64,
+    /// Fixed per-op accelerator dispatch overhead, cycles.
+    pub op_overhead_cycles: f64,
+    /// Fixed per-op CPU dispatch overhead, nanoseconds.
+    pub cpu_overhead_ns: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            clock_mhz: 200.0,
+            bytes_per_elem: 2.0,
+            dram_efficiency: 0.5,
+            compute_efficiency: 0.45,
+            cpu_bytes_per_sec: 1.2e9,
+            cpu_macs_per_sec: 2.0e9,
+            op_overhead_cycles: 25_000.0,
+            cpu_overhead_ns: 80_000.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Nanoseconds per accelerator clock cycle.
+    #[must_use]
+    pub fn ns_per_cycle(&self) -> f64 {
+        1000.0 / self.clock_mhz
+    }
+
+    /// The engine an operation executes on under `config`.
+    ///
+    /// Convolutions bind to the matching specialized engine when the array is
+    /// split and to the general engine otherwise; pooling uses the dedicated
+    /// engine only when instantiated; everything else runs on the CPU.
+    #[must_use]
+    pub fn primary_engine(op: &OpInstance, config: &AcceleratorConfig) -> EngineKind {
+        match op.kind {
+            OpKind::Conv { kernel, .. } => {
+                if config.ratio_conv_engines.is_split() {
+                    if kernel == 3 {
+                        EngineKind::Conv3x3
+                    } else {
+                        EngineKind::Conv1x1
+                    }
+                } else {
+                    EngineKind::GeneralConv
+                }
+            }
+            OpKind::MaxPool { .. } => {
+                if config.pool_enable {
+                    EngineKind::Pool
+                } else {
+                    EngineKind::Cpu
+                }
+            }
+            OpKind::GlobalAvgPool | OpKind::Dense | OpKind::Add { .. } | OpKind::Concat { .. } => {
+                EngineKind::Cpu
+            }
+        }
+    }
+
+    /// Engines an operation may execute on under `config`.
+    ///
+    /// In the CHaiDNN model every op has exactly one placement (see
+    /// [`LatencyModel::primary_engine`]); richer accelerator families may
+    /// return several candidates, which the greedy scheduler arbitrates.
+    #[must_use]
+    pub fn eligible_engines(op: &OpInstance, config: &AcceleratorConfig) -> Vec<EngineKind> {
+        vec![Self::primary_engine(op, config)]
+    }
+
+    /// Latency of `op` on `engine` under `config`, nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when the op/engine pairing is not one
+    /// [`LatencyModel::eligible_engines`] would produce.
+    #[must_use]
+    pub fn op_latency_ns(
+        &self,
+        op: &OpInstance,
+        engine: EngineKind,
+        config: &AcceleratorConfig,
+    ) -> f64 {
+        match (op.kind, engine) {
+            (OpKind::Conv { kernel, .. }, EngineKind::GeneralConv) => {
+                // The general engine pays a small mode-switch penalty on 1x1.
+                let slack = if kernel == 1 { 1.1 } else { 1.0 };
+                self.conv_ns(op, config.filter_par, config.pixel_par, config, slack)
+            }
+            (OpKind::Conv { kernel, .. }, EngineKind::Conv3x3) => {
+                debug_assert_eq!(kernel, 3, "3x3 engine only runs 3x3 convolutions");
+                let pp = (config.macs_3x3() / config.filter_par).max(1);
+                self.conv_ns(op, config.filter_par, pp, config, 1.0)
+            }
+            (OpKind::Conv { kernel, .. }, EngineKind::Conv1x1) => {
+                debug_assert_eq!(kernel, 1, "1x1 engine only runs 1x1 convolutions");
+                let pp = (config.macs_1x1() / config.filter_par).max(1);
+                self.conv_ns(op, config.filter_par, pp, config, 1.0)
+            }
+            (OpKind::MaxPool { .. }, EngineKind::Pool) => self.pool_engine_ns(op, config),
+            (_, EngineKind::Cpu) => self.cpu_ns(op),
+            (kind, engine) => {
+                debug_assert!(false, "op {kind:?} cannot run on engine {engine:?}");
+                self.cpu_ns(op)
+            }
+        }
+    }
+
+    /// Convolution on a MAC array of `fp × pp`: max of compute and memory,
+    /// assuming double-buffered overlap, plus dispatch overhead.
+    fn conv_ns(
+        &self,
+        op: &OpInstance,
+        fp: usize,
+        pp: usize,
+        config: &AcceleratorConfig,
+        slack: f64,
+    ) -> f64 {
+        let OpKind::Conv { kernel, .. } = op.kind else { unreachable!("conv op") };
+        let (oh, ow) = op.out_hw();
+        let opix = (oh * ow) as f64;
+        let compute_cycles = (op.out_channels as f64 / fp as f64).ceil()
+            * (opix / pp as f64).ceil()
+            * (op.in_channels * kernel * kernel) as f64
+            * slack
+            / self.compute_efficiency;
+        let mem_cycles = self.conv_traffic_bytes(op, config) / self.dram_bytes_per_cycle(config);
+        (compute_cycles.max(mem_cycles) + self.op_overhead_cycles) * self.ns_per_cycle()
+    }
+
+    /// External-memory traffic of a convolution after tiling into the
+    /// configured buffers: the better of input-stationary and
+    /// weight-stationary loop orders, plus output (and partial-sum spill)
+    /// traffic.
+    #[must_use]
+    pub fn conv_traffic_bytes(&self, op: &OpInstance, config: &AcceleratorConfig) -> f64 {
+        let w_bytes = op.params() as f64 * self.bytes_per_elem;
+        let i_bytes = (op.in_channels * op.height * op.width) as f64 * self.bytes_per_elem;
+        let (oh, ow) = op.out_hw();
+        let o_bytes = (op.out_channels * oh * ow) as f64 * self.bytes_per_elem;
+        let i_buf = (config.input_buffer_depth * 8) as f64;
+        let w_buf = (config.weight_buffer_depth * 8) as f64;
+        let o_buf = (config.output_buffer_depth * 8) as f64;
+        let n_w_tiles = (w_bytes / w_buf).ceil().max(1.0);
+        let n_i_tiles = (i_bytes / i_buf).ceil().max(1.0);
+        // Input-stationary: weights stream once per input tile.
+        let input_stationary = i_bytes + w_bytes * n_i_tiles;
+        // Weight-stationary: inputs stream once per weight tile.
+        let weight_stationary = w_bytes + i_bytes * n_w_tiles;
+        // Outputs that overflow the output buffer spill partial sums.
+        let o_factor = if o_bytes > o_buf { 3.0 } else { 1.0 };
+        input_stationary.min(weight_stationary) + o_bytes * o_factor
+    }
+
+    /// Sustained DRAM bytes per accelerator cycle for `config`.
+    #[must_use]
+    pub fn dram_bytes_per_cycle(&self, config: &AcceleratorConfig) -> f64 {
+        (config.mem_interface_width as f64 / 8.0) * self.dram_efficiency
+    }
+
+    /// Pooling on the dedicated engine: a few output pixels per cycle, plus
+    /// streaming the activations through the memory interface.
+    fn pool_engine_ns(&self, op: &OpInstance, config: &AcceleratorConfig) -> f64 {
+        let (oh, ow) = op.out_hw();
+        let out_elems = (op.in_channels * oh * ow) as f64;
+        let pixels_per_cycle = (config.pixel_par as f64 / 4.0).max(1.0);
+        let compute_cycles = out_elems / pixels_per_cycle / self.compute_efficiency;
+        let traffic = ((op.in_channels * op.height * op.width) as f64 + out_elems)
+            * self.bytes_per_elem;
+        let mem_cycles = traffic / self.dram_bytes_per_cycle(config);
+        (compute_cycles.max(mem_cycles) + self.op_overhead_cycles) * self.ns_per_cycle()
+    }
+
+    /// CPU fallback: memory-throughput-bound element-wise work plus a MAC
+    /// term for the classifier.
+    fn cpu_ns(&self, op: &OpInstance) -> f64 {
+        let (oh, ow) = op.out_hw();
+        let out_elems = (op.out_channels * oh * ow) as f64;
+        let in_elems = (op.in_channels * op.height * op.width) as f64;
+        let bytes = match op.kind {
+            // k^2 window reads plus one write per output element.
+            OpKind::MaxPool { kernel, .. } => {
+                (out_elems * (kernel * kernel) as f64 + out_elems) * self.bytes_per_elem
+            }
+            // `arity` reads plus one write per element.
+            OpKind::Add { arity } => (in_elems * (arity as f64 + 1.0)) * self.bytes_per_elem,
+            // Concat re-arranges the feeding tensors into one buffer.
+            OpKind::Concat { .. } => 2.0 * out_elems * self.bytes_per_elem,
+            OpKind::GlobalAvgPool => in_elems * self.bytes_per_elem,
+            OpKind::Dense => (in_elems + out_elems) * self.bytes_per_elem,
+            OpKind::Conv { .. } => (in_elems + out_elems) * self.bytes_per_elem,
+        };
+        let mac_ns = match op.kind {
+            OpKind::Dense | OpKind::Conv { .. } => {
+                op.macs() as f64 / self.cpu_macs_per_sec * 1e9
+            }
+            _ => 0.0,
+        };
+        bytes / self.cpu_bytes_per_sec * 1e9 + mac_ns + self.cpu_overhead_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConfigSpace, ConvEngineRatio};
+
+    fn big_config() -> AcceleratorConfig {
+        AcceleratorConfig {
+            filter_par: 16,
+            pixel_par: 64,
+            input_buffer_depth: 8192,
+            weight_buffer_depth: 4096,
+            output_buffer_depth: 4096,
+            mem_interface_width: 512,
+            pool_enable: true,
+            ratio_conv_engines: ConvEngineRatio::Single,
+        }
+    }
+
+    fn small_config() -> AcceleratorConfig {
+        AcceleratorConfig {
+            filter_par: 8,
+            pixel_par: 4,
+            input_buffer_depth: 1024,
+            weight_buffer_depth: 1024,
+            output_buffer_depth: 1024,
+            mem_interface_width: 256,
+            pool_enable: false,
+            ratio_conv_engines: ConvEngineRatio::Single,
+        }
+    }
+
+    #[test]
+    fn bigger_engine_is_faster_on_convs() {
+        let m = LatencyModel::default();
+        let conv = OpInstance::conv(3, 128, 128, 32, 32);
+        let fast = m.op_latency_ns(&conv, EngineKind::GeneralConv, &big_config());
+        let slow = m.op_latency_ns(&conv, EngineKind::GeneralConv, &small_config());
+        assert!(slow > 4.0 * fast, "slow {slow} vs fast {fast}");
+    }
+
+    #[test]
+    fn conv_latency_is_sane_for_resnet_layer() {
+        // conv3x3 512->512 @ 8x8 on the big engine: ~1.3ms at 200MHz/45% eff.
+        let m = LatencyModel::default();
+        let conv = OpInstance::conv(3, 512, 512, 8, 8);
+        let ns = m.op_latency_ns(&conv, EngineKind::GeneralConv, &big_config());
+        let ms = ns / 1e6;
+        assert!((0.5..=3.0).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn small_buffers_inflate_memory_traffic() {
+        let m = LatencyModel::default();
+        let conv = OpInstance::conv(3, 512, 512, 8, 8); // 4.7MB of weights
+        let small_buf = AcceleratorConfig { input_buffer_depth: 1024, ..big_config() };
+        let t_small = m.conv_traffic_bytes(&conv, &small_buf);
+        let t_big = m.conv_traffic_bytes(&conv, &big_config());
+        assert!(t_small > 1.5 * t_big, "small {t_small} vs big {t_big}");
+    }
+
+    #[test]
+    fn wider_memory_interface_helps_memory_bound_ops() {
+        // Small buffers force weight re-streaming, making the op memory-bound.
+        let m = LatencyModel::default();
+        let conv = OpInstance::conv(3, 512, 512, 8, 8);
+        let tiny_buf = AcceleratorConfig {
+            input_buffer_depth: 1024,
+            weight_buffer_depth: 1024,
+            output_buffer_depth: 1024,
+            ..big_config()
+        };
+        let narrow = AcceleratorConfig { mem_interface_width: 256, ..tiny_buf };
+        let t_wide = m.op_latency_ns(&conv, EngineKind::GeneralConv, &tiny_buf);
+        let t_narrow = m.op_latency_ns(&conv, EngineKind::GeneralConv, &narrow);
+        assert!(t_narrow > 1.5 * t_wide, "narrow {t_narrow} vs wide {t_wide}");
+    }
+
+    #[test]
+    fn pool_engine_beats_cpu_by_an_order_of_magnitude() {
+        let m = LatencyModel::default();
+        let pool = OpInstance::maxpool3x3(128, 32, 32);
+        let on_engine = m.op_latency_ns(&pool, EngineKind::Pool, &big_config());
+        let on_cpu = m.op_latency_ns(&pool, EngineKind::Cpu, &big_config());
+        assert!(on_cpu > 10.0 * on_engine, "cpu {on_cpu} vs engine {on_engine}");
+    }
+
+    #[test]
+    fn eligible_engines_follow_config() {
+        let split = AcceleratorConfig { ratio_conv_engines: ConvEngineRatio::R50, ..big_config() };
+        let conv3 = OpInstance::conv(3, 64, 64, 8, 8);
+        let conv1 = OpInstance::conv(1, 64, 64, 8, 8);
+        let pool = OpInstance::maxpool3x3(64, 8, 8);
+        assert_eq!(LatencyModel::eligible_engines(&conv3, &split), vec![EngineKind::Conv3x3]);
+        assert_eq!(LatencyModel::eligible_engines(&conv1, &split), vec![EngineKind::Conv1x1]);
+        assert_eq!(
+            LatencyModel::eligible_engines(&conv3, &big_config()),
+            vec![EngineKind::GeneralConv]
+        );
+        assert_eq!(LatencyModel::eligible_engines(&pool, &big_config()), vec![EngineKind::Pool]);
+        assert_eq!(
+            LatencyModel::eligible_engines(&pool, &small_config()),
+            vec![EngineKind::Cpu]
+        );
+    }
+
+    #[test]
+    fn specialized_engine_throughput_scales_with_ratio() {
+        let m = LatencyModel::default();
+        let conv = OpInstance::conv(3, 128, 128, 16, 16);
+        let mostly_3x3 =
+            AcceleratorConfig { ratio_conv_engines: ConvEngineRatio::R75, ..big_config() };
+        let mostly_1x1 =
+            AcceleratorConfig { ratio_conv_engines: ConvEngineRatio::R25, ..big_config() };
+        let fast = m.op_latency_ns(&conv, EngineKind::Conv3x3, &mostly_3x3);
+        let slow = m.op_latency_ns(&conv, EngineKind::Conv3x3, &mostly_1x1);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn cpu_ops_cost_microseconds_not_nanoseconds() {
+        let m = LatencyModel::default();
+        let add = OpInstance {
+            kind: OpKind::Add { arity: 2 },
+            in_channels: 128,
+            out_channels: 128,
+            height: 32,
+            width: 32,
+        };
+        let ns = m.op_latency_ns(&add, EngineKind::Cpu, &big_config());
+        assert!(ns > 100_000.0, "CPU add should cost > 0.1ms, got {ns} ns");
+    }
+
+    #[test]
+    fn every_op_has_at_least_one_engine_everywhere() {
+        let ops = [
+            OpInstance::conv(3, 64, 64, 16, 16),
+            OpInstance::conv(1, 64, 64, 16, 16),
+            OpInstance::maxpool3x3(64, 16, 16),
+            OpInstance::downsample(64, 16, 16),
+            OpInstance {
+                kind: OpKind::Dense,
+                in_channels: 512,
+                out_channels: 10,
+                height: 1,
+                width: 1,
+            },
+        ];
+        for c in ConfigSpace::chaidnn().iter().step_by(97) {
+            for op in &ops {
+                assert!(!LatencyModel::eligible_engines(op, &c).is_empty());
+            }
+        }
+    }
+}

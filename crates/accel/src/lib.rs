@@ -1,0 +1,58 @@
+//! CHaiDNN-style FPGA accelerator design space with analytical area and
+//! latency models.
+//!
+//! This crate is the hardware half of the Codesign-NAS reproduction (DAC
+//! 2020, Abdelfattah et al.): the 8,640-point configurable accelerator of
+//! Fig. 3, the component-level area model of §II-C1 (Table I silicon-area
+//! conversion included), and the §II-C2 latency model — a per-op lookup table
+//! fed by an analytical engine model plus a greedy multi-engine scheduler.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use codesign_accel::{AreaModel, ConfigSpace, DseObjective, LatencyModel, Scheduler};
+//! use codesign_nasbench::{known_cells, Network, NetworkConfig};
+//!
+//! let space = ConfigSpace::chaidnn();
+//! assert_eq!(space.len(), 8640);
+//!
+//! // Evaluate one model-accelerator pair.
+//! let network = Network::assemble(&known_cells::resnet_cell(), &NetworkConfig::default());
+//! let config = space.get(8639);
+//! let area = AreaModel::default().area_mm2(&config);
+//! let latency = Scheduler::new(LatencyModel::default(), config)
+//!     .schedule_network(&network)
+//!     .total_ms;
+//! assert!(area > 0.0 && latency > 0.0);
+//!
+//! // Or sweep the whole space for the best pairing (Table II's rule).
+//! let best = codesign_accel::best_accelerator_for(
+//!     &network,
+//!     &space,
+//!     DseObjective::PerfPerArea,
+//!     &AreaModel::default(),
+//!     &LatencyModel::default(),
+//! );
+//! assert!(best.is_some());
+//! ```
+
+pub mod area;
+pub mod config;
+pub mod device;
+pub mod dse;
+pub mod hash;
+pub mod latency;
+pub mod lut;
+pub mod power;
+pub mod scheduler;
+pub mod validation;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use config::{AcceleratorConfig, ConfigSpace, ConvEngineRatio, NUM_DECISIONS};
+pub use device::{FpgaDevice, ResourceUsage};
+pub use dse::{best_accelerator_for, evaluate_pair, DseObjective, DseResult, PairMetrics};
+pub use latency::{EngineKind, LatencyModel};
+pub use lut::LatencyLut;
+pub use power::{PowerEstimate, PowerModel};
+pub use scheduler::{schedule_serial, NetworkLatency, ScheduleResult, Scheduler};
+pub use validation::{validate_area_model, validate_latency_model, ValidationReport};

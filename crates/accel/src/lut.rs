@@ -1,0 +1,120 @@
+//! The per-operation latency lookup table.
+//!
+//! §II-C2: "The latency model consists of two parts: 1) latency lookup table
+//! of operations and 2) scheduler." The paper populates its table by running
+//! each of the 85 unique op variations on the FPGA; here the table memoizes
+//! the analytical [`LatencyModel`], keyed by `(op signature, engine)` because
+//! a split configuration runs the same convolution at a different width than
+//! the general engine would.
+
+
+use codesign_nasbench::OpInstance;
+
+use crate::hash::FxHashMap;
+
+use crate::config::AcceleratorConfig;
+use crate::latency::{EngineKind, LatencyModel};
+
+/// A memoized latency table for one accelerator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_accel::{ConfigSpace, LatencyLut, LatencyModel, EngineKind};
+/// use codesign_nasbench::OpInstance;
+///
+/// let config = ConfigSpace::chaidnn().get(8639);
+/// let mut lut = LatencyLut::new(LatencyModel::default(), config);
+/// let conv = OpInstance::conv(3, 128, 128, 32, 32);
+/// let engine = LatencyModel::eligible_engines(&conv, lut.config())[0];
+/// let first = lut.lookup(&conv, engine);
+/// assert_eq!(first, lut.lookup(&conv, engine)); // memoized, deterministic
+/// assert_eq!(lut.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyLut {
+    model: LatencyModel,
+    config: AcceleratorConfig,
+    entries: FxHashMap<(OpInstance, EngineKind), f64>,
+}
+
+impl LatencyLut {
+    /// Creates an empty table for `config`.
+    #[must_use]
+    pub fn new(model: LatencyModel, config: AcceleratorConfig) -> Self {
+        Self { model, config, entries: FxHashMap::default() }
+    }
+
+    /// The configuration this table describes.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The underlying analytical model.
+    #[must_use]
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// Latency of `op` on `engine`, nanoseconds, computing and caching the
+    /// entry on first use.
+    pub fn lookup(&mut self, op: &OpInstance, engine: EngineKind) -> f64 {
+        let model = self.model;
+        let config = self.config;
+        *self
+            .entries
+            .entry((*op, engine))
+            .or_insert_with(|| model.op_latency_ns(op, engine, &config))
+    }
+
+    /// Number of distinct `(op, engine)` rows materialized so far — the
+    /// analog of the paper's "85 unique variations".
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no entry has been materialized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigSpace;
+    use codesign_nasbench::{known_cells, Network, NetworkConfig};
+
+    #[test]
+    fn lut_grows_only_with_unique_signatures() {
+        let config = ConfigSpace::chaidnn().get(0);
+        let mut lut = LatencyLut::new(LatencyModel::default(), config);
+        let conv = OpInstance::conv(3, 64, 64, 16, 16);
+        let engine = LatencyModel::eligible_engines(&conv, &config)[0];
+        for _ in 0..10 {
+            let _ = lut.lookup(&conv, engine);
+        }
+        assert_eq!(lut.len(), 1);
+    }
+
+    #[test]
+    fn network_materializes_tens_of_entries_like_the_paper() {
+        let config = ConfigSpace::chaidnn().get(8639);
+        let mut lut = LatencyLut::new(LatencyModel::default(), config);
+        let net = Network::assemble(&known_cells::googlenet_cell(), &NetworkConfig::default());
+        for unit in net.units() {
+            for node in unit.program.nodes() {
+                let engine = LatencyModel::eligible_engines(&node.op, &config)[0];
+                let _ = lut.lookup(&node.op, engine);
+            }
+        }
+        assert!(
+            lut.len() >= 10 && lut.len() <= 85,
+            "one network should use tens of unique ops, got {}",
+            lut.len()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests over random accelerator configurations and ops.
+
+use codesign_accel::{
+    schedule_serial, AcceleratorConfig, AreaModel, ConfigSpace, ConvEngineRatio, FpgaDevice,
+    LatencyModel, PowerModel, Scheduler,
+};
+use codesign_nasbench::{known_cells, Network, NetworkConfig, OpInstance};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = AcceleratorConfig> {
+    (0usize..8640).prop_map(|i| ConfigSpace::chaidnn().get(i))
+}
+
+fn arb_conv() -> impl Strategy<Value = OpInstance> {
+    (
+        prop::sample::select(vec![1usize, 3]),
+        prop::sample::select(vec![16usize, 43, 64, 128, 171, 256, 512]),
+        prop::sample::select(vec![16usize, 43, 64, 128, 171, 256, 512]),
+        prop::sample::select(vec![8usize, 16, 32]),
+    )
+        .prop_map(|(k, ic, oc, hw)| OpInstance::conv(k, ic, oc, hw, hw))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_config_fits_and_has_positive_area(config in arb_config()) {
+        let model = AreaModel::default();
+        prop_assert!(model.fits_device(&config));
+        let area = model.area_mm2(&config);
+        prop_assert!(area > 0.0 && area < FpgaDevice::zynq_ultrascale_plus().total_area_mm2());
+    }
+
+    #[test]
+    fn op_latency_is_positive_and_finite(config in arb_config(), op in arb_conv()) {
+        let model = LatencyModel::default();
+        let engine = LatencyModel::primary_engine(&op, &config);
+        let ns = model.op_latency_ns(&op, engine, &config);
+        prop_assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn bigger_mac_array_never_slows_a_conv(op in arb_conv()) {
+        // Fix everything but the MAC array size on a single-engine config.
+        let model = LatencyModel::default();
+        let base = AcceleratorConfig {
+            filter_par: 8,
+            pixel_par: 8,
+            input_buffer_depth: 4096,
+            weight_buffer_depth: 4096,
+            output_buffer_depth: 4096,
+            mem_interface_width: 512,
+            pool_enable: false,
+            ratio_conv_engines: ConvEngineRatio::Single,
+        };
+        let big = AcceleratorConfig { filter_par: 16, pixel_par: 64, ..base };
+        let engine = LatencyModel::primary_engine(&op, &base);
+        let slow = model.op_latency_ns(&op, engine, &base);
+        let fast = model.op_latency_ns(&op, engine, &big);
+        prop_assert!(fast <= slow + 1e-9, "fast {fast} > slow {slow}");
+    }
+
+    #[test]
+    fn greedy_schedule_never_exceeds_serial(config in arb_config()) {
+        let model = LatencyModel::default();
+        let network = Network::assemble(&known_cells::cod2_cell(), &NetworkConfig::default());
+        let greedy = Scheduler::new(model, config).schedule_network(&network).total_ms;
+        let serial = schedule_serial(&model, &config, &network).total_ms;
+        prop_assert!(greedy <= serial + 1e-9);
+        // Overlap is bounded by the number of parallel units.
+        prop_assert!(greedy >= serial / 4.0);
+    }
+
+    #[test]
+    fn fast_path_latency_matches_full_schedule(config in arb_config()) {
+        let model = LatencyModel::default();
+        let network = Network::assemble(&known_cells::googlenet_cell(), &NetworkConfig::default());
+        let full = Scheduler::new(model, config).schedule_network(&network).total_ms;
+        let fast = Scheduler::new(model, config).network_latency_ms(&network);
+        prop_assert!((full - fast).abs() < 1e-9, "full {full} vs fast {fast}");
+    }
+
+    #[test]
+    fn power_is_positive_and_bounded(config in arb_config()) {
+        let power = PowerModel::default();
+        let area = AreaModel::default();
+        let p = power.peak_power(&area, &config);
+        prop_assert!(p.static_w > 0.0);
+        prop_assert!(p.dynamic_w > 0.0);
+        prop_assert!(p.total_w() < 25.0, "implausible power {}", p.total_w());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(config in arb_config()) {
+        let space = ConfigSpace::chaidnn();
+        prop_assert_eq!(space.decode(&space.encode(&config)), config);
+    }
+}

@@ -1,0 +1,100 @@
+//! Timing ablations for design choices in the reproduction (the quality
+//! ablations live in the `ablations` binary):
+//!
+//! * greedy multi-engine scheduling vs. serial single-queue execution,
+//! * per-CNN 2-D dominance pre-pruning vs. direct 3-D filtering,
+//! * latency LUT memoization on vs. off.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use codesign_accel::{schedule_serial, ConfigSpace, LatencyModel, Scheduler};
+use codesign_moo::pareto::pareto_indices_3d;
+use codesign_moo::ParetoFront;
+use codesign_nasbench::{known_cells, Network, NetworkConfig};
+
+fn bench_scheduler_vs_serial(c: &mut Criterion) {
+    let model = LatencyModel::default();
+    let config = ConfigSpace::chaidnn().get(8639);
+    let network = Network::assemble(&known_cells::cod1_cell(), &NetworkConfig::default());
+    c.bench_function("ablation/scheduler_greedy", |b| {
+        let mut s = Scheduler::new(model, config);
+        b.iter(|| s.schedule_network(black_box(&network)).total_ms)
+    });
+    c.bench_function("ablation/scheduler_serial", |b| {
+        b.iter(|| schedule_serial(&model, &config, black_box(&network)).total_ms)
+    });
+}
+
+fn bench_prune_strategies(c: &mut Criterion) {
+    // Simulated enumeration shard: 100 CNNs x 1000 accels. Accuracy is
+    // constant per CNN, so per-CNN 2D pruning applies.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut all: Vec<[f64; 3]> = Vec::new();
+    let mut grouped: Vec<Vec<[f64; 2]>> = Vec::new();
+    for _ in 0..100 {
+        let acc = rng.gen_range(0.85..0.95);
+        let mut per_cnn = Vec::new();
+        for _ in 0..1000 {
+            let area = rng.gen_range(45.0..215.0);
+            let lat = rng.gen_range(5.0..400.0);
+            all.push([-area, -lat, acc]);
+            per_cnn.push([-area, -lat]);
+        }
+        grouped.push(per_cnn);
+    }
+    c.bench_function("ablation/pareto_direct_3d_100k", |b| {
+        b.iter(|| pareto_indices_3d(black_box(&all)).len())
+    });
+    c.bench_function("ablation/pareto_2d_prepruned", |b| {
+        b.iter(|| {
+            let mut candidates: Vec<[f64; 3]> = Vec::new();
+            for (g, pts) in grouped.iter().enumerate() {
+                let mut front: ParetoFront<2, ()> = ParetoFront::new();
+                for p in pts {
+                    front.insert(*p, ());
+                }
+                let acc = all[g * 1000][2];
+                for (m, ()) in front.into_vec() {
+                    candidates.push([m[0], m[1], acc]);
+                }
+            }
+            pareto_indices_3d(&candidates).len()
+        })
+    });
+}
+
+fn bench_lut_memoization(c: &mut Criterion) {
+    let model = LatencyModel::default();
+    let config = ConfigSpace::chaidnn().get(4242);
+    let network = Network::assemble(&known_cells::googlenet_cell(), &NetworkConfig::default());
+    c.bench_function("ablation/lut_memoized_10_networks", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new(model, config);
+            let mut total = 0.0;
+            for _ in 0..10 {
+                total += s.schedule_network(black_box(&network)).total_ms;
+            }
+            total
+        })
+    });
+    c.bench_function("ablation/lut_cold_10_networks", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for _ in 0..10 {
+                let mut s = Scheduler::new(model, config);
+                total += s.schedule_network(black_box(&network)).total_ms;
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_vs_serial,
+    bench_prune_strategies,
+    bench_lut_memoization
+);
+criterion_main!(benches);

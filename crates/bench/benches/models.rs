@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the analytical models: the per-evaluation costs
+//! that determine how fast the codesign space can be enumerated (Fig. 4) and
+//! searched (Figs. 5–7).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use codesign_accel::{AreaModel, ConfigSpace, LatencyModel, Scheduler};
+use codesign_nasbench::{
+    known_cells, CellFeatures, CellSpec, Dataset, Network, NetworkConfig, SurrogateModel,
+};
+
+fn bench_area_model(c: &mut Criterion) {
+    let model = AreaModel::default();
+    let space = ConfigSpace::chaidnn();
+    let configs: Vec<_> = (0..64).map(|i| space.get(i * 135)).collect();
+    c.bench_function("area_model/64_configs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cfg in &configs {
+                acc += model.area_mm2(black_box(cfg));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_latency_schedule(c: &mut Criterion) {
+    let space = ConfigSpace::chaidnn();
+    let config = space.get(8639);
+    let network = Network::assemble(&known_cells::resnet_cell(), &NetworkConfig::default());
+    c.bench_function("latency/schedule_resnet_cold_lut", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new(LatencyModel::default(), config);
+            s.schedule_network(black_box(&network)).total_ms
+        })
+    });
+    c.bench_function("latency/schedule_resnet_warm_lut", |b| {
+        let mut s = Scheduler::new(LatencyModel::default(), config);
+        let _ = s.schedule_network(&network);
+        b.iter(|| s.schedule_network(black_box(&network)).total_ms)
+    });
+}
+
+fn bench_network_assembly(c: &mut Criterion) {
+    let cell = known_cells::googlenet_cell();
+    let cfg = NetworkConfig::default();
+    c.bench_function("network/assemble_googlenet", |b| {
+        b.iter(|| Network::assemble(black_box(&cell), &cfg).macs())
+    });
+}
+
+fn bench_surrogate(c: &mut Criterion) {
+    let model = SurrogateModel::default();
+    let cell = known_cells::cod1_cell();
+    c.bench_function("surrogate/evaluate_cifar100", |b| {
+        b.iter(|| model.evaluate(black_box(&cell), Dataset::Cifar100).mean_accuracy())
+    });
+    let features = CellFeatures::extract(&cell, &NetworkConfig::default());
+    c.bench_function("surrogate/evaluate_from_features", |b| {
+        b.iter(|| {
+            model
+                .evaluate_features(black_box(&features), cell.canonical_hash(), Dataset::Cifar10)
+                .mean_accuracy()
+        })
+    });
+}
+
+fn bench_canonical_hash(c: &mut Criterion) {
+    let cell = known_cells::googlenet_cell();
+    c.bench_function("spec/validate_and_hash_7v_cell", |b| {
+        b.iter(|| {
+            CellSpec::new(cell.matrix().clone(), cell.ops().to_vec())
+                .map(|s| s.canonical_hash())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_area_model,
+    bench_latency_schedule,
+    bench_network_assembly,
+    bench_surrogate,
+    bench_canonical_hash
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the Pareto machinery that filters the
+//! billions-of-points codesign space (Fig. 4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use codesign_core::enumerate_codesign_space;
+use codesign_moo::pareto::{pareto_indices, pareto_indices_3d};
+use codesign_moo::StreamingParetoFilter;
+use codesign_nasbench::{Dataset, NasbenchDatabase};
+
+fn random_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            [
+                -rng.gen_range(45.0..215.0),
+                -rng.gen_range(5.0..400.0),
+                rng.gen_range(0.80..0.95),
+            ]
+        })
+        .collect()
+}
+
+fn bench_pareto_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_filter");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let pts = random_points(n, 42);
+        group.bench_with_input(BenchmarkId::new("sweep_3d", n), &pts, |b, pts| {
+            b.iter(|| pareto_indices_3d(black_box(pts)).len())
+        });
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("generic", n), &pts, |b, pts| {
+                b.iter(|| pareto_indices(black_box(pts)).len())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("streaming", n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut f: StreamingParetoFilter<3, usize> =
+                    StreamingParetoFilter::with_capacity(4096);
+                for (i, p) in pts.iter().enumerate() {
+                    f.push(*p, i);
+                }
+                f.finish().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_space_enumeration(c: &mut Criterion) {
+    // End-to-end Fig. 4 work unit: the complete 3-vertex space (7 cells x
+    // 8640 accelerators = 60,480 pairs including scheduling).
+    let db = NasbenchDatabase::exhaustive(3);
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    group.bench_function("v3_space_60k_pairs", |b| {
+        b.iter(|| enumerate_codesign_space(black_box(&db), Dataset::Cifar10, 1).front.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto_filters, bench_space_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the controller and the end-to-end search step:
+//! what a "GPU-hour" of the paper's search loop costs in this reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use codesign_core::{
+    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext,
+    SearchStrategy,
+};
+use codesign_nasbench::NasbenchDatabase;
+use codesign_rl::{LstmPolicy, PolicyConfig, ReinforceConfig, ReinforceTrainer};
+
+fn bench_policy(c: &mut Criterion) {
+    let space = CodesignSpace::paper();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let policy = LstmPolicy::new(PolicyConfig::new(space.vocab_sizes()), &mut rng);
+    c.bench_function("policy/rollout_34_decisions", |b| {
+        b.iter(|| policy.rollout(black_box(&mut rng)).actions.len())
+    });
+    let mut trainer = ReinforceTrainer::new(policy, ReinforceConfig::default());
+    c.bench_function("policy/propose_learn_step", |b| {
+        b.iter(|| {
+            let rollout = trainer.propose(&mut rng);
+            trainer.learn(&rollout, 0.5);
+        })
+    });
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let space = CodesignSpace::with_max_vertices(5);
+    let db = NasbenchDatabase::exhaustive(5);
+    let mut evaluator = Evaluator::with_database(db);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let policy = LstmPolicy::new(PolicyConfig::new(space.vocab_sizes()), &mut rng);
+    // Pre-generate proposals so only evaluation is measured.
+    let proposals: Vec<_> =
+        (0..256).map(|_| space.decode(&policy.rollout(&mut rng).actions)).collect();
+    let mut i = 0;
+    c.bench_function("evaluator/evaluate_proposal", |b| {
+        b.iter(|| {
+            let out = evaluator.evaluate(black_box(&proposals[i % proposals.len()]));
+            i += 1;
+            out.evaluation().map(|e| e.latency_ms).unwrap_or(0.0)
+        })
+    });
+}
+
+fn bench_search_steps(c: &mut Criterion) {
+    let db = NasbenchDatabase::exhaustive(4);
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    group.bench_function("combined_100_steps", |b| {
+        b.iter(|| {
+            let space = CodesignSpace::with_max_vertices(4);
+            let mut evaluator = Evaluator::with_database(db.clone());
+            let reward = Scenario::Unconstrained.reward_spec();
+            let mut ctx = SearchContext {
+                space: &space,
+                evaluator: &mut evaluator,
+                reward: &reward,
+            };
+            CombinedSearch
+                .run(&mut ctx, &SearchConfig::quick(100, 7))
+                .feasible_steps
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy, bench_evaluator, bench_search_steps);
+criterion_main!(benches);

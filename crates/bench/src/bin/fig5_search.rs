@@ -1,0 +1,115 @@
+//! Fig. 5 — top search results vs. the top-100 Pareto-optimal points, for the
+//! three §III-C scenarios.
+//!
+//! For each scenario, the separate / combined / phase strategies run
+//! `--repeats` times for `--steps` steps each over the exhaustively
+//! enumerable ≤5-vertex CNN space (the same space Fig. 4 enumerates, so the
+//! reference Pareto points are exact). Paper scale is `--steps 10000
+//! --repeats 10`.
+//!
+//! Run: `cargo run --release -p codesign-bench --bin fig5_search`
+//! Args: `[--steps N] [--repeats R] [--max-vertices V] [--scenario 0|1|2]`
+
+use codesign_bench::{out_dir, Args};
+use codesign_core::report::{fmt_f, write_csv, TextTable};
+use codesign_core::{
+    compare_strategies, enumerate_codesign_space, top_pareto_points, CodesignSpace,
+    ComparisonConfig, Scenario,
+};
+use codesign_nasbench::{Dataset, NasbenchDatabase};
+
+fn main() {
+    let args = Args::parse();
+    let steps = args.get_usize("steps", 2000);
+    let repeats = args.get_usize("repeats", 5);
+    let max_v = args.get_usize("max-vertices", 5);
+    let scenario_filter = args.get_usize("scenario", usize::MAX);
+
+    println!("building exhaustive <= {max_v}-vertex database...");
+    let db = NasbenchDatabase::exhaustive(max_v);
+    let space = CodesignSpace::with_max_vertices(max_v);
+    println!("database: {} cells; enumerating the exact Pareto front...", db.len());
+    let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
+    println!(
+        "front: {} points over {} pairs\n",
+        enumeration.front.len(),
+        enumeration.total_pairs
+    );
+
+    let config = ComparisonConfig { steps, repeats, seed_base: args.get_u64("seed", 0) };
+    for (idx, scenario) in Scenario::ALL.into_iter().enumerate() {
+        if scenario_filter != usize::MAX && scenario_filter != idx {
+            continue;
+        }
+        println!("=== Fig. 5{}: {} ===", (b'a' + idx as u8) as char, scenario.name());
+        let reference = top_pareto_points(scenario, &enumeration, 100);
+        if let (Some(first), Some(last)) = (reference.first(), reference.last()) {
+            println!(
+                "top-100 Pareto reward points: lat {:.1}..{:.1} ms, acc {:.2}..{:.2}%",
+                -first[1],
+                -last[1],
+                reference.iter().map(|m| m[2]).fold(f64::INFINITY, f64::min) * 100.0,
+                reference.iter().map(|m| m[2]).fold(0.0, f64::max) * 100.0
+            );
+        }
+        let cmp = compare_strategies(scenario, &space, &db, &config);
+        let spec = scenario.reward_spec();
+        let mut table = TextTable::new(vec![
+            "strategy",
+            "runs",
+            "feasible",
+            "best lat [ms]",
+            "best acc [%]",
+            "best area [mm2]",
+            "best reward",
+        ]);
+        let mut csv_rows: Vec<Vec<String>> = Vec::new();
+        for runs in &cmp.strategies {
+            let points = runs.top_points();
+            let best = points
+                .iter()
+                .max_by(|a, b| {
+                    spec.scalarize(a)
+                        .partial_cmp(&spec.scalarize(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .copied();
+            let (lat, acc, area, reward) = match best {
+                Some(m) => (-m[1], m[2] * 100.0, -m[0], spec.scalarize(&m)),
+                None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+            };
+            table.add_row(vec![
+                runs.name.into(),
+                runs.outcomes.len().to_string(),
+                runs.feasible_run_count().to_string(),
+                fmt_f(lat, 1),
+                fmt_f(acc, 2),
+                fmt_f(area, 0),
+                fmt_f(reward, 4),
+            ]);
+            for m in &points {
+                csv_rows.push(vec![
+                    scenario.name().into(),
+                    runs.name.into(),
+                    fmt_f(-m[1], 4),
+                    fmt_f(m[2], 6),
+                    fmt_f(-m[0], 3),
+                ]);
+            }
+        }
+        println!("{table}");
+        for m in reference.iter().take(100) {
+            csv_rows.push(vec![
+                scenario.name().into(),
+                "pareto".into(),
+                fmt_f(-m[1], 4),
+                fmt_f(m[2], 6),
+                fmt_f(-m[0], 3),
+            ]);
+        }
+        let path = out_dir().join(format!("fig5_{}.csv", idx));
+        write_csv(&path, &["scenario", "series", "latency_ms", "accuracy", "area_mm2"], &csv_rows)
+            .expect("write fig5 csv");
+        println!("series written to {}\n", path.display());
+    }
+}

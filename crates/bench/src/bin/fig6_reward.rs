@@ -1,0 +1,72 @@
+//! Fig. 6 — reward vs. search step for the separate / combined / phase
+//! strategies under each scenario, averaged over repeats.
+//!
+//! As in the paper, only the reward function R is plotted: punished steps do
+//! not contribute (the curve carries the trailing feasible-reward mean).
+//!
+//! Run: `cargo run --release -p codesign-bench --bin fig6_reward`
+//! Args: `[--steps N] [--repeats R] [--window W] [--max-vertices V]`
+
+use codesign_bench::{downsample, out_dir, Args};
+use codesign_core::report::{fmt_f, write_csv, TextTable};
+use codesign_core::{compare_strategies, CodesignSpace, ComparisonConfig, Scenario};
+use codesign_nasbench::NasbenchDatabase;
+
+fn main() {
+    let args = Args::parse();
+    let steps = args.get_usize("steps", 2000);
+    let repeats = args.get_usize("repeats", 5);
+    let window = args.get_usize("window", 100);
+    let max_v = args.get_usize("max-vertices", 5);
+
+    println!("building exhaustive <= {max_v}-vertex database...");
+    let db = NasbenchDatabase::exhaustive(max_v);
+    let space = CodesignSpace::with_max_vertices(max_v);
+    let config = ComparisonConfig { steps, repeats, seed_base: args.get_u64("seed", 0) };
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for scenario in Scenario::ALL {
+        println!("=== Fig. 6: {} (mean of {} runs, window {}) ===", scenario.name(), repeats, window);
+        let cmp = compare_strategies(scenario, &space, &db, &config);
+        let mut table = TextTable::new(vec!["step", "separate", "combined", "phase"]);
+        let curves: Vec<(&str, Vec<f64>)> = cmp
+            .strategies
+            .iter()
+            .map(|s| (s.name, s.average_curve(window)))
+            .collect();
+        let len = curves.iter().map(|(_, c)| c.len()).min().unwrap_or(0);
+        let probe = downsample(&(0..len).map(|i| i as f64).collect::<Vec<_>>(), 15);
+        for (i, _) in probe {
+            let mut row = vec![i.to_string()];
+            for (_, curve) in &curves {
+                row.push(fmt_f(curve[i], 4));
+            }
+            table.add_row(row);
+        }
+        println!("{table}");
+        for (name, curve) in &curves {
+            for (i, v) in curve.iter().enumerate() {
+                csv_rows.push(vec![
+                    scenario.name().into(),
+                    (*name).into(),
+                    i.to_string(),
+                    fmt_f(*v, 6),
+                ]);
+            }
+        }
+        // Paper's qualitative claims, printed for quick inspection.
+        let final_of = |name: &str| {
+            cmp.strategy(name).map_or(f64::NAN, |s| s.final_reward(window))
+        };
+        println!(
+            "final rewards: separate {:.4}, combined {:.4}, phase {:.4}\n",
+            final_of("separate"),
+            final_of("combined"),
+            final_of("phase")
+        );
+    }
+    let path = out_dir().join("fig6_reward_curves.csv");
+    write_csv(&path, &["scenario", "strategy", "step", "reward"], &csv_rows)
+        .expect("write fig6 csv");
+    println!("curves written to {}", path.display());
+}

@@ -1,0 +1,125 @@
+//! Fig. 7 — CIFAR-100 codesign: top-10 points per perf/area threshold,
+//! compared to the ResNet and GoogLeNet cells on their best accelerators.
+//!
+//! Runs the full §IV flow by default (thresholds 2/8/16/30/40 img/s/cm²,
+//! ~2300 valid points, simulated training with GPU-hour accounting); pass
+//! `--quick` for a miniature run.
+//!
+//! Run: `cargo run --release -p codesign-bench --bin fig7_cifar100`
+//! Args: `[--quick] [--seed S]`
+
+use codesign_bench::{out_dir, Args};
+use codesign_core::report::{fmt_f, write_csv, TextTable};
+use codesign_core::{run_cifar100_codesign, table2_baselines, Cifar100Config};
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.get_u64("seed", 0);
+    let config = if args.flag("quick") {
+        Cifar100Config::quick(seed)
+    } else {
+        Cifar100Config { seed, ..Cifar100Config::default() }
+    };
+
+    println!("running Codesign-NAS on CIFAR-100 (combined strategy, rising thresholds)...");
+    let start = std::time::Instant::now();
+    let result = run_cifar100_codesign(&config);
+    println!(
+        "done in {:.1}s: {} steps, {} valid points, {} models trained, {:.0} simulated GPU-hours (paper: ~1000)\n",
+        start.elapsed().as_secs_f64(),
+        result.total_steps,
+        result.total_valid_points,
+        result.models_trained,
+        result.gpu_hours
+    );
+
+    let baselines = table2_baselines();
+    println!("baselines (cells on their best perf/area accelerators):");
+    for b in &baselines {
+        println!(
+            "  {:<15} acc {:.1}%  perf/area {:.1} img/s/cm2  lat {:.1} ms  area {:.0} mm2",
+            b.name,
+            b.accuracy * 100.0,
+            b.perf_per_area(),
+            b.latency_ms,
+            b.area_mm2
+        );
+    }
+
+    let mut table = TextTable::new(vec![
+        "threshold",
+        "steps",
+        "valid",
+        "best acc [%]",
+        "best perf/area",
+    ]);
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for stage in &result.stages {
+        let best_acc = stage.top_points.first().map_or(f64::NAN, |p| p.accuracy * 100.0);
+        let best_ppa = stage
+            .top_points
+            .iter()
+            .map(|p| p.perf_per_area())
+            .fold(f64::NAN, f64::max);
+        table.add_row(vec![
+            format!("{:.0}", stage.threshold),
+            stage.steps.to_string(),
+            stage.valid_points.to_string(),
+            fmt_f(best_acc, 2),
+            fmt_f(best_ppa, 1),
+        ]);
+        for p in &stage.top_points {
+            csv_rows.push(vec![
+                format!("{:.0}", stage.threshold),
+                fmt_f(p.perf_per_area(), 4),
+                fmt_f(p.accuracy, 6),
+                fmt_f(p.latency_ms, 3),
+                fmt_f(p.area_mm2, 2),
+                p.config.summary(),
+            ]);
+        }
+    }
+    println!("\nFig. 7 series (top-10 per threshold):\n{table}");
+
+    let resnet = &baselines[0];
+    let googlenet = &baselines[1];
+    match result.best_against(resnet) {
+        Some(cod1) => println!(
+            "Cod-1 (beats ResNet on both axes): acc {:.1}% ({:+.1}%), perf/area {:.1} ({:+.0}%)",
+            cod1.accuracy * 100.0,
+            (cod1.accuracy - resnet.accuracy) * 100.0,
+            cod1.perf_per_area(),
+            (cod1.perf_per_area() / resnet.perf_per_area() - 1.0) * 100.0
+        ),
+        None => println!("no visited point beat the ResNet baseline on both axes"),
+    }
+    match result.most_efficient_against(googlenet) {
+        Some(cod2) => println!(
+            "Cod-2 (beats GoogLeNet on both axes): acc {:.1}% ({:+.1}%), perf/area {:.1} ({:+.1}%)",
+            cod2.accuracy * 100.0,
+            (cod2.accuracy - googlenet.accuracy) * 100.0,
+            cod2.perf_per_area(),
+            (cod2.perf_per_area() / googlenet.perf_per_area() - 1.0) * 100.0
+        ),
+        None => println!("no visited point beat the GoogLeNet baseline on both axes"),
+    }
+
+    for b in &baselines {
+        csv_rows.push(vec![
+            b.name.clone(),
+            fmt_f(b.perf_per_area(), 4),
+            fmt_f(b.accuracy, 6),
+            fmt_f(b.latency_ms, 3),
+            fmt_f(b.area_mm2, 2),
+            b.config.summary(),
+        ]);
+    }
+    let path = out_dir().join("fig7_cifar100.csv");
+    write_csv(
+        &path,
+        &["series", "perf_per_area", "accuracy", "latency_ms", "area_mm2", "config"],
+        &csv_rows,
+    )
+    .expect("write fig7 csv");
+    println!("\nscatter written to {}", path.display());
+}

@@ -1,0 +1,151 @@
+//! Shared harness utilities for the reproduction binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/`; see
+//! `DESIGN.md` for the experiment index. The binaries share a tiny
+//! `--key value` argument parser and a common output directory for CSV
+//! series (`target/paper-results/`).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Minimal `--key value` / `--flag` command-line arguments.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_bench::Args;
+///
+/// let args = Args::from_iter(["--steps", "100", "--full"]);
+/// assert_eq!(args.get_usize("steps", 10), 100);
+/// assert!(args.flag("full"));
+/// assert_eq!(args.get_u64("seed", 7), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (used in tests).
+    pub fn from_iter<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let items: Vec<String> = items.into_iter().map(Into::into).collect();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < items.len() {
+            let item = &items[i];
+            if let Some(key) = item.strip_prefix("--") {
+                if i + 1 < items.len() && !items[i + 1].starts_with("--") {
+                    values.insert(key.to_owned(), items[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_owned());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// Integer option with default.
+    #[must_use]
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Seed-style option with default.
+    #[must_use]
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Float option with default.
+    #[must_use]
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Presence of a bare `--flag`.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Output directory for CSV artifacts (`target/paper-results`), created on
+/// first use.
+///
+/// # Panics
+///
+/// Panics when the directory cannot be created.
+#[must_use]
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target").join("paper-results");
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    dir
+}
+
+/// Downsamples a series to at most `points` evenly-spaced entries
+/// (always keeping the last), for readable terminal output of long curves.
+#[must_use]
+pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
+    if series.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let stride = (series.len() / points).max(1);
+    let mut out: Vec<(usize, f64)> =
+        series.iter().copied().enumerate().step_by(stride).collect();
+    let last = series.len() - 1;
+    if out.last().map(|(i, _)| *i) != Some(last) {
+        out.push((last, series[last]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_mix_flags_and_values() {
+        let args = Args::from_iter(["--a", "1", "--quick", "--b", "2.5"]);
+        assert_eq!(args.get_usize("a", 0), 1);
+        assert_eq!(args.get_f64("b", 0.0), 2.5);
+        assert!(args.flag("quick"));
+        assert!(!args.flag("missing"));
+    }
+
+    #[test]
+    fn args_defaults_apply() {
+        let args = Args::from_iter(Vec::<String>::new());
+        assert_eq!(args.get_usize("steps", 42), 42);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let series: Vec<f64> = (0..100).map(f64::from).collect();
+        let ds = downsample(&series, 10);
+        assert_eq!(ds.first(), Some(&(0, 0.0)));
+        assert_eq!(ds.last(), Some(&(99, 99.0)));
+        assert!(ds.len() <= 12);
+    }
+
+    #[test]
+    fn downsample_short_series_unchanged() {
+        let ds = downsample(&[1.0, 2.0], 10);
+        assert_eq!(ds, vec![(0, 1.0), (1, 2.0)]);
+    }
+}

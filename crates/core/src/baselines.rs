@@ -1,0 +1,104 @@
+//! The Table II baselines: ResNet and GoogLeNet cells "paired with their
+//! most-optimal HW accelerator" (best perf/area over the whole accelerator
+//! space), evaluated on CIFAR-100.
+
+use codesign_accel::{
+    best_accelerator_for, AcceleratorConfig, AreaModel, ConfigSpace, DseObjective,
+    LatencyModel,
+};
+use codesign_nasbench::{known_cells, CellSpec, Dataset, Network, NetworkConfig, SurrogateModel};
+use serde::{Deserialize, Serialize};
+
+/// One baseline row of Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// "ResNet Cell" / "GoogLeNet Cell".
+    pub name: String,
+    /// The baseline cell.
+    pub cell: CellSpec,
+    /// Top-1 accuracy on the task.
+    pub accuracy: f64,
+    /// Latency on the best accelerator, ms.
+    pub latency_ms: f64,
+    /// Best accelerator area, mm².
+    pub area_mm2: f64,
+    /// The best accelerator itself.
+    pub config: AcceleratorConfig,
+}
+
+impl BaselineRow {
+    /// Performance per area, images/s/cm².
+    #[must_use]
+    pub fn perf_per_area(&self) -> f64 {
+        (1000.0 / self.latency_ms) / (self.area_mm2 / 100.0)
+    }
+}
+
+/// Computes one baseline row: accuracy from the surrogate, hardware metrics
+/// from a full perf/area sweep of the accelerator space.
+#[must_use]
+pub fn baseline_row(name: &str, cell: CellSpec, dataset: Dataset) -> BaselineRow {
+    let net_config = match dataset {
+        Dataset::Cifar10 => NetworkConfig::default(),
+        Dataset::Cifar100 => NetworkConfig::cifar100(),
+    };
+    let network = Network::assemble(&cell, &net_config);
+    let best = best_accelerator_for(
+        &network,
+        &ConfigSpace::chaidnn(),
+        DseObjective::PerfPerArea,
+        &AreaModel::default(),
+        &LatencyModel::default(),
+    )
+    .expect("chaidnn space is non-empty");
+    let accuracy = SurrogateModel::default().evaluate(&cell, dataset).mean_accuracy();
+    BaselineRow {
+        name: name.to_owned(),
+        cell,
+        accuracy,
+        latency_ms: best.metrics.latency_ms,
+        area_mm2: best.metrics.area_mm2,
+        config: best.config,
+    }
+}
+
+/// Both Table II baselines on CIFAR-100.
+#[must_use]
+pub fn table2_baselines() -> Vec<BaselineRow> {
+    vec![
+        baseline_row("ResNet Cell", known_cells::resnet_cell(), Dataset::Cifar100),
+        baseline_row("GoogLeNet Cell", known_cells::googlenet_cell(), Dataset::Cifar100),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_reproduce_table2_shape() {
+        let rows = table2_baselines();
+        assert_eq!(rows.len(), 2);
+        let resnet = &rows[0];
+        let googlenet = &rows[1];
+        // Paper: ResNet 72.9% / 12.8 img/s/cm^2; GoogLeNet 71.5% / 39.3.
+        assert!((0.715..=0.745).contains(&resnet.accuracy), "{}", resnet.accuracy);
+        assert!((0.700..=0.730).contains(&googlenet.accuracy), "{}", googlenet.accuracy);
+        assert!(resnet.accuracy > googlenet.accuracy, "accuracy ordering");
+        assert!(
+            googlenet.perf_per_area() > 2.0 * resnet.perf_per_area(),
+            "efficiency ordering: googlenet {} vs resnet {}",
+            googlenet.perf_per_area(),
+            resnet.perf_per_area()
+        );
+    }
+
+    #[test]
+    fn baseline_accelerators_use_the_biggest_mac_array() {
+        // Table III observes both best points use (16, 64) or similar large
+        // engines; the baselines' best accelerators also favor filter_par 16.
+        for row in table2_baselines() {
+            assert_eq!(row.config.filter_par, 16, "{}: {}", row.name, row.config);
+        }
+    }
+}

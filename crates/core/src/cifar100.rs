@@ -1,0 +1,369 @@
+//! §IV: CIFAR-100 CNN-accelerator codesign with a threshold schedule.
+//!
+//! No precomputed accuracies exist for CIFAR-100, so every new cell is
+//! "trained from scratch" (here: the surrogate trainer, with simulated
+//! GPU-hours accounted). Latency and area are combined into a single
+//! efficiency metric — performance per area — and the search maximizes
+//! accuracy under a perf/area constraint whose threshold rises through
+//! `(2, 8, 16, 30, 40)` img/s/cm², collecting `(300, 300, 300, 400, 1000)`
+//! valid points per stage. A single combined-strategy controller persists
+//! across stages, which is what lets the gradually-rising threshold teach it
+//! "the structure of high-accuracy CNNs" first.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use codesign_accel::AcceleratorConfig;
+use codesign_moo::{LinearNorm, Punishment, RewardSpec};
+use codesign_nasbench::{CellSpec, Dataset, SurrogateModel};
+use codesign_rl::{LstmPolicy, PolicyConfig, ReinforceConfig, ReinforceTrainer};
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::BaselineRow;
+use crate::evaluator::{EvalOutcome, Evaluator};
+use crate::search::INVALID_PROPOSAL_REWARD;
+use crate::space::CodesignSpace;
+
+/// The rising perf/area thresholds and per-stage valid-point quotas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSchedule {
+    /// `(threshold img/s/cm², valid points to collect)` per stage.
+    pub stages: Vec<(f64, usize)>,
+}
+
+impl Default for ThresholdSchedule {
+    fn default() -> Self {
+        Self {
+            stages: vec![
+                (2.0, 300),
+                (8.0, 300),
+                (16.0, 300),
+                (30.0, 400),
+                (40.0, 1000),
+            ],
+        }
+    }
+}
+
+impl ThresholdSchedule {
+    /// Total valid points across stages (the paper's "~2300 valid points").
+    #[must_use]
+    pub fn total_valid_points(&self) -> usize {
+        self.stages.iter().map(|(_, n)| n).sum()
+    }
+
+    /// A miniature schedule for tests and examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { stages: vec![(2.0, 20), (16.0, 20), (40.0, 40)] }
+    }
+}
+
+/// Configuration of the §IV flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cifar100Config {
+    /// The threshold schedule.
+    pub schedule: ThresholdSchedule,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hard cap on steps per stage (a stage ends at its valid-point quota or
+    /// this cap, whichever comes first).
+    pub max_steps_per_stage: usize,
+    /// Controller learning rate.
+    pub learning_rate: f64,
+    /// Controller entropy bonus.
+    pub entropy_beta: f64,
+}
+
+impl Default for Cifar100Config {
+    fn default() -> Self {
+        Self {
+            schedule: ThresholdSchedule::default(),
+            seed: 0,
+            max_steps_per_stage: 20_000,
+            learning_rate: 0.006,
+            entropy_beta: 0.06,
+        }
+    }
+}
+
+impl Cifar100Config {
+    /// A miniature configuration for tests and examples.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            schedule: ThresholdSchedule::quick(),
+            seed,
+            max_steps_per_stage: 2_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// One discovered model-accelerator pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveredPoint {
+    /// The cell.
+    pub cell: CellSpec,
+    /// The accelerator.
+    pub config: AcceleratorConfig,
+    /// Top-1 CIFAR-100 accuracy.
+    pub accuracy: f64,
+    /// Latency, ms.
+    pub latency_ms: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+    /// The search step it was visited at.
+    pub step: usize,
+}
+
+impl DiscoveredPoint {
+    /// Performance per area, images/s/cm².
+    #[must_use]
+    pub fn perf_per_area(&self) -> f64 {
+        (1000.0 / self.latency_ms) / (self.area_mm2 / 100.0)
+    }
+
+    /// Returns `true` when this point beats `baseline` on both accuracy and
+    /// perf/area — the paper's bar for Cod-1 and Cod-2.
+    #[must_use]
+    pub fn beats(&self, baseline: &BaselineRow) -> bool {
+        self.accuracy > baseline.accuracy && self.perf_per_area() > baseline.perf_per_area()
+    }
+}
+
+/// The per-stage record: threshold plus the top-10 points by accuracy among
+/// pairs visited at that threshold (the series plotted in Fig. 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageResult {
+    /// The stage's perf/area threshold.
+    pub threshold: f64,
+    /// Steps the stage consumed.
+    pub steps: usize,
+    /// Valid (feasible) points collected.
+    pub valid_points: usize,
+    /// Top-10 visited points by accuracy.
+    pub top_points: Vec<DiscoveredPoint>,
+}
+
+/// Output of the whole §IV flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cifar100Result {
+    /// Per-stage records, in schedule order.
+    pub stages: Vec<StageResult>,
+    /// Total controller steps.
+    pub total_steps: usize,
+    /// Total valid points (the paper: ~2300).
+    pub total_valid_points: usize,
+    /// Distinct cells trained.
+    pub models_trained: usize,
+    /// Simulated GPU-hours spent training (the paper: ~1000).
+    pub gpu_hours: f64,
+}
+
+impl Cifar100Result {
+    /// Every stage's top points flattened (Fig. 7's scatter).
+    #[must_use]
+    pub fn all_top_points(&self) -> Vec<&DiscoveredPoint> {
+        self.stages.iter().flat_map(|s| s.top_points.iter()).collect()
+    }
+
+    /// The best point that beats `baseline` on both axes, preferring
+    /// accuracy (how the paper selects Cod-1 against ResNet).
+    #[must_use]
+    pub fn best_against(&self, baseline: &BaselineRow) -> Option<&DiscoveredPoint> {
+        self.all_top_points()
+            .into_iter()
+            .filter(|p| p.beats(baseline))
+            .max_by(|a, b| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The most efficient point that beats `baseline` on both axes
+    /// (how Cod-2 relates to GoogLeNet).
+    #[must_use]
+    pub fn most_efficient_against(&self, baseline: &BaselineRow) -> Option<&DiscoveredPoint> {
+        self.all_top_points()
+            .into_iter()
+            .filter(|p| p.beats(baseline))
+            .max_by(|a, b| {
+                a.perf_per_area()
+                    .partial_cmp(&b.perf_per_area())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+/// Reward for one stage: maximize accuracy subject to
+/// `perf/area >= threshold`, over the metric vector `[perf/area, accuracy]`.
+fn stage_reward(threshold: f64) -> RewardSpec<2> {
+    RewardSpec::builder()
+        .weights([0.0, 1.0])
+        .expect("static weights")
+        .norms([
+            LinearNorm::new(0.0, 80.0).expect("static range"),
+            LinearNorm::new(0.55, 0.78).expect("static range"),
+        ])
+        .threshold(0, threshold)
+        .punishment(Punishment::ScaledViolation { scale: 0.1 })
+        .expect("static punishment")
+        .build()
+        .expect("complete spec")
+}
+
+/// Runs the §IV Codesign-NAS flow with the combined strategy.
+#[must_use]
+pub fn run_cifar100_codesign(config: &Cifar100Config) -> Cifar100Result {
+    let space = CodesignSpace::paper();
+    let mut evaluator = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar100);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let policy = LstmPolicy::new(PolicyConfig::new(space.vocab_sizes()), &mut rng);
+    let mut trainer = ReinforceTrainer::new(
+        policy,
+        ReinforceConfig {
+            learning_rate: config.learning_rate,
+            baseline_decay: 0.9,
+            entropy_beta: config.entropy_beta,
+        },
+    );
+
+    let mut stages = Vec::with_capacity(config.schedule.stages.len());
+    let mut total_steps = 0usize;
+    for &(threshold, quota) in &config.schedule.stages {
+        let reward = stage_reward(threshold);
+        let mut valid = 0usize;
+        let mut steps = 0usize;
+        let mut top: Vec<DiscoveredPoint> = Vec::new();
+        while valid < quota && steps < config.max_steps_per_stage {
+            let rollout = trainer.propose(&mut rng);
+            let proposal = space.decode(&rollout.actions);
+            let outcome = evaluator.evaluate(&proposal);
+            let reward_value = match &outcome {
+                EvalOutcome::Valid(eval) => {
+                    let metrics = [eval.perf_per_area(), eval.accuracy];
+                    let scored = reward.evaluate(&metrics);
+                    if scored.is_feasible() {
+                        valid += 1;
+                        if let Ok(cell) = &proposal.cell {
+                            push_top10(
+                                &mut top,
+                                DiscoveredPoint {
+                                    cell: cell.clone(),
+                                    config: proposal.config,
+                                    accuracy: eval.accuracy,
+                                    latency_ms: eval.latency_ms,
+                                    area_mm2: eval.area_mm2,
+                                    step: total_steps + steps,
+                                },
+                            );
+                        }
+                    }
+                    scored.value()
+                }
+                EvalOutcome::InvalidCnn(_) | EvalOutcome::UnknownCell => {
+                    INVALID_PROPOSAL_REWARD
+                }
+            };
+            trainer.learn(&rollout, reward_value);
+            steps += 1;
+        }
+        total_steps += steps;
+        stages.push(StageResult { threshold, steps, valid_points: valid, top_points: top });
+    }
+
+    Cifar100Result {
+        total_steps,
+        total_valid_points: stages.iter().map(|s| s.valid_points).sum(),
+        models_trained: evaluator.distinct_cells(),
+        gpu_hours: evaluator.gpu_hours(),
+        stages,
+    }
+}
+
+/// Keeps `top` as the 10 highest-accuracy distinct points.
+fn push_top10(top: &mut Vec<DiscoveredPoint>, point: DiscoveredPoint) {
+    let duplicate = top.iter().any(|p| {
+        p.cell.canonical_hash() == point.cell.canonical_hash() && p.config == point.config
+    });
+    if duplicate {
+        return;
+    }
+    top.push(point);
+    top.sort_by(|a, b| {
+        b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    top.truncate(10);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::table2_baselines;
+
+    #[test]
+    fn quick_flow_collects_valid_points_per_stage() {
+        let result = run_cifar100_codesign(&Cifar100Config::quick(1));
+        assert_eq!(result.stages.len(), 3);
+        for stage in &result.stages {
+            assert!(stage.valid_points > 0, "threshold {} got no points", stage.threshold);
+            assert!(stage.top_points.len() <= 10);
+            // Every recorded point meets the stage threshold.
+            for p in &stage.top_points {
+                assert!(
+                    p.perf_per_area() >= stage.threshold,
+                    "point {} below threshold {}",
+                    p.perf_per_area(),
+                    stage.threshold
+                );
+            }
+        }
+        assert!(result.gpu_hours > 0.0);
+        assert!(result.models_trained > 10);
+    }
+
+    #[test]
+    fn top_points_are_sorted_and_deduplicated() {
+        let result = run_cifar100_codesign(&Cifar100Config::quick(2));
+        for stage in &result.stages {
+            let accs: Vec<f64> = stage.top_points.iter().map(|p| p.accuracy).collect();
+            assert!(accs.windows(2).all(|w| w[0] >= w[1]), "unsorted top-10: {accs:?}");
+        }
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let a = run_cifar100_codesign(&Cifar100Config::quick(7));
+        let b = run_cifar100_codesign(&Cifar100Config::quick(7));
+        assert_eq!(a.total_steps, b.total_steps);
+        assert_eq!(a.total_valid_points, b.total_valid_points);
+        assert_eq!(a.gpu_hours, b.gpu_hours);
+    }
+
+    #[test]
+    fn beats_requires_both_axes() {
+        let baselines = table2_baselines();
+        let resnet = &baselines[0];
+        let better = DiscoveredPoint {
+            cell: codesign_nasbench::known_cells::cod1_cell(),
+            config: codesign_accel::ConfigSpace::chaidnn().get(0),
+            accuracy: resnet.accuracy + 0.01,
+            latency_ms: 10.0,
+            area_mm2: 100.0,
+            step: 0,
+        };
+        assert!(better.beats(resnet));
+        let worse_acc = DiscoveredPoint { accuracy: resnet.accuracy - 0.01, ..better.clone() };
+        assert!(!worse_acc.beats(resnet));
+    }
+
+    #[test]
+    fn default_schedule_matches_paper() {
+        let s = ThresholdSchedule::default();
+        let thresholds: Vec<f64> = s.stages.iter().map(|(t, _)| *t).collect();
+        assert_eq!(thresholds, vec![2.0, 8.0, 16.0, 30.0, 40.0]);
+        assert_eq!(s.total_valid_points(), 2300);
+    }
+}

@@ -1,0 +1,253 @@
+//! Exhaustive enumeration of the codesign space (§III-A, Fig. 4).
+//!
+//! "This allows us to enumerate the entire search space ... and find the
+//! Pareto-optimal points within that space." Every `(cell, accelerator)`
+//! pair is evaluated; per-CNN two-dimensional dominance pruning (accuracy is
+//! constant for a fixed cell, so only `(area, latency)` matter within it)
+//! shrinks candidates by orders of magnitude before the exact global 3-D
+//! Pareto filter runs. Work parallelizes over CNN chunks with
+//! `crossbeam::scope`; within a chunk the accelerator loop is outermost so
+//! each configuration's latency lookup table stays warm across cells.
+
+use codesign_accel::{AcceleratorConfig, AreaModel, ConfigSpace, LatencyModel, Scheduler};
+use codesign_moo::pareto::pareto_indices_3d;
+use codesign_moo::ParetoFront;
+use codesign_nasbench::{Dataset, NasbenchDatabase, Network, NetworkConfig};
+use serde::{Deserialize, Serialize};
+
+/// One Pareto-optimal codesign point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// `(-area mm², -latency ms, accuracy)`.
+    pub metrics: [f64; 3],
+    /// Index of the cell in the enumerated database.
+    pub cell_index: usize,
+    /// The accelerator configuration.
+    pub config: AcceleratorConfig,
+}
+
+impl ParetoPoint {
+    /// Accelerator area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        -self.metrics[0]
+    }
+
+    /// Latency in ms.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        -self.metrics[1]
+    }
+
+    /// CNN accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.metrics[2]
+    }
+}
+
+/// Output of a full-space enumeration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnumerationResult {
+    /// The Pareto-optimal points.
+    pub front: Vec<ParetoPoint>,
+    /// Total `(cell, accelerator)` pairs evaluated.
+    pub total_pairs: u64,
+    /// Number of distinct cells enumerated.
+    pub distinct_cells: usize,
+    /// Distinct cells appearing on the front (the paper found 136).
+    pub distinct_front_cells: usize,
+    /// Distinct accelerator configs on the front (the paper found 338).
+    pub distinct_front_accels: usize,
+}
+
+impl EnumerationResult {
+    /// Fraction of the space that is Pareto-optimal (the paper: <0.0001%).
+    #[must_use]
+    pub fn front_fraction(&self) -> f64 {
+        self.front.len() as f64 / self.total_pairs.max(1) as f64
+    }
+}
+
+/// Enumerates `database × ConfigSpace::chaidnn()` and extracts the exact
+/// Pareto front over `(-area, -lat, acc)`.
+///
+/// `threads = 0` uses the machine's available parallelism.
+#[must_use]
+pub fn enumerate_codesign_space(
+    database: &NasbenchDatabase,
+    dataset: Dataset,
+    threads: usize,
+) -> EnumerationResult {
+    let space = ConfigSpace::chaidnn();
+    let area_model = AreaModel::default();
+    let latency_model = LatencyModel::default();
+    let net_config = match dataset {
+        Dataset::Cifar10 => NetworkConfig::default(),
+        Dataset::Cifar100 => NetworkConfig::cifar100(),
+    };
+    // Precompute per-config area once: identical across cells.
+    let configs: Vec<AcceleratorConfig> = space.iter().collect();
+    let areas: Vec<f64> = configs.iter().map(|c| area_model.area_mm2(c)).collect();
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let n = database.len();
+    let chunk_size = n.div_ceil(threads.max(1)).max(1);
+    let indices: Vec<usize> = (0..n).collect();
+
+    let mut candidates: Vec<([f64; 3], (usize, usize))> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in indices.chunks(chunk_size) {
+            let configs = &configs;
+            let areas = &areas;
+            let handle = scope.spawn(move |_| {
+                enumerate_chunk(database, chunk, configs, areas, &latency_model, &net_config)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            candidates.extend(handle.join().expect("enumeration worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let metrics: Vec<[f64; 3]> = candidates.iter().map(|(m, _)| *m).collect();
+    let keep = pareto_indices_3d(&metrics);
+    let front: Vec<ParetoPoint> = keep
+        .into_iter()
+        .map(|i| {
+            let (metrics, (cell_index, config_index)) = candidates[i];
+            ParetoPoint { metrics, cell_index, config: configs[config_index] }
+        })
+        .collect();
+
+    let front_cells: std::collections::HashSet<usize> =
+        front.iter().map(|p| p.cell_index).collect();
+    let front_accels: std::collections::HashSet<AcceleratorConfig> =
+        front.iter().map(|p| p.config).collect();
+
+    EnumerationResult {
+        total_pairs: (n as u64) * (configs.len() as u64),
+        distinct_cells: n,
+        distinct_front_cells: front_cells.len(),
+        distinct_front_accels: front_accels.len(),
+        front,
+    }
+}
+
+/// Evaluates one CNN chunk against every accelerator, returning per-CNN
+/// 2-D-pruned candidates `(metrics, (cell_index, config_index))`.
+fn enumerate_chunk(
+    database: &NasbenchDatabase,
+    chunk: &[usize],
+    configs: &[AcceleratorConfig],
+    areas: &[f64],
+    latency_model: &LatencyModel,
+    net_config: &NetworkConfig,
+) -> Vec<([f64; 3], (usize, usize))> {
+    let dataset =
+        if net_config.num_classes == 100 { Dataset::Cifar100 } else { Dataset::Cifar10 };
+    // Assemble every network in the chunk once.
+    let networks: Vec<(usize, Network, f64)> = chunk
+        .iter()
+        .map(|&i| {
+            let entry = database.entry(i).expect("index in range");
+            let network = Network::assemble(&entry.spec, net_config);
+            (i, network, entry.mean_accuracy(dataset))
+        })
+        .collect();
+    // Per-cell 2D fronts over (-area, -lat); payload = config index.
+    let mut fronts: Vec<ParetoFront<2, usize>> =
+        (0..networks.len()).map(|_| ParetoFront::new()).collect();
+    for (config_index, config) in configs.iter().enumerate() {
+        let mut scheduler = Scheduler::new(*latency_model, *config);
+        let area = areas[config_index];
+        for (slot, (_, network, _)) in networks.iter().enumerate() {
+            let latency = scheduler.network_latency_ms(network);
+            fronts[slot].insert([-area, -latency], config_index);
+        }
+    }
+    let mut out = Vec::new();
+    for (slot, front) in fronts.into_iter().enumerate() {
+        let (cell_index, _, accuracy) = &networks[slot];
+        for (m2, config_index) in front.into_vec() {
+            out.push(([m2[0], m2[1], *accuracy], (*cell_index, config_index)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_result() -> EnumerationResult {
+        // V<=3 space: 7 unique cells x 8640 accelerators = 60k pairs.
+        let db = NasbenchDatabase::exhaustive(3);
+        enumerate_codesign_space(&db, Dataset::Cifar10, 2)
+    }
+
+    #[test]
+    fn front_is_tiny_fraction_of_space() {
+        let r = small_result();
+        assert_eq!(r.total_pairs, 7 * 8640);
+        assert!(r.front.len() > 5, "front size {}", r.front.len());
+        assert!(
+            r.front_fraction() < 0.01,
+            "front fraction {} should be tiny",
+            r.front_fraction()
+        );
+    }
+
+    #[test]
+    fn front_points_are_mutually_non_dominated() {
+        let r = small_result();
+        for (i, a) in r.front.iter().enumerate() {
+            for (j, b) in r.front.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !codesign_moo::dominates(&a.metrics, &b.metrics),
+                        "front point {i} dominates {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn front_is_diverse_in_cells_and_accelerators() {
+        let r = small_result();
+        assert!(r.distinct_front_cells >= 2, "cells {}", r.distinct_front_cells);
+        assert!(r.distinct_front_accels >= 5, "accels {}", r.distinct_front_accels);
+    }
+
+    #[test]
+    fn enumeration_is_thread_count_invariant() {
+        let db = NasbenchDatabase::exhaustive(3);
+        let a = enumerate_codesign_space(&db, Dataset::Cifar10, 1);
+        let b = enumerate_codesign_space(&db, Dataset::Cifar10, 4);
+        let mut ma: Vec<[f64; 3]> = a.front.iter().map(|p| p.metrics).collect();
+        let mut mb: Vec<[f64; 3]> = b.front.iter().map(|p| p.metrics).collect();
+        let key = |m: &[f64; 3]| (m[0].to_bits(), m[1].to_bits(), m[2].to_bits());
+        ma.sort_by_key(key);
+        mb.sort_by_key(key);
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn accessors_decode_metric_signs() {
+        let p = ParetoPoint {
+            metrics: [-120.0, -30.0, 0.92],
+            cell_index: 0,
+            config: ConfigSpace::chaidnn().get(0),
+        };
+        assert_eq!(p.area_mm2(), 120.0);
+        assert_eq!(p.latency_ms(), 30.0);
+        assert_eq!(p.accuracy(), 0.92);
+    }
+}

@@ -1,0 +1,356 @@
+//! The evaluator of Fig. 1: proposals in, metrics out.
+//!
+//! Given a `(CNN, accelerator)` proposal the evaluator produces the three
+//! §II-A quality metrics — accuracy of the CNN, silicon area of the
+//! accelerator, and latency of the CNN *on* that accelerator. Accuracy comes
+//! either from the precomputed database (the §III NASBench setting, where a
+//! cell outside the benchmark is an invalid proposal) or from the surrogate
+//! trainer (the §IV CIFAR-100 setting, where every new cell is "trained from
+//! scratch" and its simulated GPU-time is accounted).
+
+use std::collections::HashMap;
+
+use codesign_accel::{AcceleratorConfig, AreaModel, LatencyModel, Scheduler};
+use codesign_nasbench::{
+    CellSpec, Dataset, NasbenchDatabase, Network, NetworkConfig, SpecError, SurrogateModel,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::space::Proposal;
+
+/// Where accuracies come from.
+pub enum AccuracySource {
+    /// Query the precomputed database; unknown cells are invalid proposals
+    /// (the §III setting, mirroring NASBench membership).
+    Database(NasbenchDatabase),
+    /// Evaluate the surrogate trainer on demand and account its simulated
+    /// training cost (the §IV setting).
+    Trainer {
+        /// The surrogate standing in for from-scratch training.
+        model: SurrogateModel,
+        /// Which dataset head to use.
+        dataset: Dataset,
+    },
+}
+
+impl std::fmt::Debug for AccuracySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccuracySource::Database(db) => {
+                write!(f, "AccuracySource::Database({} cells)", db.len())
+            }
+            AccuracySource::Trainer { dataset, .. } => {
+                write!(f, "AccuracySource::Trainer({dataset:?})")
+            }
+        }
+    }
+}
+
+/// Metrics of one valid model-accelerator pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairEvaluation {
+    /// Mean test accuracy of the CNN (0..1).
+    pub accuracy: f64,
+    /// Single-image latency on the proposed accelerator, ms.
+    pub latency_ms: f64,
+    /// Accelerator silicon area, mm².
+    pub area_mm2: f64,
+}
+
+impl PairEvaluation {
+    /// The metric vector `(-area, -latency, accuracy)` of Eq. 4.
+    #[must_use]
+    pub fn metrics(&self) -> [f64; 3] {
+        [-self.area_mm2, -self.latency_ms, self.accuracy]
+    }
+
+    /// Performance per area, images/s/cm² (§IV's efficiency metric).
+    #[must_use]
+    pub fn perf_per_area(&self) -> f64 {
+        (1000.0 / self.latency_ms) / (self.area_mm2 / 100.0)
+    }
+}
+
+/// Outcome of evaluating one proposal.
+#[derive(Debug, Clone)]
+pub enum EvalOutcome {
+    /// A valid pair with its metrics.
+    Valid(PairEvaluation),
+    /// The CNN decode failed structural validation.
+    InvalidCnn(SpecError),
+    /// The CNN is valid but absent from the accuracy database.
+    UnknownCell,
+}
+
+impl EvalOutcome {
+    /// The metrics, when valid.
+    #[must_use]
+    pub fn evaluation(&self) -> Option<&PairEvaluation> {
+        match self {
+            EvalOutcome::Valid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The Fig. 1 evaluator with memoization.
+///
+/// Latency is cached per `(cell, accelerator)` and accuracy per cell, so a
+/// 10,000-step search re-visits points for free — mirroring how the paper
+/// re-reads NASBench rather than re-training revisited models.
+pub struct Evaluator {
+    accuracy: AccuracySource,
+    area_model: AreaModel,
+    latency_model: LatencyModel,
+    net_config: NetworkConfig,
+    latency_cache: HashMap<(u128, AcceleratorConfig), f64>,
+    accuracy_cache: HashMap<u128, f64>,
+    area_cache: HashMap<AcceleratorConfig, f64>,
+    /// Simulated GPU-seconds spent training distinct cells (§IV accounting).
+    training_seconds: f64,
+    evaluations: u64,
+}
+
+impl std::fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("accuracy", &self.accuracy)
+            .field("evaluations", &self.evaluations)
+            .field("distinct_cells", &self.accuracy_cache.len())
+            .finish()
+    }
+}
+
+impl Evaluator {
+    /// Database-backed evaluator (the §III NASBench setting).
+    #[must_use]
+    pub fn with_database(db: NasbenchDatabase) -> Self {
+        Self::new(AccuracySource::Database(db), NetworkConfig::default())
+    }
+
+    /// Trainer-backed evaluator (the §IV CIFAR-100 setting).
+    #[must_use]
+    pub fn with_trainer(model: SurrogateModel, dataset: Dataset) -> Self {
+        let net_config = match dataset {
+            Dataset::Cifar10 => NetworkConfig::default(),
+            Dataset::Cifar100 => NetworkConfig::cifar100(),
+        };
+        Self::new(AccuracySource::Trainer { model, dataset }, net_config)
+    }
+
+    /// Fully-custom construction.
+    #[must_use]
+    pub fn new(accuracy: AccuracySource, net_config: NetworkConfig) -> Self {
+        Self {
+            accuracy,
+            area_model: AreaModel::default(),
+            latency_model: LatencyModel::default(),
+            net_config,
+            latency_cache: HashMap::new(),
+            accuracy_cache: HashMap::new(),
+            area_cache: HashMap::new(),
+            training_seconds: 0.0,
+            evaluations: 0,
+        }
+    }
+
+    /// The area model in use.
+    #[must_use]
+    pub fn area_model(&self) -> &AreaModel {
+        &self.area_model
+    }
+
+    /// The latency model in use.
+    #[must_use]
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency_model
+    }
+
+    /// The network skeleton proposals are assembled into.
+    #[must_use]
+    pub fn net_config(&self) -> &NetworkConfig {
+        &self.net_config
+    }
+
+    /// Total proposals evaluated (including invalid ones).
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Distinct cells whose accuracy has been resolved.
+    #[must_use]
+    pub fn distinct_cells(&self) -> usize {
+        self.accuracy_cache.len()
+    }
+
+    /// Simulated GPU-hours spent on (distinct) model training so far.
+    #[must_use]
+    pub fn gpu_hours(&self) -> f64 {
+        self.training_seconds / 3600.0
+    }
+
+    /// Evaluates a decoded proposal.
+    pub fn evaluate(&mut self, proposal: &Proposal) -> EvalOutcome {
+        self.evaluations += 1;
+        let cell = match &proposal.cell {
+            Ok(cell) => cell,
+            Err(err) => return EvalOutcome::InvalidCnn(err.clone()),
+        };
+        let Some(accuracy) = self.resolve_accuracy(cell) else {
+            return EvalOutcome::UnknownCell;
+        };
+        let latency_ms = self.resolve_latency(cell, &proposal.config);
+        let area_mm2 = self.resolve_area(&proposal.config);
+        EvalOutcome::Valid(PairEvaluation { accuracy, latency_ms, area_mm2 })
+    }
+
+    /// Evaluates a known-valid `(cell, config)` pair directly.
+    pub fn evaluate_pair(
+        &mut self,
+        cell: &CellSpec,
+        config: &AcceleratorConfig,
+    ) -> Option<PairEvaluation> {
+        self.evaluations += 1;
+        let accuracy = self.resolve_accuracy(cell)?;
+        Some(PairEvaluation {
+            accuracy,
+            latency_ms: self.resolve_latency(cell, config),
+            area_mm2: self.resolve_area(config),
+        })
+    }
+
+    fn resolve_accuracy(&mut self, cell: &CellSpec) -> Option<f64> {
+        let hash = cell.canonical_hash();
+        if let Some(&acc) = self.accuracy_cache.get(&hash) {
+            return Some(acc);
+        }
+        let (acc, train_secs) = match &self.accuracy {
+            AccuracySource::Database(db) => {
+                let entry = db.query_hash(hash).ok()?;
+                let dataset = if self.net_config.num_classes == 100 {
+                    Dataset::Cifar100
+                } else {
+                    Dataset::Cifar10
+                };
+                (entry.mean_accuracy(dataset), 0.0)
+            }
+            AccuracySource::Trainer { model, dataset } => {
+                let eval = model.evaluate(cell, *dataset);
+                (eval.mean_accuracy(), eval.training_seconds)
+            }
+        };
+        self.accuracy_cache.insert(hash, acc);
+        self.training_seconds += train_secs;
+        Some(acc)
+    }
+
+    fn resolve_latency(&mut self, cell: &CellSpec, config: &AcceleratorConfig) -> f64 {
+        let key = (cell.canonical_hash(), *config);
+        if let Some(&ms) = self.latency_cache.get(&key) {
+            return ms;
+        }
+        let network = Network::assemble(cell, &self.net_config);
+        let ms = Scheduler::new(self.latency_model, *config).network_latency_ms(&network);
+        self.latency_cache.insert(key, ms);
+        ms
+    }
+
+    fn resolve_area(&mut self, config: &AcceleratorConfig) -> f64 {
+        if let Some(&a) = self.area_cache.get(config) {
+            return a;
+        }
+        let a = self.area_model.area_mm2(config);
+        self.area_cache.insert(*config, a);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::CodesignSpace;
+    use codesign_nasbench::known_cells;
+
+    fn db_evaluator() -> Evaluator {
+        Evaluator::with_database(NasbenchDatabase::build(50, 3))
+    }
+
+    fn some_config() -> AcceleratorConfig {
+        codesign_accel::ConfigSpace::chaidnn().get(4321)
+    }
+
+    #[test]
+    fn database_evaluator_resolves_known_cells() {
+        let mut ev = db_evaluator();
+        let e = ev
+            .evaluate_pair(&known_cells::resnet_cell(), &some_config())
+            .expect("resnet is always in the database");
+        assert!(e.accuracy > 0.9);
+        assert!(e.latency_ms > 0.0 && e.area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn database_evaluator_rejects_unknown_cells() {
+        // A database too small to contain an arbitrary 7-vertex cell.
+        let mut ev = Evaluator::with_database(NasbenchDatabase::build(0, 3));
+        let space = CodesignSpace::paper();
+        let mut actions = space.cnn().encode(&known_cells::googlenet_cell());
+        // Perturb one op to get a cell that is valid but (almost surely) absent.
+        actions[22] = (actions[22] + 1) % 3;
+        let cnn = space.cnn().decode(&actions).unwrap();
+        assert!(ev.evaluate_pair(&cnn, &some_config()).is_none());
+    }
+
+    #[test]
+    fn trainer_evaluator_accounts_gpu_time_once_per_cell() {
+        let mut ev = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar100);
+        let cfg = some_config();
+        assert_eq!(ev.gpu_hours(), 0.0);
+        ev.evaluate_pair(&known_cells::resnet_cell(), &cfg);
+        let after_one = ev.gpu_hours();
+        assert!(after_one > 0.2, "about a GPU-hour, got {after_one}");
+        // Re-evaluating the same cell (even on new hardware) costs nothing.
+        let cfg2 = codesign_accel::ConfigSpace::chaidnn().get(1);
+        ev.evaluate_pair(&known_cells::resnet_cell(), &cfg2);
+        assert_eq!(ev.gpu_hours(), after_one);
+        assert_eq!(ev.distinct_cells(), 1);
+    }
+
+    #[test]
+    fn metrics_vector_matches_eq4_signs() {
+        let e = PairEvaluation { accuracy: 0.93, latency_ms: 50.0, area_mm2: 120.0 };
+        assert_eq!(e.metrics(), [-120.0, -50.0, 0.93]);
+    }
+
+    #[test]
+    fn perf_per_area_matches_table2_formula() {
+        let e = PairEvaluation { accuracy: 0.729, latency_ms: 42.0, area_mm2: 186.0 };
+        assert!((e.perf_per_area() - 12.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn invalid_cnn_outcome_carries_the_error() {
+        let mut ev = db_evaluator();
+        let space = CodesignSpace::with_max_vertices(4);
+        let mut actions = vec![0usize; space.cnn().vocab_sizes().len()];
+        actions.extend([0, 0, 0, 0, 0, 0, 0, 0]);
+        let proposal = space.decode(&actions);
+        match ev.evaluate(&proposal) {
+            EvalOutcome::InvalidCnn(err) => {
+                assert_eq!(err, SpecError::Disconnected);
+            }
+            other => panic!("expected InvalidCnn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn caching_is_transparent() {
+        let mut ev = db_evaluator();
+        let cfg = some_config();
+        let a = ev.evaluate_pair(&known_cells::cod1_cell(), &cfg).unwrap();
+        let b = ev.evaluate_pair(&known_cells::cod1_cell(), &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ev.evaluations(), 2);
+    }
+}

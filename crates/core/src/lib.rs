@@ -1,0 +1,69 @@
+//! Codesign-NAS: joint CNN/accelerator search (DAC 2020 reproduction).
+//!
+//! This crate assembles the substrates — the NASBench-style CNN space
+//! (`codesign_nasbench`), the CHaiDNN-style accelerator models
+//! (`codesign_accel`), the multi-objective machinery (`codesign_moo`) and the
+//! REINFORCE controller (`codesign_rl`) — into the system of Fig. 1:
+//! a controller proposes `(CNN, accelerator)` pairs, an evaluator scores
+//! accuracy/latency/area, and a multi-objective reward steers the controller.
+//!
+//! The paper's experiments map to modules:
+//!
+//! * [`enumerate`] — exhaustive space enumeration + Pareto front (Fig. 4);
+//! * [`experiments`] — combined/phase/separate comparison (Figs. 5–6);
+//! * [`cifar100`] — the threshold-schedule CIFAR-100 flow (§IV, Fig. 7);
+//! * [`baselines`] — ResNet/GoogLeNet on their best accelerators (Table II).
+//!
+//! # Examples
+//!
+//! Run a short combined search on a small, fully-enumerable space:
+//!
+//! ```
+//! use codesign_core::{
+//!     CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig,
+//!     SearchContext, SearchStrategy,
+//! };
+//! use codesign_nasbench::NasbenchDatabase;
+//!
+//! let space = CodesignSpace::with_max_vertices(4);
+//! let mut evaluator = Evaluator::with_database(NasbenchDatabase::exhaustive(4));
+//! let reward = Scenario::Unconstrained.reward_spec();
+//! let mut ctx = SearchContext {
+//!     space: &space,
+//!     evaluator: &mut evaluator,
+//!     reward: &reward,
+//! };
+//! let outcome = CombinedSearch.run(&mut ctx, &SearchConfig::quick(100, 0));
+//! assert!(outcome.best.is_some());
+//! ```
+
+pub mod baselines;
+pub mod cifar100;
+pub mod enumerate;
+pub mod evaluator;
+pub mod evolution;
+pub mod experiments;
+pub mod report;
+pub mod scenarios;
+pub mod search;
+pub mod space;
+pub mod strategies;
+
+pub use baselines::{baseline_row, table2_baselines, BaselineRow};
+pub use cifar100::{
+    run_cifar100_codesign, Cifar100Config, Cifar100Result, DiscoveredPoint, StageResult,
+    ThresholdSchedule,
+};
+pub use enumerate::{enumerate_codesign_space, EnumerationResult, ParetoPoint};
+pub use evaluator::{AccuracySource, EvalOutcome, Evaluator, PairEvaluation};
+pub use evolution::EvolutionSearch;
+pub use experiments::{
+    compare_strategies, top_pareto_points, ComparisonConfig, ScenarioComparison, StrategyRuns,
+};
+pub use scenarios::Scenario;
+pub use search::{
+    BestPoint, SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy,
+    StepRecord, INVALID_PROPOSAL_REWARD,
+};
+pub use space::{CnnSpace, CodesignSpace, HwSpace, Proposal};
+pub use strategies::{CombinedSearch, PhaseSearch, RandomSearch, SeparateSearch};

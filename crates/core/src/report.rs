@@ -1,0 +1,162 @@
+//! Plain-text tables and CSV series for the reproduction harness.
+//!
+//! Every figure/table binary in `codesign-bench` prints through these
+//! helpers so the output format is uniform and easy to diff against
+//! `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_core::report::TextTable;
+///
+/// let mut table = TextTable::new(vec!["CNN", "Accuracy"]);
+/// table.add_row(vec!["ResNet".into(), "72.9".into()]);
+/// let s = table.to_string();
+/// assert!(s.contains("ResNet"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (i, (h, w)) in self.headers.iter().zip(widths.iter()).enumerate() {
+            let _ = write!(line, "{h:>w$}", w = w);
+            if i + 1 < cols {
+                line.push_str("  ");
+            }
+        }
+        writeln!(f, "{line}")?;
+        writeln!(f, "{}", "-".repeat(line.len()))?;
+        for row in &self.rows {
+            let mut out = String::new();
+            for (i, (cell, w)) in row.iter().zip(widths.iter()).enumerate() {
+                let _ = write!(out, "{cell:>w$}", w = w);
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            writeln!(f, "{out}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes a CSV file (numeric-friendly, no quoting beyond commas→semicolons).
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", headers.join(","))?;
+    for row in rows {
+        let clean: Vec<String> = row.iter().map(|c| c.replace(',', ";")).collect();
+        writeln!(file, "{}", clean.join(","))?;
+    }
+    Ok(())
+}
+
+/// Formats a float with `digits` decimal places.
+#[must_use]
+pub fn fmt_f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a relative change as the paper does: `(+1.3%)`, `(-29%)`.
+#[must_use]
+pub fn fmt_delta_pct(new: f64, baseline: f64) -> String {
+    let pct = (new - baseline) / baseline * 100.0;
+    format!("({}{:.1}%)", if pct >= 0.0 { "+" } else { "" }, pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_is_right_justified() {
+        let mut t = TextTable::new(vec!["a", "value"]);
+        t.add_row(vec!["x".into(), "1".into()]);
+        t.add_row(vec!["longer".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].ends_with("value"));
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rows_panic() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("codesign_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x", "y"], &[vec!["1".into(), "2,5".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2;5\n");
+    }
+
+    #[test]
+    fn delta_formatting_matches_paper_style() {
+        assert_eq!(fmt_delta_pct(74.2, 72.9), "(+1.8%)");
+        assert_eq!(fmt_delta_pct(132.0, 186.0), "(-29.0%)");
+    }
+}

@@ -1,0 +1,138 @@
+//! The three §III-C search scenarios and their reward functions.
+//!
+//! 1. **Unconstrained** — no thresholds, `w(area, lat, acc) = (0.1, 0.8, 0.1)`;
+//! 2. **1 Constraint** — `lat < 100 ms`, `w = (0.1, 0, 0.9)`;
+//! 3. **2 Constraints** — `acc > 0.92`, `area < 100 mm²`, optimize latency.
+//!
+//! Metric order everywhere is `(-area, -lat, acc)` per Eq. 4. Normalization
+//! ranges cover the observed spread of the codesign space (areas ≈ 45–215
+//! mm², latencies ≈ 5–400 ms, accuracies ≈ 0.80–0.95, matching the axes of
+//! Figs. 4–6).
+
+use codesign_moo::{LinearNorm, Punishment, RewardSpec};
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's §III-C experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// No constraints; heavily latency-weighted scalarization.
+    Unconstrained,
+    /// Latency constraint (`< 100 ms`); accuracy-weighted scalarization.
+    OneConstraint,
+    /// Accuracy (`> 0.92`) and area (`< 100 mm²`) constraints; pure latency
+    /// objective.
+    TwoConstraints,
+}
+
+impl Scenario {
+    /// All scenarios in paper order.
+    pub const ALL: [Scenario; 3] =
+        [Scenario::Unconstrained, Scenario::OneConstraint, Scenario::TwoConstraints];
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Unconstrained => "Unconstrained",
+            Scenario::OneConstraint => "1 Constraint",
+            Scenario::TwoConstraints => "2 Constraints",
+        }
+    }
+
+    /// The standard metric normalizations shared by every scenario.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the ranges are static and non-degenerate.
+    #[must_use]
+    pub fn standard_norms() -> [LinearNorm; 3] {
+        [
+            LinearNorm::new(-215.0, -45.0).expect("static range"), // -area (mm^2)
+            LinearNorm::new(-400.0, -5.0).expect("static range"),  // -latency (ms)
+            LinearNorm::new(0.80, 0.95).expect("static range"),    // accuracy
+        ]
+    }
+
+    /// The scenario's reward specification (Eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: weights and thresholds are static and valid.
+    #[must_use]
+    pub fn reward_spec(&self) -> RewardSpec<3> {
+        let builder = RewardSpec::builder()
+            .norms(Self::standard_norms())
+            .punishment(Punishment::ScaledViolation { scale: 0.1 })
+            .expect("static punishment");
+        match self {
+            Scenario::Unconstrained => builder
+                .weights([0.1, 0.8, 0.1])
+                .expect("static weights")
+                .build()
+                .expect("complete spec"),
+            Scenario::OneConstraint => builder
+                .weights([0.1, 0.0, 0.9])
+                .expect("static weights")
+                .threshold(1, -100.0)
+                .build()
+                .expect("complete spec"),
+            Scenario::TwoConstraints => builder
+                .weights([0.0, 1.0, 0.0])
+                .expect("static weights")
+                .threshold(0, -100.0)
+                .threshold(2, 0.92)
+                .build()
+                .expect("complete spec"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_everything_is_feasible() {
+        let spec = Scenario::Unconstrained.reward_spec();
+        assert!(spec.evaluate(&[-500.0, -900.0, 0.2]).is_feasible());
+    }
+
+    #[test]
+    fn one_constraint_enforces_latency() {
+        let spec = Scenario::OneConstraint.reward_spec();
+        assert!(spec.evaluate(&[-120.0, -99.0, 0.93]).is_feasible());
+        assert!(!spec.evaluate(&[-120.0, -101.0, 0.93]).is_feasible());
+    }
+
+    #[test]
+    fn two_constraints_enforce_accuracy_and_area() {
+        let spec = Scenario::TwoConstraints.reward_spec();
+        assert!(spec.evaluate(&[-99.0, -300.0, 0.925]).is_feasible());
+        assert!(!spec.evaluate(&[-101.0, -300.0, 0.925]).is_feasible());
+        assert!(!spec.evaluate(&[-99.0, -300.0, 0.915]).is_feasible());
+    }
+
+    #[test]
+    fn unconstrained_prefers_low_latency() {
+        // With w = (0.1, 0.8, 0.1), a large latency win beats a small
+        // accuracy win.
+        let spec = Scenario::Unconstrained.reward_spec();
+        let fast = spec.evaluate(&[-120.0, -20.0, 0.92]).value();
+        let accurate = spec.evaluate(&[-120.0, -200.0, 0.94]).value();
+        assert!(fast > accurate);
+    }
+
+    #[test]
+    fn two_constraints_reward_is_pure_latency() {
+        let spec = Scenario::TwoConstraints.reward_spec();
+        let slow = spec.evaluate(&[-60.0, -200.0, 0.93]).value();
+        let fast = spec.evaluate(&[-99.0, -50.0, 0.921]).value();
+        assert!(fast > slow, "only latency should matter within constraints");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Scenario::ALL.iter().map(Scenario::name).collect();
+        assert_eq!(names, vec!["Unconstrained", "1 Constraint", "2 Constraints"]);
+    }
+}

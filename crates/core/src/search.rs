@@ -1,0 +1,374 @@
+//! The search driver: bookkeeping shared by every strategy.
+//!
+//! A strategy proposes action sequences; the driver decodes them, evaluates
+//! them, applies the reward of Eq. 3 (or the punishment `Rv` for infeasible
+//! and invalid proposals), and keeps the running best point, the Pareto
+//! front of everything visited (Eq. 2's `argmax over τ(T)` generalized to
+//! three objectives), and the per-step reward history behind Fig. 6.
+
+use codesign_accel::AcceleratorConfig;
+use codesign_moo::{ParetoFront, RewardSpec};
+use codesign_nasbench::CellSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::evaluator::{EvalOutcome, Evaluator, PairEvaluation};
+use crate::space::CodesignSpace;
+
+/// Reward fed to the controller for structurally-invalid or unknown CNNs.
+///
+/// The paper punishes constraint violations with `Rv` "with opposite sign to
+/// the reward"; proposals that are not even valid cells get the same
+/// treatment at a fixed magnitude.
+pub const INVALID_PROPOSAL_REWARD: f64 = -0.2;
+
+/// Shared knobs for one search run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Total controller steps (the paper uses 10,000).
+    pub steps: usize,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Controller learning rate.
+    pub learning_rate: f64,
+    /// Entropy bonus coefficient.
+    pub entropy_beta: f64,
+    /// EMA decay of the reward baseline.
+    pub baseline_decay: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            steps: 10_000,
+            seed: 0,
+            learning_rate: 0.01,
+            entropy_beta: 0.01,
+            baseline_decay: 0.9,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A short run for tests and examples.
+    #[must_use]
+    pub fn quick(steps: usize, seed: u64) -> Self {
+        Self { steps, seed, ..Self::default() }
+    }
+}
+
+/// One step of search history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// The scalar fed to the controller (reward or punishment).
+    pub reward: f64,
+    /// Whether the proposal was a valid pair meeting all constraints.
+    pub feasible: bool,
+    /// Whether the proposal decoded to a valid, known CNN at all.
+    pub valid: bool,
+    /// Metrics `(-area, -lat, acc)` when valid.
+    pub metrics: Option<[f64; 3]>,
+}
+
+/// The best feasible point found by a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BestPoint {
+    /// The winning cell.
+    pub cell: CellSpec,
+    /// The winning accelerator.
+    pub config: AcceleratorConfig,
+    /// Its metrics.
+    pub evaluation: PairEvaluation,
+    /// Its reward under the run's reward function.
+    pub reward: f64,
+    /// The step at which it was first found.
+    pub step: usize,
+}
+
+/// Everything a search run produces.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// Strategy display name.
+    pub strategy: &'static str,
+    /// Per-step records, in order.
+    pub history: Vec<StepRecord>,
+    /// Best feasible point (Eq. 2's `s*`).
+    pub best: Option<BestPoint>,
+    /// Pareto front of every *valid* point visited.
+    pub front: ParetoFront<3, (CellSpec, AcceleratorConfig)>,
+    /// Count of feasible steps.
+    pub feasible_steps: usize,
+    /// Count of invalid (undecodable/unknown CNN) steps.
+    pub invalid_steps: usize,
+}
+
+impl SearchOutcome {
+    /// Mean reward over a trailing window ending at each step, skipping
+    /// punished entries the way Fig. 6 "only plots the reward function R".
+    ///
+    /// Steps before any feasible point carry the first feasible value.
+    #[must_use]
+    pub fn reward_curve(&self, window: usize) -> Vec<f64> {
+        let window = window.max(1);
+        let mut curve = Vec::with_capacity(self.history.len());
+        let mut buffer: Vec<f64> = Vec::new();
+        let mut last = f64::NAN;
+        for rec in &self.history {
+            if rec.feasible {
+                buffer.push(rec.reward);
+            }
+            let start = buffer.len().saturating_sub(window);
+            if !buffer.is_empty() {
+                let tail = &buffer[start..];
+                last = tail.iter().sum::<f64>() / tail.len() as f64;
+            }
+            curve.push(last);
+        }
+        // Back-fill the leading NaNs with the first real value.
+        if let Some(first_real) = curve.iter().copied().find(|v| !v.is_nan()) {
+            for v in &mut curve {
+                if v.is_nan() {
+                    *v = first_real;
+                } else {
+                    break;
+                }
+            }
+        }
+        curve
+    }
+
+    /// Fraction of steps that met all constraints.
+    #[must_use]
+    pub fn feasible_rate(&self) -> f64 {
+        self.feasible_steps as f64 / self.history.len().max(1) as f64
+    }
+}
+
+/// Mutable state threaded through a strategy run.
+pub struct SearchContext<'a> {
+    /// The joint decision space.
+    pub space: &'a CodesignSpace,
+    /// The metric oracle.
+    pub evaluator: &'a mut Evaluator,
+    /// The scenario's reward function.
+    pub reward: &'a RewardSpec<3>,
+}
+
+/// Incremental bookkeeping for a run; strategies call
+/// [`SearchRecorder::record`] once per step.
+pub struct SearchRecorder {
+    strategy: &'static str,
+    history: Vec<StepRecord>,
+    best: Option<BestPoint>,
+    best_valid: Option<BestPoint>,
+    front: ParetoFront<3, (CellSpec, AcceleratorConfig)>,
+    feasible_steps: usize,
+    invalid_steps: usize,
+}
+
+impl SearchRecorder {
+    /// Starts recording a run for `strategy`.
+    #[must_use]
+    pub fn new(strategy: &'static str, expected_steps: usize) -> Self {
+        Self {
+            strategy,
+            history: Vec::with_capacity(expected_steps),
+            best: None,
+            best_valid: None,
+            front: ParetoFront::new(),
+            feasible_steps: 0,
+            invalid_steps: 0,
+        }
+    }
+
+    /// Scores an evaluation outcome under `reward` and records the step.
+    /// Returns the scalar to feed the controller.
+    pub fn record(
+        &mut self,
+        reward_spec: &RewardSpec<3>,
+        outcome: &EvalOutcome,
+        proposal_cell: Option<&CellSpec>,
+        config: &AcceleratorConfig,
+    ) -> f64 {
+        let step = self.history.len();
+        match outcome {
+            EvalOutcome::Valid(eval) => {
+                let metrics = eval.metrics();
+                let scored = reward_spec.evaluate(&metrics);
+                let feasible = scored.is_feasible();
+                if let Some(cell) = proposal_cell {
+                    self.front.insert(metrics, (cell.clone(), *config));
+                    let value = scored.value();
+                    let improves_valid =
+                        self.best_valid.as_ref().map_or(true, |b| value > b.reward);
+                    if improves_valid {
+                        self.best_valid = Some(BestPoint {
+                            cell: cell.clone(),
+                            config: *config,
+                            evaluation: *eval,
+                            reward: value,
+                            step,
+                        });
+                    }
+                    if feasible {
+                        self.feasible_steps += 1;
+                        let improves = self.best.as_ref().map_or(true, |b| value > b.reward);
+                        if improves {
+                            self.best = Some(BestPoint {
+                                cell: cell.clone(),
+                                config: *config,
+                                evaluation: *eval,
+                                reward: value,
+                                step,
+                            });
+                        }
+                    }
+                }
+                self.history.push(StepRecord {
+                    reward: scored.value(),
+                    feasible,
+                    valid: true,
+                    metrics: Some(metrics),
+                });
+                scored.value()
+            }
+            EvalOutcome::InvalidCnn(_) | EvalOutcome::UnknownCell => {
+                self.invalid_steps += 1;
+                self.history.push(StepRecord {
+                    reward: INVALID_PROPOSAL_REWARD,
+                    feasible: false,
+                    valid: false,
+                    metrics: None,
+                });
+                INVALID_PROPOSAL_REWARD
+            }
+        }
+    }
+
+    /// Steps recorded so far.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The current best point, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&BestPoint> {
+        self.best.as_ref()
+    }
+
+    /// The best *valid* point by reward value, feasible or not — what phase
+    /// search freezes on while no proposal has met every constraint yet (the
+    /// scaled-violation punishment still orders such points usefully).
+    #[must_use]
+    pub fn best_valid(&self) -> Option<&BestPoint> {
+        self.best.as_ref().or(self.best_valid.as_ref())
+    }
+
+    /// Finalizes the run.
+    #[must_use]
+    pub fn finish(self) -> SearchOutcome {
+        SearchOutcome {
+            strategy: self.strategy,
+            history: self.history,
+            best: self.best,
+            front: self.front,
+            feasible_steps: self.feasible_steps,
+            invalid_steps: self.invalid_steps,
+        }
+    }
+}
+
+/// A search strategy (§III-B): combined, phase, separate, or random.
+pub trait SearchStrategy {
+    /// Display name used in figures and reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the strategy for `config.steps` steps.
+    fn run(&self, ctx: &mut SearchContext<'_>, config: &SearchConfig) -> SearchOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_accel::ConfigSpace;
+    use codesign_nasbench::known_cells;
+
+    fn dummy_eval(acc: f64, lat: f64, area: f64) -> EvalOutcome {
+        EvalOutcome::Valid(PairEvaluation { accuracy: acc, latency_ms: lat, area_mm2: area })
+    }
+
+    #[test]
+    fn recorder_tracks_best_feasible_point() {
+        let spec = crate::scenarios::Scenario::Unconstrained.reward_spec();
+        let mut rec = SearchRecorder::new("test", 4);
+        let cell = known_cells::resnet_cell();
+        let config = ConfigSpace::chaidnn().get(0);
+        rec.record(&spec, &dummy_eval(0.9, 200.0, 150.0), Some(&cell), &config);
+        rec.record(&spec, &dummy_eval(0.93, 30.0, 120.0), Some(&cell), &config);
+        rec.record(&spec, &dummy_eval(0.91, 100.0, 140.0), Some(&cell), &config);
+        let out = rec.finish();
+        let best = out.best.expect("feasible points recorded");
+        assert_eq!(best.step, 1);
+        assert_eq!(best.evaluation.latency_ms, 30.0);
+        assert_eq!(out.feasible_steps, 3);
+    }
+
+    #[test]
+    fn recorder_punishes_invalid_proposals() {
+        let spec = crate::scenarios::Scenario::Unconstrained.reward_spec();
+        let mut rec = SearchRecorder::new("test", 1);
+        let config = ConfigSpace::chaidnn().get(0);
+        let r = rec.record(
+            &spec,
+            &EvalOutcome::InvalidCnn(codesign_nasbench::SpecError::Disconnected),
+            None,
+            &config,
+        );
+        assert_eq!(r, INVALID_PROPOSAL_REWARD);
+        let out = rec.finish();
+        assert_eq!(out.invalid_steps, 1);
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn front_collects_valid_points_even_when_infeasible() {
+        // 2-constraint scenario: a fast-but-inaccurate point is infeasible
+        // yet still belongs on the visited Pareto front.
+        let spec = crate::scenarios::Scenario::TwoConstraints.reward_spec();
+        let mut rec = SearchRecorder::new("test", 2);
+        let cell = known_cells::googlenet_cell();
+        let config = ConfigSpace::chaidnn().get(0);
+        rec.record(&spec, &dummy_eval(0.90, 10.0, 80.0), Some(&cell), &config);
+        let out = rec.finish();
+        assert_eq!(out.feasible_steps, 0);
+        assert_eq!(out.front.len(), 1);
+    }
+
+    #[test]
+    fn reward_curve_skips_punished_steps() {
+        let spec = crate::scenarios::Scenario::OneConstraint.reward_spec();
+        let mut rec = SearchRecorder::new("test", 3);
+        let cell = known_cells::resnet_cell();
+        let config = ConfigSpace::chaidnn().get(0);
+        rec.record(&spec, &dummy_eval(0.93, 50.0, 120.0), Some(&cell), &config);
+        rec.record(&spec, &dummy_eval(0.93, 300.0, 120.0), Some(&cell), &config); // punished
+        rec.record(&spec, &dummy_eval(0.94, 60.0, 120.0), Some(&cell), &config);
+        let out = rec.finish();
+        let curve = out.reward_curve(10);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.iter().all(|v| *v > 0.0), "punished values must not drag the curve");
+        assert!(curve[2] > curve[0], "curve should rise with better feasible points");
+    }
+
+    #[test]
+    fn reward_curve_backfills_leading_infeasible_steps() {
+        let spec = crate::scenarios::Scenario::OneConstraint.reward_spec();
+        let mut rec = SearchRecorder::new("test", 2);
+        let cell = known_cells::resnet_cell();
+        let config = ConfigSpace::chaidnn().get(0);
+        rec.record(&spec, &dummy_eval(0.93, 300.0, 120.0), Some(&cell), &config); // punished
+        rec.record(&spec, &dummy_eval(0.93, 50.0, 120.0), Some(&cell), &config);
+        let curve = rec.finish().reward_curve(5);
+        assert_eq!(curve[0], curve[1]);
+    }
+}

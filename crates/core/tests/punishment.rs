@@ -1,0 +1,62 @@
+//! Ablation of the punishment function `Rv` (§II-A): scaled-violation vs
+//! constant punishment under the hardest (2-constraint) scenario.
+
+use codesign_core::{
+    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext,
+    SearchStrategy,
+};
+use codesign_moo::{Punishment, RewardSpec};
+use codesign_nasbench::NasbenchDatabase;
+
+fn two_constraint_spec(punishment: Punishment) -> RewardSpec<3> {
+    RewardSpec::builder()
+        .weights([0.0, 1.0, 0.0])
+        .expect("static weights")
+        .norms(Scenario::standard_norms())
+        .threshold(0, -100.0)
+        .threshold(2, 0.92)
+        .punishment(punishment)
+        .expect("valid punishment")
+        .build()
+        .expect("complete spec")
+}
+
+fn feasible_rate(punishment: Punishment, seeds: std::ops::Range<u64>) -> f64 {
+    let db = NasbenchDatabase::exhaustive(5);
+    let space = CodesignSpace::with_max_vertices(5);
+    let spec = two_constraint_spec(punishment);
+    let mut total = 0.0;
+    let n = (seeds.end - seeds.start) as f64;
+    for seed in seeds {
+        let mut evaluator = Evaluator::with_database(db.clone());
+        let mut ctx =
+            SearchContext { space: &space, evaluator: &mut evaluator, reward: &spec };
+        let outcome = CombinedSearch.run(&mut ctx, &SearchConfig::quick(400, seed));
+        total += outcome.feasible_rate();
+    }
+    total / n
+}
+
+#[test]
+fn both_punishments_reach_the_feasible_region() {
+    let scaled = feasible_rate(Punishment::ScaledViolation { scale: 0.1 }, 0..2);
+    let constant = feasible_rate(Punishment::Constant(0.1), 0..2);
+    assert!(scaled > 0.05, "scaled-violation feasible rate {scaled}");
+    assert!(constant > 0.05, "constant feasible rate {constant}");
+}
+
+#[test]
+fn scaled_violation_orders_infeasible_points() {
+    // The property that makes scaled violation useful for phase search:
+    // less-violating points receive strictly better (less negative) rewards,
+    // whereas constant punishment is flat.
+    let scaled = two_constraint_spec(Punishment::ScaledViolation { scale: 0.1 });
+    let constant = two_constraint_spec(Punishment::Constant(0.1));
+    let near_miss = [-101.0, -50.0, 0.93]; // area barely over
+    let far_miss = [-200.0, -50.0, 0.85]; // both constraints badly missed
+    assert!(scaled.evaluate(&near_miss).value() > scaled.evaluate(&far_miss).value());
+    assert_eq!(
+        constant.evaluate(&near_miss).value(),
+        constant.evaluate(&far_miss).value()
+    );
+}

@@ -1,0 +1,140 @@
+//! Pareto dominance between metric vectors.
+//!
+//! All comparisons use the **all-maximize convention**: a point `a` dominates
+//! `b` when `a` is at least as good in every objective and strictly better in
+//! at least one. Metrics to be minimized must be negated by the caller
+//! (matching the paper's `E(s) = R(−area, −lat, acc)` formulation).
+
+/// The outcome of comparing two metric vectors under Pareto dominance.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::dominance::{Dominance, compare};
+///
+/// assert_eq!(compare(&[1.0, 2.0], &[0.5, 1.0]), Dominance::Dominates);
+/// assert_eq!(compare(&[1.0, 0.0], &[0.0, 1.0]), Dominance::Incomparable);
+/// assert_eq!(compare(&[1.0, 1.0], &[1.0, 1.0]), Dominance::Equal);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dominance {
+    /// The first point dominates the second.
+    Dominates,
+    /// The first point is dominated by the second.
+    DominatedBy,
+    /// The points are identical in every objective.
+    Equal,
+    /// Neither point dominates the other.
+    Incomparable,
+}
+
+/// Compares two metric vectors and classifies their dominance relation.
+///
+/// # Panics
+///
+/// Panics in debug builds if the vectors contain NaN (NaN has no dominance
+/// order; use [`crate::MooError::NanMetric`]-producing validation upstream).
+#[must_use]
+pub fn compare<const N: usize>(a: &[f64; N], b: &[f64; N]) -> Dominance {
+    debug_assert!(a.iter().all(|v| !v.is_nan()), "NaN metric in dominance comparison");
+    debug_assert!(b.iter().all(|v| !v.is_nan()), "NaN metric in dominance comparison");
+    let mut a_better = false;
+    let mut b_better = false;
+    for i in 0..N {
+        if a[i] > b[i] {
+            a_better = true;
+        } else if a[i] < b[i] {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Equal,
+        (true, true) => unreachable!("early return above"),
+    }
+}
+
+/// Returns `true` when `a` strictly dominates `b`: at least as good everywhere
+/// and strictly better somewhere.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::dominates;
+///
+/// assert!(dominates(&[2.0, 3.0, 1.0], &[2.0, 2.0, 1.0]));
+/// assert!(!dominates(&[2.0, 2.0], &[2.0, 2.0])); // equal points do not dominate
+/// ```
+#[must_use]
+pub fn dominates<const N: usize>(a: &[f64; N], b: &[f64; N]) -> bool {
+    compare(a, b) == Dominance::Dominates
+}
+
+/// Returns `true` when `a` weakly dominates `b`: at least as good everywhere
+/// (equality allowed in all objectives).
+///
+/// Used by streaming filters where duplicate metric vectors must be collapsed.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::dominates_weak;
+///
+/// assert!(dominates_weak(&[2.0, 2.0], &[2.0, 2.0]));
+/// assert!(!dominates_weak(&[2.0, 1.0], &[1.0, 2.0]));
+/// ```
+#[must_use]
+pub fn dominates_weak<const N: usize>(a: &[f64; N], b: &[f64; N]) -> bool {
+    matches!(compare(a, b), Dominance::Dominates | Dominance::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_requires_strict_improvement_somewhere() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn compare_is_antisymmetric() {
+        let a = [3.0, 1.0, 2.0];
+        let b = [2.0, 1.0, 1.0];
+        assert_eq!(compare(&a, &b), Dominance::Dominates);
+        assert_eq!(compare(&b, &a), Dominance::DominatedBy);
+    }
+
+    #[test]
+    fn incomparable_points_in_both_directions() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(compare(&a, &b), Dominance::Incomparable);
+        assert_eq!(compare(&b, &a), Dominance::Incomparable);
+    }
+
+    #[test]
+    fn single_objective_reduces_to_total_order() {
+        assert_eq!(compare(&[2.0], &[1.0]), Dominance::Dominates);
+        assert_eq!(compare(&[1.0], &[2.0]), Dominance::DominatedBy);
+        assert_eq!(compare(&[1.0], &[1.0]), Dominance::Equal);
+    }
+
+    #[test]
+    fn negated_metrics_express_minimization() {
+        // area 100 < area 200 is better; negated: -100 > -200.
+        assert!(dominates(&[-100.0, 0.9], &[-200.0, 0.9]));
+    }
+
+    #[test]
+    fn infinities_are_ordered() {
+        assert!(dominates(&[f64::INFINITY, 0.0], &[0.0, 0.0]));
+        assert!(dominates(&[0.0, 0.0], &[f64::NEG_INFINITY, 0.0]));
+    }
+}

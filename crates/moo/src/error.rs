@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or using multi-objective primitives.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::{LinearNorm, MooError};
+///
+/// let err = LinearNorm::new(1.0, 1.0).unwrap_err();
+/// assert!(matches!(err, MooError::DegenerateRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum MooError {
+    /// A normalization range had `min >= max` or a non-finite bound.
+    DegenerateRange { min: f64, max: f64 },
+    /// A weight vector contained a negative or non-finite entry, or summed to zero.
+    InvalidWeights { reason: &'static str },
+    /// A metric vector contained a NaN, which has no defined dominance order.
+    NanMetric { index: usize },
+    /// A reward specification was incomplete (missing normalization ranges).
+    IncompleteSpec { missing: &'static str },
+    /// A punishment configuration was invalid (non-positive scale).
+    InvalidPunishment { reason: &'static str },
+}
+
+impl fmt::Display for MooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MooError::DegenerateRange { min, max } => {
+                write!(f, "normalization range [{min}, {max}] is degenerate or non-finite")
+            }
+            MooError::InvalidWeights { reason } => write!(f, "invalid weight vector: {reason}"),
+            MooError::NanMetric { index } => {
+                write!(f, "metric at index {index} is NaN and cannot be ordered")
+            }
+            MooError::IncompleteSpec { missing } => {
+                write!(f, "reward specification is missing {missing}")
+            }
+            MooError::InvalidPunishment { reason } => {
+                write!(f, "invalid punishment configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MooError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = MooError::DegenerateRange { min: 2.0, max: 1.0 };
+        let s = e.to_string();
+        assert!(s.starts_with("normalization range"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<MooError>();
+        assert_sync::<MooError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Dominated-hypervolume indicators.
+//!
+//! The paper compares searches to the Pareto frontier visually (Fig. 5); for
+//! quantitative regression tests and the strategy-comparison benches we also
+//! compute the hypervolume dominated by a point set with respect to a
+//! reference point — the standard scalar measure of front quality. All
+//! metrics follow the all-maximize convention and the reference point must be
+//! dominated by (i.e. no better than) every input point in every objective;
+//! points that do not dominate the reference contribute nothing.
+
+/// Hypervolume (area) dominated by `points` relative to `reference` in 2D.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::hypervolume_2d;
+///
+/// let pts = vec![[1.0, 2.0], [2.0, 1.0]];
+/// let hv = hypervolume_2d(&pts, [0.0, 0.0]);
+/// assert!((hv - 3.0).abs() < 1e-12); // union of 1x2 and 2x1 rectangles
+/// ```
+#[must_use]
+pub fn hypervolume_2d(points: &[[f64; 2]], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = points
+        .iter()
+        .copied()
+        .filter(|p| p[0] > reference[0] && p[1] > reference[1])
+        .collect();
+    // Sort by x descending; sweep keeping the best y seen so far.
+    pts.sort_by(|a, b| b[0].partial_cmp(&a[0]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in pts {
+        if p[1] > prev_y {
+            hv += (p[0] - reference[0]) * (p[1] - prev_y);
+            prev_y = p[1];
+        }
+    }
+    hv
+}
+
+/// Hypervolume (volume) dominated by `points` relative to `reference` in 3D.
+///
+/// Uses the sweep over the third objective with incremental 2D hypervolumes —
+/// `O(n^2)` overall, ample for fronts of a few thousand points (the paper's
+/// full-space front has 3,096 members).
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::hypervolume_3d;
+///
+/// let pts = vec![[1.0, 1.0, 1.0]];
+/// assert!((hypervolume_3d(&pts, [0.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn hypervolume_3d(points: &[[f64; 3]], reference: [f64; 3]) -> f64 {
+    let mut pts: Vec<[f64; 3]> = points
+        .iter()
+        .copied()
+        .filter(|p| p.iter().zip(reference.iter()).all(|(a, r)| a > r))
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sweep z from high to low; between consecutive z levels the dominated
+    // cross-section is the 2D hypervolume of all points with z above the slab.
+    pts.sort_by(|a, b| b[2].partial_cmp(&a[2]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hv = 0.0;
+    let mut active: Vec<[f64; 2]> = Vec::new();
+    let mut i = 0;
+    while i < pts.len() {
+        let z_hi = pts[i][2];
+        // Add every point at this z level.
+        while i < pts.len() && pts[i][2] == z_hi {
+            active.push([pts[i][0], pts[i][1]]);
+            i += 1;
+        }
+        let z_lo = if i < pts.len() { pts[i][2] } else { reference[2] };
+        let slab = z_hi - z_lo;
+        if slab > 0.0 {
+            hv += slab * hypervolume_2d(&active, [reference[0], reference[1]]);
+        }
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_zero_volume() {
+        assert_eq!(hypervolume_2d(&[], [0.0, 0.0]), 0.0);
+        assert_eq!(hypervolume_3d(&[], [0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn points_not_dominating_reference_are_ignored() {
+        let hv = hypervolume_2d(&[[1.0, -1.0], [2.0, 2.0]], [0.0, 0.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_do_not_add_volume() {
+        let alone = hypervolume_2d(&[[2.0, 2.0]], [0.0, 0.0]);
+        let with_dominated = hypervolume_2d(&[[2.0, 2.0], [1.0, 1.0]], [0.0, 0.0]);
+        assert!((alone - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_boxes_union_2d() {
+        let hv = hypervolume_2d(&[[3.0, 1.0], [1.0, 3.0]], [0.0, 0.0]);
+        assert!((hv - 5.0).abs() < 1e-12); // 3 + 3 - overlap 1
+    }
+
+    #[test]
+    fn staircase_3d_volume() {
+        let pts = vec![[2.0, 1.0, 1.0], [1.0, 2.0, 1.0], [1.0, 1.0, 2.0]];
+        // By inclusion-exclusion: boxes of volume 2 each, pairwise overlap 1, triple 1.
+        // |A∪B∪C| = 6 - 3 + 1 = 4.
+        let hv = hypervolume_3d(&pts, [0.0, 0.0, 0.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_points() {
+        let base = vec![[1.0, 1.0, 1.0]];
+        let more = vec![[1.0, 1.0, 1.0], [0.5, 2.0, 1.5]];
+        assert!(
+            hypervolume_3d(&more, [0.0, 0.0, 0.0]) >= hypervolume_3d(&base, [0.0, 0.0, 0.0])
+        );
+    }
+
+    #[test]
+    fn duplicate_points_do_not_double_count() {
+        let pts = vec![[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]];
+        assert!((hypervolume_3d(&pts, [0.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_of_reference_shrinks_volume() {
+        let pts = vec![[2.0, 2.0, 2.0]];
+        let big = hypervolume_3d(&pts, [0.0, 0.0, 0.0]);
+        let small = hypervolume_3d(&pts, [1.0, 1.0, 1.0]);
+        assert!((big - 8.0).abs() < 1e-12);
+        assert!((small - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Multi-objective optimization utilities for Codesign-NAS.
+//!
+//! This crate implements the multi-objective machinery of §II-A of
+//! *"Best of Both Worlds: AutoML Codesign of a CNN and its Hardware
+//! Accelerator"* (DAC 2020):
+//!
+//! * [`dominance`] — Pareto dominance between metric vectors,
+//! * [`pareto`] — Pareto-front extraction (naive, sort-sweep, incremental and
+//!   streaming variants used to filter the ~billions-of-points codesign space),
+//! * [`normalize`] — the element-wise linear normalization `N` of Eq. 3,
+//! * [`reward`] — the ε-constraint + weighted-sum reward `R` of Eq. 3/4 and the
+//!   punishment function `Rv` for infeasible points,
+//! * [`hypervolume`] — dominated-hypervolume indicators used to compare search
+//!   strategies quantitatively (an extension over the paper's visual comparison).
+//!
+//! All functions use the **all-maximize convention**: metrics to be minimized
+//! (area, latency) are negated by the caller, exactly as the paper writes
+//! `E(s) = R(−area(s), −lat(s), acc(s))`.
+//!
+//! # Examples
+//!
+//! Extract a Pareto front and score points with the paper's "Unconstrained"
+//! reward, `w = (0.1, 0.8, 0.1)` over `(−area, −lat, acc)`:
+//!
+//! ```
+//! use codesign_moo::pareto::pareto_indices;
+//! use codesign_moo::reward::{RewardSpec, RewardOutcome};
+//! use codesign_moo::normalize::LinearNorm;
+//!
+//! # fn main() -> Result<(), codesign_moo::MooError> {
+//! let points = vec![
+//!     [-100.0, -50.0, 0.94], // area 100, latency 50ms, accuracy 94%
+//!     [-200.0, -20.0, 0.93],
+//!     [-200.0, -60.0, 0.92], // dominated by the first point
+//! ];
+//! let front = pareto_indices(&points);
+//! assert_eq!(front, vec![0, 1]);
+//!
+//! let spec = RewardSpec::builder()
+//!     .weights([0.1, 0.8, 0.1])?
+//!     .norms([
+//!         LinearNorm::new(-250.0, -50.0)?,
+//!         LinearNorm::new(-400.0, 0.0)?,
+//!         LinearNorm::new(0.80, 0.95)?,
+//!     ])
+//!     .build()?;
+//! let r = spec.evaluate(&points[0]);
+//! assert!(matches!(r, RewardOutcome::Feasible(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dominance;
+pub mod hypervolume;
+pub mod normalize;
+pub mod pareto;
+pub mod reward;
+
+mod error;
+
+pub use dominance::{dominates, dominates_weak, Dominance};
+pub use error::MooError;
+pub use hypervolume::{hypervolume_2d, hypervolume_3d};
+pub use normalize::LinearNorm;
+pub use pareto::{pareto_filter, pareto_indices, ParetoFront, StreamingParetoFilter};
+pub use reward::{Punishment, RewardOutcome, RewardSpec, RewardSpecBuilder};

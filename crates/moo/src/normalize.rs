@@ -1,0 +1,186 @@
+//! Linear metric normalization (the `N` of Eq. 3).
+//!
+//! The paper scalarizes metrics with "a linear element-wise normalization
+//! function which maps values from the range `(x_min, x_max)` to `(0, 1)`".
+//! [`LinearNorm`] is that map for a single metric; values outside the range
+//! are clamped so a single outlier cannot blow up the scalarized reward.
+
+use serde::{Deserialize, Serialize};
+
+use crate::MooError;
+
+/// A clamped linear map from `[min, max]` onto `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::LinearNorm;
+///
+/// # fn main() -> Result<(), codesign_moo::MooError> {
+/// let n = LinearNorm::new(0.0, 10.0)?;
+/// assert_eq!(n.apply(5.0), 0.5);
+/// assert_eq!(n.apply(-3.0), 0.0); // clamped
+/// assert_eq!(n.apply(40.0), 1.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearNorm {
+    min: f64,
+    max: f64,
+}
+
+impl LinearNorm {
+    /// Creates a normalization over `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::DegenerateRange`] when `min >= max` or either bound
+    /// is non-finite.
+    pub fn new(min: f64, max: f64) -> Result<Self, MooError> {
+        if !(min.is_finite() && max.is_finite()) || min >= max {
+            return Err(MooError::DegenerateRange { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// The identity-like normalization over `[0, 1]`.
+    #[must_use]
+    pub fn unit() -> Self {
+        Self { min: 0.0, max: 1.0 }
+    }
+
+    /// Lower bound of the range.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the range.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Maps `x` into `[0, 1]`, clamping values outside the range.
+    #[must_use]
+    pub fn apply(&self, x: f64) -> f64 {
+        let t = (x - self.min) / (self.max - self.min);
+        t.clamp(0.0, 1.0)
+    }
+
+    /// Inverse of [`LinearNorm::apply`] for `t` in `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use codesign_moo::LinearNorm;
+    /// # fn main() -> Result<(), codesign_moo::MooError> {
+    /// let n = LinearNorm::new(2.0, 4.0)?;
+    /// assert_eq!(n.invert(n.apply(3.1)), 3.1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn invert(&self, t: f64) -> f64 {
+        self.min + t * (self.max - self.min)
+    }
+
+    /// Builds a normalization from observed samples, padding the range by
+    /// `pad_fraction` on both sides so the extremes do not saturate at exactly
+    /// 0 or 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::DegenerateRange`] when fewer than two distinct
+    /// finite values are observed.
+    pub fn from_samples<I>(samples: I, pad_fraction: f64) -> Result<Self, MooError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in samples {
+            if s.is_finite() {
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(MooError::DegenerateRange { min: lo, max: hi });
+        }
+        let pad = (hi - lo) * pad_fraction.max(0.0);
+        Self::new(lo - pad, hi + pad)
+    }
+
+    /// Returns the normalization of the negated metric: `LinearNorm` over
+    /// `[-max, -min]`, used when a minimized metric is expressed as its
+    /// negation.
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        Self { min: -self.max, max: -self.min }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_ranges() {
+        assert!(LinearNorm::new(1.0, 1.0).is_err());
+        assert!(LinearNorm::new(2.0, 1.0).is_err());
+        assert!(LinearNorm::new(f64::NAN, 1.0).is_err());
+        assert!(LinearNorm::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn endpoints_map_to_unit_interval_bounds() {
+        let n = LinearNorm::new(-5.0, 5.0).unwrap();
+        assert_eq!(n.apply(-5.0), 0.0);
+        assert_eq!(n.apply(5.0), 1.0);
+        assert_eq!(n.apply(0.0), 0.5);
+    }
+
+    #[test]
+    fn from_samples_covers_observed_range() {
+        let n = LinearNorm::from_samples([3.0, 1.0, 2.0], 0.0).unwrap();
+        assert_eq!(n.min(), 1.0);
+        assert_eq!(n.max(), 3.0);
+    }
+
+    #[test]
+    fn from_samples_with_padding_avoids_saturation() {
+        let n = LinearNorm::from_samples([0.0, 10.0], 0.1).unwrap();
+        assert!(n.apply(0.0) > 0.0);
+        assert!(n.apply(10.0) < 1.0);
+    }
+
+    #[test]
+    fn from_samples_ignores_non_finite() {
+        let n = LinearNorm::from_samples([f64::NAN, 0.0, f64::INFINITY, 4.0], 0.0).unwrap();
+        assert_eq!(n.max(), 4.0);
+    }
+
+    #[test]
+    fn from_samples_fails_on_constant_input() {
+        assert!(LinearNorm::from_samples([2.0, 2.0, 2.0], 0.1).is_err());
+    }
+
+    #[test]
+    fn negated_reflects_range() {
+        let n = LinearNorm::new(10.0, 50.0).unwrap();
+        let m = n.negated();
+        assert_eq!(m.min(), -50.0);
+        assert_eq!(m.max(), -10.0);
+        assert_eq!(m.apply(-30.0), n.apply(30.0));
+    }
+
+    #[test]
+    fn invert_roundtrips_inside_range() {
+        let n = LinearNorm::new(3.0, 9.0).unwrap();
+        for &x in &[3.0, 4.5, 7.2, 9.0] {
+            assert!((n.invert(n.apply(x)) - x).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! The multi-objective reward of Eq. 3/4 and the punishment function `Rv`.
+//!
+//! The paper combines two standard multi-objective techniques (§II-A):
+//!
+//! 1. **ε-constraint**: points with any metric below its threshold are
+//!    infeasible and receive a punishment `Rv` "with opposite sign to the
+//!    reward" to deter the controller from similar regions;
+//! 2. **weighted sum**: feasible points are scored `R(m) = w · N(m)` where `N`
+//!    is the element-wise linear normalization of [`crate::LinearNorm`].
+//!
+//! Everything uses the all-maximize convention, so the paper's
+//! `E(s) = R(−area(s), −lat(s), acc(s))` is expressed by negating area and
+//! latency before calling [`RewardSpec::evaluate`], and a latency constraint
+//! `lat < 100 ms` becomes a threshold of `−100` on the negated metric.
+
+use serde::{Deserialize, Serialize};
+
+use crate::normalize::LinearNorm;
+use crate::MooError;
+
+/// How infeasible points are punished.
+///
+/// The paper specifies only that `Rv` has "opposite sign to the reward"; both
+/// variants below satisfy that and are worth comparing (see the punishment
+/// ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Punishment {
+    /// A fixed negative reward, independent of how badly constraints are missed.
+    Constant(f64),
+    /// `-(scale * (1 + total normalized violation))`: points that miss the
+    /// constraints by more are punished harder, giving the controller a
+    /// gradient back toward the feasible region.
+    ScaledViolation {
+        /// Base magnitude of the punishment.
+        scale: f64,
+    },
+}
+
+impl Default for Punishment {
+    fn default() -> Self {
+        Punishment::ScaledViolation { scale: 0.1 }
+    }
+}
+
+/// Outcome of evaluating one metric vector under a [`RewardSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::RewardOutcome;
+///
+/// let r = RewardOutcome::Feasible(0.8);
+/// assert_eq!(r.value(), 0.8);
+/// assert!(r.is_feasible());
+/// assert!(!RewardOutcome::Punished(-0.1).is_feasible());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RewardOutcome {
+    /// All thresholds were met; contains `w · N(m)`.
+    Feasible(f64),
+    /// At least one threshold was violated; contains the (negative) `Rv`.
+    Punished(f64),
+}
+
+impl RewardOutcome {
+    /// The scalar fed to the controller, regardless of feasibility.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        match *self {
+            RewardOutcome::Feasible(v) | RewardOutcome::Punished(v) => v,
+        }
+    }
+
+    /// `true` when the point met every constraint.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, RewardOutcome::Feasible(_))
+    }
+}
+
+/// A complete multi-objective reward specification (Eq. 3).
+///
+/// Built with [`RewardSpec::builder`]. `N` is the number of objectives; the
+/// paper uses `N = 3` with metric order `(−area, −lat, acc)`.
+///
+/// # Examples
+///
+/// The paper's "1 Constraint" scenario — `lat < 100 ms`,
+/// `w = (0.1, 0, 0.9)`:
+///
+/// ```
+/// use codesign_moo::{LinearNorm, RewardSpec};
+///
+/// # fn main() -> Result<(), codesign_moo::MooError> {
+/// let spec = RewardSpec::builder()
+///     .weights([0.1, 0.0, 0.9])?
+///     .norms([
+///         LinearNorm::new(-250.0, -50.0)?,  // -area in mm^2
+///         LinearNorm::new(-400.0, -1.0)?,   // -latency in ms
+///         LinearNorm::new(0.8, 0.95)?,      // accuracy
+///     ])
+///     .threshold(1, -100.0) // lat < 100ms  <=>  -lat >= -100
+///     .build()?;
+///
+/// assert!(spec.evaluate(&[-120.0, -80.0, 0.93]).is_feasible());
+/// assert!(!spec.evaluate(&[-120.0, -150.0, 0.93]).is_feasible());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardSpec<const N: usize> {
+    weights: [f64; N],
+    norms: [LinearNorm; N],
+    thresholds: [Option<f64>; N],
+    punishment: Punishment,
+}
+
+impl<const N: usize> RewardSpec<N> {
+    /// Starts building a reward specification.
+    #[must_use]
+    pub fn builder() -> RewardSpecBuilder<N> {
+        RewardSpecBuilder::new()
+    }
+
+    /// The weight vector `w`.
+    #[must_use]
+    pub fn weights(&self) -> &[f64; N] {
+        &self.weights
+    }
+
+    /// Per-metric normalizations `N`.
+    #[must_use]
+    pub fn norms(&self) -> &[LinearNorm; N] {
+        &self.norms
+    }
+
+    /// Per-metric lower-bound thresholds (all-maximize convention).
+    #[must_use]
+    pub fn thresholds(&self) -> &[Option<f64>; N] {
+        &self.thresholds
+    }
+
+    /// Returns `true` when `m` meets every configured threshold.
+    #[must_use]
+    pub fn is_feasible(&self, m: &[f64; N]) -> bool {
+        self.thresholds
+            .iter()
+            .zip(m.iter())
+            .all(|(th, v)| th.map_or(true, |t| *v >= t))
+    }
+
+    /// Evaluates Eq. 3: the weighted normalized sum for feasible points, the
+    /// punishment `Rv` otherwise.
+    #[must_use]
+    pub fn evaluate(&self, m: &[f64; N]) -> RewardOutcome {
+        if self.is_feasible(m) {
+            RewardOutcome::Feasible(self.scalarize(m))
+        } else {
+            RewardOutcome::Punished(self.punish(m))
+        }
+    }
+
+    /// The weighted sum `w · N(m)` ignoring feasibility.
+    #[must_use]
+    pub fn scalarize(&self, m: &[f64; N]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..N {
+            acc += self.weights[i] * self.norms[i].apply(m[i]);
+        }
+        acc
+    }
+
+    /// Total normalized constraint violation (0 for feasible points).
+    #[must_use]
+    pub fn violation(&self, m: &[f64; N]) -> f64 {
+        let mut total = 0.0;
+        for i in 0..N {
+            if let Some(t) = self.thresholds[i] {
+                if m[i] < t {
+                    let span = self.norms[i].max() - self.norms[i].min();
+                    total += (t - m[i]) / span;
+                }
+            }
+        }
+        total
+    }
+
+    fn punish(&self, m: &[f64; N]) -> f64 {
+        match self.punishment {
+            Punishment::Constant(c) => -c.abs(),
+            Punishment::ScaledViolation { scale } => {
+                -(scale * (1.0 + self.violation(m).min(10.0)))
+            }
+        }
+    }
+}
+
+/// Builder for [`RewardSpec`] (see [C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Debug, Clone)]
+pub struct RewardSpecBuilder<const N: usize> {
+    weights: Option<[f64; N]>,
+    norms: Option<[LinearNorm; N]>,
+    thresholds: [Option<f64>; N],
+    punishment: Punishment,
+}
+
+impl<const N: usize> Default for RewardSpecBuilder<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> RewardSpecBuilder<N> {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            weights: None,
+            norms: None,
+            thresholds: [None; N],
+            punishment: Punishment::default(),
+        }
+    }
+
+    /// Sets the weight vector `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::InvalidWeights`] if any weight is negative or
+    /// non-finite, or if all weights are zero.
+    pub fn weights(mut self, w: [f64; N]) -> Result<Self, MooError> {
+        if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err(MooError::InvalidWeights { reason: "weights must be finite and >= 0" });
+        }
+        if w.iter().sum::<f64>() <= 0.0 {
+            return Err(MooError::InvalidWeights { reason: "weights must not all be zero" });
+        }
+        self.weights = Some(w);
+        Ok(self)
+    }
+
+    /// Sets the per-metric normalizations.
+    #[must_use]
+    pub fn norms(mut self, norms: [LinearNorm; N]) -> Self {
+        self.norms = Some(norms);
+        self
+    }
+
+    /// Adds a lower-bound threshold on metric `index` (all-maximize
+    /// convention: a `lat < 100 ms` constraint is `threshold(1, -100.0)` when
+    /// metric 1 is `−lat`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= N`.
+    #[must_use]
+    pub fn threshold(mut self, index: usize, min_value: f64) -> Self {
+        assert!(index < N, "threshold index {index} out of bounds for {N} metrics");
+        self.thresholds[index] = Some(min_value);
+        self
+    }
+
+    /// Sets the punishment policy for infeasible points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::InvalidPunishment`] for non-positive magnitudes.
+    pub fn punishment(mut self, p: Punishment) -> Result<Self, MooError> {
+        let magnitude = match p {
+            Punishment::Constant(c) => c.abs(),
+            Punishment::ScaledViolation { scale } => scale,
+        };
+        if !(magnitude > 0.0 && magnitude.is_finite()) {
+            return Err(MooError::InvalidPunishment { reason: "magnitude must be positive" });
+        }
+        self.punishment = p;
+        Ok(self)
+    }
+
+    /// Finalizes the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::IncompleteSpec`] when weights or norms were never
+    /// provided.
+    pub fn build(self) -> Result<RewardSpec<N>, MooError> {
+        let weights = self.weights.ok_or(MooError::IncompleteSpec { missing: "weights" })?;
+        let norms = self.norms.ok_or(MooError::IncompleteSpec { missing: "norms" })?;
+        Ok(RewardSpec { weights, norms, thresholds: self.thresholds, punishment: self.punishment })
+    }
+}
+
+/// Ranks `(metrics, payload)` pairs by feasible reward, descending, and keeps
+/// the top `k`.
+///
+/// This mirrors the paper's Fig. 5 methodology: "the top 100 Pareto-optimal
+/// points that maximize each experiment's reward function". Infeasible points
+/// are excluded.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::{LinearNorm, RewardSpec};
+/// use codesign_moo::reward::top_k_by_reward;
+///
+/// # fn main() -> Result<(), codesign_moo::MooError> {
+/// let spec = RewardSpec::builder()
+///     .weights([1.0])?
+///     .norms([LinearNorm::new(0.0, 1.0)?])
+///     .build()?;
+/// let pts = vec![([0.2], 'a'), ([0.9], 'b'), ([0.5], 'c')];
+/// let top = top_k_by_reward(&spec, pts, 2);
+/// assert_eq!(top[0].1, 'b');
+/// assert_eq!(top[1].1, 'c');
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn top_k_by_reward<const N: usize, T>(
+    spec: &RewardSpec<N>,
+    pairs: Vec<([f64; N], T)>,
+    k: usize,
+) -> Vec<([f64; N], T)> {
+    let mut scored: Vec<(f64, ([f64; N], T))> = pairs
+        .into_iter()
+        .filter_map(|(m, p)| match spec.evaluate(&m) {
+            RewardOutcome::Feasible(r) => Some((r, (m, p))),
+            RewardOutcome::Punished(_) => None,
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, pair)| pair).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_spec() -> RewardSpec<3> {
+        RewardSpec::builder()
+            .weights([0.1, 0.8, 0.1])
+            .unwrap()
+            .norms([LinearNorm::unit(), LinearNorm::unit(), LinearNorm::unit()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn feasible_reward_is_weighted_sum() {
+        let spec = unit_spec();
+        let r = spec.evaluate(&[1.0, 0.5, 0.0]);
+        assert!(r.is_feasible());
+        assert!((r.value() - (0.1 + 0.8 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reward_is_bounded_by_weight_sum() {
+        let spec = unit_spec();
+        let r = spec.evaluate(&[100.0, 100.0, 100.0]); // clamped to 1 each
+        assert!((r.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_violation_punishes_with_negative_value() {
+        let spec = RewardSpec::builder()
+            .weights([1.0, 1.0, 1.0])
+            .unwrap()
+            .norms([LinearNorm::unit(), LinearNorm::unit(), LinearNorm::unit()])
+            .threshold(2, 0.92)
+            .build()
+            .unwrap();
+        let r = spec.evaluate(&[0.5, 0.5, 0.91]);
+        assert!(!r.is_feasible());
+        assert!(r.value() < 0.0);
+    }
+
+    #[test]
+    fn scaled_violation_punishes_worse_misses_harder() {
+        let spec = RewardSpec::builder()
+            .weights([1.0])
+            .unwrap()
+            .norms([LinearNorm::unit()])
+            .threshold(0, 0.5)
+            .punishment(Punishment::ScaledViolation { scale: 0.2 })
+            .unwrap()
+            .build()
+            .unwrap();
+        let near = spec.evaluate(&[0.49]).value();
+        let far = spec.evaluate(&[0.0]).value();
+        assert!(far < near && near < 0.0);
+    }
+
+    #[test]
+    fn constant_punishment_is_flat() {
+        let spec = RewardSpec::builder()
+            .weights([1.0])
+            .unwrap()
+            .norms([LinearNorm::unit()])
+            .threshold(0, 0.5)
+            .punishment(Punishment::Constant(0.3))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(spec.evaluate(&[0.4]).value(), -0.3);
+        assert_eq!(spec.evaluate(&[-10.0]).value(), -0.3);
+    }
+
+    #[test]
+    fn multiple_thresholds_all_enforced() {
+        // The paper's "2 Constraints": acc > 0.92, area < 100mm^2, optimize latency.
+        let spec = RewardSpec::builder()
+            .weights([0.0, 1.0, 0.0])
+            .unwrap()
+            .norms([
+                LinearNorm::new(-250.0, -50.0).unwrap(),
+                LinearNorm::new(-400.0, -1.0).unwrap(),
+                LinearNorm::new(0.8, 0.95).unwrap(),
+            ])
+            .threshold(0, -100.0)
+            .threshold(2, 0.92)
+            .build()
+            .unwrap();
+        assert!(spec.evaluate(&[-90.0, -40.0, 0.93]).is_feasible());
+        assert!(!spec.evaluate(&[-110.0, -40.0, 0.93]).is_feasible());
+        assert!(!spec.evaluate(&[-90.0, -40.0, 0.91]).is_feasible());
+    }
+
+    #[test]
+    fn weights_validation() {
+        assert!(RewardSpec::<2>::builder().weights([-0.1, 1.0]).is_err());
+        assert!(RewardSpec::<2>::builder().weights([0.0, 0.0]).is_err());
+        assert!(RewardSpec::<2>::builder().weights([f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn build_requires_weights_and_norms() {
+        let err = RewardSpecBuilder::<1>::new().build().unwrap_err();
+        assert!(matches!(err, MooError::IncompleteSpec { missing: "weights" }));
+        let err = RewardSpecBuilder::<1>::new()
+            .weights([1.0])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MooError::IncompleteSpec { missing: "norms" }));
+    }
+
+    #[test]
+    fn punishment_validation() {
+        assert!(RewardSpecBuilder::<1>::new().punishment(Punishment::Constant(0.0)).is_err());
+        assert!(RewardSpecBuilder::<1>::new()
+            .punishment(Punishment::ScaledViolation { scale: -1.0 })
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn threshold_index_out_of_bounds_panics() {
+        let _ = RewardSpecBuilder::<2>::new().threshold(2, 0.0);
+    }
+
+    #[test]
+    fn violation_accumulates_across_metrics() {
+        let spec = RewardSpec::builder()
+            .weights([1.0, 1.0])
+            .unwrap()
+            .norms([LinearNorm::unit(), LinearNorm::unit()])
+            .threshold(0, 0.5)
+            .threshold(1, 0.5)
+            .build()
+            .unwrap();
+        let v_one = spec.violation(&[0.4, 0.6]);
+        let v_two = spec.violation(&[0.4, 0.4]);
+        assert!(v_two > v_one && v_one > 0.0);
+        assert_eq!(spec.violation(&[0.6, 0.6]), 0.0);
+    }
+
+    #[test]
+    fn top_k_excludes_infeasible_and_sorts_desc() {
+        let spec = RewardSpec::builder()
+            .weights([1.0])
+            .unwrap()
+            .norms([LinearNorm::unit()])
+            .threshold(0, 0.3)
+            .build()
+            .unwrap();
+        let pts = vec![([0.2], 'x'), ([0.9], 'b'), ([0.5], 'c'), ([0.7], 'a')];
+        let top = top_k_by_reward(&spec, pts, 10);
+        let names: Vec<char> = top.iter().map(|(_, c)| *c).collect();
+        assert_eq!(names, vec!['b', 'a', 'c']);
+    }
+}

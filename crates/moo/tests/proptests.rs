@@ -1,0 +1,126 @@
+//! Property-based tests for the multi-objective primitives.
+
+use codesign_moo::dominance::{compare, Dominance};
+use codesign_moo::pareto::{pareto_indices, pareto_indices_3d, StreamingParetoFilter};
+use codesign_moo::{dominates, hypervolume_3d, LinearNorm, ParetoFront, RewardSpec};
+use proptest::prelude::*;
+
+fn metric() -> impl Strategy<Value = f64> {
+    // Small integer grid: maximizes tie probability, the hard case.
+    (-3i32..=3).prop_map(f64::from)
+}
+
+fn point3() -> impl Strategy<Value = [f64; 3]> {
+    [metric(), metric(), metric()]
+}
+
+fn brute_force(points: &[[f64; 3]]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !(0..points.len()).any(|j| dominates(&points[j], &points[i])))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn sweep_equals_brute_force(pts in prop::collection::vec(point3(), 0..120)) {
+        prop_assert_eq!(pareto_indices_3d(&pts), brute_force(&pts));
+    }
+
+    #[test]
+    fn generic_filter_equals_brute_force(pts in prop::collection::vec(point3(), 0..120)) {
+        prop_assert_eq!(pareto_indices(&pts), brute_force(&pts));
+    }
+
+    #[test]
+    fn streaming_filter_is_exact(pts in prop::collection::vec(point3(), 0..200)) {
+        let mut filter: StreamingParetoFilter<3, usize> = StreamingParetoFilter::with_capacity(7);
+        for (i, p) in pts.iter().enumerate() {
+            filter.push(*p, i);
+        }
+        let mut got: Vec<usize> = filter.finish().into_iter().map(|(_, i)| i).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&pts));
+    }
+
+    #[test]
+    fn incremental_front_matches_batch(pts in prop::collection::vec(point3(), 0..120)) {
+        let mut front: ParetoFront<3, usize> = ParetoFront::new();
+        for (i, p) in pts.iter().enumerate() {
+            front.insert(*p, i);
+        }
+        let mut got: Vec<usize> = front.iter().map(|(_, i)| *i).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&pts));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric(a in point3(), b in point3()) {
+        let fwd = compare(&a, &b);
+        let bwd = compare(&b, &a);
+        let expected = match fwd {
+            Dominance::Dominates => Dominance::DominatedBy,
+            Dominance::DominatedBy => Dominance::Dominates,
+            Dominance::Equal => Dominance::Equal,
+            Dominance::Incomparable => Dominance::Incomparable,
+        };
+        prop_assert_eq!(bwd, expected);
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in point3(), b in point3(), c in point3()) {
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    #[test]
+    fn normalization_is_bounded_and_monotone(
+        lo in -100.0f64..0.0,
+        span in 0.1f64..100.0,
+        x in -200.0f64..200.0,
+        dx in 0.0f64..50.0,
+    ) {
+        let n = LinearNorm::new(lo, lo + span).unwrap();
+        let y = n.apply(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        prop_assert!(n.apply(x + dx) >= y);
+    }
+
+    #[test]
+    fn reward_monotone_in_each_metric(
+        m in [0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0],
+        bump in 0.0f64..0.5,
+        axis in 0usize..3,
+    ) {
+        let spec = RewardSpec::builder()
+            .weights([0.1, 0.8, 0.1]).unwrap()
+            .norms([LinearNorm::unit(), LinearNorm::unit(), LinearNorm::unit()])
+            .build().unwrap();
+        let mut better = m;
+        better[axis] += bump;
+        prop_assert!(spec.scalarize(&better) >= spec.scalarize(&m) - 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_point_addition(
+        pts in prop::collection::vec([0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0], 1..40),
+        extra in [0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0],
+    ) {
+        let reference = [0.0, 0.0, 0.0];
+        let base = hypervolume_3d(&pts, reference);
+        let mut more = pts.clone();
+        more.push(extra);
+        prop_assert!(hypervolume_3d(&more, reference) >= base - 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_equals_front_hypervolume(
+        pts in prop::collection::vec([0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0], 1..40),
+    ) {
+        let reference = [0.0, 0.0, 0.0];
+        let front: Vec<[f64; 3]> = pareto_indices_3d(&pts).into_iter().map(|i| pts[i]).collect();
+        let a = hypervolume_3d(&pts, reference);
+        let b = hypervolume_3d(&front, reference);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+}

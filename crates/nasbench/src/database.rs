@@ -1,0 +1,328 @@
+//! The precomputed-model database, mirroring the NASBench-101 query API.
+//!
+//! §III of the paper uses "the NASBench database of precomputed accuracy" to
+//! enumerate the codesign space exactly. [`NasbenchDatabase`] plays that
+//! role: a canonically-deduplicated set of cells with surrogate accuracies
+//! (CIFAR-10 and CIFAR-100 heads) and simulated training times. The database
+//! size is configurable — the full 423k-cell census is a scale knob, not a
+//! different code path.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::features::CellFeatures;
+use crate::network::NetworkConfig;
+use crate::sampler::SpecSampler;
+use crate::surrogate::{Dataset, SurrogateModel, NUM_SEEDS};
+use crate::{known_cells, CellSpec, SpecError};
+
+/// One database row: a unique cell with everything the evaluator needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbEntry {
+    /// The (pruned) cell.
+    pub spec: CellSpec,
+    /// Structural features (CIFAR-10 skeleton).
+    pub features: CellFeatures,
+    /// CIFAR-10 test accuracy per training seed.
+    pub cifar10_accuracy: [f64; NUM_SEEDS],
+    /// CIFAR-100 test accuracy per training seed.
+    pub cifar100_accuracy: [f64; NUM_SEEDS],
+    /// Simulated single-GPU training time, seconds.
+    pub training_seconds: f64,
+}
+
+impl DbEntry {
+    /// Mean accuracy across seeds for `dataset`.
+    #[must_use]
+    pub fn mean_accuracy(&self, dataset: Dataset) -> f64 {
+        let accs = match dataset {
+            Dataset::Cifar10 => &self.cifar10_accuracy,
+            Dataset::Cifar100 => &self.cifar100_accuracy,
+        };
+        accs.iter().sum::<f64>() / NUM_SEEDS as f64
+    }
+}
+
+/// A deduplicated database of evaluated cells.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_nasbench::{known_cells, Dataset, NasbenchDatabase};
+///
+/// # fn main() -> Result<(), codesign_nasbench::SpecError> {
+/// let db = NasbenchDatabase::build(200, 42);
+/// assert!(db.len() >= 200);
+/// // Reference cells are always present.
+/// let entry = db.query(&known_cells::resnet_cell())?;
+/// assert!(entry.mean_accuracy(Dataset::Cifar10) > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NasbenchDatabase {
+    entries: Vec<DbEntry>,
+    #[serde(skip)]
+    index: HashMap<u128, usize>,
+}
+
+impl NasbenchDatabase {
+    /// Builds a database of at least `size` unique cells (reference cells
+    /// from [`known_cells`] are always included on top) using the default
+    /// surrogate, sampling with the given `seed`.
+    #[must_use]
+    pub fn build(size: usize, seed: u64) -> Self {
+        Self::build_with(size, seed, &SurrogateModel::default(), &SpecSampler::default())
+    }
+
+    /// Builds a database with explicit surrogate and sampler configurations.
+    #[must_use]
+    pub fn build_with(
+        size: usize,
+        seed: u64,
+        surrogate: &SurrogateModel,
+        sampler: &SpecSampler,
+    ) -> Self {
+        let mut db = Self { entries: Vec::new(), index: HashMap::new() };
+        for (_, cell) in known_cells::all_named() {
+            db.insert_cell(cell, surrogate);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let budget = size.saturating_mul(60).max(1000);
+        let mut attempts = 0usize;
+        while db.entries.len() < size + known_cells::all_named().len() && attempts < budget {
+            let cell = sampler.sample(&mut rng);
+            db.insert_cell(cell, surrogate);
+            attempts += 1;
+        }
+        db
+    }
+
+    /// Builds the **complete** database of every unique valid cell with up to
+    /// `max_vertices` vertices — the exact-enumeration analog of the NASBench
+    /// census, feasible for `max_vertices <= 5` (a few thousand cells).
+    ///
+    /// Search experiments restricted to the same bound are then exactly
+    /// consistent with Pareto fronts enumerated from this database, which is
+    /// the property §III's Fig. 5 comparison relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_vertices` is outside `2..=7` (and is impractically slow
+    /// above 5).
+    #[must_use]
+    pub fn exhaustive(max_vertices: usize) -> Self {
+        let surrogate = SurrogateModel::default();
+        let mut db = Self { entries: Vec::new(), index: HashMap::new() };
+        for v in 2..=max_vertices {
+            for cell in crate::sampler::enumerate_cells(v) {
+                db.insert_cell(cell, &surrogate);
+            }
+        }
+        db
+    }
+
+    fn insert_cell(&mut self, cell: CellSpec, surrogate: &SurrogateModel) -> bool {
+        let hash = cell.canonical_hash();
+        if self.index.contains_key(&hash) {
+            return false;
+        }
+        let features = CellFeatures::extract(&cell, &NetworkConfig::default());
+        let e10 = surrogate.evaluate_features(&features, hash, Dataset::Cifar10);
+        let e100 = surrogate.evaluate_features(&features, hash, Dataset::Cifar100);
+        self.index.insert(hash, self.entries.len());
+        self.entries.push(DbEntry {
+            spec: cell,
+            features,
+            cifar10_accuracy: e10.accuracy,
+            cifar100_accuracy: e100.accuracy,
+            training_seconds: e100.training_seconds,
+        });
+        true
+    }
+
+    /// Number of unique cells stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the database holds no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a cell up by spec (canonical hash).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownSpec`] when the cell was never inserted.
+    pub fn query(&self, spec: &CellSpec) -> Result<&DbEntry, SpecError> {
+        self.query_hash(spec.canonical_hash())
+    }
+
+    /// Looks a cell up by canonical hash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownSpec`] when no cell with that hash exists.
+    pub fn query_hash(&self, hash: u128) -> Result<&DbEntry, SpecError> {
+        self.index
+            .get(&hash)
+            .map(|&i| &self.entries[i])
+            .ok_or(SpecError::UnknownSpec)
+    }
+
+    /// Entry at position `i` (stable across save/load).
+    #[must_use]
+    pub fn entry(&self, i: usize) -> Option<&DbEntry> {
+        self.entries.get(i)
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &DbEntry> {
+        self.entries.iter()
+    }
+
+    /// Serializes the database as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn save_json<W: Write>(&self, writer: W) -> std::io::Result<()> {
+        serde_json::to_writer(writer, self).map_err(std::io::Error::other)
+    }
+
+    /// Reads a database back from JSON, rebuilding the hash index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::CorruptDatabase`] when parsing fails.
+    pub fn load_json<R: Read>(reader: R) -> Result<Self, SpecError> {
+        let mut db: Self = serde_json::from_reader(reader)
+            .map_err(|e| SpecError::CorruptDatabase { reason: e.to_string() })?;
+        db.rebuild_index();
+        Ok(db)
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.spec.canonical_hash(), i))
+            .collect();
+    }
+
+    /// Summary statistics of the stored CIFAR-10 accuracies
+    /// `(min, mean, max)` — used to configure reward normalization ranges.
+    #[must_use]
+    pub fn accuracy_stats(&self, dataset: Dataset) -> (f64, f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for e in &self.entries {
+            let a = e.mean_accuracy(dataset);
+            lo = lo.min(a);
+            hi = hi.max(a);
+            sum += a;
+        }
+        (lo, sum / self.entries.len().max(1) as f64, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = NasbenchDatabase::build(50, 123);
+        let b = NasbenchDatabase::build(50, 123);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.spec.canonical_hash(), y.spec.canonical_hash());
+            assert_eq!(x.cifar10_accuracy, y.cifar10_accuracy);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_databases() {
+        let a = NasbenchDatabase::build(50, 1);
+        let b = NasbenchDatabase::build(50, 2);
+        let ha: Vec<u128> = a.iter().map(|e| e.spec.canonical_hash()).collect();
+        let hb: Vec<u128> = b.iter().map(|e| e.spec.canonical_hash()).collect();
+        assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn entries_are_unique() {
+        let db = NasbenchDatabase::build(300, 7);
+        let mut hashes: Vec<u128> = db.iter().map(|e| e.spec.canonical_hash()).collect();
+        let n = hashes.len();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(n, hashes.len());
+    }
+
+    #[test]
+    fn reference_cells_always_present() {
+        let db = NasbenchDatabase::build(10, 5);
+        for (name, cell) in known_cells::all_named() {
+            assert!(db.query(&cell).is_ok(), "{name} missing from database");
+        }
+    }
+
+    #[test]
+    fn unknown_spec_query_fails() {
+        let db = NasbenchDatabase::build(5, 5);
+        assert_eq!(db.query_hash(0xDEAD_BEEF).unwrap_err(), SpecError::UnknownSpec);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_queries() {
+        let db = NasbenchDatabase::build(30, 99);
+        let mut buf = Vec::new();
+        db.save_json(&mut buf).unwrap();
+        let back = NasbenchDatabase::load_json(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), db.len());
+        let resnet = known_cells::resnet_cell();
+        assert_eq!(
+            back.query(&resnet).unwrap().cifar10_accuracy,
+            db.query(&resnet).unwrap().cifar10_accuracy
+        );
+    }
+
+    #[test]
+    fn corrupt_json_is_reported() {
+        let err = NasbenchDatabase::load_json(&b"{not json"[..]).unwrap_err();
+        assert!(matches!(err, SpecError::CorruptDatabase { .. }));
+    }
+
+    #[test]
+    fn exhaustive_database_covers_small_spaces() {
+        let db = NasbenchDatabase::exhaustive(4);
+        // 1 (V=2) + 6 (V=3) + all unique 4-vertex cells.
+        assert!(db.len() > 50, "got {}", db.len());
+        let resnet = known_cells::resnet_cell();
+        assert!(db.query(&resnet).is_ok(), "4-vertex resnet cell must be enumerated");
+        // No cell exceeds the bound.
+        assert!(db.iter().all(|e| e.spec.num_vertices() <= 4));
+    }
+
+    #[test]
+    fn accuracy_distribution_matches_paper_axes() {
+        let db = NasbenchDatabase::build(500, 2020);
+        let (lo, mean, hi) = db.accuracy_stats(Dataset::Cifar10);
+        assert!(hi <= 0.955, "max accuracy {hi} above Fig. 4 ceiling");
+        assert!(hi >= 0.935, "max accuracy {hi} below Fig. 4 top region");
+        assert!(lo >= 0.5, "min {lo} absurdly low");
+        assert!(lo < 0.91, "min {lo}: need a low-accuracy tail like Fig. 5a");
+        assert!((0.895..0.945).contains(&mean), "mean {mean} off the Fig. 4 bulk");
+    }
+}

@@ -1,0 +1,55 @@
+//! NASBench-101-style CNN search space with a surrogate accuracy database.
+//!
+//! This crate is the CNN half of the Codesign-NAS reproduction (DAC 2020,
+//! Abdelfattah et al.): the cell search space of Fig. 2, NASBench-101's
+//! validation/pruning/canonicalization rules, lowering of cells into concrete
+//! operation lists for the FPGA latency model, and a deterministic surrogate
+//! standing in for the NASBench accuracy database (see the substitution notes
+//! in `DESIGN.md` and [`surrogate`]).
+//!
+//! # Quick tour
+//!
+//! ```
+//! use codesign_nasbench::{
+//!     known_cells, Dataset, NasbenchDatabase, Network, NetworkConfig,
+//! };
+//!
+//! # fn main() -> Result<(), codesign_nasbench::SpecError> {
+//! // A cell is a tiny DAG; a network is the cell repeated through Fig. 2's skeleton.
+//! let cell = known_cells::resnet_cell();
+//! let network = Network::assemble(&cell, &NetworkConfig::default());
+//! println!("{} MMACs", network.macs() / 1_000_000);
+//!
+//! // The database answers accuracy queries like NASBench-101.
+//! let db = NasbenchDatabase::build(100, 0);
+//! let acc = db.query(&cell)?.mean_accuracy(Dataset::Cifar10);
+//! assert!(acc > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod canon;
+pub mod cell;
+pub mod database;
+pub mod features;
+pub mod graph;
+pub mod known_cells;
+pub mod mutate;
+pub mod network;
+pub mod ops;
+pub mod sampler;
+pub mod spec;
+pub mod surrogate;
+
+mod error;
+
+pub use cell::{CellProgram, OpInstance, OpKind};
+pub use database::{DbEntry, NasbenchDatabase};
+pub use error::SpecError;
+pub use features::CellFeatures;
+pub use graph::{AdjMatrix, MAX_VERTICES};
+pub use network::{Network, NetworkConfig, NetworkUnit};
+pub use ops::Op;
+pub use sampler::{enumerate_cells, SpecSampler};
+pub use spec::{CellSpec, MAX_EDGES};
+pub use surrogate::{Dataset, Evaluation, SurrogateModel, NUM_SEEDS};

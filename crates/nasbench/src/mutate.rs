@@ -1,0 +1,224 @@
+//! Cell mutation operators.
+//!
+//! Local perturbations of a cell — flip one edge, relabel one operation, or
+//! grow/shrink by a vertex — with validity repair by retry. These power the
+//! cell-level variant of the aging-evolution searcher and are generally
+//! useful for local-search baselines and landscape analysis (how much does
+//! accuracy change across one-edit neighbors?).
+
+use rand::Rng;
+
+use crate::graph::{AdjMatrix, MAX_VERTICES};
+use crate::{CellSpec, Op};
+
+/// The kinds of local edits a mutation may apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Toggle one upper-triangular edge slot.
+    FlipEdge,
+    /// Replace one interior vertex's operation.
+    RelabelOp,
+}
+
+/// Applies one random valid mutation to `cell`, retrying until the edited
+/// graph passes validation (bounded attempts; falls back to the input).
+///
+/// The result is guaranteed valid but may occasionally equal the input when
+/// the neighborhood is hostile (e.g. every edge flip disconnects the graph).
+///
+/// # Examples
+///
+/// ```
+/// use codesign_nasbench::{known_cells, mutate::mutate};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let parent = known_cells::resnet_cell();
+/// let child = mutate(&parent, &mut rng);
+/// assert!(child.num_edges() <= 9);
+/// ```
+#[must_use]
+pub fn mutate<R: Rng + ?Sized>(cell: &CellSpec, rng: &mut R) -> CellSpec {
+    for _ in 0..64 {
+        let kind = if rng.gen_bool(0.5) { MutationKind::FlipEdge } else { MutationKind::RelabelOp };
+        if let Some(child) = try_mutation(cell, kind, rng) {
+            return child;
+        }
+    }
+    cell.clone()
+}
+
+/// Attempts one specific mutation; `None` when the edit produced an invalid
+/// cell (disconnected, over the edge budget) or was a no-op.
+#[must_use]
+pub fn try_mutation<R: Rng + ?Sized>(
+    cell: &CellSpec,
+    kind: MutationKind,
+    rng: &mut R,
+) -> Option<CellSpec> {
+    let n = cell.num_vertices();
+    match kind {
+        MutationKind::FlipEdge => {
+            let mut matrix = AdjMatrix::empty(n).ok()?;
+            // Pick a random slot to toggle, then copy with the flip applied.
+            let slots: Vec<(usize, usize)> =
+                (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+            let &(fi, fj) = &slots[rng.gen_range(0..slots.len())];
+            for &(i, j) in &slots {
+                let mut present = cell.matrix().has_edge(i, j);
+                if (i, j) == (fi, fj) {
+                    present = !present;
+                }
+                if present {
+                    matrix.add_edge(i, j).ok()?;
+                }
+            }
+            let child = CellSpec::new(matrix, cell.ops().to_vec()).ok()?;
+            (child.canonical_hash() != cell.canonical_hash()).then_some(child)
+        }
+        MutationKind::RelabelOp => {
+            if cell.ops().is_empty() {
+                return None;
+            }
+            let mut ops = cell.ops().to_vec();
+            let slot = rng.gen_range(0..ops.len());
+            let replacement = Op::ALL[rng.gen_range(0..Op::COUNT)];
+            if ops[slot] == replacement {
+                return None;
+            }
+            ops[slot] = replacement;
+            let child = CellSpec::new(cell.matrix().clone(), ops).ok()?;
+            (child.canonical_hash() != cell.canonical_hash()).then_some(child)
+        }
+    }
+}
+
+/// All distinct one-edit neighbors of a cell (edge flips + op relabels),
+/// deduplicated by canonical hash.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_nasbench::{known_cells, mutate::neighbors};
+///
+/// let hood = neighbors(&known_cells::plain_cell());
+/// assert!(!hood.is_empty());
+/// ```
+#[must_use]
+pub fn neighbors(cell: &CellSpec) -> Vec<CellSpec> {
+    let n = cell.num_vertices().min(MAX_VERTICES);
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(cell.canonical_hash());
+    // Edge flips.
+    for fi in 0..n {
+        for fj in (fi + 1)..n {
+            let mut matrix = match AdjMatrix::empty(n) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            let mut ok = true;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let mut present = cell.matrix().has_edge(i, j);
+                    if (i, j) == (fi, fj) {
+                        present = !present;
+                    }
+                    if present && matrix.add_edge(i, j).is_err() {
+                        ok = false;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            if let Ok(child) = CellSpec::new(matrix, cell.ops().to_vec()) {
+                if seen.insert(child.canonical_hash()) {
+                    out.push(child);
+                }
+            }
+        }
+    }
+    // Op relabels.
+    for slot in 0..cell.ops().len() {
+        for op in Op::ALL {
+            if cell.ops()[slot] == op {
+                continue;
+            }
+            let mut ops = cell.ops().to_vec();
+            ops[slot] = op;
+            if let Ok(child) = CellSpec::new(cell.matrix().clone(), ops) {
+                if seen.insert(child.canonical_hash()) {
+                    out.push(child);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::known_cells;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutation_always_returns_valid_cells() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut cell = known_cells::googlenet_cell();
+        for _ in 0..200 {
+            cell = mutate(&cell, &mut rng);
+            assert!(cell.num_edges() <= crate::MAX_EDGES);
+            assert!(cell.num_vertices() >= 2);
+        }
+    }
+
+    #[test]
+    fn mutation_usually_changes_the_cell() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let parent = known_cells::resnet_cell();
+        let changed = (0..50)
+            .filter(|_| mutate(&parent, &mut rng).canonical_hash() != parent.canonical_hash())
+            .count();
+        assert!(changed >= 45, "only {changed}/50 mutations changed the cell");
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let parent = known_cells::resnet_cell();
+        for _ in 0..20 {
+            if let Some(child) = try_mutation(&parent, MutationKind::RelabelOp, &mut rng) {
+                assert_eq!(child.num_vertices(), parent.num_vertices());
+                assert_eq!(child.num_edges(), parent.num_edges());
+                assert_ne!(child.ops(), parent.ops());
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_distinct_valid_and_one_edit_away() {
+        let parent = known_cells::resnet_cell();
+        let hood = neighbors(&parent);
+        assert!(hood.len() >= 5, "resnet cell has {} neighbors", hood.len());
+        let mut hashes: Vec<u128> = hood.iter().map(CellSpec::canonical_hash).collect();
+        let before = hashes.len();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(before, hashes.len());
+        assert!(hashes.binary_search(&parent.canonical_hash()).is_err());
+    }
+
+    #[test]
+    fn plain_cell_neighborhood_contains_op_swaps() {
+        let hood = neighbors(&known_cells::plain_cell());
+        // Swapping the single conv3x3 for conv1x1 / maxpool gives 2 relabels.
+        let relabels = hood
+            .iter()
+            .filter(|c| c.num_vertices() == 3 && c.num_edges() == 2)
+            .count();
+        assert!(relabels >= 2, "got {relabels}");
+    }
+}

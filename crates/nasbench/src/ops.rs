@@ -1,0 +1,128 @@
+//! Cell operation vocabulary.
+//!
+//! NASBench-101 labels every interior cell vertex with one of three
+//! operations; the paper inherits this vocabulary unchanged (Fig. 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An interior-vertex operation in the NASBench-101 cell space.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_nasbench::Op;
+///
+/// assert_eq!(Op::ALL.len(), 3);
+/// assert_eq!(Op::Conv3x3.to_string(), "conv3x3-bn-relu");
+/// assert!(Op::Conv3x3.is_conv());
+/// assert!(!Op::MaxPool3x3.is_conv());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Op {
+    /// 3×3 convolution followed by batch-norm and ReLU.
+    Conv3x3,
+    /// 1×1 convolution followed by batch-norm and ReLU.
+    Conv1x1,
+    /// 3×3 max-pooling, stride 1, padding "same".
+    MaxPool3x3,
+}
+
+impl Op {
+    /// All operations, in canonical label order.
+    pub const ALL: [Op; 3] = [Op::Conv3x3, Op::Conv1x1, Op::MaxPool3x3];
+
+    /// Number of distinct operations.
+    pub const COUNT: usize = 3;
+
+    /// Returns `true` for convolutions (the ops that consume DSPs on the
+    /// accelerator).
+    #[must_use]
+    pub fn is_conv(&self) -> bool {
+        matches!(self, Op::Conv3x3 | Op::Conv1x1)
+    }
+
+    /// Convolution kernel size; 1 for pooling (used only by feature code).
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        match self {
+            Op::Conv3x3 | Op::MaxPool3x3 => 3,
+            Op::Conv1x1 => 1,
+        }
+    }
+
+    /// Canonical integer label used in graph hashing (stable across runs).
+    #[must_use]
+    pub fn label(&self) -> u8 {
+        match self {
+            Op::Conv3x3 => 0,
+            Op::Conv1x1 => 1,
+            Op::MaxPool3x3 => 2,
+        }
+    }
+
+    /// Inverse of [`Op::label`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use codesign_nasbench::Op;
+    /// assert_eq!(Op::from_label(1), Some(Op::Conv1x1));
+    /// assert_eq!(Op::from_label(7), None);
+    /// ```
+    #[must_use]
+    pub fn from_label(label: u8) -> Option<Op> {
+        match label {
+            0 => Some(Op::Conv3x3),
+            1 => Some(Op::Conv1x1),
+            2 => Some(Op::MaxPool3x3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Op::Conv3x3 => "conv3x3-bn-relu",
+            Op::Conv1x1 => "conv1x1-bn-relu",
+            Op::MaxPool3x3 => "maxpool3x3",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_label(op.label()), Some(op));
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<u8> = Op::ALL.iter().map(Op::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Op::COUNT);
+    }
+
+    #[test]
+    fn kernel_sizes() {
+        assert_eq!(Op::Conv3x3.kernel(), 3);
+        assert_eq!(Op::Conv1x1.kernel(), 1);
+        assert_eq!(Op::MaxPool3x3.kernel(), 3);
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let mut names: Vec<String> = Op::ALL.iter().map(ToString::to_string).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! From-scratch REINFORCE LSTM controller for neural architecture search.
+//!
+//! The Codesign-NAS controller (§II-A of the DAC 2020 paper) is "a single
+//! LSTM cell followed by a linear layer", sampled to produce a decision
+//! sequence and updated with REINFORCE. This crate implements the whole
+//! stack with no ML-framework dependency:
+//!
+//! * [`math`] — dense matrices, masked softmax, entropy;
+//! * [`nn`] — [`Linear`](nn::Linear), [`Embedding`](nn::Embedding) and
+//!   [`LstmCell`](nn::LstmCell) with hand-written backward passes
+//!   (finite-difference-checked in the tests);
+//! * [`policy`] — autoregressive decoding over heterogeneous decision
+//!   vocabularies with per-position logit masking;
+//! * [`reinforce`] — the REINFORCE loop with EMA baseline and entropy bonus;
+//! * [`optim`] — SGD and Adam with global-norm gradient clipping.
+//!
+//! # Examples
+//!
+//! Train the controller to prefer one specific sequence:
+//!
+//! ```
+//! use codesign_rl::{LstmPolicy, PolicyConfig, ReinforceConfig, ReinforceTrainer};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let policy = LstmPolicy::new(PolicyConfig::new(vec![3, 3]), &mut rng);
+//! let mut trainer = ReinforceTrainer::new(policy, ReinforceConfig::default());
+//! for _ in 0..200 {
+//!     let rollout = trainer.propose(&mut rng);
+//!     let reward = f64::from(rollout.actions == vec![1, 1]);
+//!     trainer.learn(&rollout, reward);
+//! }
+//! assert!(trainer.policy().log_prob(&[1, 1]).exp() > 0.2);
+//! ```
+
+pub mod math;
+pub mod nn;
+pub mod optim;
+pub mod policy;
+pub mod reinforce;
+
+pub use optim::{Adam, Sgd};
+pub use policy::{LstmPolicy, PolicyConfig, Rollout};
+pub use reinforce::{ReinforceConfig, ReinforceTrainer};

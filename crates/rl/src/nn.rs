@@ -1,0 +1,406 @@
+//! Neural-network layers with manual forward/backward passes.
+//!
+//! The controller is "a single LSTM cell followed by a linear layer" (§II-A,
+//! after [Zoph & Le 2016]). Everything here is written from scratch with
+//! explicit gradients; `tests` include finite-difference checks of every
+//! layer, and the policy-level gradient check lives in [`crate::policy`].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::math::{sigmoid, Matrix};
+
+/// A fully-connected layer `y = W·x + b` with gradient accumulators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weights, `out × in`.
+    pub w: Matrix,
+    /// Bias, `out`.
+    pub b: Vec<f64>,
+    /// Weight gradient accumulator.
+    pub dw: Matrix,
+    /// Bias gradient accumulator.
+    pub db: Vec<f64>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        Self {
+            w: Matrix::xavier(outputs, inputs, rng),
+            b: vec![0.0; outputs],
+            dw: Matrix::zeros(outputs, inputs),
+            db: vec![0.0; outputs],
+        }
+    }
+
+    /// Forward pass.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.w.matvec(x);
+        for (yi, bi) in y.iter_mut().zip(self.b.iter()) {
+            *yi += bi;
+        }
+        y
+    }
+
+    /// Accumulates gradients for one sample and returns `dL/dx`.
+    #[must_use]
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        self.dw.add_outer(dy, x);
+        for (g, d) in self.db.iter_mut().zip(dy.iter()) {
+            *g += d;
+        }
+        self.w.matvec_transpose(dy)
+    }
+
+    /// Clears gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.dw.fill_zero();
+        self.db.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// A learned lookup table mapping token ids to vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding {
+    /// `vocab × dim` table.
+    pub table: Matrix,
+    /// Gradient accumulator.
+    pub dtable: Matrix,
+}
+
+impl Embedding {
+    /// Uniformly-initialized table.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(vocab: usize, dim: usize, rng: &mut R) -> Self {
+        Self {
+            table: Matrix::uniform(vocab, dim, 0.1, rng),
+            dtable: Matrix::zeros(vocab, dim),
+        }
+    }
+
+    /// The embedding vector of `id`.
+    #[must_use]
+    pub fn forward(&self, id: usize) -> Vec<f64> {
+        self.table.row(id).to_vec()
+    }
+
+    /// Accumulates the gradient flowing into `id`'s row.
+    pub fn backward(&mut self, id: usize, dvec: &[f64]) {
+        for (g, d) in self.dtable.row_mut(id).iter_mut().zip(dvec.iter()) {
+            *g += d;
+        }
+    }
+
+    /// Clears gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.dtable.fill_zero();
+    }
+}
+
+/// Everything the LSTM backward pass needs from one forward step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmCache {
+    /// Input vector.
+    pub x: Vec<f64>,
+    /// Previous hidden state.
+    pub h_prev: Vec<f64>,
+    /// Previous cell state.
+    pub c_prev: Vec<f64>,
+    /// Input gate activations.
+    pub i: Vec<f64>,
+    /// Forget gate activations.
+    pub f: Vec<f64>,
+    /// Candidate activations (tanh).
+    pub g: Vec<f64>,
+    /// Output gate activations.
+    pub o: Vec<f64>,
+    /// New cell state.
+    pub c: Vec<f64>,
+    /// New hidden state.
+    pub h: Vec<f64>,
+}
+
+/// A single LSTM cell with gradient accumulators.
+///
+/// Gate layout in the stacked weight matrices is `[i, f, g, o]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmCell {
+    /// Input weights, `4H × I`.
+    pub wx: Matrix,
+    /// Recurrent weights, `4H × H`.
+    pub wh: Matrix,
+    /// Bias, `4H` (forget-gate chunk initialized to 1 for gradient flow).
+    pub b: Vec<f64>,
+    /// Gradients.
+    pub dwx: Matrix,
+    /// Recurrent weight gradients.
+    pub dwh: Matrix,
+    /// Bias gradients.
+    pub db: Vec<f64>,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// New cell with `inputs`-dimensional input and `hidden`-dimensional state.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(inputs: usize, hidden: usize, rng: &mut R) -> Self {
+        let mut b = vec![0.0; 4 * hidden];
+        // Standard trick: forget-gate bias starts at 1.
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        Self {
+            wx: Matrix::xavier(4 * hidden, inputs, rng),
+            wh: Matrix::xavier(4 * hidden, hidden, rng),
+            b,
+            dwx: Matrix::zeros(4 * hidden, inputs),
+            dwh: Matrix::zeros(4 * hidden, hidden),
+            db: vec![0.0; 4 * hidden],
+            hidden,
+        }
+    }
+
+    /// State dimensionality.
+    #[must_use]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step: returns the cache holding `(h, c)` and gate activations.
+    #[must_use]
+    pub fn forward(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> LstmCache {
+        let hsz = self.hidden;
+        let mut z = self.wx.matvec(x);
+        let zh = self.wh.matvec(h_prev);
+        for (a, (b, c)) in z.iter_mut().zip(zh.iter().zip(self.b.iter())) {
+            *a += b + c;
+        }
+        let mut i = vec![0.0; hsz];
+        let mut f = vec![0.0; hsz];
+        let mut g = vec![0.0; hsz];
+        let mut o = vec![0.0; hsz];
+        for k in 0..hsz {
+            i[k] = sigmoid(z[k]);
+            f[k] = sigmoid(z[hsz + k]);
+            g[k] = z[2 * hsz + k].tanh();
+            o[k] = sigmoid(z[3 * hsz + k]);
+        }
+        let mut c = vec![0.0; hsz];
+        let mut h = vec![0.0; hsz];
+        for k in 0..hsz {
+            c[k] = f[k] * c_prev[k] + i[k] * g[k];
+            h[k] = o[k] * c[k].tanh();
+        }
+        LstmCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            c,
+            h,
+        }
+    }
+
+    /// Backward through one step. `dh`/`dc` are the gradients flowing into
+    /// this step's outputs; returns `(dx, dh_prev, dc_prev)`.
+    #[must_use]
+    pub fn backward(
+        &mut self,
+        cache: &LstmCache,
+        dh: &[f64],
+        dc_in: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let hsz = self.hidden;
+        let mut dz = vec![0.0; 4 * hsz];
+        let mut dc_prev = vec![0.0; hsz];
+        for k in 0..hsz {
+            let tc = cache.c[k].tanh();
+            let do_ = dh[k] * tc;
+            let dc = dc_in[k] + dh[k] * cache.o[k] * (1.0 - tc * tc);
+            let di = dc * cache.g[k];
+            let df = dc * cache.c_prev[k];
+            let dg = dc * cache.i[k];
+            dc_prev[k] = dc * cache.f[k];
+            dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+            dz[hsz + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+            dz[2 * hsz + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+            dz[3 * hsz + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+        }
+        self.dwx.add_outer(&dz, &cache.x);
+        self.dwh.add_outer(&dz, &cache.h_prev);
+        for (g, d) in self.db.iter_mut().zip(dz.iter()) {
+            *g += d;
+        }
+        let dx = self.wx.matvec_transpose(&dz);
+        let dh_prev = self.wh.matvec_transpose(&dz);
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// Clears gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.dwx.fill_zero();
+        self.dwh.fill_zero();
+        self.db.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-5;
+    const TOL: f64 = 1e-6;
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let x = vec![0.3, -0.7, 0.2];
+        // Loss: sum of outputs squared.
+        let dy: Vec<f64> = {
+            let y = layer.forward(&x);
+            y.iter().map(|v| 2.0 * v).collect()
+        };
+        layer.zero_grad();
+        let dx = layer.backward(&x, &dy);
+        // Check weight gradients.
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = layer.w.get(r, c);
+                let eval = |v: f64| {
+                    let mut l2 = layer.clone();
+                    l2.w.set(r, c, v);
+                    let y = l2.forward(&x);
+                    y.iter().map(|u| u * u).sum::<f64>()
+                };
+                let num = (eval(orig + EPS) - eval(orig - EPS)) / (2.0 * EPS);
+                assert!(
+                    (layer.dw.get(r, c) - num).abs() < TOL,
+                    "dW[{r},{c}] analytic {} vs numeric {}",
+                    layer.dw.get(r, c),
+                    num
+                );
+            }
+        }
+        // Check input gradient.
+        for k in 0..3 {
+            let eval = |v: f64| {
+                let mut x2 = x.clone();
+                x2[k] = v;
+                let y = layer.forward(&x2);
+                y.iter().map(|u| u * u).sum::<f64>()
+            };
+            let num = (eval(x[k] + EPS) - eval(x[k] - EPS)) / (2.0 * EPS);
+            assert!((dx[k] - num).abs() < TOL, "dx[{k}] {} vs {}", dx[k], num);
+        }
+    }
+
+    #[test]
+    fn embedding_gradient_goes_to_selected_row() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut e = Embedding::new(5, 3, &mut rng);
+        e.backward(2, &[1.0, 2.0, 3.0]);
+        assert_eq!(e.dtable.row(2), &[1.0, 2.0, 3.0]);
+        assert_eq!(e.dtable.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn lstm_forward_state_is_bounded() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cell = LstmCell::new(4, 8, &mut rng);
+        let cache = cell.forward(&[1.0, -1.0, 0.5, 2.0], &vec![0.0; 8], &vec![0.0; 8]);
+        assert!(cache.h.iter().all(|v| v.abs() <= 1.0), "h = o*tanh(c) is in [-1,1]");
+    }
+
+    #[test]
+    fn lstm_gradcheck_weights_and_inputs() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut cell = LstmCell::new(3, 4, &mut rng);
+        let x = vec![0.5, -0.3, 0.8];
+        let h0 = vec![0.1, -0.2, 0.3, 0.05];
+        let c0 = vec![0.2, 0.1, -0.1, 0.4];
+        // Loss: sum(h) + 0.5*sum(c).
+        let loss_of = |cell: &LstmCell, x: &[f64], h0: &[f64], c0: &[f64]| {
+            let cache = cell.forward(x, h0, c0);
+            cache.h.iter().sum::<f64>() + 0.5 * cache.c.iter().sum::<f64>()
+        };
+        let cache = cell.forward(&x, &h0, &c0);
+        cell.zero_grad();
+        let (dx, dh0, dc0) =
+            cell.backward(&cache, &vec![1.0; 4], &vec![0.5; 4]);
+
+        // Spot-check a grid of weight entries in wx and wh.
+        for (r, c) in [(0, 0), (3, 2), (5, 1), (9, 0), (13, 2), (15, 1)] {
+            let orig = cell.wx.get(r, c);
+            let eval = |v: f64| {
+                let mut c2 = cell.clone();
+                c2.wx.set(r, c, v);
+                loss_of(&c2, &x, &h0, &c0)
+            };
+            let num = (eval(orig + EPS) - eval(orig - EPS)) / (2.0 * EPS);
+            assert!(
+                (cell.dwx.get(r, c) - num).abs() < TOL,
+                "dwx[{r},{c}] {} vs {}",
+                cell.dwx.get(r, c),
+                num
+            );
+        }
+        for (r, c) in [(0, 0), (7, 3), (10, 2), (14, 1)] {
+            let orig = cell.wh.get(r, c);
+            let eval = |v: f64| {
+                let mut c2 = cell.clone();
+                c2.wh.set(r, c, v);
+                loss_of(&c2, &x, &h0, &c0)
+            };
+            let num = (eval(orig + EPS) - eval(orig - EPS)) / (2.0 * EPS);
+            assert!(
+                (cell.dwh.get(r, c) - num).abs() < TOL,
+                "dwh[{r},{c}] {} vs {}",
+                cell.dwh.get(r, c),
+                num
+            );
+        }
+        // Input and state gradients.
+        for k in 0..3 {
+            let eval = |v: f64| {
+                let mut x2 = x.clone();
+                x2[k] = v;
+                loss_of(&cell, &x2, &h0, &c0)
+            };
+            let num = (eval(x[k] + EPS) - eval(x[k] - EPS)) / (2.0 * EPS);
+            assert!((dx[k] - num).abs() < TOL, "dx[{k}]");
+        }
+        for k in 0..4 {
+            let eval_h = |v: f64| {
+                let mut h2 = h0.clone();
+                h2[k] = v;
+                loss_of(&cell, &x, &h2, &c0)
+            };
+            let num_h = (eval_h(h0[k] + EPS) - eval_h(h0[k] - EPS)) / (2.0 * EPS);
+            assert!((dh0[k] - num_h).abs() < TOL, "dh0[{k}] {} vs {}", dh0[k], num_h);
+            let eval_c = |v: f64| {
+                let mut c2 = c0.clone();
+                c2[k] = v;
+                loss_of(&cell, &x, &h0, &c2)
+            };
+            let num_c = (eval_c(c0[k] + EPS) - eval_c(c0[k] - EPS)) / (2.0 * EPS);
+            assert!((dc0[k] - num_c).abs() < TOL, "dc0[{k}] {} vs {}", dc0[k], num_c);
+        }
+    }
+
+    #[test]
+    fn forget_bias_starts_at_one() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        assert!(cell.b[3..6].iter().all(|&v| v == 1.0));
+        assert!(cell.b[0..3].iter().all(|&v| v == 0.0));
+    }
+}

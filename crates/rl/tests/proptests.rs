@@ -1,0 +1,96 @@
+//! Property-based tests of the controller across random shapes and seeds.
+
+use codesign_rl::{LstmPolicy, PolicyConfig, ReinforceConfig, ReinforceTrainer};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_vocab() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(2usize..7, 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rollouts_respect_vocabularies(vocab in arb_vocab(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut config = PolicyConfig::new(vocab.clone());
+        config.hidden = 8;
+        config.embed = 4;
+        let policy = LstmPolicy::new(config, &mut rng);
+        let r = policy.rollout(&mut rng);
+        prop_assert_eq!(r.actions.len(), vocab.len());
+        for (a, &v) in r.actions.iter().zip(vocab.iter()) {
+            prop_assert!(*a < v);
+        }
+        prop_assert!(r.log_prob <= 0.0);
+        prop_assert!(r.entropy >= 0.0);
+    }
+
+    #[test]
+    fn log_prob_matches_rollout(vocab in arb_vocab(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut config = PolicyConfig::new(vocab);
+        config.hidden = 8;
+        config.embed = 4;
+        let policy = LstmPolicy::new(config, &mut rng);
+        let r = policy.rollout(&mut rng);
+        prop_assert!((policy.log_prob(&r.actions) - r.log_prob).abs() < 1e-10);
+    }
+
+    #[test]
+    fn entropy_is_bounded_by_uniform(vocab in arb_vocab(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut config = PolicyConfig::new(vocab.clone());
+        config.hidden = 8;
+        config.embed = 4;
+        let policy = LstmPolicy::new(config, &mut rng);
+        let r = policy.rollout(&mut rng);
+        let max_entropy: f64 = vocab.iter().map(|&v| (v as f64).ln()).sum();
+        prop_assert!(r.entropy <= max_entropy + 1e-9);
+    }
+
+    #[test]
+    fn learning_with_zero_advantage_changes_nothing(vocab in arb_vocab(), seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut config = PolicyConfig::new(vocab);
+        config.hidden = 6;
+        config.embed = 3;
+        let mut policy = LstmPolicy::new(config, &mut rng);
+        let r = policy.rollout(&mut rng);
+        let before = {
+            let mut v = Vec::new();
+            policy.visit_params(&mut |p, _| v.extend_from_slice(p));
+            v
+        };
+        policy.zero_grad();
+        policy.accumulate_grad(&r, 0.0, 0.0);
+        // With advantage 0 and no entropy bonus, the gradient is exactly 0.
+        let mut grads = Vec::new();
+        policy.visit_params(&mut |_, g| grads.extend_from_slice(g));
+        prop_assert!(grads.iter().all(|g| g.abs() < 1e-12));
+        let after = {
+            let mut v = Vec::new();
+            policy.visit_params(&mut |p, _| v.extend_from_slice(p));
+            v
+        };
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn trainer_baseline_stays_within_reward_range(seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut config = PolicyConfig::new(vec![3, 3]);
+        config.hidden = 6;
+        config.embed = 3;
+        let policy = LstmPolicy::new(config, &mut rng);
+        let mut trainer = ReinforceTrainer::new(policy, ReinforceConfig::default());
+        for i in 0..30 {
+            let r = trainer.propose(&mut rng);
+            trainer.learn(&r, (i % 3) as f64 * 0.5); // rewards in {0, 0.5, 1.0}
+        }
+        let b = trainer.baseline().expect("updated");
+        prop_assert!((0.0..=1.0).contains(&b), "baseline {b}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Accelerator design-space exploration for a fixed CNN — the workload an
+//! FPGA engineer runs when the network is already chosen (and the second
+//! phase of the paper's "separate" baseline).
+//!
+//! Sweeps all 8,640 CHaiDNN configurations for the GoogLeNet cell under
+//! three objectives and shows how the winning configuration changes.
+//!
+//! Run: `cargo run --release --example accelerator_dse`
+
+use codesign_nas::accel::{
+    best_accelerator_for, AreaModel, ConfigSpace, DseObjective, LatencyModel,
+};
+use codesign_nas::nasbench::{known_cells, Network, NetworkConfig};
+
+fn main() {
+    let cell = known_cells::googlenet_cell();
+    let network = Network::assemble(&cell, &NetworkConfig::default());
+    let space = ConfigSpace::chaidnn();
+    let area_model = AreaModel::default();
+    let latency_model = LatencyModel::default();
+
+    println!(
+        "GoogLeNet-cell network: {:.1} GMACs, {:.1} M params, {} unique ops",
+        network.macs() as f64 / 1e9,
+        network.params() as f64 / 1e6,
+        network.unique_op_count()
+    );
+    println!("sweeping {} accelerator configurations per objective...\n", space.len());
+
+    let objectives = [
+        ("max perf/area (Table II pairing)", DseObjective::PerfPerArea),
+        ("min latency", DseObjective::Latency),
+        ("min latency under 100 mm2", DseObjective::LatencyUnderArea(100.0)),
+    ];
+    for (label, objective) in objectives {
+        let best = best_accelerator_for(&network, &space, objective, &area_model, &latency_model)
+            .expect("space is non-empty");
+        println!("{label}:");
+        println!("  config     {}", best.config);
+        println!(
+            "  metrics    {:.1} ms, {:.0} mm2, {:.1} img/s/cm2",
+            best.metrics.latency_ms,
+            best.metrics.area_mm2,
+            best.metrics.perf_per_area()
+        );
+    }
+
+    // The three-way tension in one picture: the latency-optimal accelerator
+    // is much larger than the efficiency-optimal one.
+    let ppa = best_accelerator_for(
+        &network,
+        &space,
+        DseObjective::PerfPerArea,
+        &area_model,
+        &latency_model,
+    )
+    .expect("space is non-empty");
+    let fast =
+        best_accelerator_for(&network, &space, DseObjective::Latency, &area_model, &latency_model)
+            .expect("space is non-empty");
+    println!(
+        "\nlatency-optimal is {:.1}x larger but only {:.2}x faster than efficiency-optimal",
+        fast.metrics.area_mm2 / ppa.metrics.area_mm2,
+        ppa.metrics.latency_ms / fast.metrics.latency_ms
+    );
+}

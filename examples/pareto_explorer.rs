@@ -1,0 +1,70 @@
+//! Enumerate a complete codesign space and interrogate its Pareto frontier —
+//! the §III-A analysis that motivates automated codesign: the optimal points
+//! are few, diverse, and impossible to guess by hand.
+//!
+//! Run: `cargo run --release --example pareto_explorer`
+
+use codesign_nas::core::{enumerate_codesign_space, top_pareto_points, Scenario};
+use codesign_nas::moo::hypervolume_3d;
+use codesign_nas::nasbench::{Dataset, NasbenchDatabase};
+
+fn main() {
+    // The complete <=4-vertex space keeps this example fast; the fig4_pareto
+    // binary scales the same code to millions of pairs.
+    let db = NasbenchDatabase::exhaustive(4);
+    println!("enumerating {} cells x 8640 accelerators...", db.len());
+    let result = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
+
+    println!(
+        "{} Pareto-optimal pairs out of {} ({:.5}% of the space)",
+        result.front.len(),
+        result.total_pairs,
+        result.front_fraction() * 100.0
+    );
+    println!(
+        "diversity: {} distinct cells, {} distinct accelerator configs",
+        result.distinct_front_cells, result.distinct_front_accels
+    );
+
+    // The three-way tradeoff, summarized as the frontier's extreme points.
+    let fastest = result
+        .front
+        .iter()
+        .min_by(|a, b| a.latency_ms().total_cmp(&b.latency_ms()))
+        .expect("front is non-empty");
+    let most_accurate = result
+        .front
+        .iter()
+        .max_by(|a, b| a.accuracy().total_cmp(&b.accuracy()))
+        .expect("front is non-empty");
+    let smallest = result
+        .front
+        .iter()
+        .min_by(|a, b| a.area_mm2().total_cmp(&b.area_mm2()))
+        .expect("front is non-empty");
+    for (label, p) in
+        [("fastest", fastest), ("most accurate", most_accurate), ("smallest", smallest)]
+    {
+        println!(
+            "{label:>14}: {:.1} ms, {:.2}%, {:.0} mm2 ({})",
+            p.latency_ms(),
+            p.accuracy() * 100.0,
+            p.area_mm2(),
+            p.config
+        );
+    }
+
+    // Frontier quality as one scalar: dominated hypervolume.
+    let metrics: Vec<[f64; 3]> = result.front.iter().map(|p| p.metrics).collect();
+    let hv = hypervolume_3d(&metrics, [-250.0, -500.0, 0.5]);
+    println!("dominated hypervolume (ref 250 mm2 / 500 ms / 50%): {hv:.0}");
+
+    // What each scenario's reward considers the "top" of this frontier.
+    for scenario in Scenario::ALL {
+        let top = top_pareto_points(scenario, &result, 5);
+        println!("\ntop-5 under the {} reward:", scenario.name());
+        for m in top {
+            println!("  {:.1} ms, {:.2}%, {:.0} mm2", -m[1], m[2] * 100.0, -m[0]);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: evaluate one model-accelerator pair, then let the controller
+//! search for a better one.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use codesign_nas::accel::ConfigSpace;
+use codesign_nas::core::{
+    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext,
+    SearchStrategy,
+};
+use codesign_nas::nasbench::{known_cells, NasbenchDatabase};
+
+fn main() {
+    // 1. Pick a CNN cell (the ResNet basic block) and an accelerator config.
+    let cell = known_cells::resnet_cell();
+    let config = ConfigSpace::chaidnn().get(8639);
+    println!("cell: {} vertices, {} edges", cell.num_vertices(), cell.num_edges());
+    println!("accelerator: {config}");
+
+    // 2. Evaluate the pair: accuracy, latency on that accelerator, area.
+    let mut evaluator = Evaluator::with_database(NasbenchDatabase::exhaustive(4));
+    let eval = evaluator
+        .evaluate_pair(&cell, &config)
+        .expect("the ResNet cell is always in the database");
+    println!(
+        "ResNet pair: {:.2}% accurate, {:.1} ms, {:.0} mm2, {:.1} img/s/cm2",
+        eval.accuracy * 100.0,
+        eval.latency_ms,
+        eval.area_mm2,
+        eval.perf_per_area()
+    );
+
+    // 3. Let Codesign-NAS search the joint space for something better under
+    //    the paper's unconstrained reward.
+    let space = CodesignSpace::with_max_vertices(4);
+    let reward = Scenario::Unconstrained.reward_spec();
+    let resnet_reward = reward.scalarize(&eval.metrics());
+    let mut ctx = SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+    let outcome = CombinedSearch.run(&mut ctx, &SearchConfig::quick(800, 42));
+
+    let best = outcome.best.expect("unconstrained search always finds feasible pairs");
+    println!(
+        "\nafter {} steps ({} feasible), best discovered pair:",
+        outcome.history.len(),
+        outcome.feasible_steps
+    );
+    println!(
+        "  {:.2}% accurate, {:.1} ms, {:.0} mm2 on {}",
+        best.evaluation.accuracy * 100.0,
+        best.evaluation.latency_ms,
+        best.evaluation.area_mm2,
+        best.config
+    );
+    println!(
+        "  reward {:.4} vs ResNet-pair reward {:.4}",
+        best.reward, resnet_reward
+    );
+    println!("  visited-point Pareto front holds {} pairs", outcome.front.len());
+}

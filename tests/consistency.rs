@@ -1,0 +1,99 @@
+//! Cross-crate consistency invariants: the search, the enumerator and the
+//! evaluator must agree about the same codesign space.
+
+use codesign_nas::core::{
+    enumerate_codesign_space, CodesignSpace, CombinedSearch, Evaluator, RandomSearch,
+    Scenario, SearchConfig, SearchContext, SearchStrategy,
+};
+use codesign_nas::moo::dominates;
+use codesign_nas::nasbench::{Dataset, NasbenchDatabase};
+
+/// The exact Pareto front must dominate (or tie) every point any search
+/// visits in the same space — the foundational guarantee behind Fig. 5's
+/// "how close did the search get" methodology.
+#[test]
+fn search_never_beats_the_exact_front() {
+    let db = NasbenchDatabase::exhaustive(4);
+    let space = CodesignSpace::with_max_vertices(4);
+    let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
+    let front: Vec<[f64; 3]> = enumeration.front.iter().map(|p| p.metrics).collect();
+
+    for (strategy, seed) in [
+        (&CombinedSearch as &dyn SearchStrategy, 1u64),
+        (&RandomSearch as &dyn SearchStrategy, 2u64),
+    ] {
+        let mut evaluator = Evaluator::with_database(db.clone());
+        let reward = Scenario::Unconstrained.reward_spec();
+        let mut ctx =
+            SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+        let outcome = strategy.run(&mut ctx, &SearchConfig::quick(300, seed));
+        for record in &outcome.history {
+            let Some(m) = record.metrics else { continue };
+            let beats_front = front.iter().all(|f| m != *f && !dominates(f, &m))
+                && front.iter().any(|f| dominates(&m, f));
+            assert!(
+                !beats_front,
+                "{}: visited point {m:?} dominates the exact front",
+                outcome.strategy
+            );
+        }
+    }
+}
+
+/// The enumerator's metrics must match the evaluator's for the same pair
+/// (they share models but take different code paths).
+#[test]
+fn enumerator_and_evaluator_agree() {
+    let db = NasbenchDatabase::exhaustive(3);
+    let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
+    let mut evaluator = Evaluator::with_database(db.clone());
+    for point in enumeration.front.iter().take(40) {
+        let cell = &db.entry(point.cell_index).expect("front index valid").spec;
+        let eval = evaluator.evaluate_pair(cell, &point.config).expect("cell in db");
+        assert!(
+            (eval.metrics()[0] - point.metrics[0]).abs() < 1e-9,
+            "area mismatch for {}",
+            point.config
+        );
+        assert!(
+            (eval.metrics()[1] - point.metrics[1]).abs() < 1e-9,
+            "latency mismatch for {}",
+            point.config
+        );
+        assert!((eval.metrics()[2] - point.metrics[2]).abs() < 1e-9, "accuracy mismatch");
+    }
+}
+
+/// Encoding a cell and decoding it back must hit the same database row.
+#[test]
+fn space_roundtrip_is_database_stable() {
+    let db = NasbenchDatabase::exhaustive(4);
+    let space = CodesignSpace::with_max_vertices(4);
+    for entry in db.iter().take(100) {
+        let actions = space.cnn().encode(&entry.spec);
+        let decoded = space.cnn().decode(&actions).expect("encode produces valid actions");
+        let round = db.query(&decoded).expect("decoded cell is the same database row");
+        assert_eq!(round.spec.canonical_hash(), entry.spec.canonical_hash());
+    }
+}
+
+/// Different strategies over the same seed and space see identical metrics
+/// for identical proposals (the evaluator is pure).
+#[test]
+fn evaluator_is_referentially_transparent() {
+    let db = NasbenchDatabase::exhaustive(4);
+    let space = CodesignSpace::with_max_vertices(4);
+    let reward = Scenario::Unconstrained.reward_spec();
+    let run = |seed: u64| {
+        let mut evaluator = Evaluator::with_database(db.clone());
+        let mut ctx =
+            SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+        RandomSearch.run(&mut ctx, &SearchConfig::quick(200, seed))
+    };
+    let a = run(9);
+    let b = run(9);
+    for (ra, rb) in a.history.iter().zip(b.history.iter()) {
+        assert_eq!(ra.metrics, rb.metrics);
+        assert_eq!(ra.reward, rb.reward);
+    }
+}

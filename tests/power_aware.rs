@@ -1,0 +1,99 @@
+//! Extension test: four-objective codesign with the power model.
+//!
+//! Fig. 1 of the paper lists power among the evaluator outputs but the
+//! evaluation never uses it; this test wires `codesign_accel::PowerModel`
+//! into a `RewardSpec<4>` over `(-area, -lat, acc, -power)` and checks the
+//! machinery composes end to end.
+
+use codesign_nas::accel::{AreaModel, ConfigSpace, LatencyModel, PowerModel, Scheduler};
+use codesign_nas::moo::pareto::pareto_indices;
+use codesign_nas::moo::{LinearNorm, RewardSpec};
+use codesign_nas::nasbench::{known_cells, Dataset, Network, NetworkConfig, SurrogateModel};
+
+fn four_objective_spec() -> RewardSpec<4> {
+    RewardSpec::builder()
+        .weights([0.1, 0.5, 0.2, 0.2])
+        .expect("static weights")
+        .norms([
+            LinearNorm::new(-215.0, -45.0).expect("static"),
+            LinearNorm::new(-400.0, -5.0).expect("static"),
+            LinearNorm::new(0.80, 0.95).expect("static"),
+            LinearNorm::new(-12.0, -0.5).expect("static"),
+        ])
+        .threshold(3, -6.0) // peak power under 6 W
+        .build()
+        .expect("complete spec")
+}
+
+fn metrics_for(cell_name: &str, config_idx: usize) -> [f64; 4] {
+    let cell = known_cells::all_named()
+        .into_iter()
+        .find(|(n, _)| *n == cell_name)
+        .expect("known cell")
+        .1;
+    let config = ConfigSpace::chaidnn().get(config_idx);
+    let network = Network::assemble(&cell, &NetworkConfig::default());
+    let area_model = AreaModel::default();
+    let area = area_model.area_mm2(&config);
+    let latency = Scheduler::new(LatencyModel::default(), config).network_latency_ms(&network);
+    let accuracy = SurrogateModel::default().evaluate(&cell, Dataset::Cifar10).mean_accuracy();
+    let power = PowerModel::default().peak_power(&area_model, &config).total_w();
+    [-area, -latency, accuracy, -power]
+}
+
+#[test]
+fn four_objective_reward_composes() {
+    let spec = four_objective_spec();
+    let small = metrics_for("googlenet", 0);
+    let large = metrics_for("googlenet", 8639);
+    // Small configurations stay under the power cap; the largest blows it.
+    assert!(spec.evaluate(&small).is_feasible(), "small config metrics {small:?}");
+    assert!(!spec.evaluate(&large).is_feasible(), "large config metrics {large:?}");
+    assert!(spec.evaluate(&large).value() < 0.0, "power violations are punished");
+}
+
+#[test]
+fn power_adds_a_real_tradeoff_dimension() {
+    // Sweep a slice of the space for one cell and check the 4-D Pareto front
+    // is larger than the 3-D front projected from it: power must be partially
+    // independent of area (utilization and interface width matter).
+    let mut four_d: Vec<[f64; 4]> = Vec::new();
+    for idx in (0..8640).step_by(160) {
+        four_d.push(metrics_for("resnet", idx));
+    }
+    let three_d: Vec<[f64; 3]> = four_d.iter().map(|m| [m[0], m[1], m[2]]).collect();
+    let front4 = pareto_indices(&four_d).len();
+    let front3 = pareto_indices(&three_d).len();
+    assert!(front4 >= front3, "adding an objective cannot shrink the front");
+}
+
+#[test]
+fn energy_ranks_differently_than_latency() {
+    // The fastest configuration is not the most energy-efficient one:
+    // energy = power x latency penalizes oversized arrays.
+    let area_model = AreaModel::default();
+    let power_model = PowerModel::default();
+    let network = Network::assemble(&known_cells::googlenet_cell(), &NetworkConfig::default());
+    let space = ConfigSpace::chaidnn();
+    let mut best_latency = (f64::INFINITY, 0usize);
+    let mut energies: Vec<(usize, f64)> = Vec::new();
+    for idx in (0..8640).step_by(97) {
+        let config = space.get(idx);
+        let latency =
+            Scheduler::new(LatencyModel::default(), config).network_latency_ms(&network);
+        if latency < best_latency.0 {
+            best_latency = (latency, idx);
+        }
+        let energy =
+            power_model.energy_mj(&area_model, &config, latency, 0.6, 0.2);
+        energies.push((idx, energy));
+    }
+    let best_energy = energies
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty sweep");
+    assert_ne!(
+        best_energy.0, best_latency.1,
+        "energy-optimal config should differ from latency-optimal"
+    );
+}

@@ -1,0 +1,153 @@
+//! Paper-claim regression tests: every table and figure has a scaled-down
+//! assertion here, so `cargo test` alone certifies the reproduction's shape.
+//! Full-scale numbers live in `EXPERIMENTS.md` and come from the
+//! `codesign-bench` binaries.
+
+use codesign_nas::accel::{
+    validate_area_model, validate_latency_model, AreaModel, ConfigSpace, FpgaDevice,
+    LatencyModel,
+};
+use codesign_nas::core::{
+    enumerate_codesign_space, run_cifar100_codesign, table2_baselines, top_pareto_points,
+    Cifar100Config, Scenario, ThresholdSchedule,
+};
+use codesign_nas::nasbench::{Dataset, NasbenchDatabase};
+
+// ---------- Table I ----------
+
+#[test]
+fn table1_device_constants() {
+    let dev = FpgaDevice::zynq_ultrascale_plus();
+    assert_eq!(dev.clb_area_mm2, 0.0044);
+    assert_eq!(dev.bram_area_mm2, 0.026);
+    assert_eq!(dev.dsp_area_mm2, 0.044);
+    let clb_eq = dev.total_clb_equivalents();
+    assert!((64_900..=65_000).contains(&clb_eq), "paper: 64,922, got {clb_eq}");
+    assert!((dev.total_area_mm2() - 286.0).abs() < 3.0, "paper: 286 mm2");
+}
+
+#[test]
+fn section2c_model_validation_errors() {
+    // Paper: area model 1.6% mean error; latency model "85% accurate".
+    let area = validate_area_model(&AreaModel::default());
+    assert!(area.mean_abs_pct_error < 5.0, "area error {}", area.mean_abs_pct_error);
+    let latency = validate_latency_model(&LatencyModel::default());
+    assert!(latency.mean_abs_pct_error < 25.0, "latency error {}", latency.mean_abs_pct_error);
+}
+
+// ---------- Fig. 3 ----------
+
+#[test]
+fn fig3_space_has_8640_accelerators() {
+    assert_eq!(ConfigSpace::chaidnn().len(), 8640);
+}
+
+// ---------- Fig. 4 ----------
+
+#[test]
+fn fig4_pareto_structure() {
+    let db = NasbenchDatabase::exhaustive(4);
+    let result = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
+    // "less than 0.0001% of points were Pareto-optimal" at full scale; at
+    // this reduced scale the fraction is still well under a percent.
+    assert!(result.front_fraction() < 0.002, "fraction {}", result.front_fraction());
+    // "the Pareto-optimal points are very diverse".
+    assert!(result.distinct_front_cells >= 3);
+    assert!(result.distinct_front_accels >= 10);
+    // Three-way tradeoff: the frontier is not a single accelerator area.
+    let areas: Vec<f64> = result.front.iter().map(|p| p.area_mm2()).collect();
+    let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = areas.iter().copied().fold(0.0, f64::max);
+    assert!(max > 1.5 * min, "areas {min}..{max} should span a wide range");
+}
+
+#[test]
+fn fig5_reference_points_maximize_reward() {
+    let db = NasbenchDatabase::exhaustive(4);
+    let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
+    for scenario in Scenario::ALL {
+        let top = top_pareto_points(scenario, &enumeration, 10);
+        let spec = scenario.reward_spec();
+        // Every other front point scores no better than the top-10 floor.
+        if let Some(floor) = top.last().map(|m| spec.scalarize(m)) {
+            let better = enumeration
+                .front
+                .iter()
+                .filter(|p| spec.is_feasible(&p.metrics))
+                .filter(|p| spec.scalarize(&p.metrics) > floor + 1e-12)
+                .count();
+            assert!(better < 10, "{}: {better} points above the top-10 floor", scenario.name());
+        }
+    }
+}
+
+// ---------- Fig. 7 / Tables II-III ----------
+
+#[test]
+fn fig7_flow_shape() {
+    let config = Cifar100Config {
+        schedule: ThresholdSchedule { stages: vec![(2.0, 40), (16.0, 40), (40.0, 80)] },
+        seed: 0,
+        max_steps_per_stage: 3_000,
+        ..Cifar100Config::default()
+    };
+    let result = run_cifar100_codesign(&config);
+    assert_eq!(result.total_valid_points, 160);
+    // Higher thresholds push efficiency up...
+    let best_ppa_first = result.stages[0]
+        .top_points
+        .iter()
+        .map(|p| p.perf_per_area())
+        .fold(0.0, f64::max);
+    let best_ppa_last = result.stages[2]
+        .top_points
+        .iter()
+        .map(|p| p.perf_per_area())
+        .fold(0.0, f64::max);
+    assert!(best_ppa_last > best_ppa_first, "{best_ppa_first} -> {best_ppa_last}");
+    // ...and every stage point satisfies its own threshold.
+    for stage in &result.stages {
+        for p in &stage.top_points {
+            assert!(p.perf_per_area() >= stage.threshold);
+        }
+    }
+    // Simulated training cost is accounted per distinct model.
+    assert!(result.gpu_hours > 5.0);
+    assert!(result.models_trained >= 20);
+}
+
+#[test]
+fn table2_baseline_ordering_matches_paper() {
+    let rows = table2_baselines();
+    let resnet = &rows[0];
+    let googlenet = &rows[1];
+    // Paper: ResNet 72.9% > GoogLeNet 71.5%; GoogLeNet 39.3 >> ResNet 12.8.
+    assert!(resnet.accuracy > googlenet.accuracy);
+    assert!(googlenet.perf_per_area() > 2.0 * resnet.perf_per_area());
+    // Absolute calibration bands (generous: our substrate is a simulator).
+    assert!((0.70..0.76).contains(&resnet.accuracy));
+    assert!((0.69..0.74).contains(&googlenet.accuracy));
+    assert!((8.0..20.0).contains(&resnet.perf_per_area()));
+    assert!((25.0..55.0).contains(&googlenet.perf_per_area()));
+}
+
+#[test]
+fn cod1_exists_at_moderate_scale() {
+    // A half-scale §IV run must already find a pair that beats ResNet on
+    // both axes (the paper's Cod-1 headline claim).
+    let config = Cifar100Config {
+        schedule: ThresholdSchedule {
+            stages: vec![(2.0, 150), (8.0, 150), (16.0, 150), (30.0, 200), (40.0, 300)],
+        },
+        seed: 0,
+        max_steps_per_stage: 6_000,
+        ..Cifar100Config::default()
+    };
+    let result = run_cifar100_codesign(&config);
+    let baselines = table2_baselines();
+    let cod1 = result.best_against(&baselines[0]);
+    assert!(cod1.is_some(), "no discovered point beat ResNet on both axes");
+    let cod1 = cod1.expect("checked");
+    assert!(cod1.accuracy > baselines[0].accuracy);
+    assert!(cod1.perf_per_area() > baselines[0].perf_per_area());
+}
