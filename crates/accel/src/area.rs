@@ -11,13 +11,11 @@
 //! higher-fidelity reference, mirroring the paper's "1.6% average error
 //! against 10 full FPGA compilations".
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::AcceleratorConfig;
 use crate::device::{FpgaDevice, ResourceUsage};
 
 /// Per-component resource breakdown of one accelerator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AreaBreakdown {
     /// The convolution engine(s), including MAC arrays and window buffers.
     pub conv_engines: ResourceUsage,
@@ -35,11 +33,7 @@ impl AreaBreakdown {
     /// Sum over all components.
     #[must_use]
     pub fn total(&self) -> ResourceUsage {
-        self.conv_engines
-            + self.pooling_engine
-            + self.buffers
-            + self.mem_interface
-            + self.platform
+        self.conv_engines + self.pooling_engine + self.buffers + self.mem_interface + self.platform
     }
 }
 
@@ -55,7 +49,7 @@ impl AreaBreakdown {
 /// let area = model.area_mm2(&space.get(0));
 /// assert!(area > 40.0 && area < 250.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaModel {
     device: FpgaDevice,
     /// DSPs per MAC slot (16-bit multiply-accumulate uses a DSP pair).
@@ -78,7 +72,10 @@ impl AreaModel {
     /// Creates a model for a specific device.
     #[must_use]
     pub fn new(device: FpgaDevice) -> Self {
-        Self { device, ..Self::default() }
+        Self {
+            device,
+            ..Self::default()
+        }
     }
 
     /// The device whose Table-I constants are used.
@@ -181,13 +178,25 @@ impl AreaModel {
 
     fn mem_interface(&self, config: &AcceleratorConfig) -> ResourceUsage {
         match config.mem_interface_width {
-            512 => ResourceUsage { clbs: 2400, brams: 16, dsps: 0 },
-            _ => ResourceUsage { clbs: 1200, brams: 8, dsps: 0 },
+            512 => ResourceUsage {
+                clbs: 2400,
+                brams: 16,
+                dsps: 0,
+            },
+            _ => ResourceUsage {
+                clbs: 1200,
+                brams: 8,
+                dsps: 0,
+            },
         }
     }
 
     fn platform() -> ResourceUsage {
-        ResourceUsage { clbs: 6500, brams: 40, dsps: 32 }
+        ResourceUsage {
+            clbs: 6500,
+            brams: 40,
+            dsps: 32,
+        }
     }
 }
 
@@ -237,7 +246,11 @@ mod tests {
     fn every_config_fits_the_device() {
         let model = AreaModel::default();
         for c in space().iter() {
-            assert!(model.fits_device(&c), "{c} does not fit: {}", model.resources(&c));
+            assert!(
+                model.fits_device(&c),
+                "{c} does not fit: {}",
+                model.resources(&c)
+            );
         }
     }
 
@@ -251,8 +264,14 @@ mod tests {
             lo = lo.min(a);
             hi = hi.max(a);
         }
-        assert!((45.0..=70.0).contains(&lo), "min area {lo}, Fig 4 shows ~55");
-        assert!((180.0..=230.0).contains(&hi), "max area {hi}, Fig 4 shows ~200");
+        assert!(
+            (45.0..=70.0).contains(&lo),
+            "min area {lo}, Fig 4 shows ~55"
+        );
+        assert!(
+            (180.0..=230.0).contains(&hi),
+            "max area {hi}, Fig 4 shows ~200"
+        );
     }
 
     #[test]
@@ -266,17 +285,41 @@ mod tests {
         let model = AreaModel::default();
         let base = min_config();
         let bumps: Vec<AcceleratorConfig> = vec![
-            AcceleratorConfig { filter_par: 16, ..base },
-            AcceleratorConfig { pixel_par: 8, ..base },
-            AcceleratorConfig { input_buffer_depth: 2048, ..base },
-            AcceleratorConfig { weight_buffer_depth: 2048, ..base },
-            AcceleratorConfig { output_buffer_depth: 2048, ..base },
-            AcceleratorConfig { mem_interface_width: 512, ..base },
-            AcceleratorConfig { pool_enable: true, ..base },
+            AcceleratorConfig {
+                filter_par: 16,
+                ..base
+            },
+            AcceleratorConfig {
+                pixel_par: 8,
+                ..base
+            },
+            AcceleratorConfig {
+                input_buffer_depth: 2048,
+                ..base
+            },
+            AcceleratorConfig {
+                weight_buffer_depth: 2048,
+                ..base
+            },
+            AcceleratorConfig {
+                output_buffer_depth: 2048,
+                ..base
+            },
+            AcceleratorConfig {
+                mem_interface_width: 512,
+                ..base
+            },
+            AcceleratorConfig {
+                pool_enable: true,
+                ..base
+            },
         ];
         let a0 = model.area_mm2(&base);
         for c in bumps {
-            assert!(model.area_mm2(&c) > a0, "bumping a parameter must grow area: {c}");
+            assert!(
+                model.area_mm2(&c) > a0,
+                "bumping a parameter must grow area: {c}"
+            );
         }
     }
 
@@ -284,7 +327,10 @@ mod tests {
     fn splitting_engines_costs_area_but_conserves_dsps() {
         let model = AreaModel::default();
         let single = min_config();
-        let split = AcceleratorConfig { ratio_conv_engines: ConvEngineRatio::R50, ..single };
+        let split = AcceleratorConfig {
+            ratio_conv_engines: ConvEngineRatio::R50,
+            ..single
+        };
         let rs = model.resources(&single);
         let rp = model.resources(&split);
         assert_eq!(rs.dsps, rp.dsps, "MAC budget is shared, not duplicated");
@@ -313,7 +359,13 @@ mod tests {
         // Cod-1 with ~132 mm^2 ones; the model must reach both regimes.
         let model = AreaModel::default();
         let areas: Vec<f64> = space().iter().map(|c| model.area_mm2(&c)).collect();
-        assert!(areas.iter().any(|&a| (180.0..=195.0).contains(&a)), "no ~186mm2 config");
-        assert!(areas.iter().any(|&a| (125.0..=140.0).contains(&a)), "no ~132mm2 config");
+        assert!(
+            areas.iter().any(|&a| (180.0..=195.0).contains(&a)),
+            "no ~186mm2 config"
+        );
+        assert!(
+            areas.iter().any(|&a| (125.0..=140.0).contains(&a)),
+            "no ~132mm2 config"
+        );
     }
 }

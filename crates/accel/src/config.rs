@@ -7,7 +7,6 @@
 //! that splits the DSP budget between a 3×3-specialized and a
 //! 1×1-specialized convolution engine.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the DSP budget is divided between convolution engines.
@@ -15,7 +14,7 @@ use std::fmt;
 /// `Single` is CHaiDNN's default (one general engine runs every convolution);
 /// the fractional variants give that fraction of the MAC array to a
 /// 3×3-specialized engine and the remainder to a 1×1-specialized engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ConvEngineRatio {
     /// One general-purpose convolution engine (`ratio = 1`).
     Single,
@@ -81,7 +80,7 @@ impl fmt::Display for ConvEngineRatio {
 /// let config = space.get(0);
 /// assert!(space.iter().any(|c| c == config));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AcceleratorConfig {
     /// Output-filter parallelism of the convolution MAC array (8 or 16).
     pub filter_par: usize,
@@ -153,7 +152,7 @@ impl fmt::Display for AcceleratorConfig {
 /// [`ConfigSpace::chaidnn`] reproduces Fig. 3 exactly; custom spaces support
 /// the "more parameter-rich hardware design space" direction the paper's
 /// conclusion calls for.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigSpace {
     filter_par: Vec<usize>,
     pixel_par: Vec<usize>,
@@ -239,17 +238,33 @@ impl ConfigSpace {
     #[must_use]
     pub fn encode(&self, config: &AcceleratorConfig) -> [usize; NUM_DECISIONS] {
         let pos = |opts: &[usize], v: usize, name: &str| {
-            opts.iter().position(|&o| o == v).unwrap_or_else(|| {
-                panic!("{name} value {v} is not in the configuration space")
-            })
+            opts.iter()
+                .position(|&o| o == v)
+                .unwrap_or_else(|| panic!("{name} value {v} is not in the configuration space"))
         };
         [
             pos(&self.filter_par, config.filter_par, "filter_par"),
             pos(&self.pixel_par, config.pixel_par, "pixel_par"),
-            pos(&self.input_buffer_depth, config.input_buffer_depth, "input_buffer_depth"),
-            pos(&self.weight_buffer_depth, config.weight_buffer_depth, "weight_buffer_depth"),
-            pos(&self.output_buffer_depth, config.output_buffer_depth, "output_buffer_depth"),
-            pos(&self.mem_interface_width, config.mem_interface_width, "mem_interface_width"),
+            pos(
+                &self.input_buffer_depth,
+                config.input_buffer_depth,
+                "input_buffer_depth",
+            ),
+            pos(
+                &self.weight_buffer_depth,
+                config.weight_buffer_depth,
+                "weight_buffer_depth",
+            ),
+            pos(
+                &self.output_buffer_depth,
+                config.output_buffer_depth,
+                "output_buffer_depth",
+            ),
+            pos(
+                &self.mem_interface_width,
+                config.mem_interface_width,
+                "mem_interface_width",
+            ),
             self.pool_enable
                 .iter()
                 .position(|&b| b == config.pool_enable)
@@ -268,7 +283,11 @@ impl ConfigSpace {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn get(&self, i: usize) -> AcceleratorConfig {
-        assert!(i < self.len(), "config index {i} out of range {}", self.len());
+        assert!(
+            i < self.len(),
+            "config index {i} out of range {}",
+            self.len()
+        );
         let counts = self.option_counts();
         let mut rem = i;
         let mut idx = [0usize; NUM_DECISIONS];
@@ -330,7 +349,10 @@ mod tests {
 
     #[test]
     fn ratio_values_match_paper() {
-        let vals: Vec<f64> = ConvEngineRatio::ALL.iter().map(ConvEngineRatio::value).collect();
+        let vals: Vec<f64> = ConvEngineRatio::ALL
+            .iter()
+            .map(ConvEngineRatio::value)
+            .collect();
         assert_eq!(vals, vec![1.0, 0.75, 0.67, 0.5, 0.33, 0.25]);
     }
 

@@ -6,7 +6,6 @@
 //! (6 CLB-equivalents) and a DSP 0.044 mm² (10 CLB-equivalents); the target
 //! Zynq UltraScale+ totals 64,922 CLB-equivalents ≈ 286 mm².
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Add;
 
@@ -22,7 +21,7 @@ use std::ops::Add;
 /// let c = a + b;
 /// assert_eq!(c.clbs, 150);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct ResourceUsage {
     /// Configurable logic blocks.
     pub clbs: u64,
@@ -60,12 +59,16 @@ impl Add for ResourceUsage {
 
 impl fmt::Display for ResourceUsage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} CLB / {} BRAM / {} DSP", self.clbs, self.brams, self.dsps)
+        write!(
+            f,
+            "{} CLB / {} BRAM / {} DSP",
+            self.clbs, self.brams, self.dsps
+        )
     }
 }
 
 /// A target FPGA: per-block silicon areas (Table I) plus resource budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaDevice {
     /// Silicon area of one CLB tile, mm².
     pub clb_area_mm2: f64,
@@ -107,8 +110,12 @@ impl FpgaDevice {
     /// Total CLB-equivalents of the device (Table I reports 64,922).
     #[must_use]
     pub fn total_clb_equivalents(&self) -> u64 {
-        ResourceUsage { clbs: self.clb_budget, brams: self.bram_budget, dsps: self.dsp_budget }
-            .clb_equivalents()
+        ResourceUsage {
+            clbs: self.clb_budget,
+            brams: self.bram_budget,
+            dsps: self.dsp_budget,
+        }
+        .clb_equivalents()
     }
 
     /// Total silicon area of the device, mm² (Table I reports 286).
@@ -159,7 +166,10 @@ mod tests {
             "Table I says 64,922 CLB-equivalents, got {clb_eq}"
         );
         let area = dev.total_area_mm2();
-        assert!((283.0..=289.0).contains(&area), "Table I says 286 mm^2, got {area}");
+        assert!(
+            (283.0..=289.0).contains(&area),
+            "Table I says 286 mm^2, got {area}"
+        );
     }
 
     #[test]
@@ -171,24 +181,58 @@ mod tests {
 
     #[test]
     fn resource_addition_is_componentwise() {
-        let total = ResourceUsage { clbs: 1, brams: 2, dsps: 3 }
-            + ResourceUsage { clbs: 10, brams: 20, dsps: 30 };
-        assert_eq!(total, ResourceUsage { clbs: 11, brams: 22, dsps: 33 });
+        let total = ResourceUsage {
+            clbs: 1,
+            brams: 2,
+            dsps: 3,
+        } + ResourceUsage {
+            clbs: 10,
+            brams: 20,
+            dsps: 30,
+        };
+        assert_eq!(
+            total,
+            ResourceUsage {
+                clbs: 11,
+                brams: 22,
+                dsps: 33
+            }
+        );
     }
 
     #[test]
     fn fits_checks_every_budget() {
         let dev = FpgaDevice::zynq_ultrascale_plus();
-        assert!(dev.fits(&ResourceUsage { clbs: 1000, brams: 10, dsps: 10 }));
-        assert!(!dev.fits(&ResourceUsage { clbs: 40_000, brams: 0, dsps: 0 }));
-        assert!(!dev.fits(&ResourceUsage { clbs: 0, brams: 1000, dsps: 0 }));
-        assert!(!dev.fits(&ResourceUsage { clbs: 0, brams: 0, dsps: 3000 }));
+        assert!(dev.fits(&ResourceUsage {
+            clbs: 1000,
+            brams: 10,
+            dsps: 10
+        }));
+        assert!(!dev.fits(&ResourceUsage {
+            clbs: 40_000,
+            brams: 0,
+            dsps: 0
+        }));
+        assert!(!dev.fits(&ResourceUsage {
+            clbs: 0,
+            brams: 1000,
+            dsps: 0
+        }));
+        assert!(!dev.fits(&ResourceUsage {
+            clbs: 0,
+            brams: 0,
+            dsps: 3000
+        }));
     }
 
     #[test]
     fn area_is_linear_in_resources() {
         let dev = FpgaDevice::zynq_ultrascale_plus();
-        let one = ResourceUsage { clbs: 100, brams: 10, dsps: 10 };
+        let one = ResourceUsage {
+            clbs: 100,
+            brams: 10,
+            dsps: 10,
+        };
         let two = one + one;
         let a1 = dev.silicon_area_mm2(&one);
         let a2 = dev.silicon_area_mm2(&two);

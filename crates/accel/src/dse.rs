@@ -6,8 +6,6 @@
 //! and reports the best by several criteria; it is also the second phase of
 //! the "separate" search baseline (§III-B3).
 
-use serde::{Deserialize, Serialize};
-
 use codesign_nasbench::Network;
 
 use crate::area::AreaModel;
@@ -16,7 +14,7 @@ use crate::latency::LatencyModel;
 use crate::scheduler::Scheduler;
 
 /// Metrics of one (network, accelerator) pairing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairMetrics {
     /// Accelerator silicon area, mm².
     pub area_mm2: f64,
@@ -46,7 +44,7 @@ impl PairMetrics {
 }
 
 /// What the sweep should maximize.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DseObjective {
     /// Maximize images/s/cm² (Table II's pairing rule).
     PerfPerArea,
@@ -57,7 +55,7 @@ pub enum DseObjective {
 }
 
 /// Result of sweeping the accelerator space for one network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DseResult {
     /// The winning configuration.
     pub config: AcceleratorConfig,
@@ -76,8 +74,13 @@ pub fn evaluate_pair(
     latency_model: &LatencyModel,
 ) -> PairMetrics {
     let area = area_model.area_mm2(config);
-    let latency = Scheduler::new(*latency_model, *config).schedule_network(network).total_ms;
-    PairMetrics { area_mm2: area, latency_ms: latency }
+    let latency = Scheduler::new(*latency_model, *config)
+        .schedule_network(network)
+        .total_ms;
+    PairMetrics {
+        area_mm2: area,
+        latency_ms: latency,
+    }
 }
 
 /// Sweeps every configuration in `space` and returns the best under
@@ -121,7 +124,11 @@ pub fn best_accelerator_for(
             }
         };
         if beats {
-            best = Some(DseResult { config, metrics, evaluated });
+            best = Some(DseResult {
+                config,
+                metrics,
+                evaluated,
+            });
         }
     }
     best.map(|mut b| {
@@ -150,15 +157,20 @@ mod tests {
     #[test]
     fn perf_per_area_formula_matches_table2_rows() {
         // GoogLeNet row: 19.3 ms at 132 mm^2 -> 39.3 img/s/cm^2.
-        let m = PairMetrics { area_mm2: 132.0, latency_ms: 19.3 };
+        let m = PairMetrics {
+            area_mm2: 132.0,
+            latency_ms: 19.3,
+        };
         assert!((m.perf_per_area() - 39.3).abs() < 0.3);
     }
 
     #[test]
     fn latency_objective_never_beats_unconstrained_best() {
         let free = sweep(&known_cells::plain_cell(), DseObjective::Latency);
-        let capped =
-            sweep(&known_cells::plain_cell(), DseObjective::LatencyUnderArea(100.0));
+        let capped = sweep(
+            &known_cells::plain_cell(),
+            DseObjective::LatencyUnderArea(100.0),
+        );
         assert!(capped.metrics.latency_ms >= free.metrics.latency_ms);
         assert!(capped.metrics.area_mm2 <= 100.0);
     }

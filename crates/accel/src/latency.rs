@@ -12,14 +12,12 @@
 //! (element-wise adds, concats, global pooling, the classifier) falls back to
 //! the embedded CPU.
 
-use serde::{Deserialize, Serialize};
-
 use codesign_nasbench::{OpInstance, OpKind};
 
 use crate::config::AcceleratorConfig;
 
 /// Compute units an operation can be placed on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// The single general convolution engine (`ratio_conv_engines = 1`).
     GeneralConv,
@@ -64,7 +62,7 @@ impl EngineKind {
 /// Calibrated (see `EXPERIMENTS.md`) so the ResNet-cell network on its best
 /// accelerator lands near Table II's 42 ms and the GoogLeNet-cell network
 /// near 19 ms, with the 0–400 ms spread of Fig. 4 across the space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// Accelerator clock, MHz.
     pub clock_mhz: f64,
@@ -196,7 +194,9 @@ impl LatencyModel {
         config: &AcceleratorConfig,
         slack: f64,
     ) -> f64 {
-        let OpKind::Conv { kernel, .. } = op.kind else { unreachable!("conv op") };
+        let OpKind::Conv { kernel, .. } = op.kind else {
+            unreachable!("conv op")
+        };
         let (oh, ow) = op.out_hw();
         let opix = (oh * ow) as f64;
         let compute_cycles = (op.out_channels as f64 / fp as f64).ceil()
@@ -245,8 +245,8 @@ impl LatencyModel {
         let out_elems = (op.in_channels * oh * ow) as f64;
         let pixels_per_cycle = (config.pixel_par as f64 / 4.0).max(1.0);
         let compute_cycles = out_elems / pixels_per_cycle / self.compute_efficiency;
-        let traffic = ((op.in_channels * op.height * op.width) as f64 + out_elems)
-            * self.bytes_per_elem;
+        let traffic =
+            ((op.in_channels * op.height * op.width) as f64 + out_elems) * self.bytes_per_elem;
         let mem_cycles = traffic / self.dram_bytes_per_cycle(config);
         (compute_cycles.max(mem_cycles) + self.op_overhead_cycles) * self.ns_per_cycle()
     }
@@ -271,9 +271,7 @@ impl LatencyModel {
             OpKind::Conv { .. } => (in_elems + out_elems) * self.bytes_per_elem,
         };
         let mac_ns = match op.kind {
-            OpKind::Dense | OpKind::Conv { .. } => {
-                op.macs() as f64 / self.cpu_macs_per_sec * 1e9
-            }
+            OpKind::Dense | OpKind::Conv { .. } => op.macs() as f64 / self.cpu_macs_per_sec * 1e9,
             _ => 0.0,
         };
         bytes / self.cpu_bytes_per_sec * 1e9 + mac_ns + self.cpu_overhead_ns
@@ -334,7 +332,10 @@ mod tests {
     fn small_buffers_inflate_memory_traffic() {
         let m = LatencyModel::default();
         let conv = OpInstance::conv(3, 512, 512, 8, 8); // 4.7MB of weights
-        let small_buf = AcceleratorConfig { input_buffer_depth: 1024, ..big_config() };
+        let small_buf = AcceleratorConfig {
+            input_buffer_depth: 1024,
+            ..big_config()
+        };
         let t_small = m.conv_traffic_bytes(&conv, &small_buf);
         let t_big = m.conv_traffic_bytes(&conv, &big_config());
         assert!(t_small > 1.5 * t_big, "small {t_small} vs big {t_big}");
@@ -351,10 +352,16 @@ mod tests {
             output_buffer_depth: 1024,
             ..big_config()
         };
-        let narrow = AcceleratorConfig { mem_interface_width: 256, ..tiny_buf };
+        let narrow = AcceleratorConfig {
+            mem_interface_width: 256,
+            ..tiny_buf
+        };
         let t_wide = m.op_latency_ns(&conv, EngineKind::GeneralConv, &tiny_buf);
         let t_narrow = m.op_latency_ns(&conv, EngineKind::GeneralConv, &narrow);
-        assert!(t_narrow > 1.5 * t_wide, "narrow {t_narrow} vs wide {t_wide}");
+        assert!(
+            t_narrow > 1.5 * t_wide,
+            "narrow {t_narrow} vs wide {t_wide}"
+        );
     }
 
     #[test]
@@ -363,22 +370,37 @@ mod tests {
         let pool = OpInstance::maxpool3x3(128, 32, 32);
         let on_engine = m.op_latency_ns(&pool, EngineKind::Pool, &big_config());
         let on_cpu = m.op_latency_ns(&pool, EngineKind::Cpu, &big_config());
-        assert!(on_cpu > 10.0 * on_engine, "cpu {on_cpu} vs engine {on_engine}");
+        assert!(
+            on_cpu > 10.0 * on_engine,
+            "cpu {on_cpu} vs engine {on_engine}"
+        );
     }
 
     #[test]
     fn eligible_engines_follow_config() {
-        let split = AcceleratorConfig { ratio_conv_engines: ConvEngineRatio::R50, ..big_config() };
+        let split = AcceleratorConfig {
+            ratio_conv_engines: ConvEngineRatio::R50,
+            ..big_config()
+        };
         let conv3 = OpInstance::conv(3, 64, 64, 8, 8);
         let conv1 = OpInstance::conv(1, 64, 64, 8, 8);
         let pool = OpInstance::maxpool3x3(64, 8, 8);
-        assert_eq!(LatencyModel::eligible_engines(&conv3, &split), vec![EngineKind::Conv3x3]);
-        assert_eq!(LatencyModel::eligible_engines(&conv1, &split), vec![EngineKind::Conv1x1]);
+        assert_eq!(
+            LatencyModel::eligible_engines(&conv3, &split),
+            vec![EngineKind::Conv3x3]
+        );
+        assert_eq!(
+            LatencyModel::eligible_engines(&conv1, &split),
+            vec![EngineKind::Conv1x1]
+        );
         assert_eq!(
             LatencyModel::eligible_engines(&conv3, &big_config()),
             vec![EngineKind::GeneralConv]
         );
-        assert_eq!(LatencyModel::eligible_engines(&pool, &big_config()), vec![EngineKind::Pool]);
+        assert_eq!(
+            LatencyModel::eligible_engines(&pool, &big_config()),
+            vec![EngineKind::Pool]
+        );
         assert_eq!(
             LatencyModel::eligible_engines(&pool, &small_config()),
             vec![EngineKind::Cpu]
@@ -389,10 +411,14 @@ mod tests {
     fn specialized_engine_throughput_scales_with_ratio() {
         let m = LatencyModel::default();
         let conv = OpInstance::conv(3, 128, 128, 16, 16);
-        let mostly_3x3 =
-            AcceleratorConfig { ratio_conv_engines: ConvEngineRatio::R75, ..big_config() };
-        let mostly_1x1 =
-            AcceleratorConfig { ratio_conv_engines: ConvEngineRatio::R25, ..big_config() };
+        let mostly_3x3 = AcceleratorConfig {
+            ratio_conv_engines: ConvEngineRatio::R75,
+            ..big_config()
+        };
+        let mostly_1x1 = AcceleratorConfig {
+            ratio_conv_engines: ConvEngineRatio::R25,
+            ..big_config()
+        };
         let fast = m.op_latency_ns(&conv, EngineKind::Conv3x3, &mostly_3x3);
         let slow = m.op_latency_ns(&conv, EngineKind::Conv3x3, &mostly_1x1);
         assert!(slow > fast);

@@ -7,7 +7,6 @@
 //! a split configuration runs the same convolution at a different width than
 //! the general engine would.
 
-
 use codesign_nasbench::OpInstance;
 
 use crate::hash::FxHashMap;
@@ -42,7 +41,11 @@ impl LatencyLut {
     /// Creates an empty table for `config`.
     #[must_use]
     pub fn new(model: LatencyModel, config: AcceleratorConfig) -> Self {
-        Self { model, config, entries: FxHashMap::default() }
+        Self {
+            model,
+            config,
+            entries: FxHashMap::default(),
+        }
     }
 
     /// The configuration this table describes.

@@ -13,14 +13,12 @@
 //! watts — the regime Xilinx reports for CHaiDNN-class Zynq UltraScale+
 //! deployments.
 
-use serde::{Deserialize, Serialize};
-
 use crate::area::AreaModel;
 use crate::config::AcceleratorConfig;
 use crate::scheduler::ScheduleResult;
 
 /// Power estimate for one accelerator configuration under a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerEstimate {
     /// Leakage + clock-tree power of the provisioned fabric, watts.
     pub static_w: f64,
@@ -38,7 +36,7 @@ impl PowerEstimate {
 
 /// The power model: per-resource leakage plus per-engine dynamic cost scaled
 /// by measured utilization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Static watts per CLB.
     pub clb_static_w: f64,
@@ -97,7 +95,10 @@ impl PowerModel {
             + usage.brams as f64 * self.bram_dynamic_w * compute_util
             + config.mem_interface_width as f64 * self.dram_w_per_bit * compute_util
             + self.cpu_w * cpu_util;
-        PowerEstimate { static_w, dynamic_w }
+        PowerEstimate {
+            static_w,
+            dynamic_w,
+        }
     }
 
     /// Power for a scheduled program: utilizations derived from the
@@ -119,7 +120,12 @@ impl PowerModel {
                 accel_busy += busy;
             }
         }
-        self.power(area_model, config, accel_busy / makespan, cpu_busy / makespan)
+        self.power(
+            area_model,
+            config,
+            accel_busy / makespan,
+            cpu_busy / makespan,
+        )
     }
 
     /// Energy per inference in millijoules for a network latency and average
@@ -193,12 +199,16 @@ mod tests {
         let (area, power) = models();
         let config = ConfigSpace::chaidnn().get(8639);
         let mut scheduler = Scheduler::new(LatencyModel::default(), config);
-        let prog =
-            CellProgram::lower(&known_cells::googlenet_cell(), 128, 128, 32, 32);
+        let prog = CellProgram::lower(&known_cells::googlenet_cell(), 128, 128, 32, 32);
         let schedule = scheduler.schedule_program(&prog);
-        let measured = power.power_for_schedule(&area, &config, &schedule).total_w();
+        let measured = power
+            .power_for_schedule(&area, &config, &schedule)
+            .total_w();
         let peak = power.peak_power(&area, &config).total_w();
-        assert!(measured > 0.0 && measured <= peak + 1e-9, "{measured} vs peak {peak}");
+        assert!(
+            measured > 0.0 && measured <= peak + 1e-9,
+            "{measured} vs peak {peak}"
+        );
     }
 
     #[test]

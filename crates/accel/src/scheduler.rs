@@ -11,8 +11,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use codesign_nasbench::{CellProgram, Network};
 
 use crate::config::AcceleratorConfig;
@@ -20,7 +18,7 @@ use crate::latency::{EngineKind, LatencyModel};
 use crate::lut::LatencyLut;
 
 /// Result of scheduling one op program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleResult {
     /// End-to-end latency of the program, nanoseconds.
     pub makespan_ns: f64,
@@ -37,15 +35,12 @@ impl ScheduleResult {
         if self.makespan_ns <= 0.0 {
             return 0.0;
         }
-        self.engine_busy_ns
-            .values()
-            .fold(0.0f64, |a, &b| a.max(b))
-            / self.makespan_ns
+        self.engine_busy_ns.values().fold(0.0f64, |a, &b| a.max(b)) / self.makespan_ns
     }
 }
 
 /// Latency of a full network on one accelerator configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkLatency {
     /// End-to-end single-image latency, milliseconds.
     pub total_ms: f64,
@@ -87,7 +82,10 @@ impl Scheduler {
     /// Creates a scheduler (and its latency table) for `config`.
     #[must_use]
     pub fn new(model: LatencyModel, config: AcceleratorConfig) -> Self {
-        Self { lut: LatencyLut::new(model, config), finish_scratch: Vec::new() }
+        Self {
+            lut: LatencyLut::new(model, config),
+            finish_scratch: Vec::new(),
+        }
     }
 
     /// The bound configuration.
@@ -111,13 +109,21 @@ impl Scheduler {
             .filter(|e| busy[e.index()] > 0.0)
             .map(|e| (*e, busy[e.index()]))
             .collect();
-        ScheduleResult { makespan_ns: makespan, engine_busy_ns, cpu_ops }
+        ScheduleResult {
+            makespan_ns: makespan,
+            engine_busy_ns,
+            cpu_ops,
+        }
     }
 
     /// The allocation-lean scheduling kernel: greedy list scheduling with
     /// dense per-engine state. Returns `(makespan_ns, cpu_ops)` and
     /// accumulates per-engine busy time into `busy`.
-    fn schedule_core(&mut self, program: &CellProgram, busy: &mut [f64; EngineKind::COUNT]) -> (f64, usize) {
+    fn schedule_core(
+        &mut self,
+        program: &CellProgram,
+        busy: &mut [f64; EngineKind::COUNT],
+    ) -> (f64, usize) {
         let config = *self.lut.config();
         let mut engine_free = [0.0f64; EngineKind::COUNT];
         self.finish_scratch.clear();
@@ -168,7 +174,11 @@ impl Scheduler {
             cpu_ops += result.cpu_ops * unit.count;
             units.push((unit.label.clone(), unit.count, result.makespan_ns / 1e6));
         }
-        NetworkLatency { total_ms: total_ns / 1e6, units, cpu_ops }
+        NetworkLatency {
+            total_ms: total_ns / 1e6,
+            units,
+            cpu_ops,
+        }
     }
 }
 
@@ -199,7 +209,11 @@ pub fn schedule_serial(
         total_ns += unit_ns * unit.count as f64;
         units.push((unit.label.clone(), unit.count, unit_ns / 1e6));
     }
-    NetworkLatency { total_ms: total_ns / 1e6, units, cpu_ops }
+    NetworkLatency {
+        total_ms: total_ns / 1e6,
+        units,
+        cpu_ops,
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +254,10 @@ mod tests {
                 LatencyModel::default().op_latency_ns(&n.op, e, &big_config())
             })
             .sum();
-        assert!((result.makespan_ns - sum).abs() < 1.0, "chain must serialize");
+        assert!(
+            (result.makespan_ns - sum).abs() < 1.0,
+            "chain must serialize"
+        );
     }
 
     #[test]
@@ -250,7 +267,10 @@ mod tests {
         let model = LatencyModel::default();
         let net = Network::assemble(&known_cells::cod1_cell(), &NetworkConfig::default());
         let single = big_config();
-        let split = AcceleratorConfig { ratio_conv_engines: ConvEngineRatio::R50, ..single };
+        let split = AcceleratorConfig {
+            ratio_conv_engines: ConvEngineRatio::R50,
+            ..single
+        };
         let greedy_split = Scheduler::new(model, split).schedule_network(&net).total_ms;
         let serial_split = schedule_serial(&model, &split, &net).total_ms;
         assert!(
@@ -304,7 +324,9 @@ mod tests {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for i in (0..space.len()).step_by(111) {
-            let ms = Scheduler::new(model, space.get(i)).schedule_network(&net).total_ms;
+            let ms = Scheduler::new(model, space.get(i))
+                .schedule_network(&net)
+                .total_ms;
             lo = lo.min(ms);
             hi = hi.max(ms);
         }
@@ -331,7 +353,11 @@ mod tests {
 
     #[test]
     fn images_per_second_inverts_latency() {
-        let lat = NetworkLatency { total_ms: 20.0, units: vec![], cpu_ops: 0 };
+        let lat = NetworkLatency {
+            total_ms: 20.0,
+            units: vec![],
+            cpu_ops: 0,
+        };
         assert!((lat.images_per_second() - 50.0).abs() < 1e-9);
     }
 }

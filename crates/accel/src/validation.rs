@@ -11,8 +11,6 @@
 //! the paper's §II-C methodology exactly; see `DESIGN.md` for the
 //! substitution rationale.
 
-use serde::{Deserialize, Serialize};
-
 use codesign_nasbench::{known_cells, Network, NetworkConfig};
 
 use crate::area::AreaModel;
@@ -21,7 +19,7 @@ use crate::latency::LatencyModel;
 use crate::scheduler::Scheduler;
 
 /// Error statistics of a model against the reference.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValidationReport {
     /// Number of fixtures compared.
     pub samples: usize,
@@ -72,7 +70,9 @@ pub fn reference_latency_ms(
     config: &AcceleratorConfig,
     network: &Network,
 ) -> f64 {
-    let base = Scheduler::new(*model, *config).schedule_network(network).total_ms;
+    let base = Scheduler::new(*model, *config)
+        .schedule_network(network)
+        .total_ms;
     base * (1.0 + 0.12 * unit_noise(config, 0x1A7E))
 }
 
@@ -109,7 +109,9 @@ pub fn validate_latency_model(model: &LatencyModel) -> ValidationReport {
     let errors: Vec<f64> = configs
         .iter()
         .map(|c| {
-            let predicted = Scheduler::new(*model, *c).schedule_network(&network).total_ms;
+            let predicted = Scheduler::new(*model, *c)
+                .schedule_network(&network)
+                .total_ms;
             let measured = reference_latency_ms(model, c, &network);
             ((predicted - measured) / measured).abs() * 100.0
         })
@@ -120,7 +122,11 @@ pub fn validate_latency_model(model: &LatencyModel) -> ValidationReport {
 fn summarize(errors: &[f64]) -> ValidationReport {
     let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
     let max = errors.iter().fold(0.0f64, |a, &b| a.max(b));
-    ValidationReport { samples: errors.len(), mean_abs_pct_error: mean, max_abs_pct_error: max }
+    ValidationReport {
+        samples: errors.len(),
+        mean_abs_pct_error: mean,
+        max_abs_pct_error: max,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +146,11 @@ mod tests {
         // Paper: 1.6% average error. Accept anything clearly under 5%.
         let report = validate_area_model(&AreaModel::default());
         assert_eq!(report.samples, 10);
-        assert!(report.mean_abs_pct_error < 5.0, "mean {}", report.mean_abs_pct_error);
+        assert!(
+            report.mean_abs_pct_error < 5.0,
+            "mean {}",
+            report.mean_abs_pct_error
+        );
     }
 
     #[test]
@@ -148,8 +158,15 @@ mod tests {
         // Paper: "85% accurate" => ~15% error. Accept under 25%.
         let report = validate_latency_model(&LatencyModel::default());
         assert_eq!(report.samples, 10);
-        assert!(report.mean_abs_pct_error < 25.0, "mean {}", report.mean_abs_pct_error);
-        assert!(report.mean_abs_pct_error > 0.0, "a perfect score would mean no reference");
+        assert!(
+            report.mean_abs_pct_error < 25.0,
+            "mean {}",
+            report.mean_abs_pct_error
+        );
+        assert!(
+            report.mean_abs_pct_error > 0.0,
+            "a perfect score would mean no reference"
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! regime, and perf/area ratios within generous bands. The `print_calibration`
 //! test (ignored by default) dumps the numbers recorded in EXPERIMENTS.md.
 
-use codesign_accel::{
-    best_accelerator_for, AreaModel, ConfigSpace, DseObjective, LatencyModel,
-};
+use codesign_accel::{best_accelerator_for, AreaModel, ConfigSpace, DseObjective, LatencyModel};
 use codesign_nasbench::{known_cells, Network, NetworkConfig};
 
 fn best(cell: &codesign_nasbench::CellSpec) -> codesign_accel::DseResult {

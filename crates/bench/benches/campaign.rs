@@ -1,0 +1,111 @@
+//! Campaign engine wall-time benchmark: shared-cache on vs off, and
+//! 1 worker vs N workers, on a fixed sweep. Emits one JSON document (stdout
+//! and `target/paper-results/campaign_bench.json`) for the perf trajectory.
+//!
+//! Run: `cargo bench -p codesign-bench --bench campaign`
+//! Env: `CAMPAIGN_BENCH_STEPS` (default 200), `CAMPAIGN_BENCH_WORKERS`
+//! (default: available parallelism).
+
+use std::time::Instant;
+
+use codesign_core::{CodesignSpace, Scenario};
+use codesign_engine::{Campaign, CampaignReport, ShardedDriver, StrategyKind};
+use codesign_nasbench::{Json, NasbenchDatabase};
+
+fn sweep(steps: usize) -> Campaign {
+    Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(Scenario::ALL.to_vec())
+        .strategies(StrategyKind::ALL.to_vec())
+        .seeds(vec![0, 1, 2])
+        .steps(steps)
+}
+
+fn timed(label: &str, run: impl Fn() -> CampaignReport) -> (String, Json) {
+    // One warmup, then best-of-3 to damp scheduler noise.
+    let _ = run();
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let report = run();
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+        last = Some(report);
+    }
+    let report = last.expect("ran at least once");
+    println!("bench: {label:<32} {best_ms:>10.1} ms");
+    let cache = match &report.cache {
+        Some(stats) => Json::obj(vec![
+            ("hits", Json::Num(stats.hits as f64)),
+            ("misses", Json::Num(stats.misses as f64)),
+            ("hit_rate", Json::Num(stats.hit_rate())),
+        ]),
+        None => Json::Null,
+    };
+    let value = Json::obj(vec![
+        ("wall_ms", Json::Num(best_ms)),
+        ("shards", Json::Num(report.shards.len() as f64)),
+        ("workers", Json::Num(report.workers as f64)),
+        ("cache", cache),
+    ]);
+    (label.to_owned(), value)
+}
+
+fn main() {
+    let steps = std::env::var("CAMPAIGN_BENCH_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let n_workers = std::env::var("CAMPAIGN_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+    let campaign = sweep(steps);
+    let db = NasbenchDatabase::exhaustive(4);
+    println!(
+        "campaign bench: {} shards x {steps} steps; N = {n_workers} workers",
+        campaign.shards().len()
+    );
+
+    let mut entries: Vec<(String, Json)> = vec![(
+        "config".into(),
+        Json::obj(vec![
+            ("steps", Json::Num(steps as f64)),
+            ("shards", Json::Num(campaign.shards().len() as f64)),
+            ("n_workers", Json::Num(n_workers as f64)),
+        ]),
+    )];
+    entries.push(timed("1-worker/cached", || {
+        ShardedDriver::new(1).run(&campaign, &db)
+    }));
+    entries.push(timed("1-worker/uncached", || {
+        ShardedDriver::new(1)
+            .without_shared_cache()
+            .run(&campaign, &db)
+    }));
+    if n_workers > 1 {
+        entries.push(timed(&format!("{n_workers}-worker/cached"), || {
+            ShardedDriver::new(n_workers).run(&campaign, &db)
+        }));
+        entries.push(timed(&format!("{n_workers}-worker/uncached"), || {
+            ShardedDriver::new(n_workers)
+                .without_shared_cache()
+                .run(&campaign, &db)
+        }));
+    } else {
+        println!("bench: single-core machine; skipping duplicate N-worker variants");
+    }
+
+    let doc = Json::Obj(entries);
+    println!("{doc}");
+    // `cargo bench` sets the CWD to the package dir; anchor the output at
+    // the workspace's shared results directory instead.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+        .join("paper-results");
+    std::fs::create_dir_all(&out).expect("create output dir");
+    std::fs::write(out.join("campaign_bench.json"), format!("{doc}\n"))
+        .expect("write campaign_bench.json");
+}

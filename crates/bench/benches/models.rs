@@ -53,13 +53,21 @@ fn bench_surrogate(c: &mut Criterion) {
     let model = SurrogateModel::default();
     let cell = known_cells::cod1_cell();
     c.bench_function("surrogate/evaluate_cifar100", |b| {
-        b.iter(|| model.evaluate(black_box(&cell), Dataset::Cifar100).mean_accuracy())
+        b.iter(|| {
+            model
+                .evaluate(black_box(&cell), Dataset::Cifar100)
+                .mean_accuracy()
+        })
     });
     let features = CellFeatures::extract(&cell, &NetworkConfig::default());
     c.bench_function("surrogate/evaluate_from_features", |b| {
         b.iter(|| {
             model
-                .evaluate_features(black_box(&features), cell.canonical_hash(), Dataset::Cifar10)
+                .evaluate_features(
+                    black_box(&features),
+                    cell.canonical_hash(),
+                    Dataset::Cifar10,
+                )
                 .mean_accuracy()
         })
     });
@@ -69,8 +77,7 @@ fn bench_canonical_hash(c: &mut Criterion) {
     let cell = known_cells::googlenet_cell();
     c.bench_function("spec/validate_and_hash_7v_cell", |b| {
         b.iter(|| {
-            CellSpec::new(cell.matrix().clone(), cell.ops().to_vec())
-                .map(|s| s.canonical_hash())
+            CellSpec::new(cell.matrix().clone(), cell.ops().to_vec()).map(|s| s.canonical_hash())
         })
     });
 }

@@ -56,7 +56,11 @@ fn bench_space_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("enumeration");
     group.sample_size(10);
     group.bench_function("v3_space_60k_pairs", |b| {
-        b.iter(|| enumerate_codesign_space(black_box(&db), Dataset::Cifar10, 1).front.len())
+        b.iter(|| {
+            enumerate_codesign_space(black_box(&db), Dataset::Cifar10, 1)
+                .front
+                .len()
+        })
     });
     group.finish();
 }

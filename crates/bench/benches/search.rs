@@ -6,8 +6,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use codesign_core::{
-    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext,
-    SearchStrategy,
+    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext, SearchStrategy,
 };
 use codesign_nasbench::NasbenchDatabase;
 use codesign_rl::{LstmPolicy, PolicyConfig, ReinforceConfig, ReinforceTrainer};
@@ -35,8 +34,9 @@ fn bench_evaluator(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(1);
     let policy = LstmPolicy::new(PolicyConfig::new(space.vocab_sizes()), &mut rng);
     // Pre-generate proposals so only evaluation is measured.
-    let proposals: Vec<_> =
-        (0..256).map(|_| space.decode(&policy.rollout(&mut rng).actions)).collect();
+    let proposals: Vec<_> = (0..256)
+        .map(|_| space.decode(&policy.rollout(&mut rng).actions))
+        .collect();
     let mut i = 0;
     c.bench_function("evaluator/evaluate_proposal", |b| {
         b.iter(|| {

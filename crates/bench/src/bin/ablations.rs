@@ -9,13 +9,13 @@
 //! Run: `cargo run --release -p codesign-bench --bin ablations`
 //! Args: `[--steps N] [--repeats R]`
 
+use codesign_accel::{schedule_serial, ConfigSpace, LatencyModel, Scheduler};
 use codesign_bench::Args;
 use codesign_core::report::{fmt_f, TextTable};
 use codesign_core::{
-    run_cifar100_codesign, Cifar100Config, CodesignSpace, CombinedSearch, Evaluator,
-    RandomSearch, Scenario, SearchConfig, SearchContext, SearchStrategy, ThresholdSchedule,
+    run_cifar100_codesign, Cifar100Config, CodesignSpace, CombinedSearch, Evaluator, RandomSearch,
+    Scenario, SearchConfig, SearchContext, SearchStrategy, ThresholdSchedule,
 };
-use codesign_accel::{schedule_serial, ConfigSpace, LatencyModel, Scheduler};
 use codesign_nasbench::{known_cells, NasbenchDatabase, Network, NetworkConfig};
 
 fn main() {
@@ -39,15 +39,23 @@ fn run(
     let space = CodesignSpace::with_max_vertices(5);
     let mut evaluator = Evaluator::with_database(db.clone());
     let reward = scenario.reward_spec();
-    let mut ctx = SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+    let mut ctx = SearchContext {
+        space: &space,
+        evaluator: &mut evaluator,
+        reward: &reward,
+    };
     strategy.run(&mut ctx, &SearchConfig::quick(steps, seed))
 }
 
 fn controller_vs_random(steps: usize, repeats: usize) {
     println!("=== Ablation 1: LSTM controller vs random search ({steps} steps) ===");
     let db = NasbenchDatabase::exhaustive(5);
-    let mut table =
-        TextTable::new(vec!["scenario", "combined best R", "random best R", "advantage"]);
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "combined best R",
+        "random best R",
+        "advantage",
+    ]);
     for scenario in Scenario::ALL {
         let mut combined = 0.0;
         let mut random = 0.0;
@@ -91,12 +99,20 @@ fn schedule_ablation() {
     println!("=== Ablation 3: greedy multi-engine scheduler vs serial execution ===");
     let model = LatencyModel::default();
     let space = ConfigSpace::chaidnn();
-    let mut table = TextTable::new(vec!["cell", "config", "greedy [ms]", "serial [ms]", "speedup"]);
+    let mut table = TextTable::new(vec![
+        "cell",
+        "config",
+        "greedy [ms]",
+        "serial [ms]",
+        "speedup",
+    ]);
     for (name, cell) in known_cells::all_named() {
         let network = Network::assemble(&cell, &NetworkConfig::default());
         for idx in [8639, 5000] {
             let config = space.get(idx);
-            let greedy = Scheduler::new(model, config).schedule_network(&network).total_ms;
+            let greedy = Scheduler::new(model, config)
+                .schedule_network(&network)
+                .total_ms;
             let serial = schedule_serial(&model, &config, &network).total_ms;
             table.add_row(vec![
                 name.into(),
@@ -113,13 +129,17 @@ fn schedule_ablation() {
 fn threshold_schedule_ablation(seed: u64) {
     println!("=== Ablation 4: gradual threshold schedule vs fixed final threshold ===");
     let gradual = Cifar100Config {
-        schedule: ThresholdSchedule { stages: vec![(2.0, 60), (16.0, 60), (40.0, 120)] },
+        schedule: ThresholdSchedule {
+            stages: vec![(2.0, 60), (16.0, 60), (40.0, 120)],
+        },
         seed,
         max_steps_per_stage: 4000,
         ..Cifar100Config::default()
     };
     let fixed = Cifar100Config {
-        schedule: ThresholdSchedule { stages: vec![(40.0, 240)] },
+        schedule: ThresholdSchedule {
+            stages: vec![(40.0, 240)],
+        },
         seed,
         max_steps_per_stage: 12_000,
         ..Cifar100Config::default()

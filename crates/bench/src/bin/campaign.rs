@@ -1,0 +1,84 @@
+//! The general campaign driver: any scenarios × strategies × seeds × steps
+//! sweep, sharded across worker threads with a shared evaluation cache.
+//!
+//! This is the production entry point that the per-figure binaries' old
+//! copy-pasted `for strategy { for repeat { ... } }` loops grew into; Fig. 5
+//! (`fig5_search`) now runs through the same engine.
+//!
+//! Run: `cargo run --release -p codesign-bench --bin campaign`
+//! Args: `[--steps N] [--repeats R] [--max-vertices V] [--workers W]`
+//!       `[--scenario 0|1|2] [--strategies separate,combined,phase,random]`
+//!       `[--seed-base S] [--no-cache]`
+
+use codesign_bench::{out_dir, Args};
+use codesign_core::{CodesignSpace, Scenario};
+use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
+use codesign_nasbench::NasbenchDatabase;
+
+fn main() {
+    let args = Args::parse();
+    let steps = args.get_usize("steps", 1000);
+    let repeats = args.get_usize("repeats", 3);
+    let max_v = args.get_usize("max-vertices", 4);
+    let workers = args.get_usize("workers", 0);
+    let seed_base = args.get_u64("seed-base", 0);
+    let scenario_filter = args.get_usize("scenario", usize::MAX);
+
+    let scenarios: Vec<Scenario> = Scenario::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| scenario_filter == usize::MAX || scenario_filter == *i)
+        .map(|(_, s)| s)
+        .collect();
+    let strategies: Vec<StrategyKind> = args
+        .get_str("strategies", "separate,combined,phase,random")
+        .split(',')
+        .map(|name| {
+            StrategyKind::from_name(name.trim())
+                .unwrap_or_else(|| panic!("unknown strategy '{name}'"))
+        })
+        .collect();
+
+    let campaign = Campaign::new(CodesignSpace::with_max_vertices(max_v))
+        .scenarios(scenarios)
+        .strategies(strategies)
+        .seeds((seed_base..seed_base + repeats as u64).collect())
+        .steps(steps);
+    println!(
+        "campaign: {} shards ({} scenarios x {} strategies x {repeats} seeds x {steps} steps)",
+        campaign.shards().len(),
+        campaign.scenarios.len(),
+        campaign.strategies.len(),
+    );
+
+    println!("building exhaustive <= {max_v}-vertex database...");
+    let db = NasbenchDatabase::exhaustive(max_v);
+    println!("database: {} cells\n", db.len());
+
+    let mut driver = ShardedDriver::new(workers);
+    if args.flag("no-cache") {
+        driver = driver.without_shared_cache();
+    }
+    let report = driver.run(&campaign, &db);
+    println!("{report}");
+
+    for &scenario in &campaign.scenarios {
+        println!(
+            "{:<14} merged front: {} points",
+            scenario.name(),
+            report.merged_front(scenario).len()
+        );
+    }
+
+    let jsonl = out_dir().join("campaign.jsonl");
+    let csv = out_dir().join("campaign.csv");
+    report
+        .write_jsonl(std::fs::File::create(&jsonl).expect("create jsonl"))
+        .expect("write jsonl");
+    report.write_csv(&csv).expect("write csv");
+    println!(
+        "\nreports written to {} and {}",
+        jsonl.display(),
+        csv.display()
+    );
+}

@@ -56,7 +56,17 @@ fn main() {
         "area min",
         "area max",
     ]);
-    let edges = [0.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0, f64::INFINITY];
+    let edges = [
+        0.0,
+        25.0,
+        50.0,
+        100.0,
+        150.0,
+        200.0,
+        300.0,
+        400.0,
+        f64::INFINITY,
+    ];
     for w in edges.windows(2) {
         let pts: Vec<_> = result
             .front
@@ -66,9 +76,15 @@ fn main() {
         if pts.is_empty() {
             continue;
         }
-        let acc_min = pts.iter().map(|p| p.accuracy()).fold(f64::INFINITY, f64::min);
+        let acc_min = pts
+            .iter()
+            .map(|p| p.accuracy())
+            .fold(f64::INFINITY, f64::min);
         let acc_max = pts.iter().map(|p| p.accuracy()).fold(0.0, f64::max);
-        let ar_min = pts.iter().map(|p| p.area_mm2()).fold(f64::INFINITY, f64::min);
+        let ar_min = pts
+            .iter()
+            .map(|p| p.area_mm2())
+            .fold(f64::INFINITY, f64::min);
         let ar_max = pts.iter().map(|p| p.area_mm2()).fold(0.0, f64::max);
         bands.add_row(vec![
             format!("{:.0}..{:.0}", w[0], w[1]),
@@ -95,8 +111,12 @@ fn main() {
         })
         .collect();
     let path = out_dir().join("fig4_pareto.csv");
-    write_csv(&path, &["latency_ms", "accuracy", "area_mm2", "cell_index", "config"], &rows)
-        .expect("write fig4 csv");
+    write_csv(
+        &path,
+        &["latency_ms", "accuracy", "area_mm2", "cell_index", "config"],
+        &rows,
+    )
+    .expect("write fig4 csv");
     println!("frontier written to {}", path.display());
 }
 

@@ -4,18 +4,19 @@
 //! For each scenario, the separate / combined / phase strategies run
 //! `--repeats` times for `--steps` steps each over the exhaustively
 //! enumerable ≤5-vertex CNN space (the same space Fig. 4 enumerates, so the
-//! reference Pareto points are exact). Paper scale is `--steps 10000
-//! --repeats 10`.
+//! reference Pareto points are exact). The whole grid executes as one
+//! sharded campaign on the engine — strategies and repeats run in parallel
+//! and share one evaluation cache — instead of the old sequential
+//! strategy × repeat loop. Paper scale is `--steps 10000 --repeats 10`.
 //!
 //! Run: `cargo run --release -p codesign-bench --bin fig5_search`
 //! Args: `[--steps N] [--repeats R] [--max-vertices V] [--scenario 0|1|2]`
+//!       `[--workers W] [--seed S]`
 
 use codesign_bench::{out_dir, Args};
 use codesign_core::report::{fmt_f, write_csv, TextTable};
-use codesign_core::{
-    compare_strategies, enumerate_codesign_space, top_pareto_points, CodesignSpace,
-    ComparisonConfig, Scenario,
-};
+use codesign_core::{enumerate_codesign_space, top_pareto_points, CodesignSpace, Scenario};
+use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
 use codesign_nasbench::{Dataset, NasbenchDatabase};
 
 fn main() {
@@ -24,11 +25,15 @@ fn main() {
     let repeats = args.get_usize("repeats", 5);
     let max_v = args.get_usize("max-vertices", 5);
     let scenario_filter = args.get_usize("scenario", usize::MAX);
+    let seed_base = args.get_u64("seed", 0);
 
     println!("building exhaustive <= {max_v}-vertex database...");
     let db = NasbenchDatabase::exhaustive(max_v);
     let space = CodesignSpace::with_max_vertices(max_v);
-    println!("database: {} cells; enumerating the exact Pareto front...", db.len());
+    println!(
+        "database: {} cells; enumerating the exact Pareto front...",
+        db.len()
+    );
     let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
     println!(
         "front: {} points over {} pairs\n",
@@ -36,12 +41,35 @@ fn main() {
         enumeration.total_pairs
     );
 
-    let config = ComparisonConfig { steps, repeats, seed_base: args.get_u64("seed", 0) };
+    let scenarios: Vec<Scenario> = Scenario::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| scenario_filter == usize::MAX || scenario_filter == *i)
+        .map(|(_, s)| s)
+        .collect();
+    let campaign = Campaign::new(space)
+        .scenarios(scenarios.clone())
+        .strategies(vec![
+            StrategyKind::Separate,
+            StrategyKind::Combined,
+            StrategyKind::Phase,
+        ])
+        .seeds((seed_base..seed_base + repeats as u64).collect())
+        .steps(steps);
+    let report = ShardedDriver::new(args.get_usize("workers", 0)).run(&campaign, &db);
+    if let Some(stats) = &report.cache {
+        println!("shared cache: {stats}\n");
+    }
+
     for (idx, scenario) in Scenario::ALL.into_iter().enumerate() {
-        if scenario_filter != usize::MAX && scenario_filter != idx {
+        if !scenarios.contains(&scenario) {
             continue;
         }
-        println!("=== Fig. 5{}: {} ===", (b'a' + idx as u8) as char, scenario.name());
+        println!(
+            "=== Fig. 5{}: {} ===",
+            (b'a' + idx as u8) as char,
+            scenario.name()
+        );
         let reference = top_pareto_points(scenario, &enumeration, 100);
         if let (Some(first), Some(last)) = (reference.first(), reference.last()) {
             println!(
@@ -52,7 +80,6 @@ fn main() {
                 reference.iter().map(|m| m[2]).fold(0.0, f64::max) * 100.0
             );
         }
-        let cmp = compare_strategies(scenario, &space, &db, &config);
         let spec = scenario.reward_spec();
         let mut table = TextTable::new(vec![
             "strategy",
@@ -64,8 +91,16 @@ fn main() {
             "best reward",
         ]);
         let mut csv_rows: Vec<Vec<String>> = Vec::new();
-        for runs in &cmp.strategies {
-            let points = runs.top_points();
+        for &strategy in &campaign.strategies {
+            let runs: Vec<_> = report
+                .shards
+                .iter()
+                .filter(|s| s.spec.scenario == scenario && s.spec.strategy == strategy)
+                .collect();
+            let points: Vec<[f64; 3]> = runs
+                .iter()
+                .filter_map(|s| s.best.as_ref().map(|b| b.evaluation.metrics()))
+                .collect();
             let best = points
                 .iter()
                 .max_by(|a, b| {
@@ -79,9 +114,9 @@ fn main() {
                 None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN),
             };
             table.add_row(vec![
-                runs.name.into(),
-                runs.outcomes.len().to_string(),
-                runs.feasible_run_count().to_string(),
+                strategy.name().into(),
+                runs.len().to_string(),
+                points.len().to_string(),
                 fmt_f(lat, 1),
                 fmt_f(acc, 2),
                 fmt_f(area, 0),
@@ -90,7 +125,7 @@ fn main() {
             for m in &points {
                 csv_rows.push(vec![
                     scenario.name().into(),
-                    runs.name.into(),
+                    strategy.name().into(),
                     fmt_f(-m[1], 4),
                     fmt_f(m[2], 6),
                     fmt_f(-m[0], 3),
@@ -108,8 +143,12 @@ fn main() {
             ]);
         }
         let path = out_dir().join(format!("fig5_{}.csv", idx));
-        write_csv(&path, &["scenario", "series", "latency_ms", "accuracy", "area_mm2"], &csv_rows)
-            .expect("write fig5 csv");
+        write_csv(
+            &path,
+            &["scenario", "series", "latency_ms", "accuracy", "area_mm2"],
+            &csv_rows,
+        )
+        .expect("write fig5 csv");
         println!("series written to {}\n", path.display());
     }
 }

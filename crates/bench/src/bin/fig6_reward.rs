@@ -22,11 +22,20 @@ fn main() {
     println!("building exhaustive <= {max_v}-vertex database...");
     let db = NasbenchDatabase::exhaustive(max_v);
     let space = CodesignSpace::with_max_vertices(max_v);
-    let config = ComparisonConfig { steps, repeats, seed_base: args.get_u64("seed", 0) };
+    let config = ComparisonConfig {
+        steps,
+        repeats,
+        seed_base: args.get_u64("seed", 0),
+    };
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for scenario in Scenario::ALL {
-        println!("=== Fig. 6: {} (mean of {} runs, window {}) ===", scenario.name(), repeats, window);
+        println!(
+            "=== Fig. 6: {} (mean of {} runs, window {}) ===",
+            scenario.name(),
+            repeats,
+            window
+        );
         let cmp = compare_strategies(scenario, &space, &db, &config);
         let mut table = TextTable::new(vec!["step", "separate", "combined", "phase"]);
         let curves: Vec<(&str, Vec<f64>)> = cmp
@@ -56,7 +65,8 @@ fn main() {
         }
         // Paper's qualitative claims, printed for quick inspection.
         let final_of = |name: &str| {
-            cmp.strategy(name).map_or(f64::NAN, |s| s.final_reward(window))
+            cmp.strategy(name)
+                .map_or(f64::NAN, |s| s.final_reward(window))
         };
         println!(
             "final rewards: separate {:.4}, combined {:.4}, phase {:.4}\n",
@@ -66,7 +76,11 @@ fn main() {
         );
     }
     let path = out_dir().join("fig6_reward_curves.csv");
-    write_csv(&path, &["scenario", "strategy", "step", "reward"], &csv_rows)
-        .expect("write fig6 csv");
+    write_csv(
+        &path,
+        &["scenario", "strategy", "step", "reward"],
+        &csv_rows,
+    )
+    .expect("write fig6 csv");
     println!("curves written to {}", path.display());
 }

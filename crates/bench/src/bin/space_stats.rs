@@ -13,9 +13,7 @@ use std::collections::HashMap;
 
 use codesign_bench::Args;
 use codesign_core::report::TextTable;
-use codesign_nasbench::{
-    enumerate_cells, Network, NetworkConfig, OpInstance, OpKind,
-};
+use codesign_nasbench::{enumerate_cells, Network, NetworkConfig, OpInstance, OpKind};
 
 fn main() {
     let args = Args::parse();

@@ -13,7 +13,11 @@ fn main() {
 
     println!("Table I: Estimated FPGA block area for Zynq UltraScale+\n");
     let mut table = TextTable::new(vec!["Resource", "Relative Area (CLB)", "Tile Area (mm2)"]);
-    table.add_row(vec!["CLB".into(), "1".into(), fmt_f(device.clb_area_mm2, 4)]);
+    table.add_row(vec![
+        "CLB".into(),
+        "1".into(),
+        fmt_f(device.clb_area_mm2, 4),
+    ]);
     table.add_row(vec![
         "BRAM - 36 Kbit".into(),
         fmt_f(device.bram_area_mm2 / device.clb_area_mm2, 0),

@@ -20,7 +20,10 @@ fn main() {
     let config = if args.flag("quick") {
         Cifar100Config::quick(seed)
     } else {
-        Cifar100Config { seed, ..Cifar100Config::default() }
+        Cifar100Config {
+            seed,
+            ..Cifar100Config::default()
+        }
     };
     println!("running the CIFAR-100 codesign flow (seed {seed})...");
     let result = run_cifar100_codesign(&config);

@@ -20,7 +20,10 @@ fn main() {
     let config = if args.flag("quick") {
         Cifar100Config::quick(seed)
     } else {
-        Cifar100Config { seed, ..Cifar100Config::default() }
+        Cifar100Config {
+            seed,
+            ..Cifar100Config::default()
+        }
     };
     println!("running the CIFAR-100 codesign flow (seed {seed})...");
     let result = run_cifar100_codesign(&config);
@@ -104,8 +107,10 @@ fn print_cell(name: &str, cell: &CellSpec) {
         cell.has_input_output_skip()
     );
     for row in cell.matrix().to_rows() {
-        let line: String =
-            row.iter().map(|&b| if b == 1 { '1' } else { '.' }).collect();
+        let line: String = row
+            .iter()
+            .map(|&b| if b == 1 { '1' } else { '.' })
+            .collect();
         println!("      {line}");
     }
 }

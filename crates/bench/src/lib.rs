@@ -34,6 +34,7 @@ impl Args {
     }
 
     /// Parses from an explicit iterator (used in tests).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, S>(items: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -63,19 +64,37 @@ impl Args {
     /// Integer option with default.
     #[must_use]
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Seed-style option with default.
     #[must_use]
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Float option with default.
     #[must_use]
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String option with default.
+    #[must_use]
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
     }
 
     /// Presence of a bare `--flag`.
@@ -106,8 +125,7 @@ pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
         return Vec::new();
     }
     let stride = (series.len() / points).max(1);
-    let mut out: Vec<(usize, f64)> =
-        series.iter().copied().enumerate().step_by(stride).collect();
+    let mut out: Vec<(usize, f64)> = series.iter().copied().enumerate().step_by(stride).collect();
     let last = series.len() - 1;
     if out.last().map(|(i, _)| *i) != Some(last) {
         out.push((last, series[last]));

@@ -1,0 +1,242 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! vendors the slice of proptest the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! range and collection strategies, `sample::select`, `Just`, the
+//! [`proptest!`] macro and the `prop_assert*` macros.
+//!
+//! Differences from upstream: failing cases are **not shrunk** (the panic
+//! message reports the case index and seed instead, which is enough to
+//! reproduce deterministically), and each test draws a fixed number of
+//! cases from a seed derived from the test name, so runs are fully
+//! reproducible.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Deterministic per-test RNG handed to strategies.
+pub struct TestRng(pub(crate) SmallRng);
+
+impl TestRng {
+    /// The RNG for case number `case` of the test named `name`.
+    #[must_use]
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Access to the underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+        use rand::Rng;
+
+        /// Uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The any-boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.0.gen_bool(0.5)
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A `Vec` whose length is drawn from `size` and whose elements are
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Picks uniformly from the given options.
+        ///
+        /// # Panics
+        ///
+        /// Panics (at generation time) when `options` is empty.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select { options }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let run = || -> () { $body };
+                    // On failure, report which generated case broke so the
+                    // single case is reproducible deterministically.
+                    if let Err(payload) =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(run))
+                    {
+                        eprintln!(
+                            "proptest shim: case {case} of {} (of {} cases) failed; \
+                             reproduce its inputs with TestRng::for_case({:?}, {case})",
+                            stringify!($name),
+                            config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn triple() -> impl Strategy<Value = [f64; 3]> {
+        [0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -3i32..=3) {
+            prop_assert!(x < 10);
+            prop_assert!((-3..=3).contains(&y));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(
+            (a, b) in (0u64..100, prop::bool::ANY),
+            v in prop::collection::vec(0u8..3, 0..7),
+            arr in triple(),
+        ) {
+            prop_assert!(a < 100);
+            let _ = b;
+            prop_assert!(v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 3));
+            prop_assert!(arr.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn flat_map_uses_intermediate(
+            (n, v) in (1usize..6).prop_flat_map(|n| (Just(n), prop::collection::vec(0usize..10, n)))
+        ) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn select_picks_members(x in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&x));
+        }
+
+        #[test]
+        fn boxed_vec_strategy_draws_each(actions in vec![
+            (0usize..3).boxed(),
+            (0usize..5).boxed(),
+        ]) {
+            prop_assert_eq!(actions.len(), 2);
+            prop_assert!(actions[0] < 3 && actions[1] < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_form_parses(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::strategy::Strategy::generate(
+            &(0u64..1_000_000),
+            &mut crate::TestRng::for_case("t", 3),
+        );
+        let b = crate::strategy::Strategy::generate(
+            &(0u64..1_000_000),
+            &mut crate::TestRng::for_case("t", 3),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -3,14 +3,12 @@
 //! space), evaluated on CIFAR-100.
 
 use codesign_accel::{
-    best_accelerator_for, AcceleratorConfig, AreaModel, ConfigSpace, DseObjective,
-    LatencyModel,
+    best_accelerator_for, AcceleratorConfig, AreaModel, ConfigSpace, DseObjective, LatencyModel,
 };
 use codesign_nasbench::{known_cells, CellSpec, Dataset, Network, NetworkConfig, SurrogateModel};
-use serde::{Deserialize, Serialize};
 
 /// One baseline row of Table II.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BaselineRow {
     /// "ResNet Cell" / "GoogLeNet Cell".
     pub name: String,
@@ -51,7 +49,9 @@ pub fn baseline_row(name: &str, cell: CellSpec, dataset: Dataset) -> BaselineRow
         &LatencyModel::default(),
     )
     .expect("chaidnn space is non-empty");
-    let accuracy = SurrogateModel::default().evaluate(&cell, dataset).mean_accuracy();
+    let accuracy = SurrogateModel::default()
+        .evaluate(&cell, dataset)
+        .mean_accuracy();
     BaselineRow {
         name: name.to_owned(),
         cell,
@@ -67,7 +67,11 @@ pub fn baseline_row(name: &str, cell: CellSpec, dataset: Dataset) -> BaselineRow
 pub fn table2_baselines() -> Vec<BaselineRow> {
     vec![
         baseline_row("ResNet Cell", known_cells::resnet_cell(), Dataset::Cifar100),
-        baseline_row("GoogLeNet Cell", known_cells::googlenet_cell(), Dataset::Cifar100),
+        baseline_row(
+            "GoogLeNet Cell",
+            known_cells::googlenet_cell(),
+            Dataset::Cifar100,
+        ),
     ]
 }
 
@@ -82,8 +86,16 @@ mod tests {
         let resnet = &rows[0];
         let googlenet = &rows[1];
         // Paper: ResNet 72.9% / 12.8 img/s/cm^2; GoogLeNet 71.5% / 39.3.
-        assert!((0.715..=0.745).contains(&resnet.accuracy), "{}", resnet.accuracy);
-        assert!((0.700..=0.730).contains(&googlenet.accuracy), "{}", googlenet.accuracy);
+        assert!(
+            (0.715..=0.745).contains(&resnet.accuracy),
+            "{}",
+            resnet.accuracy
+        );
+        assert!(
+            (0.700..=0.730).contains(&googlenet.accuracy),
+            "{}",
+            googlenet.accuracy
+        );
         assert!(resnet.accuracy > googlenet.accuracy, "accuracy ordering");
         assert!(
             googlenet.perf_per_area() > 2.0 * resnet.perf_per_area(),

@@ -17,7 +17,6 @@ use codesign_accel::AcceleratorConfig;
 use codesign_moo::{LinearNorm, Punishment, RewardSpec};
 use codesign_nasbench::{CellSpec, Dataset, SurrogateModel};
 use codesign_rl::{LstmPolicy, PolicyConfig, ReinforceConfig, ReinforceTrainer};
-use serde::{Deserialize, Serialize};
 
 use crate::baselines::BaselineRow;
 use crate::evaluator::{EvalOutcome, Evaluator};
@@ -25,7 +24,7 @@ use crate::search::INVALID_PROPOSAL_REWARD;
 use crate::space::CodesignSpace;
 
 /// The rising perf/area thresholds and per-stage valid-point quotas.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdSchedule {
     /// `(threshold img/s/cm², valid points to collect)` per stage.
     pub stages: Vec<(f64, usize)>,
@@ -55,12 +54,14 @@ impl ThresholdSchedule {
     /// A miniature schedule for tests and examples.
     #[must_use]
     pub fn quick() -> Self {
-        Self { stages: vec![(2.0, 20), (16.0, 20), (40.0, 40)] }
+        Self {
+            stages: vec![(2.0, 20), (16.0, 20), (40.0, 40)],
+        }
     }
 }
 
 /// Configuration of the §IV flow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cifar100Config {
     /// The threshold schedule.
     pub schedule: ThresholdSchedule,
@@ -101,7 +102,7 @@ impl Cifar100Config {
 }
 
 /// One discovered model-accelerator pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiscoveredPoint {
     /// The cell.
     pub cell: CellSpec,
@@ -134,7 +135,7 @@ impl DiscoveredPoint {
 
 /// The per-stage record: threshold plus the top-10 points by accuracy among
 /// pairs visited at that threshold (the series plotted in Fig. 7).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StageResult {
     /// The stage's perf/area threshold.
     pub threshold: f64,
@@ -147,7 +148,7 @@ pub struct StageResult {
 }
 
 /// Output of the whole §IV flow.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cifar100Result {
     /// Per-stage records, in schedule order.
     pub stages: Vec<StageResult>,
@@ -165,7 +166,10 @@ impl Cifar100Result {
     /// Every stage's top points flattened (Fig. 7's scatter).
     #[must_use]
     pub fn all_top_points(&self) -> Vec<&DiscoveredPoint> {
-        self.stages.iter().flat_map(|s| s.top_points.iter()).collect()
+        self.stages
+            .iter()
+            .flat_map(|s| s.top_points.iter())
+            .collect()
     }
 
     /// The best point that beats `baseline` on both axes, preferring
@@ -217,8 +221,22 @@ fn stage_reward(threshold: f64) -> RewardSpec<2> {
 /// Runs the §IV Codesign-NAS flow with the combined strategy.
 #[must_use]
 pub fn run_cifar100_codesign(config: &Cifar100Config) -> Cifar100Result {
-    let space = CodesignSpace::paper();
     let mut evaluator = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar100);
+    run_cifar100_codesign_with_evaluator(config, &mut evaluator)
+}
+
+/// The §IV flow on a caller-supplied evaluator.
+///
+/// Campaign drivers use this to share one evaluation cache across repeats:
+/// cells already "trained" by another seed's run are free (and excluded
+/// from this run's GPU-hour accounting).
+pub fn run_cifar100_codesign_with_evaluator(
+    config: &Cifar100Config,
+    evaluator: &mut Evaluator,
+) -> Cifar100Result {
+    let space = CodesignSpace::paper();
+    let gpu_hours_before = evaluator.gpu_hours();
+    let cells_before = evaluator.resolved_cells();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let policy = LstmPolicy::new(PolicyConfig::new(space.vocab_sizes()), &mut rng);
     let mut trainer = ReinforceTrainer::new(
@@ -263,22 +281,25 @@ pub fn run_cifar100_codesign(config: &Cifar100Config) -> Cifar100Result {
                     }
                     scored.value()
                 }
-                EvalOutcome::InvalidCnn(_) | EvalOutcome::UnknownCell => {
-                    INVALID_PROPOSAL_REWARD
-                }
+                EvalOutcome::InvalidCnn(_) | EvalOutcome::UnknownCell => INVALID_PROPOSAL_REWARD,
             };
             trainer.learn(&rollout, reward_value);
             steps += 1;
         }
         total_steps += steps;
-        stages.push(StageResult { threshold, steps, valid_points: valid, top_points: top });
+        stages.push(StageResult {
+            threshold,
+            steps,
+            valid_points: valid,
+            top_points: top,
+        });
     }
 
     Cifar100Result {
         total_steps,
         total_valid_points: stages.iter().map(|s| s.valid_points).sum(),
-        models_trained: evaluator.distinct_cells(),
-        gpu_hours: evaluator.gpu_hours(),
+        models_trained: evaluator.resolved_cells() - cells_before,
+        gpu_hours: evaluator.gpu_hours() - gpu_hours_before,
         stages,
     }
 }
@@ -293,7 +314,9 @@ fn push_top10(top: &mut Vec<DiscoveredPoint>, point: DiscoveredPoint) {
     }
     top.push(point);
     top.sort_by(|a, b| {
-        b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal)
+        b.accuracy
+            .partial_cmp(&a.accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     top.truncate(10);
 }
@@ -308,7 +331,11 @@ mod tests {
         let result = run_cifar100_codesign(&Cifar100Config::quick(1));
         assert_eq!(result.stages.len(), 3);
         for stage in &result.stages {
-            assert!(stage.valid_points > 0, "threshold {} got no points", stage.threshold);
+            assert!(
+                stage.valid_points > 0,
+                "threshold {} got no points",
+                stage.threshold
+            );
             assert!(stage.top_points.len() <= 10);
             // Every recorded point meets the stage threshold.
             for p in &stage.top_points {
@@ -329,7 +356,10 @@ mod tests {
         let result = run_cifar100_codesign(&Cifar100Config::quick(2));
         for stage in &result.stages {
             let accs: Vec<f64> = stage.top_points.iter().map(|p| p.accuracy).collect();
-            assert!(accs.windows(2).all(|w| w[0] >= w[1]), "unsorted top-10: {accs:?}");
+            assert!(
+                accs.windows(2).all(|w| w[0] >= w[1]),
+                "unsorted top-10: {accs:?}"
+            );
         }
     }
 
@@ -355,7 +385,10 @@ mod tests {
             step: 0,
         };
         assert!(better.beats(resnet));
-        let worse_acc = DiscoveredPoint { accuracy: resnet.accuracy - 0.01, ..better.clone() };
+        let worse_acc = DiscoveredPoint {
+            accuracy: resnet.accuracy - 0.01,
+            ..better.clone()
+        };
         assert!(!worse_acc.beats(resnet));
     }
 

@@ -6,17 +6,16 @@
 //! constant for a fixed cell, so only `(area, latency)` matter within it)
 //! shrinks candidates by orders of magnitude before the exact global 3-D
 //! Pareto filter runs. Work parallelizes over CNN chunks with
-//! `crossbeam::scope`; within a chunk the accelerator loop is outermost so
+//! `std::thread::scope`; within a chunk the accelerator loop is outermost so
 //! each configuration's latency lookup table stays warm across cells.
 
 use codesign_accel::{AcceleratorConfig, AreaModel, ConfigSpace, LatencyModel, Scheduler};
 use codesign_moo::pareto::pareto_indices_3d;
 use codesign_moo::ParetoFront;
 use codesign_nasbench::{Dataset, NasbenchDatabase, Network, NetworkConfig};
-use serde::{Deserialize, Serialize};
 
 /// One Pareto-optimal codesign point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParetoPoint {
     /// `(-area mm², -latency ms, accuracy)`.
     pub metrics: [f64; 3],
@@ -47,7 +46,7 @@ impl ParetoPoint {
 }
 
 /// Output of a full-space enumeration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnumerationResult {
     /// The Pareto-optimal points.
     pub front: Vec<ParetoPoint>,
@@ -100,21 +99,22 @@ pub fn enumerate_codesign_space(
     let indices: Vec<usize> = (0..n).collect();
 
     let mut candidates: Vec<([f64; 3], (usize, usize))> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in indices.chunks(chunk_size) {
             let configs = &configs;
             let areas = &areas;
-            let handle = scope.spawn(move |_| {
-                enumerate_chunk(database, chunk, configs, areas, &latency_model, &net_config)
+            let latency_model = &latency_model;
+            let net_config = &net_config;
+            let handle = scope.spawn(move || {
+                enumerate_chunk(database, chunk, configs, areas, latency_model, net_config)
             });
             handles.push(handle);
         }
         for handle in handles {
             candidates.extend(handle.join().expect("enumeration worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let metrics: Vec<[f64; 3]> = candidates.iter().map(|(m, _)| *m).collect();
     let keep = pareto_indices_3d(&metrics);
@@ -122,7 +122,11 @@ pub fn enumerate_codesign_space(
         .into_iter()
         .map(|i| {
             let (metrics, (cell_index, config_index)) = candidates[i];
-            ParetoPoint { metrics, cell_index, config: configs[config_index] }
+            ParetoPoint {
+                metrics,
+                cell_index,
+                config: configs[config_index],
+            }
         })
         .collect();
 
@@ -150,8 +154,11 @@ fn enumerate_chunk(
     latency_model: &LatencyModel,
     net_config: &NetworkConfig,
 ) -> Vec<([f64; 3], (usize, usize))> {
-    let dataset =
-        if net_config.num_classes == 100 { Dataset::Cifar100 } else { Dataset::Cifar10 };
+    let dataset = if net_config.num_classes == 100 {
+        Dataset::Cifar100
+    } else {
+        Dataset::Cifar10
+    };
     // Assemble every network in the chunk once.
     let networks: Vec<(usize, Network, f64)> = chunk
         .iter()
@@ -222,8 +229,16 @@ mod tests {
     #[test]
     fn front_is_diverse_in_cells_and_accelerators() {
         let r = small_result();
-        assert!(r.distinct_front_cells >= 2, "cells {}", r.distinct_front_cells);
-        assert!(r.distinct_front_accels >= 5, "accels {}", r.distinct_front_accels);
+        assert!(
+            r.distinct_front_cells >= 2,
+            "cells {}",
+            r.distinct_front_cells
+        );
+        assert!(
+            r.distinct_front_accels >= 5,
+            "accels {}",
+            r.distinct_front_accels
+        );
     }
 
     #[test]

@@ -9,14 +9,46 @@
 //! scratch" and its simulated GPU-time is accounted).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use codesign_accel::{AcceleratorConfig, AreaModel, LatencyModel, Scheduler};
 use codesign_nasbench::{
     CellSpec, Dataset, NasbenchDatabase, Network, NetworkConfig, SpecError, SurrogateModel,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::space::Proposal;
+
+/// A pluggable cache backend consulted *before* the evaluator's private
+/// memoization, keyed by `(canonical cell hash, accelerator config)`.
+///
+/// Implementations are shared across evaluators (and threads — hence
+/// `Send + Sync`), letting a whole campaign of searches reuse each other's
+/// work. The evaluator salts `cell_hash` with its accuracy source, dataset
+/// and class count before calling these methods, making every metric a
+/// deterministic function of the key; a hit therefore returns bit-identical
+/// values to a recomputation, so plugging a cache in never changes search
+/// results — only their cost.
+///
+/// The engine crate provides the canonical implementation
+/// (`codesign_engine::SharedEvalCache`, a sharded-mutex map with hit/miss
+/// accounting).
+pub trait EvalCache: Send + Sync {
+    /// Returns the cached evaluation of the pair, if present.
+    fn get(&self, cell_hash: u128, config: &AcceleratorConfig) -> Option<PairEvaluation>;
+
+    /// Stores the evaluation of a valid pair.
+    fn put(&self, cell_hash: u128, config: &AcceleratorConfig, eval: PairEvaluation);
+
+    /// Returns the cached accuracy of a cell, if present — the expensive
+    /// half of an evaluation under the §IV trainer source, shared at cell
+    /// granularity because accuracy is accelerator-independent.
+    fn get_accuracy(&self, _cell_hash: u128) -> Option<f64> {
+        None
+    }
+
+    /// Stores the accuracy of a cell.
+    fn put_accuracy(&self, _cell_hash: u128, _accuracy: f64) {}
+}
 
 /// Where accuracies come from.
 pub enum AccuracySource {
@@ -47,7 +79,7 @@ impl std::fmt::Debug for AccuracySource {
 }
 
 /// Metrics of one valid model-accelerator pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairEvaluation {
     /// Mean test accuracy of the CNN (0..1).
     pub accuracy: f64,
@@ -106,6 +138,14 @@ pub struct Evaluator {
     latency_cache: HashMap<(u128, AcceleratorConfig), f64>,
     accuracy_cache: HashMap<u128, f64>,
     area_cache: HashMap<AcceleratorConfig, f64>,
+    /// Optional process-wide cache shared with other evaluators.
+    shared_cache: Option<Arc<dyn EvalCache>>,
+    /// Salt mixed into shared-cache keys so evaluators with different
+    /// accuracy sources / datasets / network skeletons never collide.
+    cache_salt: u128,
+    /// Distinct cells resolved by this evaluator's own source (shared-cache
+    /// hits excluded).
+    resolved_cells: usize,
     /// Simulated GPU-seconds spent training distinct cells (§IV accounting).
     training_seconds: f64,
     evaluations: u64,
@@ -141,6 +181,24 @@ impl Evaluator {
     /// Fully-custom construction.
     #[must_use]
     pub fn new(accuracy: AccuracySource, net_config: NetworkConfig) -> Self {
+        // Namespace shared-cache keys by everything the metrics depend on
+        // that varies across constructors: the accuracy source kind, its
+        // dataset, and the network skeleton's class count (which changes
+        // both accuracy heads and latency). Evaluators with custom
+        // area/latency models must not share a cache (the defaults are the
+        // only models constructible today).
+        let kind: u128 = match &accuracy {
+            AccuracySource::Database(_) => 1,
+            AccuracySource::Trainer {
+                dataset: Dataset::Cifar10,
+                ..
+            } => 2,
+            AccuracySource::Trainer {
+                dataset: Dataset::Cifar100,
+                ..
+            } => 3,
+        };
+        let cache_salt = (kind << 64) | ((net_config.num_classes as u128) << 32);
         Self {
             accuracy,
             area_model: AreaModel::default(),
@@ -149,9 +207,36 @@ impl Evaluator {
             latency_cache: HashMap::new(),
             accuracy_cache: HashMap::new(),
             area_cache: HashMap::new(),
+            shared_cache: None,
+            cache_salt,
+            resolved_cells: 0,
             training_seconds: 0.0,
             evaluations: 0,
         }
+    }
+
+    /// Attaches a process-wide cache consulted before the private caches.
+    ///
+    /// With a database accuracy source a hit is exactly equivalent to a
+    /// recomputation. With a trainer source, a hit also skips the simulated
+    /// training-time accounting — the cell was already "trained" by whoever
+    /// populated the cache — so [`Evaluator::gpu_hours`] then reports only
+    /// this evaluator's *new* training work.
+    ///
+    /// Keys are salted with the evaluator's accuracy-source kind, dataset,
+    /// and class count, so one cache may safely back evaluators of
+    /// different configurations — a CIFAR-10 evaluator never reads a
+    /// CIFAR-100 evaluator's entries.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<dyn EvalCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// The attached shared cache, if any.
+    #[must_use]
+    pub fn shared_cache(&self) -> Option<&Arc<dyn EvalCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// The area model in use.
@@ -178,10 +263,19 @@ impl Evaluator {
         self.evaluations
     }
 
-    /// Distinct cells whose accuracy has been resolved.
+    /// Distinct cells whose accuracy is known to this evaluator (including
+    /// cells answered by the shared cache).
     #[must_use]
     pub fn distinct_cells(&self) -> usize {
         self.accuracy_cache.len()
+    }
+
+    /// Distinct cells this evaluator resolved through its *own* source —
+    /// under the trainer source, the cells it actually "trained".
+    /// Shared-cache hits are excluded, matching [`Evaluator::gpu_hours`].
+    #[must_use]
+    pub fn resolved_cells(&self) -> usize {
+        self.resolved_cells
     }
 
     /// Simulated GPU-hours spent on (distinct) model training so far.
@@ -197,12 +291,10 @@ impl Evaluator {
             Ok(cell) => cell,
             Err(err) => return EvalOutcome::InvalidCnn(err.clone()),
         };
-        let Some(accuracy) = self.resolve_accuracy(cell) else {
-            return EvalOutcome::UnknownCell;
-        };
-        let latency_ms = self.resolve_latency(cell, &proposal.config);
-        let area_mm2 = self.resolve_area(&proposal.config);
-        EvalOutcome::Valid(PairEvaluation { accuracy, latency_ms, area_mm2 })
+        match self.resolve_pair(cell, &proposal.config) {
+            Some(eval) => EvalOutcome::Valid(eval),
+            None => EvalOutcome::UnknownCell,
+        }
     }
 
     /// Evaluates a known-valid `(cell, config)` pair directly.
@@ -212,18 +304,46 @@ impl Evaluator {
         config: &AcceleratorConfig,
     ) -> Option<PairEvaluation> {
         self.evaluations += 1;
+        self.resolve_pair(cell, config)
+    }
+
+    /// Resolves the metrics of a structurally-valid pair: shared cache
+    /// first, then the private per-metric caches / models.
+    fn resolve_pair(
+        &mut self,
+        cell: &CellSpec,
+        config: &AcceleratorConfig,
+    ) -> Option<PairEvaluation> {
+        let salted = cell.canonical_hash() ^ self.cache_salt;
+        if let Some(shared) = &self.shared_cache {
+            if let Some(eval) = shared.get(salted, config) {
+                return Some(eval);
+            }
+        }
         let accuracy = self.resolve_accuracy(cell)?;
-        Some(PairEvaluation {
+        let eval = PairEvaluation {
             accuracy,
             latency_ms: self.resolve_latency(cell, config),
             area_mm2: self.resolve_area(config),
-        })
+        };
+        if let Some(shared) = &self.shared_cache {
+            shared.put(salted, config, eval);
+        }
+        Some(eval)
     }
 
     fn resolve_accuracy(&mut self, cell: &CellSpec) -> Option<f64> {
         let hash = cell.canonical_hash();
         if let Some(&acc) = self.accuracy_cache.get(&hash) {
             return Some(acc);
+        }
+        // A cell another evaluator already resolved is free — including its
+        // simulated training time under the trainer source.
+        if let Some(shared) = &self.shared_cache {
+            if let Some(acc) = shared.get_accuracy(hash ^ self.cache_salt) {
+                self.accuracy_cache.insert(hash, acc);
+                return Some(acc);
+            }
         }
         let (acc, train_secs) = match &self.accuracy {
             AccuracySource::Database(db) => {
@@ -241,6 +361,10 @@ impl Evaluator {
             }
         };
         self.accuracy_cache.insert(hash, acc);
+        self.resolved_cells += 1;
+        if let Some(shared) = &self.shared_cache {
+            shared.put_accuracy(hash ^ self.cache_salt, acc);
+        }
         self.training_seconds += train_secs;
         Some(acc)
     }
@@ -319,13 +443,21 @@ mod tests {
 
     #[test]
     fn metrics_vector_matches_eq4_signs() {
-        let e = PairEvaluation { accuracy: 0.93, latency_ms: 50.0, area_mm2: 120.0 };
+        let e = PairEvaluation {
+            accuracy: 0.93,
+            latency_ms: 50.0,
+            area_mm2: 120.0,
+        };
         assert_eq!(e.metrics(), [-120.0, -50.0, 0.93]);
     }
 
     #[test]
     fn perf_per_area_matches_table2_formula() {
-        let e = PairEvaluation { accuracy: 0.729, latency_ms: 42.0, area_mm2: 186.0 };
+        let e = PairEvaluation {
+            accuracy: 0.729,
+            latency_ms: 42.0,
+            area_mm2: 186.0,
+        };
         assert!((e.perf_per_area() - 12.8).abs() < 0.1);
     }
 

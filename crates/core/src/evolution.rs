@@ -12,7 +12,7 @@
 //! small number of positions uniformly.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::search::{SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy};
 
@@ -29,7 +29,11 @@ pub struct EvolutionSearch {
 
 impl Default for EvolutionSearch {
     fn default() -> Self {
-        Self { population: 64, sample: 16, mutations: 2 }
+        Self {
+            population: 64,
+            sample: 16,
+            mutations: 2,
+        }
     }
 }
 
@@ -38,8 +42,12 @@ impl SearchStrategy for EvolutionSearch {
         "evolution"
     }
 
-    fn run(&self, ctx: &mut SearchContext<'_>, config: &SearchConfig) -> SearchOutcome {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+    fn run_with_rng(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        config: &SearchConfig,
+        rng: &mut SmallRng,
+    ) -> SearchOutcome {
         let vocab = ctx.space.vocab_sizes();
         let mut recorder = SearchRecorder::new(self.name(), config.steps);
         // Aging queue of (genome, reward); the oldest dies on overflow.
@@ -56,7 +64,7 @@ impl SearchStrategy for EvolutionSearch {
                 for _ in 0..self.sample {
                     let idx = rng.gen_range(0..population.len());
                     let candidate = &population[idx];
-                    if best.map_or(true, |b| candidate.1 > b.1) {
+                    if best.is_none_or(|b| candidate.1 > b.1) {
                         best = Some(candidate);
                     }
                 }
@@ -97,8 +105,11 @@ mod tests {
         let space = CodesignSpace::with_max_vertices(5);
         let mut evaluator = Evaluator::with_database(NasbenchDatabase::exhaustive(5));
         let reward = Scenario::Unconstrained.reward_spec();
-        let mut ctx =
-            SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+        let mut ctx = SearchContext {
+            space: &space,
+            evaluator: &mut evaluator,
+            reward: &reward,
+        };
         strategy.run(&mut ctx, &SearchConfig::quick(steps, seed))
     }
 
@@ -124,7 +135,9 @@ mod tests {
         let mut evo = 0.0;
         let mut rnd = 0.0;
         for seed in 0..3 {
-            evo += run(&EvolutionSearch::default(), 500, seed).best.map_or(0.0, |b| b.reward);
+            evo += run(&EvolutionSearch::default(), 500, seed)
+                .best
+                .map_or(0.0, |b| b.reward);
             rnd += run(&RandomSearch, 500, seed).best.map_or(0.0, |b| b.reward);
         }
         assert!(
@@ -135,7 +148,11 @@ mod tests {
 
     #[test]
     fn small_population_still_works() {
-        let strategy = EvolutionSearch { population: 4, sample: 2, mutations: 1 };
+        let strategy = EvolutionSearch {
+            population: 4,
+            sample: 2,
+            mutations: 1,
+        };
         let out = run(&strategy, 100, 1);
         assert_eq!(out.history.len(), 100);
     }

@@ -7,7 +7,6 @@
 
 use codesign_moo::reward::top_k_by_reward;
 use codesign_nasbench::NasbenchDatabase;
-use serde::{Deserialize, Serialize};
 
 use crate::enumerate::EnumerationResult;
 use crate::evaluator::Evaluator;
@@ -17,7 +16,7 @@ use crate::space::CodesignSpace;
 use crate::strategies::{CombinedSearch, PhaseSearch, SeparateSearch};
 
 /// Configuration of one scenario comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComparisonConfig {
     /// Steps per run (paper: 10,000).
     pub steps: usize,
@@ -29,7 +28,11 @@ pub struct ComparisonConfig {
 
 impl Default for ComparisonConfig {
     fn default() -> Self {
-        Self { steps: 10_000, repeats: 10, seed_base: 0 }
+        Self {
+            steps: 10_000,
+            repeats: 10,
+            seed_base: 0,
+        }
     }
 }
 
@@ -37,7 +40,11 @@ impl ComparisonConfig {
     /// A reduced configuration for tests and examples.
     #[must_use]
     pub fn quick(steps: usize, repeats: usize) -> Self {
-        Self { steps, repeats, seed_base: 0 }
+        Self {
+            steps,
+            repeats,
+            seed_base: 0,
+        }
     }
 }
 
@@ -54,8 +61,11 @@ impl StrategyRuns {
     /// Mean reward curve across repeats (each curve smoothed over `window`).
     #[must_use]
     pub fn average_curve(&self, window: usize) -> Vec<f64> {
-        let curves: Vec<Vec<f64>> =
-            self.outcomes.iter().map(|o| o.reward_curve(window)).collect();
+        let curves: Vec<Vec<f64>> = self
+            .outcomes
+            .iter()
+            .map(|o| o.reward_curve(window))
+            .collect();
         let len = curves.iter().map(Vec::len).min().unwrap_or(0);
         (0..len)
             .map(|i| curves.iter().map(|c| c[i]).sum::<f64>() / curves.len() as f64)
@@ -138,16 +148,24 @@ pub fn compare_strategies(
             };
             outcomes.push(strategy.run(&mut ctx, &run_config));
         }
-        results.push(StrategyRuns { name: strategy.name(), outcomes });
+        results.push(StrategyRuns {
+            name: strategy.name(),
+            outcomes,
+        });
     }
-    ScenarioComparison { scenario, strategies: results }
+    ScenarioComparison {
+        scenario,
+        strategies: results,
+    }
 }
 
 impl SeparateSearch {
     /// The paper's 8333/1667 split scaled to a different step budget.
     #[must_use]
     pub fn scaled(total_steps: usize) -> Self {
-        Self { cnn_steps: total_steps * 5 / 6 }
+        Self {
+            cnn_steps: total_steps * 5 / 6,
+        }
     }
 }
 
@@ -156,7 +174,10 @@ impl PhaseSearch {
     #[must_use]
     pub fn scaled(total_steps: usize) -> Self {
         let cnn = (total_steps / 10).max(1);
-        Self { cnn_phase_steps: cnn, hw_phase_steps: (cnn / 5).max(1) }
+        Self {
+            cnn_phase_steps: cnn,
+            hw_phase_steps: (cnn / 5).max(1),
+        }
     }
 }
 
@@ -169,9 +190,11 @@ pub fn top_pareto_points(
     k: usize,
 ) -> Vec<[f64; 3]> {
     let spec = scenario.reward_spec();
-    let pairs: Vec<([f64; 3], ())> =
-        enumeration.front.iter().map(|p| (p.metrics, ())).collect();
-    top_k_by_reward(&spec, pairs, k).into_iter().map(|(m, ())| m).collect()
+    let pairs: Vec<([f64; 3], ())> = enumeration.front.iter().map(|p| (p.metrics, ())).collect();
+    top_k_by_reward(&spec, pairs, k)
+        .into_iter()
+        .map(|(m, ())| m)
+        .collect()
 }
 
 #[cfg(test)]
@@ -225,7 +248,10 @@ mod tests {
         let spec = Scenario::OneConstraint.reward_spec();
         assert!(!top.is_empty());
         for m in &top {
-            assert!(spec.is_feasible(m), "top point {m:?} violates the scenario constraint");
+            assert!(
+                spec.is_feasible(m),
+                "top point {m:?} violates the scenario constraint"
+            );
         }
         // Sorted by reward descending.
         let rewards: Vec<f64> = top.iter().map(|m| spec.scalarize(m)).collect();

@@ -51,11 +51,11 @@ pub mod strategies;
 
 pub use baselines::{baseline_row, table2_baselines, BaselineRow};
 pub use cifar100::{
-    run_cifar100_codesign, Cifar100Config, Cifar100Result, DiscoveredPoint, StageResult,
-    ThresholdSchedule,
+    run_cifar100_codesign, run_cifar100_codesign_with_evaluator, Cifar100Config, Cifar100Result,
+    DiscoveredPoint, StageResult, ThresholdSchedule,
 };
 pub use enumerate::{enumerate_codesign_space, EnumerationResult, ParetoPoint};
-pub use evaluator::{AccuracySource, EvalOutcome, Evaluator, PairEvaluation};
+pub use evaluator::{AccuracySource, EvalCache, EvalOutcome, Evaluator, PairEvaluation};
 pub use evolution::EvolutionSearch;
 pub use experiments::{
     compare_strategies, top_pareto_points, ComparisonConfig, ScenarioComparison, StrategyRuns,

@@ -31,7 +31,10 @@ impl TextTable {
     /// A table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.

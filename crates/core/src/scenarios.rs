@@ -10,10 +10,9 @@
 //! Figs. 4–6).
 
 use codesign_moo::{LinearNorm, Punishment, RewardSpec};
-use serde::{Deserialize, Serialize};
 
 /// One of the paper's §III-C experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// No constraints; heavily latency-weighted scalarization.
     Unconstrained,
@@ -26,8 +25,11 @@ pub enum Scenario {
 
 impl Scenario {
     /// All scenarios in paper order.
-    pub const ALL: [Scenario; 3] =
-        [Scenario::Unconstrained, Scenario::OneConstraint, Scenario::TwoConstraints];
+    pub const ALL: [Scenario; 3] = [
+        Scenario::Unconstrained,
+        Scenario::OneConstraint,
+        Scenario::TwoConstraints,
+    ];
 
     /// Display name matching the paper's figures.
     #[must_use]
@@ -133,6 +135,9 @@ mod tests {
     #[test]
     fn names_match_paper() {
         let names: Vec<&str> = Scenario::ALL.iter().map(Scenario::name).collect();
-        assert_eq!(names, vec!["Unconstrained", "1 Constraint", "2 Constraints"]);
+        assert_eq!(
+            names,
+            vec!["Unconstrained", "1 Constraint", "2 Constraints"]
+        );
     }
 }

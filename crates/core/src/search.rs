@@ -9,7 +9,6 @@
 use codesign_accel::AcceleratorConfig;
 use codesign_moo::{ParetoFront, RewardSpec};
 use codesign_nasbench::CellSpec;
-use serde::{Deserialize, Serialize};
 
 use crate::evaluator::{EvalOutcome, Evaluator, PairEvaluation};
 use crate::space::CodesignSpace;
@@ -22,7 +21,7 @@ use crate::space::CodesignSpace;
 pub const INVALID_PROPOSAL_REWARD: f64 = -0.2;
 
 /// Shared knobs for one search run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchConfig {
     /// Total controller steps (the paper uses 10,000).
     pub steps: usize,
@@ -52,12 +51,16 @@ impl SearchConfig {
     /// A short run for tests and examples.
     #[must_use]
     pub fn quick(steps: usize, seed: u64) -> Self {
-        Self { steps, seed, ..Self::default() }
+        Self {
+            steps,
+            seed,
+            ..Self::default()
+        }
     }
 }
 
 /// One step of search history.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepRecord {
     /// The scalar fed to the controller (reward or punishment).
     pub reward: f64,
@@ -70,7 +73,7 @@ pub struct StepRecord {
 }
 
 /// The best feasible point found by a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BestPoint {
     /// The winning cell.
     pub cell: CellSpec,
@@ -198,8 +201,7 @@ impl SearchRecorder {
                 if let Some(cell) = proposal_cell {
                     self.front.insert(metrics, (cell.clone(), *config));
                     let value = scored.value();
-                    let improves_valid =
-                        self.best_valid.as_ref().map_or(true, |b| value > b.reward);
+                    let improves_valid = self.best_valid.as_ref().is_none_or(|b| value > b.reward);
                     if improves_valid {
                         self.best_valid = Some(BestPoint {
                             cell: cell.clone(),
@@ -211,7 +213,7 @@ impl SearchRecorder {
                     }
                     if feasible {
                         self.feasible_steps += 1;
-                        let improves = self.best.as_ref().map_or(true, |b| value > b.reward);
+                        let improves = self.best.as_ref().is_none_or(|b| value > b.reward);
                         if improves {
                             self.best = Some(BestPoint {
                                 cell: cell.clone(),
@@ -283,8 +285,25 @@ pub trait SearchStrategy {
     /// Display name used in figures and reports.
     fn name(&self) -> &'static str;
 
-    /// Runs the strategy for `config.steps` steps.
-    fn run(&self, ctx: &mut SearchContext<'_>, config: &SearchConfig) -> SearchOutcome;
+    /// Runs the strategy for `config.steps` steps drawing all randomness
+    /// from the injected `rng` stream (`config.seed` is *not* consulted).
+    ///
+    /// Campaign drivers use this to hand each shard its own deterministic
+    /// stream: the same stream yields the same run regardless of which
+    /// worker thread executes it.
+    fn run_with_rng(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        config: &SearchConfig,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> SearchOutcome;
+
+    /// Runs the strategy with a fresh stream seeded from `config.seed`.
+    fn run(&self, ctx: &mut SearchContext<'_>, config: &SearchConfig) -> SearchOutcome {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(config.seed);
+        self.run_with_rng(ctx, config, &mut rng)
+    }
 }
 
 #[cfg(test)]
@@ -294,7 +313,11 @@ mod tests {
     use codesign_nasbench::known_cells;
 
     fn dummy_eval(acc: f64, lat: f64, area: f64) -> EvalOutcome {
-        EvalOutcome::Valid(PairEvaluation { accuracy: acc, latency_ms: lat, area_mm2: area })
+        EvalOutcome::Valid(PairEvaluation {
+            accuracy: acc,
+            latency_ms: lat,
+            area_mm2: area,
+        })
     }
 
     #[test]
@@ -356,8 +379,14 @@ mod tests {
         let out = rec.finish();
         let curve = out.reward_curve(10);
         assert_eq!(curve.len(), 3);
-        assert!(curve.iter().all(|v| *v > 0.0), "punished values must not drag the curve");
-        assert!(curve[2] > curve[0], "curve should rise with better feasible points");
+        assert!(
+            curve.iter().all(|v| *v > 0.0),
+            "punished values must not drag the curve"
+        );
+        assert!(
+            curve[2] > curve[0],
+            "curve should rise with better feasible points"
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@
 
 use codesign_accel::{AcceleratorConfig, ConfigSpace, NUM_DECISIONS};
 use codesign_nasbench::{AdjMatrix, CellSpec, Op, SpecError, MAX_VERTICES};
-use serde::{Deserialize, Serialize};
 
 /// Decision encoding for the CNN half: binary edge inclusion for every
 /// upper-triangular slot plus a ternary op label per interior vertex.
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// // 21 edge slots + 5 interior ops for the full NASBench encoding.
 /// assert_eq!(space.vocab_sizes().len(), 26);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CnnSpace {
     max_vertices: usize,
 }
@@ -65,14 +64,13 @@ impl CnnSpace {
     #[must_use]
     pub fn vocab_sizes(&self) -> Vec<usize> {
         let mut v = vec![2; self.num_edge_slots()];
-        v.extend(std::iter::repeat(Op::COUNT).take(self.num_op_slots()));
+        v.extend(std::iter::repeat_n(Op::COUNT, self.num_op_slots()));
         v
     }
 
     /// Edge slot order: `(0,1), (0,2), ..., (0,V-1), (1,2), ...`.
     fn edge_slots(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.max_vertices)
-            .flat_map(move |i| ((i + 1)..self.max_vertices).map(move |j| (i, j)))
+        (0..self.max_vertices).flat_map(move |i| ((i + 1)..self.max_vertices).map(move |j| (i, j)))
     }
 
     /// Decodes controller actions into a validated cell.
@@ -135,7 +133,7 @@ impl CnnSpace {
 
 /// Decision encoding for the accelerator half (one decision per Fig. 3
 /// parameter).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HwSpace {
     space: ConfigSpace,
 }
@@ -144,7 +142,9 @@ impl HwSpace {
     /// The CHaiDNN space of the paper.
     #[must_use]
     pub fn chaidnn() -> Self {
-        Self { space: ConfigSpace::chaidnn() }
+        Self {
+            space: ConfigSpace::chaidnn(),
+        }
     }
 
     /// The wrapped configuration space.
@@ -206,7 +206,7 @@ pub struct Proposal {
 /// assert_eq!(space.vocab_sizes().len(), 34);
 /// assert!(space.num_points() > 1e9); // ~4 billion raw combinations
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodesignSpace {
     cnn: CnnSpace,
     hw: HwSpace,
@@ -216,14 +216,20 @@ impl CodesignSpace {
     /// The paper's full joint space: 7-vertex cells × CHaiDNN accelerators.
     #[must_use]
     pub fn paper() -> Self {
-        Self { cnn: CnnSpace::new(7), hw: HwSpace::chaidnn() }
+        Self {
+            cnn: CnnSpace::new(7),
+            hw: HwSpace::chaidnn(),
+        }
     }
 
     /// A joint space over a reduced CNN encoding (used when exact
     /// enumeration of the whole space is wanted).
     #[must_use]
     pub fn with_max_vertices(max_vertices: usize) -> Self {
-        Self { cnn: CnnSpace::new(max_vertices), hw: HwSpace::chaidnn() }
+        Self {
+            cnn: CnnSpace::new(max_vertices),
+            hw: HwSpace::chaidnn(),
+        }
     }
 
     /// The CNN half.

@@ -10,14 +10,12 @@
 //!   controller.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use codesign_moo::{LinearNorm, RewardSpec};
 use codesign_rl::{LstmPolicy, PolicyConfig, ReinforceConfig, ReinforceTrainer};
 
-use crate::search::{
-    SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy,
-};
+use crate::search::{SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy};
 use crate::space::Proposal;
 
 fn reinforce_config(config: &SearchConfig) -> ReinforceConfig {
@@ -37,13 +35,17 @@ impl SearchStrategy for CombinedSearch {
         "combined"
     }
 
-    fn run(&self, ctx: &mut SearchContext<'_>, config: &SearchConfig) -> SearchOutcome {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-        let policy = LstmPolicy::new(PolicyConfig::new(ctx.space.vocab_sizes()), &mut rng);
+    fn run_with_rng(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        config: &SearchConfig,
+        rng: &mut SmallRng,
+    ) -> SearchOutcome {
+        let policy = LstmPolicy::new(PolicyConfig::new(ctx.space.vocab_sizes()), rng);
         let mut trainer = ReinforceTrainer::new(policy, reinforce_config(config));
         let mut recorder = SearchRecorder::new(self.name(), config.steps);
         for _ in 0..config.steps {
-            let rollout = trainer.propose(&mut rng);
+            let rollout = trainer.propose(rng);
             let proposal = ctx.space.decode(&rollout.actions);
             let outcome = ctx.evaluator.evaluate(&proposal);
             let reward = recorder.record(
@@ -69,7 +71,10 @@ pub struct PhaseSearch {
 
 impl Default for PhaseSearch {
     fn default() -> Self {
-        Self { cnn_phase_steps: 1000, hw_phase_steps: 200 }
+        Self {
+            cnn_phase_steps: 1000,
+            hw_phase_steps: 200,
+        }
     }
 }
 
@@ -78,24 +83,28 @@ impl SearchStrategy for PhaseSearch {
         "phase"
     }
 
-    fn run(&self, ctx: &mut SearchContext<'_>, config: &SearchConfig) -> SearchOutcome {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+    fn run_with_rng(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        config: &SearchConfig,
+        rng: &mut SmallRng,
+    ) -> SearchOutcome {
         let cnn_vocab = ctx.space.cnn().vocab_sizes();
         let hw_vocab = ctx.space.hw().vocab_sizes();
-        let cnn_policy = LstmPolicy::new(PolicyConfig::new(cnn_vocab), &mut rng);
-        let hw_policy = LstmPolicy::new(PolicyConfig::new(hw_vocab), &mut rng);
+        let cnn_policy = LstmPolicy::new(PolicyConfig::new(cnn_vocab), rng);
+        let hw_policy = LstmPolicy::new(PolicyConfig::new(hw_vocab), rng);
         let mut cnn_trainer = ReinforceTrainer::new(cnn_policy, reinforce_config(config));
         let mut hw_trainer = ReinforceTrainer::new(hw_policy, reinforce_config(config));
         let mut recorder = SearchRecorder::new(self.name(), config.steps);
 
-        let mut frozen_hw = random_hw_actions(ctx, &mut rng);
-        let mut frozen_cnn = random_valid_cnn_actions(ctx, &mut rng);
+        let mut frozen_hw = random_hw_actions(ctx, rng);
+        let mut frozen_cnn = random_valid_cnn_actions(ctx, rng);
 
         let mut in_cnn_phase = true;
         let mut phase_remaining = self.cnn_phase_steps;
         while recorder.steps() < config.steps {
             if in_cnn_phase {
-                let rollout = cnn_trainer.propose(&mut rng);
+                let rollout = cnn_trainer.propose(rng);
                 let proposal = Proposal {
                     cell: ctx.space.cnn().decode(&rollout.actions),
                     config: ctx.space.hw().decode(&frozen_hw),
@@ -109,7 +118,7 @@ impl SearchStrategy for PhaseSearch {
                 );
                 cnn_trainer.learn(&rollout, reward);
             } else {
-                let rollout = hw_trainer.propose(&mut rng);
+                let rollout = hw_trainer.propose(rng);
                 let proposal = Proposal {
                     cell: ctx.space.cnn().decode(&frozen_cnn),
                     config: ctx.space.hw().decode(&rollout.actions),
@@ -133,8 +142,11 @@ impl SearchStrategy for PhaseSearch {
                     frozen_hw = ctx.space.hw().encode(&best.config);
                 }
                 in_cnn_phase = !in_cnn_phase;
-                phase_remaining =
-                    if in_cnn_phase { self.cnn_phase_steps } else { self.hw_phase_steps };
+                phase_remaining = if in_cnn_phase {
+                    self.cnn_phase_steps
+                } else {
+                    self.hw_phase_steps
+                };
             }
         }
         recorder.finish()
@@ -160,11 +172,14 @@ impl SearchStrategy for SeparateSearch {
         "separate"
     }
 
-    fn run(&self, ctx: &mut SearchContext<'_>, config: &SearchConfig) -> SearchOutcome {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+    fn run_with_rng(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        config: &SearchConfig,
+        rng: &mut SmallRng,
+    ) -> SearchOutcome {
         let cnn_steps = self.cnn_steps.min(config.steps);
-        let cnn_policy =
-            LstmPolicy::new(PolicyConfig::new(ctx.space.cnn().vocab_sizes()), &mut rng);
+        let cnn_policy = LstmPolicy::new(PolicyConfig::new(ctx.space.cnn().vocab_sizes()), rng);
         let mut cnn_trainer = ReinforceTrainer::new(cnn_policy, reinforce_config(config));
         let mut recorder = SearchRecorder::new(self.name(), config.steps);
 
@@ -173,21 +188,29 @@ impl SearchStrategy for SeparateSearch {
         // controller only sees normalized accuracy — no hardware context.
         let acc_norm = ctx.reward.norms()[2];
         let acc_only = accuracy_only_spec(acc_norm);
-        let placeholder_hw = random_hw_actions(ctx, &mut rng);
+        let placeholder_hw = random_hw_actions(ctx, rng);
         let placeholder_config = ctx.space.hw().decode(&placeholder_hw);
         let mut best_cnn: Option<(f64, Vec<usize>)> = None;
         for _ in 0..cnn_steps {
-            let rollout = cnn_trainer.propose(&mut rng);
+            let rollout = cnn_trainer.propose(rng);
             let cell = ctx.space.cnn().decode(&rollout.actions);
-            let proposal = Proposal { cell, config: placeholder_config };
+            let proposal = Proposal {
+                cell,
+                config: placeholder_config,
+            };
             let outcome = ctx.evaluator.evaluate(&proposal);
-            recorder.record(ctx.reward, &outcome, proposal.cell.as_ref().ok(), &proposal.config);
+            recorder.record(
+                ctx.reward,
+                &outcome,
+                proposal.cell.as_ref().ok(),
+                &proposal.config,
+            );
             let controller_reward = match outcome.evaluation() {
                 Some(eval) => acc_only.evaluate(&[eval.accuracy]).value(),
                 None => crate::search::INVALID_PROPOSAL_REWARD,
             };
             if let Some(eval) = outcome.evaluation() {
-                let improves = best_cnn.as_ref().map_or(true, |(a, _)| eval.accuracy > *a);
+                let improves = best_cnn.as_ref().is_none_or(|(a, _)| eval.accuracy > *a);
                 if improves {
                     best_cnn = Some((eval.accuracy, rollout.actions.clone()));
                 }
@@ -199,12 +222,11 @@ impl SearchStrategy for SeparateSearch {
         // multi-objective reward (the paper's Fig. 6 note).
         let frozen_cnn = best_cnn
             .map(|(_, actions)| actions)
-            .unwrap_or_else(|| random_valid_cnn_actions(ctx, &mut rng));
-        let hw_policy =
-            LstmPolicy::new(PolicyConfig::new(ctx.space.hw().vocab_sizes()), &mut rng);
+            .unwrap_or_else(|| random_valid_cnn_actions(ctx, rng));
+        let hw_policy = LstmPolicy::new(PolicyConfig::new(ctx.space.hw().vocab_sizes()), rng);
         let mut hw_trainer = ReinforceTrainer::new(hw_policy, reinforce_config(config));
         while recorder.steps() < config.steps {
-            let rollout = hw_trainer.propose(&mut rng);
+            let rollout = hw_trainer.propose(rng);
             let proposal = Proposal {
                 cell: ctx.space.cnn().decode(&frozen_cnn),
                 config: ctx.space.hw().decode(&rollout.actions),
@@ -231,16 +253,24 @@ impl SearchStrategy for RandomSearch {
         "random"
     }
 
-    fn run(&self, ctx: &mut SearchContext<'_>, config: &SearchConfig) -> SearchOutcome {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+    fn run_with_rng(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        config: &SearchConfig,
+        rng: &mut SmallRng,
+    ) -> SearchOutcome {
         let vocab = ctx.space.vocab_sizes();
         let mut recorder = SearchRecorder::new(self.name(), config.steps);
         for _ in 0..config.steps {
-            let actions: Vec<usize> =
-                vocab.iter().map(|&v| rng.gen_range(0..v)).collect();
+            let actions: Vec<usize> = vocab.iter().map(|&v| rng.gen_range(0..v)).collect();
             let proposal = ctx.space.decode(&actions);
             let outcome = ctx.evaluator.evaluate(&proposal);
-            recorder.record(ctx.reward, &outcome, proposal.cell.as_ref().ok(), &proposal.config);
+            recorder.record(
+                ctx.reward,
+                &outcome,
+                proposal.cell.as_ref().ok(),
+                &proposal.config,
+            );
         }
         recorder.finish()
     }
@@ -266,7 +296,9 @@ fn random_valid_cnn_actions(ctx: &SearchContext<'_>, rng: &mut SmallRng) -> Vec<
             return actions;
         }
     }
-    ctx.space.cnn().encode(&codesign_nasbench::known_cells::plain_cell())
+    ctx.space
+        .cnn()
+        .encode(&codesign_nasbench::known_cells::plain_cell())
 }
 
 /// Single-metric reward spec over accuracy alone, for separate search phase 1.
@@ -291,8 +323,11 @@ mod tests {
         let space = CodesignSpace::with_max_vertices(5);
         let mut evaluator = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar10);
         let reward = Scenario::Unconstrained.reward_spec();
-        let mut ctx =
-            SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+        let mut ctx = SearchContext {
+            space: &space,
+            evaluator: &mut evaluator,
+            reward: &reward,
+        };
         strategy.run(&mut ctx, &SearchConfig::quick(steps, seed))
     }
 
@@ -301,12 +336,18 @@ mod tests {
         let out = run_strategy(&CombinedSearch, 120, 0);
         assert_eq!(out.history.len(), 120);
         assert_eq!(out.strategy, "combined");
-        assert!(out.best.is_some(), "unconstrained search must find feasible points");
+        assert!(
+            out.best.is_some(),
+            "unconstrained search must find feasible points"
+        );
     }
 
     #[test]
     fn phase_alternates_and_completes() {
-        let strategy = PhaseSearch { cnn_phase_steps: 30, hw_phase_steps: 10 };
+        let strategy = PhaseSearch {
+            cnn_phase_steps: 30,
+            hw_phase_steps: 10,
+        };
         let out = strategy.run(
             &mut SearchContext {
                 space: &CodesignSpace::with_max_vertices(5),
@@ -333,8 +374,11 @@ mod tests {
     #[test]
     fn random_search_finds_valid_points() {
         let out = run_strategy(&RandomSearch, 150, 3);
-        assert!(out.feasible_steps > 0, "some random proposals must be valid");
-        assert!(out.front.len() > 0);
+        assert!(
+            out.feasible_steps > 0,
+            "some random proposals must be valid"
+        );
+        assert!(!out.front.is_empty());
     }
 
     #[test]

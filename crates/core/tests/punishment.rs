@@ -2,8 +2,7 @@
 //! constant punishment under the hardest (2-constraint) scenario.
 
 use codesign_core::{
-    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext,
-    SearchStrategy,
+    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext, SearchStrategy,
 };
 use codesign_moo::{Punishment, RewardSpec};
 use codesign_nasbench::NasbenchDatabase;
@@ -29,8 +28,11 @@ fn feasible_rate(punishment: Punishment, seeds: std::ops::Range<u64>) -> f64 {
     let n = (seeds.end - seeds.start) as f64;
     for seed in seeds {
         let mut evaluator = Evaluator::with_database(db.clone());
-        let mut ctx =
-            SearchContext { space: &space, evaluator: &mut evaluator, reward: &spec };
+        let mut ctx = SearchContext {
+            space: &space,
+            evaluator: &mut evaluator,
+            reward: &spec,
+        };
         let outcome = CombinedSearch.run(&mut ctx, &SearchConfig::quick(400, seed));
         total += outcome.feasible_rate();
     }

@@ -1,0 +1,368 @@
+//! The process-wide shared evaluation cache.
+//!
+//! One `(canonical cell hash, accelerator config)` key maps to the full
+//! [`PairEvaluation`]; all three metrics are deterministic functions of the
+//! key, so a hit is bit-identical to a recomputation and sharing the cache
+//! across concurrent searches never changes any search's results — only
+//! how much work the campaign does.
+//!
+//! Lock contention is kept low by splitting the map into independently
+//! locked shards selected by key hash, so worker threads rarely collide.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use codesign_accel::AcceleratorConfig;
+use codesign_core::{EvalCache, PairEvaluation};
+
+/// Default number of independently-locked map shards.
+const DEFAULT_SHARDS: usize = 64;
+
+/// A snapshot of the cache's accounting counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Pair lookups answered from the cache.
+    pub hits: u64,
+    /// Pair lookups that missed.
+    pub misses: u64,
+    /// Pair entries newly stored (re-insertions of an existing key don't
+    /// count).
+    pub inserts: u64,
+    /// Pair entries currently stored.
+    pub entries: usize,
+    /// Per-cell accuracy lookups answered from the cache.
+    pub accuracy_hits: u64,
+    /// Per-cell accuracy lookups that missed.
+    pub accuracy_misses: u64,
+    /// Per-cell accuracy entries currently stored.
+    pub accuracy_entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of pair lookups answered from the cache (0 when none
+    /// happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of per-cell accuracy lookups answered from the cache.
+    #[must_use]
+    pub fn accuracy_hit_rate(&self) -> f64 {
+        let total = self.accuracy_hits + self.accuracy_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.accuracy_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pair entries, {} hits / {} misses ({:.1}% hit rate); \
+             {} cell accuracies, {:.1}% hit rate",
+            self.entries,
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.accuracy_entries,
+            self.accuracy_hit_rate() * 100.0
+        )
+    }
+}
+
+/// A sharded-mutex `(cell, accelerator) -> metrics` map shared by every
+/// evaluator in a campaign.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_engine::SharedEvalCache;
+/// use codesign_core::{EvalCache, PairEvaluation};
+/// use codesign_accel::ConfigSpace;
+///
+/// let cache = SharedEvalCache::new();
+/// let config = ConfigSpace::chaidnn().get(17);
+/// let eval = PairEvaluation { accuracy: 0.93, latency_ms: 40.0, area_mm2: 120.0 };
+/// assert!(cache.get(7, &config).is_none());
+/// cache.put(7, &config, eval);
+/// assert_eq!(cache.get(7, &config), Some(eval));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct SharedEvalCache {
+    shards: Vec<Mutex<HashMap<(u128, AcceleratorConfig), PairEvaluation>>>,
+    accuracy_shards: Vec<Mutex<HashMap<u128, f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    accuracy_hits: AtomicU64,
+    accuracy_misses: AtomicU64,
+}
+
+impl Default for SharedEvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedEvalCache {
+    /// A cache with the default shard count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (rounded up to at least 1).
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            accuracy_shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            accuracy_hits: AtomicU64::new(0),
+            accuracy_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entries currently stored (sums across shards; O(shards)).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` when the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the counters plus the current entry counts.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len(),
+            accuracy_hits: self.accuracy_hits.load(Ordering::Relaxed),
+            accuracy_misses: self.accuracy_misses.load(Ordering::Relaxed),
+            accuracy_entries: self
+                .accuracy_shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").len())
+                .sum(),
+        }
+    }
+
+    fn shard(
+        &self,
+        key: &(u128, AcceleratorConfig),
+    ) -> &Mutex<HashMap<(u128, AcceleratorConfig), PairEvaluation>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[index]
+    }
+}
+
+impl EvalCache for SharedEvalCache {
+    fn get(&self, cell_hash: u128, config: &AcceleratorConfig) -> Option<PairEvaluation> {
+        let key = (cell_hash, *config);
+        let found = self
+            .shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(eval) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(eval)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, cell_hash: u128, config: &AcceleratorConfig, eval: PairEvaluation) {
+        let key = (cell_hash, *config);
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.insert(key, eval).is_none() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn get_accuracy(&self, cell_hash: u128) -> Option<f64> {
+        let index = (cell_hash % self.accuracy_shards.len() as u128) as usize;
+        let found = self.accuracy_shards[index]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&cell_hash)
+            .copied();
+        match found {
+            Some(acc) => {
+                self.accuracy_hits.fetch_add(1, Ordering::Relaxed);
+                Some(acc)
+            }
+            None => {
+                self.accuracy_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put_accuracy(&self, cell_hash: u128, accuracy: f64) {
+        let index = (cell_hash % self.accuracy_shards.len() as u128) as usize;
+        self.accuracy_shards[index]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(cell_hash, accuracy);
+    }
+}
+
+impl std::fmt::Debug for SharedEvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedEvalCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_accel::ConfigSpace;
+    use std::sync::Arc;
+
+    fn eval(x: f64) -> PairEvaluation {
+        PairEvaluation {
+            accuracy: x,
+            latency_ms: 10.0 * x,
+            area_mm2: 100.0 * x,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_insert_accounting() {
+        let cache = SharedEvalCache::with_shards(4);
+        let config = ConfigSpace::chaidnn().get(0);
+        assert!(cache.get(1, &config).is_none());
+        cache.put(1, &config, eval(0.9));
+        cache.put(1, &config, eval(0.9)); // re-insert: not a new entry
+        assert_eq!(cache.get(1, &config), Some(eval(0.9)));
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.inserts, stats.entries),
+            (1, 1, 1, 1)
+        );
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_configs_are_distinct_keys() {
+        let cache = SharedEvalCache::new();
+        let space = ConfigSpace::chaidnn();
+        cache.put(5, &space.get(0), eval(0.1));
+        cache.put(5, &space.get(1), eval(0.2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(5, &space.get(1)), Some(eval(0.2)));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(SharedEvalCache::new());
+        let space = ConfigSpace::chaidnn();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = Arc::clone(&cache);
+                let config = space.get(usize::try_from(t).unwrap());
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let key = u128::from(i % 50);
+                        cache.put(key, &config, eval(0.5));
+                        assert_eq!(cache.get(key, &config), Some(eval(0.5)));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8 * 50);
+        assert_eq!(stats.inserts, 8 * 50);
+        assert_eq!(stats.hits, 8 * 500);
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        let cache = SharedEvalCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        assert_eq!(cache.stats().accuracy_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_is_partitioned_by_evaluator_configuration() {
+        use codesign_core::Evaluator;
+        use codesign_nasbench::{known_cells, Dataset, SurrogateModel};
+
+        let cache = Arc::new(SharedEvalCache::new());
+        let cell = known_cells::resnet_cell();
+        let config = ConfigSpace::chaidnn().get(0);
+        let mut e10 = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar10)
+            .with_shared_cache(Arc::clone(&cache) as _);
+        let mut e100 = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar100)
+            .with_shared_cache(Arc::clone(&cache) as _);
+        let a10 = e10.evaluate_pair(&cell, &config).unwrap();
+        // Without key salting this would read the CIFAR-10 entry back.
+        let a100 = e100.evaluate_pair(&cell, &config).unwrap();
+        assert_ne!(
+            a10.accuracy, a100.accuracy,
+            "datasets must not share entries"
+        );
+        // Same-configuration evaluators do share.
+        let mut e10b = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar10)
+            .with_shared_cache(Arc::clone(&cache) as _);
+        assert_eq!(e10b.evaluate_pair(&cell, &config), Some(a10));
+        assert!(cache.stats().hits > 0);
+        // The second evaluator trained its own cell; the third trained none.
+        assert_eq!(e100.resolved_cells(), 1);
+        assert_eq!(e10b.resolved_cells(), 0);
+    }
+
+    #[test]
+    fn accuracy_entries_are_cell_scoped() {
+        let cache = SharedEvalCache::with_shards(3);
+        assert_eq!(cache.get_accuracy(9), None);
+        cache.put_accuracy(9, 0.91);
+        cache.put_accuracy(10, 0.88);
+        assert_eq!(cache.get_accuracy(9), Some(0.91));
+        assert_eq!(cache.get_accuracy(10), Some(0.88));
+        let stats = cache.stats();
+        assert_eq!((stats.accuracy_hits, stats.accuracy_misses), (2, 1));
+        assert_eq!(stats.accuracy_entries, 2);
+        // Pair-level counters are untouched.
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+}

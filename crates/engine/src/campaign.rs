@@ -1,0 +1,299 @@
+//! Campaign specifications: the grid of runs a driver executes.
+
+use codesign_core::{
+    CodesignSpace, CombinedSearch, EvolutionSearch, PhaseSearch, RandomSearch, Scenario,
+    SearchConfig, SearchStrategy, SeparateSearch,
+};
+
+use crate::mix64;
+
+/// A search strategy by name — the unit of the campaign grid's strategy
+/// axis. `build` instantiates the concrete strategy with the paper's
+/// phase/split ratios scaled to the shard's step budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// One controller over the joint space (§III-B1).
+    Combined,
+    /// Interleaved CNN/HW phases (§III-B2).
+    Phase,
+    /// Sequential CNN-then-HW baseline (§III-B3).
+    Separate,
+    /// Uniform random sampling (controller ablation).
+    Random,
+    /// Regularized (aging) evolution over the joint genome (extension).
+    Evolution,
+}
+
+impl StrategyKind {
+    /// The paper's three strategies plus the random ablation, in the order
+    /// used throughout the figures.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::Separate,
+        StrategyKind::Combined,
+        StrategyKind::Phase,
+        StrategyKind::Random,
+    ];
+
+    /// Display name (matches [`SearchStrategy::name`] of the built strategy).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Combined => "combined",
+            StrategyKind::Phase => "phase",
+            StrategyKind::Separate => "separate",
+            StrategyKind::Random => "random",
+            StrategyKind::Evolution => "evolution",
+        }
+    }
+
+    /// Parses a display name back into a kind.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "combined" => Some(StrategyKind::Combined),
+            "phase" => Some(StrategyKind::Phase),
+            "separate" => Some(StrategyKind::Separate),
+            "random" => Some(StrategyKind::Random),
+            "evolution" => Some(StrategyKind::Evolution),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the strategy for a run of `total_steps` steps.
+    #[must_use]
+    pub fn build(&self, total_steps: usize) -> Box<dyn SearchStrategy> {
+        match self {
+            StrategyKind::Combined => Box::new(CombinedSearch),
+            StrategyKind::Phase => Box::new(PhaseSearch::scaled(total_steps)),
+            StrategyKind::Separate => Box::new(SeparateSearch::scaled(total_steps)),
+            StrategyKind::Random => Box::new(RandomSearch),
+            StrategyKind::Evolution => Box::new(EvolutionSearch::default()),
+        }
+    }
+}
+
+/// One cell of the campaign grid: a single search run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpec {
+    /// Position in the campaign's shard order (stable across worker counts).
+    pub index: usize,
+    /// The scenario whose reward the run optimizes.
+    pub scenario: Scenario,
+    /// The strategy to run.
+    pub strategy: StrategyKind,
+    /// The user-facing repeat seed (the seed axis of the grid).
+    pub seed: u64,
+    /// The step budget of the run.
+    pub steps: usize,
+    /// The derived, decorrelated seed of this shard's private RNG stream.
+    pub rng_seed: u64,
+}
+
+impl ShardSpec {
+    /// The [`SearchConfig`] this shard runs under.
+    #[must_use]
+    pub fn search_config(&self, base: &SearchConfig) -> SearchConfig {
+        SearchConfig {
+            steps: self.steps,
+            seed: self.rng_seed,
+            ..*base
+        }
+    }
+}
+
+/// A campaign: the full grid of scenarios × strategies × seeds × step
+/// budgets over one decision space.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_engine::{Campaign, StrategyKind};
+/// use codesign_core::{CodesignSpace, Scenario};
+///
+/// let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+///     .scenarios(vec![Scenario::Unconstrained, Scenario::OneConstraint])
+///     .strategies(StrategyKind::ALL.to_vec())
+///     .seeds(vec![0, 1, 2])
+///     .budgets(vec![100, 1000]);
+/// assert_eq!(campaign.shards().len(), 2 * 4 * 3 * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The joint decision space every shard searches.
+    pub space: CodesignSpace,
+    /// The scenario axis.
+    pub scenarios: Vec<Scenario>,
+    /// The strategy axis.
+    pub strategies: Vec<StrategyKind>,
+    /// The repeat-seed axis.
+    pub seeds: Vec<u64>,
+    /// The step-budget axis.
+    pub budgets: Vec<usize>,
+    /// Controller hyperparameters shared by every shard (`steps` and `seed`
+    /// are overridden per shard).
+    pub base_config: SearchConfig,
+}
+
+impl Campaign {
+    /// A campaign over `space` with the paper's defaults: all scenarios,
+    /// all four strategies, one seed, one 1000-step budget.
+    #[must_use]
+    pub fn new(space: CodesignSpace) -> Self {
+        Self {
+            space,
+            scenarios: Scenario::ALL.to_vec(),
+            strategies: StrategyKind::ALL.to_vec(),
+            seeds: vec![0],
+            budgets: vec![1000],
+            base_config: SearchConfig::default(),
+        }
+    }
+
+    /// Replaces the scenario axis.
+    #[must_use]
+    pub fn scenarios(mut self, scenarios: Vec<Scenario>) -> Self {
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Replaces the strategy axis.
+    #[must_use]
+    pub fn strategies(mut self, strategies: Vec<StrategyKind>) -> Self {
+        self.strategies = strategies;
+        self
+    }
+
+    /// Replaces the seed axis.
+    #[must_use]
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Uses `count` consecutive seeds starting at 0.
+    #[must_use]
+    pub fn repeats(self, count: usize) -> Self {
+        self.seeds((0..count as u64).collect())
+    }
+
+    /// Replaces the step-budget axis.
+    #[must_use]
+    pub fn budgets(mut self, budgets: Vec<usize>) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Uses a single step budget.
+    #[must_use]
+    pub fn steps(self, steps: usize) -> Self {
+        self.budgets(vec![steps])
+    }
+
+    /// Replaces the shared controller hyperparameters.
+    #[must_use]
+    pub fn base_config(mut self, config: SearchConfig) -> Self {
+        self.base_config = config;
+        self
+    }
+
+    /// The grid flattened into shard specifications, scenario-major then
+    /// strategy, seed, and budget. The order — and every `rng_seed` — is a
+    /// pure function of the campaign, independent of workers or timing.
+    #[must_use]
+    pub fn shards(&self) -> Vec<ShardSpec> {
+        let mut shards = Vec::with_capacity(
+            self.scenarios.len() * self.strategies.len() * self.seeds.len() * self.budgets.len(),
+        );
+        for (si, &scenario) in self.scenarios.iter().enumerate() {
+            for (ti, &strategy) in self.strategies.iter().enumerate() {
+                for &seed in &self.seeds {
+                    for (bi, &steps) in self.budgets.iter().enumerate() {
+                        // Decorrelate neighboring grid cells: the stream seed
+                        // depends on every axis, not on the flat index, so
+                        // adding a scenario doesn't reshuffle existing shards.
+                        let rng_seed =
+                            mix64(seed ^ mix64((si as u64) << 40 | (ti as u64) << 20 | bi as u64));
+                        shards.push(ShardSpec {
+                            index: shards.len(),
+                            scenario,
+                            strategy,
+                            seed,
+                            steps,
+                            rng_seed,
+                        });
+                    }
+                }
+            }
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_the_full_product() {
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+            .seeds(vec![7, 8])
+            .budgets(vec![50, 500]);
+        let shards = campaign.shards();
+        assert_eq!(shards.len(), 3 * 4 * 2 * 2);
+        assert!(shards.iter().enumerate().all(|(i, s)| s.index == i));
+        // Every grid cell appears exactly once.
+        let mut keys: Vec<(String, &str, u64, usize)> = shards
+            .iter()
+            .map(|s| {
+                (
+                    format!("{:?}", s.scenario),
+                    s.strategy.name(),
+                    s.seed,
+                    s.steps,
+                )
+            })
+            .collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn rng_seeds_are_decorrelated_and_stable() {
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4)).repeats(3);
+        let a = campaign.shards();
+        let b = campaign.shards();
+        assert_eq!(a, b, "shard derivation must be pure");
+        let mut seeds: Vec<u64> = a.iter().map(|s| s.rng_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len(), "every shard needs its own stream");
+    }
+
+    #[test]
+    fn strategy_kinds_roundtrip_names() {
+        for kind in StrategyKind::ALL
+            .into_iter()
+            .chain([StrategyKind::Evolution])
+        {
+            assert_eq!(StrategyKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.build(1000).name(), kind.name());
+        }
+        assert_eq!(StrategyKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn shard_config_overrides_steps_and_seed_only() {
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4)).steps(123);
+        let base = SearchConfig {
+            learning_rate: 0.5,
+            ..SearchConfig::default()
+        };
+        let shard = campaign.shards()[0];
+        let config = shard.search_config(&base);
+        assert_eq!(config.steps, 123);
+        assert_eq!(config.seed, shard.rng_seed);
+        assert_eq!(config.learning_rate, 0.5);
+    }
+}

@@ -1,0 +1,192 @@
+//! The sharded campaign driver.
+//!
+//! Shards are placed on a lock-free work queue (an atomic cursor over the
+//! deterministic shard list) and executed by `std::thread` workers. Every
+//! shard runs with its own RNG stream and its own evaluator, so *which*
+//! worker runs a shard — and in what order — cannot affect results; the
+//! only cross-shard state is the [`SharedEvalCache`], whose hits return
+//! bit-identical values to recomputation. The same campaign therefore
+//! produces the same report at any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use codesign_core::{Evaluator, SearchContext};
+use codesign_nasbench::NasbenchDatabase;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::cache::SharedEvalCache;
+use crate::campaign::{Campaign, ShardSpec};
+use crate::report::{CampaignReport, ShardResult};
+
+/// Executes campaigns across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
+/// use codesign_core::CodesignSpace;
+/// use codesign_nasbench::NasbenchDatabase;
+///
+/// let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+///     .strategies(vec![StrategyKind::Random])
+///     .steps(50);
+/// let db = NasbenchDatabase::exhaustive(4);
+/// let sequential = ShardedDriver::new(1).run(&campaign, &db);
+/// let parallel = ShardedDriver::new(4).run(&campaign, &db);
+/// assert_eq!(sequential.shards.len(), parallel.shards.len());
+/// // Bit-identical results at any worker count:
+/// for (a, b) in sequential.shards.iter().zip(parallel.shards.iter()) {
+///     assert_eq!(a.best, b.best);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedDriver {
+    workers: usize,
+    shared_cache: bool,
+}
+
+impl ShardedDriver {
+    /// A driver with `workers` threads (`0` means the machine's available
+    /// parallelism). The shared evaluation cache is on by default.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            shared_cache: true,
+        }
+    }
+
+    /// Disables the shared evaluation cache (each shard then relies only on
+    /// its evaluator's private memoization) — used for benchmarking the
+    /// cache itself; results are identical either way.
+    #[must_use]
+    pub fn without_shared_cache(mut self) -> Self {
+        self.shared_cache = false;
+        self
+    }
+
+    /// The effective worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        }
+    }
+
+    /// Runs every shard of `campaign` against `database` and returns the
+    /// merged report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a shard's search itself panicked).
+    #[must_use]
+    pub fn run(&self, campaign: &Campaign, database: &NasbenchDatabase) -> CampaignReport {
+        let started = Instant::now();
+        let shards = campaign.shards();
+        let workers = self.workers().min(shards.len()).max(1);
+        let cache = self.shared_cache.then(|| Arc::new(SharedEvalCache::new()));
+
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<ShardResult>>> = Mutex::new(vec![None; shards.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let results = &results;
+                let shards = &shards;
+                let cache = cache.clone();
+                scope.spawn(move || loop {
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(shard) = shards.get(next) else { break };
+                    let result = run_shard(campaign, shard, database, cache.as_ref());
+                    results.lock().expect("results poisoned")[next] = Some(result);
+                });
+            }
+        });
+
+        let shards: Vec<ShardResult> = results
+            .into_inner()
+            .expect("results poisoned")
+            .into_iter()
+            .map(|r| r.expect("every shard executed"))
+            .collect();
+        CampaignReport {
+            shards,
+            cache: cache.map(|c| c.stats()),
+            workers,
+            wall_ms: started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+/// Executes one shard: fresh evaluator (plus the campaign-wide shared
+/// cache), fresh RNG stream, one strategy run.
+fn run_shard(
+    campaign: &Campaign,
+    shard: &ShardSpec,
+    database: &NasbenchDatabase,
+    cache: Option<&Arc<SharedEvalCache>>,
+) -> ShardResult {
+    let started = Instant::now();
+    let mut evaluator = Evaluator::with_database(database.clone());
+    if let Some(cache) = cache {
+        evaluator = evaluator.with_shared_cache(Arc::clone(cache) as _);
+    }
+    let reward = shard.scenario.reward_spec();
+    let mut ctx = SearchContext {
+        space: &campaign.space,
+        evaluator: &mut evaluator,
+        reward: &reward,
+    };
+    let config = shard.search_config(&campaign.base_config);
+    let mut rng = SmallRng::seed_from_u64(shard.rng_seed);
+    let strategy = shard.strategy.build(shard.steps);
+    let outcome = strategy.run_with_rng(&mut ctx, &config, &mut rng);
+    ShardResult::from_outcome(*shard, outcome, started.elapsed().as_millis() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::StrategyKind;
+    use codesign_core::{CodesignSpace, Scenario};
+
+    fn small_campaign() -> Campaign {
+        Campaign::new(CodesignSpace::with_max_vertices(4))
+            .scenarios(vec![Scenario::Unconstrained])
+            .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
+            .seeds(vec![0, 1])
+            .steps(40)
+    }
+
+    #[test]
+    fn all_shards_execute_in_order() {
+        let db = NasbenchDatabase::exhaustive(4);
+        let report = ShardedDriver::new(3).run(&small_campaign(), &db);
+        assert_eq!(report.shards.len(), 4);
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.spec.index, i);
+            assert_eq!(shard.steps, 40);
+        }
+        assert_eq!(report.workers, 3);
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        assert!(ShardedDriver::new(0).workers() >= 1);
+        assert_eq!(ShardedDriver::new(5).workers(), 5);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let db = NasbenchDatabase::exhaustive(4);
+        let report = ShardedDriver::new(2)
+            .without_shared_cache()
+            .run(&small_campaign(), &db);
+        assert!(report.cache.is_none());
+    }
+}

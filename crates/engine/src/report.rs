@@ -1,0 +1,377 @@
+//! Campaign results: per-shard outcomes, merged Pareto fronts, and export.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use codesign_accel::AcceleratorConfig;
+use codesign_core::report::{fmt_f, write_csv, TextTable};
+use codesign_core::{BestPoint, Scenario, SearchOutcome};
+use codesign_moo::ParetoFront;
+use codesign_nasbench::{CellSpec, Json};
+
+use crate::cache::CacheStats;
+use crate::campaign::ShardSpec;
+
+/// The distilled outcome of one shard (the full per-step history is not
+/// retained — campaigns run thousands of shards).
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Which grid cell this was.
+    pub spec: ShardSpec,
+    /// Steps actually executed.
+    pub steps: usize,
+    /// Steps meeting every scenario constraint.
+    pub feasible_steps: usize,
+    /// Steps proposing invalid/unknown CNNs.
+    pub invalid_steps: usize,
+    /// Best feasible point of the run.
+    pub best: Option<BestPoint>,
+    /// Pareto front of every valid point the run visited.
+    pub front: ParetoFront<3, (CellSpec, AcceleratorConfig)>,
+    /// Wall-clock of the shard, ms (informational; not deterministic).
+    pub wall_ms: u64,
+}
+
+impl ShardResult {
+    /// Distills a [`SearchOutcome`] into the campaign record.
+    #[must_use]
+    pub fn from_outcome(spec: ShardSpec, outcome: SearchOutcome, wall_ms: u64) -> Self {
+        Self {
+            spec,
+            steps: outcome.history.len(),
+            feasible_steps: outcome.feasible_steps,
+            invalid_steps: outcome.invalid_steps,
+            best: outcome.best,
+            front: outcome.front,
+            wall_ms,
+        }
+    }
+
+    /// The shard as one JSONL record.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let best = match &self.best {
+            Some(b) => Json::obj(vec![
+                ("accuracy", Json::Num(b.evaluation.accuracy)),
+                ("latency_ms", Json::Num(b.evaluation.latency_ms)),
+                ("area_mm2", Json::Num(b.evaluation.area_mm2)),
+                ("reward", Json::Num(b.reward)),
+                ("step", Json::Num(b.step as f64)),
+            ]),
+            None => Json::Null,
+        };
+        let front = self
+            .front
+            .iter()
+            .map(|(m, _)| Json::Arr(m.iter().map(|&x| Json::Num(x)).collect()))
+            .collect();
+        Json::obj(vec![
+            ("type", Json::Str("shard".into())),
+            ("index", Json::Num(self.spec.index as f64)),
+            ("scenario", Json::Str(self.spec.scenario.name().into())),
+            ("strategy", Json::Str(self.spec.strategy.name().into())),
+            ("seed", Json::Num(self.spec.seed as f64)),
+            ("steps", Json::Num(self.steps as f64)),
+            ("feasible_steps", Json::Num(self.feasible_steps as f64)),
+            ("invalid_steps", Json::Num(self.invalid_steps as f64)),
+            ("best", best),
+            ("front", Json::Arr(front)),
+            ("wall_ms", Json::Num(self.wall_ms as f64)),
+        ])
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-shard results in grid order (stable across worker counts).
+    pub shards: Vec<ShardResult>,
+    /// Shared-cache statistics, when the cache was enabled.
+    pub cache: Option<CacheStats>,
+    /// Worker threads the driver used (informational).
+    pub workers: usize,
+    /// Total campaign wall-clock, ms (informational; not deterministic).
+    pub wall_ms: u64,
+}
+
+impl CampaignReport {
+    /// Merges the Pareto fronts of every shard of `scenario` into one front
+    /// — exactly the front of the concatenation of those shards' visited
+    /// points (dominance filtering is order-insensitive in its result set).
+    #[must_use]
+    pub fn merged_front(
+        &self,
+        scenario: Scenario,
+    ) -> ParetoFront<3, (CellSpec, AcceleratorConfig)> {
+        let mut merged = ParetoFront::new();
+        for shard in self.shards.iter().filter(|s| s.spec.scenario == scenario) {
+            merged.extend(shard.front.iter().cloned());
+        }
+        merged
+    }
+
+    /// The best feasible point any shard of `scenario` found, by reward.
+    #[must_use]
+    pub fn best_point(&self, scenario: Scenario) -> Option<&BestPoint> {
+        self.shards
+            .iter()
+            .filter(|s| s.spec.scenario == scenario)
+            .filter_map(|s| s.best.as_ref())
+            .max_by(|a, b| {
+                a.reward
+                    .partial_cmp(&b.reward)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The distinct `(scenario, strategy)` pairs present, in shard order.
+    fn groups(&self) -> Vec<(Scenario, crate::StrategyKind)> {
+        let mut groups = Vec::new();
+        for shard in &self.shards {
+            let key = (shard.spec.scenario, shard.spec.strategy);
+            if !groups.contains(&key) {
+                groups.push(key);
+            }
+        }
+        groups
+    }
+
+    /// A per-(scenario, strategy) summary table.
+    #[must_use]
+    pub fn summary_table(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "scenario",
+            "strategy",
+            "runs",
+            "feasible runs",
+            "best reward",
+            "best lat [ms]",
+            "best acc [%]",
+            "front",
+        ]);
+        for (scenario, strategy) in self.groups() {
+            let members: Vec<&ShardResult> = self
+                .shards
+                .iter()
+                .filter(|s| s.spec.scenario == scenario && s.spec.strategy == strategy)
+                .collect();
+            let feasible = members.iter().filter(|s| s.best.is_some()).count();
+            let best = members
+                .iter()
+                .filter_map(|s| s.best.as_ref())
+                .max_by(|a, b| {
+                    a.reward
+                        .partial_cmp(&b.reward)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            let mut group_front = ParetoFront::new();
+            for member in &members {
+                group_front.extend(member.front.iter().cloned());
+            }
+            table.add_row(vec![
+                scenario.name().into(),
+                strategy.name().into(),
+                members.len().to_string(),
+                feasible.to_string(),
+                best.map_or("-".into(), |b| fmt_f(b.reward, 4)),
+                best.map_or("-".into(), |b| fmt_f(b.evaluation.latency_ms, 1)),
+                best.map_or("-".into(), |b| fmt_f(b.evaluation.accuracy * 100.0, 2)),
+                group_front.len().to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// The campaign-level header record of the JSONL export.
+    #[must_use]
+    pub fn header_json(&self) -> Json {
+        let cache = match &self.cache {
+            Some(stats) => Json::obj(vec![
+                ("hits", Json::Num(stats.hits as f64)),
+                ("misses", Json::Num(stats.misses as f64)),
+                ("inserts", Json::Num(stats.inserts as f64)),
+                ("entries", Json::Num(stats.entries as f64)),
+                ("hit_rate", Json::Num(stats.hit_rate())),
+                ("accuracy_hits", Json::Num(stats.accuracy_hits as f64)),
+                ("accuracy_misses", Json::Num(stats.accuracy_misses as f64)),
+                ("accuracy_entries", Json::Num(stats.accuracy_entries as f64)),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("type", Json::Str("campaign".into())),
+            ("shards", Json::Num(self.shards.len() as f64)),
+            ("workers", Json::Num(self.workers as f64)),
+            ("wall_ms", Json::Num(self.wall_ms as f64)),
+            ("cache", cache),
+        ])
+    }
+
+    /// Writes the campaign as JSON Lines: one header record, then one
+    /// record per shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_jsonl<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writeln!(writer, "{}", self.header_json())?;
+        for shard in &self.shards {
+            writeln!(writer, "{}", shard.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// Writes one CSV row per shard through the standard report writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let headers = [
+            "shard",
+            "scenario",
+            "strategy",
+            "seed",
+            "steps",
+            "feasible_steps",
+            "invalid_steps",
+            "best_reward",
+            "best_latency_ms",
+            "best_accuracy",
+            "best_area_mm2",
+            "front_size",
+            "wall_ms",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let best = s.best.as_ref();
+                vec![
+                    s.spec.index.to_string(),
+                    s.spec.scenario.name().into(),
+                    s.spec.strategy.name().into(),
+                    s.spec.seed.to_string(),
+                    s.steps.to_string(),
+                    s.feasible_steps.to_string(),
+                    s.invalid_steps.to_string(),
+                    best.map_or("nan".into(), |b| fmt_f(b.reward, 6)),
+                    best.map_or("nan".into(), |b| fmt_f(b.evaluation.latency_ms, 4)),
+                    best.map_or("nan".into(), |b| fmt_f(b.evaluation.accuracy, 6)),
+                    best.map_or("nan".into(), |b| fmt_f(b.evaluation.area_mm2, 3)),
+                    s.front.len().to_string(),
+                    s.wall_ms.to_string(),
+                ]
+            })
+            .collect();
+        write_csv(path, &headers, &rows)
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} shards on {} workers in {:.2}s",
+            self.shards.len(),
+            self.workers,
+            self.wall_ms as f64 / 1000.0
+        )?;
+        if let Some(stats) = &self.cache {
+            writeln!(f, "shared cache: {stats}")?;
+        }
+        write!(f, "{}", self.summary_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Campaign, ShardedDriver, StrategyKind};
+    use codesign_core::CodesignSpace;
+    use codesign_nasbench::NasbenchDatabase;
+
+    fn tiny_report() -> CampaignReport {
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+            .scenarios(vec![Scenario::Unconstrained, Scenario::OneConstraint])
+            .strategies(vec![StrategyKind::Random])
+            .seeds(vec![0, 1])
+            .steps(60);
+        ShardedDriver::new(2).run(&campaign, &NasbenchDatabase::exhaustive(4))
+    }
+
+    #[test]
+    fn merged_front_is_scenario_scoped_and_non_dominated() {
+        let report = tiny_report();
+        let front = report.merged_front(Scenario::Unconstrained);
+        assert!(!front.is_empty());
+        let points: Vec<[f64; 3]> = front.iter().map(|(m, _)| *m).collect();
+        for (i, a) in points.iter().enumerate() {
+            for (j, b) in points.iter().enumerate() {
+                if i != j {
+                    assert!(!codesign_moo::dominates(a, b), "{i} dominates {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_point_maximizes_reward_within_scenario() {
+        let report = tiny_report();
+        let best = report
+            .best_point(Scenario::Unconstrained)
+            .expect("feasible runs");
+        for shard in report
+            .shards
+            .iter()
+            .filter(|s| s.spec.scenario == Scenario::Unconstrained)
+        {
+            if let Some(b) = &shard.best {
+                assert!(b.reward <= best.reward);
+            }
+        }
+    }
+
+    #[test]
+    fn jsonl_export_parses_line_by_line() {
+        let report = tiny_report();
+        let mut buf = Vec::new();
+        report.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + report.shards.len());
+        let header = Json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("type").and_then(Json::as_str), Some("campaign"));
+        assert_eq!(
+            header.get("shards").and_then(Json::as_usize),
+            Some(report.shards.len())
+        );
+        for line in &lines[1..] {
+            let shard = Json::parse(line).unwrap();
+            assert_eq!(shard.get("type").and_then(Json::as_str), Some("shard"));
+            assert!(shard.get("front").and_then(Json::as_arr).is_some());
+        }
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_shard() {
+        let report = tiny_report();
+        let dir = std::env::temp_dir().join("codesign_engine_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.csv");
+        report.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 1 + report.shards.len());
+        assert!(content.starts_with("shard,scenario,strategy"));
+    }
+
+    #[test]
+    fn display_summarizes_groups() {
+        let report = tiny_report();
+        let text = report.to_string();
+        assert!(text.contains("campaign: 4 shards"));
+        assert!(text.contains("shared cache:"));
+        assert!(text.contains("Unconstrained"));
+        assert!(text.contains("random"));
+    }
+}

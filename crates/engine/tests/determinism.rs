@@ -1,0 +1,147 @@
+//! Campaign-level invariants: worker-count determinism, cache transparency,
+//! and Pareto-merge equivalence.
+
+use codesign_core::{CodesignSpace, Evaluator, Scenario, SearchConfig, SearchContext};
+use codesign_engine::{Campaign, CampaignReport, ShardedDriver, StrategyKind};
+use codesign_moo::ParetoFront;
+use codesign_nasbench::NasbenchDatabase;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn sweep_campaign() -> Campaign {
+    Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(Scenario::ALL.to_vec())
+        .strategies(StrategyKind::ALL.to_vec())
+        .seeds(vec![0, 1])
+        .steps(60)
+}
+
+fn front_bits(
+    front: &ParetoFront<
+        3,
+        (
+            codesign_nasbench::CellSpec,
+            codesign_accel::AcceleratorConfig,
+        ),
+    >,
+) -> Vec<[u64; 3]> {
+    let mut bits: Vec<[u64; 3]> = front
+        .iter()
+        .map(|(m, _)| [m[0].to_bits(), m[1].to_bits(), m[2].to_bits()])
+        .collect();
+    bits.sort_unstable();
+    bits
+}
+
+fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport) {
+    assert_eq!(a.shards.len(), b.shards.len());
+    for (x, y) in a.shards.iter().zip(b.shards.iter()) {
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.steps, y.steps);
+        assert_eq!(x.feasible_steps, y.feasible_steps);
+        assert_eq!(x.invalid_steps, y.invalid_steps);
+        assert_eq!(x.best, y.best, "shard {} best diverged", x.spec.index);
+        assert_eq!(
+            front_bits(&x.front),
+            front_bits(&y.front),
+            "shard {} front diverged",
+            x.spec.index
+        );
+    }
+    for scenario in Scenario::ALL {
+        assert_eq!(
+            front_bits(&a.merged_front(scenario)),
+            front_bits(&b.merged_front(scenario)),
+            "merged front diverged for {scenario:?}"
+        );
+    }
+}
+
+#[test]
+fn campaigns_are_bit_identical_across_worker_counts() {
+    let campaign = sweep_campaign();
+    let db = NasbenchDatabase::exhaustive(4);
+    let one = ShardedDriver::new(1).run(&campaign, &db);
+    let eight = ShardedDriver::new(8).run(&campaign, &db);
+    assert_reports_identical(&one, &eight);
+}
+
+#[test]
+fn shared_cache_is_transparent_to_results() {
+    let campaign = sweep_campaign();
+    let db = NasbenchDatabase::exhaustive(4);
+    let cached = ShardedDriver::new(4).run(&campaign, &db);
+    let uncached = ShardedDriver::new(4)
+        .without_shared_cache()
+        .run(&campaign, &db);
+    assert!(cached.cache.is_some() && uncached.cache.is_none());
+    assert_reports_identical(&cached, &uncached);
+}
+
+#[test]
+fn campaign_cache_sees_substantial_reuse() {
+    let campaign = sweep_campaign();
+    let db = NasbenchDatabase::exhaustive(4);
+    let report = ShardedDriver::new(4).run(&campaign, &db);
+    let stats = report.cache.expect("cache enabled");
+    assert!(
+        stats.hits > 0,
+        "a 24-shard sweep must revisit pairs: {stats}"
+    );
+    assert!(stats.inserts > 0);
+    assert_eq!(stats.entries as u64, stats.inserts);
+}
+
+/// Merged per-shard fronts must equal the front of the concatenated visit
+/// histories. Runs the exact shards the campaign would, via the same
+/// injected-RNG path, collecting every visited point.
+#[test]
+fn merged_shard_fronts_equal_front_of_concatenated_histories() {
+    let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(vec![Scenario::Unconstrained])
+        .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
+        .seeds(vec![0, 1, 2])
+        .steps(50);
+    let db = NasbenchDatabase::exhaustive(4);
+    let report = ShardedDriver::new(4).run(&campaign, &db);
+
+    // Re-run each shard standalone and pool every *visited* point from the
+    // step histories; the front of that concatenation must equal the
+    // campaign's merged per-shard fronts (multiplicity included — ties are
+    // retained by both paths).
+    let mut concatenated: ParetoFront<3, ()> = ParetoFront::new();
+    for shard in campaign.shards() {
+        let mut evaluator = Evaluator::with_database(db.clone());
+        let reward = shard.scenario.reward_spec();
+        let mut ctx = SearchContext {
+            space: &campaign.space,
+            evaluator: &mut evaluator,
+            reward: &reward,
+        };
+        let config = SearchConfig {
+            steps: shard.steps,
+            seed: shard.rng_seed,
+            ..SearchConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(shard.rng_seed);
+        let outcome = shard
+            .strategy
+            .build(shard.steps)
+            .run_with_rng(&mut ctx, &config, &mut rng);
+        for record in &outcome.history {
+            if let Some(metrics) = record.metrics {
+                concatenated.insert(metrics, ());
+            }
+        }
+    }
+    let mut history_bits: Vec<[u64; 3]> = concatenated
+        .iter()
+        .map(|(m, ())| [m[0].to_bits(), m[1].to_bits(), m[2].to_bits()])
+        .collect();
+    history_bits.sort_unstable();
+    assert_eq!(
+        front_bits(&report.merged_front(Scenario::Unconstrained)),
+        history_bits,
+        "merged shard fronts != front of concatenated histories"
+    );
+}

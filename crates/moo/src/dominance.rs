@@ -36,8 +36,14 @@ pub enum Dominance {
 /// order; use [`crate::MooError::NanMetric`]-producing validation upstream).
 #[must_use]
 pub fn compare<const N: usize>(a: &[f64; N], b: &[f64; N]) -> Dominance {
-    debug_assert!(a.iter().all(|v| !v.is_nan()), "NaN metric in dominance comparison");
-    debug_assert!(b.iter().all(|v| !v.is_nan()), "NaN metric in dominance comparison");
+    debug_assert!(
+        a.iter().all(|v| !v.is_nan()),
+        "NaN metric in dominance comparison"
+    );
+    debug_assert!(
+        b.iter().all(|v| !v.is_nan()),
+        "NaN metric in dominance comparison"
+    );
     let mut a_better = false;
     let mut b_better = false;
     for i in 0..N {

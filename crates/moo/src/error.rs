@@ -29,7 +29,10 @@ impl fmt::Display for MooError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MooError::DegenerateRange { min, max } => {
-                write!(f, "normalization range [{min}, {max}] is degenerate or non-finite")
+                write!(
+                    f,
+                    "normalization range [{min}, {max}] is degenerate or non-finite"
+                )
             }
             MooError::InvalidWeights { reason } => write!(f, "invalid weight vector: {reason}"),
             MooError::NanMetric { index } => {

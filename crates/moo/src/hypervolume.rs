@@ -76,7 +76,11 @@ pub fn hypervolume_3d(points: &[[f64; 3]], reference: [f64; 3]) -> f64 {
             active.push([pts[i][0], pts[i][1]]);
             i += 1;
         }
-        let z_lo = if i < pts.len() { pts[i][2] } else { reference[2] };
+        let z_lo = if i < pts.len() {
+            pts[i][2]
+        } else {
+            reference[2]
+        };
         let slab = z_hi - z_lo;
         if slab > 0.0 {
             hv += slab * hypervolume_2d(&active, [reference[0], reference[1]]);
@@ -127,9 +131,7 @@ mod tests {
     fn hypervolume_is_monotone_in_points() {
         let base = vec![[1.0, 1.0, 1.0]];
         let more = vec![[1.0, 1.0, 1.0], [0.5, 2.0, 1.5]];
-        assert!(
-            hypervolume_3d(&more, [0.0, 0.0, 0.0]) >= hypervolume_3d(&base, [0.0, 0.0, 0.0])
-        );
+        assert!(hypervolume_3d(&more, [0.0, 0.0, 0.0]) >= hypervolume_3d(&base, [0.0, 0.0, 0.0]));
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! [`LinearNorm`] is that map for a single metric; values outside the range
 //! are clamped so a single outlier cannot blow up the scalarized reward.
 
-use serde::{Deserialize, Serialize};
-
 use crate::MooError;
 
 /// A clamped linear map from `[min, max]` onto `[0, 1]`.
@@ -24,7 +22,7 @@ use crate::MooError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearNorm {
     min: f64,
     max: f64,
@@ -118,7 +116,10 @@ impl LinearNorm {
     /// negation.
     #[must_use]
     pub fn negated(&self) -> Self {
-        Self { min: -self.max, max: -self.min }
+        Self {
+            min: -self.max,
+            max: -self.min,
+        }
     }
 }
 

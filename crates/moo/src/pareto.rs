@@ -92,6 +92,7 @@ pub fn pareto_indices_3d(points: &[[f64; 3]]) -> Vec<usize> {
         // strictly-greater x, and against earlier members of its own group
         // (full 3D dominance, since x ties make the first objective equal).
         let mut survivors: Vec<usize> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
         'members: for k in g..h {
             let i = order[k];
             let (y, z) = (points[i][1], points[i][2]);
@@ -243,7 +244,9 @@ impl<const N: usize, T> ParetoFront<N, T> {
     /// Creates an empty front.
     #[must_use]
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Attempts to insert a point. Returns `true` if the point joined the
@@ -354,7 +357,10 @@ impl<const N: usize, T> StreamingParetoFilter<N, T> {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "streaming filter capacity must be positive");
-        Self { buffer: Vec::new(), capacity }
+        Self {
+            buffer: Vec::new(),
+            capacity,
+        }
     }
 
     /// Adds one candidate point.
@@ -522,8 +528,8 @@ mod tests {
         }
         let mut got: Vec<[f64; 3]> = filter.finish().into_iter().map(|(m, _)| m).collect();
         let mut want = expected;
-        got.sort_by(|a, b| lex_cmp(a, b));
-        want.sort_by(|a, b| lex_cmp(a, b));
+        got.sort_by(lex_cmp);
+        want.sort_by(lex_cmp);
         assert_eq!(got, want);
     }
 

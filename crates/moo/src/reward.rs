@@ -13,8 +13,6 @@
 //! latency before calling [`RewardSpec::evaluate`], and a latency constraint
 //! `lat < 100 ms` becomes a threshold of `−100` on the negated metric.
 
-use serde::{Deserialize, Serialize};
-
 use crate::normalize::LinearNorm;
 use crate::MooError;
 
@@ -23,7 +21,7 @@ use crate::MooError;
 /// The paper specifies only that `Rv` has "opposite sign to the reward"; both
 /// variants below satisfy that and are worth comparing (see the punishment
 /// ablation bench).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Punishment {
     /// A fixed negative reward, independent of how badly constraints are missed.
     Constant(f64),
@@ -146,7 +144,7 @@ impl<const N: usize> RewardSpec<N> {
         self.thresholds
             .iter()
             .zip(m.iter())
-            .all(|(th, v)| th.map_or(true, |t| *v >= t))
+            .all(|(th, v)| th.is_none_or(|t| *v >= t))
     }
 
     /// Evaluates Eq. 3: the weighted normalized sum for feasible points, the
@@ -164,6 +162,7 @@ impl<const N: usize> RewardSpec<N> {
     #[must_use]
     pub fn scalarize(&self, m: &[f64; N]) -> f64 {
         let mut acc = 0.0;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..N {
             acc += self.weights[i] * self.norms[i].apply(m[i]);
         }
@@ -174,6 +173,7 @@ impl<const N: usize> RewardSpec<N> {
     #[must_use]
     pub fn violation(&self, m: &[f64; N]) -> f64 {
         let mut total = 0.0;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..N {
             if let Some(t) = self.thresholds[i] {
                 if m[i] < t {
@@ -188,9 +188,7 @@ impl<const N: usize> RewardSpec<N> {
     fn punish(&self, m: &[f64; N]) -> f64 {
         match self.punishment {
             Punishment::Constant(c) => -c.abs(),
-            Punishment::ScaledViolation { scale } => {
-                -(scale * (1.0 + self.violation(m).min(10.0)))
-            }
+            Punishment::ScaledViolation { scale } => -(scale * (1.0 + self.violation(m).min(10.0))),
         }
     }
 }
@@ -232,10 +230,14 @@ impl<const N: usize> RewardSpecBuilder<N> {
     /// non-finite, or if all weights are zero.
     pub fn weights(mut self, w: [f64; N]) -> Result<Self, MooError> {
         if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
-            return Err(MooError::InvalidWeights { reason: "weights must be finite and >= 0" });
+            return Err(MooError::InvalidWeights {
+                reason: "weights must be finite and >= 0",
+            });
         }
         if w.iter().sum::<f64>() <= 0.0 {
-            return Err(MooError::InvalidWeights { reason: "weights must not all be zero" });
+            return Err(MooError::InvalidWeights {
+                reason: "weights must not all be zero",
+            });
         }
         self.weights = Some(w);
         Ok(self)
@@ -257,7 +259,10 @@ impl<const N: usize> RewardSpecBuilder<N> {
     /// Panics if `index >= N`.
     #[must_use]
     pub fn threshold(mut self, index: usize, min_value: f64) -> Self {
-        assert!(index < N, "threshold index {index} out of bounds for {N} metrics");
+        assert!(
+            index < N,
+            "threshold index {index} out of bounds for {N} metrics"
+        );
         self.thresholds[index] = Some(min_value);
         self
     }
@@ -273,7 +278,9 @@ impl<const N: usize> RewardSpecBuilder<N> {
             Punishment::ScaledViolation { scale } => scale,
         };
         if !(magnitude > 0.0 && magnitude.is_finite()) {
-            return Err(MooError::InvalidPunishment { reason: "magnitude must be positive" });
+            return Err(MooError::InvalidPunishment {
+                reason: "magnitude must be positive",
+            });
         }
         self.punishment = p;
         Ok(self)
@@ -286,9 +293,18 @@ impl<const N: usize> RewardSpecBuilder<N> {
     /// Returns [`MooError::IncompleteSpec`] when weights or norms were never
     /// provided.
     pub fn build(self) -> Result<RewardSpec<N>, MooError> {
-        let weights = self.weights.ok_or(MooError::IncompleteSpec { missing: "weights" })?;
-        let norms = self.norms.ok_or(MooError::IncompleteSpec { missing: "norms" })?;
-        Ok(RewardSpec { weights, norms, thresholds: self.thresholds, punishment: self.punishment })
+        let weights = self
+            .weights
+            .ok_or(MooError::IncompleteSpec { missing: "weights" })?;
+        let norms = self
+            .norms
+            .ok_or(MooError::IncompleteSpec { missing: "norms" })?;
+        Ok(RewardSpec {
+            weights,
+            norms,
+            thresholds: self.thresholds,
+            punishment: self.punishment,
+        })
     }
 }
 
@@ -438,7 +454,10 @@ mod tests {
     #[test]
     fn build_requires_weights_and_norms() {
         let err = RewardSpecBuilder::<1>::new().build().unwrap_err();
-        assert!(matches!(err, MooError::IncompleteSpec { missing: "weights" }));
+        assert!(matches!(
+            err,
+            MooError::IncompleteSpec { missing: "weights" }
+        ));
         let err = RewardSpecBuilder::<1>::new()
             .weights([1.0])
             .unwrap()
@@ -449,7 +468,9 @@ mod tests {
 
     #[test]
     fn punishment_validation() {
-        assert!(RewardSpecBuilder::<1>::new().punishment(Punishment::Constant(0.0)).is_err());
+        assert!(RewardSpecBuilder::<1>::new()
+            .punishment(Punishment::Constant(0.0))
+            .is_err());
         assert!(RewardSpecBuilder::<1>::new()
             .punishment(Punishment::ScaledViolation { scale: -1.0 })
             .is_err());

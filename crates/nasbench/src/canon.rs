@@ -83,10 +83,16 @@ pub fn canonical_hash(matrix: &AdjMatrix, ops: &[Op]) -> u128 {
     for _round in 0..n {
         let mut next = Vec::with_capacity(n);
         for v in 0..n {
-            let mut in_h: Vec<u128> =
-                matrix.in_neighbors(v).into_iter().map(|u| hashes[u]).collect();
-            let mut out_h: Vec<u128> =
-                matrix.out_neighbors(v).into_iter().map(|w| hashes[w]).collect();
+            let mut in_h: Vec<u128> = matrix
+                .in_neighbors(v)
+                .into_iter()
+                .map(|u| hashes[u])
+                .collect();
+            let mut out_h: Vec<u128> = matrix
+                .out_neighbors(v)
+                .into_iter()
+                .map(|w| hashes[w])
+                .collect();
             in_h.sort_unstable();
             out_h.sort_unstable();
             let mut parts = Vec::with_capacity(in_h.len() + out_h.len() + 3);
@@ -136,16 +142,32 @@ mod tests {
     #[test]
     fn parallel_branch_swap_is_isomorphic() {
         // Diamond with two parallel interior vertices of different ops.
-        let h1 = hash_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[Op::Conv3x3, Op::MaxPool3x3]);
-        let h2 = hash_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[Op::MaxPool3x3, Op::Conv3x3]);
+        let h1 = hash_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            &[Op::Conv3x3, Op::MaxPool3x3],
+        );
+        let h2 = hash_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            &[Op::MaxPool3x3, Op::Conv3x3],
+        );
         assert_eq!(h1, h2);
     }
 
     #[test]
     fn non_isomorphic_labelings_of_asymmetric_graph_differ() {
         // v1 feeds v2: which vertex holds which op matters.
-        let h1 = hash_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)], &[Op::Conv3x3, Op::Conv1x1]);
-        let h2 = hash_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)], &[Op::Conv1x1, Op::Conv3x3]);
+        let h1 = hash_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (0, 2)],
+            &[Op::Conv3x3, Op::Conv1x1],
+        );
+        let h2 = hash_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (0, 2)],
+            &[Op::Conv1x1, Op::Conv3x3],
+        );
         assert_ne!(h1, h2);
     }
 
@@ -161,16 +183,16 @@ mod tests {
 
     #[test]
     fn hash_is_deterministic() {
-        let h1 = hash_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], &[
-            Op::Conv3x3,
-            Op::Conv1x1,
-            Op::MaxPool3x3,
-        ]);
-        let h2 = hash_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], &[
-            Op::Conv3x3,
-            Op::Conv1x1,
-            Op::MaxPool3x3,
-        ]);
+        let h1 = hash_edges(
+            5,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+            &[Op::Conv3x3, Op::Conv1x1, Op::MaxPool3x3],
+        );
+        let h2 = hash_edges(
+            5,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+            &[Op::Conv3x3, Op::Conv1x1, Op::MaxPool3x3],
+        );
         assert_eq!(h1, h2);
     }
 

@@ -9,8 +9,6 @@
 //! the reference implementation) so the accelerator latency model sees the
 //! exact multiset of convolutions the paper's lookup table contains.
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::AdjMatrix;
 use crate::{CellSpec, Op};
 
@@ -27,7 +25,7 @@ use crate::{CellSpec, Op};
 /// assert_eq!(conv.kind, OpKind::Conv { kernel: 3, stride: 1 });
 /// assert_eq!(conv.macs(), 9 * 128 * 128 * 32 * 32);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpInstance {
     /// What the operation computes.
     pub kind: OpKind,
@@ -42,7 +40,7 @@ pub struct OpInstance {
 }
 
 /// The operation family of an [`OpInstance`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// `kernel × kernel` convolution (with batch-norm + ReLU folded in).
     Conv {
@@ -91,7 +89,10 @@ impl OpInstance {
     #[must_use]
     pub fn maxpool3x3(channels: usize, h: usize, w: usize) -> Self {
         Self {
-            kind: OpKind::MaxPool { kernel: 3, stride: 1 },
+            kind: OpKind::MaxPool {
+                kernel: 3,
+                stride: 1,
+            },
             in_channels: channels,
             out_channels: channels,
             height: h,
@@ -103,7 +104,10 @@ impl OpInstance {
     #[must_use]
     pub fn downsample(channels: usize, h: usize, w: usize) -> Self {
         Self {
-            kind: OpKind::MaxPool { kernel: 2, stride: 2 },
+            kind: OpKind::MaxPool {
+                kernel: 2,
+                stride: 2,
+            },
             in_channels: channels,
             out_channels: channels,
             height: h,
@@ -167,7 +171,7 @@ impl OpInstance {
 }
 
 /// One node of a lowered cell program: an op plus its in-cell dependencies.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProgramNode {
     /// The concrete operation.
     pub op: OpInstance,
@@ -188,7 +192,7 @@ pub struct ProgramNode {
 /// let prog = CellProgram::lower(&cell, 128, 128, 32, 32);
 /// assert!(prog.nodes().iter().any(|n| n.op.params() > 0)); // has convolutions
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellProgram {
     nodes: Vec<ProgramNode>,
 }
@@ -229,7 +233,9 @@ impl CellProgram {
             let combined = if operand_nodes.len() > 1 {
                 nodes.push(ProgramNode {
                     op: OpInstance {
-                        kind: OpKind::Add { arity: operand_nodes.len() },
+                        kind: OpKind::Add {
+                            arity: operand_nodes.len(),
+                        },
                         in_channels: ch[v],
                         out_channels: ch[v],
                         height: h,
@@ -246,7 +252,10 @@ impl CellProgram {
                 Op::Conv1x1 => OpInstance::conv(1, ch[v], ch[v], h, w),
                 Op::MaxPool3x3 => OpInstance::maxpool3x3(ch[v], h, w),
             };
-            nodes.push(ProgramNode { op, deps: vec![combined] });
+            nodes.push(ProgramNode {
+                op,
+                deps: vec![combined],
+            });
             result[v] = Some(nodes.len() - 1);
         }
 
@@ -263,7 +272,9 @@ impl CellProgram {
         } else if !interior_feeders.is_empty() {
             nodes.push(ProgramNode {
                 op: OpInstance {
-                    kind: OpKind::Concat { arity: interior_feeders.len() },
+                    kind: OpKind::Concat {
+                        arity: interior_feeders.len(),
+                    },
                     in_channels: c_out,
                     out_channels: c_out,
                     height: h,
@@ -298,7 +309,12 @@ impl CellProgram {
     /// Wraps a single op as a one-node program (stem, downsample, classifier).
     #[must_use]
     pub fn single(op: OpInstance) -> Self {
-        Self { nodes: vec![ProgramNode { op, deps: Vec::new() }] }
+        Self {
+            nodes: vec![ProgramNode {
+                op,
+                deps: Vec::new(),
+            }],
+        }
     }
 
     /// The lowered nodes in topological order.
@@ -360,10 +376,17 @@ pub fn compute_vertex_channels(c_in: usize, c_out: usize, matrix: &AdjMatrix) ->
         return ch;
     }
     let out_feeders = (1..n - 1).filter(|&v| matrix.has_edge(v, n - 1)).count();
-    assert!(out_feeders > 0, "pruned cell must have an interior vertex feeding the output");
-    assert!(c_out >= out_feeders, "c_out too small to split among {out_feeders} feeders");
+    assert!(
+        out_feeders > 0,
+        "pruned cell must have an interior vertex feeding the output"
+    );
+    assert!(
+        c_out >= out_feeders,
+        "c_out too small to split among {out_feeders} feeders"
+    );
     let share = c_out / out_feeders;
     let mut correction = c_out % out_feeders;
+    #[allow(clippy::needless_range_loop)]
     for v in 1..n - 1 {
         if matrix.has_edge(v, n - 1) {
             ch[v] = share
@@ -422,8 +445,8 @@ mod tests {
 
     #[test]
     fn channels_split_with_remainder_to_earlier_feeders() {
-        let m = AdjMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
-            .unwrap();
+        let m =
+            AdjMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)]).unwrap();
         let ch = compute_vertex_channels(64, 128, &m);
         assert_eq!(ch, vec![64, 43, 43, 42, 128]);
         assert_eq!(ch[1] + ch[2] + ch[3], 128);
@@ -438,7 +461,10 @@ mod tests {
         assert_eq!(ch, vec![32, 50, 50, 100]);
         // Chain where vertex 1 does NOT feed output: takes consumer's channels.
         let m = AdjMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-        assert_eq!(compute_vertex_channels(32, 100, &m), vec![32, 100, 100, 100]);
+        assert_eq!(
+            compute_vertex_channels(32, 100, &m),
+            vec![32, 100, 100, 100]
+        );
     }
 
     #[test]
@@ -491,12 +517,11 @@ mod tests {
         let m = AdjMatrix::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let cell = CellSpec::new(m, vec![Op::MaxPool3x3]).unwrap();
         let prog = CellProgram::lower(&cell, 128, 256, 16, 16);
-        let has_projection = prog
-            .nodes()
-            .iter()
-            .any(|n| matches!(n.op.kind, OpKind::Conv { kernel: 1, .. })
+        let has_projection = prog.nodes().iter().any(|n| {
+            matches!(n.op.kind, OpKind::Conv { kernel: 1, .. })
                 && n.op.in_channels == 128
-                && n.op.out_channels == 256);
+                && n.op.out_channels == 256
+        });
         assert!(has_projection);
     }
 

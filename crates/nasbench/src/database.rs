@@ -12,16 +12,18 @@ use std::io::{Read, Write};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::features::CellFeatures;
+use crate::graph::AdjMatrix;
+use crate::jsonio::Json;
 use crate::network::NetworkConfig;
+use crate::ops::Op;
 use crate::sampler::SpecSampler;
 use crate::surrogate::{Dataset, SurrogateModel, NUM_SEEDS};
 use crate::{known_cells, CellSpec, SpecError};
 
 /// One database row: a unique cell with everything the evaluator needs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DbEntry {
     /// The (pruned) cell.
     pub spec: CellSpec,
@@ -45,6 +47,98 @@ impl DbEntry {
         };
         accs.iter().sum::<f64>() / NUM_SEEDS as f64
     }
+
+    /// The entry as a JSON object (the spec stored as vertex count + edge
+    /// list + op labels; features are derived, not stored).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let v = self.spec.num_vertices();
+        let matrix = self.spec.matrix();
+        let mut edges = Vec::new();
+        for i in 0..v {
+            for j in (i + 1)..v {
+                if matrix.has_edge(i, j) {
+                    edges.push(Json::Arr(vec![Json::Num(i as f64), Json::Num(j as f64)]));
+                }
+            }
+        }
+        let ops = self
+            .spec
+            .ops()
+            .iter()
+            .map(|op| Json::Num(f64::from(op.label())))
+            .collect();
+        let accs = |a: &[f64; NUM_SEEDS]| Json::Arr(a.iter().map(|&x| Json::Num(x)).collect());
+        Json::obj(vec![
+            ("v", Json::Num(v as f64)),
+            ("edges", Json::Arr(edges)),
+            ("ops", Json::Arr(ops)),
+            ("cifar10", accs(&self.cifar10_accuracy)),
+            ("cifar100", accs(&self.cifar100_accuracy)),
+            ("training_seconds", Json::Num(self.training_seconds)),
+        ])
+    }
+
+    /// Parses an entry written by [`DbEntry::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing/ill-typed field or invalid spec.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let v = doc
+            .get("v")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| "missing vertex count 'v'".to_owned())?;
+        let mut edges = Vec::new();
+        for e in doc.get("edges").and_then(Json::as_arr).unwrap_or(&[]) {
+            let pair = e.as_arr().ok_or_else(|| "edge is not a pair".to_owned())?;
+            match pair {
+                [a, b] => edges.push((
+                    a.as_usize().ok_or_else(|| "bad edge endpoint".to_owned())?,
+                    b.as_usize().ok_or_else(|| "bad edge endpoint".to_owned())?,
+                )),
+                _ => return Err("edge is not a pair".into()),
+            }
+        }
+        let mut ops = Vec::new();
+        for label in doc.get("ops").and_then(Json::as_arr).unwrap_or(&[]) {
+            let label = label.as_usize().ok_or_else(|| "bad op label".to_owned())?;
+            let label = u8::try_from(label).map_err(|e| e.to_string())?;
+            ops.push(Op::from_label(label).ok_or_else(|| format!("unknown op {label}"))?);
+        }
+        let matrix = AdjMatrix::from_edges(v, &edges).map_err(|e| format!("bad matrix: {e}"))?;
+        let spec = CellSpec::new(matrix, ops).map_err(|e| format!("bad spec: {e}"))?;
+        let fixed_accs = |key: &str| -> Result<[f64; NUM_SEEDS], String> {
+            let arr = doc
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing '{key}'"))?;
+            if arr.len() != NUM_SEEDS {
+                return Err(format!(
+                    "'{key}' needs {NUM_SEEDS} seeds, got {}",
+                    arr.len()
+                ));
+            }
+            let mut out = [0.0; NUM_SEEDS];
+            for (slot, item) in out.iter_mut().zip(arr.iter()) {
+                *slot = item
+                    .as_f64()
+                    .ok_or_else(|| format!("bad accuracy in '{key}'"))?;
+            }
+            Ok(out)
+        };
+        let features = CellFeatures::extract(&spec, &NetworkConfig::default());
+        Ok(Self {
+            spec,
+            features,
+            cifar10_accuracy: fixed_accs("cifar10")?,
+            cifar100_accuracy: fixed_accs("cifar100")?,
+            training_seconds: doc
+                .get("training_seconds")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "missing 'training_seconds'".to_owned())?,
+        })
+    }
 }
 
 /// A deduplicated database of evaluated cells.
@@ -63,10 +157,9 @@ impl DbEntry {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NasbenchDatabase {
     entries: Vec<DbEntry>,
-    #[serde(skip)]
     index: HashMap<u128, usize>,
 }
 
@@ -76,7 +169,12 @@ impl NasbenchDatabase {
     /// surrogate, sampling with the given `seed`.
     #[must_use]
     pub fn build(size: usize, seed: u64) -> Self {
-        Self::build_with(size, seed, &SurrogateModel::default(), &SpecSampler::default())
+        Self::build_with(
+            size,
+            seed,
+            &SurrogateModel::default(),
+            &SpecSampler::default(),
+        )
     }
 
     /// Builds a database with explicit surrogate and sampler configurations.
@@ -87,7 +185,10 @@ impl NasbenchDatabase {
         surrogate: &SurrogateModel,
         sampler: &SpecSampler,
     ) -> Self {
-        let mut db = Self { entries: Vec::new(), index: HashMap::new() };
+        let mut db = Self {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        };
         for (_, cell) in known_cells::all_named() {
             db.insert_cell(cell, surrogate);
         }
@@ -117,7 +218,10 @@ impl NasbenchDatabase {
     #[must_use]
     pub fn exhaustive(max_vertices: usize) -> Self {
         let surrogate = SurrogateModel::default();
-        let mut db = Self { entries: Vec::new(), index: HashMap::new() };
+        let mut db = Self {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        };
         for v in 2..=max_vertices {
             for cell in crate::sampler::enumerate_cells(v) {
                 db.insert_cell(cell, &surrogate);
@@ -189,34 +293,48 @@ impl NasbenchDatabase {
         self.entries.iter()
     }
 
-    /// Serializes the database as JSON.
+    /// Serializes the database as JSON (hand-rolled writer; no external
+    /// dependency). Structural features are *not* stored — they are a pure
+    /// function of the spec and are re-extracted on load.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `writer`.
-    pub fn save_json<W: Write>(&self, writer: W) -> std::io::Result<()> {
-        serde_json::to_writer(writer, self).map_err(std::io::Error::other)
+    pub fn save_json<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        let entries: Vec<Json> = self.entries.iter().map(DbEntry::to_json).collect();
+        let doc = Json::obj(vec![("entries", Json::Arr(entries))]);
+        write!(writer, "{doc}")
     }
 
-    /// Reads a database back from JSON, rebuilding the hash index.
+    /// Reads a database back from JSON, rebuilding structural features and
+    /// the hash index.
     ///
     /// # Errors
     ///
     /// Returns [`SpecError::CorruptDatabase`] when parsing fails.
-    pub fn load_json<R: Read>(reader: R) -> Result<Self, SpecError> {
-        let mut db: Self = serde_json::from_reader(reader)
-            .map_err(|e| SpecError::CorruptDatabase { reason: e.to_string() })?;
-        db.rebuild_index();
+    pub fn load_json<R: Read>(mut reader: R) -> Result<Self, SpecError> {
+        let corrupt = |reason: String| SpecError::CorruptDatabase { reason };
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| corrupt(e.to_string()))?;
+        let doc = Json::parse(&text).map_err(corrupt)?;
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("missing 'entries' array".into()))?;
+        let mut db = Self {
+            entries: Vec::with_capacity(entries.len()),
+            index: HashMap::new(),
+        };
+        for (i, entry) in entries.iter().enumerate() {
+            let entry =
+                DbEntry::from_json(entry).map_err(|e| corrupt(format!("entry {i}: {e}")))?;
+            db.index
+                .insert(entry.spec.canonical_hash(), db.entries.len());
+            db.entries.push(entry);
+        }
         Ok(db)
-    }
-
-    fn rebuild_index(&mut self) {
-        self.index = self
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.spec.canonical_hash(), i))
-            .collect();
     }
 
     /// Summary statistics of the stored CIFAR-10 accuracies
@@ -281,7 +399,10 @@ mod tests {
     #[test]
     fn unknown_spec_query_fails() {
         let db = NasbenchDatabase::build(5, 5);
-        assert_eq!(db.query_hash(0xDEAD_BEEF).unwrap_err(), SpecError::UnknownSpec);
+        assert_eq!(
+            db.query_hash(0xDEAD_BEEF).unwrap_err(),
+            SpecError::UnknownSpec
+        );
     }
 
     #[test]
@@ -310,7 +431,10 @@ mod tests {
         // 1 (V=2) + 6 (V=3) + all unique 4-vertex cells.
         assert!(db.len() > 50, "got {}", db.len());
         let resnet = known_cells::resnet_cell();
-        assert!(db.query(&resnet).is_ok(), "4-vertex resnet cell must be enumerated");
+        assert!(
+            db.query(&resnet).is_ok(),
+            "4-vertex resnet cell must be enumerated"
+        );
         // No cell exceeds the bound.
         assert!(db.iter().all(|e| e.spec.num_vertices() <= 4));
     }
@@ -323,6 +447,9 @@ mod tests {
         assert!(hi >= 0.935, "max accuracy {hi} below Fig. 4 top region");
         assert!(lo >= 0.5, "min {lo} absurdly low");
         assert!(lo < 0.91, "min {lo}: need a low-accuracy tail like Fig. 5a");
-        assert!((0.895..0.945).contains(&mean), "mean {mean} off the Fig. 4 bulk");
+        assert!(
+            (0.895..0.945).contains(&mean),
+            "mean {mean} off the Fig. 4 bulk"
+        );
     }
 }

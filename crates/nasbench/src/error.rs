@@ -22,7 +22,11 @@ pub enum SpecError {
     /// An edge pointed backwards or to itself; cells must be upper-triangular DAGs.
     NotUpperTriangular { src: usize, dst: usize },
     /// An edge endpoint was outside the matrix.
-    EdgeOutOfBounds { src: usize, dst: usize, vertices: usize },
+    EdgeOutOfBounds {
+        src: usize,
+        dst: usize,
+        vertices: usize,
+    },
     /// The number of operation labels did not match the interior vertex count.
     OpCountMismatch { got: usize, expected: usize },
     /// After pruning, no path connects the input to the output.
@@ -37,22 +41,37 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::TooManyVertices { got, max } => {
-                write!(f, "cell has {got} vertices but the search space allows at most {max}")
+                write!(
+                    f,
+                    "cell has {got} vertices but the search space allows at most {max}"
+                )
             }
             SpecError::TooFewVertices { got } => {
-                write!(f, "cell has {got} vertices but needs at least input and output")
+                write!(
+                    f,
+                    "cell has {got} vertices but needs at least input and output"
+                )
             }
             SpecError::TooManyEdges { got, max } => {
-                write!(f, "cell has {got} edges but the search space allows at most {max}")
+                write!(
+                    f,
+                    "cell has {got} edges but the search space allows at most {max}"
+                )
             }
             SpecError::NotUpperTriangular { src, dst } => {
                 write!(f, "edge {src}->{dst} is not strictly upper-triangular")
             }
             SpecError::EdgeOutOfBounds { src, dst, vertices } => {
-                write!(f, "edge {src}->{dst} is out of bounds for {vertices} vertices")
+                write!(
+                    f,
+                    "edge {src}->{dst} is out of bounds for {vertices} vertices"
+                )
             }
             SpecError::OpCountMismatch { got, expected } => {
-                write!(f, "got {got} operation labels for {expected} interior vertices")
+                write!(
+                    f,
+                    "got {got} operation labels for {expected} interior vertices"
+                )
             }
             SpecError::Disconnected => {
                 write!(f, "no path connects the cell input to the cell output")
@@ -84,7 +103,11 @@ mod tests {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(!s.ends_with('.'));
-            assert_eq!(s.chars().next().map(|c| c.is_lowercase()), Some(true), "{s}");
+            assert_eq!(
+                s.chars().next().map(|c| c.is_lowercase()),
+                Some(true),
+                "{s}"
+            );
         }
     }
 

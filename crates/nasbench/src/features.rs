@@ -1,7 +1,5 @@
 //! Structural features of a cell, the inputs to the surrogate accuracy model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::network::{Network, NetworkConfig};
 use crate::{CellSpec, Op};
 
@@ -22,7 +20,7 @@ use crate::{CellSpec, Op};
 /// assert!(f.has_skip);
 /// assert!(f.params > 1_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellFeatures {
     /// Vertices after pruning (including input/output).
     pub num_vertices: usize,

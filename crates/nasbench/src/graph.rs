@@ -6,8 +6,6 @@
 //! provides the matrix representation plus the reachability and pruning
 //! primitives the validation logic (see [`crate::CellSpec`]) is built on.
 
-use serde::{Deserialize, Serialize};
-
 use crate::SpecError;
 
 /// Maximum number of vertices per cell (input + output + 5 interior).
@@ -29,7 +27,7 @@ pub const MAX_VERTICES: usize = 7;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AdjMatrix {
     vertices: usize,
     /// Row-major `vertices × vertices` matrix; only `src < dst` entries may be set.
@@ -45,12 +43,18 @@ impl AdjMatrix {
     /// [`SpecError::TooFewVertices`] below 2.
     pub fn empty(vertices: usize) -> Result<Self, SpecError> {
         if vertices > MAX_VERTICES {
-            return Err(SpecError::TooManyVertices { got: vertices, max: MAX_VERTICES });
+            return Err(SpecError::TooManyVertices {
+                got: vertices,
+                max: MAX_VERTICES,
+            });
         }
         if vertices < 2 {
             return Err(SpecError::TooFewVertices { got: vertices });
         }
-        Ok(Self { vertices, bits: vec![false; vertices * vertices] })
+        Ok(Self {
+            vertices,
+            bits: vec![false; vertices * vertices],
+        })
     }
 
     /// Creates a matrix from an edge list.
@@ -100,7 +104,11 @@ impl AdjMatrix {
     /// [`SpecError::EdgeOutOfBounds`] when either endpoint is out of range.
     pub fn add_edge(&mut self, src: usize, dst: usize) -> Result<(), SpecError> {
         if src >= self.vertices || dst >= self.vertices {
-            return Err(SpecError::EdgeOutOfBounds { src, dst, vertices: self.vertices });
+            return Err(SpecError::EdgeOutOfBounds {
+                src,
+                dst,
+                vertices: self.vertices,
+            });
         }
         if src >= dst {
             return Err(SpecError::NotUpperTriangular { src, dst });
@@ -130,13 +138,17 @@ impl AdjMatrix {
     /// Indices of vertices with an edge into `v`, ascending.
     #[must_use]
     pub fn in_neighbors(&self, v: usize) -> Vec<usize> {
-        (0..self.vertices).filter(|&u| self.has_edge(u, v)).collect()
+        (0..self.vertices)
+            .filter(|&u| self.has_edge(u, v))
+            .collect()
     }
 
     /// Indices of vertices with an edge out of `v`, ascending.
     #[must_use]
     pub fn out_neighbors(&self, v: usize) -> Vec<usize> {
-        (0..self.vertices).filter(|&w| self.has_edge(v, w)).collect()
+        (0..self.vertices)
+            .filter(|&w| self.has_edge(v, w))
+            .collect()
     }
 
     /// In-degree of `v`.
@@ -194,8 +206,7 @@ impl AdjMatrix {
     pub fn prune(&self) -> Result<(AdjMatrix, Vec<usize>), SpecError> {
         let fwd = self.reachable_from_input();
         let bwd = self.reaching_output();
-        let keep: Vec<usize> =
-            (0..self.vertices).filter(|&v| fwd[v] && bwd[v]).collect();
+        let keep: Vec<usize> = (0..self.vertices).filter(|&v| fwd[v] && bwd[v]).collect();
         // Input and output must both survive and be connected to each other.
         if !keep.contains(&0) || !keep.contains(&(self.vertices - 1)) {
             return Err(SpecError::Disconnected);
@@ -262,7 +273,11 @@ impl AdjMatrix {
     #[must_use]
     pub fn to_rows(&self) -> Vec<Vec<u8>> {
         (0..self.vertices)
-            .map(|i| (0..self.vertices).map(|j| u8::from(self.has_edge(i, j))).collect())
+            .map(|i| {
+                (0..self.vertices)
+                    .map(|j| u8::from(self.has_edge(i, j)))
+                    .collect()
+            })
             .collect()
     }
 }
@@ -287,14 +302,23 @@ mod tests {
     #[test]
     fn rejects_lower_triangular_edges() {
         let mut m = AdjMatrix::empty(3).unwrap();
-        assert_eq!(m.add_edge(2, 1), Err(SpecError::NotUpperTriangular { src: 2, dst: 1 }));
-        assert_eq!(m.add_edge(1, 1), Err(SpecError::NotUpperTriangular { src: 1, dst: 1 }));
+        assert_eq!(
+            m.add_edge(2, 1),
+            Err(SpecError::NotUpperTriangular { src: 2, dst: 1 })
+        );
+        assert_eq!(
+            m.add_edge(1, 1),
+            Err(SpecError::NotUpperTriangular { src: 1, dst: 1 })
+        );
     }
 
     #[test]
     fn rejects_out_of_bounds_edges() {
         let mut m = AdjMatrix::empty(3).unwrap();
-        assert!(matches!(m.add_edge(0, 5), Err(SpecError::EdgeOutOfBounds { .. })));
+        assert!(matches!(
+            m.add_edge(0, 5),
+            Err(SpecError::EdgeOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -46,12 +46,27 @@ pub fn googlenet_cell() -> CellSpec {
     // 0 input; 1 conv1x1; 2 conv1x1; 3 conv3x3; 4 maxpool3x3; 5 conv1x1; 6 output.
     let matrix = AdjMatrix::from_edges(
         7,
-        &[(0, 1), (0, 2), (2, 3), (0, 4), (4, 5), (1, 6), (3, 6), (5, 6)],
+        &[
+            (0, 1),
+            (0, 2),
+            (2, 3),
+            (0, 4),
+            (4, 5),
+            (1, 6),
+            (3, 6),
+            (5, 6),
+        ],
     )
     .expect("static cell is well-formed");
     CellSpec::new(
         matrix,
-        vec![Op::Conv1x1, Op::Conv1x1, Op::Conv3x3, Op::MaxPool3x3, Op::Conv1x1],
+        vec![
+            Op::Conv1x1,
+            Op::Conv1x1,
+            Op::Conv3x3,
+            Op::MaxPool3x3,
+            Op::Conv1x1,
+        ],
     )
     .expect("static cell is valid")
 }
@@ -62,11 +77,9 @@ pub fn googlenet_cell() -> CellSpec {
 #[must_use]
 pub fn cod1_cell() -> CellSpec {
     // 0 input; 1 conv3x3; 2 conv1x1; 3 conv3x3; 4 output.
-    let matrix = AdjMatrix::from_edges(
-        5,
-        &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)],
-    )
-    .expect("static cell is well-formed");
+    let matrix =
+        AdjMatrix::from_edges(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)])
+            .expect("static cell is well-formed");
     CellSpec::new(matrix, vec![Op::Conv3x3, Op::Conv1x1, Op::Conv3x3])
         .expect("static cell is valid")
 }
@@ -76,21 +89,21 @@ pub fn cod1_cell() -> CellSpec {
 #[must_use]
 pub fn cod2_cell() -> CellSpec {
     // 0 input; 1 conv1x1; 2 conv1x1; 3 maxpool3x3; 4 conv3x3; 5 output.
-    let matrix = AdjMatrix::from_edges(
-        6,
-        &[(0, 1), (0, 2), (0, 3), (2, 4), (3, 4), (1, 5), (4, 5)],
+    let matrix =
+        AdjMatrix::from_edges(6, &[(0, 1), (0, 2), (0, 3), (2, 4), (3, 4), (1, 5), (4, 5)])
+            .expect("static cell is well-formed");
+    CellSpec::new(
+        matrix,
+        vec![Op::Conv1x1, Op::Conv1x1, Op::MaxPool3x3, Op::Conv3x3],
     )
-    .expect("static cell is well-formed");
-    CellSpec::new(matrix, vec![Op::Conv1x1, Op::Conv1x1, Op::MaxPool3x3, Op::Conv3x3])
-        .expect("static cell is valid")
+    .expect("static cell is valid")
 }
 
 /// A minimal chain cell (input → conv3×3 → output), useful as the simplest
 /// non-trivial model in tests and examples.
 #[must_use]
 pub fn plain_cell() -> CellSpec {
-    let matrix =
-        AdjMatrix::from_edges(3, &[(0, 1), (1, 2)]).expect("static cell is well-formed");
+    let matrix = AdjMatrix::from_edges(3, &[(0, 1), (1, 2)]).expect("static cell is well-formed");
     CellSpec::new(matrix, vec![Op::Conv3x3]).expect("static cell is valid")
 }
 
@@ -120,7 +133,11 @@ mod tests {
         let mut hashes: Vec<u128> = cells.iter().map(|(_, c)| c.canonical_hash()).collect();
         hashes.sort_unstable();
         hashes.dedup();
-        assert_eq!(hashes.len(), cells.len(), "reference cells must be pairwise distinct");
+        assert_eq!(
+            hashes.len(),
+            cells.len(),
+            "reference cells must be pairwise distinct"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod cell;
 pub mod database;
 pub mod features;
 pub mod graph;
+pub mod jsonio;
 pub mod known_cells;
 pub mod mutate;
 pub mod network;
@@ -48,6 +49,7 @@ pub use database::{DbEntry, NasbenchDatabase};
 pub use error::SpecError;
 pub use features::CellFeatures;
 pub use graph::{AdjMatrix, MAX_VERTICES};
+pub use jsonio::Json;
 pub use network::{Network, NetworkConfig, NetworkUnit};
 pub use ops::Op;
 pub use sampler::{enumerate_cells, SpecSampler};

@@ -40,7 +40,11 @@ pub enum MutationKind {
 #[must_use]
 pub fn mutate<R: Rng + ?Sized>(cell: &CellSpec, rng: &mut R) -> CellSpec {
     for _ in 0..64 {
-        let kind = if rng.gen_bool(0.5) { MutationKind::FlipEdge } else { MutationKind::RelabelOp };
+        let kind = if rng.gen_bool(0.5) {
+            MutationKind::FlipEdge
+        } else {
+            MutationKind::RelabelOp
+        };
         if let Some(child) = try_mutation(cell, kind, rng) {
             return child;
         }
@@ -61,8 +65,9 @@ pub fn try_mutation<R: Rng + ?Sized>(
         MutationKind::FlipEdge => {
             let mut matrix = AdjMatrix::empty(n).ok()?;
             // Pick a random slot to toggle, then copy with the flip applied.
-            let slots: Vec<(usize, usize)> =
-                (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+            let slots: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
             let &(fi, fj) = &slots[rng.gen_range(0..slots.len())];
             for &(i, j) in &slots {
                 let mut present = cell.matrix().has_edge(i, j);
@@ -182,7 +187,10 @@ mod tests {
         let changed = (0..50)
             .filter(|_| mutate(&parent, &mut rng).canonical_hash() != parent.canonical_hash())
             .count();
-        assert!(changed >= 45, "only {changed}/50 mutations changed the cell");
+        assert!(
+            changed >= 45,
+            "only {changed}/50 mutations changed the cell"
+        );
     }
 
     #[test]

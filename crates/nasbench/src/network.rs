@@ -8,7 +8,6 @@
 //! of [`NetworkUnit`]s with repeat counts: the accelerator scheduler needs to
 //! schedule each *distinct* cell parameterization only once.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::cell::{CellProgram, OpInstance, OpKind};
@@ -26,7 +25,7 @@ use crate::CellSpec;
 /// let cifar100 = NetworkConfig::cifar100();
 /// assert_eq!(cifar100.num_classes, 100);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetworkConfig {
     /// Input image channels (3 for CIFAR).
     pub input_channels: usize,
@@ -59,7 +58,10 @@ impl NetworkConfig {
     /// The CIFAR-100 configuration of §IV (same skeleton, 100-way classifier).
     #[must_use]
     pub fn cifar100() -> Self {
-        Self { num_classes: 100, ..Self::default() }
+        Self {
+            num_classes: 100,
+            ..Self::default()
+        }
     }
 
     /// Channel count of stack `i` (doubles per stack).
@@ -76,7 +78,7 @@ impl NetworkConfig {
 }
 
 /// A program repeated `count` times back-to-back.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkUnit {
     /// Human-readable role ("stem", "stack0-cell", ...).
     pub label: String,
@@ -97,7 +99,7 @@ pub struct NetworkUnit {
 /// assert!(net.macs() > 1_000_000);
 /// assert_eq!(net.num_cell_instances(), 9); // 3 stacks x 3 cells
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Network {
     units: Vec<NetworkUnit>,
     config: NetworkConfig,
@@ -185,7 +187,10 @@ impl Network {
             program: CellProgram::single(dense),
             count: 1,
         });
-        Self { units, config: *config }
+        Self {
+            units,
+            config: *config,
+        }
     }
 
     /// The skeleton configuration this network was assembled with.
@@ -213,13 +218,19 @@ impl Network {
     /// Total multiply-accumulates for one inference.
     #[must_use]
     pub fn macs(&self) -> u64 {
-        self.units.iter().map(|u| u.program.macs() * u.count as u64).sum()
+        self.units
+            .iter()
+            .map(|u| u.program.macs() * u.count as u64)
+            .sum()
     }
 
     /// Total learnable parameters.
     #[must_use]
     pub fn params(&self) -> u64 {
-        self.units.iter().map(|u| u.program.params() * u.count as u64).sum()
+        self.units
+            .iter()
+            .map(|u| u.program.params() * u.count as u64)
+            .sum()
     }
 
     /// Every concrete op with its execution count — the rows of the paper's
@@ -275,8 +286,11 @@ mod tests {
     #[test]
     fn widen_cells_appear_in_stacks_1_and_2() {
         let net = Network::assemble(&known_cells::resnet_cell(), &NetworkConfig::default());
-        let widen: Vec<&NetworkUnit> =
-            net.units().iter().filter(|u| u.label.ends_with("widen")).collect();
+        let widen: Vec<&NetworkUnit> = net
+            .units()
+            .iter()
+            .filter(|u| u.label.ends_with("widen"))
+            .collect();
         assert_eq!(widen.len(), 2);
         assert!(widen.iter().all(|u| u.count == 1));
     }
@@ -326,6 +340,6 @@ mod tests {
         // a single network uses a subset of them.
         let net = Network::assemble(&known_cells::googlenet_cell(), &NetworkConfig::default());
         let unique = net.unique_op_count();
-        assert!(unique >= 10 && unique <= 85, "got {unique}");
+        assert!((10..=85).contains(&unique), "got {unique}");
     }
 }

@@ -3,7 +3,6 @@
 //! NASBench-101 labels every interior cell vertex with one of three
 //! operations; the paper inherits this vocabulary unchanged (Fig. 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An interior-vertex operation in the NASBench-101 cell space.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert!(Op::Conv3x3.is_conv());
 /// assert!(!Op::MaxPool3x3.is_conv());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Op {
     /// 3×3 convolution followed by batch-norm and ReLU.
     Conv3x3,

@@ -45,7 +45,10 @@ impl SpecSampler {
     /// Panics if `edge_prob` is outside `(0, 1]` or the weights are all zero.
     #[must_use]
     pub fn with_weights(edge_prob: f64, weights: [f64; MAX_VERTICES - 1]) -> Self {
-        assert!(edge_prob > 0.0 && edge_prob <= 1.0, "edge_prob must be in (0, 1]");
+        assert!(
+            edge_prob > 0.0 && edge_prob <= 1.0,
+            "edge_prob must be in (0, 1]"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "vertex weights must not all be zero");
         let mut cumulative = [0.0; MAX_VERTICES - 1];
@@ -54,7 +57,10 @@ impl SpecSampler {
             acc += w / total;
             *c = acc;
         }
-        Self { edge_prob, vertex_weights: cumulative }
+        Self {
+            edge_prob,
+            vertex_weights: cumulative,
+        }
     }
 
     /// Samples vertex count 2..=[`MAX_VERTICES`] from the configured weights.
@@ -142,7 +148,10 @@ impl SpecSampler {
 /// Panics if `vertices` exceeds [`MAX_VERTICES`] or is below 2.
 #[must_use]
 pub fn enumerate_cells(vertices: usize) -> Vec<CellSpec> {
-    assert!((2..=MAX_VERTICES).contains(&vertices), "vertices must be in 2..=7");
+    assert!(
+        (2..=MAX_VERTICES).contains(&vertices),
+        "vertices must be in 2..=7"
+    );
     let slots = vertices * (vertices - 1) / 2;
     let interior = vertices - 2;
     let op_combos = 3usize.pow(interior as u32);
@@ -162,7 +171,9 @@ pub fn enumerate_cells(vertices: usize) -> Vec<CellSpec> {
                 bit += 1;
             }
         }
-        let Ok(matrix) = AdjMatrix::from_edges(vertices, &edges) else { continue };
+        let Ok(matrix) = AdjMatrix::from_edges(vertices, &edges) else {
+            continue;
+        };
         for combo in 0..op_combos {
             let mut ops = Vec::with_capacity(interior);
             let mut c = combo;
@@ -193,11 +204,15 @@ mod tests {
         let sampler = SpecSampler::default();
         let a: Vec<u128> = {
             let mut rng = SmallRng::seed_from_u64(99);
-            (0..20).map(|_| sampler.sample(&mut rng).canonical_hash()).collect()
+            (0..20)
+                .map(|_| sampler.sample(&mut rng).canonical_hash())
+                .collect()
         };
         let b: Vec<u128> = {
             let mut rng = SmallRng::seed_from_u64(99);
-            (0..20).map(|_| sampler.sample(&mut rng).canonical_hash()).collect()
+            (0..20)
+                .map(|_| sampler.sample(&mut rng).canonical_hash())
+                .collect()
         };
         assert_eq!(a, b);
     }
@@ -218,9 +233,14 @@ mod tests {
     fn sampler_favors_large_cells() {
         let sampler = SpecSampler::default();
         let mut rng = SmallRng::seed_from_u64(11);
-        let sizes: Vec<usize> = (0..500).map(|_| sampler.sample(&mut rng).num_vertices()).collect();
+        let sizes: Vec<usize> = (0..500)
+            .map(|_| sampler.sample(&mut rng).num_vertices())
+            .collect();
         let large = sizes.iter().filter(|&&v| v >= 6).count();
-        assert!(large > sizes.len() / 2, "only {large}/500 cells had >= 6 vertices");
+        assert!(
+            large > sizes.len() / 2,
+            "only {large}/500 cells had >= 6 vertices"
+        );
     }
 
     #[test]
@@ -247,7 +267,9 @@ mod tests {
     fn enumeration_contains_known_small_cells() {
         let cells = enumerate_cells(4);
         let resnet = crate::known_cells::resnet_cell();
-        assert!(cells.iter().any(|c| c.canonical_hash() == resnet.canonical_hash()));
+        assert!(cells
+            .iter()
+            .any(|c| c.canonical_hash() == resnet.canonical_hash()));
     }
 
     #[test]
@@ -258,6 +280,9 @@ mod tests {
         hashes.sort_unstable();
         hashes.dedup();
         assert_eq!(before, hashes.len());
-        assert!(before > 50, "4-vertex space should have dozens of unique cells, got {before}");
+        assert!(
+            before > 50,
+            "4-vertex space should have dozens of unique cells, got {before}"
+        );
     }
 }

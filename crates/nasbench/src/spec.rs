@@ -8,8 +8,6 @@
 //! are removed, exactly as NASBench-101 does before training, so two raw
 //! matrices that prune to the same graph compare equal.
 
-use serde::{Deserialize, Serialize};
-
 use crate::canon::canonical_hash;
 use crate::graph::AdjMatrix;
 use crate::{Op, SpecError};
@@ -35,7 +33,7 @@ pub const MAX_EDGES: usize = 9;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CellSpec {
     matrix: AdjMatrix,
     ops: Vec<Op>,
@@ -57,11 +55,17 @@ impl CellSpec {
     pub fn new(matrix: AdjMatrix, ops: Vec<Op>) -> Result<Self, SpecError> {
         let interior = matrix.num_vertices() - 2;
         if ops.len() != interior {
-            return Err(SpecError::OpCountMismatch { got: ops.len(), expected: interior });
+            return Err(SpecError::OpCountMismatch {
+                got: ops.len(),
+                expected: interior,
+            });
         }
         let (pruned, kept) = matrix.prune()?;
         if pruned.num_edges() > MAX_EDGES {
-            return Err(SpecError::TooManyEdges { got: pruned.num_edges(), max: MAX_EDGES });
+            return Err(SpecError::TooManyEdges {
+                got: pruned.num_edges(),
+                max: MAX_EDGES,
+            });
         }
         // Keep only the ops of surviving interior vertices.
         let pruned_ops: Vec<Op> = kept
@@ -70,7 +74,11 @@ impl CellSpec {
             .map(|&v| ops[v - 1])
             .collect();
         let canonical = canonical_hash(&pruned, &pruned_ops);
-        Ok(Self { matrix: pruned, ops: pruned_ops, canonical })
+        Ok(Self {
+            matrix: pruned,
+            ops: pruned_ops,
+            canonical,
+        })
     }
 
     /// The pruned adjacency matrix.
@@ -142,7 +150,13 @@ mod tests {
     fn op_count_must_match_interior_vertices() {
         let m = AdjMatrix::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let err = CellSpec::new(m, vec![]).unwrap_err();
-        assert_eq!(err, SpecError::OpCountMismatch { got: 0, expected: 1 });
+        assert_eq!(
+            err,
+            SpecError::OpCountMismatch {
+                got: 0,
+                expected: 1
+            }
+        );
     }
 
     #[test]
@@ -185,7 +199,13 @@ mod tests {
             }
         }
         let err = CellSpec::new(m, vec![Op::Conv3x3; 3]).unwrap_err();
-        assert_eq!(err, SpecError::TooManyEdges { got: 10, max: MAX_EDGES });
+        assert_eq!(
+            err,
+            SpecError::TooManyEdges {
+                got: 10,
+                max: MAX_EDGES
+            }
+        );
     }
 
     #[test]
@@ -207,10 +227,9 @@ mod tests {
 
     #[test]
     fn count_op_counts() {
-        let m = AdjMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
-            .unwrap();
-        let cell =
-            CellSpec::new(m, vec![Op::Conv3x3, Op::Conv3x3, Op::MaxPool3x3]).unwrap();
+        let m =
+            AdjMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)]).unwrap();
+        let cell = CellSpec::new(m, vec![Op::Conv3x3, Op::Conv3x3, Op::MaxPool3x3]).unwrap();
         assert_eq!(cell.count_op(Op::Conv3x3), 2);
         assert_eq!(cell.count_op(Op::MaxPool3x3), 1);
         assert_eq!(cell.count_op(Op::Conv1x1), 0);

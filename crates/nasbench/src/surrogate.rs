@@ -15,14 +15,12 @@
 //!   so that the affine CIFAR-100 head reproduces Table II's 72.9% / 71.5%;
 //! * per-seed training noise is a few tenths of a percent, as in NASBench.
 
-use serde::{Deserialize, Serialize};
-
 use crate::features::CellFeatures;
 use crate::network::NetworkConfig;
 use crate::CellSpec;
 
 /// Which classification task the surrogate reports accuracy for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// CIFAR-10 (the NASBench-101 setting of §III).
     Cifar10,
@@ -47,7 +45,7 @@ pub const NUM_SEEDS: usize = 3;
 /// let again = model.evaluate(&known_cells::resnet_cell(), Dataset::Cifar10);
 /// assert_eq!(resnet.mean_accuracy(), again.mean_accuracy());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SurrogateModel {
     /// Base accuracy of a minimal viable CIFAR-10 model.
     pub base: f64,
@@ -92,7 +90,7 @@ impl Default for SurrogateModel {
 }
 
 /// The surrogate's answer for one (cell, dataset) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Evaluation {
     /// Final test accuracy for each training seed.
     pub accuracy: [f64; NUM_SEEDS],
@@ -148,8 +146,8 @@ impl SurrogateModel {
         };
         let mut accuracy = [0.0; NUM_SEEDS];
         for (seed, acc) in accuracy.iter_mut().enumerate() {
-            let noise = gaussian_like(canonical, salt + seed as u64) * self.seed_noise
-                * noise_scale;
+            let noise =
+                gaussian_like(canonical, salt + seed as u64) * self.seed_noise * noise_scale;
             *acc = (mean + noise).clamp(0.10, 0.999);
         }
         Evaluation {
@@ -170,8 +168,7 @@ impl SurrogateModel {
         let pool = -self.pool_penalty * f.pool_fraction();
         let params = self.param_gain * ((f.log10_params() - 6.5).clamp(-1.5, 1.0));
         let luck = (hash01(canonical, 0x10CC_u64) - 0.5) * 2.0 * self.luck;
-        (self.base + conv3 + conv1 + depth + width + skip + pool + params + luck)
-            .clamp(0.10, 0.999)
+        (self.base + conv3 + conv1 + depth + width + skip + pool + params + luck).clamp(0.10, 0.999)
     }
 
     /// Simulated single-GPU training time in seconds (≈1 GPU-hour for a
@@ -196,10 +193,22 @@ fn reference_calibration(canonical: u128) -> Option<(f64, f64)> {
     static TABLE: OnceLock<std::collections::HashMap<u128, (f64, f64)>> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = std::collections::HashMap::new();
-        t.insert(crate::known_cells::resnet_cell().canonical_hash(), (0.9380, 0.729));
-        t.insert(crate::known_cells::googlenet_cell().canonical_hash(), (0.9300, 0.715));
-        t.insert(crate::known_cells::cod1_cell().canonical_hash(), (0.9450, 0.742));
-        t.insert(crate::known_cells::cod2_cell().canonical_hash(), (0.9330, 0.720));
+        t.insert(
+            crate::known_cells::resnet_cell().canonical_hash(),
+            (0.9380, 0.729),
+        );
+        t.insert(
+            crate::known_cells::googlenet_cell().canonical_hash(),
+            (0.9300, 0.715),
+        );
+        t.insert(
+            crate::known_cells::cod1_cell().canonical_hash(),
+            (0.9450, 0.742),
+        );
+        t.insert(
+            crate::known_cells::cod2_cell().canonical_hash(),
+            (0.9330, 0.720),
+        );
         t
     });
     table.get(&canonical).copied()
@@ -240,7 +249,9 @@ mod tests {
     #[test]
     fn gaussian_like_is_centered_and_bounded() {
         let n = 10_000;
-        let samples: Vec<f64> = (0..n).map(|i| gaussian_like(i as u128 * 104729, 7)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| gaussian_like(i as u128 * 104729, 7))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!(samples.iter().all(|s| s.abs() <= 3.0));
@@ -273,12 +284,20 @@ mod tests {
     #[test]
     fn calibration_cifar100_baselines_near_table2() {
         let model = SurrogateModel::default();
-        let r = model.evaluate(&known_cells::resnet_cell(), Dataset::Cifar100).mean_accuracy();
+        let r = model
+            .evaluate(&known_cells::resnet_cell(), Dataset::Cifar100)
+            .mean_accuracy();
         let g = model
             .evaluate(&known_cells::googlenet_cell(), Dataset::Cifar100)
             .mean_accuracy();
-        assert!((0.715..=0.745).contains(&r), "resnet cifar100 {r} (paper: 0.729)");
-        assert!((0.700..=0.730).contains(&g), "googlenet cifar100 {g} (paper: 0.715)");
+        assert!(
+            (0.715..=0.745).contains(&r),
+            "resnet cifar100 {r} (paper: 0.729)"
+        );
+        assert!(
+            (0.700..=0.730).contains(&g),
+            "googlenet cifar100 {g} (paper: 0.715)"
+        );
         assert!(r > g);
     }
 
@@ -290,8 +309,9 @@ mod tests {
         let pooly = CellSpec::new(m, vec![Op::MaxPool3x3, Op::MaxPool3x3]).unwrap();
         let model = SurrogateModel::default();
         let acc = model.evaluate(&pooly, Dataset::Cifar10).mean_accuracy();
-        let resnet =
-            model.evaluate(&known_cells::resnet_cell(), Dataset::Cifar10).mean_accuracy();
+        let resnet = model
+            .evaluate(&known_cells::resnet_cell(), Dataset::Cifar10)
+            .mean_accuracy();
         assert!(acc < resnet - 0.02, "pool-only {acc} vs resnet {resnet}");
     }
 
@@ -299,10 +319,7 @@ mod tests {
     fn seeds_differ_but_only_slightly() {
         let model = SurrogateModel::default();
         let e = model.evaluate(&known_cells::resnet_cell(), Dataset::Cifar10);
-        let spread = e
-            .accuracy
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        let spread = e.accuracy.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
             - e.accuracy.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         assert!(spread > 0.0, "seeds must differ");
         assert!(spread < 0.03, "spread {spread} too wide");

@@ -33,7 +33,10 @@ fn raw_cell() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<u8>)> {
 
 fn to_cell(v: usize, edges: &[(usize, usize)], op_labels: &[u8]) -> Option<CellSpec> {
     let matrix = AdjMatrix::from_edges(v, edges).ok()?;
-    let ops: Vec<Op> = op_labels.iter().map(|&l| Op::from_label(l).unwrap()).collect();
+    let ops: Vec<Op> = op_labels
+        .iter()
+        .map(|&l| Op::from_label(l).unwrap())
+        .collect();
     CellSpec::new(matrix, ops).ok()
 }
 

@@ -5,7 +5,6 @@
 //! kernels is faster than any external dependency would be worth.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A row-major dense matrix.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
 /// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -33,7 +32,11 @@ impl Matrix {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A matrix with entries drawn uniformly from `[-scale, scale]`.
@@ -89,7 +92,10 @@ impl Matrix {
     /// Panics out of bounds.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -99,7 +105,10 @@ impl Matrix {
     ///
     /// Panics out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -123,6 +132,7 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
+        #[allow(clippy::needless_range_loop)]
         for r in 0..self.rows {
             let row = self.row(r);
             let mut acc = 0.0;
@@ -143,6 +153,7 @@ impl Matrix {
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_transpose dimension mismatch");
         let mut y = vec![0.0; self.cols];
+        #[allow(clippy::needless_range_loop)]
         for r in 0..self.rows {
             let row = self.row(r);
             let xr = x[r];
@@ -161,6 +172,7 @@ impl Matrix {
     pub fn add_outer(&mut self, col: &[f64], row: &[f64]) {
         assert_eq!(col.len(), self.rows, "add_outer row count mismatch");
         assert_eq!(row.len(), self.cols, "add_outer col count mismatch");
+        #[allow(clippy::needless_range_loop)]
         for r in 0..self.rows {
             let cr = col[r];
             let dst = self.row_mut(r);
@@ -212,7 +224,10 @@ pub fn masked_softmax(logits: &[f64], mask: &[bool]) -> Vec<f64> {
         .filter(|(_, &m)| m)
         .map(|(&l, _)| l)
         .fold(f64::NEG_INFINITY, f64::max);
-    assert!(max.is_finite(), "softmax needs at least one unmasked finite logit");
+    assert!(
+        max.is_finite(),
+        "softmax needs at least one unmasked finite logit"
+    );
     let mut out = vec![0.0; logits.len()];
     let mut denom = 0.0;
     for i in 0..logits.len() {

@@ -6,12 +6,11 @@
 //! layer, and the policy-level gradient check lives in [`crate::policy`].
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::math::{sigmoid, Matrix};
 
 /// A fully-connected layer `y = W·x + b` with gradient accumulators.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Linear {
     /// Weights, `out × in`.
     pub w: Matrix,
@@ -63,7 +62,7 @@ impl Linear {
 }
 
 /// A learned lookup table mapping token ids to vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Embedding {
     /// `vocab × dim` table.
     pub table: Matrix,
@@ -126,7 +125,7 @@ pub struct LstmCache {
 /// A single LSTM cell with gradient accumulators.
 ///
 /// Gate layout in the stacked weight matrices is `[i, f, g, o]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LstmCell {
     /// Input weights, `4H × I`.
     pub wx: Matrix,
@@ -316,8 +315,11 @@ mod tests {
     fn lstm_forward_state_is_bounded() {
         let mut rng = SmallRng::seed_from_u64(3);
         let cell = LstmCell::new(4, 8, &mut rng);
-        let cache = cell.forward(&[1.0, -1.0, 0.5, 2.0], &vec![0.0; 8], &vec![0.0; 8]);
-        assert!(cache.h.iter().all(|v| v.abs() <= 1.0), "h = o*tanh(c) is in [-1,1]");
+        let cache = cell.forward(&[1.0, -1.0, 0.5, 2.0], &[0.0; 8], &[0.0; 8]);
+        assert!(
+            cache.h.iter().all(|v| v.abs() <= 1.0),
+            "h = o*tanh(c) is in [-1,1]"
+        );
     }
 
     #[test]
@@ -334,8 +336,7 @@ mod tests {
         };
         let cache = cell.forward(&x, &h0, &c0);
         cell.zero_grad();
-        let (dx, dh0, dc0) =
-            cell.backward(&cache, &vec![1.0; 4], &vec![0.5; 4]);
+        let (dx, dh0, dc0) = cell.backward(&cache, &[1.0; 4], &[0.5; 4]);
 
         // Spot-check a grid of weight entries in wx and wh.
         for (r, c) in [(0, 0), (3, 2), (5, 1), (9, 0), (13, 2), (15, 1)] {
@@ -385,14 +386,24 @@ mod tests {
                 loss_of(&cell, &x, &h2, &c0)
             };
             let num_h = (eval_h(h0[k] + EPS) - eval_h(h0[k] - EPS)) / (2.0 * EPS);
-            assert!((dh0[k] - num_h).abs() < TOL, "dh0[{k}] {} vs {}", dh0[k], num_h);
+            assert!(
+                (dh0[k] - num_h).abs() < TOL,
+                "dh0[{k}] {} vs {}",
+                dh0[k],
+                num_h
+            );
             let eval_c = |v: f64| {
                 let mut c2 = c0.clone();
                 c2[k] = v;
                 loss_of(&cell, &x, &h0, &c2)
             };
             let num_c = (eval_c(c0[k] + EPS) - eval_c(c0[k] - EPS)) / (2.0 * EPS);
-            assert!((dc0[k] - num_c).abs() < TOL, "dc0[{k}] {} vs {}", dc0[k], num_c);
+            assert!(
+                (dc0[k] - num_c).abs() < TOL,
+                "dc0[{k}] {} vs {}",
+                dc0[k],
+                num_c
+            );
         }
     }
 

@@ -1,14 +1,12 @@
 //! First-order optimizers over the policy's parameter slices.
 
-use serde::{Deserialize, Serialize};
-
 use crate::policy::LstmPolicy;
 
 /// Stochastic gradient descent with optional momentum and gradient clipping.
 ///
 /// The paper updates the controller with "REINFORCE and stochastic gradient
 /// descent"; [`Adam`] is provided as the common practical alternative.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sgd {
     /// Learning rate.
     pub learning_rate: f64,
@@ -23,7 +21,12 @@ impl Sgd {
     /// Plain SGD with the given learning rate.
     #[must_use]
     pub fn new(learning_rate: f64) -> Self {
-        Self { learning_rate, momentum: 0.0, clip_norm: 5.0, velocity: Vec::new() }
+        Self {
+            learning_rate,
+            momentum: 0.0,
+            clip_norm: 5.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update from the policy's accumulated gradients.
@@ -49,7 +52,7 @@ impl Sgd {
 }
 
 /// Adam optimizer with bias correction and gradient clipping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Adam {
     /// Learning rate.
     pub learning_rate: f64,
@@ -145,7 +148,11 @@ mod tests {
     fn policy(seed: u64) -> LstmPolicy {
         let mut rng = SmallRng::seed_from_u64(seed);
         LstmPolicy::new(
-            PolicyConfig { hidden: 5, embed: 3, vocab_sizes: vec![3, 3] },
+            PolicyConfig {
+                hidden: 5,
+                embed: 3,
+                vocab_sizes: vec![3, 3],
+            },
             &mut rng,
         )
     }

@@ -9,13 +9,12 @@
 //! in [5]").
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::math::{entropy, masked_softmax};
 use crate::nn::{Embedding, Linear, LstmCache, LstmCell};
 
 /// Hyper-parameters of an [`LstmPolicy`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyConfig {
     /// LSTM hidden width.
     pub hidden: usize,
@@ -33,9 +32,19 @@ impl PolicyConfig {
     /// Panics if `vocab_sizes` is empty or contains a zero.
     #[must_use]
     pub fn new(vocab_sizes: Vec<usize>) -> Self {
-        assert!(!vocab_sizes.is_empty(), "policy needs at least one decision");
-        assert!(vocab_sizes.iter().all(|&v| v > 0), "every decision needs options");
-        Self { hidden: 64, embed: 32, vocab_sizes }
+        assert!(
+            !vocab_sizes.is_empty(),
+            "policy needs at least one decision"
+        );
+        assert!(
+            vocab_sizes.iter().all(|&v| v > 0),
+            "every decision needs options"
+        );
+        Self {
+            hidden: 64,
+            embed: 32,
+            vocab_sizes,
+        }
     }
 
     /// Largest option count across decisions (the shared head width).
@@ -86,7 +95,7 @@ struct StepTrace {
 /// assert_eq!(rollout.actions.len(), 3);
 /// assert!(rollout.actions[1] < 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LstmPolicy {
     config: PolicyConfig,
     lstm: LstmCell,
@@ -166,7 +175,11 @@ impl LstmPolicy {
     /// Panics if `actions` has the wrong length or an out-of-range action.
     #[must_use]
     pub fn log_prob(&self, actions: &[usize]) -> f64 {
-        assert_eq!(actions.len(), self.config.num_decisions(), "action count mismatch");
+        assert_eq!(
+            actions.len(),
+            self.config.num_decisions(),
+            "action count mismatch"
+        );
         let mut dummy = NoRng;
         let mut step = 0usize;
         let rollout = self.decode(
@@ -208,11 +221,22 @@ impl LstmPolicy {
             );
             log_prob += probs[action].max(1e-300).ln();
             total_entropy += entropy(&probs);
-            steps.push(StepTrace { token, cache, probs: probs.clone(), mask, action });
+            steps.push(StepTrace {
+                token,
+                cache,
+                probs: probs.clone(),
+                mask,
+                action,
+            });
             token = self.token_for(t, action);
             actions.push(action);
         }
-        Rollout { actions, log_prob, entropy: total_entropy, steps }
+        Rollout {
+            actions,
+            log_prob,
+            entropy: total_entropy,
+            steps,
+        }
     }
 
     /// Accumulates REINFORCE gradients for one rollout:
@@ -266,7 +290,10 @@ impl LstmPolicy {
         f(&mut self.lstm.b, &mut self.lstm.db);
         f(self.head.w.as_mut_slice(), self.head.dw.as_mut_slice());
         f(&mut self.head.b, &mut self.head.db);
-        f(self.embed.table.as_mut_slice(), self.embed.dtable.as_mut_slice());
+        f(
+            self.embed.table.as_mut_slice(),
+            self.embed.dtable.as_mut_slice(),
+        );
     }
 }
 
@@ -314,7 +341,11 @@ mod tests {
 
     fn tiny_policy(seed: u64) -> LstmPolicy {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let config = PolicyConfig { hidden: 6, embed: 4, vocab_sizes: vec![3, 2, 4] };
+        let config = PolicyConfig {
+            hidden: 6,
+            embed: 4,
+            vocab_sizes: vec![3, 2, 4],
+        };
         LstmPolicy::new(config, &mut rng)
     }
 
@@ -373,15 +404,15 @@ mod tests {
             // log_prob path has no trace, so re-decode with forced actions.
             let mut step = 0usize;
             let forced = policy.clone();
-            let rollout = forced.decode(
+
+            forced.decode(
                 |_, _| {
                     let a = actions[step];
                     step += 1;
                     a
                 },
                 &mut rng,
-            );
-            rollout
+            )
         };
         policy.zero_grad();
         policy.accumulate_grad(&r, advantage, 0.0);
@@ -424,7 +455,10 @@ mod tests {
             }
             slot += 1;
         }
-        assert!(slot > 10, "gradcheck must probe a meaningful number of slots");
+        assert!(
+            slot > 10,
+            "gradcheck must probe a meaningful number of slots"
+        );
         assert!(failures.is_empty(), "gradient mismatches: {failures:?}");
     }
 
@@ -476,6 +510,9 @@ mod tests {
             });
         }
         let after = policy.log_prob(&target);
-        assert!(after > before, "target log-prob should rise: {before} -> {after}");
+        assert!(
+            after > before,
+            "target log-prob should rise: {before} -> {after}"
+        );
     }
 }

@@ -7,13 +7,12 @@
 //! optional entropy bonus keeps exploration alive in long searches.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::optim::Adam;
 use crate::policy::{LstmPolicy, Rollout};
 
 /// Hyper-parameters of the REINFORCE trainer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReinforceConfig {
     /// Optimizer learning rate.
     pub learning_rate: f64,
@@ -25,7 +24,11 @@ pub struct ReinforceConfig {
 
 impl Default for ReinforceConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.01, baseline_decay: 0.9, entropy_beta: 0.01 }
+        Self {
+            learning_rate: 0.01,
+            baseline_decay: 0.9,
+            entropy_beta: 0.01,
+        }
     }
 }
 
@@ -82,7 +85,8 @@ impl ReinforceTrainer {
             0.0
         });
         self.policy.zero_grad();
-        self.policy.accumulate_grad(rollout, advantage, self.config.entropy_beta);
+        self.policy
+            .accumulate_grad(rollout, advantage, self.config.entropy_beta);
         self.optimizer.step(&mut self.policy);
         self.steps += 1;
     }
@@ -135,7 +139,10 @@ mod tests {
         let r = t.propose(&mut rng);
         t.learn(&r, 0.0);
         let b = t.baseline().unwrap();
-        assert!(b < 1.0 && b > 0.5, "EMA should move toward 0 slowly, got {b}");
+        assert!(
+            b < 1.0 && b > 0.5,
+            "EMA should move toward 0 slowly, got {b}"
+        );
     }
 
     #[test]
@@ -180,7 +187,10 @@ mod tests {
             t.learn(&r, reward);
         }
         let after = t.policy().log_prob(&[0]).exp();
-        assert!(after < before, "punished option probability {before} -> {after}");
+        assert!(
+            after < before,
+            "punished option probability {before} -> {after}"
+        );
         assert!(after < 0.2);
     }
 }

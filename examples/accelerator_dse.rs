@@ -25,12 +25,21 @@ fn main() {
         network.params() as f64 / 1e6,
         network.unique_op_count()
     );
-    println!("sweeping {} accelerator configurations per objective...\n", space.len());
+    println!(
+        "sweeping {} accelerator configurations per objective...\n",
+        space.len()
+    );
 
     let objectives = [
-        ("max perf/area (Table II pairing)", DseObjective::PerfPerArea),
+        (
+            "max perf/area (Table II pairing)",
+            DseObjective::PerfPerArea,
+        ),
         ("min latency", DseObjective::Latency),
-        ("min latency under 100 mm2", DseObjective::LatencyUnderArea(100.0)),
+        (
+            "min latency under 100 mm2",
+            DseObjective::LatencyUnderArea(100.0),
+        ),
     ];
     for (label, objective) in objectives {
         let best = best_accelerator_for(&network, &space, objective, &area_model, &latency_model)
@@ -55,9 +64,14 @@ fn main() {
         &latency_model,
     )
     .expect("space is non-empty");
-    let fast =
-        best_accelerator_for(&network, &space, DseObjective::Latency, &area_model, &latency_model)
-            .expect("space is non-empty");
+    let fast = best_accelerator_for(
+        &network,
+        &space,
+        DseObjective::Latency,
+        &area_model,
+        &latency_model,
+    )
+    .expect("space is non-empty");
     println!(
         "\nlatency-optimal is {:.1}x larger but only {:.2}x faster than efficiency-optimal",
         fast.metrics.area_mm2 / ppa.metrics.area_mm2,

@@ -11,7 +11,13 @@ use codesign_nas::core::{
 fn main() {
     let config = Cifar100Config {
         schedule: ThresholdSchedule {
-            stages: vec![(2.0, 100), (8.0, 100), (16.0, 100), (30.0, 150), (40.0, 300)],
+            stages: vec![
+                (2.0, 100),
+                (8.0, 100),
+                (16.0, 100),
+                (30.0, 150),
+                (40.0, 300),
+            ],
         },
         seed: 0,
         max_steps_per_stage: 5_000,

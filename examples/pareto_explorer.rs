@@ -42,9 +42,11 @@ fn main() {
         .iter()
         .min_by(|a, b| a.area_mm2().total_cmp(&b.area_mm2()))
         .expect("front is non-empty");
-    for (label, p) in
-        [("fastest", fastest), ("most accurate", most_accurate), ("smallest", smallest)]
-    {
+    for (label, p) in [
+        ("fastest", fastest),
+        ("most accurate", most_accurate),
+        ("smallest", smallest),
+    ] {
         println!(
             "{label:>14}: {:.1} ms, {:.2}%, {:.0} mm2 ({})",
             p.latency_ms(),

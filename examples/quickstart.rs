@@ -5,8 +5,7 @@
 
 use codesign_nas::accel::ConfigSpace;
 use codesign_nas::core::{
-    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext,
-    SearchStrategy,
+    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext, SearchStrategy,
 };
 use codesign_nas::nasbench::{known_cells, NasbenchDatabase};
 
@@ -14,7 +13,11 @@ fn main() {
     // 1. Pick a CNN cell (the ResNet basic block) and an accelerator config.
     let cell = known_cells::resnet_cell();
     let config = ConfigSpace::chaidnn().get(8639);
-    println!("cell: {} vertices, {} edges", cell.num_vertices(), cell.num_edges());
+    println!(
+        "cell: {} vertices, {} edges",
+        cell.num_vertices(),
+        cell.num_edges()
+    );
     println!("accelerator: {config}");
 
     // 2. Evaluate the pair: accuracy, latency on that accelerator, area.
@@ -35,10 +38,16 @@ fn main() {
     let space = CodesignSpace::with_max_vertices(4);
     let reward = Scenario::Unconstrained.reward_spec();
     let resnet_reward = reward.scalarize(&eval.metrics());
-    let mut ctx = SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+    let mut ctx = SearchContext {
+        space: &space,
+        evaluator: &mut evaluator,
+        reward: &reward,
+    };
     let outcome = CombinedSearch.run(&mut ctx, &SearchConfig::quick(800, 42));
 
-    let best = outcome.best.expect("unconstrained search always finds feasible pairs");
+    let best = outcome
+        .best
+        .expect("unconstrained search always finds feasible pairs");
     println!(
         "\nafter {} steps ({} feasible), best discovered pair:",
         outcome.history.len(),
@@ -55,5 +64,8 @@ fn main() {
         "  reward {:.4} vs ResNet-pair reward {:.4}",
         best.reward, resnet_reward
     );
-    println!("  visited-point Pareto front holds {} pairs", outcome.front.len());
+    println!(
+        "  visited-point Pareto front holds {} pairs",
+        outcome.front.len()
+    );
 }

@@ -5,8 +5,8 @@
 //! Run: `cargo run --release --example strategy_comparison`
 
 use codesign_nas::core::{
-    CodesignSpace, CombinedSearch, Evaluator, PhaseSearch, RandomSearch, Scenario,
-    SearchConfig, SearchContext, SearchOutcome, SearchStrategy, SeparateSearch,
+    CodesignSpace, CombinedSearch, Evaluator, PhaseSearch, RandomSearch, Scenario, SearchConfig,
+    SearchContext, SearchOutcome, SearchStrategy, SeparateSearch,
 };
 use codesign_nas::nasbench::NasbenchDatabase;
 
@@ -20,9 +20,14 @@ fn main() {
     let reward = scenario.reward_spec();
 
     let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(SeparateSearch { cnn_steps: steps * 5 / 6 }),
+        Box::new(SeparateSearch {
+            cnn_steps: steps * 5 / 6,
+        }),
         Box::new(CombinedSearch),
-        Box::new(PhaseSearch { cnn_phase_steps: steps / 10, hw_phase_steps: steps / 50 }),
+        Box::new(PhaseSearch {
+            cnn_phase_steps: steps / 10,
+            hw_phase_steps: steps / 50,
+        }),
         Box::new(RandomSearch),
     ];
 
@@ -32,21 +37,23 @@ fn main() {
     );
     for strategy in &strategies {
         let mut evaluator = Evaluator::with_database(db.clone());
-        let mut ctx =
-            SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+        let mut ctx = SearchContext {
+            space: &space,
+            evaluator: &mut evaluator,
+            reward: &reward,
+        };
         let outcome: SearchOutcome = strategy.run(&mut ctx, &SearchConfig::quick(steps, 7));
         let (reward_v, lat, acc) = match &outcome.best {
-            Some(b) => (b.reward, b.evaluation.latency_ms, b.evaluation.accuracy * 100.0),
+            Some(b) => (
+                b.reward,
+                b.evaluation.latency_ms,
+                b.evaluation.accuracy * 100.0,
+            ),
             None => (f64::NAN, f64::NAN, f64::NAN),
         };
         println!(
             "{:<10} {:>9} {:>10} {:>12.4} {:>10.1} {:>10.2}",
-            outcome.strategy,
-            outcome.feasible_steps,
-            outcome.invalid_steps,
-            reward_v,
-            lat,
-            acc
+            outcome.strategy, outcome.feasible_steps, outcome.invalid_steps, reward_v, lat, acc
         );
     }
 

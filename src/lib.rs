@@ -12,7 +12,9 @@
 //! * [`moo`] — Pareto fronts, ε-constraint + weighted-sum rewards,
 //! * [`rl`] — the from-scratch REINFORCE LSTM controller,
 //! * [`core`] — the joint search space, evaluator, strategies and the
-//!   paper's experiments.
+//!   paper's experiments,
+//! * [`engine`] — the parallel, sharded campaign engine with a shared
+//!   evaluation cache (see `examples/campaign_sweep.rs`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! substitution notes, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -48,6 +50,7 @@
 
 pub use codesign_accel as accel;
 pub use codesign_core as core;
+pub use codesign_engine as engine;
 pub use codesign_moo as moo;
 pub use codesign_nasbench as nasbench;
 pub use codesign_rl as rl;

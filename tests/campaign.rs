@@ -1,0 +1,24 @@
+//! Facade-level smoke test of the campaign engine re-export.
+
+use codesign_nas::core::{CodesignSpace, Scenario};
+use codesign_nas::engine::{Campaign, ShardedDriver, StrategyKind};
+use codesign_nas::nasbench::NasbenchDatabase;
+
+#[test]
+fn facade_exposes_the_campaign_engine() {
+    let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(vec![Scenario::Unconstrained])
+        .strategies(vec![StrategyKind::Random])
+        .seeds(vec![0, 1])
+        .steps(50);
+    let db = NasbenchDatabase::exhaustive(4);
+    let report = ShardedDriver::new(2).run(&campaign, &db);
+    assert_eq!(report.shards.len(), 2);
+    assert!(!report.merged_front(Scenario::Unconstrained).is_empty());
+    assert!(report.best_point(Scenario::Unconstrained).is_some());
+    let stats = report.cache.expect("cache on by default");
+    assert!(stats.hits + stats.misses > 0);
+    let mut jsonl = Vec::new();
+    report.write_jsonl(&mut jsonl).unwrap();
+    assert!(jsonl.starts_with(b"{\"type\":\"campaign\""));
+}

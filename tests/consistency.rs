@@ -2,8 +2,8 @@
 //! evaluator must agree about the same codesign space.
 
 use codesign_nas::core::{
-    enumerate_codesign_space, CodesignSpace, CombinedSearch, Evaluator, RandomSearch,
-    Scenario, SearchConfig, SearchContext, SearchStrategy,
+    enumerate_codesign_space, CodesignSpace, CombinedSearch, Evaluator, RandomSearch, Scenario,
+    SearchConfig, SearchContext, SearchStrategy,
 };
 use codesign_nas::moo::dominates;
 use codesign_nas::nasbench::{Dataset, NasbenchDatabase};
@@ -24,8 +24,11 @@ fn search_never_beats_the_exact_front() {
     ] {
         let mut evaluator = Evaluator::with_database(db.clone());
         let reward = Scenario::Unconstrained.reward_spec();
-        let mut ctx =
-            SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+        let mut ctx = SearchContext {
+            space: &space,
+            evaluator: &mut evaluator,
+            reward: &reward,
+        };
         let outcome = strategy.run(&mut ctx, &SearchConfig::quick(300, seed));
         for record in &outcome.history {
             let Some(m) = record.metrics else { continue };
@@ -49,7 +52,9 @@ fn enumerator_and_evaluator_agree() {
     let mut evaluator = Evaluator::with_database(db.clone());
     for point in enumeration.front.iter().take(40) {
         let cell = &db.entry(point.cell_index).expect("front index valid").spec;
-        let eval = evaluator.evaluate_pair(cell, &point.config).expect("cell in db");
+        let eval = evaluator
+            .evaluate_pair(cell, &point.config)
+            .expect("cell in db");
         assert!(
             (eval.metrics()[0] - point.metrics[0]).abs() < 1e-9,
             "area mismatch for {}",
@@ -60,7 +65,10 @@ fn enumerator_and_evaluator_agree() {
             "latency mismatch for {}",
             point.config
         );
-        assert!((eval.metrics()[2] - point.metrics[2]).abs() < 1e-9, "accuracy mismatch");
+        assert!(
+            (eval.metrics()[2] - point.metrics[2]).abs() < 1e-9,
+            "accuracy mismatch"
+        );
     }
 }
 
@@ -71,8 +79,13 @@ fn space_roundtrip_is_database_stable() {
     let space = CodesignSpace::with_max_vertices(4);
     for entry in db.iter().take(100) {
         let actions = space.cnn().encode(&entry.spec);
-        let decoded = space.cnn().decode(&actions).expect("encode produces valid actions");
-        let round = db.query(&decoded).expect("decoded cell is the same database row");
+        let decoded = space
+            .cnn()
+            .decode(&actions)
+            .expect("encode produces valid actions");
+        let round = db
+            .query(&decoded)
+            .expect("decoded cell is the same database row");
         assert_eq!(round.spec.canonical_hash(), entry.spec.canonical_hash());
     }
 }
@@ -86,8 +99,11 @@ fn evaluator_is_referentially_transparent() {
     let reward = Scenario::Unconstrained.reward_spec();
     let run = |seed: u64| {
         let mut evaluator = Evaluator::with_database(db.clone());
-        let mut ctx =
-            SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+        let mut ctx = SearchContext {
+            space: &space,
+            evaluator: &mut evaluator,
+            reward: &reward,
+        };
         RandomSearch.run(&mut ctx, &SearchConfig::quick(200, seed))
     };
     let a = run(9);

@@ -3,14 +3,16 @@
 
 use codesign_nas::accel::ConfigSpace;
 use codesign_nas::core::{
-    compare_strategies, CodesignSpace, CombinedSearch, ComparisonConfig, Evaluator,
-    PhaseSearch, RandomSearch, Scenario, SearchConfig, SearchContext, SearchStrategy,
-    SeparateSearch,
+    compare_strategies, CodesignSpace, CombinedSearch, ComparisonConfig, Evaluator, PhaseSearch,
+    RandomSearch, Scenario, SearchConfig, SearchContext, SearchStrategy, SeparateSearch,
 };
 use codesign_nas::nasbench::{known_cells, Dataset, NasbenchDatabase, SurrogateModel};
 
 fn quick_context_db() -> (CodesignSpace, NasbenchDatabase) {
-    (CodesignSpace::with_max_vertices(4), NasbenchDatabase::exhaustive(4))
+    (
+        CodesignSpace::with_max_vertices(4),
+        NasbenchDatabase::exhaustive(4),
+    )
 }
 
 #[test]
@@ -19,18 +21,28 @@ fn every_strategy_completes_and_finds_feasible_points() {
     let reward = Scenario::Unconstrained.reward_spec();
     let strategies: Vec<Box<dyn SearchStrategy>> = vec![
         Box::new(CombinedSearch),
-        Box::new(PhaseSearch { cnn_phase_steps: 40, hw_phase_steps: 10 }),
+        Box::new(PhaseSearch {
+            cnn_phase_steps: 40,
+            hw_phase_steps: 10,
+        }),
         Box::new(SeparateSearch { cnn_steps: 100 }),
         Box::new(RandomSearch),
     ];
     for strategy in strategies {
         let mut evaluator = Evaluator::with_database(db.clone());
-        let mut ctx =
-            SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+        let mut ctx = SearchContext {
+            space: &space,
+            evaluator: &mut evaluator,
+            reward: &reward,
+        };
         let outcome = strategy.run(&mut ctx, &SearchConfig::quick(150, 3));
         assert_eq!(outcome.history.len(), 150, "{}", outcome.strategy);
-        assert!(outcome.best.is_some(), "{} found nothing feasible", outcome.strategy);
-        assert!(outcome.front.len() > 0, "{}", outcome.strategy);
+        assert!(
+            outcome.best.is_some(),
+            "{} found nothing feasible",
+            outcome.strategy
+        );
+        assert!(!outcome.front.is_empty(), "{}", outcome.strategy);
     }
 }
 
@@ -41,7 +53,11 @@ fn search_improves_over_early_best() {
     let (space, db) = quick_context_db();
     let reward = Scenario::Unconstrained.reward_spec();
     let mut evaluator = Evaluator::with_database(db);
-    let mut ctx = SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+    let mut ctx = SearchContext {
+        space: &space,
+        evaluator: &mut evaluator,
+        reward: &reward,
+    };
     let outcome = CombinedSearch.run(&mut ctx, &SearchConfig::quick(600, 11));
     let best = outcome.best.expect("feasible");
     let early_best = outcome
@@ -76,7 +92,11 @@ fn trainer_backed_search_accounts_gpu_hours() {
     let space = CodesignSpace::with_max_vertices(5);
     let mut evaluator = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar100);
     let reward = Scenario::Unconstrained.reward_spec();
-    let mut ctx = SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
+    let mut ctx = SearchContext {
+        space: &space,
+        evaluator: &mut evaluator,
+        reward: &reward,
+    };
     let _ = CombinedSearch.run(&mut ctx, &SearchConfig::quick(200, 5));
     assert!(evaluator.gpu_hours() > 1.0, "got {}", evaluator.gpu_hours());
     assert!(evaluator.distinct_cells() > 5);
@@ -111,8 +131,15 @@ fn phase_search_uses_both_controllers() {
     let (space, db) = quick_context_db();
     let reward = Scenario::Unconstrained.reward_spec();
     let mut evaluator = Evaluator::with_database(db);
-    let mut ctx = SearchContext { space: &space, evaluator: &mut evaluator, reward: &reward };
-    let strategy = PhaseSearch { cnn_phase_steps: 25, hw_phase_steps: 25 };
+    let mut ctx = SearchContext {
+        space: &space,
+        evaluator: &mut evaluator,
+        reward: &reward,
+    };
+    let strategy = PhaseSearch {
+        cnn_phase_steps: 25,
+        hw_phase_steps: 25,
+    };
     let outcome = strategy.run(&mut ctx, &SearchConfig::quick(200, 2));
     let mut cells = std::collections::HashSet::new();
     let mut configs = std::collections::HashSet::new();
@@ -120,6 +147,14 @@ fn phase_search_uses_both_controllers() {
         cells.insert(cell.canonical_hash());
         configs.insert(*config);
     }
-    assert!(cells.len() >= 2, "phase search explored {} cells", cells.len());
-    assert!(configs.len() >= 2, "phase search explored {} configs", configs.len());
+    assert!(
+        cells.len() >= 2,
+        "phase search explored {} cells",
+        cells.len()
+    );
+    assert!(
+        configs.len() >= 2,
+        "phase search explored {} configs",
+        configs.len()
+    );
 }

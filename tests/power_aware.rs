@@ -36,8 +36,12 @@ fn metrics_for(cell_name: &str, config_idx: usize) -> [f64; 4] {
     let area_model = AreaModel::default();
     let area = area_model.area_mm2(&config);
     let latency = Scheduler::new(LatencyModel::default(), config).network_latency_ms(&network);
-    let accuracy = SurrogateModel::default().evaluate(&cell, Dataset::Cifar10).mean_accuracy();
-    let power = PowerModel::default().peak_power(&area_model, &config).total_w();
+    let accuracy = SurrogateModel::default()
+        .evaluate(&cell, Dataset::Cifar10)
+        .mean_accuracy();
+    let power = PowerModel::default()
+        .peak_power(&area_model, &config)
+        .total_w();
     [-area, -latency, accuracy, -power]
 }
 
@@ -47,9 +51,18 @@ fn four_objective_reward_composes() {
     let small = metrics_for("googlenet", 0);
     let large = metrics_for("googlenet", 8639);
     // Small configurations stay under the power cap; the largest blows it.
-    assert!(spec.evaluate(&small).is_feasible(), "small config metrics {small:?}");
-    assert!(!spec.evaluate(&large).is_feasible(), "large config metrics {large:?}");
-    assert!(spec.evaluate(&large).value() < 0.0, "power violations are punished");
+    assert!(
+        spec.evaluate(&small).is_feasible(),
+        "small config metrics {small:?}"
+    );
+    assert!(
+        !spec.evaluate(&large).is_feasible(),
+        "large config metrics {large:?}"
+    );
+    assert!(
+        spec.evaluate(&large).value() < 0.0,
+        "power violations are punished"
+    );
 }
 
 #[test]
@@ -64,7 +77,10 @@ fn power_adds_a_real_tradeoff_dimension() {
     let three_d: Vec<[f64; 3]> = four_d.iter().map(|m| [m[0], m[1], m[2]]).collect();
     let front4 = pareto_indices(&four_d).len();
     let front3 = pareto_indices(&three_d).len();
-    assert!(front4 >= front3, "adding an objective cannot shrink the front");
+    assert!(
+        front4 >= front3,
+        "adding an objective cannot shrink the front"
+    );
 }
 
 #[test]
@@ -79,13 +95,11 @@ fn energy_ranks_differently_than_latency() {
     let mut energies: Vec<(usize, f64)> = Vec::new();
     for idx in (0..8640).step_by(97) {
         let config = space.get(idx);
-        let latency =
-            Scheduler::new(LatencyModel::default(), config).network_latency_ms(&network);
+        let latency = Scheduler::new(LatencyModel::default(), config).network_latency_ms(&network);
         if latency < best_latency.0 {
             best_latency = (latency, idx);
         }
-        let energy =
-            power_model.energy_mj(&area_model, &config, latency, 0.6, 0.2);
+        let energy = power_model.energy_mj(&area_model, &config, latency, 0.6, 0.2);
         energies.push((idx, energy));
     }
     let best_energy = energies

@@ -4,8 +4,7 @@
 //! `codesign-bench` binaries.
 
 use codesign_nas::accel::{
-    validate_area_model, validate_latency_model, AreaModel, ConfigSpace, FpgaDevice,
-    LatencyModel,
+    validate_area_model, validate_latency_model, AreaModel, ConfigSpace, FpgaDevice, LatencyModel,
 };
 use codesign_nas::core::{
     enumerate_codesign_space, run_cifar100_codesign, table2_baselines, top_pareto_points,
@@ -22,7 +21,10 @@ fn table1_device_constants() {
     assert_eq!(dev.bram_area_mm2, 0.026);
     assert_eq!(dev.dsp_area_mm2, 0.044);
     let clb_eq = dev.total_clb_equivalents();
-    assert!((64_900..=65_000).contains(&clb_eq), "paper: 64,922, got {clb_eq}");
+    assert!(
+        (64_900..=65_000).contains(&clb_eq),
+        "paper: 64,922, got {clb_eq}"
+    );
     assert!((dev.total_area_mm2() - 286.0).abs() < 3.0, "paper: 286 mm2");
 }
 
@@ -30,9 +32,17 @@ fn table1_device_constants() {
 fn section2c_model_validation_errors() {
     // Paper: area model 1.6% mean error; latency model "85% accurate".
     let area = validate_area_model(&AreaModel::default());
-    assert!(area.mean_abs_pct_error < 5.0, "area error {}", area.mean_abs_pct_error);
+    assert!(
+        area.mean_abs_pct_error < 5.0,
+        "area error {}",
+        area.mean_abs_pct_error
+    );
     let latency = validate_latency_model(&LatencyModel::default());
-    assert!(latency.mean_abs_pct_error < 25.0, "latency error {}", latency.mean_abs_pct_error);
+    assert!(
+        latency.mean_abs_pct_error < 25.0,
+        "latency error {}",
+        latency.mean_abs_pct_error
+    );
 }
 
 // ---------- Fig. 3 ----------
@@ -50,7 +60,11 @@ fn fig4_pareto_structure() {
     let result = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
     // "less than 0.0001% of points were Pareto-optimal" at full scale; at
     // this reduced scale the fraction is still well under a percent.
-    assert!(result.front_fraction() < 0.002, "fraction {}", result.front_fraction());
+    assert!(
+        result.front_fraction() < 0.002,
+        "fraction {}",
+        result.front_fraction()
+    );
     // "the Pareto-optimal points are very diverse".
     assert!(result.distinct_front_cells >= 3);
     assert!(result.distinct_front_accels >= 10);
@@ -58,7 +72,10 @@ fn fig4_pareto_structure() {
     let areas: Vec<f64> = result.front.iter().map(|p| p.area_mm2()).collect();
     let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
     let max = areas.iter().copied().fold(0.0, f64::max);
-    assert!(max > 1.5 * min, "areas {min}..{max} should span a wide range");
+    assert!(
+        max > 1.5 * min,
+        "areas {min}..{max} should span a wide range"
+    );
 }
 
 #[test]
@@ -76,7 +93,11 @@ fn fig5_reference_points_maximize_reward() {
                 .filter(|p| spec.is_feasible(&p.metrics))
                 .filter(|p| spec.scalarize(&p.metrics) > floor + 1e-12)
                 .count();
-            assert!(better < 10, "{}: {better} points above the top-10 floor", scenario.name());
+            assert!(
+                better < 10,
+                "{}: {better} points above the top-10 floor",
+                scenario.name()
+            );
         }
     }
 }
@@ -86,7 +107,9 @@ fn fig5_reference_points_maximize_reward() {
 #[test]
 fn fig7_flow_shape() {
     let config = Cifar100Config {
-        schedule: ThresholdSchedule { stages: vec![(2.0, 40), (16.0, 40), (40.0, 80)] },
+        schedule: ThresholdSchedule {
+            stages: vec![(2.0, 40), (16.0, 40), (40.0, 80)],
+        },
         seed: 0,
         max_steps_per_stage: 3_000,
         ..Cifar100Config::default()
@@ -104,7 +127,10 @@ fn fig7_flow_shape() {
         .iter()
         .map(|p| p.perf_per_area())
         .fold(0.0, f64::max);
-    assert!(best_ppa_last > best_ppa_first, "{best_ppa_first} -> {best_ppa_last}");
+    assert!(
+        best_ppa_last > best_ppa_first,
+        "{best_ppa_first} -> {best_ppa_last}"
+    );
     // ...and every stage point satisfies its own threshold.
     for stage in &result.stages {
         for p in &stage.top_points {
@@ -137,7 +163,13 @@ fn cod1_exists_at_moderate_scale() {
     // both axes (the paper's Cod-1 headline claim).
     let config = Cifar100Config {
         schedule: ThresholdSchedule {
-            stages: vec![(2.0, 150), (8.0, 150), (16.0, 150), (30.0, 200), (40.0, 300)],
+            stages: vec![
+                (2.0, 150),
+                (8.0, 150),
+                (16.0, 150),
+                (30.0, 200),
+                (40.0, 300),
+            ],
         },
         seed: 0,
         max_steps_per_stage: 6_000,
@@ -146,7 +178,10 @@ fn cod1_exists_at_moderate_scale() {
     let result = run_cifar100_codesign(&config);
     let baselines = table2_baselines();
     let cod1 = result.best_against(&baselines[0]);
-    assert!(cod1.is_some(), "no discovered point beat ResNet on both axes");
+    assert!(
+        cod1.is_some(),
+        "no discovered point beat ResNet on both axes"
+    );
     let cod1 = cod1.expect("checked");
     assert!(cod1.accuracy > baselines[0].accuracy);
     assert!(cod1.perf_per_area() > baselines[0].perf_per_area());
