@@ -60,6 +60,13 @@ impl ConvEngineRatio {
     pub fn is_split(&self) -> bool {
         !matches!(self, ConvEngineRatio::Single)
     }
+
+    /// The ratio whose [`ConvEngineRatio::value`] equals `value` exactly,
+    /// if any — the inverse used when decoding serialized configurations.
+    #[must_use]
+    pub fn from_value(value: f64) -> Option<Self> {
+        Self::ALL.into_iter().find(|r| r.value() == value)
+    }
 }
 
 impl fmt::Display for ConvEngineRatio {
@@ -69,6 +76,9 @@ impl fmt::Display for ConvEngineRatio {
 }
 
 /// One point in the accelerator design space.
+///
+/// Configs order lexicographically over their fields (`Ord`), which gives
+/// serialized caches and reports a deterministic entry order.
 ///
 /// # Examples
 ///
@@ -80,7 +90,7 @@ impl fmt::Display for ConvEngineRatio {
 /// let config = space.get(0);
 /// assert!(space.iter().any(|c| c == config));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AcceleratorConfig {
     /// Output-filter parallelism of the convolution MAC array (8 or 16).
     pub filter_par: usize,
@@ -354,6 +364,14 @@ mod tests {
             .map(ConvEngineRatio::value)
             .collect();
         assert_eq!(vals, vec![1.0, 0.75, 0.67, 0.5, 0.33, 0.25]);
+    }
+
+    #[test]
+    fn ratio_from_value_inverts_value() {
+        for r in ConvEngineRatio::ALL {
+            assert_eq!(ConvEngineRatio::from_value(r.value()), Some(r));
+        }
+        assert_eq!(ConvEngineRatio::from_value(0.42), None);
     }
 
     #[test]

@@ -1,15 +1,17 @@
-//! Campaign engine wall-time benchmark: shared-cache on vs off, and
-//! 1 worker vs N workers, on a fixed sweep. Emits one JSON document (stdout
-//! and `target/paper-results/campaign_bench.json`) for the perf trajectory.
+//! Campaign engine wall-time benchmark: shared-cache on vs off, 1 worker
+//! vs N workers, and cold vs warm (persisted-cache) starts, on a fixed
+//! sweep. Emits one JSON document (stdout and
+//! `target/paper-results/campaign_bench.json`) for the perf trajectory.
 //!
 //! Run: `cargo bench -p codesign-bench --bench campaign`
 //! Env: `CAMPAIGN_BENCH_STEPS` (default 200), `CAMPAIGN_BENCH_WORKERS`
 //! (default: available parallelism).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use codesign_core::{CodesignSpace, Scenario};
-use codesign_engine::{Campaign, CampaignReport, ShardedDriver, StrategyKind};
+use codesign_engine::{Campaign, CampaignReport, ShardedDriver, SharedEvalCache, StrategyKind};
 use codesign_nasbench::{Json, NasbenchDatabase};
 
 fn sweep(steps: usize) -> Campaign {
@@ -36,6 +38,7 @@ fn timed(label: &str, run: impl Fn() -> CampaignReport) -> (String, Json) {
     let cache = match &report.cache {
         Some(stats) => Json::obj(vec![
             ("hits", Json::Num(stats.hits as f64)),
+            ("warm_hits", Json::Num(stats.total_warm_hits() as f64)),
             ("misses", Json::Num(stats.misses as f64)),
             ("hit_rate", Json::Num(stats.hit_rate())),
         ]),
@@ -45,6 +48,7 @@ fn timed(label: &str, run: impl Fn() -> CampaignReport) -> (String, Json) {
         ("wall_ms", Json::Num(best_ms)),
         ("shards", Json::Num(report.shards.len() as f64)),
         ("workers", Json::Num(report.workers as f64)),
+        ("backend", Json::Str(report.backend.into())),
         ("cache", cache),
     ]);
     (label.to_owned(), value)
@@ -62,7 +66,7 @@ fn main() {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         });
     let campaign = sweep(steps);
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
     println!(
         "campaign bench: {} shards x {steps} steps; N = {n_workers} workers",
         campaign.shards().len()
@@ -96,6 +100,43 @@ fn main() {
     } else {
         println!("bench: single-core machine; skipping duplicate N-worker variants");
     }
+
+    // Cold vs warm: persist one run's cache, then measure a campaign that
+    // starts from the reloaded file — the cross-invocation economy of
+    // `campaign --cache-path`. (The cold number is the fresh-cache run
+    // above; the warm run answers its lookups from preloaded entries.)
+    let salt = db.fingerprint();
+    let populated = Arc::new(SharedEvalCache::new());
+    let _ = ShardedDriver::new(n_workers)
+        .with_cache(Arc::clone(&populated))
+        .run(&campaign, &db);
+    let mut persisted = Vec::new();
+    populated
+        .save(&mut persisted, salt)
+        .expect("serialize cache");
+    let t0 = Instant::now();
+    let reloaded = SharedEvalCache::load(persisted.as_slice(), salt).expect("reload cache");
+    let load_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    println!(
+        "bench: persisted cache {} pair entries, {} bytes, reloads in {load_ms:.1} ms",
+        reloaded.len(),
+        persisted.len()
+    );
+    entries.push((
+        "persisted-cache".into(),
+        Json::obj(vec![
+            ("entries", Json::Num(reloaded.len() as f64)),
+            ("bytes", Json::Num(persisted.len() as f64)),
+            ("load_ms", Json::Num(load_ms)),
+        ]),
+    ));
+    entries.push(timed(&format!("{n_workers}-worker/warm-persisted"), || {
+        let warm =
+            Arc::new(SharedEvalCache::load(persisted.as_slice(), salt).expect("reload cache"));
+        ShardedDriver::new(n_workers)
+            .with_cache(warm)
+            .run(&campaign, &db)
+    }));
 
     let doc = Json::Obj(entries);
     println!("{doc}");

@@ -48,13 +48,13 @@ fn bench_evaluator(c: &mut Criterion) {
 }
 
 fn bench_search_steps(c: &mut Criterion) {
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = std::sync::Arc::new(NasbenchDatabase::exhaustive(4));
     let mut group = c.benchmark_group("search");
     group.sample_size(10);
     group.bench_function("combined_100_steps", |b| {
         b.iter(|| {
             let space = CodesignSpace::with_max_vertices(4);
-            let mut evaluator = Evaluator::with_database(db.clone());
+            let mut evaluator = Evaluator::with_shared_database(std::sync::Arc::clone(&db));
             let reward = Scenario::Unconstrained.reward_spec();
             let mut ctx = SearchContext {
                 space: &space,

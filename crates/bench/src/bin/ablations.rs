@@ -32,12 +32,12 @@ fn main() {
 fn run(
     strategy: &dyn SearchStrategy,
     scenario: Scenario,
-    db: &NasbenchDatabase,
+    db: &std::sync::Arc<NasbenchDatabase>,
     steps: usize,
     seed: u64,
 ) -> codesign_core::SearchOutcome {
     let space = CodesignSpace::with_max_vertices(5);
-    let mut evaluator = Evaluator::with_database(db.clone());
+    let mut evaluator = Evaluator::with_shared_database(std::sync::Arc::clone(db));
     let reward = scenario.reward_spec();
     let mut ctx = SearchContext {
         space: &space,
@@ -49,7 +49,7 @@ fn run(
 
 fn controller_vs_random(steps: usize, repeats: usize) {
     println!("=== Ablation 1: LSTM controller vs random search ({steps} steps) ===");
-    let db = NasbenchDatabase::exhaustive(5);
+    let db = std::sync::Arc::new(NasbenchDatabase::exhaustive(5));
     let mut table = TextTable::new(vec![
         "scenario",
         "combined best R",
@@ -84,7 +84,7 @@ fn punishment_ablation(steps: usize, repeats: usize) {
     // With Rv, the controller is steered away from infeasible regions; the
     // measured effect is the feasible-step rate under the 2-constraint
     // scenario.
-    let db = NasbenchDatabase::exhaustive(5);
+    let db = std::sync::Arc::new(NasbenchDatabase::exhaustive(5));
     let mut with_rv = 0.0;
     for seed in 0..repeats as u64 {
         let out = run(&CombinedSearch, Scenario::TwoConstraints, &db, steps, seed);

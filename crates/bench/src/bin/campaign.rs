@@ -5,14 +5,24 @@
 //! copy-pasted `for strategy { for repeat { ... } }` loops grew into; Fig. 5
 //! (`fig5_search`) now runs through the same engine.
 //!
+//! With `--cache-path`, the evaluation cache persists across invocations:
+//! the first run computes and saves, later runs warm-start from the file
+//! and report how many lookups the previous runs already paid for. The
+//! file is salted with the database fingerprint, so a cache built against
+//! a different `--max-vertices` (or database build) is rejected, not
+//! silently reused.
+//!
 //! Run: `cargo run --release -p codesign-bench --bin campaign`
 //! Args: `[--steps N] [--repeats R] [--max-vertices V] [--workers W]`
 //!       `[--scenario 0|1|2] [--strategies separate,combined,phase,random]`
-//!       `[--seed-base S] [--no-cache]`
+//!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
+//!       `[--cache-path FILE] [--cache-capacity N]`
+
+use std::sync::Arc;
 
 use codesign_bench::{out_dir, Args};
 use codesign_core::{CodesignSpace, Scenario};
-use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
+use codesign_engine::{backend_from_name, Campaign, ShardedDriver, SharedEvalCache, StrategyKind};
 use codesign_nasbench::NasbenchDatabase;
 
 fn main() {
@@ -23,6 +33,9 @@ fn main() {
     let workers = args.get_usize("workers", 0);
     let seed_base = args.get_u64("seed-base", 0);
     let scenario_filter = args.get_usize("scenario", usize::MAX);
+    let backend_name = args.get_str("backend", "atomic");
+    let cache_path = args.get_str("cache-path", "");
+    let cache_capacity = args.get_usize("cache-capacity", 0);
 
     let scenarios: Vec<Scenario> = Scenario::ALL
         .into_iter()
@@ -52,21 +65,76 @@ fn main() {
     );
 
     println!("building exhaustive <= {max_v}-vertex database...");
-    let db = NasbenchDatabase::exhaustive(max_v);
+    let db = Arc::new(NasbenchDatabase::exhaustive(max_v));
     println!("database: {} cells\n", db.len());
 
-    let mut driver = ShardedDriver::new(workers);
+    let mut driver = ShardedDriver::new(workers).with_backend(
+        backend_from_name(&backend_name)
+            .unwrap_or_else(|| panic!("unknown backend '{backend_name}' (atomic|work-stealing)")),
+    );
     if args.flag("no-cache") {
+        assert!(
+            cache_path.is_empty(),
+            "--no-cache and --cache-path are contradictory"
+        );
         driver = driver.without_shared_cache();
     }
+
+    // Warm-start: reuse a persisted cache when its salt matches this
+    // database; a missing file just means a cold start.
+    let salt = db.fingerprint();
+    let cache = if cache_path.is_empty() {
+        None
+    } else if std::path::Path::new(&cache_path).exists() {
+        let loaded = SharedEvalCache::load_from_path(&cache_path, salt)
+            .unwrap_or_else(|e| panic!("cannot reuse cache {cache_path}: {e}"));
+        let loaded = if cache_capacity > 0 {
+            loaded.bounded(cache_capacity)
+        } else {
+            loaded
+        };
+        println!(
+            "cache: warm start from {cache_path} ({} pair entries preloaded)",
+            loaded.stats().preloaded
+        );
+        Some(Arc::new(loaded))
+    } else {
+        println!("cache: cold start ({cache_path} not found; will create it)");
+        let fresh = if cache_capacity > 0 {
+            SharedEvalCache::new().bounded(cache_capacity)
+        } else {
+            SharedEvalCache::new()
+        };
+        Some(Arc::new(fresh))
+    };
+    if let Some(cache) = &cache {
+        driver = driver.with_cache(Arc::clone(cache));
+    }
+
     let report = driver.run(&campaign, &db);
     println!("{report}");
+    if let Some(stats) = &report.cache {
+        println!(
+            "cache warm hits: {} (evaluations paid for by previous invocations)",
+            stats.total_warm_hits()
+        );
+    }
 
     for &scenario in &campaign.scenarios {
         println!(
             "{:<14} merged front: {} points",
             scenario.name(),
             report.merged_front(scenario).len()
+        );
+    }
+
+    if let Some(cache) = &cache {
+        cache
+            .save_to_path(&cache_path, salt)
+            .expect("persist evaluation cache");
+        println!(
+            "cache persisted to {cache_path} ({} pair entries)",
+            cache.len()
         );
     }
 

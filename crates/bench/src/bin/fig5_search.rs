@@ -13,6 +13,8 @@
 //! Args: `[--steps N] [--repeats R] [--max-vertices V] [--scenario 0|1|2]`
 //!       `[--workers W] [--seed S]`
 
+use std::sync::Arc;
+
 use codesign_bench::{out_dir, Args};
 use codesign_core::report::{fmt_f, write_csv, TextTable};
 use codesign_core::{enumerate_codesign_space, top_pareto_points, CodesignSpace, Scenario};
@@ -28,7 +30,7 @@ fn main() {
     let seed_base = args.get_u64("seed", 0);
 
     println!("building exhaustive <= {max_v}-vertex database...");
-    let db = NasbenchDatabase::exhaustive(max_v);
+    let db = Arc::new(NasbenchDatabase::exhaustive(max_v));
     let space = CodesignSpace::with_max_vertices(max_v);
     println!(
         "database: {} cells; enumerating the exact Pareto front...",

@@ -4,13 +4,29 @@
 //! As in the paper, only the reward function R is plotted: punished steps do
 //! not contribute (the curve carries the trailing feasible-reward mean).
 //!
+//! The whole scenario × strategy × repeat grid executes as one sharded
+//! campaign with `record_histories` on — strategies and repeats run in
+//! parallel and share one evaluation cache — instead of the old sequential
+//! `compare_strategies` loop; the curves come from the retained per-shard
+//! histories.
+//!
 //! Run: `cargo run --release -p codesign-bench --bin fig6_reward`
 //! Args: `[--steps N] [--repeats R] [--window W] [--max-vertices V]`
+//!       `[--workers W] [--seed S]`
+
+use std::sync::Arc;
 
 use codesign_bench::{downsample, out_dir, Args};
 use codesign_core::report::{fmt_f, write_csv, TextTable};
-use codesign_core::{compare_strategies, CodesignSpace, ComparisonConfig, Scenario};
+use codesign_core::{CodesignSpace, Scenario};
+use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
 use codesign_nasbench::NasbenchDatabase;
+
+const STRATEGIES: [StrategyKind; 3] = [
+    StrategyKind::Separate,
+    StrategyKind::Combined,
+    StrategyKind::Phase,
+];
 
 fn main() {
     let args = Args::parse();
@@ -18,15 +34,20 @@ fn main() {
     let repeats = args.get_usize("repeats", 5);
     let window = args.get_usize("window", 100);
     let max_v = args.get_usize("max-vertices", 5);
+    let seed_base = args.get_u64("seed", 0);
 
     println!("building exhaustive <= {max_v}-vertex database...");
-    let db = NasbenchDatabase::exhaustive(max_v);
-    let space = CodesignSpace::with_max_vertices(max_v);
-    let config = ComparisonConfig {
-        steps,
-        repeats,
-        seed_base: args.get_u64("seed", 0),
-    };
+    let db = Arc::new(NasbenchDatabase::exhaustive(max_v));
+    let campaign = Campaign::new(CodesignSpace::with_max_vertices(max_v))
+        .scenarios(Scenario::ALL.to_vec())
+        .strategies(STRATEGIES.to_vec())
+        .seeds((seed_base..seed_base + repeats as u64).collect())
+        .steps(steps)
+        .record_histories(true);
+    let report = ShardedDriver::new(args.get_usize("workers", 0)).run(&campaign, &db);
+    if let Some(stats) = &report.cache {
+        println!("shared cache: {stats}\n");
+    }
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for scenario in Scenario::ALL {
@@ -36,12 +57,17 @@ fn main() {
             repeats,
             window
         );
-        let cmp = compare_strategies(scenario, &space, &db, &config);
         let mut table = TextTable::new(vec!["step", "separate", "combined", "phase"]);
-        let curves: Vec<(&str, Vec<f64>)> = cmp
-            .strategies
+        let curves: Vec<(&str, Vec<f64>)> = STRATEGIES
             .iter()
-            .map(|s| (s.name, s.average_curve(window)))
+            .map(|&strategy| {
+                (
+                    strategy.name(),
+                    report
+                        .average_reward_curve(scenario, strategy, window)
+                        .expect("histories recorded for every shard"),
+                )
+            })
             .collect();
         let len = curves.iter().map(|(_, c)| c.len()).min().unwrap_or(0);
         let probe = downsample(&(0..len).map(|i| i as f64).collect::<Vec<_>>(), 15);
@@ -65,8 +91,11 @@ fn main() {
         }
         // Paper's qualitative claims, printed for quick inspection.
         let final_of = |name: &str| {
-            cmp.strategy(name)
-                .map_or(f64::NAN, |s| s.final_reward(window))
+            curves
+                .iter()
+                .find(|(n, _)| *n == name)
+                .and_then(|(_, c)| c.last().copied())
+                .unwrap_or(f64::NAN)
         };
         println!(
             "final rewards: separate {:.4}, combined {:.4}, phase {:.4}\n",

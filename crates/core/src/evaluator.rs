@@ -54,7 +54,11 @@ pub trait EvalCache: Send + Sync {
 pub enum AccuracySource {
     /// Query the precomputed database; unknown cells are invalid proposals
     /// (the §III setting, mirroring NASBench membership).
-    Database(NasbenchDatabase),
+    ///
+    /// The database is behind an [`Arc`] so that fleets of evaluators — one
+    /// per campaign shard — share a single copy: spinning an evaluator up is
+    /// a refcount bump, never a deep clone of a 423k-cell table.
+    Database(Arc<NasbenchDatabase>),
     /// Evaluate the surrogate trainer on demand and account its simulated
     /// training cost (the §IV setting).
     Trainer {
@@ -162,9 +166,20 @@ impl std::fmt::Debug for Evaluator {
 }
 
 impl Evaluator {
-    /// Database-backed evaluator (the §III NASBench setting).
+    /// Database-backed evaluator (the §III NASBench setting), taking
+    /// ownership of the database. Prefer
+    /// [`Evaluator::with_shared_database`] when several evaluators run
+    /// against the same table.
     #[must_use]
     pub fn with_database(db: NasbenchDatabase) -> Self {
+        Self::with_shared_database(Arc::new(db))
+    }
+
+    /// Database-backed evaluator sharing an existing [`Arc`]'d database —
+    /// the construction campaign drivers use for every shard. Cloning the
+    /// `Arc` only bumps a refcount; the cell table itself is never copied.
+    #[must_use]
+    pub fn with_shared_database(db: Arc<NasbenchDatabase>) -> Self {
         Self::new(AccuracySource::Database(db), NetworkConfig::default())
     }
 
@@ -237,6 +252,17 @@ impl Evaluator {
     #[must_use]
     pub fn shared_cache(&self) -> Option<&Arc<dyn EvalCache>> {
         self.shared_cache.as_ref()
+    }
+
+    /// The shared accuracy database, when this evaluator is
+    /// database-backed. Useful for asserting that evaluators share one
+    /// allocation (`Arc::ptr_eq`) rather than holding copies.
+    #[must_use]
+    pub fn database(&self) -> Option<&Arc<NasbenchDatabase>> {
+        match &self.accuracy {
+            AccuracySource::Database(db) => Some(db),
+            AccuracySource::Trainer { .. } => None,
+        }
     }
 
     /// The area model in use.
@@ -474,6 +500,19 @@ mod tests {
             }
             other => panic!("expected InvalidCnn, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn shared_database_is_refcounted_not_cloned() {
+        let db = Arc::new(NasbenchDatabase::build(20, 1));
+        assert_eq!(Arc::strong_count(&db), 1);
+        let a = Evaluator::with_shared_database(Arc::clone(&db));
+        let b = Evaluator::with_shared_database(Arc::clone(&db));
+        assert_eq!(Arc::strong_count(&db), 3);
+        assert!(Arc::ptr_eq(a.database().unwrap(), b.database().unwrap()));
+        drop(a);
+        drop(b);
+        assert_eq!(Arc::strong_count(&db), 1);
     }
 
     #[test]

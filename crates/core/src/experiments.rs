@@ -5,6 +5,8 @@
 //! run against the top-100 Pareto points for that scenario's reward, and
 //! Fig. 6 plots the reward curves averaged over the repeats.
 
+use std::sync::Arc;
+
 use codesign_moo::reward::top_k_by_reward;
 use codesign_nasbench::NasbenchDatabase;
 
@@ -116,13 +118,15 @@ impl ScenarioComparison {
 /// Runs the full §III-C comparison for `scenario` on a database-backed
 /// evaluator over `space`.
 ///
-/// The same database backs every run; the evaluator's memoization makes
-/// repeat visits free, mirroring how the paper re-reads NASBench.
+/// One [`Arc`]'d database backs every run — each repeat's evaluator is a
+/// refcount bump, never a copy of the cell table — and the evaluator's
+/// memoization makes repeat visits free, mirroring how the paper re-reads
+/// NASBench.
 #[must_use]
 pub fn compare_strategies(
     scenario: Scenario,
     space: &CodesignSpace,
-    database: &NasbenchDatabase,
+    database: &Arc<NasbenchDatabase>,
     config: &ComparisonConfig,
 ) -> ScenarioComparison {
     let reward = scenario.reward_spec();
@@ -135,7 +139,7 @@ pub fn compare_strategies(
     for strategy in &strategies {
         let mut outcomes = Vec::with_capacity(config.repeats);
         for r in 0..config.repeats {
-            let mut evaluator = Evaluator::with_database(database.clone());
+            let mut evaluator = Evaluator::with_shared_database(Arc::clone(database));
             let mut ctx = SearchContext {
                 space,
                 evaluator: &mut evaluator,
@@ -203,8 +207,8 @@ mod tests {
     use crate::enumerate::enumerate_codesign_space;
     use codesign_nasbench::Dataset;
 
-    fn tiny_db() -> NasbenchDatabase {
-        NasbenchDatabase::exhaustive(4)
+    fn tiny_db() -> Arc<NasbenchDatabase> {
+        Arc::new(NasbenchDatabase::exhaustive(4))
     }
 
     #[test]

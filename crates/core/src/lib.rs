@@ -62,8 +62,8 @@ pub use experiments::{
 };
 pub use scenarios::Scenario;
 pub use search::{
-    BestPoint, SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy,
-    StepRecord, INVALID_PROPOSAL_REWARD,
+    reward_curve, BestPoint, SearchConfig, SearchContext, SearchOutcome, SearchRecorder,
+    SearchStrategy, StepRecord, INVALID_PROPOSAL_REWARD,
 };
 pub use space::{CnnSpace, CodesignSpace, HwSpace, Proposal};
 pub use strategies::{CombinedSearch, PhaseSearch, RandomSearch, SeparateSearch};

@@ -111,32 +111,7 @@ impl SearchOutcome {
     /// Steps before any feasible point carry the first feasible value.
     #[must_use]
     pub fn reward_curve(&self, window: usize) -> Vec<f64> {
-        let window = window.max(1);
-        let mut curve = Vec::with_capacity(self.history.len());
-        let mut buffer: Vec<f64> = Vec::new();
-        let mut last = f64::NAN;
-        for rec in &self.history {
-            if rec.feasible {
-                buffer.push(rec.reward);
-            }
-            let start = buffer.len().saturating_sub(window);
-            if !buffer.is_empty() {
-                let tail = &buffer[start..];
-                last = tail.iter().sum::<f64>() / tail.len() as f64;
-            }
-            curve.push(last);
-        }
-        // Back-fill the leading NaNs with the first real value.
-        if let Some(first_real) = curve.iter().copied().find(|v| !v.is_nan()) {
-            for v in &mut curve {
-                if v.is_nan() {
-                    *v = first_real;
-                } else {
-                    break;
-                }
-            }
-        }
-        curve
+        reward_curve(&self.history, window)
     }
 
     /// Fraction of steps that met all constraints.
@@ -144,6 +119,42 @@ impl SearchOutcome {
     pub fn feasible_rate(&self) -> f64 {
         self.feasible_steps as f64 / self.history.len().max(1) as f64
     }
+}
+
+/// The Fig. 6 smoothed reward curve of a raw step history: mean reward
+/// over a trailing `window` of *feasible* steps, one value per step.
+///
+/// Lives as a free function (rather than only on [`SearchOutcome`]) so
+/// campaign reports, which retain bare histories instead of full outcomes,
+/// can reuse the exact same smoothing.
+#[must_use]
+pub fn reward_curve(history: &[StepRecord], window: usize) -> Vec<f64> {
+    let window = window.max(1);
+    let mut curve = Vec::with_capacity(history.len());
+    let mut buffer: Vec<f64> = Vec::new();
+    let mut last = f64::NAN;
+    for rec in history {
+        if rec.feasible {
+            buffer.push(rec.reward);
+        }
+        let start = buffer.len().saturating_sub(window);
+        if !buffer.is_empty() {
+            let tail = &buffer[start..];
+            last = tail.iter().sum::<f64>() / tail.len() as f64;
+        }
+        curve.push(last);
+    }
+    // Back-fill the leading NaNs with the first real value.
+    if let Some(first_real) = curve.iter().copied().find(|v| !v.is_nan()) {
+        for v in &mut curve {
+            if v.is_nan() {
+                *v = first_real;
+            } else {
+                break;
+            }
+        }
+    }
+    curve
 }
 
 /// Mutable state threaded through a strategy run.

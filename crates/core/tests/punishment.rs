@@ -21,13 +21,13 @@ fn two_constraint_spec(punishment: Punishment) -> RewardSpec<3> {
 }
 
 fn feasible_rate(punishment: Punishment, seeds: std::ops::Range<u64>) -> f64 {
-    let db = NasbenchDatabase::exhaustive(5);
+    let db = std::sync::Arc::new(NasbenchDatabase::exhaustive(5));
     let space = CodesignSpace::with_max_vertices(5);
     let spec = two_constraint_spec(punishment);
     let mut total = 0.0;
     let n = (seeds.end - seeds.start) as f64;
     for seed in seeds {
-        let mut evaluator = Evaluator::with_database(db.clone());
+        let mut evaluator = Evaluator::with_shared_database(std::sync::Arc::clone(&db));
         let mut ctx = SearchContext {
             space: &space,
             evaluator: &mut evaluator,

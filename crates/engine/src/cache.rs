@@ -8,12 +8,24 @@
 //!
 //! Lock contention is kept low by splitting the map into independently
 //! locked shards selected by key hash, so worker threads rarely collide.
+//!
+//! Entries carry a *warm* flag: entries preloaded from a persisted cache
+//! file (see [`SharedEvalCache::load`] in the `persist` module) are warm,
+//! entries computed during the current process are cold. The split shows up
+//! in [`CacheStats`] and in per-shard accounting through
+//! [`ShardCacheView`], which is what lets a warm-started campaign report
+//! how much work the previous invocation saved it.
+//!
+//! The cache is unbounded by default; [`SharedEvalCache::bounded`] caps the
+//! entry count with deterministic first-in-first-out eviction per map
+//! shard. Eviction is transparent for the same reason hits are: an evicted
+//! entry simply becomes a miss that recomputes the identical value.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use codesign_accel::AcceleratorConfig;
 use codesign_core::{EvalCache, PairEvaluation};
@@ -26,15 +38,24 @@ const DEFAULT_SHARDS: usize = 64;
 pub struct CacheStats {
     /// Pair lookups answered from the cache.
     pub hits: u64,
+    /// Pair lookups answered by entries preloaded from a persisted cache
+    /// (always `<= hits`).
+    pub warm_hits: u64,
     /// Pair lookups that missed.
     pub misses: u64,
-    /// Pair entries newly stored (re-insertions of an existing key don't
-    /// count).
+    /// Pair entries newly stored this process (re-insertions of an existing
+    /// key and preloaded entries don't count).
     pub inserts: u64,
+    /// Pair entries preloaded from a persisted cache file.
+    pub preloaded: u64,
+    /// Entries dropped by the capacity bound (pair and accuracy combined).
+    pub evictions: u64,
     /// Pair entries currently stored.
     pub entries: usize,
     /// Per-cell accuracy lookups answered from the cache.
     pub accuracy_hits: u64,
+    /// Per-cell accuracy lookups answered by preloaded entries.
+    pub accuracy_warm_hits: u64,
     /// Per-cell accuracy lookups that missed.
     pub accuracy_misses: u64,
     /// Per-cell accuracy entries currently stored.
@@ -64,21 +85,111 @@ impl CacheStats {
             self.accuracy_hits as f64 / total as f64
         }
     }
+
+    /// Total lookups answered by preloaded (persisted) entries, across both
+    /// the pair and the per-cell accuracy maps — the headline number of a
+    /// warm-started campaign.
+    #[must_use]
+    pub fn total_warm_hits(&self) -> u64 {
+        self.warm_hits + self.accuracy_warm_hits
+    }
 }
 
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} pair entries, {} hits / {} misses ({:.1}% hit rate); \
-             {} cell accuracies, {:.1}% hit rate",
+            "{} pair entries ({} preloaded), {} hits / {} misses ({:.1}% hit rate), \
+             warm hits: {}; {} cell accuracies, {:.1}% hit rate",
             self.entries,
+            self.preloaded,
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
+            self.total_warm_hits(),
             self.accuracy_entries,
             self.accuracy_hit_rate() * 100.0
-        )
+        )?;
+        if self.evictions > 0 {
+            write!(f, "; {} evictions", self.evictions)?;
+        }
+        Ok(())
+    }
+}
+
+/// One stored value plus its provenance.
+#[derive(Debug, Clone, Copy)]
+struct Slot<V> {
+    value: V,
+    /// `true` when the entry was preloaded from a persisted cache file.
+    warm: bool,
+}
+
+/// One independently-locked map shard with first-insertion FIFO order for
+/// capacity eviction.
+#[derive(Debug)]
+struct ShardMap<K, V> {
+    map: HashMap<K, Slot<V>>,
+    /// Keys in first-insertion order; the front is evicted first when the
+    /// shard is at capacity. Maintained **only** for bounded caches — in
+    /// the (default) unbounded configuration eviction can never run, so
+    /// duplicating every key here would be pure memory overhead.
+    order: VecDeque<K>,
+}
+
+impl<K: Hash + Eq + Clone + Ord, V: Copy> ShardMap<K, V> {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<(V, bool)> {
+        self.map.get(key).map(|slot| (slot.value, slot.warm))
+    }
+
+    /// Inserts an entry, evicting the oldest first when `capacity` is
+    /// reached. Returns `(newly inserted, evicted)`.
+    fn insert(&mut self, key: K, value: V, warm: bool, capacity: Option<usize>) -> (bool, u64) {
+        if let Some(slot) = self.map.get_mut(&key) {
+            // Re-insertion: refresh the value (bit-identical by contract)
+            // but keep the original FIFO position and provenance.
+            slot.value = value;
+            return (false, 0);
+        }
+        let mut evicted = 0;
+        if let Some(cap) = capacity {
+            while self.map.len() >= cap.max(1) {
+                let Some(oldest) = self.order.pop_front() else {
+                    break;
+                };
+                self.map.remove(&oldest);
+                evicted += 1;
+            }
+            self.order.push_back(key.clone());
+        }
+        self.map.insert(key, Slot { value, warm });
+        (true, evicted)
+    }
+
+    /// Applies a capacity to a shard that may hold entries inserted while
+    /// unbounded: rebuilds the eviction order over every present key (in
+    /// sorted-key order, so the result is a pure function of the contents)
+    /// and evicts down to `cap`. Returns the eviction count.
+    fn rebuild_order_and_trim(&mut self, cap: usize) -> u64 {
+        let mut keys: Vec<K> = self.map.keys().cloned().collect();
+        keys.sort_unstable();
+        self.order = keys.into();
+        let mut evicted = 0;
+        while self.map.len() > cap.max(1) {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
     }
 }
 
@@ -101,12 +212,19 @@ impl std::fmt::Display for CacheStats {
 /// assert_eq!(cache.stats().hits, 1);
 /// ```
 pub struct SharedEvalCache {
-    shards: Vec<Mutex<HashMap<(u128, AcceleratorConfig), PairEvaluation>>>,
-    accuracy_shards: Vec<Mutex<HashMap<u128, f64>>>,
+    shards: Vec<Mutex<ShardMap<(u128, AcceleratorConfig), PairEvaluation>>>,
+    accuracy_shards: Vec<Mutex<ShardMap<u128, f64>>>,
+    /// Per-map-shard entry bound derived from the user-facing total
+    /// capacity; `None` means unbounded.
+    shard_capacity: Option<usize>,
     hits: AtomicU64,
+    warm_hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    preloaded: AtomicU64,
+    evictions: AtomicU64,
     accuracy_hits: AtomicU64,
+    accuracy_warm_hits: AtomicU64,
     accuracy_misses: AtomicU64,
 }
 
@@ -117,28 +235,76 @@ impl Default for SharedEvalCache {
 }
 
 impl SharedEvalCache {
-    /// A cache with the default shard count.
+    /// An unbounded cache with the default shard count.
     #[must_use]
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// A cache with an explicit shard count (rounded up to at least 1).
+    /// An unbounded cache with an explicit shard count (rounded up to at
+    /// least 1).
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
         Self {
             shards: (0..shards.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(ShardMap::new()))
                 .collect(),
             accuracy_shards: (0..shards.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(ShardMap::new()))
                 .collect(),
+            shard_capacity: None,
             hits: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            preloaded: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             accuracy_hits: AtomicU64::new(0),
+            accuracy_warm_hits: AtomicU64::new(0),
             accuracy_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds the cache to roughly `capacity` pair entries (and the same
+    /// bound on per-cell accuracy entries), evicting oldest-first within
+    /// each map shard once full.
+    ///
+    /// The bound is split evenly across the map shards, so the effective
+    /// limit rounds up to a multiple of the shard count. Eviction is
+    /// deterministic for a deterministic insertion sequence — each shard
+    /// drops its entries in first-insertion order — and is always
+    /// *transparent*: an evicted key becomes a miss whose recomputation
+    /// yields the identical value, so search results never change.
+    ///
+    /// Bounding an already-populated cache (e.g. one reloaded from disk)
+    /// trims it immediately: each shard keeps at most its share of the
+    /// capacity, dropping the excess in sorted-key order (the trimmed
+    /// result is a pure function of the contents).
+    #[must_use]
+    pub fn bounded(mut self, capacity: usize) -> Self {
+        let per_shard = capacity.max(1).div_ceil(self.shards.len());
+        self.shard_capacity = Some(per_shard);
+        let mut evicted = 0;
+        for shard in &mut self.shards {
+            evicted += shard
+                .get_mut()
+                .expect("cache shard poisoned")
+                .rebuild_order_and_trim(per_shard);
+        }
+        for shard in &mut self.accuracy_shards {
+            evicted += shard
+                .get_mut()
+                .expect("cache shard poisoned")
+                .rebuild_order_and_trim(per_shard);
+        }
+        *self.evictions.get_mut() += evicted;
+        self
+    }
+
+    /// The configured total capacity bound, if any.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.shard_capacity.map(|per| per * self.shards.len())
     }
 
     /// Total entries currently stored (sums across shards; O(shards)).
@@ -146,7 +312,7 @@ impl SharedEvalCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
             .sum()
     }
 
@@ -161,15 +327,19 @@ impl SharedEvalCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            preloaded: self.preloaded.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
             accuracy_hits: self.accuracy_hits.load(Ordering::Relaxed),
+            accuracy_warm_hits: self.accuracy_warm_hits.load(Ordering::Relaxed),
             accuracy_misses: self.accuracy_misses.load(Ordering::Relaxed),
             accuracy_entries: self
                 .accuracy_shards
                 .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").len())
+                .map(|s| s.lock().expect("cache shard poisoned").map.len())
                 .sum(),
         }
     }
@@ -177,26 +347,230 @@ impl SharedEvalCache {
     fn shard(
         &self,
         key: &(u128, AcceleratorConfig),
-    ) -> &Mutex<HashMap<(u128, AcceleratorConfig), PairEvaluation>> {
+    ) -> &Mutex<ShardMap<(u128, AcceleratorConfig), PairEvaluation>> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         let index = (hasher.finish() as usize) % self.shards.len();
         &self.shards[index]
     }
-}
 
-impl EvalCache for SharedEvalCache {
-    fn get(&self, cell_hash: u128, config: &AcceleratorConfig) -> Option<PairEvaluation> {
+    /// A pair lookup that also reports whether the hit came from a
+    /// preloaded (warm) entry. Counts into the cache-wide statistics.
+    pub fn get_flagged(
+        &self,
+        cell_hash: u128,
+        config: &AcceleratorConfig,
+    ) -> Option<(PairEvaluation, bool)> {
         let key = (cell_hash, *config);
         let found = self
             .shard(&key)
             .lock()
             .expect("cache shard poisoned")
-            .get(&key)
-            .copied();
+            .get(&key);
         match found {
-            Some(eval) => {
+            Some((eval, warm)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if warm {
+                    self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some((eval, warm))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// An accuracy lookup that also reports warm provenance.
+    pub fn get_accuracy_flagged(&self, cell_hash: u128) -> Option<(f64, bool)> {
+        let index = (cell_hash % self.accuracy_shards.len() as u128) as usize;
+        let found = self.accuracy_shards[index]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&cell_hash);
+        match found {
+            Some((acc, warm)) => {
+                self.accuracy_hits.fetch_add(1, Ordering::Relaxed);
+                if warm {
+                    self.accuracy_warm_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some((acc, warm))
+            }
+            None => {
+                self.accuracy_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert_pair(
+        &self,
+        cell_hash: u128,
+        config: &AcceleratorConfig,
+        eval: PairEvaluation,
+        warm: bool,
+    ) {
+        let key = (cell_hash, *config);
+        let (inserted, evicted) = self
+            .shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, eval, warm, self.shard_capacity);
+        if inserted {
+            let counter = if warm { &self.preloaded } else { &self.inserts };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn insert_accuracy(&self, cell_hash: u128, accuracy: f64, warm: bool) {
+        let index = (cell_hash % self.accuracy_shards.len() as u128) as usize;
+        let (_, evicted) = self.accuracy_shards[index]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(cell_hash, accuracy, warm, self.shard_capacity);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores a pair entry preloaded from a persisted cache (warm).
+    pub(crate) fn put_preloaded(
+        &self,
+        cell_hash: u128,
+        config: &AcceleratorConfig,
+        eval: PairEvaluation,
+    ) {
+        self.insert_pair(cell_hash, config, eval, true);
+    }
+
+    /// Stores an accuracy entry preloaded from a persisted cache (warm).
+    pub(crate) fn put_accuracy_preloaded(&self, cell_hash: u128, accuracy: f64) {
+        self.insert_accuracy(cell_hash, accuracy, true);
+    }
+
+    /// Every stored pair entry, unordered (persistence sorts them).
+    pub(crate) fn snapshot_pairs(&self) -> Vec<((u128, AcceleratorConfig), PairEvaluation)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, slot)| (*k, slot.value))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Every stored per-cell accuracy entry, unordered.
+    pub(crate) fn snapshot_accuracies(&self) -> Vec<(u128, f64)> {
+        self.accuracy_shards
+            .iter()
+            .flat_map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, slot)| (*k, slot.value))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+impl EvalCache for SharedEvalCache {
+    fn get(&self, cell_hash: u128, config: &AcceleratorConfig) -> Option<PairEvaluation> {
+        self.get_flagged(cell_hash, config).map(|(eval, _)| eval)
+    }
+
+    fn put(&self, cell_hash: u128, config: &AcceleratorConfig, eval: PairEvaluation) {
+        self.insert_pair(cell_hash, config, eval, false);
+    }
+
+    fn get_accuracy(&self, cell_hash: u128) -> Option<f64> {
+        self.get_accuracy_flagged(cell_hash).map(|(acc, _)| acc)
+    }
+
+    fn put_accuracy(&self, cell_hash: u128, accuracy: f64) {
+        self.insert_accuracy(cell_hash, accuracy, false);
+    }
+}
+
+impl std::fmt::Debug for SharedEvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedEvalCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One shard's window onto the campaign-wide [`SharedEvalCache`]: delegates
+/// every lookup to the shared map while counting this shard's own warm
+/// hits, cold hits, and misses, so the campaign report can attribute cache
+/// reuse per shard.
+///
+/// Pair and per-cell accuracy lookups both count — a warm accuracy hit is
+/// exactly as much saved work as a warm pair hit under the trainer source.
+#[derive(Debug)]
+pub struct ShardCacheView {
+    inner: Arc<SharedEvalCache>,
+    warm_hits: AtomicU64,
+    cold_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardCacheView {
+    /// A fresh per-shard view of `inner`.
+    #[must_use]
+    pub fn new(inner: Arc<SharedEvalCache>) -> Self {
+        Self {
+            inner,
+            warm_hits: AtomicU64::new(0),
+            cold_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Lookups this shard answered from preloaded (persisted) entries.
+    #[must_use]
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups this shard answered from entries computed this process.
+    #[must_use]
+    pub fn cold_hits(&self) -> u64 {
+        self.cold_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups this shard had to compute itself.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn count(&self, warm: bool) {
+        let counter = if warm {
+            &self.warm_hits
+        } else {
+            &self.cold_hits
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl EvalCache for ShardCacheView {
+    fn get(&self, cell_hash: u128, config: &AcceleratorConfig) -> Option<PairEvaluation> {
+        match self.inner.get_flagged(cell_hash, config) {
+            Some((eval, warm)) => {
+                self.count(warm);
                 Some(eval)
             }
             None => {
@@ -207,47 +581,24 @@ impl EvalCache for SharedEvalCache {
     }
 
     fn put(&self, cell_hash: u128, config: &AcceleratorConfig, eval: PairEvaluation) {
-        let key = (cell_hash, *config);
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
-        if shard.insert(key, eval).is_none() {
-            self.inserts.fetch_add(1, Ordering::Relaxed);
-        }
+        self.inner.put(cell_hash, config, eval);
     }
 
     fn get_accuracy(&self, cell_hash: u128) -> Option<f64> {
-        let index = (cell_hash % self.accuracy_shards.len() as u128) as usize;
-        let found = self.accuracy_shards[index]
-            .lock()
-            .expect("cache shard poisoned")
-            .get(&cell_hash)
-            .copied();
-        match found {
-            Some(acc) => {
-                self.accuracy_hits.fetch_add(1, Ordering::Relaxed);
+        match self.inner.get_accuracy_flagged(cell_hash) {
+            Some((acc, warm)) => {
+                self.count(warm);
                 Some(acc)
             }
             None => {
-                self.accuracy_misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
     fn put_accuracy(&self, cell_hash: u128, accuracy: f64) {
-        let index = (cell_hash % self.accuracy_shards.len() as u128) as usize;
-        self.accuracy_shards[index]
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(cell_hash, accuracy);
-    }
-}
-
-impl std::fmt::Debug for SharedEvalCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedEvalCache")
-            .field("shards", &self.shards.len())
-            .field("stats", &self.stats())
-            .finish()
+        self.inner.put_accuracy(cell_hash, accuracy);
     }
 }
 
@@ -279,6 +630,11 @@ mod tests {
             (1, 1, 1, 1)
         );
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Nothing was preloaded, so no hit is warm.
+        assert_eq!(
+            (stats.warm_hits, stats.preloaded, stats.evictions),
+            (0, 0, 0)
+        );
     }
 
     #[test]
@@ -364,5 +720,113 @@ mod tests {
         assert_eq!(stats.accuracy_entries, 2);
         // Pair-level counters are untouched.
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first_and_stats_stay_consistent() {
+        // One map shard makes the FIFO order global and exact.
+        let cache = SharedEvalCache::with_shards(1).bounded(3);
+        assert_eq!(cache.capacity(), Some(3));
+        let config = ConfigSpace::chaidnn().get(0);
+        for k in 0..5u128 {
+            cache.put(k, &config, eval(k as f64));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3, "capacity must bound the entry count");
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.inserts, 5, "every distinct key was inserted once");
+        // Oldest two evicted, newest three retained.
+        assert!(cache.get(0, &config).is_none());
+        assert!(cache.get(1, &config).is_none());
+        for k in 2..5u128 {
+            assert_eq!(cache.get(k, &config), Some(eval(k as f64)), "key {k}");
+        }
+        // Hit/miss accounting reflects the post-eviction reality exactly:
+        // the two evicted keys miss, the three retained keys hit.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (3, 2));
+        // Deterministic: the same insertion sequence evicts the same keys.
+        let again = SharedEvalCache::with_shards(1).bounded(3);
+        for k in 0..5u128 {
+            again.put(k, &config, eval(k as f64));
+        }
+        for k in 0..5u128 {
+            assert_eq!(
+                again.get(k, &config).is_some(),
+                cache.get(k, &config).is_some(),
+                "eviction order diverged at key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounding_a_populated_cache_trims_it_immediately() {
+        let cache = SharedEvalCache::with_shards(1);
+        let config = ConfigSpace::chaidnn().get(0);
+        for k in 0..10u128 {
+            cache.put(k, &config, eval(k as f64));
+        }
+        cache.put_accuracy(99, 0.9);
+        let cache = cache.bounded(4);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4, "bound must apply to existing entries");
+        assert_eq!(stats.accuracy_entries, 1, "under-cap shard untouched");
+        assert_eq!(stats.evictions, 6);
+        // Sorted-key order: the smallest keys were dropped first.
+        for k in 0..6u128 {
+            assert!(cache.get(k, &config).is_none(), "key {k} should be gone");
+        }
+        for k in 6..10u128 {
+            assert_eq!(cache.get(k, &config), Some(eval(k as f64)), "key {k}");
+        }
+        // The bound keeps holding for subsequent inserts.
+        cache.put(100, &config, eval(1.0));
+        assert!(cache.len() <= 4);
+    }
+
+    #[test]
+    fn reinsertion_does_not_evict() {
+        let cache = SharedEvalCache::with_shards(1).bounded(2);
+        let config = ConfigSpace::chaidnn().get(0);
+        cache.put(1, &config, eval(0.1));
+        cache.put(2, &config, eval(0.2));
+        cache.put(1, &config, eval(0.1)); // refresh, not a new entry
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 0));
+    }
+
+    #[test]
+    fn shard_view_attributes_warm_and_cold_hits() {
+        let cache = Arc::new(SharedEvalCache::new());
+        let config = ConfigSpace::chaidnn().get(0);
+        cache.put_preloaded(1, &config, eval(0.9)); // warm entry
+        let view = ShardCacheView::new(Arc::clone(&cache));
+        view.put(2, &config, eval(0.8)); // cold entry through the view
+        assert_eq!(view.get(1, &config), Some(eval(0.9)));
+        assert_eq!(view.get(2, &config), Some(eval(0.8)));
+        assert!(view.get(3, &config).is_none());
+        assert_eq!(
+            (view.warm_hits(), view.cold_hits(), view.misses()),
+            (1, 1, 1)
+        );
+        // The shared cache saw the same traffic globally.
+        let stats = cache.stats();
+        assert_eq!((stats.warm_hits, stats.hits, stats.preloaded), (1, 2, 1));
+    }
+
+    #[test]
+    fn shard_view_counts_accuracy_lookups() {
+        let cache = Arc::new(SharedEvalCache::new());
+        cache.put_accuracy_preloaded(7, 0.93);
+        let view = ShardCacheView::new(Arc::clone(&cache));
+        assert_eq!(view.get_accuracy(7), Some(0.93));
+        assert_eq!(view.get_accuracy(8), None);
+        view.put_accuracy(8, 0.88);
+        assert_eq!(view.get_accuracy(8), Some(0.88));
+        assert_eq!(
+            (view.warm_hits(), view.cold_hits(), view.misses()),
+            (1, 1, 1)
+        );
+        assert_eq!(cache.stats().accuracy_warm_hits, 1);
     }
 }

@@ -99,6 +99,21 @@ impl ShardSpec {
             ..*base
         }
     }
+
+    /// The shard's estimated cost, in arbitrary units: `steps × scenario
+    /// weight`. Constrained scenarios run slightly hotter per step (more
+    /// punished proposals re-enter the controller before a feasible region
+    /// is found), so they carry a small weight premium. The work-stealing
+    /// backend dispatches by this estimate, longest first.
+    #[must_use]
+    pub fn estimated_cost(&self) -> f64 {
+        let scenario_weight = match self.scenario {
+            Scenario::Unconstrained => 1.0,
+            Scenario::OneConstraint => 1.15,
+            Scenario::TwoConstraints => 1.3,
+        };
+        self.steps as f64 * scenario_weight
+    }
 }
 
 /// A campaign: the full grid of scenarios × strategies × seeds × step
@@ -132,6 +147,11 @@ pub struct Campaign {
     /// Controller hyperparameters shared by every shard (`steps` and `seed`
     /// are overridden per shard).
     pub base_config: SearchConfig,
+    /// Whether shards retain their full per-step reward histories in the
+    /// report (off by default — campaigns run thousands of shards, and a
+    /// history is `steps` records per shard). Fig. 6's reward curves need
+    /// it on.
+    pub record_histories: bool,
 }
 
 impl Campaign {
@@ -146,6 +166,7 @@ impl Campaign {
             seeds: vec![0],
             budgets: vec![1000],
             base_config: SearchConfig::default(),
+            record_histories: false,
         }
     }
 
@@ -193,6 +214,15 @@ impl Campaign {
     #[must_use]
     pub fn base_config(mut self, config: SearchConfig) -> Self {
         self.base_config = config;
+        self
+    }
+
+    /// Retains each shard's full per-step history in the report, so reward
+    /// curves (Fig. 6) can be computed from a campaign run. Costs
+    /// `O(steps)` memory per shard — leave off for large sweeps.
+    #[must_use]
+    pub fn record_histories(mut self, record: bool) -> Self {
+        self.record_histories = record;
         self
     }
 

@@ -1,12 +1,23 @@
-//! The sharded campaign driver.
+//! The sharded campaign driver and its pluggable scheduling backends.
 //!
-//! Shards are placed on a lock-free work queue (an atomic cursor over the
-//! deterministic shard list) and executed by `std::thread` workers. Every
-//! shard runs with its own RNG stream and its own evaluator, so *which*
-//! worker runs a shard — and in what order — cannot affect results; the
-//! only cross-shard state is the [`SharedEvalCache`], whose hits return
-//! bit-identical values to recomputation. The same campaign therefore
-//! produces the same report at any worker count.
+//! Shards are placed on a lock-free work queue (an atomic cursor over a
+//! backend-chosen dispatch order) and executed by `std::thread` workers.
+//! Every shard runs with its own RNG stream and its own evaluator, so
+//! *which* worker runs a shard — and in what order — cannot affect results;
+//! the only cross-shard state is the [`SharedEvalCache`], whose hits return
+//! bit-identical values to recomputation, and the [`Arc`]'d database every
+//! evaluator shares by reference. The same campaign therefore produces the
+//! same report at any worker count under any backend — backends only move
+//! wall-clock time around.
+//!
+//! Two backends ship:
+//!
+//! * [`AtomicCursorBackend`] — dispatches shards in grid order; the
+//!   original PR-1 behavior and the default.
+//! * [`WorkStealingBackend`] — dispatches longest-shard-first by estimated
+//!   cost ([`ShardSpec::estimated_cost`]), the classic LPT heuristic, so a
+//!   heterogeneous campaign (mixed step budgets / scenarios) doesn't strand
+//!   one worker on a huge shard at the tail while the rest idle.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -17,45 +28,132 @@ use codesign_nasbench::NasbenchDatabase;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::cache::SharedEvalCache;
+use crate::cache::{ShardCacheView, SharedEvalCache};
 use crate::campaign::{Campaign, ShardSpec};
 use crate::report::{CampaignReport, ShardResult};
+
+/// A shard-dispatch policy: given the campaign's shard list, produce the
+/// order in which workers pull shards off the shared queue.
+///
+/// Backends are pure placement: the returned permutation decides *when*
+/// each shard starts, never *what* it computes — every shard still runs
+/// its own deterministic RNG stream, so all backends produce bit-identical
+/// [`CampaignReport`]s.
+pub trait DriverBackend: Send + Sync {
+    /// Short display name recorded in the campaign report.
+    fn name(&self) -> &'static str;
+
+    /// The dispatch order: a permutation of `0..shards.len()`.
+    fn schedule(&self, shards: &[ShardSpec]) -> Vec<usize>;
+}
+
+/// Grid-order dispatch through an atomic cursor (the default backend).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AtomicCursorBackend;
+
+impl DriverBackend for AtomicCursorBackend {
+    fn name(&self) -> &'static str {
+        "atomic"
+    }
+
+    fn schedule(&self, shards: &[ShardSpec]) -> Vec<usize> {
+        (0..shards.len()).collect()
+    }
+}
+
+/// Longest-shard-first dispatch by estimated cost, for campaigns whose
+/// shards are heterogeneous (mixed step budgets or scenario weights).
+///
+/// Workers still pull from one shared queue — greedy list scheduling —
+/// so sorting the queue longest-first is the classic LPT bound: the most
+/// expensive shards start earliest and the short ones pack the tail.
+/// Ties break by shard index, keeping the dispatch order a pure function
+/// of the campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkStealingBackend;
+
+impl DriverBackend for WorkStealingBackend {
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+
+    fn schedule(&self, shards: &[ShardSpec]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        order.sort_by(|&a, &b| {
+            shards[b]
+                .estimated_cost()
+                .partial_cmp(&shards[a].estimated_cost())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+/// Resolves a backend by its display name (`atomic`, `work-stealing`).
+#[must_use]
+pub fn backend_from_name(name: &str) -> Option<Arc<dyn DriverBackend>> {
+    match name {
+        "atomic" => Some(Arc::new(AtomicCursorBackend)),
+        "work-stealing" => Some(Arc::new(WorkStealingBackend)),
+        _ => None,
+    }
+}
 
 /// Executes campaigns across worker threads.
 ///
 /// # Examples
 ///
 /// ```
-/// use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
+/// use std::sync::Arc;
+/// use codesign_engine::{Campaign, ShardedDriver, StrategyKind, WorkStealingBackend};
 /// use codesign_core::CodesignSpace;
 /// use codesign_nasbench::NasbenchDatabase;
 ///
 /// let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
 ///     .strategies(vec![StrategyKind::Random])
 ///     .steps(50);
-/// let db = NasbenchDatabase::exhaustive(4);
+/// let db = Arc::new(NasbenchDatabase::exhaustive(4));
 /// let sequential = ShardedDriver::new(1).run(&campaign, &db);
-/// let parallel = ShardedDriver::new(4).run(&campaign, &db);
+/// let parallel = ShardedDriver::new(4)
+///     .with_backend(Arc::new(WorkStealingBackend))
+///     .run(&campaign, &db);
 /// assert_eq!(sequential.shards.len(), parallel.shards.len());
-/// // Bit-identical results at any worker count:
+/// // Bit-identical results at any worker count, under any backend:
 /// for (a, b) in sequential.shards.iter().zip(parallel.shards.iter()) {
 ///     assert_eq!(a.best, b.best);
 /// }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ShardedDriver {
     workers: usize,
     shared_cache: bool,
+    backend: Arc<dyn DriverBackend>,
+    preloaded: Option<Arc<SharedEvalCache>>,
+}
+
+impl std::fmt::Debug for ShardedDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDriver")
+            .field("workers", &self.workers)
+            .field("shared_cache", &self.shared_cache)
+            .field("backend", &self.backend.name())
+            .field("preloaded", &self.preloaded.is_some())
+            .finish()
+    }
 }
 
 impl ShardedDriver {
     /// A driver with `workers` threads (`0` means the machine's available
-    /// parallelism). The shared evaluation cache is on by default.
+    /// parallelism). The shared evaluation cache is on by default; the
+    /// backend defaults to [`AtomicCursorBackend`].
     #[must_use]
     pub fn new(workers: usize) -> Self {
         Self {
             workers,
             shared_cache: true,
+            backend: Arc::new(AtomicCursorBackend),
+            preloaded: None,
         }
     }
 
@@ -65,6 +163,25 @@ impl ShardedDriver {
     #[must_use]
     pub fn without_shared_cache(mut self) -> Self {
         self.shared_cache = false;
+        self.preloaded = None;
+        self
+    }
+
+    /// Selects the shard-dispatch backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Arc<dyn DriverBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Runs the campaign against an existing cache instance — typically one
+    /// reloaded from disk (`SharedEvalCache::load`) for a warm start, but
+    /// any pre-populated (or bounded) cache works. Implies the shared cache
+    /// is enabled.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SharedEvalCache>) -> Self {
+        self.shared_cache = true;
+        self.preloaded = Some(cache);
         self
     }
 
@@ -78,18 +195,37 @@ impl ShardedDriver {
         }
     }
 
-    /// Runs every shard of `campaign` against `database` and returns the
-    /// merged report.
+    /// Runs every shard of `campaign` against the shared `database` and
+    /// returns the merged report.
+    ///
+    /// The database is taken by `Arc`: each worker holds one refcount bump,
+    /// and every shard's evaluator shares the same allocation — no cell
+    /// data is copied no matter how many workers or shards run.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics (a shard's search itself panicked).
     #[must_use]
-    pub fn run(&self, campaign: &Campaign, database: &NasbenchDatabase) -> CampaignReport {
+    pub fn run(&self, campaign: &Campaign, database: &Arc<NasbenchDatabase>) -> CampaignReport {
         let started = Instant::now();
         let shards = campaign.shards();
         let workers = self.workers().min(shards.len()).max(1);
-        let cache = self.shared_cache.then(|| Arc::new(SharedEvalCache::new()));
+        let cache = match (&self.preloaded, self.shared_cache) {
+            (Some(pre), _) => Some(Arc::clone(pre)),
+            (None, true) => Some(Arc::new(SharedEvalCache::new())),
+            (None, false) => None,
+        };
+        let order = self.backend.schedule(&shards);
+        debug_assert_eq!(
+            {
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                sorted
+            },
+            (0..shards.len()).collect::<Vec<_>>(),
+            "backend '{}' must return a permutation of the shard indices",
+            self.backend.name()
+        );
 
         let cursor = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<ShardResult>>> = Mutex::new(vec![None; shards.len()]);
@@ -98,12 +234,16 @@ impl ShardedDriver {
                 let cursor = &cursor;
                 let results = &results;
                 let shards = &shards;
+                let order = &order;
                 let cache = cache.clone();
+                // One refcount bump per worker; the cell table itself is
+                // never cloned on the shard path.
+                let database = Arc::clone(database);
                 scope.spawn(move || loop {
                     let next = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(shard) = shards.get(next) else { break };
-                    let result = run_shard(campaign, shard, database, cache.as_ref());
-                    results.lock().expect("results poisoned")[next] = Some(result);
+                    let Some(&index) = order.get(next) else { break };
+                    let result = run_shard(campaign, &shards[index], &database, cache.as_ref());
+                    results.lock().expect("results poisoned")[index] = Some(result);
                 });
             }
         });
@@ -117,24 +257,27 @@ impl ShardedDriver {
         CampaignReport {
             shards,
             cache: cache.map(|c| c.stats()),
+            backend: self.backend.name(),
             workers,
             wall_ms: started.elapsed().as_millis() as u64,
         }
     }
 }
 
-/// Executes one shard: fresh evaluator (plus the campaign-wide shared
-/// cache), fresh RNG stream, one strategy run.
+/// Executes one shard: fresh evaluator sharing the campaign's database (and
+/// a per-shard view of the campaign-wide cache), fresh RNG stream, one
+/// strategy run.
 fn run_shard(
     campaign: &Campaign,
     shard: &ShardSpec,
-    database: &NasbenchDatabase,
+    database: &Arc<NasbenchDatabase>,
     cache: Option<&Arc<SharedEvalCache>>,
 ) -> ShardResult {
     let started = Instant::now();
-    let mut evaluator = Evaluator::with_database(database.clone());
-    if let Some(cache) = cache {
-        evaluator = evaluator.with_shared_cache(Arc::clone(cache) as _);
+    let mut evaluator = Evaluator::with_shared_database(Arc::clone(database));
+    let view = cache.map(|c| Arc::new(ShardCacheView::new(Arc::clone(c))));
+    if let Some(view) = &view {
+        evaluator = evaluator.with_shared_cache(Arc::clone(view) as _);
     }
     let reward = shard.scenario.reward_spec();
     let mut ctx = SearchContext {
@@ -146,7 +289,18 @@ fn run_shard(
     let mut rng = SmallRng::seed_from_u64(shard.rng_seed);
     let strategy = shard.strategy.build(shard.steps);
     let outcome = strategy.run_with_rng(&mut ctx, &config, &mut rng);
-    ShardResult::from_outcome(*shard, outcome, started.elapsed().as_millis() as u64)
+    let mut result = ShardResult::from_outcome(
+        *shard,
+        outcome,
+        started.elapsed().as_millis() as u64,
+        campaign.record_histories,
+    );
+    if let Some(view) = view {
+        result.cache_warm_hits = view.warm_hits();
+        result.cache_cold_hits = view.cold_hits();
+        result.cache_misses = view.misses();
+    }
+    result
 }
 
 #[cfg(test)]
@@ -163,16 +317,20 @@ mod tests {
             .steps(40)
     }
 
+    fn small_db() -> Arc<NasbenchDatabase> {
+        Arc::new(NasbenchDatabase::exhaustive(4))
+    }
+
     #[test]
     fn all_shards_execute_in_order() {
-        let db = NasbenchDatabase::exhaustive(4);
-        let report = ShardedDriver::new(3).run(&small_campaign(), &db);
+        let report = ShardedDriver::new(3).run(&small_campaign(), &small_db());
         assert_eq!(report.shards.len(), 4);
         for (i, shard) in report.shards.iter().enumerate() {
             assert_eq!(shard.spec.index, i);
             assert_eq!(shard.steps, 40);
         }
         assert_eq!(report.workers, 3);
+        assert_eq!(report.backend, "atomic");
     }
 
     #[test]
@@ -183,10 +341,86 @@ mod tests {
 
     #[test]
     fn cache_can_be_disabled() {
-        let db = NasbenchDatabase::exhaustive(4);
         let report = ShardedDriver::new(2)
             .without_shared_cache()
-            .run(&small_campaign(), &db);
+            .run(&small_campaign(), &small_db());
         assert!(report.cache.is_none());
+        for shard in &report.shards {
+            assert_eq!(
+                (
+                    shard.cache_warm_hits,
+                    shard.cache_cold_hits,
+                    shard.cache_misses
+                ),
+                (0, 0, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn per_shard_cache_counts_sum_to_campaign_totals() {
+        let report = ShardedDriver::new(2).run(&small_campaign(), &small_db());
+        let stats = report.cache.expect("cache on by default");
+        let shard_hits: u64 = report
+            .shards
+            .iter()
+            .map(|s| s.cache_warm_hits + s.cache_cold_hits)
+            .sum();
+        let shard_misses: u64 = report.shards.iter().map(|s| s.cache_misses).sum();
+        assert_eq!(shard_hits, stats.hits + stats.accuracy_hits);
+        assert_eq!(shard_misses, stats.misses + stats.accuracy_misses);
+        assert_eq!(stats.warm_hits, 0, "no preloaded cache, so no warm hits");
+    }
+
+    #[test]
+    fn work_stealing_backend_schedules_longest_first() {
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+            .scenarios(vec![Scenario::Unconstrained])
+            .strategies(vec![StrategyKind::Random])
+            .seeds(vec![0])
+            .budgets(vec![50, 400, 100]);
+        let shards = campaign.shards();
+        let order = WorkStealingBackend.schedule(&shards);
+        let costs: Vec<f64> = order.iter().map(|&i| shards[i].estimated_cost()).collect();
+        assert!(
+            costs.windows(2).all(|w| w[0] >= w[1]),
+            "dispatch must be non-increasing in estimated cost: {costs:?}"
+        );
+        // Still a permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..shards.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backends_resolve_by_name() {
+        assert_eq!(backend_from_name("atomic").unwrap().name(), "atomic");
+        assert_eq!(
+            backend_from_name("work-stealing").unwrap().name(),
+            "work-stealing"
+        );
+        assert!(backend_from_name("bogus").is_none());
+    }
+
+    #[test]
+    fn preloaded_cache_reports_warm_hits() {
+        let campaign = small_campaign();
+        let db = small_db();
+        // First run populates a cache; persist and reload it warm.
+        let first = Arc::new(SharedEvalCache::new());
+        let _ = ShardedDriver::new(2)
+            .with_cache(Arc::clone(&first))
+            .run(&campaign, &db);
+        let mut buf = Vec::new();
+        first.save(&mut buf, 1).unwrap();
+        let warm = Arc::new(SharedEvalCache::load(buf.as_slice(), 1).unwrap());
+        let report = ShardedDriver::new(2).with_cache(warm).run(&campaign, &db);
+        let stats = report.cache.expect("cache enabled");
+        assert!(stats.preloaded > 0);
+        assert!(
+            stats.total_warm_hits() > 0,
+            "second run must reuse persisted evaluations: {stats}"
+        );
+        assert!(report.shards.iter().any(|s| s.cache_warm_hits > 0));
     }
 }

@@ -9,20 +9,32 @@
 //!
 //! * [`Campaign`] — the grid specification: scenarios × strategies × seeds
 //!   × step budgets over one [`codesign_core::CodesignSpace`];
-//! * [`ShardedDriver`] — fans the grid's shards out across worker threads.
-//!   Each shard draws from its own deterministic RNG stream, so the same
-//!   campaign produces **bit-identical results at any worker count**;
+//! * [`ShardedDriver`] — fans the grid's shards out across worker threads
+//!   through a pluggable [`DriverBackend`] (grid-order
+//!   [`AtomicCursorBackend`] or longest-shard-first
+//!   [`WorkStealingBackend`]). Each shard draws from its own deterministic
+//!   RNG stream and every evaluator shares one `Arc`'d database, so the
+//!   same campaign produces **bit-identical results at any worker count
+//!   under any backend** — and shard spin-up is a refcount bump, never a
+//!   copy of the cell table;
 //! * [`SharedEvalCache`] — a process-wide, sharded-mutex evaluation cache
-//!   (with hit/miss/insert accounting) that every evaluator consults before
-//!   its private memoization, so shards reuse each other's work;
-//! * [`CampaignReport`] — per-shard results plus merged per-scenario Pareto
-//!   fronts (via `codesign_moo`), cache statistics, and JSONL/CSV export.
+//!   (with warm/cold hit accounting and an optional capacity bound) that
+//!   every evaluator consults before its private memoization, so shards
+//!   reuse each other's work. It persists across processes —
+//!   [`SharedEvalCache::save`] / [`SharedEvalCache::load`] in the
+//!   [`persist`] module — so successive CLI invocations warm-start from
+//!   each other's evaluations;
+//! * [`CampaignReport`] — per-shard results (including per-shard warm/cold
+//!   cache attribution and optional reward histories) plus merged
+//!   per-scenario Pareto fronts (via `codesign_moo`), cache statistics,
+//!   and JSONL/CSV export.
 //!
 //! # Examples
 //!
 //! An 8-way-sharded sweep of two strategies over every scenario:
 //!
 //! ```
+//! use std::sync::Arc;
 //! use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
 //! use codesign_core::{CodesignSpace, Scenario};
 //! use codesign_nasbench::NasbenchDatabase;
@@ -32,21 +44,51 @@
 //!     .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
 //!     .seeds(vec![0])
 //!     .steps(60);
-//! let db = NasbenchDatabase::exhaustive(4);
+//! let db = Arc::new(NasbenchDatabase::exhaustive(4));
 //! let report = ShardedDriver::new(8).run(&campaign, &db);
 //! assert_eq!(report.shards.len(), 6);
 //! let stats = report.cache.expect("shared cache on by default");
 //! assert!(stats.hits + stats.misses > 0);
 //! ```
+//!
+//! Warm-starting a second campaign from a persisted cache:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use codesign_engine::{Campaign, ShardedDriver, SharedEvalCache, StrategyKind};
+//! use codesign_core::CodesignSpace;
+//! use codesign_nasbench::NasbenchDatabase;
+//!
+//! let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+//!     .strategies(vec![StrategyKind::Random])
+//!     .steps(40);
+//! let db = Arc::new(NasbenchDatabase::exhaustive(4));
+//! let salt = db.fingerprint();
+//!
+//! // First invocation: run, then persist the cache.
+//! let cache = Arc::new(SharedEvalCache::new());
+//! let _ = ShardedDriver::new(2).with_cache(Arc::clone(&cache)).run(&campaign, &db);
+//! let mut file = Vec::new(); // stands in for a real file
+//! cache.save(&mut file, salt).unwrap();
+//!
+//! // Second invocation: reload and reap warm hits.
+//! let warm = Arc::new(SharedEvalCache::load(file.as_slice(), salt).unwrap());
+//! let report = ShardedDriver::new(2).with_cache(warm).run(&campaign, &db);
+//! assert!(report.cache.unwrap().total_warm_hits() > 0);
+//! ```
 
 pub mod cache;
 pub mod campaign;
 pub mod driver;
+pub mod persist;
 pub mod report;
 
-pub use cache::{CacheStats, SharedEvalCache};
+pub use cache::{CacheStats, ShardCacheView, SharedEvalCache};
 pub use campaign::{Campaign, ShardSpec, StrategyKind};
-pub use driver::ShardedDriver;
+pub use driver::{
+    backend_from_name, AtomicCursorBackend, DriverBackend, ShardedDriver, WorkStealingBackend,
+};
+pub use persist::{CacheLoadError, CACHE_FORMAT, CACHE_VERSION};
 pub use report::{CampaignReport, ShardResult};
 
 /// SplitMix64: the stream-derivation mix used for per-shard RNG seeds.

@@ -1,0 +1,410 @@
+//! Cross-process persistence of the shared evaluation cache.
+//!
+//! A campaign's [`SharedEvalCache`] can be written to disk and reloaded by
+//! the next invocation, so successive CLI runs reuse each other's
+//! evaluations instead of recomputing them — the cross-run economy that
+//! CODEBench's accelerator-embedding cache argues for at benchmark scale.
+//!
+//! The format is a single JSON document through `codesign_nasbench::jsonio`
+//! (no serde in this workspace):
+//!
+//! ```json
+//! {
+//!   "format": "codesign-eval-cache",
+//!   "version": 1,
+//!   "salt": "<16 hex digits>",
+//!   "pairs": [["<32-hex cell hash>", {"fp":8,...,"ratio":0.5}, acc, lat, area], ...],
+//!   "accuracies": [["<32-hex cell hash>", acc], ...]
+//! }
+//! ```
+//!
+//! Hashes are hex strings because jsonio numbers are `f64` and cannot carry
+//! a `u128` (or even a full `u64`) exactly. Entries are written in sorted
+//! key order, so the same cache contents always serialize byte-identically.
+//!
+//! The `salt` is supplied by the caller and must describe everything the
+//! cached metrics depend on that the keys themselves don't — in practice
+//! the [`NasbenchDatabase::fingerprint`] of the database the campaign runs
+//! against (cache keys are already salted with the evaluator configuration
+//! by `codesign_core::Evaluator`). [`SharedEvalCache::load`] rejects a file
+//! whose salt doesn't match instead of silently serving stale metrics, and
+//! likewise rejects unknown formats and versions.
+//!
+//! [`NasbenchDatabase::fingerprint`]: codesign_nasbench::NasbenchDatabase::fingerprint
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use codesign_accel::{AcceleratorConfig, ConvEngineRatio};
+use codesign_core::PairEvaluation;
+use codesign_nasbench::Json;
+
+use crate::cache::SharedEvalCache;
+
+/// The `format` marker of a persisted cache document.
+pub const CACHE_FORMAT: &str = "codesign-eval-cache";
+
+/// The current on-disk format version.
+pub const CACHE_VERSION: u64 = 1;
+
+/// Why a persisted cache file was rejected.
+#[derive(Debug)]
+pub enum CacheLoadError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The document is not valid JSON or is missing required fields.
+    Malformed(String),
+    /// The document is JSON but not a persisted evaluation cache.
+    WrongFormat(String),
+    /// The document was written by an incompatible format version.
+    WrongVersion {
+        /// The version found in the file.
+        found: u64,
+    },
+    /// The cache was built under a different evaluation context (different
+    /// database, typically) and must not be reused.
+    SaltMismatch {
+        /// The salt the caller expected.
+        expected: u64,
+        /// The salt found in the file.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for CacheLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheLoadError::Io(e) => write!(f, "cache file unreadable: {e}"),
+            CacheLoadError::Malformed(reason) => write!(f, "cache file malformed: {reason}"),
+            CacheLoadError::WrongFormat(found) => {
+                write!(f, "not an evaluation cache (format {found:?})")
+            }
+            CacheLoadError::WrongVersion { found } => write!(
+                f,
+                "cache format version {found} unsupported (expected {CACHE_VERSION})"
+            ),
+            CacheLoadError::SaltMismatch { expected, found } => write!(
+                f,
+                "cache salt {found:016x} does not match this run's {expected:016x} \
+                 (stale or built against a different database); refusing to reuse it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheLoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CacheLoadError {
+    fn from(e: io::Error) -> Self {
+        CacheLoadError::Io(e)
+    }
+}
+
+fn config_to_json(config: &AcceleratorConfig) -> Json {
+    Json::obj(vec![
+        ("fp", Json::Num(config.filter_par as f64)),
+        ("pp", Json::Num(config.pixel_par as f64)),
+        ("ib", Json::Num(config.input_buffer_depth as f64)),
+        ("wb", Json::Num(config.weight_buffer_depth as f64)),
+        ("ob", Json::Num(config.output_buffer_depth as f64)),
+        ("mw", Json::Num(config.mem_interface_width as f64)),
+        ("pool", Json::Bool(config.pool_enable)),
+        ("ratio", Json::Num(config.ratio_conv_engines.value())),
+    ])
+}
+
+fn config_from_json(doc: &Json) -> Result<AcceleratorConfig, String> {
+    let field = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("missing config field '{key}'"))
+    };
+    let pool = match doc.get("pool") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("missing config field 'pool'".into()),
+    };
+    let ratio = doc
+        .get("ratio")
+        .and_then(Json::as_f64)
+        .and_then(ConvEngineRatio::from_value)
+        .ok_or_else(|| "bad config field 'ratio'".to_owned())?;
+    Ok(AcceleratorConfig {
+        filter_par: field("fp")?,
+        pixel_par: field("pp")?,
+        input_buffer_depth: field("ib")?,
+        weight_buffer_depth: field("wb")?,
+        output_buffer_depth: field("ob")?,
+        mem_interface_width: field("mw")?,
+        pool_enable: pool,
+        ratio_conv_engines: ratio,
+    })
+}
+
+fn hash_to_hex(hash: u128) -> String {
+    format!("{hash:032x}")
+}
+
+fn hash_from_hex(text: &str) -> Result<u128, String> {
+    u128::from_str_radix(text, 16).map_err(|e| format!("bad hash {text:?}: {e}"))
+}
+
+impl SharedEvalCache {
+    /// Writes the cache's entries as one JSON document stamped with
+    /// `salt` (see the module docs for the format and the salt contract).
+    /// Entries are sorted by key, so identical contents always produce an
+    /// identical file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn save<W: Write>(&self, mut writer: W, salt: u64) -> io::Result<()> {
+        let mut pairs = self.snapshot_pairs();
+        pairs.sort_unstable_by_key(|&(key, _)| key);
+        let mut accuracies = self.snapshot_accuracies();
+        accuracies.sort_unstable_by_key(|&(key, _)| key);
+        let pairs = pairs
+            .into_iter()
+            .map(|((hash, config), eval)| {
+                Json::Arr(vec![
+                    Json::Str(hash_to_hex(hash)),
+                    config_to_json(&config),
+                    Json::Num(eval.accuracy),
+                    Json::Num(eval.latency_ms),
+                    Json::Num(eval.area_mm2),
+                ])
+            })
+            .collect();
+        let accuracies = accuracies
+            .into_iter()
+            .map(|(hash, acc)| Json::Arr(vec![Json::Str(hash_to_hex(hash)), Json::Num(acc)]))
+            .collect();
+        let doc = Json::obj(vec![
+            ("format", Json::Str(CACHE_FORMAT.into())),
+            ("version", Json::Num(CACHE_VERSION as f64)),
+            ("salt", Json::Str(format!("{salt:016x}"))),
+            ("pairs", Json::Arr(pairs)),
+            ("accuracies", Json::Arr(accuracies)),
+        ]);
+        writeln!(writer, "{doc}")
+    }
+
+    /// Reads a cache written by [`SharedEvalCache::save`], verifying the
+    /// format, version, and salt. Loaded entries are marked *warm*, so hits
+    /// against them are reported as work saved by the previous invocation.
+    ///
+    /// The returned cache is unbounded with the default shard count; chain
+    /// [`SharedEvalCache::bounded`] afterwards to cap a warm-started cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheLoadError`] describing exactly why the file was
+    /// rejected: unreadable, malformed, a different format, an incompatible
+    /// version, or a salt mismatch.
+    pub fn load<R: Read>(mut reader: R, expected_salt: u64) -> Result<Self, CacheLoadError> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let doc = Json::parse(&text).map_err(CacheLoadError::Malformed)?;
+        let format = doc
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CacheLoadError::Malformed("missing 'format'".into()))?;
+        if format != CACHE_FORMAT {
+            return Err(CacheLoadError::WrongFormat(format.to_owned()));
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| CacheLoadError::Malformed("missing 'version'".into()))?
+            as u64;
+        if version != CACHE_VERSION {
+            return Err(CacheLoadError::WrongVersion { found: version });
+        }
+        let salt = doc
+            .get("salt")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CacheLoadError::Malformed("missing 'salt'".into()))?;
+        let salt = u64::from_str_radix(salt, 16)
+            .map_err(|e| CacheLoadError::Malformed(format!("bad salt: {e}")))?;
+        if salt != expected_salt {
+            return Err(CacheLoadError::SaltMismatch {
+                expected: expected_salt,
+                found: salt,
+            });
+        }
+
+        let cache = SharedEvalCache::new();
+        let malformed = |reason: String| CacheLoadError::Malformed(reason);
+        let pairs = doc
+            .get("pairs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| malformed("missing 'pairs'".into()))?;
+        for (i, entry) in pairs.iter().enumerate() {
+            let fields = entry
+                .as_arr()
+                .filter(|a| a.len() == 5)
+                .ok_or_else(|| malformed(format!("pair {i}: expected 5 fields")))?;
+            let hash = fields[0]
+                .as_str()
+                .ok_or_else(|| malformed(format!("pair {i}: hash is not a string")))
+                .and_then(|s| hash_from_hex(s).map_err(malformed))?;
+            let config =
+                config_from_json(&fields[1]).map_err(|e| malformed(format!("pair {i}: {e}")))?;
+            let num = |j: usize, name: &str| {
+                fields[j]
+                    .as_f64()
+                    .ok_or_else(|| malformed(format!("pair {i}: bad {name}")))
+            };
+            let eval = PairEvaluation {
+                accuracy: num(2, "accuracy")?,
+                latency_ms: num(3, "latency")?,
+                area_mm2: num(4, "area")?,
+            };
+            cache.put_preloaded(hash, &config, eval);
+        }
+        let accuracies = doc
+            .get("accuracies")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| malformed("missing 'accuracies'".into()))?;
+        for (i, entry) in accuracies.iter().enumerate() {
+            let fields = entry
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| malformed(format!("accuracy {i}: expected 2 fields")))?;
+            let hash = fields[0]
+                .as_str()
+                .ok_or_else(|| malformed(format!("accuracy {i}: hash is not a string")))
+                .and_then(|s| hash_from_hex(s).map_err(malformed))?;
+            let acc = fields[1]
+                .as_f64()
+                .ok_or_else(|| malformed(format!("accuracy {i}: bad value")))?;
+            cache.put_accuracy_preloaded(hash, acc);
+        }
+        Ok(cache)
+    }
+
+    /// [`SharedEvalCache::save`] to a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P, salt: u64) -> io::Result<()> {
+        // Buffered: the document renders as many small formatting
+        // fragments, each of which would otherwise be its own syscall.
+        let mut writer = io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut writer, salt)?;
+        writer.flush()
+    }
+
+    /// [`SharedEvalCache::load`] from a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheLoadError`] when the file is missing, unreadable,
+    /// or rejected.
+    pub fn load_from_path<P: AsRef<Path>>(
+        path: P,
+        expected_salt: u64,
+    ) -> Result<Self, CacheLoadError> {
+        Self::load(std::fs::File::open(path)?, expected_salt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_accel::ConfigSpace;
+    use codesign_core::EvalCache;
+
+    fn eval(x: f64) -> PairEvaluation {
+        PairEvaluation {
+            accuracy: x,
+            latency_ms: 10.0 * x,
+            area_mm2: 100.0 * x,
+        }
+    }
+
+    fn populated() -> SharedEvalCache {
+        let cache = SharedEvalCache::new();
+        let space = ConfigSpace::chaidnn();
+        cache.put(1, &space.get(0), eval(0.91));
+        cache.put(u128::MAX - 7, &space.get(8639), eval(0.87));
+        cache.put_accuracy(42, 0.935);
+        cache
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_lookups_and_marks_warm() {
+        let cache = populated();
+        let mut buf = Vec::new();
+        cache.save(&mut buf, 0xDEAD).unwrap();
+        let back = SharedEvalCache::load(buf.as_slice(), 0xDEAD).unwrap();
+        let space = ConfigSpace::chaidnn();
+        assert_eq!(back.get(1, &space.get(0)), Some(eval(0.91)));
+        assert_eq!(back.get(u128::MAX - 7, &space.get(8639)), Some(eval(0.87)));
+        assert_eq!(back.get_accuracy(42), Some(0.935));
+        let stats = back.stats();
+        assert_eq!((stats.preloaded, stats.inserts), (2, 0));
+        assert_eq!(stats.warm_hits, 2, "reloaded entries answer warm");
+        assert_eq!(stats.accuracy_warm_hits, 1);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = populated();
+        let b = populated();
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.save(&mut ba, 7).unwrap();
+        b.save(&mut bb, 7).unwrap();
+        assert_eq!(ba, bb, "same contents must serialize identically");
+    }
+
+    #[test]
+    fn salt_mismatch_is_rejected() {
+        let cache = populated();
+        let mut buf = Vec::new();
+        cache.save(&mut buf, 0xAAAA).unwrap();
+        match SharedEvalCache::load(buf.as_slice(), 0xBBBB) {
+            Err(CacheLoadError::SaltMismatch { expected, found }) => {
+                assert_eq!((expected, found), (0xBBBB, 0xAAAA));
+            }
+            other => panic!("expected SaltMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_and_format_are_rejected() {
+        let doc = format!(
+            "{{\"format\":\"{CACHE_FORMAT}\",\"version\":99,\"salt\":\"0\",\
+             \"pairs\":[],\"accuracies\":[]}}"
+        );
+        match SharedEvalCache::load(doc.as_bytes(), 0) {
+            Err(CacheLoadError::WrongVersion { found: 99 }) => {}
+            other => panic!("expected WrongVersion, got {other:?}"),
+        }
+        let doc = "{\"format\":\"something-else\",\"version\":1,\"salt\":\"0\"}";
+        match SharedEvalCache::load(doc.as_bytes(), 0) {
+            Err(CacheLoadError::WrongFormat(found)) => assert_eq!(found, "something-else"),
+            other => panic!("expected WrongFormat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_documents_are_rejected_cleanly() {
+        for bad in ["{truncated", "", "[1,2,3]", "{\"format\":3}"] {
+            let err = SharedEvalCache::load(bad.as_bytes(), 0).unwrap_err();
+            assert!(
+                matches!(err, CacheLoadError::Malformed(_)),
+                "{bad:?} gave {err:?}"
+            );
+            // The error formats without panicking.
+            let _ = err.to_string();
+        }
+    }
+}

@@ -5,15 +5,16 @@ use std::path::Path;
 
 use codesign_accel::AcceleratorConfig;
 use codesign_core::report::{fmt_f, write_csv, TextTable};
-use codesign_core::{BestPoint, Scenario, SearchOutcome};
+use codesign_core::{reward_curve, BestPoint, Scenario, SearchOutcome, StepRecord};
 use codesign_moo::ParetoFront;
 use codesign_nasbench::{CellSpec, Json};
 
 use crate::cache::CacheStats;
-use crate::campaign::ShardSpec;
+use crate::campaign::{ShardSpec, StrategyKind};
 
-/// The distilled outcome of one shard (the full per-step history is not
-/// retained — campaigns run thousands of shards).
+/// The distilled outcome of one shard (the full per-step history is only
+/// retained under `Campaign::record_histories` — campaigns run thousands
+/// of shards).
 #[derive(Debug, Clone)]
 pub struct ShardResult {
     /// Which grid cell this was.
@@ -28,14 +29,31 @@ pub struct ShardResult {
     pub best: Option<BestPoint>,
     /// Pareto front of every valid point the run visited.
     pub front: ParetoFront<3, (CellSpec, AcceleratorConfig)>,
+    /// The full per-step history, when the campaign recorded histories.
+    pub history: Option<Vec<StepRecord>>,
+    /// Shared-cache lookups this shard answered from entries preloaded
+    /// off disk (work a *previous invocation* saved this one).
+    pub cache_warm_hits: u64,
+    /// Shared-cache lookups answered from entries other shards of *this*
+    /// campaign computed.
+    pub cache_cold_hits: u64,
+    /// Shared-cache lookups this shard had to compute itself.
+    pub cache_misses: u64,
     /// Wall-clock of the shard, ms (informational; not deterministic).
     pub wall_ms: u64,
 }
 
 impl ShardResult {
-    /// Distills a [`SearchOutcome`] into the campaign record.
+    /// Distills a [`SearchOutcome`] into the campaign record, keeping the
+    /// raw history only when asked. Cache attribution starts zeroed; the
+    /// driver fills it in from the shard's cache view.
     #[must_use]
-    pub fn from_outcome(spec: ShardSpec, outcome: SearchOutcome, wall_ms: u64) -> Self {
+    pub fn from_outcome(
+        spec: ShardSpec,
+        outcome: SearchOutcome,
+        wall_ms: u64,
+        keep_history: bool,
+    ) -> Self {
         Self {
             spec,
             steps: outcome.history.len(),
@@ -43,8 +61,19 @@ impl ShardResult {
             invalid_steps: outcome.invalid_steps,
             best: outcome.best,
             front: outcome.front,
+            history: keep_history.then_some(outcome.history),
+            cache_warm_hits: 0,
+            cache_cold_hits: 0,
+            cache_misses: 0,
             wall_ms,
         }
+    }
+
+    /// The shard's Fig. 6 smoothed reward curve, when its history was
+    /// recorded.
+    #[must_use]
+    pub fn reward_curve(&self, window: usize) -> Option<Vec<f64>> {
+        self.history.as_deref().map(|h| reward_curve(h, window))
     }
 
     /// The shard as one JSONL record.
@@ -76,6 +105,9 @@ impl ShardResult {
             ("invalid_steps", Json::Num(self.invalid_steps as f64)),
             ("best", best),
             ("front", Json::Arr(front)),
+            ("cache_warm_hits", Json::Num(self.cache_warm_hits as f64)),
+            ("cache_cold_hits", Json::Num(self.cache_cold_hits as f64)),
+            ("cache_misses", Json::Num(self.cache_misses as f64)),
             ("wall_ms", Json::Num(self.wall_ms as f64)),
         ])
     }
@@ -88,6 +120,9 @@ pub struct CampaignReport {
     pub shards: Vec<ShardResult>,
     /// Shared-cache statistics, when the cache was enabled.
     pub cache: Option<CacheStats>,
+    /// Name of the driver backend that dispatched the shards
+    /// (informational — backends never change results, only wall-clock).
+    pub backend: &'static str,
     /// Worker threads the driver used (informational).
     pub workers: usize,
     /// Total campaign wall-clock, ms (informational; not deterministic).
@@ -124,8 +159,36 @@ impl CampaignReport {
             })
     }
 
+    /// Mean smoothed reward curve across every recorded shard of
+    /// `(scenario, strategy)` — the Fig. 6 series. `None` when no matching
+    /// shard recorded its history (`Campaign::record_histories` off). The
+    /// curve is truncated to the shortest matching run.
+    #[must_use]
+    pub fn average_reward_curve(
+        &self,
+        scenario: Scenario,
+        strategy: StrategyKind,
+        window: usize,
+    ) -> Option<Vec<f64>> {
+        let curves: Vec<Vec<f64>> = self
+            .shards
+            .iter()
+            .filter(|s| s.spec.scenario == scenario && s.spec.strategy == strategy)
+            .filter_map(|s| s.reward_curve(window))
+            .collect();
+        if curves.is_empty() {
+            return None;
+        }
+        let len = curves.iter().map(Vec::len).min().unwrap_or(0);
+        Some(
+            (0..len)
+                .map(|i| curves.iter().map(|c| c[i]).sum::<f64>() / curves.len() as f64)
+                .collect(),
+        )
+    }
+
     /// The distinct `(scenario, strategy)` pairs present, in shard order.
-    fn groups(&self) -> Vec<(Scenario, crate::StrategyKind)> {
+    fn groups(&self) -> Vec<(Scenario, StrategyKind)> {
         let mut groups = Vec::new();
         for shard in &self.shards {
             let key = (shard.spec.scenario, shard.spec.strategy);
@@ -188,11 +251,18 @@ impl CampaignReport {
         let cache = match &self.cache {
             Some(stats) => Json::obj(vec![
                 ("hits", Json::Num(stats.hits as f64)),
+                ("warm_hits", Json::Num(stats.warm_hits as f64)),
                 ("misses", Json::Num(stats.misses as f64)),
                 ("inserts", Json::Num(stats.inserts as f64)),
+                ("preloaded", Json::Num(stats.preloaded as f64)),
+                ("evictions", Json::Num(stats.evictions as f64)),
                 ("entries", Json::Num(stats.entries as f64)),
                 ("hit_rate", Json::Num(stats.hit_rate())),
                 ("accuracy_hits", Json::Num(stats.accuracy_hits as f64)),
+                (
+                    "accuracy_warm_hits",
+                    Json::Num(stats.accuracy_warm_hits as f64),
+                ),
                 ("accuracy_misses", Json::Num(stats.accuracy_misses as f64)),
                 ("accuracy_entries", Json::Num(stats.accuracy_entries as f64)),
             ]),
@@ -201,6 +271,7 @@ impl CampaignReport {
         Json::obj(vec![
             ("type", Json::Str("campaign".into())),
             ("shards", Json::Num(self.shards.len() as f64)),
+            ("backend", Json::Str(self.backend.into())),
             ("workers", Json::Num(self.workers as f64)),
             ("wall_ms", Json::Num(self.wall_ms as f64)),
             ("cache", cache),
@@ -240,6 +311,9 @@ impl CampaignReport {
             "best_accuracy",
             "best_area_mm2",
             "front_size",
+            "cache_warm_hits",
+            "cache_cold_hits",
+            "cache_misses",
             "wall_ms",
         ];
         let rows: Vec<Vec<String>> = self
@@ -260,6 +334,9 @@ impl CampaignReport {
                     best.map_or("nan".into(), |b| fmt_f(b.evaluation.accuracy, 6)),
                     best.map_or("nan".into(), |b| fmt_f(b.evaluation.area_mm2, 3)),
                     s.front.len().to_string(),
+                    s.cache_warm_hits.to_string(),
+                    s.cache_cold_hits.to_string(),
+                    s.cache_misses.to_string(),
                     s.wall_ms.to_string(),
                 ]
             })
@@ -272,9 +349,10 @@ impl std::fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "campaign: {} shards on {} workers in {:.2}s",
+            "campaign: {} shards on {} workers ({} backend) in {:.2}s",
             self.shards.len(),
             self.workers,
+            self.backend,
             self.wall_ms as f64 / 1000.0
         )?;
         if let Some(stats) = &self.cache {
@@ -287,17 +365,21 @@ impl std::fmt::Display for CampaignReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Campaign, ShardedDriver, StrategyKind};
+    use crate::{Campaign, ShardedDriver};
     use codesign_core::CodesignSpace;
     use codesign_nasbench::NasbenchDatabase;
+    use std::sync::Arc;
 
-    fn tiny_report() -> CampaignReport {
-        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+    fn tiny_campaign() -> Campaign {
+        Campaign::new(CodesignSpace::with_max_vertices(4))
             .scenarios(vec![Scenario::Unconstrained, Scenario::OneConstraint])
             .strategies(vec![StrategyKind::Random])
             .seeds(vec![0, 1])
-            .steps(60);
-        ShardedDriver::new(2).run(&campaign, &NasbenchDatabase::exhaustive(4))
+            .steps(60)
+    }
+
+    fn tiny_report() -> CampaignReport {
+        ShardedDriver::new(2).run(&tiny_campaign(), &Arc::new(NasbenchDatabase::exhaustive(4)))
     }
 
     #[test]
@@ -370,8 +452,49 @@ mod tests {
         let report = tiny_report();
         let text = report.to_string();
         assert!(text.contains("campaign: 4 shards"));
+        assert!(text.contains("atomic backend"));
         assert!(text.contains("shared cache:"));
         assert!(text.contains("Unconstrained"));
         assert!(text.contains("random"));
+    }
+
+    #[test]
+    fn histories_are_off_by_default_and_averaged_when_on() {
+        let db = Arc::new(NasbenchDatabase::exhaustive(4));
+        let cold = ShardedDriver::new(2).run(&tiny_campaign(), &db);
+        assert!(cold.shards.iter().all(|s| s.history.is_none()));
+        assert!(cold
+            .average_reward_curve(Scenario::Unconstrained, StrategyKind::Random, 10)
+            .is_none());
+
+        let recorded = ShardedDriver::new(2).run(&tiny_campaign().record_histories(true), &db);
+        for shard in &recorded.shards {
+            let history = shard.history.as_ref().expect("history retained");
+            assert_eq!(history.len(), shard.steps);
+        }
+        let curve = recorded
+            .average_reward_curve(Scenario::Unconstrained, StrategyKind::Random, 10)
+            .expect("two recorded runs");
+        assert_eq!(curve.len(), 60);
+        assert!(curve.iter().all(|v| v.is_finite()));
+        // Averaging two identical-length curves is the mean at every step.
+        let singles: Vec<Vec<f64>> = recorded
+            .shards
+            .iter()
+            .filter(|s| {
+                s.spec.scenario == Scenario::Unconstrained
+                    && s.spec.strategy == StrategyKind::Random
+            })
+            .map(|s| s.reward_curve(10).unwrap())
+            .collect();
+        assert_eq!(singles.len(), 2);
+        for (i, v) in curve.iter().enumerate() {
+            let mean = (singles[0][i] + singles[1][i]) / 2.0;
+            assert!((v - mean).abs() < 1e-12);
+        }
+        // Recording histories never changes the search itself.
+        for (a, b) in cold.shards.iter().zip(recorded.shards.iter()) {
+            assert_eq!(a.best, b.best);
+        }
     }
 }

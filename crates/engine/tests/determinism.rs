@@ -1,8 +1,12 @@
-//! Campaign-level invariants: worker-count determinism, cache transparency,
-//! and Pareto-merge equivalence.
+//! Campaign-level invariants: worker-count determinism, backend
+//! equivalence, cache transparency, database sharing, and Pareto-merge
+//! equivalence.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use codesign_core::{CodesignSpace, Evaluator, Scenario, SearchConfig, SearchContext};
-use codesign_engine::{Campaign, CampaignReport, ShardedDriver, StrategyKind};
+use codesign_engine::{Campaign, CampaignReport, ShardedDriver, StrategyKind, WorkStealingBackend};
 use codesign_moo::ParetoFront;
 use codesign_nasbench::NasbenchDatabase;
 use rand::rngs::SmallRng;
@@ -60,16 +64,72 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport) {
 #[test]
 fn campaigns_are_bit_identical_across_worker_counts() {
     let campaign = sweep_campaign();
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
     let one = ShardedDriver::new(1).run(&campaign, &db);
     let eight = ShardedDriver::new(8).run(&campaign, &db);
     assert_reports_identical(&one, &eight);
 }
 
 #[test]
+fn backends_are_bit_identical_at_any_worker_count() {
+    // Heterogeneous budgets so the work-stealing backend actually reorders.
+    let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(Scenario::ALL.to_vec())
+        .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
+        .seeds(vec![0])
+        .budgets(vec![30, 120]);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
+    let atomic = ShardedDriver::new(4).run(&campaign, &db);
+    let stealing_1 = ShardedDriver::new(1)
+        .with_backend(Arc::new(WorkStealingBackend))
+        .run(&campaign, &db);
+    let stealing_8 = ShardedDriver::new(8)
+        .with_backend(Arc::new(WorkStealingBackend))
+        .run(&campaign, &db);
+    assert_eq!(stealing_1.backend, "work-stealing");
+    assert_reports_identical(&atomic, &stealing_1);
+    assert_reports_identical(&atomic, &stealing_8);
+}
+
+/// The acceptance check for shared ownership: running a campaign grows the
+/// database's `Arc` refcount (one bump per worker) and never duplicates the
+/// data. A probe thread watches the strong count while the campaign runs.
+#[test]
+fn driver_shares_the_database_by_refcount_not_by_clone() {
+    let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(vec![Scenario::Unconstrained])
+        .strategies(vec![StrategyKind::Random])
+        .seeds(vec![0, 1, 2, 3])
+        .steps(400);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
+    assert_eq!(Arc::strong_count(&db), 1);
+
+    let done = AtomicBool::new(false);
+    let mut peak = 1usize;
+    std::thread::scope(|scope| {
+        let driver_db = Arc::clone(&db);
+        let done_ref = &done;
+        scope.spawn(move || {
+            let _ = ShardedDriver::new(4).run(&campaign, &driver_db);
+            done_ref.store(true, Ordering::Release);
+        });
+        while !done.load(Ordering::Acquire) {
+            peak = peak.max(Arc::strong_count(&db));
+            std::thread::yield_now();
+        }
+    });
+    assert!(
+        peak > 2,
+        "workers must share the database through refcount bumps (peak {peak})"
+    );
+    // Everything was a borrow: the test's handle is the only one left.
+    assert_eq!(Arc::strong_count(&db), 1);
+}
+
+#[test]
 fn shared_cache_is_transparent_to_results() {
     let campaign = sweep_campaign();
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
     let cached = ShardedDriver::new(4).run(&campaign, &db);
     let uncached = ShardedDriver::new(4)
         .without_shared_cache()
@@ -81,7 +141,7 @@ fn shared_cache_is_transparent_to_results() {
 #[test]
 fn campaign_cache_sees_substantial_reuse() {
     let campaign = sweep_campaign();
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
     let report = ShardedDriver::new(4).run(&campaign, &db);
     let stats = report.cache.expect("cache enabled");
     assert!(
@@ -102,7 +162,7 @@ fn merged_shard_fronts_equal_front_of_concatenated_histories() {
         .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
         .seeds(vec![0, 1, 2])
         .steps(50);
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
     let report = ShardedDriver::new(4).run(&campaign, &db);
 
     // Re-run each shard standalone and pool every *visited* point from the
@@ -111,7 +171,7 @@ fn merged_shard_fronts_equal_front_of_concatenated_histories() {
     // retained by both paths).
     let mut concatenated: ParetoFront<3, ()> = ParetoFront::new();
     for shard in campaign.shards() {
-        let mut evaluator = Evaluator::with_database(db.clone());
+        let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
         let reward = shard.scenario.reward_spec();
         let mut ctx = SearchContext {
             space: &campaign.space,

@@ -337,6 +337,42 @@ impl NasbenchDatabase {
         Ok(db)
     }
 
+    /// An order-insensitive 64-bit fingerprint of the stored contents:
+    /// the cell set *and* each cell's stored accuracies/training time.
+    ///
+    /// Accuracies are stored data (loadable from JSON), not derived at
+    /// query time, so they must participate — a database with the same
+    /// cells but regenerated accuracy values (different surrogate, edited
+    /// file) fingerprints differently. Persistent evaluation caches use
+    /// this as their salt: a cache built against one database is rejected
+    /// when replayed against a different one instead of silently serving
+    /// stale metrics.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0xA076_1D64_78BD_642Fu64 ^ (self.entries.len() as u64);
+        for entry in &self.entries {
+            let h = entry.spec.canonical_hash();
+            // Absorb everything the evaluator can read out of this entry,
+            // order-sensitively within the entry...
+            let mut z = (h as u64) ^ ((h >> 64) as u64);
+            for bits in entry
+                .cifar10_accuracy
+                .iter()
+                .chain(&entry.cifar100_accuracy)
+                .chain([entry.training_seconds].iter())
+                .map(|a| a.to_bits())
+            {
+                z = (z ^ bits).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            // ...then mix and combine entries with XOR so insertion order
+            // cannot matter.
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            acc ^= z ^ (z >> 31);
+        }
+        acc
+    }
+
     /// Summary statistics of the stored CIFAR-10 accuracies
     /// `(min, mean, max)` — used to configure reward normalization ranges.
     #[must_use]
@@ -402,6 +438,57 @@ mod tests {
         assert_eq!(
             db.query_hash(0xDEAD_BEEF).unwrap_err(),
             SpecError::UnknownSpec
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_cell_set_not_order() {
+        let a = NasbenchDatabase::build(40, 11);
+        let b = NasbenchDatabase::build(40, 11);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A different sample set fingerprints differently.
+        let c = NasbenchDatabase::build(40, 12);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Round-tripping through JSON preserves the fingerprint.
+        let mut buf = Vec::new();
+        a.save_json(&mut buf).unwrap();
+        let back = NasbenchDatabase::load_json(buf.as_slice()).unwrap();
+        assert_eq!(back.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_stored_accuracies_not_just_cells() {
+        let db = NasbenchDatabase::build(5, 3);
+        let mut buf = Vec::new();
+        db.save_json(&mut buf).unwrap();
+        // Perturb one stored accuracy value without touching the cell set.
+        let mut doc = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        {
+            let Json::Obj(pairs) = &mut doc else {
+                panic!("database document is an object")
+            };
+            let entries = &mut pairs.iter_mut().find(|(k, _)| k == "entries").unwrap().1;
+            let Json::Arr(entries) = entries else {
+                panic!("'entries' is an array")
+            };
+            let Json::Obj(entry) = &mut entries[0] else {
+                panic!("entry is an object")
+            };
+            let accs = &mut entry.iter_mut().find(|(k, _)| k == "cifar10").unwrap().1;
+            let Json::Arr(accs) = accs else {
+                panic!("'cifar10' is an array")
+            };
+            let Json::Num(acc) = &mut accs[0] else {
+                panic!("accuracy is a number")
+            };
+            *acc += 0.001;
+        }
+        let tampered = NasbenchDatabase::load_json(doc.to_string().as_bytes()).unwrap();
+        assert_eq!(tampered.len(), db.len(), "cell set unchanged");
+        assert_ne!(
+            tampered.fingerprint(),
+            db.fingerprint(),
+            "different stored accuracies must fingerprint differently"
         );
     }
 

@@ -240,10 +240,24 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences pass through).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest
+            Some(&b) if b < 0x80 => {
+                // ASCII fast path — the overwhelmingly common case.
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Consume one multi-byte UTF-8 scalar, validating only its
+                // own bytes (not the whole remaining document, which would
+                // make parsing quadratic in the document length).
+                let len = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err(format!("invalid UTF-8 at byte {}", *pos)),
+                };
+                let end = (*pos + len).min(bytes.len());
+                let c = std::str::from_utf8(&bytes[*pos..end])
+                    .map_err(|e| e.to_string())?
                     .chars()
                     .next()
                     .ok_or_else(|| "empty string tail".to_owned())?;
@@ -337,6 +351,18 @@ mod tests {
             let back = Json::parse(&text).unwrap().as_f64().unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
         }
+    }
+
+    #[test]
+    fn multibyte_strings_roundtrip() {
+        let doc = Json::obj(vec![
+            ("mixed", Json::Str("ascii é 日本語 🎉 tail".into())),
+            ("emoji_only", Json::Str("🦀🦀".into())),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        // Truncated multi-byte sequences are rejected, not panicked on.
+        assert!(Json::parse("\"\u{e9}").is_err() || Json::parse("\"abc").is_err());
     }
 
     #[test]

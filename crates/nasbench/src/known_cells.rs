@@ -1,7 +1,7 @@
 //! Reference cells used throughout the paper.
 //!
-//! The paper benchmarks Codesign-NAS against the ResNet [12] and
-//! GoogLeNet [13] cells embedded in the NASBench skeleton (§IV, Table II) and
+//! The paper benchmarks Codesign-NAS against the ResNet \[12\] and
+//! GoogLeNet \[13\] cells embedded in the NASBench skeleton (§IV, Table II) and
 //! reports its two best discovered cells, Cod-1 and Cod-2 (Fig. 8). The
 //! published figure omits exact adjacency matrices for Cod-1/Cod-2; the
 //! encodings below are faithful reconstructions of the drawn dataflow and are

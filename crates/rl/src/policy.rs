@@ -6,7 +6,7 @@
 //! feeds the LSTM, whose hidden state feeds a shared linear head; logits
 //! beyond the current dimension's option count are masked out. This is the
 //! architecture of §II-A ("a single LSTM cell followed by a linear layer as
-//! in [5]").
+//! in \[5\]").
 
 use rand::Rng;
 

@@ -1,16 +1,24 @@
 //! An 8-way sharded campaign: every §III-C scenario × all four strategies
 //! × 3 seeds over the exactly-enumerable 4-vertex codesign space.
 //!
-//! Demonstrates the three engine guarantees:
-//! 1. the same campaign is bit-identical at any worker count,
+//! Demonstrates the engine guarantees:
+//! 1. the same campaign is bit-identical at any worker count — and under
+//!    either driver backend (grid-order atomic cursor or longest-first
+//!    work stealing),
 //! 2. the shared evaluation cache is transparent (it changes cost, not
 //!    results) and sees substantial reuse across shards,
-//! 3. per-shard Pareto fronts merge into one front per scenario.
+//! 3. per-shard Pareto fronts merge into one front per scenario,
+//! 4. the database is shared by `Arc` — running the campaign never clones
+//!    the cell table.
 //!
 //! Run: `cargo run --release --example campaign_sweep`
 
+use std::sync::Arc;
+
 use codesign_nas::core::{CodesignSpace, Scenario};
-use codesign_nas::engine::{Campaign, CampaignReport, ShardedDriver, StrategyKind};
+use codesign_nas::engine::{
+    Campaign, CampaignReport, ShardedDriver, StrategyKind, WorkStealingBackend,
+};
 use codesign_nas::nasbench::NasbenchDatabase;
 
 fn front_fingerprint(report: &CampaignReport, scenario: Scenario) -> Vec<[u64; 3]> {
@@ -37,24 +45,54 @@ fn main() {
         campaign.shards().len()
     );
 
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
     println!("running on 1 worker...");
     let sequential = ShardedDriver::new(1).run(&campaign, &db);
     println!("running on 8 workers...");
     let parallel = ShardedDriver::new(8).run(&campaign, &db);
+    println!("running on 1 and 8 workers with the work-stealing backend...");
+    let stealing_sequential = ShardedDriver::new(1)
+        .with_backend(Arc::new(WorkStealingBackend))
+        .run(&campaign, &db);
+    let stealing_parallel = ShardedDriver::new(8)
+        .with_backend(Arc::new(WorkStealingBackend))
+        .run(&campaign, &db);
 
-    // Guarantee 1: worker count never changes results.
+    // Guarantee 1: neither worker count nor backend changes results.
     for scenario in Scenario::ALL {
+        for (label, report) in [
+            ("8 workers", &parallel),
+            ("work-stealing x1", &stealing_sequential),
+            ("work-stealing x8", &stealing_parallel),
+        ] {
+            assert_eq!(
+                front_fingerprint(&sequential, scenario),
+                front_fingerprint(report, scenario),
+                "merged front diverged between 1 worker and {label} for {scenario:?}"
+            );
+        }
+    }
+    for ((a, b), (c, d)) in sequential.shards.iter().zip(parallel.shards.iter()).zip(
+        stealing_sequential
+            .shards
+            .iter()
+            .zip(stealing_parallel.shards.iter()),
+    ) {
+        assert_eq!(a.best, b.best, "shard {} best diverged", a.spec.index);
         assert_eq!(
-            front_fingerprint(&sequential, scenario),
-            front_fingerprint(&parallel, scenario),
-            "merged front diverged between 1 and 8 workers for {scenario:?}"
+            a.best, c.best,
+            "shard {} diverged under work stealing",
+            a.spec.index
+        );
+        assert_eq!(
+            c.best, d.best,
+            "shard {} diverged at 8 stealing workers",
+            a.spec.index
         );
     }
-    for (a, b) in sequential.shards.iter().zip(parallel.shards.iter()) {
-        assert_eq!(a.best, b.best, "shard {} best diverged", a.spec.index);
-    }
-    println!("merged Pareto fronts identical at 1 and 8 workers ✓\n");
+    // Guarantee 4: everything above shared one database allocation.
+    assert_eq!(Arc::strong_count(&db), 1, "no handle outlives the runs");
+    println!("merged Pareto fronts identical at 1 and 8 workers, both backends ✓\n");
 
     // Guarantee 2: the shared cache reuses work across shards.
     let stats = parallel.cache.expect("shared cache is on by default");

@@ -4,6 +4,8 @@
 //!
 //! Run: `cargo run --release --example strategy_comparison`
 
+use std::sync::Arc;
+
 use codesign_nas::core::{
     CodesignSpace, CombinedSearch, Evaluator, PhaseSearch, RandomSearch, Scenario, SearchConfig,
     SearchContext, SearchOutcome, SearchStrategy, SeparateSearch,
@@ -15,7 +17,7 @@ fn main() {
     let scenario = Scenario::OneConstraint;
     println!("scenario: {} | {steps} steps per run\n", scenario.name());
 
-    let db = NasbenchDatabase::exhaustive(5);
+    let db = Arc::new(NasbenchDatabase::exhaustive(5));
     let space = CodesignSpace::with_max_vertices(5);
     let reward = scenario.reward_spec();
 
@@ -36,7 +38,7 @@ fn main() {
         "strategy", "feasible", "invalid", "best reward", "lat [ms]", "acc [%]"
     );
     for strategy in &strategies {
-        let mut evaluator = Evaluator::with_database(db.clone());
+        let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
         let mut ctx = SearchContext {
             space: &space,
             evaluator: &mut evaluator,

@@ -1,6 +1,8 @@
 //! Cross-crate consistency invariants: the search, the enumerator and the
 //! evaluator must agree about the same codesign space.
 
+use std::sync::Arc;
+
 use codesign_nas::core::{
     enumerate_codesign_space, CodesignSpace, CombinedSearch, Evaluator, RandomSearch, Scenario,
     SearchConfig, SearchContext, SearchStrategy,
@@ -13,7 +15,7 @@ use codesign_nas::nasbench::{Dataset, NasbenchDatabase};
 /// "how close did the search get" methodology.
 #[test]
 fn search_never_beats_the_exact_front() {
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
     let space = CodesignSpace::with_max_vertices(4);
     let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
     let front: Vec<[f64; 3]> = enumeration.front.iter().map(|p| p.metrics).collect();
@@ -22,7 +24,7 @@ fn search_never_beats_the_exact_front() {
         (&CombinedSearch as &dyn SearchStrategy, 1u64),
         (&RandomSearch as &dyn SearchStrategy, 2u64),
     ] {
-        let mut evaluator = Evaluator::with_database(db.clone());
+        let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
         let reward = Scenario::Unconstrained.reward_spec();
         let mut ctx = SearchContext {
             space: &space,
@@ -47,9 +49,9 @@ fn search_never_beats_the_exact_front() {
 /// (they share models but take different code paths).
 #[test]
 fn enumerator_and_evaluator_agree() {
-    let db = NasbenchDatabase::exhaustive(3);
+    let db = Arc::new(NasbenchDatabase::exhaustive(3));
     let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
-    let mut evaluator = Evaluator::with_database(db.clone());
+    let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
     for point in enumeration.front.iter().take(40) {
         let cell = &db.entry(point.cell_index).expect("front index valid").spec;
         let eval = evaluator
@@ -94,11 +96,11 @@ fn space_roundtrip_is_database_stable() {
 /// for identical proposals (the evaluator is pure).
 #[test]
 fn evaluator_is_referentially_transparent() {
-    let db = NasbenchDatabase::exhaustive(4);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
     let space = CodesignSpace::with_max_vertices(4);
     let reward = Scenario::Unconstrained.reward_spec();
     let run = |seed: u64| {
-        let mut evaluator = Evaluator::with_database(db.clone());
+        let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
         let mut ctx = SearchContext {
             space: &space,
             evaluator: &mut evaluator,

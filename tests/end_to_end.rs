@@ -1,6 +1,8 @@
 //! End-to-end integration tests across every crate: database construction,
 //! joint-space decoding, evaluation, search, and reporting.
 
+use std::sync::Arc;
+
 use codesign_nas::accel::ConfigSpace;
 use codesign_nas::core::{
     compare_strategies, CodesignSpace, CombinedSearch, ComparisonConfig, Evaluator, PhaseSearch,
@@ -8,10 +10,10 @@ use codesign_nas::core::{
 };
 use codesign_nas::nasbench::{known_cells, Dataset, NasbenchDatabase, SurrogateModel};
 
-fn quick_context_db() -> (CodesignSpace, NasbenchDatabase) {
+fn quick_context_db() -> (CodesignSpace, Arc<NasbenchDatabase>) {
     (
         CodesignSpace::with_max_vertices(4),
-        NasbenchDatabase::exhaustive(4),
+        Arc::new(NasbenchDatabase::exhaustive(4)),
     )
 }
 
@@ -29,7 +31,7 @@ fn every_strategy_completes_and_finds_feasible_points() {
         Box::new(RandomSearch),
     ];
     for strategy in strategies {
-        let mut evaluator = Evaluator::with_database(db.clone());
+        let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
         let mut ctx = SearchContext {
             space: &space,
             evaluator: &mut evaluator,
@@ -52,7 +54,7 @@ fn search_improves_over_early_best() {
     // step-50 best (monotone best tracking), and usually strictly better.
     let (space, db) = quick_context_db();
     let reward = Scenario::Unconstrained.reward_spec();
-    let mut evaluator = Evaluator::with_database(db);
+    let mut evaluator = Evaluator::with_shared_database(db);
     let mut ctx = SearchContext {
         space: &space,
         evaluator: &mut evaluator,
@@ -109,6 +111,7 @@ fn database_and_trainer_agree_on_accuracy() {
     // so both evaluator backends must report identical accuracies.
     let db = NasbenchDatabase::exhaustive(4);
     let mut via_db = Evaluator::with_database(db);
+    assert!(via_db.database().is_some());
     let mut via_trainer = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar10);
     let config = ConfigSpace::chaidnn().get(1234);
     for (_, cell) in known_cells::all_named() {
@@ -130,7 +133,7 @@ fn phase_search_uses_both_controllers() {
     // accelerators AND multiple distinct cells.
     let (space, db) = quick_context_db();
     let reward = Scenario::Unconstrained.reward_spec();
-    let mut evaluator = Evaluator::with_database(db);
+    let mut evaluator = Evaluator::with_shared_database(db);
     let mut ctx = SearchContext {
         space: &space,
         evaluator: &mut evaluator,
