@@ -10,13 +10,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use codesign_core::{CodesignSpace, Scenario};
+use codesign_core::{CodesignSpace, ScenarioSpec};
 use codesign_engine::{Campaign, CampaignReport, ShardedDriver, SharedEvalCache, StrategyKind};
 use codesign_nasbench::{Json, NasbenchDatabase};
 
 fn sweep(steps: usize) -> Campaign {
     Campaign::new(CodesignSpace::with_max_vertices(4))
-        .scenarios(Scenario::ALL.to_vec())
+        .scenarios(ScenarioSpec::paper_presets())
         .strategies(StrategyKind::ALL.to_vec())
         .seeds(vec![0, 1, 2])
         .steps(steps)

@@ -6,7 +6,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use codesign_core::{
-    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext, SearchStrategy,
+    CodesignSpace, CombinedSearch, Evaluator, ScenarioSpec, SearchConfig, SearchContext,
+    SearchStrategy,
 };
 use codesign_nasbench::NasbenchDatabase;
 use codesign_rl::{LstmPolicy, PolicyConfig, ReinforceConfig, ReinforceTrainer};
@@ -55,7 +56,7 @@ fn bench_search_steps(c: &mut Criterion) {
         b.iter(|| {
             let space = CodesignSpace::with_max_vertices(4);
             let mut evaluator = Evaluator::with_shared_database(std::sync::Arc::clone(&db));
-            let reward = Scenario::Unconstrained.reward_spec();
+            let reward = ScenarioSpec::unconstrained().compile();
             let mut ctx = SearchContext {
                 space: &space,
                 evaluator: &mut evaluator,

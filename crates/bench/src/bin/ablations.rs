@@ -14,7 +14,7 @@ use codesign_bench::Args;
 use codesign_core::report::{fmt_f, TextTable};
 use codesign_core::{
     run_cifar100_codesign, Cifar100Config, CodesignSpace, CombinedSearch, Evaluator, RandomSearch,
-    Scenario, SearchConfig, SearchContext, SearchStrategy, ThresholdSchedule,
+    ScenarioSpec, SearchConfig, SearchContext, SearchStrategy, ThresholdSchedule,
 };
 use codesign_nasbench::{known_cells, NasbenchDatabase, Network, NetworkConfig};
 
@@ -31,14 +31,14 @@ fn main() {
 
 fn run(
     strategy: &dyn SearchStrategy,
-    scenario: Scenario,
+    scenario: &ScenarioSpec,
     db: &std::sync::Arc<NasbenchDatabase>,
     steps: usize,
     seed: u64,
 ) -> codesign_core::SearchOutcome {
     let space = CodesignSpace::with_max_vertices(5);
     let mut evaluator = Evaluator::with_shared_database(std::sync::Arc::clone(db));
-    let reward = scenario.reward_spec();
+    let reward = scenario.compile();
     let mut ctx = SearchContext {
         space: &space,
         evaluator: &mut evaluator,
@@ -56,14 +56,14 @@ fn controller_vs_random(steps: usize, repeats: usize) {
         "random best R",
         "advantage",
     ]);
-    for scenario in Scenario::ALL {
+    for scenario in ScenarioSpec::paper_presets() {
         let mut combined = 0.0;
         let mut random = 0.0;
         for seed in 0..repeats as u64 {
-            combined += run(&CombinedSearch, scenario, &db, steps, seed)
+            combined += run(&CombinedSearch, &scenario, &db, steps, seed)
                 .best
                 .map_or(0.0, |b| b.reward);
-            random += run(&RandomSearch, scenario, &db, steps, seed)
+            random += run(&RandomSearch, &scenario, &db, steps, seed)
                 .best
                 .map_or(0.0, |b| b.reward);
         }
@@ -87,7 +87,13 @@ fn punishment_ablation(steps: usize, repeats: usize) {
     let db = std::sync::Arc::new(NasbenchDatabase::exhaustive(5));
     let mut with_rv = 0.0;
     for seed in 0..repeats as u64 {
-        let out = run(&CombinedSearch, Scenario::TwoConstraints, &db, steps, seed);
+        let out = run(
+            &CombinedSearch,
+            &ScenarioSpec::two_constraints(),
+            &db,
+            steps,
+            seed,
+        );
         with_rv += out.feasible_rate();
     }
     with_rv /= repeats as f64;

@@ -1,9 +1,11 @@
 //! The general campaign driver: any scenarios × strategies × seeds × steps
 //! sweep, sharded across worker threads with a shared evaluation cache.
 //!
-//! This is the production entry point that the per-figure binaries' old
-//! copy-pasted `for strategy { for repeat { ... } }` loops grew into; Fig. 5
-//! (`fig5_search`) now runs through the same engine.
+//! Scenarios are open: beyond the paper's three presets, any declarative
+//! `ScenarioSpec` runs — from a versioned JSON file (`--scenarios-file`) or
+//! the compact CLI grammar (`--scenario 'lat<100; w=acc:0.9,area:0.1'`).
+//! Scenario names flow into the JSONL/CSV exports and into the persisted
+//! cache's provenance.
 //!
 //! With `--cache-path`, the evaluation cache persists across invocations:
 //! the first run computes and saves, later runs warm-start from the file
@@ -14,35 +16,103 @@
 //!
 //! Run: `cargo run --release -p codesign-bench --bin campaign`
 //! Args: `[--steps N] [--repeats R] [--max-vertices V] [--workers W]`
-//!       `[--scenario 0|1|2] [--strategies separate,combined,phase,random]`
+//!       `[--scenario PRESET-INDEX|PRESET-NAME|COMPACT-SPEC]`
+//!       `[--scenarios-file FILE] [--list-scenarios] [--check-scenarios]`
+//!       `[--strategies separate,combined,phase,random]`
 //!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
 //!       `[--cache-path FILE] [--cache-capacity N]`
 
 use std::sync::Arc;
 
 use codesign_bench::{out_dir, Args};
-use codesign_core::{CodesignSpace, Scenario};
+use codesign_core::{CodesignSpace, ScenarioSpec};
 use codesign_engine::{backend_from_name, Campaign, ShardedDriver, SharedEvalCache, StrategyKind};
 use codesign_nasbench::NasbenchDatabase;
 
+/// Resolves `--scenario` / `--scenarios-file` into the scenario axis.
+/// Both may be given; the file's scenarios come first.
+fn resolve_scenarios(args: &Args) -> Result<Vec<ScenarioSpec>, String> {
+    let mut scenarios = Vec::new();
+    let file = args.get_str("scenarios-file", "");
+    if !file.is_empty() {
+        scenarios.extend(ScenarioSpec::load_file(&file).map_err(|e| format!("{file}: {e}"))?);
+    }
+    let inline = args.get_str("scenario", "");
+    if !inline.is_empty() {
+        let presets = ScenarioSpec::paper_presets();
+        let spec = match inline.parse::<usize>() {
+            Ok(index) if index < presets.len() => presets[index].clone(),
+            Ok(index) => return Err(format!("preset index {index} out of range (0..=2)")),
+            Err(_) => match ScenarioSpec::preset_by_name(&inline) {
+                Some(preset) => preset,
+                None => ScenarioSpec::parse_compact(&inline).map_err(|e| e.to_string())?,
+            },
+        };
+        scenarios.push(spec);
+    }
+    if scenarios.is_empty() {
+        scenarios = ScenarioSpec::paper_presets();
+    }
+    // Reports, merged fronts, and cost calibration key on scenario names; a
+    // duplicate (two same-named entries in the file, or an inline scenario
+    // shadowing a file one) would silently pool unrelated reward functions.
+    codesign_core::check_unique_names(&scenarios).map_err(|e| e.to_string())?;
+    Ok(scenarios)
+}
+
+fn describe(spec: &ScenarioSpec) {
+    let objectives: Vec<String> = spec
+        .objectives()
+        .iter()
+        .map(|o| {
+            let mut s = format!("{}:{}", o.metric(), o.weight());
+            if let Some(t) = o.threshold() {
+                let op = if o.metric().maximize() { '>' } else { '<' };
+                s.push_str(&format!(" ({}{op}{t})", o.metric()));
+            }
+            s
+        })
+        .collect();
+    println!("  {:<24} {}", spec.name(), objectives.join(", "));
+}
+
 fn main() {
     let args = Args::parse();
+
+    if args.flag("list-scenarios") {
+        println!("built-in presets (usable via --scenario INDEX or --scenario NAME):");
+        for spec in ScenarioSpec::paper_presets() {
+            describe(&spec);
+        }
+        println!("\ncustom scenarios: --scenario 'lat<100; w=acc:0.9,area:0.1'");
+        println!("                  --scenarios-file FILE (see examples/scenarios/)");
+        return;
+    }
+
+    let scenarios = match resolve_scenarios(&args) {
+        Ok(scenarios) => scenarios,
+        Err(err) => {
+            eprintln!("invalid scenarios: {err}");
+            std::process::exit(2);
+        }
+    };
+    if args.flag("check-scenarios") {
+        println!("{} scenario(s) valid:", scenarios.len());
+        for spec in &scenarios {
+            describe(spec);
+        }
+        return;
+    }
+
     let steps = args.get_usize("steps", 1000);
     let repeats = args.get_usize("repeats", 3);
     let max_v = args.get_usize("max-vertices", 4);
     let workers = args.get_usize("workers", 0);
     let seed_base = args.get_u64("seed-base", 0);
-    let scenario_filter = args.get_usize("scenario", usize::MAX);
     let backend_name = args.get_str("backend", "atomic");
     let cache_path = args.get_str("cache-path", "");
     let cache_capacity = args.get_usize("cache-capacity", 0);
 
-    let scenarios: Vec<Scenario> = Scenario::ALL
-        .into_iter()
-        .enumerate()
-        .filter(|(i, _)| scenario_filter == usize::MAX || scenario_filter == *i)
-        .map(|(_, s)| s)
-        .collect();
     let strategies: Vec<StrategyKind> = args
         .get_str("strategies", "separate,combined,phase,random")
         .split(',')
@@ -63,6 +133,9 @@ fn main() {
         campaign.scenarios.len(),
         campaign.strategies.len(),
     );
+    for spec in &campaign.scenarios {
+        describe(spec);
+    }
 
     println!("building exhaustive <= {max_v}-vertex database...");
     let db = Arc::new(NasbenchDatabase::exhaustive(max_v));
@@ -81,22 +154,44 @@ fn main() {
     }
 
     // Warm-start: reuse a persisted cache when its salt matches this
-    // database; a missing file just means a cold start.
+    // database. A missing file just means a cold start, and so does a file
+    // written by an older format version — the cache is a rebuildable
+    // artifact, so a stale format is rebuilt in the current one rather than
+    // aborting the sweep. Everything else (salt mismatch, corruption) stays
+    // fatal: those files may belong to a *different database* and silently
+    // overwriting them would destroy work.
     let salt = db.fingerprint();
     let cache = if cache_path.is_empty() {
         None
     } else if std::path::Path::new(&cache_path).exists() {
-        let loaded = SharedEvalCache::load_from_path(&cache_path, salt)
-            .unwrap_or_else(|e| panic!("cannot reuse cache {cache_path}: {e}"));
+        let loaded = match SharedEvalCache::load_from_path(&cache_path, salt) {
+            Ok(loaded) => Some(loaded),
+            Err(codesign_engine::CacheLoadError::WrongVersion { found }) => {
+                eprintln!(
+                    "cache: {cache_path} uses format version {found} (current {}); \
+                     cold-starting and rewriting it in the current format",
+                    codesign_engine::CACHE_VERSION
+                );
+                None
+            }
+            Err(e) => panic!("cannot reuse cache {cache_path}: {e}"),
+        };
+        let loaded = loaded.unwrap_or_default();
         let loaded = if cache_capacity > 0 {
             loaded.bounded(cache_capacity)
         } else {
             loaded
         };
-        println!(
-            "cache: warm start from {cache_path} ({} pair entries preloaded)",
-            loaded.stats().preloaded
-        );
+        if loaded.stats().preloaded > 0 {
+            println!(
+                "cache: warm start from {cache_path} ({} pair entries preloaded; built by: {})",
+                loaded.stats().preloaded,
+                match loaded.provenance().len() {
+                    0 => "unknown scenarios".to_owned(),
+                    _ => loaded.provenance().join(", "),
+                }
+            );
+        }
         Some(Arc::new(loaded))
     } else {
         println!("cache: cold start ({cache_path} not found; will create it)");
@@ -120,15 +215,17 @@ fn main() {
         );
     }
 
-    for &scenario in &campaign.scenarios {
+    for spec in &campaign.scenarios {
         println!(
-            "{:<14} merged front: {} points",
-            scenario.name(),
-            report.merged_front(scenario).len()
+            "{:<24} merged front: {} points",
+            spec.name(),
+            report.merged_front(spec.name()).len()
         );
     }
 
     if let Some(cache) = &cache {
+        // Stamp the sweep's scenario names into the persisted provenance.
+        cache.note_scenarios(report.scenario_names());
         cache
             .save_to_path(&cache_path, salt)
             .expect("persist evaluation cache");

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use codesign_bench::{out_dir, Args};
 use codesign_core::report::{fmt_f, write_csv, TextTable};
-use codesign_core::{enumerate_codesign_space, top_pareto_points, CodesignSpace, Scenario};
+use codesign_core::{enumerate_codesign_space, top_pareto_points, CodesignSpace, ScenarioSpec};
 use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
 use codesign_nasbench::{Dataset, NasbenchDatabase};
 
@@ -43,7 +43,7 @@ fn main() {
         enumeration.total_pairs
     );
 
-    let scenarios: Vec<Scenario> = Scenario::ALL
+    let scenarios: Vec<ScenarioSpec> = ScenarioSpec::paper_presets()
         .into_iter()
         .enumerate()
         .filter(|(i, _)| scenario_filter == usize::MAX || scenario_filter == *i)
@@ -63,7 +63,7 @@ fn main() {
         println!("shared cache: {stats}\n");
     }
 
-    for (idx, scenario) in Scenario::ALL.into_iter().enumerate() {
+    for (idx, scenario) in ScenarioSpec::paper_presets().into_iter().enumerate() {
         if !scenarios.contains(&scenario) {
             continue;
         }
@@ -72,7 +72,7 @@ fn main() {
             (b'a' + idx as u8) as char,
             scenario.name()
         );
-        let reference = top_pareto_points(scenario, &enumeration, 100);
+        let reference = top_pareto_points(&scenario, &enumeration, 100);
         if let (Some(first), Some(last)) = (reference.first(), reference.last()) {
             println!(
                 "top-100 Pareto reward points: lat {:.1}..{:.1} ms, acc {:.2}..{:.2}%",
@@ -82,7 +82,7 @@ fn main() {
                 reference.iter().map(|m| m[2]).fold(0.0, f64::max) * 100.0
             );
         }
-        let spec = scenario.reward_spec();
+        let spec = scenario.compile();
         let mut table = TextTable::new(vec![
             "strategy",
             "runs",
@@ -97,22 +97,25 @@ fn main() {
             let runs: Vec<_> = report
                 .shards
                 .iter()
-                .filter(|s| s.spec.scenario == scenario && s.spec.strategy == strategy)
+                .filter(|s| {
+                    s.spec.scenario_name() == scenario.name() && s.spec.strategy == strategy
+                })
                 .collect();
             let points: Vec<[f64; 3]> = runs
                 .iter()
                 .filter_map(|s| s.best.as_ref().map(|b| b.evaluation.metrics()))
                 .collect();
+            let scalarize = |m: &[f64; 3]| spec.scalarize_triple(m).unwrap_or(f64::NAN);
             let best = points
                 .iter()
                 .max_by(|a, b| {
-                    spec.scalarize(a)
-                        .partial_cmp(&spec.scalarize(b))
+                    scalarize(a)
+                        .partial_cmp(&scalarize(b))
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .copied();
             let (lat, acc, area, reward) = match best {
-                Some(m) => (-m[1], m[2] * 100.0, -m[0], spec.scalarize(&m)),
+                Some(m) => (-m[1], m[2] * 100.0, -m[0], scalarize(&m)),
                 None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN),
             };
             table.add_row(vec![

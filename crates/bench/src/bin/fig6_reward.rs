@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use codesign_bench::{downsample, out_dir, Args};
 use codesign_core::report::{fmt_f, write_csv, TextTable};
-use codesign_core::{CodesignSpace, Scenario};
+use codesign_core::{CodesignSpace, ScenarioSpec};
 use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
 use codesign_nasbench::NasbenchDatabase;
 
@@ -39,7 +39,7 @@ fn main() {
     println!("building exhaustive <= {max_v}-vertex database...");
     let db = Arc::new(NasbenchDatabase::exhaustive(max_v));
     let campaign = Campaign::new(CodesignSpace::with_max_vertices(max_v))
-        .scenarios(Scenario::ALL.to_vec())
+        .scenarios(ScenarioSpec::paper_presets())
         .strategies(STRATEGIES.to_vec())
         .seeds((seed_base..seed_base + repeats as u64).collect())
         .steps(steps)
@@ -50,7 +50,7 @@ fn main() {
     }
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
-    for scenario in Scenario::ALL {
+    for scenario in ScenarioSpec::paper_presets() {
         println!(
             "=== Fig. 6: {} (mean of {} runs, window {}) ===",
             scenario.name(),
@@ -64,7 +64,7 @@ fn main() {
                 (
                     strategy.name(),
                     report
-                        .average_reward_curve(scenario, strategy, window)
+                        .average_reward_curve(scenario.name(), strategy, window)
                         .expect("histories recorded for every shard"),
                 )
             })

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use codesign_accel::{AcceleratorConfig, AreaModel, LatencyModel, Scheduler};
+use codesign_accel::{AcceleratorConfig, AreaModel, LatencyModel, PowerModel, Scheduler};
 use codesign_nasbench::{
     CellSpec, Dataset, NasbenchDatabase, Network, NetworkConfig, SpecError, SurrogateModel,
 };
@@ -91,10 +91,19 @@ pub struct PairEvaluation {
     pub latency_ms: f64,
     /// Accelerator silicon area, mm².
     pub area_mm2: f64,
+    /// Worst-case (fully-utilized) accelerator power draw, watts — Fig. 1
+    /// lists power among the evaluator outputs; this is the
+    /// `codesign_accel::PowerModel` peak estimate, a deterministic function
+    /// of the accelerator configuration.
+    pub power_w: f64,
 }
 
 impl PairEvaluation {
     /// The metric vector `(-area, -latency, accuracy)` of Eq. 4.
+    ///
+    /// This is the fixed triple the paper's figures are plotted in; named
+    /// scenario objectives (`crate::scenarios::MetricId`) address the full
+    /// metric registry, including power.
     #[must_use]
     pub fn metrics(&self) -> [f64; 3] {
         [-self.area_mm2, -self.latency_ms, self.accuracy]
@@ -138,10 +147,13 @@ pub struct Evaluator {
     accuracy: AccuracySource,
     area_model: AreaModel,
     latency_model: LatencyModel,
+    power_model: PowerModel,
     net_config: NetworkConfig,
     latency_cache: HashMap<(u128, AcceleratorConfig), f64>,
     accuracy_cache: HashMap<u128, f64>,
-    area_cache: HashMap<AcceleratorConfig, f64>,
+    /// Per-configuration `(area mm², peak power W)` — both are functions of
+    /// the accelerator alone, so they share one cache entry.
+    hw_cache: HashMap<AcceleratorConfig, (f64, f64)>,
     /// Optional process-wide cache shared with other evaluators.
     shared_cache: Option<Arc<dyn EvalCache>>,
     /// Salt mixed into shared-cache keys so evaluators with different
@@ -218,10 +230,11 @@ impl Evaluator {
             accuracy,
             area_model: AreaModel::default(),
             latency_model: LatencyModel::default(),
+            power_model: PowerModel::default(),
             net_config,
             latency_cache: HashMap::new(),
             accuracy_cache: HashMap::new(),
-            area_cache: HashMap::new(),
+            hw_cache: HashMap::new(),
             shared_cache: None,
             cache_salt,
             resolved_cells: 0,
@@ -275,6 +288,12 @@ impl Evaluator {
     #[must_use]
     pub fn latency_model(&self) -> &LatencyModel {
         &self.latency_model
+    }
+
+    /// The power model in use.
+    #[must_use]
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
     }
 
     /// The network skeleton proposals are assembled into.
@@ -347,10 +366,12 @@ impl Evaluator {
             }
         }
         let accuracy = self.resolve_accuracy(cell)?;
+        let (area_mm2, power_w) = self.resolve_hw(config);
         let eval = PairEvaluation {
             accuracy,
             latency_ms: self.resolve_latency(cell, config),
-            area_mm2: self.resolve_area(config),
+            area_mm2,
+            power_w,
         };
         if let Some(shared) = &self.shared_cache {
             shared.put(salted, config, eval);
@@ -406,13 +427,17 @@ impl Evaluator {
         ms
     }
 
-    fn resolve_area(&mut self, config: &AcceleratorConfig) -> f64 {
-        if let Some(&a) = self.area_cache.get(config) {
-            return a;
+    fn resolve_hw(&mut self, config: &AcceleratorConfig) -> (f64, f64) {
+        if let Some(&pair) = self.hw_cache.get(config) {
+            return pair;
         }
-        let a = self.area_model.area_mm2(config);
-        self.area_cache.insert(*config, a);
-        a
+        let area = self.area_model.area_mm2(config);
+        let power = self
+            .power_model
+            .peak_power(&self.area_model, config)
+            .total_w();
+        self.hw_cache.insert(*config, (area, power));
+        (area, power)
     }
 }
 
@@ -421,6 +446,10 @@ mod tests {
     use super::*;
     use crate::space::CodesignSpace;
     use codesign_nasbench::known_cells;
+
+    /// Peak power of `ConfigSpace::chaidnn().get(4321)` under the default
+    /// models (see `power_metric_is_plumbed_and_pinned`).
+    const PINNED_POWER_W_4321: f64 = 2.454975;
 
     fn db_evaluator() -> Evaluator {
         Evaluator::with_database(NasbenchDatabase::build(50, 3))
@@ -473,8 +502,33 @@ mod tests {
             accuracy: 0.93,
             latency_ms: 50.0,
             area_mm2: 120.0,
+            power_w: 4.5,
         };
         assert_eq!(e.metrics(), [-120.0, -50.0, 0.93]);
+    }
+
+    #[test]
+    fn power_metric_is_plumbed_and_pinned() {
+        // The evaluator's power figure is the deterministic peak-power
+        // estimate of the configuration; pin one known config so the model
+        // (and its constants) cannot drift silently.
+        let mut ev = db_evaluator();
+        let config = some_config();
+        let e = ev
+            .evaluate_pair(&known_cells::resnet_cell(), &config)
+            .expect("resnet is always in the database");
+        let expected = codesign_accel::PowerModel::default()
+            .peak_power(&codesign_accel::AreaModel::default(), &config)
+            .total_w();
+        assert!(e.power_w > 0.0);
+        assert_eq!(e.power_w.to_bits(), expected.to_bits());
+        // Numeric pin for ConfigSpace::chaidnn().get(4321): single-digit
+        // watts, the CHaiDNN-class regime.
+        assert!(
+            (e.power_w - PINNED_POWER_W_4321).abs() < 1e-9,
+            "power for config 4321 drifted: {} W",
+            e.power_w
+        );
     }
 
     #[test]
@@ -483,6 +537,7 @@ mod tests {
             accuracy: 0.729,
             latency_ms: 42.0,
             area_mm2: 186.0,
+            power_w: 6.0,
         };
         assert!((e.perf_per_area() - 12.8).abs() < 0.1);
     }

@@ -96,7 +96,7 @@ impl SearchStrategy for EvolutionSearch {
 mod tests {
     use super::*;
     use crate::evaluator::Evaluator;
-    use crate::scenarios::Scenario;
+    use crate::scenarios::ScenarioSpec;
     use crate::space::CodesignSpace;
     use crate::strategies::RandomSearch;
     use codesign_nasbench::NasbenchDatabase;
@@ -104,7 +104,7 @@ mod tests {
     fn run(strategy: &dyn SearchStrategy, steps: usize, seed: u64) -> SearchOutcome {
         let space = CodesignSpace::with_max_vertices(5);
         let mut evaluator = Evaluator::with_database(NasbenchDatabase::exhaustive(5));
-        let reward = Scenario::Unconstrained.reward_spec();
+        let reward = ScenarioSpec::unconstrained().compile();
         let mut ctx = SearchContext {
             space: &space,
             evaluator: &mut evaluator,

@@ -7,12 +7,11 @@
 
 use std::sync::Arc;
 
-use codesign_moo::reward::top_k_by_reward;
 use codesign_nasbench::NasbenchDatabase;
 
 use crate::enumerate::EnumerationResult;
 use crate::evaluator::Evaluator;
-use crate::scenarios::Scenario;
+use crate::scenarios::ScenarioSpec;
 use crate::search::{SearchConfig, SearchContext, SearchOutcome, SearchStrategy};
 use crate::space::CodesignSpace;
 use crate::strategies::{CombinedSearch, PhaseSearch, SeparateSearch};
@@ -102,7 +101,7 @@ impl StrategyRuns {
 #[derive(Debug)]
 pub struct ScenarioComparison {
     /// Which scenario ran.
-    pub scenario: Scenario,
+    pub scenario: ScenarioSpec,
     /// Results per strategy, in `[separate, combined, phase]` paper order.
     pub strategies: Vec<StrategyRuns>,
 }
@@ -124,12 +123,12 @@ impl ScenarioComparison {
 /// NASBench.
 #[must_use]
 pub fn compare_strategies(
-    scenario: Scenario,
+    scenario: &ScenarioSpec,
     space: &CodesignSpace,
     database: &Arc<NasbenchDatabase>,
     config: &ComparisonConfig,
 ) -> ScenarioComparison {
-    let reward = scenario.reward_spec();
+    let reward = scenario.compile();
     let strategies: Vec<Box<dyn SearchStrategy>> = vec![
         Box::new(SeparateSearch::scaled(config.steps)),
         Box::new(CombinedSearch),
@@ -158,7 +157,7 @@ pub fn compare_strategies(
         });
     }
     ScenarioComparison {
-        scenario,
+        scenario: scenario.clone(),
         strategies: results,
     }
 }
@@ -187,18 +186,35 @@ impl PhaseSearch {
 
 /// The Fig. 5 reference set: the top `k` Pareto-optimal points under the
 /// scenario's reward function.
+///
+/// The enumeration retains the paper's `(−area, −lat, acc)` triples, so
+/// only scenarios whose objectives are derivable from that triple
+/// (everything except power — see
+/// [`crate::scenarios::CompiledScenario::derivable_from_triple`]) have a
+/// reference set; other scenarios return an empty vector.
 #[must_use]
 pub fn top_pareto_points(
-    scenario: Scenario,
+    scenario: &ScenarioSpec,
     enumeration: &EnumerationResult,
     k: usize,
 ) -> Vec<[f64; 3]> {
-    let spec = scenario.reward_spec();
-    let pairs: Vec<([f64; 3], ())> = enumeration.front.iter().map(|p| (p.metrics, ())).collect();
-    top_k_by_reward(&spec, pairs, k)
-        .into_iter()
-        .map(|(m, ())| m)
-        .collect()
+    let compiled = scenario.compile();
+    if !compiled.derivable_from_triple() {
+        return Vec::new();
+    }
+    let mut scored: Vec<(f64, [f64; 3])> = enumeration
+        .front
+        .iter()
+        .filter_map(
+            |p| match compiled.reward_from_triple(&p.metrics).expect("derivable") {
+                codesign_moo::RewardOutcome::Feasible(r) => Some((r, p.metrics)),
+                codesign_moo::RewardOutcome::Punished(_) => None,
+            },
+        )
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, m)| m).collect()
 }
 
 #[cfg(test)]
@@ -216,7 +232,7 @@ mod tests {
         let db = tiny_db();
         let space = CodesignSpace::with_max_vertices(4);
         let cmp = compare_strategies(
-            Scenario::Unconstrained,
+            &ScenarioSpec::unconstrained(),
             &space,
             &db,
             &ComparisonConfig::quick(50, 2),
@@ -234,7 +250,7 @@ mod tests {
         let db = tiny_db();
         let space = CodesignSpace::with_max_vertices(4);
         let cmp = compare_strategies(
-            Scenario::Unconstrained,
+            &ScenarioSpec::unconstrained(),
             &space,
             &db,
             &ComparisonConfig::quick(40, 2),
@@ -248,17 +264,20 @@ mod tests {
     fn top_pareto_points_are_scenario_feasible() {
         let db = tiny_db();
         let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 2);
-        let top = top_pareto_points(Scenario::OneConstraint, &enumeration, 100);
-        let spec = Scenario::OneConstraint.reward_spec();
+        let top = top_pareto_points(&ScenarioSpec::one_constraint(), &enumeration, 100);
+        let spec = ScenarioSpec::one_constraint().compile();
         assert!(!top.is_empty());
         for m in &top {
             assert!(
-                spec.is_feasible(m),
+                spec.is_feasible_triple(m).unwrap(),
                 "top point {m:?} violates the scenario constraint"
             );
         }
         // Sorted by reward descending.
-        let rewards: Vec<f64> = top.iter().map(|m| spec.scalarize(m)).collect();
+        let rewards: Vec<f64> = top
+            .iter()
+            .map(|m| spec.scalarize_triple(m).unwrap())
+            .collect();
         assert!(rewards.windows(2).all(|w| w[0] >= w[1] - 1e-12));
     }
 

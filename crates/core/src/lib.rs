@@ -20,14 +20,14 @@
 //!
 //! ```
 //! use codesign_core::{
-//!     CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig,
+//!     CodesignSpace, CombinedSearch, Evaluator, ScenarioSpec, SearchConfig,
 //!     SearchContext, SearchStrategy,
 //! };
 //! use codesign_nasbench::NasbenchDatabase;
 //!
 //! let space = CodesignSpace::with_max_vertices(4);
 //! let mut evaluator = Evaluator::with_database(NasbenchDatabase::exhaustive(4));
-//! let reward = Scenario::Unconstrained.reward_spec();
+//! let reward = ScenarioSpec::unconstrained().compile();
 //! let mut ctx = SearchContext {
 //!     space: &space,
 //!     evaluator: &mut evaluator,
@@ -60,7 +60,13 @@ pub use evolution::EvolutionSearch;
 pub use experiments::{
     compare_strategies, top_pareto_points, ComparisonConfig, ScenarioComparison, StrategyRuns,
 };
+#[allow(deprecated)]
 pub use scenarios::Scenario;
+pub use scenarios::{
+    check_unique_names, scenarios_from_document, scenarios_to_document, CompiledScenario, MetricId,
+    ObjectiveSpec, ScenarioError, ScenarioSpec, ScenarioSpecBuilder, SCENARIO_FORMAT,
+    SCENARIO_VERSION,
+};
 pub use search::{
     reward_curve, BestPoint, SearchConfig, SearchContext, SearchOutcome, SearchRecorder,
     SearchStrategy, StepRecord, INVALID_PROPOSAL_REWARD,

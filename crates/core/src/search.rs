@@ -7,10 +7,11 @@
 //! three objectives), and the per-step reward history behind Fig. 6.
 
 use codesign_accel::AcceleratorConfig;
-use codesign_moo::{ParetoFront, RewardSpec};
+use codesign_moo::ParetoFront;
 use codesign_nasbench::CellSpec;
 
 use crate::evaluator::{EvalOutcome, Evaluator, PairEvaluation};
+use crate::scenarios::CompiledScenario;
 use crate::space::CodesignSpace;
 
 /// Reward fed to the controller for structurally-invalid or unknown CNNs.
@@ -163,8 +164,8 @@ pub struct SearchContext<'a> {
     pub space: &'a CodesignSpace,
     /// The metric oracle.
     pub evaluator: &'a mut Evaluator,
-    /// The scenario's reward function.
-    pub reward: &'a RewardSpec<3>,
+    /// The compiled scenario whose reward steers the controller.
+    pub reward: &'a CompiledScenario,
 }
 
 /// Incremental bookkeeping for a run; strategies call
@@ -194,11 +195,16 @@ impl SearchRecorder {
         }
     }
 
-    /// Scores an evaluation outcome under `reward` and records the step.
-    /// Returns the scalar to feed the controller.
+    /// Scores an evaluation outcome under the scenario's reward and records
+    /// the step. Returns the scalar to feed the controller.
+    ///
+    /// The retained Pareto front (and `StepRecord::metrics`) stay in the
+    /// paper's fixed `(−area, −lat, acc)` triple regardless of which named
+    /// metrics the scenario optimizes, so fronts from different scenarios
+    /// remain comparable and mergeable.
     pub fn record(
         &mut self,
-        reward_spec: &RewardSpec<3>,
+        scenario: &CompiledScenario,
         outcome: &EvalOutcome,
         proposal_cell: Option<&CellSpec>,
         config: &AcceleratorConfig,
@@ -207,7 +213,7 @@ impl SearchRecorder {
         match outcome {
             EvalOutcome::Valid(eval) => {
                 let metrics = eval.metrics();
-                let scored = reward_spec.evaluate(&metrics);
+                let scored = scenario.reward(eval);
                 let feasible = scored.is_feasible();
                 if let Some(cell) = proposal_cell {
                     self.front.insert(metrics, (cell.clone(), *config));
@@ -328,12 +334,13 @@ mod tests {
             accuracy: acc,
             latency_ms: lat,
             area_mm2: area,
+            power_w: 4.0,
         })
     }
 
     #[test]
     fn recorder_tracks_best_feasible_point() {
-        let spec = crate::scenarios::Scenario::Unconstrained.reward_spec();
+        let spec = crate::scenarios::ScenarioSpec::unconstrained().compile();
         let mut rec = SearchRecorder::new("test", 4);
         let cell = known_cells::resnet_cell();
         let config = ConfigSpace::chaidnn().get(0);
@@ -349,7 +356,7 @@ mod tests {
 
     #[test]
     fn recorder_punishes_invalid_proposals() {
-        let spec = crate::scenarios::Scenario::Unconstrained.reward_spec();
+        let spec = crate::scenarios::ScenarioSpec::unconstrained().compile();
         let mut rec = SearchRecorder::new("test", 1);
         let config = ConfigSpace::chaidnn().get(0);
         let r = rec.record(
@@ -368,7 +375,7 @@ mod tests {
     fn front_collects_valid_points_even_when_infeasible() {
         // 2-constraint scenario: a fast-but-inaccurate point is infeasible
         // yet still belongs on the visited Pareto front.
-        let spec = crate::scenarios::Scenario::TwoConstraints.reward_spec();
+        let spec = crate::scenarios::ScenarioSpec::two_constraints().compile();
         let mut rec = SearchRecorder::new("test", 2);
         let cell = known_cells::googlenet_cell();
         let config = ConfigSpace::chaidnn().get(0);
@@ -380,7 +387,7 @@ mod tests {
 
     #[test]
     fn reward_curve_skips_punished_steps() {
-        let spec = crate::scenarios::Scenario::OneConstraint.reward_spec();
+        let spec = crate::scenarios::ScenarioSpec::one_constraint().compile();
         let mut rec = SearchRecorder::new("test", 3);
         let cell = known_cells::resnet_cell();
         let config = ConfigSpace::chaidnn().get(0);
@@ -402,7 +409,7 @@ mod tests {
 
     #[test]
     fn reward_curve_backfills_leading_infeasible_steps() {
-        let spec = crate::scenarios::Scenario::OneConstraint.reward_spec();
+        let spec = crate::scenarios::ScenarioSpec::one_constraint().compile();
         let mut rec = SearchRecorder::new("test", 2);
         let cell = known_cells::resnet_cell();
         let config = ConfigSpace::chaidnn().get(0);

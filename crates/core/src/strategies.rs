@@ -186,8 +186,7 @@ impl SearchStrategy for SeparateSearch {
         // Phase 1: accuracy-only CNN search. The recorder still scores steps
         // under the scenario reward (for Fig. 5/6 comparability), but the
         // controller only sees normalized accuracy — no hardware context.
-        let acc_norm = ctx.reward.norms()[2];
-        let acc_only = accuracy_only_spec(acc_norm);
+        let acc_only = accuracy_only_spec(ctx.reward.accuracy_norm());
         let placeholder_hw = random_hw_actions(ctx, rng);
         let placeholder_config = ctx.space.hw().decode(&placeholder_hw);
         let mut best_cnn: Option<(f64, Vec<usize>)> = None;
@@ -315,14 +314,14 @@ fn accuracy_only_spec(norm: LinearNorm) -> RewardSpec<1> {
 mod tests {
     use super::*;
     use crate::evaluator::Evaluator;
-    use crate::scenarios::Scenario;
+    use crate::scenarios::ScenarioSpec;
     use crate::space::CodesignSpace;
     use codesign_nasbench::{Dataset, SurrogateModel};
 
     fn run_strategy(strategy: &dyn SearchStrategy, steps: usize, seed: u64) -> SearchOutcome {
         let space = CodesignSpace::with_max_vertices(5);
         let mut evaluator = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar10);
-        let reward = Scenario::Unconstrained.reward_spec();
+        let reward = ScenarioSpec::unconstrained().compile();
         let mut ctx = SearchContext {
             space: &space,
             evaluator: &mut evaluator,
@@ -355,7 +354,7 @@ mod tests {
                     SurrogateModel::default(),
                     Dataset::Cifar10,
                 ),
-                reward: &Scenario::Unconstrained.reward_spec(),
+                reward: &ScenarioSpec::unconstrained().compile(),
             },
             &SearchConfig::quick(100, 1),
         );

@@ -1,6 +1,6 @@
 //! Property-based tests of the joint codesign space and the evaluator.
 
-use codesign_core::{CodesignSpace, Evaluator, Scenario, INVALID_PROPOSAL_REWARD};
+use codesign_core::{CodesignSpace, Evaluator, ScenarioSpec, INVALID_PROPOSAL_REWARD};
 use codesign_nasbench::{Dataset, SurrogateModel};
 use proptest::prelude::*;
 
@@ -66,16 +66,19 @@ proptest! {
             Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar10);
         let proposal = space.decode(&actions);
         let outcome = evaluator.evaluate(&proposal);
-        for scenario in Scenario::ALL {
-            let spec = scenario.reward_spec();
+        for scenario in ScenarioSpec::paper_presets() {
+            let spec = scenario.compile();
             match outcome.evaluation() {
                 Some(eval) => {
-                    let r = spec.evaluate(&eval.metrics());
+                    let r = spec.reward(eval);
                     // Feasible rewards live in [0, sum(w)]; punishments are
                     // negative and bounded by the scaled-violation cap.
                     prop_assert!(r.value() <= 1.0 + 1e-9);
                     prop_assert!(r.value() >= -1.2);
-                    prop_assert_eq!(r.is_feasible(), spec.is_feasible(&eval.metrics()));
+                    prop_assert_eq!(
+                        r.is_feasible(),
+                        spec.is_feasible_triple(&eval.metrics()).unwrap()
+                    );
                 }
                 None => {
                     prop_assert_eq!(INVALID_PROPOSAL_REWARD, -0.2);

@@ -1,23 +1,25 @@
 //! Ablation of the punishment function `Rv` (§II-A): scaled-violation vs
-//! constant punishment under the hardest (2-constraint) scenario.
+//! constant punishment under the hardest (2-constraint) scenario, declared
+//! through the open scenario API.
 
 use codesign_core::{
-    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext, SearchStrategy,
+    CodesignSpace, CombinedSearch, CompiledScenario, Evaluator, MetricId, ScenarioSpec,
+    SearchConfig, SearchContext, SearchStrategy,
 };
-use codesign_moo::{Punishment, RewardSpec};
+use codesign_moo::Punishment;
 use codesign_nasbench::NasbenchDatabase;
 
-fn two_constraint_spec(punishment: Punishment) -> RewardSpec<3> {
-    RewardSpec::builder()
-        .weights([0.0, 1.0, 0.0])
-        .expect("static weights")
-        .norms(Scenario::standard_norms())
-        .threshold(0, -100.0)
-        .threshold(2, 0.92)
+fn two_constraint_spec(punishment: Punishment) -> CompiledScenario {
+    ScenarioSpec::builder("2 Constraints (custom Rv)")
+        .weight(MetricId::AreaMm2, 0.0)
+        .constraint(MetricId::AreaMm2, 100.0)
+        .weight(MetricId::LatencyMs, 1.0)
+        .weight(MetricId::Accuracy, 0.0)
+        .constraint(MetricId::Accuracy, 0.92)
         .punishment(punishment)
-        .expect("valid punishment")
         .build()
-        .expect("complete spec")
+        .expect("static scenario")
+        .compile()
 }
 
 fn feasible_rate(punishment: Punishment, seeds: std::ops::Range<u64>) -> f64 {
@@ -56,9 +58,9 @@ fn scaled_violation_orders_infeasible_points() {
     let constant = two_constraint_spec(Punishment::Constant(0.1));
     let near_miss = [-101.0, -50.0, 0.93]; // area barely over
     let far_miss = [-200.0, -50.0, 0.85]; // both constraints badly missed
-    assert!(scaled.evaluate(&near_miss).value() > scaled.evaluate(&far_miss).value());
-    assert_eq!(
-        constant.evaluate(&near_miss).value(),
-        constant.evaluate(&far_miss).value()
-    );
+    let value = |spec: &CompiledScenario, m: &[f64; 3]| {
+        spec.reward_from_triple(m).expect("derivable").value()
+    };
+    assert!(value(&scaled, &near_miss) > value(&scaled, &far_miss));
+    assert_eq!(value(&constant, &near_miss), value(&constant, &far_miss));
 }

@@ -205,7 +205,12 @@ impl<K: Hash + Eq + Clone + Ord, V: Copy> ShardMap<K, V> {
 ///
 /// let cache = SharedEvalCache::new();
 /// let config = ConfigSpace::chaidnn().get(17);
-/// let eval = PairEvaluation { accuracy: 0.93, latency_ms: 40.0, area_mm2: 120.0 };
+/// let eval = PairEvaluation {
+///     accuracy: 0.93,
+///     latency_ms: 40.0,
+///     area_mm2: 120.0,
+///     power_w: 4.2,
+/// };
 /// assert!(cache.get(7, &config).is_none());
 /// cache.put(7, &config, eval);
 /// assert_eq!(cache.get(7, &config), Some(eval));
@@ -214,6 +219,11 @@ impl<K: Hash + Eq + Clone + Ord, V: Copy> ShardMap<K, V> {
 pub struct SharedEvalCache {
     shards: Vec<Mutex<ShardMap<(u128, AcceleratorConfig), PairEvaluation>>>,
     accuracy_shards: Vec<Mutex<ShardMap<u128, f64>>>,
+    /// Names of the scenarios whose campaigns populated this cache —
+    /// informational provenance carried through persistence. Entries are
+    /// scenario-independent (keyed by `(cell, config)` only); the list
+    /// records *which sweeps paid* for them.
+    provenance: Mutex<Vec<String>>,
     /// Per-map-shard entry bound derived from the user-facing total
     /// capacity; `None` means unbounded.
     shard_capacity: Option<usize>,
@@ -252,6 +262,7 @@ impl SharedEvalCache {
             accuracy_shards: (0..shards.max(1))
                 .map(|_| Mutex::new(ShardMap::new()))
                 .collect(),
+            provenance: Mutex::new(Vec::new()),
             shard_capacity: None,
             hits: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
@@ -437,6 +448,30 @@ impl SharedEvalCache {
         }
     }
 
+    /// Records scenario names into the cache's provenance (deduplicated,
+    /// kept sorted so persistence is deterministic).
+    pub fn note_scenarios<I>(&self, names: I)
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut provenance = self.provenance.lock().expect("provenance poisoned");
+        for name in names {
+            let name = name.into();
+            if !provenance.contains(&name) {
+                provenance.push(name);
+            }
+        }
+        provenance.sort_unstable();
+    }
+
+    /// The scenario names recorded by [`SharedEvalCache::note_scenarios`]
+    /// (including names reloaded from a persisted cache), sorted.
+    #[must_use]
+    pub fn provenance(&self) -> Vec<String> {
+        self.provenance.lock().expect("provenance poisoned").clone()
+    }
+
     /// Stores a pair entry preloaded from a persisted cache (warm).
     pub(crate) fn put_preloaded(
         &self,
@@ -613,6 +648,7 @@ mod tests {
             accuracy: x,
             latency_ms: 10.0 * x,
             area_mm2: 100.0 * x,
+            power_w: x,
         }
     }
 

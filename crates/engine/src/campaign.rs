@@ -1,11 +1,15 @@
 //! Campaign specifications: the grid of runs a driver executes.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use codesign_core::{
-    CodesignSpace, CombinedSearch, EvolutionSearch, PhaseSearch, RandomSearch, Scenario,
-    SearchConfig, SearchStrategy, SeparateSearch,
+    CodesignSpace, CombinedSearch, CompiledScenario, EvolutionSearch, PhaseSearch, RandomSearch,
+    ScenarioSpec, SearchConfig, SearchStrategy, SeparateSearch,
 };
 
 use crate::mix64;
+use crate::report::CampaignReport;
 
 /// A search strategy by name — the unit of the campaign grid's strategy
 /// axis. `build` instantiates the concrete strategy with the paper's
@@ -72,13 +76,66 @@ impl StrategyKind {
     }
 }
 
+/// Per-scenario cost weights for shard scheduling, in arbitrary
+/// units-per-step. The work-stealing backend dispatches shards by
+/// `steps × weight`, longest first.
+///
+/// The default weight is the static premium `1 + 0.15 × constraints`
+/// (constrained scenarios run slightly hotter per step: more punished
+/// proposals re-enter the controller before a feasible region is found).
+/// [`Campaign::calibrated_costs`] replaces the static premiums with weights
+/// measured from a previous run's per-shard wall-clock.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostModel {
+    weights: HashMap<String, f64>,
+}
+
+impl CostModel {
+    /// An empty model: every scenario falls back to the static premium.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the measured weight of a scenario by name.
+    pub fn set(&mut self, scenario: impl Into<String>, weight: f64) {
+        self.weights.insert(scenario.into(), weight);
+    }
+
+    /// The measured weight of a scenario, if one was recorded.
+    #[must_use]
+    pub fn get(&self, scenario: &str) -> Option<f64> {
+        self.weights.get(scenario).copied()
+    }
+
+    /// The effective weight: measured if present, static premium otherwise.
+    #[must_use]
+    pub fn weight_for(&self, scenario: &ScenarioSpec) -> f64 {
+        self.get(scenario.name())
+            .unwrap_or_else(|| 1.0 + 0.15 * scenario.constraint_count() as f64)
+    }
+
+    /// Number of scenarios with measured weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when no scenario has a measured weight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
 /// One cell of the campaign grid: a single search run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardSpec {
     /// Position in the campaign's shard order (stable across worker counts).
     pub index: usize,
-    /// The scenario whose reward the run optimizes.
-    pub scenario: Scenario,
+    /// The compiled scenario whose reward the run optimizes (shared by
+    /// every shard of the same scenario — an `Arc` clone, not a recompile).
+    pub scenario: Arc<CompiledScenario>,
     /// The strategy to run.
     pub strategy: StrategyKind,
     /// The user-facing repeat seed (the seed axis of the grid).
@@ -87,9 +144,17 @@ pub struct ShardSpec {
     pub steps: usize,
     /// The derived, decorrelated seed of this shard's private RNG stream.
     pub rng_seed: u64,
+    /// Scheduling cost per step (from the campaign's [`CostModel`]).
+    pub cost_weight: f64,
 }
 
 impl ShardSpec {
+    /// The scenario's display name.
+    #[must_use]
+    pub fn scenario_name(&self) -> &str {
+        self.scenario.name()
+    }
+
     /// The [`SearchConfig`] this shard runs under.
     #[must_use]
     pub fn search_config(&self, base: &SearchConfig) -> SearchConfig {
@@ -100,19 +165,12 @@ impl ShardSpec {
         }
     }
 
-    /// The shard's estimated cost, in arbitrary units: `steps × scenario
-    /// weight`. Constrained scenarios run slightly hotter per step (more
-    /// punished proposals re-enter the controller before a feasible region
-    /// is found), so they carry a small weight premium. The work-stealing
-    /// backend dispatches by this estimate, longest first.
+    /// The shard's estimated cost, in arbitrary units:
+    /// `steps × scenario cost weight`. The work-stealing backend dispatches
+    /// by this estimate, longest first.
     #[must_use]
     pub fn estimated_cost(&self) -> f64 {
-        let scenario_weight = match self.scenario {
-            Scenario::Unconstrained => 1.0,
-            Scenario::OneConstraint => 1.15,
-            Scenario::TwoConstraints => 1.3,
-        };
-        self.steps as f64 * scenario_weight
+        self.steps as f64 * self.cost_weight
     }
 }
 
@@ -123,10 +181,13 @@ impl ShardSpec {
 ///
 /// ```
 /// use codesign_engine::{Campaign, StrategyKind};
-/// use codesign_core::{CodesignSpace, Scenario};
+/// use codesign_core::{CodesignSpace, ScenarioSpec};
 ///
 /// let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-///     .scenarios(vec![Scenario::Unconstrained, Scenario::OneConstraint])
+///     .scenarios(vec![
+///         ScenarioSpec::unconstrained(),
+///         ScenarioSpec::one_constraint(),
+///     ])
 ///     .strategies(StrategyKind::ALL.to_vec())
 ///     .seeds(vec![0, 1, 2])
 ///     .budgets(vec![100, 1000]);
@@ -136,8 +197,9 @@ impl ShardSpec {
 pub struct Campaign {
     /// The joint decision space every shard searches.
     pub space: CodesignSpace,
-    /// The scenario axis.
-    pub scenarios: Vec<Scenario>,
+    /// The scenario axis — any declarative [`ScenarioSpec`]s, not just the
+    /// paper presets.
+    pub scenarios: Vec<ScenarioSpec>,
     /// The strategy axis.
     pub strategies: Vec<StrategyKind>,
     /// The repeat-seed axis.
@@ -152,27 +214,31 @@ pub struct Campaign {
     /// history is `steps` records per shard). Fig. 6's reward curves need
     /// it on.
     pub record_histories: bool,
+    /// Per-scenario scheduling weights (static premiums unless calibrated).
+    pub cost_model: CostModel,
 }
 
 impl Campaign {
-    /// A campaign over `space` with the paper's defaults: all scenarios,
-    /// all four strategies, one seed, one 1000-step budget.
+    /// A campaign over `space` with the paper's defaults: the three §III-C
+    /// preset scenarios, all four strategies, one seed, one 1000-step
+    /// budget.
     #[must_use]
     pub fn new(space: CodesignSpace) -> Self {
         Self {
             space,
-            scenarios: Scenario::ALL.to_vec(),
+            scenarios: ScenarioSpec::paper_presets(),
             strategies: StrategyKind::ALL.to_vec(),
             seeds: vec![0],
             budgets: vec![1000],
             base_config: SearchConfig::default(),
             record_histories: false,
+            cost_model: CostModel::new(),
         }
     }
 
     /// Replaces the scenario axis.
     #[must_use]
-    pub fn scenarios(mut self, scenarios: Vec<Scenario>) -> Self {
+    pub fn scenarios(mut self, scenarios: Vec<ScenarioSpec>) -> Self {
         self.scenarios = scenarios;
         self
     }
@@ -226,15 +292,69 @@ impl Campaign {
         self
     }
 
+    /// Replaces the scheduling cost model (see
+    /// [`Campaign::calibrated_costs`]). Cost weights influence only
+    /// dispatch order — never results.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Derives a measured [`CostModel`] from a previous run's report: each
+    /// scenario's weight is its mean wall-clock per step, normalized so the
+    /// cheapest scenario sits at 1.0 (the same scale the static premiums
+    /// use). Feed the result to [`Campaign::with_cost_model`] so a second
+    /// sweep's work-stealing backend dispatches by real measurements
+    /// instead of static premiums.
+    ///
+    /// Scenarios absent from the report (or with zero recorded wall-clock,
+    /// as in sub-millisecond test runs) keep their static premium.
+    #[must_use]
+    pub fn calibrated_costs(&self, report: &CampaignReport) -> CostModel {
+        let mut totals: HashMap<&str, (u64, u64)> = HashMap::new(); // (wall_ms, steps)
+        for shard in &report.shards {
+            let entry = totals.entry(shard.spec.scenario_name()).or_default();
+            entry.0 += shard.wall_ms;
+            entry.1 += shard.steps as u64;
+        }
+        let per_step: Vec<(&str, f64)> = totals
+            .into_iter()
+            .filter(|&(_, (wall, steps))| wall > 0 && steps > 0)
+            .map(|(name, (wall, steps))| (name, wall as f64 / steps as f64))
+            .collect();
+        let mut model = CostModel::new();
+        let Some(floor) = per_step
+            .iter()
+            .map(|&(_, w)| w)
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        else {
+            return model;
+        };
+        for (name, weight) in per_step {
+            model.set(name, weight / floor);
+        }
+        model
+    }
+
     /// The grid flattened into shard specifications, scenario-major then
     /// strategy, seed, and budget. The order — and every `rng_seed` — is a
     /// pure function of the campaign, independent of workers or timing.
+    ///
+    /// Each scenario is compiled once and shared across its shards by
+    /// [`Arc`].
     #[must_use]
     pub fn shards(&self) -> Vec<ShardSpec> {
+        let compiled: Vec<Arc<CompiledScenario>> = self
+            .scenarios
+            .iter()
+            .map(|s| Arc::new(s.compile()))
+            .collect();
         let mut shards = Vec::with_capacity(
             self.scenarios.len() * self.strategies.len() * self.seeds.len() * self.budgets.len(),
         );
-        for (si, &scenario) in self.scenarios.iter().enumerate() {
+        for (si, scenario) in compiled.iter().enumerate() {
+            let cost_weight = self.cost_model.weight_for(&self.scenarios[si]);
             for (ti, &strategy) in self.strategies.iter().enumerate() {
                 for &seed in &self.seeds {
                     for (bi, &steps) in self.budgets.iter().enumerate() {
@@ -245,11 +365,12 @@ impl Campaign {
                             mix64(seed ^ mix64((si as u64) << 40 | (ti as u64) << 20 | bi as u64));
                         shards.push(ShardSpec {
                             index: shards.len(),
-                            scenario,
+                            scenario: Arc::clone(scenario),
                             strategy,
                             seed,
                             steps,
                             rng_seed,
+                            cost_weight,
                         });
                     }
                 }
@@ -276,7 +397,7 @@ mod tests {
             .iter()
             .map(|s| {
                 (
-                    format!("{:?}", s.scenario),
+                    s.scenario_name().to_owned(),
                     s.strategy.name(),
                     s.seed,
                     s.steps,
@@ -302,6 +423,19 @@ mod tests {
     }
 
     #[test]
+    fn compiled_scenarios_are_shared_by_refcount() {
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4)).repeats(4);
+        let shards = campaign.shards();
+        let first = &shards[0].scenario;
+        let same_scenario = shards
+            .iter()
+            .filter(|s| Arc::ptr_eq(&s.scenario, first))
+            .count();
+        // 4 strategies x 4 seeds share the first compiled scenario.
+        assert_eq!(same_scenario, 16);
+    }
+
+    #[test]
     fn strategy_kinds_roundtrip_names() {
         for kind in StrategyKind::ALL
             .into_iter()
@@ -320,10 +454,106 @@ mod tests {
             learning_rate: 0.5,
             ..SearchConfig::default()
         };
-        let shard = campaign.shards()[0];
+        let shard = campaign.shards()[0].clone();
         let config = shard.search_config(&base);
         assert_eq!(config.steps, 123);
         assert_eq!(config.seed, shard.rng_seed);
         assert_eq!(config.learning_rate, 0.5);
+    }
+
+    #[test]
+    fn static_premiums_scale_with_constraint_count() {
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4)).steps(100);
+        let shards = campaign.shards();
+        let cost_of = |name: &str| {
+            shards
+                .iter()
+                .find(|s| s.scenario_name() == name)
+                .unwrap()
+                .estimated_cost()
+        };
+        assert!((cost_of("Unconstrained") - 100.0).abs() < 1e-9);
+        assert!((cost_of("1 Constraint") - 115.0).abs() < 1e-9);
+        assert!((cost_of("2 Constraints") - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrated_costs_follow_measured_wall_clock() {
+        use crate::report::ShardResult;
+
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+            .strategies(vec![StrategyKind::Random])
+            .steps(100);
+        let shards = campaign.shards();
+        // Fake a report where "Unconstrained" was in fact the *slowest*
+        // scenario per step — the opposite of the static premiums.
+        let wall_for = |name: &str| match name {
+            "Unconstrained" => 300,
+            "1 Constraint" => 100,
+            _ => 150,
+        };
+        let report = CampaignReport {
+            shards: shards
+                .iter()
+                .map(|spec| {
+                    let mut r = ShardResult::empty_for_test(spec.clone());
+                    r.steps = spec.steps;
+                    r.wall_ms = wall_for(spec.scenario_name());
+                    r
+                })
+                .collect(),
+            cache: None,
+            backend: "atomic",
+            workers: 1,
+            wall_ms: 550,
+        };
+        let model = campaign.calibrated_costs(&report);
+        assert_eq!(model.len(), 3);
+        // Cheapest scenario normalized to 1.0; others proportional.
+        assert_eq!(model.get("1 Constraint"), Some(1.0));
+        assert_eq!(model.get("Unconstrained"), Some(3.0));
+        assert_eq!(model.get("2 Constraints"), Some(1.5));
+
+        // Feeding the model back re-weights shard scheduling.
+        let recalibrated = campaign.clone().with_cost_model(model);
+        let costs: Vec<(String, f64)> = recalibrated
+            .shards()
+            .iter()
+            .map(|s| (s.scenario_name().to_owned(), s.estimated_cost()))
+            .collect();
+        let cost_of = |name: &str| costs.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(cost_of("Unconstrained"), 300.0);
+        assert_eq!(cost_of("1 Constraint"), 100.0);
+        assert_eq!(cost_of("2 Constraints"), 150.0);
+    }
+
+    #[test]
+    fn calibration_skips_unmeasured_scenarios() {
+        let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+            .strategies(vec![StrategyKind::Random])
+            .steps(50);
+        // Zero wall times (sub-millisecond shards) leave the model empty:
+        // static premiums stay in force.
+        let report = CampaignReport {
+            shards: campaign
+                .shards()
+                .iter()
+                .map(|spec| {
+                    let mut r = crate::report::ShardResult::empty_for_test(spec.clone());
+                    r.steps = spec.steps;
+                    r
+                })
+                .collect(),
+            cache: None,
+            backend: "atomic",
+            workers: 1,
+            wall_ms: 0,
+        };
+        let model = campaign.calibrated_costs(&report);
+        assert!(model.is_empty());
+        assert_eq!(
+            model.weight_for(&ScenarioSpec::two_constraints()),
+            1.0 + 0.15 * 2.0
+        );
     }
 }

@@ -279,18 +279,17 @@ fn run_shard(
     if let Some(view) = &view {
         evaluator = evaluator.with_shared_cache(Arc::clone(view) as _);
     }
-    let reward = shard.scenario.reward_spec();
     let mut ctx = SearchContext {
         space: &campaign.space,
         evaluator: &mut evaluator,
-        reward: &reward,
+        reward: shard.scenario.as_ref(),
     };
     let config = shard.search_config(&campaign.base_config);
     let mut rng = SmallRng::seed_from_u64(shard.rng_seed);
     let strategy = shard.strategy.build(shard.steps);
     let outcome = strategy.run_with_rng(&mut ctx, &config, &mut rng);
     let mut result = ShardResult::from_outcome(
-        *shard,
+        shard.clone(),
         outcome,
         started.elapsed().as_millis() as u64,
         campaign.record_histories,
@@ -307,11 +306,11 @@ fn run_shard(
 mod tests {
     use super::*;
     use crate::campaign::StrategyKind;
-    use codesign_core::{CodesignSpace, Scenario};
+    use codesign_core::{CodesignSpace, ScenarioSpec};
 
     fn small_campaign() -> Campaign {
         Campaign::new(CodesignSpace::with_max_vertices(4))
-            .scenarios(vec![Scenario::Unconstrained])
+            .scenarios(vec![ScenarioSpec::unconstrained()])
             .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
             .seeds(vec![0, 1])
             .steps(40)
@@ -375,7 +374,7 @@ mod tests {
     #[test]
     fn work_stealing_backend_schedules_longest_first() {
         let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-            .scenarios(vec![Scenario::Unconstrained])
+            .scenarios(vec![ScenarioSpec::unconstrained()])
             .strategies(vec![StrategyKind::Random])
             .seeds(vec![0])
             .budgets(vec![50, 400, 100]);

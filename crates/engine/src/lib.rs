@@ -36,11 +36,11 @@
 //! ```
 //! use std::sync::Arc;
 //! use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
-//! use codesign_core::{CodesignSpace, Scenario};
+//! use codesign_core::{CodesignSpace, ScenarioSpec};
 //! use codesign_nasbench::NasbenchDatabase;
 //!
 //! let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-//!     .scenarios(Scenario::ALL.to_vec())
+//!     .scenarios(ScenarioSpec::paper_presets())
 //!     .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
 //!     .seeds(vec![0])
 //!     .steps(60);
@@ -84,7 +84,7 @@ pub mod persist;
 pub mod report;
 
 pub use cache::{CacheStats, ShardCacheView, SharedEvalCache};
-pub use campaign::{Campaign, ShardSpec, StrategyKind};
+pub use campaign::{Campaign, CostModel, ShardSpec, StrategyKind};
 pub use driver::{
     backend_from_name, AtomicCursorBackend, DriverBackend, ShardedDriver, WorkStealingBackend,
 };

@@ -11,12 +11,19 @@
 //! ```json
 //! {
 //!   "format": "codesign-eval-cache",
-//!   "version": 1,
+//!   "version": 2,
 //!   "salt": "<16 hex digits>",
-//!   "pairs": [["<32-hex cell hash>", {"fp":8,...,"ratio":0.5}, acc, lat, area], ...],
+//!   "scenarios": ["1 Constraint", "power-capped"],
+//!   "pairs": [["<32-hex cell hash>", {"fp":8,...,"ratio":0.5}, acc, lat, area, power], ...],
 //!   "accuracies": [["<32-hex cell hash>", acc], ...]
 //! }
 //! ```
+//!
+//! Version 2 added the power metric to pair entries and the `scenarios`
+//! provenance list (which sweeps paid for the entries — informational;
+//! entries themselves are scenario-independent). Version-1 files are
+//! rejected with [`CacheLoadError::WrongVersion`] rather than silently
+//! served without power.
 //!
 //! Hashes are hex strings because jsonio numbers are `f64` and cannot carry
 //! a `u128` (or even a full `u64`) exactly. Entries are written in sorted
@@ -45,7 +52,7 @@ use crate::cache::SharedEvalCache;
 pub const CACHE_FORMAT: &str = "codesign-eval-cache";
 
 /// The current on-disk format version.
-pub const CACHE_VERSION: u64 = 1;
+pub const CACHE_VERSION: u64 = 2;
 
 /// Why a persisted cache file was rejected.
 #[derive(Debug)]
@@ -178,6 +185,7 @@ impl SharedEvalCache {
                     Json::Num(eval.accuracy),
                     Json::Num(eval.latency_ms),
                     Json::Num(eval.area_mm2),
+                    Json::Num(eval.power_w),
                 ])
             })
             .collect();
@@ -185,10 +193,12 @@ impl SharedEvalCache {
             .into_iter()
             .map(|(hash, acc)| Json::Arr(vec![Json::Str(hash_to_hex(hash)), Json::Num(acc)]))
             .collect();
+        let scenarios = self.provenance().into_iter().map(Json::Str).collect();
         let doc = Json::obj(vec![
             ("format", Json::Str(CACHE_FORMAT.into())),
             ("version", Json::Num(CACHE_VERSION as f64)),
             ("salt", Json::Str(format!("{salt:016x}"))),
+            ("scenarios", Json::Arr(scenarios)),
             ("pairs", Json::Arr(pairs)),
             ("accuracies", Json::Arr(accuracies)),
         ]);
@@ -241,6 +251,9 @@ impl SharedEvalCache {
 
         let cache = SharedEvalCache::new();
         let malformed = |reason: String| CacheLoadError::Malformed(reason);
+        if let Some(scenarios) = doc.get("scenarios").and_then(Json::as_arr) {
+            cache.note_scenarios(scenarios.iter().filter_map(Json::as_str).map(str::to_owned));
+        }
         let pairs = doc
             .get("pairs")
             .and_then(Json::as_arr)
@@ -248,8 +261,8 @@ impl SharedEvalCache {
         for (i, entry) in pairs.iter().enumerate() {
             let fields = entry
                 .as_arr()
-                .filter(|a| a.len() == 5)
-                .ok_or_else(|| malformed(format!("pair {i}: expected 5 fields")))?;
+                .filter(|a| a.len() == 6)
+                .ok_or_else(|| malformed(format!("pair {i}: expected 6 fields")))?;
             let hash = fields[0]
                 .as_str()
                 .ok_or_else(|| malformed(format!("pair {i}: hash is not a string")))
@@ -265,6 +278,7 @@ impl SharedEvalCache {
                 accuracy: num(2, "accuracy")?,
                 latency_ms: num(3, "latency")?,
                 area_mm2: num(4, "area")?,
+                power_w: num(5, "power")?,
             };
             cache.put_preloaded(hash, &config, eval);
         }
@@ -327,6 +341,7 @@ mod tests {
             accuracy: x,
             latency_ms: 10.0 * x,
             area_mm2: 100.0 * x,
+            power_w: x,
         }
     }
 
@@ -375,6 +390,42 @@ mod tests {
                 assert_eq!((expected, found), (0xBBBB, 0xAAAA));
             }
             other => panic!("expected SaltMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn provenance_survives_the_round_trip() {
+        let cache = populated();
+        cache.note_scenarios(["power-capped".to_owned(), "1 Constraint".to_owned()]);
+        let mut buf = Vec::new();
+        cache.save(&mut buf, 3).unwrap();
+        let back = SharedEvalCache::load(buf.as_slice(), 3).unwrap();
+        assert_eq!(
+            back.provenance(),
+            vec!["1 Constraint".to_owned(), "power-capped".to_owned()],
+            "provenance is reloaded, sorted"
+        );
+        // Merging more names keeps the list deduplicated and sorted.
+        back.note_scenarios(["Unconstrained".to_owned(), "power-capped".to_owned()]);
+        assert_eq!(
+            back.provenance(),
+            vec![
+                "1 Constraint".to_owned(),
+                "Unconstrained".to_owned(),
+                "power-capped".to_owned()
+            ]
+        );
+    }
+
+    #[test]
+    fn version_1_files_are_rejected() {
+        let doc = format!(
+            "{{\"format\":\"{CACHE_FORMAT}\",\"version\":1,\"salt\":\"0\",\
+             \"pairs\":[],\"accuracies\":[]}}"
+        );
+        match SharedEvalCache::load(doc.as_bytes(), 0) {
+            Err(CacheLoadError::WrongVersion { found: 1 }) => {}
+            other => panic!("expected WrongVersion, got {other:?}"),
         }
     }
 

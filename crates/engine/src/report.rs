@@ -5,7 +5,7 @@ use std::path::Path;
 
 use codesign_accel::AcceleratorConfig;
 use codesign_core::report::{fmt_f, write_csv, TextTable};
-use codesign_core::{reward_curve, BestPoint, Scenario, SearchOutcome, StepRecord};
+use codesign_core::{reward_curve, BestPoint, SearchOutcome, StepRecord};
 use codesign_moo::ParetoFront;
 use codesign_nasbench::{CellSpec, Json};
 
@@ -69,6 +69,25 @@ impl ShardResult {
         }
     }
 
+    /// A zeroed result for `spec`, for tests that fabricate reports (e.g.
+    /// the cost-calibration tests).
+    #[cfg(test)]
+    pub(crate) fn empty_for_test(spec: ShardSpec) -> Self {
+        Self {
+            spec,
+            steps: 0,
+            feasible_steps: 0,
+            invalid_steps: 0,
+            best: None,
+            front: ParetoFront::new(),
+            history: None,
+            cache_warm_hits: 0,
+            cache_cold_hits: 0,
+            cache_misses: 0,
+            wall_ms: 0,
+        }
+    }
+
     /// The shard's Fig. 6 smoothed reward curve, when its history was
     /// recorded.
     #[must_use]
@@ -97,7 +116,7 @@ impl ShardResult {
         Json::obj(vec![
             ("type", Json::Str("shard".into())),
             ("index", Json::Num(self.spec.index as f64)),
-            ("scenario", Json::Str(self.spec.scenario.name().into())),
+            ("scenario", Json::Str(self.spec.scenario_name().into())),
             ("strategy", Json::Str(self.spec.strategy.name().into())),
             ("seed", Json::Num(self.spec.seed as f64)),
             ("steps", Json::Num(self.steps as f64)),
@@ -130,27 +149,45 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Merges the Pareto fronts of every shard of `scenario` into one front
-    /// — exactly the front of the concatenation of those shards' visited
-    /// points (dominance filtering is order-insensitive in its result set).
+    /// The distinct scenario names present, in shard order — the report's
+    /// scenario provenance (also stamped into persisted caches by the
+    /// campaign CLI).
     #[must_use]
-    pub fn merged_front(
-        &self,
-        scenario: Scenario,
-    ) -> ParetoFront<3, (CellSpec, AcceleratorConfig)> {
+    pub fn scenario_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for shard in &self.shards {
+            let name = shard.spec.scenario_name();
+            if !names.iter().any(|n| n == name) {
+                names.push(name.to_owned());
+            }
+        }
+        names
+    }
+
+    /// Merges the Pareto fronts of every shard of the named scenario into
+    /// one front — exactly the front of the concatenation of those shards'
+    /// visited points (dominance filtering is order-insensitive in its
+    /// result set).
+    #[must_use]
+    pub fn merged_front(&self, scenario: &str) -> ParetoFront<3, (CellSpec, AcceleratorConfig)> {
         let mut merged = ParetoFront::new();
-        for shard in self.shards.iter().filter(|s| s.spec.scenario == scenario) {
+        for shard in self
+            .shards
+            .iter()
+            .filter(|s| s.spec.scenario_name() == scenario)
+        {
             merged.extend(shard.front.iter().cloned());
         }
         merged
     }
 
-    /// The best feasible point any shard of `scenario` found, by reward.
+    /// The best feasible point any shard of the named scenario found, by
+    /// reward.
     #[must_use]
-    pub fn best_point(&self, scenario: Scenario) -> Option<&BestPoint> {
+    pub fn best_point(&self, scenario: &str) -> Option<&BestPoint> {
         self.shards
             .iter()
-            .filter(|s| s.spec.scenario == scenario)
+            .filter(|s| s.spec.scenario_name() == scenario)
             .filter_map(|s| s.best.as_ref())
             .max_by(|a, b| {
                 a.reward
@@ -166,14 +203,14 @@ impl CampaignReport {
     #[must_use]
     pub fn average_reward_curve(
         &self,
-        scenario: Scenario,
+        scenario: &str,
         strategy: StrategyKind,
         window: usize,
     ) -> Option<Vec<f64>> {
         let curves: Vec<Vec<f64>> = self
             .shards
             .iter()
-            .filter(|s| s.spec.scenario == scenario && s.spec.strategy == strategy)
+            .filter(|s| s.spec.scenario_name() == scenario && s.spec.strategy == strategy)
             .filter_map(|s| s.reward_curve(window))
             .collect();
         if curves.is_empty() {
@@ -188,10 +225,10 @@ impl CampaignReport {
     }
 
     /// The distinct `(scenario, strategy)` pairs present, in shard order.
-    fn groups(&self) -> Vec<(Scenario, StrategyKind)> {
+    fn groups(&self) -> Vec<(String, StrategyKind)> {
         let mut groups = Vec::new();
         for shard in &self.shards {
-            let key = (shard.spec.scenario, shard.spec.strategy);
+            let key = (shard.spec.scenario_name().to_owned(), shard.spec.strategy);
             if !groups.contains(&key) {
                 groups.push(key);
             }
@@ -216,7 +253,7 @@ impl CampaignReport {
             let members: Vec<&ShardResult> = self
                 .shards
                 .iter()
-                .filter(|s| s.spec.scenario == scenario && s.spec.strategy == strategy)
+                .filter(|s| s.spec.scenario_name() == scenario && s.spec.strategy == strategy)
                 .collect();
             let feasible = members.iter().filter(|s| s.best.is_some()).count();
             let best = members
@@ -232,7 +269,7 @@ impl CampaignReport {
                 group_front.extend(member.front.iter().cloned());
             }
             table.add_row(vec![
-                scenario.name().into(),
+                scenario,
                 strategy.name().into(),
                 members.len().to_string(),
                 feasible.to_string(),
@@ -323,7 +360,7 @@ impl CampaignReport {
                 let best = s.best.as_ref();
                 vec![
                     s.spec.index.to_string(),
-                    s.spec.scenario.name().into(),
+                    s.spec.scenario_name().into(),
                     s.spec.strategy.name().into(),
                     s.spec.seed.to_string(),
                     s.steps.to_string(),
@@ -366,13 +403,16 @@ impl std::fmt::Display for CampaignReport {
 mod tests {
     use super::*;
     use crate::{Campaign, ShardedDriver};
-    use codesign_core::CodesignSpace;
+    use codesign_core::{CodesignSpace, ScenarioSpec};
     use codesign_nasbench::NasbenchDatabase;
     use std::sync::Arc;
 
     fn tiny_campaign() -> Campaign {
         Campaign::new(CodesignSpace::with_max_vertices(4))
-            .scenarios(vec![Scenario::Unconstrained, Scenario::OneConstraint])
+            .scenarios(vec![
+                ScenarioSpec::unconstrained(),
+                ScenarioSpec::one_constraint(),
+            ])
             .strategies(vec![StrategyKind::Random])
             .seeds(vec![0, 1])
             .steps(60)
@@ -385,7 +425,7 @@ mod tests {
     #[test]
     fn merged_front_is_scenario_scoped_and_non_dominated() {
         let report = tiny_report();
-        let front = report.merged_front(Scenario::Unconstrained);
+        let front = report.merged_front("Unconstrained");
         assert!(!front.is_empty());
         let points: Vec<[f64; 3]> = front.iter().map(|(m, _)| *m).collect();
         for (i, a) in points.iter().enumerate() {
@@ -400,13 +440,11 @@ mod tests {
     #[test]
     fn best_point_maximizes_reward_within_scenario() {
         let report = tiny_report();
-        let best = report
-            .best_point(Scenario::Unconstrained)
-            .expect("feasible runs");
+        let best = report.best_point("Unconstrained").expect("feasible runs");
         for shard in report
             .shards
             .iter()
-            .filter(|s| s.spec.scenario == Scenario::Unconstrained)
+            .filter(|s| s.spec.scenario_name() == "Unconstrained")
         {
             if let Some(b) = &shard.best {
                 assert!(b.reward <= best.reward);
@@ -464,7 +502,7 @@ mod tests {
         let cold = ShardedDriver::new(2).run(&tiny_campaign(), &db);
         assert!(cold.shards.iter().all(|s| s.history.is_none()));
         assert!(cold
-            .average_reward_curve(Scenario::Unconstrained, StrategyKind::Random, 10)
+            .average_reward_curve("Unconstrained", StrategyKind::Random, 10)
             .is_none());
 
         let recorded = ShardedDriver::new(2).run(&tiny_campaign().record_histories(true), &db);
@@ -473,7 +511,7 @@ mod tests {
             assert_eq!(history.len(), shard.steps);
         }
         let curve = recorded
-            .average_reward_curve(Scenario::Unconstrained, StrategyKind::Random, 10)
+            .average_reward_curve("Unconstrained", StrategyKind::Random, 10)
             .expect("two recorded runs");
         assert_eq!(curve.len(), 60);
         assert!(curve.iter().all(|v| v.is_finite()));
@@ -482,8 +520,7 @@ mod tests {
             .shards
             .iter()
             .filter(|s| {
-                s.spec.scenario == Scenario::Unconstrained
-                    && s.spec.strategy == StrategyKind::Random
+                s.spec.scenario_name() == "Unconstrained" && s.spec.strategy == StrategyKind::Random
             })
             .map(|s| s.reward_curve(10).unwrap())
             .collect();

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use codesign_core::{CodesignSpace, Evaluator, Scenario, SearchConfig, SearchContext};
+use codesign_core::{CodesignSpace, Evaluator, ScenarioSpec, SearchConfig, SearchContext};
 use codesign_engine::{Campaign, CampaignReport, ShardedDriver, StrategyKind, WorkStealingBackend};
 use codesign_moo::ParetoFront;
 use codesign_nasbench::NasbenchDatabase;
@@ -14,7 +14,7 @@ use rand::SeedableRng;
 
 fn sweep_campaign() -> Campaign {
     Campaign::new(CodesignSpace::with_max_vertices(4))
-        .scenarios(Scenario::ALL.to_vec())
+        .scenarios(ScenarioSpec::paper_presets())
         .strategies(StrategyKind::ALL.to_vec())
         .seeds(vec![0, 1])
         .steps(60)
@@ -52,11 +52,12 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport) {
             x.spec.index
         );
     }
-    for scenario in Scenario::ALL {
+    for scenario in ScenarioSpec::paper_presets() {
         assert_eq!(
-            front_bits(&a.merged_front(scenario)),
-            front_bits(&b.merged_front(scenario)),
-            "merged front diverged for {scenario:?}"
+            front_bits(&a.merged_front(scenario.name())),
+            front_bits(&b.merged_front(scenario.name())),
+            "merged front diverged for {}",
+            scenario.name()
         );
     }
 }
@@ -74,7 +75,7 @@ fn campaigns_are_bit_identical_across_worker_counts() {
 fn backends_are_bit_identical_at_any_worker_count() {
     // Heterogeneous budgets so the work-stealing backend actually reorders.
     let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-        .scenarios(Scenario::ALL.to_vec())
+        .scenarios(ScenarioSpec::paper_presets())
         .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
         .seeds(vec![0])
         .budgets(vec![30, 120]);
@@ -97,7 +98,7 @@ fn backends_are_bit_identical_at_any_worker_count() {
 #[test]
 fn driver_shares_the_database_by_refcount_not_by_clone() {
     let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-        .scenarios(vec![Scenario::Unconstrained])
+        .scenarios(vec![ScenarioSpec::unconstrained()])
         .strategies(vec![StrategyKind::Random])
         .seeds(vec![0, 1, 2, 3])
         .steps(400);
@@ -158,7 +159,7 @@ fn campaign_cache_sees_substantial_reuse() {
 #[test]
 fn merged_shard_fronts_equal_front_of_concatenated_histories() {
     let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-        .scenarios(vec![Scenario::Unconstrained])
+        .scenarios(vec![ScenarioSpec::unconstrained()])
         .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
         .seeds(vec![0, 1, 2])
         .steps(50);
@@ -172,11 +173,10 @@ fn merged_shard_fronts_equal_front_of_concatenated_histories() {
     let mut concatenated: ParetoFront<3, ()> = ParetoFront::new();
     for shard in campaign.shards() {
         let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
-        let reward = shard.scenario.reward_spec();
         let mut ctx = SearchContext {
             space: &campaign.space,
             evaluator: &mut evaluator,
-            reward: &reward,
+            reward: shard.scenario.as_ref(),
         };
         let config = SearchConfig {
             steps: shard.steps,
@@ -200,7 +200,7 @@ fn merged_shard_fronts_equal_front_of_concatenated_histories() {
         .collect();
     history_bits.sort_unstable();
     assert_eq!(
-        front_bits(&report.merged_front(Scenario::Unconstrained)),
+        front_bits(&report.merged_front("Unconstrained")),
         history_bits,
         "merged shard fronts != front of concatenated histories"
     );

@@ -1,0 +1,127 @@
+//! Parity acceptance test for the open scenario API:
+//! `ScenarioSpec::paper_presets()` drives the engine to results
+//! bit-identical to the historical closed `Scenario` enum, across every
+//! strategy at fixed seeds.
+//!
+//! The proof is deliberately non-circular: campaigns run through the new
+//! declarative path only, and every recorded step is then *re-scored
+//! independently* with the old enum's `RewardSpec<3>` over the recorded
+//! `(−area, −lat, acc)` metrics. If the declarative rewards diverged from
+//! the enum's by even one bit, the recorded controller rewards, feasible
+//! counts, or best points could not all re-derive exactly.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use codesign_core::{CodesignSpace, Scenario, ScenarioSpec, INVALID_PROPOSAL_REWARD};
+use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
+use codesign_nasbench::NasbenchDatabase;
+
+fn strategies() -> Vec<StrategyKind> {
+    StrategyKind::ALL
+        .into_iter()
+        .chain([StrategyKind::Evolution])
+        .collect()
+}
+
+fn preset_campaign() -> Campaign {
+    Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(ScenarioSpec::paper_presets())
+        .strategies(strategies())
+        .seeds(vec![0, 1])
+        .steps(60)
+        .record_histories(true)
+}
+
+fn legacy_for(name: &str) -> Scenario {
+    *Scenario::ALL
+        .iter()
+        .find(|s| s.name() == name)
+        .expect("preset names match the enum")
+}
+
+#[test]
+fn presets_rederive_bitwise_under_the_legacy_enum_rewards() {
+    let campaign = preset_campaign();
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
+    let report = ShardedDriver::new(4).run(&campaign, &db);
+    assert_eq!(report.shards.len(), 3 * 5 * 2);
+
+    for shard in &report.shards {
+        let legacy = legacy_for(shard.spec.scenario_name()).reward_spec();
+        let history = shard.history.as_ref().expect("histories recorded");
+        let mut feasible = 0usize;
+        let mut invalid = 0usize;
+        let mut best_reward = f64::NEG_INFINITY;
+        for (step, record) in history.iter().enumerate() {
+            match record.metrics {
+                Some(metrics) => {
+                    let rescored = legacy.evaluate(&metrics);
+                    assert_eq!(
+                        record.reward.to_bits(),
+                        rescored.value().to_bits(),
+                        "shard {} ({} / {} / seed {}) step {step}: recorded reward {} \
+                         != legacy enum reward {}",
+                        shard.spec.index,
+                        shard.spec.scenario_name(),
+                        shard.spec.strategy.name(),
+                        shard.spec.seed,
+                        record.reward,
+                        rescored.value()
+                    );
+                    assert_eq!(record.feasible, rescored.is_feasible());
+                    if rescored.is_feasible() {
+                        feasible += 1;
+                        best_reward = best_reward.max(rescored.value());
+                    }
+                }
+                None => {
+                    assert_eq!(record.reward, INVALID_PROPOSAL_REWARD);
+                    assert!(!record.feasible && !record.valid);
+                    invalid += 1;
+                }
+            }
+        }
+        assert_eq!(shard.feasible_steps, feasible, "shard {}", shard.spec.index);
+        assert_eq!(shard.invalid_steps, invalid, "shard {}", shard.spec.index);
+        match &shard.best {
+            Some(best) => {
+                assert_eq!(
+                    best.reward.to_bits(),
+                    best_reward.to_bits(),
+                    "shard {} best-point reward must be the max legacy reward",
+                    shard.spec.index
+                );
+                // The stored best point re-scores to its stored reward.
+                let rescored = legacy.evaluate(&best.evaluation.metrics());
+                assert_eq!(best.reward.to_bits(), rescored.value().to_bits());
+            }
+            None => assert_eq!(feasible, 0),
+        }
+    }
+}
+
+#[test]
+fn enum_alias_and_presets_build_identical_campaigns() {
+    // The deprecated enum survives as a thin alias: a campaign declared via
+    // `Scenario::to_spec()` is the same campaign as one declared via
+    // `ScenarioSpec::paper_presets()` — and both are the `Campaign::new`
+    // default.
+    let via_enum: Vec<ScenarioSpec> = Scenario::ALL.iter().map(Scenario::to_spec).collect();
+    assert_eq!(via_enum, ScenarioSpec::paper_presets());
+    assert_eq!(
+        Campaign::new(CodesignSpace::with_max_vertices(4)).scenarios,
+        ScenarioSpec::paper_presets()
+    );
+
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
+    let presets = ShardedDriver::new(2).run(&preset_campaign(), &db);
+    let aliased = ShardedDriver::new(2).run(&preset_campaign().scenarios(via_enum), &db);
+    for (a, b) in presets.shards.iter().zip(aliased.shards.iter()) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.best, b.best, "shard {} diverged", a.spec.index);
+        assert_eq!(a.feasible_steps, b.feasible_steps);
+        assert_eq!(a.history, b.history);
+    }
+}

@@ -24,13 +24,18 @@ fn cell_hash() -> impl Strategy<Value = u128> {
 }
 
 fn evaluation() -> impl Strategy<Value = PairEvaluation> {
-    ((0.5f64..1.0), (1.0f64..500.0), (40.0f64..250.0)).prop_map(
-        |(accuracy, latency_ms, area_mm2)| PairEvaluation {
+    (
+        (0.5f64..1.0),
+        (1.0f64..500.0),
+        (40.0f64..250.0),
+        (0.5f64..15.0),
+    )
+        .prop_map(|(accuracy, latency_ms, area_mm2, power_w)| PairEvaluation {
             accuracy,
             latency_ms,
             area_mm2,
-        },
-    )
+            power_w,
+        })
 }
 
 /// `(hash, config index, evaluation)` pair entries plus `(hash, accuracy)`

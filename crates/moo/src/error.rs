@@ -23,6 +23,14 @@ pub enum MooError {
     IncompleteSpec { missing: &'static str },
     /// A punishment configuration was invalid (non-positive scale).
     InvalidPunishment { reason: &'static str },
+    /// A runtime-dimension spec mixed differently-sized weight/norm vectors,
+    /// or a threshold index was out of bounds.
+    DimensionMismatch {
+        /// The dimension implied by the first-provided component.
+        expected: usize,
+        /// The offending dimension or index.
+        found: usize,
+    },
 }
 
 impl fmt::Display for MooError {
@@ -43,6 +51,12 @@ impl fmt::Display for MooError {
             }
             MooError::InvalidPunishment { reason } => {
                 write!(f, "invalid punishment configuration: {reason}")
+            }
+            MooError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "reward dimension mismatch: expected {expected}, found {found}"
+                )
             }
         }
     }

@@ -63,4 +63,7 @@ pub use error::MooError;
 pub use hypervolume::{hypervolume_2d, hypervolume_3d};
 pub use normalize::LinearNorm;
 pub use pareto::{pareto_filter, pareto_indices, ParetoFront, StreamingParetoFilter};
-pub use reward::{Punishment, RewardOutcome, RewardSpec, RewardSpecBuilder};
+pub use reward::{
+    validate_punishment, validate_weights, DynRewardSpec, DynRewardSpecBuilder, Punishment,
+    RewardOutcome, RewardSpec, RewardSpecBuilder,
+};

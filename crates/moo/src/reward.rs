@@ -193,6 +193,49 @@ impl<const N: usize> RewardSpec<N> {
     }
 }
 
+/// Validates a weight vector: every entry finite and non-negative, at least
+/// one strictly positive. Shared by the const-generic and runtime-dimension
+/// builders so both reject exactly the same inputs — and public so
+/// higher-level declaration layers (scenario specs) can apply the *same*
+/// rules up front instead of re-implementing them.
+///
+/// # Errors
+///
+/// Returns [`MooError::InvalidWeights`] describing the violated rule.
+pub fn validate_weights(w: &[f64]) -> Result<(), MooError> {
+    if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return Err(MooError::InvalidWeights {
+            reason: "weights must be finite and >= 0",
+        });
+    }
+    if w.iter().sum::<f64>() <= 0.0 {
+        return Err(MooError::InvalidWeights {
+            reason: "weights must not all be zero",
+        });
+    }
+    Ok(())
+}
+
+/// Validates a punishment policy: positive, finite magnitude. Shared by
+/// both builders and public for the same reason as [`validate_weights`].
+///
+/// # Errors
+///
+/// Returns [`MooError::InvalidPunishment`] for non-positive or non-finite
+/// magnitudes.
+pub fn validate_punishment(p: Punishment) -> Result<(), MooError> {
+    let magnitude = match p {
+        Punishment::Constant(c) => c.abs(),
+        Punishment::ScaledViolation { scale } => scale,
+    };
+    if !(magnitude > 0.0 && magnitude.is_finite()) {
+        return Err(MooError::InvalidPunishment {
+            reason: "magnitude must be positive",
+        });
+    }
+    Ok(())
+}
+
 /// Builder for [`RewardSpec`] (see [C-BUILDER]).
 ///
 /// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
@@ -229,16 +272,7 @@ impl<const N: usize> RewardSpecBuilder<N> {
     /// Returns [`MooError::InvalidWeights`] if any weight is negative or
     /// non-finite, or if all weights are zero.
     pub fn weights(mut self, w: [f64; N]) -> Result<Self, MooError> {
-        if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
-            return Err(MooError::InvalidWeights {
-                reason: "weights must be finite and >= 0",
-            });
-        }
-        if w.iter().sum::<f64>() <= 0.0 {
-            return Err(MooError::InvalidWeights {
-                reason: "weights must not all be zero",
-            });
-        }
+        validate_weights(&w)?;
         self.weights = Some(w);
         Ok(self)
     }
@@ -273,15 +307,7 @@ impl<const N: usize> RewardSpecBuilder<N> {
     ///
     /// Returns [`MooError::InvalidPunishment`] for non-positive magnitudes.
     pub fn punishment(mut self, p: Punishment) -> Result<Self, MooError> {
-        let magnitude = match p {
-            Punishment::Constant(c) => c.abs(),
-            Punishment::ScaledViolation { scale } => scale,
-        };
-        if !(magnitude > 0.0 && magnitude.is_finite()) {
-            return Err(MooError::InvalidPunishment {
-                reason: "magnitude must be positive",
-            });
-        }
+        validate_punishment(p)?;
         self.punishment = p;
         Ok(self)
     }
@@ -303,6 +329,308 @@ impl<const N: usize> RewardSpecBuilder<N> {
             weights,
             norms,
             thresholds: self.thresholds,
+            punishment: self.punishment,
+        })
+    }
+}
+
+/// A [`RewardSpec`] whose dimension is chosen at runtime.
+///
+/// The const-generic [`RewardSpec<N>`] is the right tool when the objective
+/// count is fixed at compile time (the paper's `(−area, −lat, acc)` triple);
+/// declarative scenario specifications — where users pick an arbitrary set
+/// of named metrics — need the dimension to be data. `DynRewardSpec` is the
+/// same ε-constraint + weighted-sum machinery over a `Vec`, built through a
+/// builder that applies **the same validation** as the const-generic one
+/// (shared helper functions, so the two can never drift apart).
+///
+/// Evaluation is bit-identical to a `RewardSpec<N>` with the same weights,
+/// norms, and thresholds in the same order: the accumulation loops are the
+/// same f64 operations in the same sequence.
+///
+/// # Examples
+///
+/// The paper's "1 Constraint" scenario, with the dimension as data:
+///
+/// ```
+/// use codesign_moo::{DynRewardSpec, LinearNorm};
+///
+/// # fn main() -> Result<(), codesign_moo::MooError> {
+/// let spec = DynRewardSpec::builder()
+///     .weights(vec![0.1, 0.0, 0.9])?
+///     .norms(vec![
+///         LinearNorm::new(-250.0, -50.0)?,
+///         LinearNorm::new(-400.0, -1.0)?,
+///         LinearNorm::new(0.8, 0.95)?,
+///     ])
+///     .threshold(1, -100.0)?
+///     .build()?;
+/// assert_eq!(spec.len(), 3);
+/// assert!(spec.evaluate(&[-120.0, -80.0, 0.93]).is_feasible());
+/// assert!(!spec.evaluate(&[-120.0, -150.0, 0.93]).is_feasible());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynRewardSpec {
+    weights: Vec<f64>,
+    norms: Vec<LinearNorm>,
+    thresholds: Vec<Option<f64>>,
+    punishment: Punishment,
+}
+
+impl DynRewardSpec {
+    /// Starts building a runtime-dimension reward specification.
+    #[must_use]
+    pub fn builder() -> DynRewardSpecBuilder {
+        DynRewardSpecBuilder::new()
+    }
+
+    /// The number of objectives.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when the spec has no objectives (never constructible through
+    /// the builder, which rejects all-zero weight vectors).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The weight vector `w`.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Per-metric normalizations `N`.
+    #[must_use]
+    pub fn norms(&self) -> &[LinearNorm] {
+        &self.norms
+    }
+
+    /// Per-metric lower-bound thresholds (all-maximize convention).
+    #[must_use]
+    pub fn thresholds(&self) -> &[Option<f64>] {
+        &self.thresholds
+    }
+
+    /// Returns `true` when `m` meets every configured threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len()` differs from [`DynRewardSpec::len`].
+    #[must_use]
+    pub fn is_feasible(&self, m: &[f64]) -> bool {
+        self.check_dim(m);
+        self.thresholds
+            .iter()
+            .zip(m.iter())
+            .all(|(th, v)| th.is_none_or(|t| *v >= t))
+    }
+
+    /// Evaluates Eq. 3: the weighted normalized sum for feasible points, the
+    /// punishment `Rv` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len()` differs from [`DynRewardSpec::len`].
+    #[must_use]
+    pub fn evaluate(&self, m: &[f64]) -> RewardOutcome {
+        if self.is_feasible(m) {
+            RewardOutcome::Feasible(self.scalarize(m))
+        } else {
+            RewardOutcome::Punished(self.punish(m))
+        }
+    }
+
+    /// The weighted sum `w · N(m)` ignoring feasibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len()` differs from [`DynRewardSpec::len`].
+    #[must_use]
+    pub fn scalarize(&self, m: &[f64]) -> f64 {
+        self.check_dim(m);
+        let mut acc = 0.0;
+        // Same loop shape as RewardSpec::scalarize: identical f64 ops in
+        // identical order is what makes the two bit-identical.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.weights.len() {
+            acc += self.weights[i] * self.norms[i].apply(m[i]);
+        }
+        acc
+    }
+
+    /// Total normalized constraint violation (0 for feasible points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len()` differs from [`DynRewardSpec::len`].
+    #[must_use]
+    pub fn violation(&self, m: &[f64]) -> f64 {
+        self.check_dim(m);
+        let mut total = 0.0;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.weights.len() {
+            if let Some(t) = self.thresholds[i] {
+                if m[i] < t {
+                    let span = self.norms[i].max() - self.norms[i].min();
+                    total += (t - m[i]) / span;
+                }
+            }
+        }
+        total
+    }
+
+    fn punish(&self, m: &[f64]) -> f64 {
+        match self.punishment {
+            Punishment::Constant(c) => -c.abs(),
+            Punishment::ScaledViolation { scale } => -(scale * (1.0 + self.violation(m).min(10.0))),
+        }
+    }
+
+    fn check_dim(&self, m: &[f64]) {
+        assert_eq!(
+            m.len(),
+            self.weights.len(),
+            "metric vector dimension {} does not match the {}-objective spec",
+            m.len(),
+            self.weights.len()
+        );
+    }
+}
+
+impl<const N: usize> From<RewardSpec<N>> for DynRewardSpec {
+    fn from(spec: RewardSpec<N>) -> Self {
+        Self {
+            weights: spec.weights.to_vec(),
+            norms: spec.norms.to_vec(),
+            thresholds: spec.thresholds.to_vec(),
+            punishment: spec.punishment,
+        }
+    }
+}
+
+/// Builder for [`DynRewardSpec`]; validation mirrors
+/// [`RewardSpecBuilder`] exactly (the two share the same checks), with one
+/// addition: the weight and norm vectors must agree on the dimension, and
+/// thresholds must index into it.
+#[derive(Debug, Clone, Default)]
+pub struct DynRewardSpecBuilder {
+    weights: Option<Vec<f64>>,
+    norms: Option<Vec<LinearNorm>>,
+    thresholds: Vec<(usize, f64)>,
+    punishment: Punishment,
+}
+
+impl DynRewardSpecBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            weights: None,
+            norms: None,
+            thresholds: Vec::new(),
+            punishment: Punishment::default(),
+        }
+    }
+
+    /// Sets the weight vector `w`, fixing the dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::InvalidWeights`] under exactly the conditions of
+    /// [`RewardSpecBuilder::weights`].
+    pub fn weights(mut self, w: Vec<f64>) -> Result<Self, MooError> {
+        validate_weights(&w)?;
+        self.weights = Some(w);
+        Ok(self)
+    }
+
+    /// Sets the per-metric normalizations.
+    #[must_use]
+    pub fn norms(mut self, norms: Vec<LinearNorm>) -> Self {
+        self.norms = Some(norms);
+        self
+    }
+
+    /// Adds a lower-bound threshold on metric `index` (all-maximize
+    /// convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::DimensionMismatch`] when `index` is out of bounds
+    /// of an already-fixed dimension (bounds of a later-fixed dimension are
+    /// checked at [`DynRewardSpecBuilder::build`]).
+    pub fn threshold(mut self, index: usize, min_value: f64) -> Result<Self, MooError> {
+        if let Some(dim) = self.dimension() {
+            if index >= dim {
+                return Err(MooError::DimensionMismatch {
+                    expected: dim,
+                    found: index,
+                });
+            }
+        }
+        self.thresholds.push((index, min_value));
+        Ok(self)
+    }
+
+    /// Sets the punishment policy for infeasible points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::InvalidPunishment`] under exactly the conditions
+    /// of [`RewardSpecBuilder::punishment`].
+    pub fn punishment(mut self, p: Punishment) -> Result<Self, MooError> {
+        validate_punishment(p)?;
+        self.punishment = p;
+        Ok(self)
+    }
+
+    fn dimension(&self) -> Option<usize> {
+        self.weights
+            .as_ref()
+            .map(Vec::len)
+            .or_else(|| self.norms.as_ref().map(Vec::len))
+    }
+
+    /// Finalizes the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::IncompleteSpec`] when weights or norms were never
+    /// provided, and [`MooError::DimensionMismatch`] when their lengths
+    /// disagree or a threshold indexes past the dimension.
+    pub fn build(self) -> Result<DynRewardSpec, MooError> {
+        let weights = self
+            .weights
+            .ok_or(MooError::IncompleteSpec { missing: "weights" })?;
+        let norms = self
+            .norms
+            .ok_or(MooError::IncompleteSpec { missing: "norms" })?;
+        if weights.len() != norms.len() {
+            return Err(MooError::DimensionMismatch {
+                expected: weights.len(),
+                found: norms.len(),
+            });
+        }
+        let mut thresholds = vec![None; weights.len()];
+        for (index, value) in self.thresholds {
+            if index >= weights.len() {
+                return Err(MooError::DimensionMismatch {
+                    expected: weights.len(),
+                    found: index,
+                });
+            }
+            thresholds[index] = Some(value);
+        }
+        Ok(DynRewardSpec {
+            weights,
+            norms,
+            thresholds,
             punishment: self.punishment,
         })
     }
@@ -496,6 +824,126 @@ mod tests {
         let v_two = spec.violation(&[0.4, 0.4]);
         assert!(v_two > v_one && v_one > 0.0);
         assert_eq!(spec.violation(&[0.6, 0.6]), 0.0);
+    }
+
+    #[test]
+    fn dyn_spec_is_bitwise_identical_to_const_generic() {
+        let fixed = RewardSpec::builder()
+            .weights([0.1, 0.8, 0.1])
+            .unwrap()
+            .norms([
+                LinearNorm::new(-250.0, -50.0).unwrap(),
+                LinearNorm::new(-400.0, -1.0).unwrap(),
+                LinearNorm::new(0.8, 0.95).unwrap(),
+            ])
+            .threshold(1, -100.0)
+            .threshold(2, 0.92)
+            .punishment(Punishment::ScaledViolation { scale: 0.1 })
+            .unwrap()
+            .build()
+            .unwrap();
+        let dynamic: DynRewardSpec = fixed.clone().into();
+        let built = DynRewardSpec::builder()
+            .weights(vec![0.1, 0.8, 0.1])
+            .unwrap()
+            .norms(vec![
+                LinearNorm::new(-250.0, -50.0).unwrap(),
+                LinearNorm::new(-400.0, -1.0).unwrap(),
+                LinearNorm::new(0.8, 0.95).unwrap(),
+            ])
+            .threshold(1, -100.0)
+            .unwrap()
+            .threshold(2, 0.92)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(dynamic, built);
+        for m in [
+            [-120.0, -80.0, 0.93],
+            [-120.0, -150.0, 0.93],
+            [-60.0, -40.0, 0.91],
+            [-300.0, -500.0, 0.5],
+        ] {
+            let a = fixed.evaluate(&m);
+            let b = dynamic.evaluate(&m);
+            assert_eq!(a.is_feasible(), b.is_feasible());
+            assert_eq!(a.value().to_bits(), b.value().to_bits(), "point {m:?}");
+            assert_eq!(
+                fixed.scalarize(&m).to_bits(),
+                dynamic.scalarize(&m).to_bits()
+            );
+            assert_eq!(
+                fixed.violation(&m).to_bits(),
+                dynamic.violation(&m).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn dyn_builder_validates_like_the_const_generic_builder() {
+        assert!(DynRewardSpec::builder().weights(vec![-0.1, 1.0]).is_err());
+        assert!(DynRewardSpec::builder().weights(vec![0.0, 0.0]).is_err());
+        assert!(DynRewardSpec::builder()
+            .weights(vec![f64::NAN, 1.0])
+            .is_err());
+        assert!(DynRewardSpec::builder()
+            .punishment(Punishment::Constant(0.0))
+            .is_err());
+        assert!(matches!(
+            DynRewardSpec::builder().build().unwrap_err(),
+            MooError::IncompleteSpec { missing: "weights" }
+        ));
+    }
+
+    #[test]
+    fn dyn_builder_rejects_dimension_mismatches() {
+        let err = DynRewardSpec::builder()
+            .weights(vec![1.0, 1.0])
+            .unwrap()
+            .norms(vec![LinearNorm::unit()])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MooError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
+        let err = DynRewardSpec::builder()
+            .weights(vec![1.0])
+            .unwrap()
+            .threshold(3, 0.0)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MooError::DimensionMismatch {
+                expected: 1,
+                found: 3
+            }
+        ));
+        // A threshold added before the dimension is fixed is checked at build.
+        let err = DynRewardSpec::builder()
+            .threshold(5, 0.0)
+            .unwrap()
+            .weights(vec![1.0])
+            .unwrap()
+            .norms(vec![LinearNorm::unit()])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MooError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn dyn_spec_panics_on_wrong_metric_dimension() {
+        let spec = DynRewardSpec::builder()
+            .weights(vec![1.0, 1.0])
+            .unwrap()
+            .norms(vec![LinearNorm::unit(), LinearNorm::unit()])
+            .build()
+            .unwrap();
+        let _ = spec.evaluate(&[0.5]);
     }
 
     #[test]

@@ -15,13 +15,13 @@
 
 use std::sync::Arc;
 
-use codesign_nas::core::{CodesignSpace, Scenario};
+use codesign_nas::core::{CodesignSpace, ScenarioSpec};
 use codesign_nas::engine::{
     Campaign, CampaignReport, ShardedDriver, StrategyKind, WorkStealingBackend,
 };
 use codesign_nas::nasbench::NasbenchDatabase;
 
-fn front_fingerprint(report: &CampaignReport, scenario: Scenario) -> Vec<[u64; 3]> {
+fn front_fingerprint(report: &CampaignReport, scenario: &str) -> Vec<[u64; 3]> {
     let mut bits: Vec<[u64; 3]> = report
         .merged_front(scenario)
         .iter()
@@ -33,7 +33,7 @@ fn front_fingerprint(report: &CampaignReport, scenario: Scenario) -> Vec<[u64; 3
 
 fn main() {
     let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-        .scenarios(Scenario::ALL.to_vec())
+        .scenarios(ScenarioSpec::paper_presets())
         .strategies(StrategyKind::ALL.to_vec())
         .seeds(vec![0, 1, 2])
         .steps(250);
@@ -59,16 +59,17 @@ fn main() {
         .run(&campaign, &db);
 
     // Guarantee 1: neither worker count nor backend changes results.
-    for scenario in Scenario::ALL {
+    for scenario in ScenarioSpec::paper_presets() {
         for (label, report) in [
             ("8 workers", &parallel),
             ("work-stealing x1", &stealing_sequential),
             ("work-stealing x8", &stealing_parallel),
         ] {
             assert_eq!(
-                front_fingerprint(&sequential, scenario),
-                front_fingerprint(report, scenario),
-                "merged front diverged between 1 worker and {label} for {scenario:?}"
+                front_fingerprint(&sequential, scenario.name()),
+                front_fingerprint(report, scenario.name()),
+                "merged front diverged between 1 worker and {label} for {}",
+                scenario.name()
             );
         }
     }
@@ -99,9 +100,9 @@ fn main() {
     assert!(stats.hits > 0, "expected shared-cache reuse, got {stats}");
     println!("{parallel}");
 
-    for scenario in Scenario::ALL {
-        let front = parallel.merged_front(scenario);
-        let best = parallel.best_point(scenario);
+    for scenario in ScenarioSpec::paper_presets() {
+        let front = parallel.merged_front(scenario.name());
+        let best = parallel.best_point(scenario.name());
         println!(
             "{:<14} merged front: {:>3} points; best: {}",
             scenario.name(),

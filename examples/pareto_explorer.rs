@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example pareto_explorer`
 
-use codesign_nas::core::{enumerate_codesign_space, top_pareto_points, Scenario};
+use codesign_nas::core::{enumerate_codesign_space, top_pareto_points, ScenarioSpec};
 use codesign_nas::moo::hypervolume_3d;
 use codesign_nas::nasbench::{Dataset, NasbenchDatabase};
 
@@ -62,8 +62,8 @@ fn main() {
     println!("dominated hypervolume (ref 250 mm2 / 500 ms / 50%): {hv:.0}");
 
     // What each scenario's reward considers the "top" of this frontier.
-    for scenario in Scenario::ALL {
-        let top = top_pareto_points(scenario, &result, 5);
+    for scenario in ScenarioSpec::paper_presets() {
+        let top = top_pareto_points(&scenario, &result, 5);
         println!("\ntop-5 under the {} reward:", scenario.name());
         for m in top {
             println!("  {:.1} ms, {:.2}%, {:.0} mm2", -m[1], m[2] * 100.0, -m[0]);

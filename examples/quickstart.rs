@@ -5,7 +5,8 @@
 
 use codesign_nas::accel::ConfigSpace;
 use codesign_nas::core::{
-    CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig, SearchContext, SearchStrategy,
+    CodesignSpace, CombinedSearch, Evaluator, ScenarioSpec, SearchConfig, SearchContext,
+    SearchStrategy,
 };
 use codesign_nas::nasbench::{known_cells, NasbenchDatabase};
 
@@ -36,8 +37,8 @@ fn main() {
     // 3. Let Codesign-NAS search the joint space for something better under
     //    the paper's unconstrained reward.
     let space = CodesignSpace::with_max_vertices(4);
-    let reward = Scenario::Unconstrained.reward_spec();
-    let resnet_reward = reward.scalarize(&eval.metrics());
+    let reward = ScenarioSpec::unconstrained().compile();
+    let resnet_reward = reward.reward(&eval).value();
     let mut ctx = SearchContext {
         space: &space,
         evaluator: &mut evaluator,

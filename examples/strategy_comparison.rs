@@ -7,19 +7,19 @@
 use std::sync::Arc;
 
 use codesign_nas::core::{
-    CodesignSpace, CombinedSearch, Evaluator, PhaseSearch, RandomSearch, Scenario, SearchConfig,
-    SearchContext, SearchOutcome, SearchStrategy, SeparateSearch,
+    CodesignSpace, CombinedSearch, Evaluator, PhaseSearch, RandomSearch, ScenarioSpec,
+    SearchConfig, SearchContext, SearchOutcome, SearchStrategy, SeparateSearch,
 };
 use codesign_nas::nasbench::NasbenchDatabase;
 
 fn main() {
     let steps = 1500;
-    let scenario = Scenario::OneConstraint;
+    let scenario = ScenarioSpec::one_constraint();
     println!("scenario: {} | {steps} steps per run\n", scenario.name());
 
     let db = Arc::new(NasbenchDatabase::exhaustive(5));
     let space = CodesignSpace::with_max_vertices(5);
-    let reward = scenario.reward_spec();
+    let reward = scenario.compile();
 
     let strategies: Vec<Box<dyn SearchStrategy>> = vec![
         Box::new(SeparateSearch {

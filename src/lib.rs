@@ -25,14 +25,14 @@
 //!
 //! ```
 //! use codesign_nas::core::{
-//!     CodesignSpace, CombinedSearch, Evaluator, Scenario, SearchConfig,
+//!     CodesignSpace, CombinedSearch, Evaluator, ScenarioSpec, SearchConfig,
 //!     SearchContext, SearchStrategy,
 //! };
 //! use codesign_nas::nasbench::NasbenchDatabase;
 //!
 //! let space = CodesignSpace::with_max_vertices(4);
 //! let mut evaluator = Evaluator::with_database(NasbenchDatabase::exhaustive(4));
-//! let reward = Scenario::Unconstrained.reward_spec();
+//! let reward = ScenarioSpec::unconstrained().compile();
 //! let mut ctx = SearchContext {
 //!     space: &space,
 //!     evaluator: &mut evaluator,

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use codesign_nas::core::{CodesignSpace, Scenario};
+use codesign_nas::core::{CodesignSpace, ScenarioSpec};
 use codesign_nas::engine::{
     backend_from_name, Campaign, ShardedDriver, SharedEvalCache, StrategyKind,
 };
@@ -11,15 +11,15 @@ use codesign_nas::nasbench::NasbenchDatabase;
 #[test]
 fn facade_exposes_the_campaign_engine() {
     let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-        .scenarios(vec![Scenario::Unconstrained])
+        .scenarios(vec![ScenarioSpec::unconstrained()])
         .strategies(vec![StrategyKind::Random])
         .seeds(vec![0, 1])
         .steps(50);
     let db = Arc::new(NasbenchDatabase::exhaustive(4));
     let report = ShardedDriver::new(2).run(&campaign, &db);
     assert_eq!(report.shards.len(), 2);
-    assert!(!report.merged_front(Scenario::Unconstrained).is_empty());
-    assert!(report.best_point(Scenario::Unconstrained).is_some());
+    assert!(!report.merged_front("Unconstrained").is_empty());
+    assert!(report.best_point("Unconstrained").is_some());
     let stats = report.cache.expect("cache on by default");
     assert!(stats.hits + stats.misses > 0);
     let mut jsonl = Vec::new();
@@ -30,7 +30,7 @@ fn facade_exposes_the_campaign_engine() {
 #[test]
 fn facade_exposes_backends_and_cache_persistence() {
     let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
-        .scenarios(vec![Scenario::Unconstrained])
+        .scenarios(vec![ScenarioSpec::unconstrained()])
         .strategies(vec![StrategyKind::Random])
         .seeds(vec![0])
         .steps(40);

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use codesign_nas::core::{
-    enumerate_codesign_space, CodesignSpace, CombinedSearch, Evaluator, RandomSearch, Scenario,
+    enumerate_codesign_space, CodesignSpace, CombinedSearch, Evaluator, RandomSearch, ScenarioSpec,
     SearchConfig, SearchContext, SearchStrategy,
 };
 use codesign_nas::moo::dominates;
@@ -25,7 +25,7 @@ fn search_never_beats_the_exact_front() {
         (&RandomSearch as &dyn SearchStrategy, 2u64),
     ] {
         let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
-        let reward = Scenario::Unconstrained.reward_spec();
+        let reward = ScenarioSpec::unconstrained().compile();
         let mut ctx = SearchContext {
             space: &space,
             evaluator: &mut evaluator,
@@ -98,7 +98,7 @@ fn space_roundtrip_is_database_stable() {
 fn evaluator_is_referentially_transparent() {
     let db = Arc::new(NasbenchDatabase::exhaustive(4));
     let space = CodesignSpace::with_max_vertices(4);
-    let reward = Scenario::Unconstrained.reward_spec();
+    let reward = ScenarioSpec::unconstrained().compile();
     let run = |seed: u64| {
         let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
         let mut ctx = SearchContext {

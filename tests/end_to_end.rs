@@ -6,7 +6,7 @@ use std::sync::Arc;
 use codesign_nas::accel::ConfigSpace;
 use codesign_nas::core::{
     compare_strategies, CodesignSpace, CombinedSearch, ComparisonConfig, Evaluator, PhaseSearch,
-    RandomSearch, Scenario, SearchConfig, SearchContext, SearchStrategy, SeparateSearch,
+    RandomSearch, ScenarioSpec, SearchConfig, SearchContext, SearchStrategy, SeparateSearch,
 };
 use codesign_nas::nasbench::{known_cells, Dataset, NasbenchDatabase, SurrogateModel};
 
@@ -20,7 +20,7 @@ fn quick_context_db() -> (CodesignSpace, Arc<NasbenchDatabase>) {
 #[test]
 fn every_strategy_completes_and_finds_feasible_points() {
     let (space, db) = quick_context_db();
-    let reward = Scenario::Unconstrained.reward_spec();
+    let reward = ScenarioSpec::unconstrained().compile();
     let strategies: Vec<Box<dyn SearchStrategy>> = vec![
         Box::new(CombinedSearch),
         Box::new(PhaseSearch {
@@ -53,7 +53,7 @@ fn search_improves_over_early_best() {
     // The controller's late-stage best must be at least as good as its
     // step-50 best (monotone best tracking), and usually strictly better.
     let (space, db) = quick_context_db();
-    let reward = Scenario::Unconstrained.reward_spec();
+    let reward = ScenarioSpec::unconstrained().compile();
     let mut evaluator = Evaluator::with_shared_database(db);
     let mut ctx = SearchContext {
         space: &space,
@@ -76,7 +76,7 @@ fn search_improves_over_early_best() {
 fn full_comparison_pipeline_runs() {
     let (space, db) = quick_context_db();
     let cmp = compare_strategies(
-        Scenario::OneConstraint,
+        &ScenarioSpec::one_constraint(),
         &space,
         &db,
         &ComparisonConfig::quick(80, 2),
@@ -93,7 +93,7 @@ fn full_comparison_pipeline_runs() {
 fn trainer_backed_search_accounts_gpu_hours() {
     let space = CodesignSpace::with_max_vertices(5);
     let mut evaluator = Evaluator::with_trainer(SurrogateModel::default(), Dataset::Cifar100);
-    let reward = Scenario::Unconstrained.reward_spec();
+    let reward = ScenarioSpec::unconstrained().compile();
     let mut ctx = SearchContext {
         space: &space,
         evaluator: &mut evaluator,
@@ -132,7 +132,7 @@ fn phase_search_uses_both_controllers() {
     // have happened: the visited front should contain multiple distinct
     // accelerators AND multiple distinct cells.
     let (space, db) = quick_context_db();
-    let reward = Scenario::Unconstrained.reward_spec();
+    let reward = ScenarioSpec::unconstrained().compile();
     let mut evaluator = Evaluator::with_shared_database(db);
     let mut ctx = SearchContext {
         space: &space,

@@ -8,7 +8,7 @@ use codesign_nas::accel::{
 };
 use codesign_nas::core::{
     enumerate_codesign_space, run_cifar100_codesign, table2_baselines, top_pareto_points,
-    Cifar100Config, Scenario, ThresholdSchedule,
+    Cifar100Config, ScenarioSpec, ThresholdSchedule,
 };
 use codesign_nas::nasbench::{Dataset, NasbenchDatabase};
 
@@ -82,16 +82,16 @@ fn fig4_pareto_structure() {
 fn fig5_reference_points_maximize_reward() {
     let db = NasbenchDatabase::exhaustive(4);
     let enumeration = enumerate_codesign_space(&db, Dataset::Cifar10, 0);
-    for scenario in Scenario::ALL {
-        let top = top_pareto_points(scenario, &enumeration, 10);
-        let spec = scenario.reward_spec();
+    for scenario in ScenarioSpec::paper_presets() {
+        let top = top_pareto_points(&scenario, &enumeration, 10);
+        let spec = scenario.compile();
         // Every other front point scores no better than the top-10 floor.
-        if let Some(floor) = top.last().map(|m| spec.scalarize(m)) {
+        if let Some(floor) = top.last().map(|m| spec.scalarize_triple(m).unwrap()) {
             let better = enumeration
                 .front
                 .iter()
-                .filter(|p| spec.is_feasible(&p.metrics))
-                .filter(|p| spec.scalarize(&p.metrics) > floor + 1e-12)
+                .filter(|p| spec.is_feasible_triple(&p.metrics).unwrap())
+                .filter(|p| spec.scalarize_triple(&p.metrics).unwrap() > floor + 1e-12)
                 .count();
             assert!(
                 better < 10,
