@@ -1,13 +1,15 @@
 //! Criterion benchmarks of the Pareto machinery that filters the
-//! billions-of-points codesign space (Fig. 4).
+//! billions-of-points codesign space (Fig. 4) — including the
+//! runtime-dimension (scenario-native) stack, benchmarked against the
+//! const-generic parity anchor so the dyn path's cost stays visible.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use codesign_core::enumerate_codesign_space;
-use codesign_moo::pareto::{pareto_indices, pareto_indices_3d};
-use codesign_moo::StreamingParetoFilter;
+use codesign_core::{enumerate_codesign_space, ScenarioSpec};
+use codesign_moo::pareto::{pareto_indices, pareto_indices_3d, pareto_indices_dyn};
+use codesign_moo::{DynStreamingParetoFilter, StreamingParetoFilter};
 use codesign_nasbench::{Dataset, NasbenchDatabase};
 
 fn random_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
@@ -25,14 +27,27 @@ fn random_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
 
 fn bench_pareto_filters(c: &mut Criterion) {
     let mut group = c.benchmark_group("pareto_filter");
+    // The scenario whose axes are the paper triple: its schema drives the
+    // dyn variants, exactly as campaign fronts do.
+    let scenario = ScenarioSpec::unconstrained().compile();
     for &n in &[1_000usize, 10_000, 100_000] {
         let pts = random_points(n, 42);
         group.bench_with_input(BenchmarkId::new("sweep_3d", n), &pts, |b, pts| {
             b.iter(|| pareto_indices_3d(black_box(pts)).len())
         });
+        group.bench_with_input(BenchmarkId::new("sweep_3d_dyn", n), &pts, |b, pts| {
+            // Same staircase fast path, reached through the runtime-dimension
+            // API (dims == 3 is detected automatically).
+            b.iter(|| pareto_indices_dyn(black_box(pts)).len())
+        });
         if n <= 10_000 {
             group.bench_with_input(BenchmarkId::new("generic", n), &pts, |b, pts| {
                 b.iter(|| pareto_indices(black_box(pts)).len())
+            });
+            // The generic dyn path at a dimension with no fast path.
+            let pts4: Vec<[f64; 4]> = pts.iter().map(|p| [p[0], p[1], p[2], p[0] * 0.5]).collect();
+            group.bench_with_input(BenchmarkId::new("generic_dyn_4d", n), &pts4, |b, pts| {
+                b.iter(|| pareto_indices_dyn(black_box(pts)).len())
             });
         }
         group.bench_with_input(BenchmarkId::new("streaming", n), &pts, |b, pts| {
@@ -41,6 +56,16 @@ fn bench_pareto_filters(c: &mut Criterion) {
                     StreamingParetoFilter::with_capacity(4096);
                 for (i, p) in pts.iter().enumerate() {
                     f.push(*p, i);
+                }
+                f.finish().len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("streaming_dyn", n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut f: DynStreamingParetoFilter<usize> =
+                    DynStreamingParetoFilter::with_capacity(scenario.axis_schema(), 4096);
+                for (i, p) in pts.iter().enumerate() {
+                    f.push((*p).into(), i);
                 }
                 f.finish().len()
             })
@@ -59,6 +84,13 @@ fn bench_space_enumeration(c: &mut Criterion) {
         b.iter(|| {
             enumerate_codesign_space(black_box(&db), Dataset::Cifar10, 1)
                 .front
+                .len()
+        })
+    });
+    group.bench_function("v3_space_scenario_native", |b| {
+        let scenario = ScenarioSpec::unconstrained().compile();
+        b.iter(|| {
+            codesign_core::enumerate_scenario_front(black_box(&db), Dataset::Cifar10, &scenario, 1)
                 .len()
         })
     });

@@ -55,14 +55,25 @@ fn controller_vs_random(steps: usize, repeats: usize) {
         "combined best R",
         "random best R",
         "advantage",
+        "front (axes)",
     ]);
-    for scenario in ScenarioSpec::paper_presets() {
+    // Beyond the presets, a power-capped scenario the closed enum could
+    // never express — its visited front is reported in its *own* axes.
+    let mut scenarios = ScenarioSpec::paper_presets();
+    scenarios.push(
+        ScenarioSpec::parse_compact("name=power-capped; power<6; w=acc:1")
+            .expect("static scenario"),
+    );
+    for scenario in scenarios {
         let mut combined = 0.0;
         let mut random = 0.0;
+        let mut front_points = 0usize;
+        let mut axes = String::new();
         for seed in 0..repeats as u64 {
-            combined += run(&CombinedSearch, &scenario, &db, steps, seed)
-                .best
-                .map_or(0.0, |b| b.reward);
+            let out = run(&CombinedSearch, &scenario, &db, steps, seed);
+            combined += out.best.as_ref().map_or(0.0, |b| b.reward);
+            front_points += out.front.len();
+            axes = out.front.schema().to_string();
             random += run(&RandomSearch, &scenario, &db, steps, seed)
                 .best
                 .map_or(0.0, |b| b.reward);
@@ -74,6 +85,7 @@ fn controller_vs_random(steps: usize, repeats: usize) {
             fmt_f(combined, 4),
             fmt_f(random, 4),
             fmt_f(combined - random, 4),
+            format!("{} ({axes})", front_points / repeats.max(1)),
         ]);
     }
     println!("{table}");

@@ -14,6 +14,13 @@
 //! a different `--max-vertices` (or database build) is rejected, not
 //! silently reused.
 //!
+//! Scenarios with auto-ranged normalizations (`"norm": "auto"` in a file,
+//! `norm=acc:auto` in the compact grammar) are resolved from a
+//! deterministic enumeration probe sample before the sweep starts. With
+//! `--calibrate`, a short probe sweep runs first, its measured per-shard
+//! wall times become the campaign's `CostModel`, and the full sweep is
+//! re-dispatched with measured scheduling weights automatically.
+//!
 //! Run: `cargo run --release -p codesign-bench --bin campaign`
 //! Args: `[--steps N] [--repeats R] [--max-vertices V] [--workers W]`
 //!       `[--scenario PRESET-INDEX|PRESET-NAME|COMPACT-SPEC]`
@@ -21,13 +28,18 @@
 //!       `[--strategies separate,combined,phase,random]`
 //!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
 //!       `[--cache-path FILE] [--cache-capacity N]`
+//!       `[--calibrate] [--probe-steps N] [--probe-samples N]`
 
 use std::sync::Arc;
 
 use codesign_bench::{out_dir, Args};
-use codesign_core::{CodesignSpace, ScenarioSpec};
+use codesign_core::{probe_pair_evaluations, CodesignSpace, ScenarioSpec};
 use codesign_engine::{backend_from_name, Campaign, ShardedDriver, SharedEvalCache, StrategyKind};
-use codesign_nasbench::NasbenchDatabase;
+use codesign_nasbench::{Dataset, NasbenchDatabase};
+
+/// Padding applied to probe-measured normalization ranges so the probe's
+/// extremes do not saturate at exactly 0 or 1.
+const AUTO_NORM_PAD: f64 = 0.05;
 
 /// Resolves `--scenario` / `--scenarios-file` into the scenario axis.
 /// Both may be given; the file's scenarios come first.
@@ -122,7 +134,7 @@ fn main() {
         })
         .collect();
 
-    let campaign = Campaign::new(CodesignSpace::with_max_vertices(max_v))
+    let mut campaign = Campaign::new(CodesignSpace::with_max_vertices(max_v))
         .scenarios(scenarios)
         .strategies(strategies)
         .seeds((seed_base..seed_base + repeats as u64).collect())
@@ -140,6 +152,48 @@ fn main() {
     println!("building exhaustive <= {max_v}-vertex database...");
     let db = Arc::new(NasbenchDatabase::exhaustive(max_v));
     println!("database: {} cells\n", db.len());
+
+    // Auto-ranged normalizations: measure each auto metric's span from a
+    // deterministic enumeration probe sample before anything is compiled.
+    if campaign.needs_auto_norms() {
+        let samples = args.get_usize("probe-samples", 256);
+        println!("auto norms: probing {samples} enumeration samples...");
+        // Which (scenario, metric) pairs were actually auto-declared —
+        // only those get a "ranged to" line after resolution.
+        let auto_metrics: Vec<(String, codesign_core::MetricId)> = campaign
+            .scenarios
+            .iter()
+            .flat_map(|spec| {
+                spec.objectives()
+                    .iter()
+                    .filter(|o| o.norm_is_auto())
+                    .map(|o| (spec.name().to_owned(), o.metric()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let probe = probe_pair_evaluations(&db, Dataset::Cifar10, samples);
+        campaign = match campaign.with_auto_norms(&probe, AUTO_NORM_PAD) {
+            Ok(resolved) => resolved,
+            Err(err) => {
+                eprintln!("auto-norm resolution failed: {err}");
+                std::process::exit(2);
+            }
+        };
+        for spec in &campaign.scenarios {
+            for objective in spec.objectives() {
+                if !auto_metrics.contains(&(spec.name().to_owned(), objective.metric())) {
+                    continue;
+                }
+                let (lo, hi) = objective.norm();
+                println!(
+                    "  {}: {} ranged to [{lo:.4}, {hi:.4}]",
+                    spec.name(),
+                    objective.metric()
+                );
+            }
+        }
+        println!();
+    }
 
     let mut driver = ShardedDriver::new(workers).with_backend(
         backend_from_name(&backend_name)
@@ -206,6 +260,35 @@ fn main() {
         driver = driver.with_cache(Arc::clone(cache));
     }
 
+    // --calibrate: run a short probe sweep, derive a measured CostModel
+    // from its per-shard wall times, and re-dispatch the full sweep with
+    // measured scheduling weights (ShardSpec::estimated_cost). Cost
+    // weights only move dispatch order, never results — and the probe's
+    // evaluations land in the shared cache, so its work is not wasted.
+    if args.flag("calibrate") {
+        let probe_steps = args.get_usize("probe-steps", (steps / 10).max(20));
+        let probe_campaign = campaign.clone().seeds(vec![seed_base]).steps(probe_steps);
+        println!(
+            "calibrate: probe sweep ({} shards x {probe_steps} steps)...",
+            probe_campaign.shards().len()
+        );
+        let probe_report = driver.run(&probe_campaign, &db);
+        let model = campaign.calibrated_costs(&probe_report);
+        if model.is_empty() {
+            println!("calibrate: shards too fast to measure; keeping static cost premiums\n");
+        } else {
+            for spec in &campaign.scenarios {
+                println!(
+                    "  {:<24} measured cost weight {:.3}/step",
+                    spec.name(),
+                    model.weight_for(spec)
+                );
+            }
+            campaign = campaign.with_cost_model(model);
+            println!("calibrate: re-dispatching the full sweep with measured costs\n");
+        }
+    }
+
     let report = driver.run(&campaign, &db);
     println!("{report}");
     if let Some(stats) = &report.cache {
@@ -216,10 +299,12 @@ fn main() {
     }
 
     for spec in &campaign.scenarios {
+        let front = report.merged_front(spec.name());
         println!(
-            "{:<24} merged front: {} points",
+            "{:<24} merged front: {} points over axes [{}]",
             spec.name(),
-            report.merged_front(spec.name()).len()
+            front.len(),
+            front.schema()
         );
     }
 

@@ -138,6 +138,17 @@ fn main() {
             }
         }
         println!("{table}");
+        // The campaign's merged front for this scenario, in the scenario's
+        // own metric axes (runtime-dimension — whatever the scenario
+        // declares), scored as one scalar against the normalization box.
+        let merged = report.merged_front(scenario.name());
+        let hv_reference = spec.hypervolume_reference();
+        println!(
+            "merged search front: {} points over axes [{}]; hypervolume {:.4}",
+            merged.len(),
+            merged.schema(),
+            merged.hypervolume(&hv_reference)
+        );
         for m in reference.iter().take(100) {
             csv_rows.push(vec![
                 scenario.name().into(),

@@ -49,7 +49,7 @@ impl SearchStrategy for EvolutionSearch {
         rng: &mut SmallRng,
     ) -> SearchOutcome {
         let vocab = ctx.space.vocab_sizes();
-        let mut recorder = SearchRecorder::new(self.name(), config.steps);
+        let mut recorder = SearchRecorder::new(self.name(), config.steps, ctx.reward);
         // Aging queue of (genome, reward); the oldest dies on overflow.
         let mut population: std::collections::VecDeque<(Vec<usize>, f64)> =
             std::collections::VecDeque::with_capacity(self.population);

@@ -54,7 +54,10 @@ pub use cifar100::{
     run_cifar100_codesign, run_cifar100_codesign_with_evaluator, Cifar100Config, Cifar100Result,
     DiscoveredPoint, StageResult, ThresholdSchedule,
 };
-pub use enumerate::{enumerate_codesign_space, EnumerationResult, ParetoPoint};
+pub use enumerate::{
+    enumerate_codesign_space, enumerate_scenario_front, probe_pair_evaluations, EnumerationResult,
+    ParetoPoint,
+};
 pub use evaluator::{AccuracySource, EvalCache, EvalOutcome, Evaluator, PairEvaluation};
 pub use evolution::EvolutionSearch;
 pub use experiments::{

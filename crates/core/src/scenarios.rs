@@ -45,7 +45,10 @@
 
 use std::fmt;
 
-use codesign_moo::{DynRewardSpec, LinearNorm, Punishment, RewardOutcome, RewardSpec};
+use codesign_moo::{
+    AxisSchema, DynParetoFront, DynRewardSpec, LinearNorm, MetricVector, Punishment, RewardOutcome,
+    RewardSpec,
+};
 use codesign_nasbench::Json;
 
 use crate::evaluator::PairEvaluation;
@@ -128,6 +131,16 @@ impl MetricId {
         }
     }
 
+    /// Whether [`MetricId::extract`] reads `PairEvaluation::latency_ms` —
+    /// the one metric input that needs per-pair scheduling rather than a
+    /// per-cell or per-config lookup. Enumerators skip the scheduler for
+    /// scenarios whose metrics all return `false`. Keep in sync with
+    /// `extract` when adding a metric.
+    #[must_use]
+    pub fn uses_latency(&self) -> bool {
+        matches!(self, MetricId::LatencyMs | MetricId::PerfPerArea)
+    }
+
     /// The metric under the all-maximize convention of Eq. 4 (minimized
     /// metrics negated).
     #[must_use]
@@ -185,6 +198,10 @@ pub struct ObjectiveSpec {
     weight: f64,
     norm_lo: f64,
     norm_hi: f64,
+    /// `true` when the normalization range should be measured from an
+    /// enumeration probe sample at campaign start instead of the declared
+    /// (or default) bounds.
+    norm_auto: bool,
     threshold: Option<f64>,
 }
 
@@ -201,10 +218,20 @@ impl ObjectiveSpec {
         self.weight
     }
 
-    /// Normalization range in natural units, `lo < hi`.
+    /// Normalization range in natural units, `lo < hi`. For an unresolved
+    /// auto-ranged objective this is the registry default range (the
+    /// fallback [`ScenarioSpec::compile`] uses when no probe ran).
     #[must_use]
     pub fn norm(&self) -> (f64, f64) {
         (self.norm_lo, self.norm_hi)
+    }
+
+    /// `true` when the range is auto-ranged: campaign drivers measure it
+    /// from an enumeration probe sample
+    /// ([`ScenarioSpec::resolve_auto_norms`]) before compiling.
+    #[must_use]
+    pub fn norm_is_auto(&self) -> bool {
+        self.norm_auto
     }
 
     /// The constraint bound in natural units: an upper bound for minimized
@@ -439,6 +466,74 @@ impl ScenarioSpec {
             .count()
     }
 
+    /// `true` when any objective declares an auto-ranged normalization
+    /// (`"norm": "auto"` in JSON, `norm=<metric>:auto` in the compact
+    /// grammar) that has not been resolved from a probe sample yet.
+    #[must_use]
+    pub fn has_auto_norms(&self) -> bool {
+        self.objectives.iter().any(|o| o.norm_auto)
+    }
+
+    /// Resolves every auto-ranged normalization from an enumeration probe
+    /// sample: each auto metric's range becomes the observed span of its
+    /// values across `probe`, padded by `pad_fraction` on both sides so
+    /// the extremes do not saturate at exactly 0 or 1
+    /// (via [`LinearNorm::from_samples`]). Explicitly-declared ranges are
+    /// untouched; a scenario without auto norms is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidNorm`] when the probe observes fewer
+    /// than two distinct finite values of an auto metric (the measured
+    /// range would be degenerate).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use codesign_core::{PairEvaluation, ScenarioSpec};
+    ///
+    /// let spec = ScenarioSpec::parse_compact("w=acc:1; norm=acc:auto").unwrap();
+    /// assert!(spec.has_auto_norms());
+    /// let probe = vec![
+    ///     PairEvaluation { accuracy: 0.85, latency_ms: 40.0, area_mm2: 100.0, power_w: 3.0 },
+    ///     PairEvaluation { accuracy: 0.95, latency_ms: 90.0, area_mm2: 180.0, power_w: 6.0 },
+    /// ];
+    /// let resolved = spec.resolve_auto_norms(&probe, 0.0).unwrap();
+    /// assert!(!resolved.has_auto_norms());
+    /// assert_eq!(resolved.objectives()[0].norm(), (0.85, 0.95));
+    /// ```
+    pub fn resolve_auto_norms(
+        &self,
+        probe: &[PairEvaluation],
+        pad_fraction: f64,
+    ) -> Result<ScenarioSpec, ScenarioError> {
+        if !self.has_auto_norms() {
+            return Ok(self.clone());
+        }
+        let mut resolved = self.clone();
+        for objective in &mut resolved.objectives {
+            if !objective.norm_auto {
+                continue;
+            }
+            let samples = probe.iter().map(|e| objective.metric.extract(e));
+            let norm = LinearNorm::from_samples(samples, pad_fraction).map_err(|e| {
+                let (lo, hi) = match e {
+                    codesign_moo::MooError::DegenerateRange { min, max } => (min, max),
+                    _ => (f64::NAN, f64::NAN),
+                };
+                ScenarioError::InvalidNorm {
+                    metric: objective.metric,
+                    lo,
+                    hi,
+                }
+            })?;
+            objective.norm_lo = norm.min();
+            objective.norm_hi = norm.max();
+            objective.norm_auto = false;
+        }
+        Ok(resolved)
+    }
+
     /// The paper's three §III-C scenarios, in paper order:
     ///
     /// 1. **Unconstrained** — `w(area, lat, acc) = (0.1, 0.8, 0.1)`;
@@ -541,9 +636,11 @@ impl ScenarioSpec {
                 },
                 ObjectiveSpec::signed_norm,
             );
+        let schema = AxisSchema::new(metrics.iter().map(MetricId::name));
         CompiledScenario {
             spec: self.clone(),
             metrics,
+            schema,
             reward,
             accuracy_norm,
         }
@@ -557,13 +654,15 @@ impl ScenarioSpec {
             .objectives
             .iter()
             .map(|o| {
+                let norm = if o.norm_auto {
+                    Json::Str("auto".into())
+                } else {
+                    Json::Arr(vec![Json::Num(o.norm_lo), Json::Num(o.norm_hi)])
+                };
                 Json::obj(vec![
                     ("metric", Json::Str(o.metric.name().into())),
                     ("weight", Json::Num(o.weight)),
-                    (
-                        "norm",
-                        Json::Arr(vec![Json::Num(o.norm_lo), Json::Num(o.norm_hi)]),
-                    ),
+                    ("norm", norm),
                     ("threshold", o.threshold.map_or(Json::Null, Json::Num)),
                 ])
             })
@@ -624,19 +723,27 @@ impl ScenarioSpec {
                     ScenarioError::Malformed(format!("objective {i}: missing 'weight'"))
                 })?;
             builder = builder.weight(metric, weight);
-            if let Some(norm) = objective.get("norm") {
-                let bounds = norm.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
-                    ScenarioError::Malformed(format!("objective {i}: 'norm' must be [lo, hi]"))
-                })?;
-                let (lo, hi) = match (bounds[0].as_f64(), bounds[1].as_f64()) {
-                    (Some(lo), Some(hi)) => (lo, hi),
-                    _ => {
-                        return Err(ScenarioError::Malformed(format!(
-                            "objective {i}: non-numeric 'norm' bound"
-                        )))
-                    }
-                };
-                builder = builder.norm(metric, lo, hi);
+            match objective.get("norm") {
+                None => {}
+                Some(Json::Str(mode)) if mode == "auto" => {
+                    builder = builder.auto_norm(metric);
+                }
+                Some(norm) => {
+                    let bounds = norm.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                        ScenarioError::Malformed(format!(
+                            "objective {i}: 'norm' must be [lo, hi] or \"auto\""
+                        ))
+                    })?;
+                    let (lo, hi) = match (bounds[0].as_f64(), bounds[1].as_f64()) {
+                        (Some(lo), Some(hi)) => (lo, hi),
+                        _ => {
+                            return Err(ScenarioError::Malformed(format!(
+                                "objective {i}: non-numeric 'norm' bound"
+                            )))
+                        }
+                    };
+                    builder = builder.norm(metric, lo, hi);
+                }
             }
             match objective.get("threshold") {
                 None | Some(Json::Null) => {}
@@ -681,7 +788,9 @@ impl ScenarioSpec {
     ///   weights;
     /// * `<metric><<bound>` / `<metric>><bound>` — ε-constraints in natural
     ///   units (`<` for minimized metrics, `>` for maximized ones);
-    /// * `norm=<metric>:<lo>..<hi>` — normalization override;
+    /// * `norm=<metric>:<lo>..<hi>` — normalization override, or
+    ///   `norm=<metric>:auto` to range the metric from an enumeration probe
+    ///   sample at campaign start;
     /// * `punish=<scale>` or `punish=const:<value>` — punishment policy;
     /// * `name=<display name>` — optional; defaults to the input itself.
     ///
@@ -720,10 +829,16 @@ impl ScenarioSpec {
             } else if let Some(norm) = clause.strip_prefix("norm=") {
                 let (metric, range) = split_once(norm, ':')?;
                 let metric = resolve_metric(metric)?;
-                let (lo, hi) = range.split_once("..").ok_or_else(|| {
-                    ScenarioError::Malformed(format!("norm clause {clause:?}: expected lo..hi"))
-                })?;
-                builder = builder.norm(metric, parse_number(lo)?, parse_number(hi)?);
+                if range.trim() == "auto" {
+                    builder = builder.auto_norm(metric);
+                } else {
+                    let (lo, hi) = range.split_once("..").ok_or_else(|| {
+                        ScenarioError::Malformed(format!(
+                            "norm clause {clause:?}: expected lo..hi or auto"
+                        ))
+                    })?;
+                    builder = builder.norm(metric, parse_number(lo)?, parse_number(hi)?);
+                }
             } else if let Some(p) = clause.strip_prefix("punish=") {
                 let punishment = match p.strip_prefix("const:") {
                     Some(v) => Punishment::Constant(parse_number(v)?),
@@ -897,6 +1012,7 @@ impl ScenarioSpecBuilder {
             weight: 0.0,
             norm_lo,
             norm_hi,
+            norm_auto: false,
             threshold: None,
         });
         self.objectives.last_mut().expect("just pushed")
@@ -931,6 +1047,23 @@ impl ScenarioSpecBuilder {
         let entry = self.entry(metric);
         entry.norm_lo = lo;
         entry.norm_hi = hi;
+        entry.norm_auto = false;
+        self
+    }
+
+    /// Marks `metric`'s normalization range as auto-ranged: campaign
+    /// drivers call [`ScenarioSpec::resolve_auto_norms`] with an
+    /// enumeration probe sample before compiling; until then the registry
+    /// default range stands in (any earlier explicit range is discarded —
+    /// the declaration serializes as `"auto"`, so keeping it would make
+    /// an unresolved spec compile differently across a save/load).
+    #[must_use]
+    pub fn auto_norm(mut self, metric: MetricId) -> Self {
+        let (norm_lo, norm_hi) = metric.default_norm();
+        let entry = self.entry(metric);
+        entry.norm_lo = norm_lo;
+        entry.norm_hi = norm_hi;
+        entry.norm_auto = true;
         self
     }
 
@@ -1027,6 +1160,10 @@ impl ScenarioSpecBuilder {
 pub struct CompiledScenario {
     spec: ScenarioSpec,
     metrics: Vec<MetricId>,
+    /// The shared axis schema of every front this scenario produces: the
+    /// metric names in objective order, one `Arc` allocation per compiled
+    /// scenario.
+    schema: AxisSchema,
     reward: DynRewardSpec,
     accuracy_norm: LinearNorm,
 }
@@ -1062,11 +1199,47 @@ impl CompiledScenario {
         self.spec.constraint_count()
     }
 
+    /// The axis schema of this scenario's fronts: the metric names in
+    /// objective order. Cloning the returned schema is an `Arc` bump, so
+    /// every front and export of this scenario shares one allocation.
+    #[must_use]
+    pub fn axis_schema(&self) -> AxisSchema {
+        self.schema.clone()
+    }
+
     /// The signed (all-maximize) metric vector of an evaluation, in
     /// objective order.
     #[must_use]
     pub fn metric_vector(&self, eval: &PairEvaluation) -> Vec<f64> {
         self.metrics.iter().map(|m| m.signed(eval)).collect()
+    }
+
+    /// [`CompiledScenario::metric_vector`] as an allocation-free
+    /// [`MetricVector`] — the point type the scenario's fronts store.
+    #[must_use]
+    pub fn metric_point(&self, eval: &PairEvaluation) -> MetricVector {
+        let mut values = [0.0f64; MetricId::ALL.len()];
+        for (slot, metric) in values.iter_mut().zip(self.metrics.iter()) {
+            *slot = metric.signed(eval);
+        }
+        MetricVector::from_slice(&values[..self.metrics.len()])
+    }
+
+    /// An empty Pareto front over this scenario's own axes.
+    #[must_use]
+    pub fn empty_front<T>(&self) -> DynParetoFront<T> {
+        DynParetoFront::new(self.axis_schema())
+    }
+
+    /// A hypervolume reference point in the signed convention: the worst
+    /// corner of the scenario's normalization box (each objective's signed
+    /// norm minimum). Fixing the reference to the declared box makes one
+    /// scenario's hypervolumes comparable across runs; note that points
+    /// at or below the floor in some axis contribute nothing, while
+    /// points *above* the box ceiling still add their full overshoot.
+    #[must_use]
+    pub fn hypervolume_reference(&self) -> Vec<f64> {
+        self.reward.norms().iter().map(LinearNorm::min).collect()
     }
 
     /// Eq. 3 over the named objectives: the scalar fed to the controller.
@@ -1536,6 +1709,117 @@ mod tests {
         );
         assert!(ScenarioSpec::preset_by_name("1 Constraint").is_some());
         assert!(ScenarioSpec::preset_by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn axis_schema_names_follow_objective_order() {
+        let compiled = ScenarioSpec::unconstrained().compile();
+        assert_eq!(compiled.axis_schema().names(), ["area", "lat", "acc"]);
+        let power = ScenarioSpec::builder("p")
+            .weight(MetricId::Accuracy, 1.0)
+            .constraint(MetricId::PowerW, 6.0)
+            .build()
+            .unwrap()
+            .compile();
+        assert_eq!(power.axis_schema().names(), ["acc", "power"]);
+        // The schema is shared, not re-allocated, across clones.
+        assert_eq!(power.axis_schema(), power.axis_schema());
+    }
+
+    #[test]
+    fn metric_point_matches_metric_vector_bitwise() {
+        let compiled = ScenarioSpec::two_constraints().compile();
+        let e = eval(0.93, 42.0, 130.0, 5.0);
+        let vec = compiled.metric_vector(&e);
+        let point = compiled.metric_point(&e);
+        assert_eq!(point.as_slice(), vec.as_slice());
+        let mut front = compiled.empty_front::<()>();
+        assert!(front.insert(point, ()));
+        assert_eq!(front.schema(), &compiled.axis_schema());
+    }
+
+    #[test]
+    fn hypervolume_reference_is_the_norm_floor() {
+        let compiled = ScenarioSpec::unconstrained().compile();
+        // Signed norms: -area in [-215,-45], -lat in [-400,-5], acc in [0.8,0.95].
+        assert_eq!(compiled.hypervolume_reference(), vec![-215.0, -400.0, 0.80]);
+    }
+
+    #[test]
+    fn auto_norms_declare_resolve_and_roundtrip() {
+        let spec = ScenarioSpec::builder("auto")
+            .weight(MetricId::Accuracy, 0.5)
+            .auto_norm(MetricId::Accuracy)
+            .weight(MetricId::PowerW, 0.5)
+            .build()
+            .unwrap();
+        assert!(spec.has_auto_norms());
+        assert!(spec.objectives()[0].norm_is_auto());
+        assert!(!spec.objectives()[1].norm_is_auto());
+
+        // JSON round-trips the auto marker.
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert!(back.has_auto_norms());
+
+        // The compact grammar declares it too.
+        let compact = ScenarioSpec::parse_compact("w=acc:1; norm=acc:auto").unwrap();
+        assert!(compact.has_auto_norms());
+
+        // An explicit range followed by auto is discarded: the serialized
+        // form is "auto", so the in-memory spec must match what a
+        // round-tripped copy would compile to (the registry default).
+        let overridden = ScenarioSpec::builder("o")
+            .weight(MetricId::Accuracy, 1.0)
+            .norm(MetricId::Accuracy, 0.0, 1.0)
+            .auto_norm(MetricId::Accuracy)
+            .build()
+            .unwrap();
+        assert_eq!(
+            overridden.objectives()[0].norm(),
+            MetricId::Accuracy.default_norm()
+        );
+        assert_eq!(
+            ScenarioSpec::from_json(&overridden.to_json()).unwrap(),
+            overridden
+        );
+
+        // Resolution measures the probe's observed span.
+        let probe = vec![
+            eval(0.82, 30.0, 90.0, 2.0),
+            eval(0.94, 60.0, 140.0, 8.0),
+            eval(0.88, 45.0, 120.0, 4.0),
+        ];
+        let resolved = spec.resolve_auto_norms(&probe, 0.0).unwrap();
+        assert!(!resolved.has_auto_norms());
+        assert_eq!(resolved.objectives()[0].norm(), (0.82, 0.94));
+        // The explicit (default-range) power norm is untouched.
+        assert_eq!(
+            resolved.objectives()[1].norm(),
+            MetricId::PowerW.default_norm()
+        );
+        // Resolving a spec without autos is the identity.
+        let plain = ScenarioSpec::unconstrained();
+        assert_eq!(plain.resolve_auto_norms(&probe, 0.1).unwrap(), plain);
+    }
+
+    #[test]
+    fn auto_norm_resolution_rejects_degenerate_probes() {
+        let spec = ScenarioSpec::parse_compact("w=acc:1; norm=acc:auto").unwrap();
+        let constant = vec![eval(0.9, 30.0, 90.0, 2.0); 5];
+        assert!(matches!(
+            spec.resolve_auto_norms(&constant, 0.1),
+            Err(ScenarioError::InvalidNorm {
+                metric: MetricId::Accuracy,
+                ..
+            })
+        ));
+        // Unresolved autos still compile, on the registry default range.
+        let compiled = spec.compile();
+        assert_eq!(
+            compiled.spec().objectives()[0].norm(),
+            MetricId::Accuracy.default_norm()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! three objectives), and the per-step reward history behind Fig. 6.
 
 use codesign_accel::AcceleratorConfig;
-use codesign_moo::ParetoFront;
+use codesign_moo::DynParetoFront;
 use codesign_nasbench::CellSpec;
 
 use crate::evaluator::{EvalOutcome, Evaluator, PairEvaluation};
@@ -97,8 +97,10 @@ pub struct SearchOutcome {
     pub history: Vec<StepRecord>,
     /// Best feasible point (Eq. 2's `s*`).
     pub best: Option<BestPoint>,
-    /// Pareto front of every *valid* point visited.
-    pub front: ParetoFront<3, (CellSpec, AcceleratorConfig)>,
+    /// Pareto front of every *valid* point visited, in the scenario's own
+    /// signed metric axes (its [`crate::scenarios::CompiledScenario`]
+    /// axis schema).
+    pub front: DynParetoFront<(CellSpec, AcceleratorConfig)>,
     /// Count of feasible steps.
     pub feasible_steps: usize,
     /// Count of invalid (undecodable/unknown CNN) steps.
@@ -175,21 +177,22 @@ pub struct SearchRecorder {
     history: Vec<StepRecord>,
     best: Option<BestPoint>,
     best_valid: Option<BestPoint>,
-    front: ParetoFront<3, (CellSpec, AcceleratorConfig)>,
+    front: DynParetoFront<(CellSpec, AcceleratorConfig)>,
     feasible_steps: usize,
     invalid_steps: usize,
 }
 
 impl SearchRecorder {
-    /// Starts recording a run for `strategy`.
+    /// Starts recording a run for `strategy` under `scenario`, whose axis
+    /// schema the retained front is collected in.
     #[must_use]
-    pub fn new(strategy: &'static str, expected_steps: usize) -> Self {
+    pub fn new(strategy: &'static str, expected_steps: usize, scenario: &CompiledScenario) -> Self {
         Self {
             strategy,
             history: Vec::with_capacity(expected_steps),
             best: None,
             best_valid: None,
-            front: ParetoFront::new(),
+            front: scenario.empty_front(),
             feasible_steps: 0,
             invalid_steps: 0,
         }
@@ -198,10 +201,12 @@ impl SearchRecorder {
     /// Scores an evaluation outcome under the scenario's reward and records
     /// the step. Returns the scalar to feed the controller.
     ///
-    /// The retained Pareto front (and `StepRecord::metrics`) stay in the
-    /// paper's fixed `(−area, −lat, acc)` triple regardless of which named
-    /// metrics the scenario optimizes, so fronts from different scenarios
-    /// remain comparable and mergeable.
+    /// The retained Pareto front is collected in the scenario's *own*
+    /// signed metric axes — a power-capped scenario's front carries
+    /// `(acc, −power)` points, not someone else's triple — while
+    /// `StepRecord::metrics` keeps the paper's fixed `(−area, −lat, acc)`
+    /// diagnostic so recorded histories stay re-scorable by the legacy
+    /// parity anchor.
     pub fn record(
         &mut self,
         scenario: &CompiledScenario,
@@ -216,7 +221,8 @@ impl SearchRecorder {
                 let scored = scenario.reward(eval);
                 let feasible = scored.is_feasible();
                 if let Some(cell) = proposal_cell {
-                    self.front.insert(metrics, (cell.clone(), *config));
+                    self.front
+                        .insert(scenario.metric_point(eval), (cell.clone(), *config));
                     let value = scored.value();
                     let improves_valid = self.best_valid.as_ref().is_none_or(|b| value > b.reward);
                     if improves_valid {
@@ -341,7 +347,7 @@ mod tests {
     #[test]
     fn recorder_tracks_best_feasible_point() {
         let spec = crate::scenarios::ScenarioSpec::unconstrained().compile();
-        let mut rec = SearchRecorder::new("test", 4);
+        let mut rec = SearchRecorder::new("test", 4, &spec);
         let cell = known_cells::resnet_cell();
         let config = ConfigSpace::chaidnn().get(0);
         rec.record(&spec, &dummy_eval(0.9, 200.0, 150.0), Some(&cell), &config);
@@ -357,7 +363,7 @@ mod tests {
     #[test]
     fn recorder_punishes_invalid_proposals() {
         let spec = crate::scenarios::ScenarioSpec::unconstrained().compile();
-        let mut rec = SearchRecorder::new("test", 1);
+        let mut rec = SearchRecorder::new("test", 1, &spec);
         let config = ConfigSpace::chaidnn().get(0);
         let r = rec.record(
             &spec,
@@ -376,7 +382,7 @@ mod tests {
         // 2-constraint scenario: a fast-but-inaccurate point is infeasible
         // yet still belongs on the visited Pareto front.
         let spec = crate::scenarios::ScenarioSpec::two_constraints().compile();
-        let mut rec = SearchRecorder::new("test", 2);
+        let mut rec = SearchRecorder::new("test", 2, &spec);
         let cell = known_cells::googlenet_cell();
         let config = ConfigSpace::chaidnn().get(0);
         rec.record(&spec, &dummy_eval(0.90, 10.0, 80.0), Some(&cell), &config);
@@ -388,7 +394,7 @@ mod tests {
     #[test]
     fn reward_curve_skips_punished_steps() {
         let spec = crate::scenarios::ScenarioSpec::one_constraint().compile();
-        let mut rec = SearchRecorder::new("test", 3);
+        let mut rec = SearchRecorder::new("test", 3, &spec);
         let cell = known_cells::resnet_cell();
         let config = ConfigSpace::chaidnn().get(0);
         rec.record(&spec, &dummy_eval(0.93, 50.0, 120.0), Some(&cell), &config);
@@ -410,7 +416,7 @@ mod tests {
     #[test]
     fn reward_curve_backfills_leading_infeasible_steps() {
         let spec = crate::scenarios::ScenarioSpec::one_constraint().compile();
-        let mut rec = SearchRecorder::new("test", 2);
+        let mut rec = SearchRecorder::new("test", 2, &spec);
         let cell = known_cells::resnet_cell();
         let config = ConfigSpace::chaidnn().get(0);
         rec.record(&spec, &dummy_eval(0.93, 300.0, 120.0), Some(&cell), &config); // punished

@@ -43,7 +43,7 @@ impl SearchStrategy for CombinedSearch {
     ) -> SearchOutcome {
         let policy = LstmPolicy::new(PolicyConfig::new(ctx.space.vocab_sizes()), rng);
         let mut trainer = ReinforceTrainer::new(policy, reinforce_config(config));
-        let mut recorder = SearchRecorder::new(self.name(), config.steps);
+        let mut recorder = SearchRecorder::new(self.name(), config.steps, ctx.reward);
         for _ in 0..config.steps {
             let rollout = trainer.propose(rng);
             let proposal = ctx.space.decode(&rollout.actions);
@@ -95,7 +95,7 @@ impl SearchStrategy for PhaseSearch {
         let hw_policy = LstmPolicy::new(PolicyConfig::new(hw_vocab), rng);
         let mut cnn_trainer = ReinforceTrainer::new(cnn_policy, reinforce_config(config));
         let mut hw_trainer = ReinforceTrainer::new(hw_policy, reinforce_config(config));
-        let mut recorder = SearchRecorder::new(self.name(), config.steps);
+        let mut recorder = SearchRecorder::new(self.name(), config.steps, ctx.reward);
 
         let mut frozen_hw = random_hw_actions(ctx, rng);
         let mut frozen_cnn = random_valid_cnn_actions(ctx, rng);
@@ -181,7 +181,7 @@ impl SearchStrategy for SeparateSearch {
         let cnn_steps = self.cnn_steps.min(config.steps);
         let cnn_policy = LstmPolicy::new(PolicyConfig::new(ctx.space.cnn().vocab_sizes()), rng);
         let mut cnn_trainer = ReinforceTrainer::new(cnn_policy, reinforce_config(config));
-        let mut recorder = SearchRecorder::new(self.name(), config.steps);
+        let mut recorder = SearchRecorder::new(self.name(), config.steps, ctx.reward);
 
         // Phase 1: accuracy-only CNN search. The recorder still scores steps
         // under the scenario reward (for Fig. 5/6 comparability), but the
@@ -259,7 +259,7 @@ impl SearchStrategy for RandomSearch {
         rng: &mut SmallRng,
     ) -> SearchOutcome {
         let vocab = ctx.space.vocab_sizes();
-        let mut recorder = SearchRecorder::new(self.name(), config.steps);
+        let mut recorder = SearchRecorder::new(self.name(), config.steps, ctx.reward);
         for _ in 0..config.steps {
             let actions: Vec<usize> = vocab.iter().map(|&v| rng.gen_range(0..v)).collect();
             let proposal = ctx.space.decode(&actions);

@@ -4,8 +4,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use codesign_core::{
-    CodesignSpace, CombinedSearch, CompiledScenario, EvolutionSearch, PhaseSearch, RandomSearch,
-    ScenarioSpec, SearchConfig, SearchStrategy, SeparateSearch,
+    CodesignSpace, CombinedSearch, CompiledScenario, EvolutionSearch, PairEvaluation, PhaseSearch,
+    RandomSearch, ScenarioError, ScenarioSpec, SearchConfig, SearchStrategy, SeparateSearch,
 };
 
 use crate::mix64;
@@ -299,6 +299,37 @@ impl Campaign {
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
         self
+    }
+
+    /// `true` when any scenario declares an auto-ranged normalization that
+    /// still needs a probe sample ([`Campaign::with_auto_norms`]).
+    #[must_use]
+    pub fn needs_auto_norms(&self) -> bool {
+        self.scenarios.iter().any(ScenarioSpec::has_auto_norms)
+    }
+
+    /// Resolves every scenario's auto-ranged normalizations from an
+    /// enumeration probe sample (see
+    /// [`codesign_core::probe_pair_evaluations`] and
+    /// [`ScenarioSpec::resolve_auto_norms`]); `pad_fraction` pads each
+    /// measured range so the probe's extremes do not saturate the
+    /// normalization. Scenarios without auto norms pass through unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario's [`ScenarioError`] when a probe range
+    /// is degenerate (fewer than two distinct finite values observed).
+    pub fn with_auto_norms(
+        mut self,
+        probe: &[PairEvaluation],
+        pad_fraction: f64,
+    ) -> Result<Self, ScenarioError> {
+        self.scenarios = self
+            .scenarios
+            .iter()
+            .map(|s| s.resolve_auto_norms(probe, pad_fraction))
+            .collect::<Result<_, _>>()?;
+        Ok(self)
     }
 
     /// Derives a measured [`CostModel`] from a previous run's report: each

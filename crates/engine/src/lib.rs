@@ -26,8 +26,10 @@
 //!   each other's evaluations;
 //! * [`CampaignReport`] — per-shard results (including per-shard warm/cold
 //!   cache attribution and optional reward histories) plus merged
-//!   per-scenario Pareto fronts (via `codesign_moo`), cache statistics,
-//!   and JSONL/CSV export.
+//!   per-scenario Pareto fronts in each scenario's *own* metric axes
+//!   (`codesign_moo::DynParetoFront`, keyed by scenario name), cache
+//!   statistics, and JSONL/CSV export whose metric columns are read from
+//!   the scenarios' axis schemas.
 //!
 //! # Examples
 //!

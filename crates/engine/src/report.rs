@@ -5,8 +5,8 @@ use std::path::Path;
 
 use codesign_accel::AcceleratorConfig;
 use codesign_core::report::{fmt_f, write_csv, TextTable};
-use codesign_core::{reward_curve, BestPoint, SearchOutcome, StepRecord};
-use codesign_moo::ParetoFront;
+use codesign_core::{reward_curve, BestPoint, MetricId, SearchOutcome, StepRecord};
+use codesign_moo::{AxisSchema, DynParetoFront};
 use codesign_nasbench::{CellSpec, Json};
 
 use crate::cache::CacheStats;
@@ -27,8 +27,9 @@ pub struct ShardResult {
     pub invalid_steps: usize,
     /// Best feasible point of the run.
     pub best: Option<BestPoint>,
-    /// Pareto front of every valid point the run visited.
-    pub front: ParetoFront<3, (CellSpec, AcceleratorConfig)>,
+    /// Pareto front of every valid point the run visited, in the shard
+    /// scenario's own signed metric axes.
+    pub front: DynParetoFront<(CellSpec, AcceleratorConfig)>,
     /// The full per-step history, when the campaign recorded histories.
     pub history: Option<Vec<StepRecord>>,
     /// Shared-cache lookups this shard answered from entries preloaded
@@ -73,13 +74,14 @@ impl ShardResult {
     /// the cost-calibration tests).
     #[cfg(test)]
     pub(crate) fn empty_for_test(spec: ShardSpec) -> Self {
+        let front = spec.scenario.empty_front();
         Self {
             spec,
             steps: 0,
             feasible_steps: 0,
             invalid_steps: 0,
             best: None,
-            front: ParetoFront::new(),
+            front,
             history: None,
             cache_warm_hits: 0,
             cache_cold_hits: 0,
@@ -96,16 +98,30 @@ impl ShardResult {
     }
 
     /// The shard as one JSONL record.
+    ///
+    /// The `metrics` field names the shard scenario's own axes, in order;
+    /// `front` rows and the `best` object's metric entries are written in
+    /// exactly those axes (signed convention for `front`, natural units
+    /// for `best`), so a power-capped scenario exports `power` columns —
+    /// never a borrowed triple.
     #[must_use]
     pub fn to_json(&self) -> Json {
+        let axes = self.front.schema().clone();
         let best = match &self.best {
-            Some(b) => Json::obj(vec![
-                ("accuracy", Json::Num(b.evaluation.accuracy)),
-                ("latency_ms", Json::Num(b.evaluation.latency_ms)),
-                ("area_mm2", Json::Num(b.evaluation.area_mm2)),
-                ("reward", Json::Num(b.reward)),
-                ("step", Json::Num(b.step as f64)),
-            ]),
+            Some(b) => {
+                let mut fields: Vec<(&str, Json)> = axes
+                    .names()
+                    .iter()
+                    .map(|name| {
+                        let metric =
+                            MetricId::from_name(name).expect("schema names are registry names");
+                        (name.as_str(), Json::Num(metric.extract(&b.evaluation)))
+                    })
+                    .collect();
+                fields.push(("reward", Json::Num(b.reward)));
+                fields.push(("step", Json::Num(b.step as f64)));
+                Json::obj(fields)
+            }
             None => Json::Null,
         };
         let front = self
@@ -122,6 +138,10 @@ impl ShardResult {
             ("steps", Json::Num(self.steps as f64)),
             ("feasible_steps", Json::Num(self.feasible_steps as f64)),
             ("invalid_steps", Json::Num(self.invalid_steps as f64)),
+            (
+                "metrics",
+                Json::Arr(axes.names().iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
             ("best", best),
             ("front", Json::Arr(front)),
             ("cache_warm_hits", Json::Num(self.cache_warm_hits as f64)),
@@ -164,13 +184,42 @@ impl CampaignReport {
         names
     }
 
+    /// The axis schema of the named scenario's fronts, when any of its
+    /// shards ran.
+    #[must_use]
+    pub fn scenario_schema(&self, scenario: &str) -> Option<AxisSchema> {
+        self.shards
+            .iter()
+            .find(|s| s.spec.scenario_name() == scenario)
+            .map(|s| s.front.schema().clone())
+    }
+
+    /// Every distinct metric axis named by any shard's scenario, in
+    /// first-appearance order — the dynamic column set of the CSV export.
+    #[must_use]
+    pub fn metric_columns(&self) -> Vec<String> {
+        let mut columns: Vec<String> = Vec::new();
+        for shard in &self.shards {
+            for name in shard.front.schema().names() {
+                if !columns.iter().any(|c| c == name) {
+                    columns.push(name.clone());
+                }
+            }
+        }
+        columns
+    }
+
     /// Merges the Pareto fronts of every shard of the named scenario into
     /// one front — exactly the front of the concatenation of those shards'
     /// visited points (dominance filtering is order-insensitive in its
-    /// result set).
+    /// result set), in the scenario's own metric axes. An unknown scenario
+    /// name yields an empty, axis-less front.
     #[must_use]
-    pub fn merged_front(&self, scenario: &str) -> ParetoFront<3, (CellSpec, AcceleratorConfig)> {
-        let mut merged = ParetoFront::new();
+    pub fn merged_front(&self, scenario: &str) -> DynParetoFront<(CellSpec, AcceleratorConfig)> {
+        let schema = self
+            .scenario_schema(scenario)
+            .unwrap_or_else(|| AxisSchema::new(std::iter::empty::<String>()));
+        let mut merged = DynParetoFront::new(schema);
         for shard in self
             .shards
             .iter()
@@ -236,7 +285,8 @@ impl CampaignReport {
         groups
     }
 
-    /// A per-(scenario, strategy) summary table.
+    /// A per-(scenario, strategy) summary table. The `axes` column names
+    /// the metric axes each scenario's front is collected in.
     #[must_use]
     pub fn summary_table(&self) -> TextTable {
         let mut table = TextTable::new(vec![
@@ -248,6 +298,7 @@ impl CampaignReport {
             "best lat [ms]",
             "best acc [%]",
             "front",
+            "axes",
         ]);
         for (scenario, strategy) in self.groups() {
             let members: Vec<&ShardResult> = self
@@ -264,7 +315,11 @@ impl CampaignReport {
                         .partial_cmp(&b.reward)
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
-            let mut group_front = ParetoFront::new();
+            let schema = members
+                .first()
+                .map(|m| m.front.schema().clone())
+                .unwrap_or_else(|| AxisSchema::new(std::iter::empty::<String>()));
+            let mut group_front = DynParetoFront::new(schema.clone());
             for member in &members {
                 group_front.extend(member.front.iter().cloned());
             }
@@ -277,6 +332,7 @@ impl CampaignReport {
                 best.map_or("-".into(), |b| fmt_f(b.evaluation.latency_ms, 1)),
                 best.map_or("-".into(), |b| fmt_f(b.evaluation.accuracy * 100.0, 2)),
                 group_front.len().to_string(),
+                schema.to_string(),
             ]);
         }
         table
@@ -305,9 +361,27 @@ impl CampaignReport {
             ]),
             None => Json::Null,
         };
+        let scenarios = self
+            .scenario_names()
+            .into_iter()
+            .map(|name| {
+                let axes = self.scenario_schema(&name).map_or_else(Vec::new, |schema| {
+                    schema
+                        .names()
+                        .iter()
+                        .map(|n| Json::Str(n.clone()))
+                        .collect()
+                });
+                Json::obj(vec![
+                    ("name", Json::Str(name)),
+                    ("metrics", Json::Arr(axes)),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("type", Json::Str("campaign".into())),
             ("shards", Json::Num(self.shards.len() as f64)),
+            ("scenarios", Json::Arr(scenarios)),
             ("backend", Json::Str(self.backend.into())),
             ("workers", Json::Num(self.workers as f64)),
             ("wall_ms", Json::Num(self.wall_ms as f64)),
@@ -331,11 +405,20 @@ impl CampaignReport {
 
     /// Writes one CSV row per shard through the standard report writer.
     ///
+    /// The best-point columns are derived from the campaign's scenarios:
+    /// one `best_<metric>` column per metric axis any scenario declares,
+    /// in first-appearance order and natural units. A shard fills only the
+    /// columns of its *own* scenario's axes — a power-capped sweep exports
+    /// `best_power`, and no `best_area_mm2` column exists unless some
+    /// scenario optimizes area. `front_axes` records each shard's axis
+    /// schema.
+    ///
     /// # Errors
     ///
     /// Propagates file-system errors.
     pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        let headers = [
+        let metric_columns = self.metric_columns();
+        let mut headers: Vec<String> = [
             "shard",
             "scenario",
             "strategy",
@@ -344,21 +427,31 @@ impl CampaignReport {
             "feasible_steps",
             "invalid_steps",
             "best_reward",
-            "best_latency_ms",
-            "best_accuracy",
-            "best_area_mm2",
-            "front_size",
-            "cache_warm_hits",
-            "cache_cold_hits",
-            "cache_misses",
-            "wall_ms",
-        ];
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+        headers.extend(metric_columns.iter().map(|m| format!("best_{m}")));
+        headers.extend(
+            [
+                "front_size",
+                "front_axes",
+                "cache_warm_hits",
+                "cache_cold_hits",
+                "cache_misses",
+                "wall_ms",
+            ]
+            .into_iter()
+            .map(str::to_owned),
+        );
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let rows: Vec<Vec<String>> = self
             .shards
             .iter()
             .map(|s| {
                 let best = s.best.as_ref();
-                vec![
+                let schema = s.front.schema();
+                let mut row = vec![
                     s.spec.index.to_string(),
                     s.spec.scenario_name().into(),
                     s.spec.strategy.name().into(),
@@ -367,18 +460,31 @@ impl CampaignReport {
                     s.feasible_steps.to_string(),
                     s.invalid_steps.to_string(),
                     best.map_or("nan".into(), |b| fmt_f(b.reward, 6)),
-                    best.map_or("nan".into(), |b| fmt_f(b.evaluation.latency_ms, 4)),
-                    best.map_or("nan".into(), |b| fmt_f(b.evaluation.accuracy, 6)),
-                    best.map_or("nan".into(), |b| fmt_f(b.evaluation.area_mm2, 3)),
+                ];
+                for column in &metric_columns {
+                    let value = match (best, schema.position(column)) {
+                        (Some(b), Some(_)) => {
+                            let metric = MetricId::from_name(column)
+                                .expect("schema names are registry names");
+                            fmt_f(metric.extract(&b.evaluation), 6)
+                        }
+                        _ => "nan".into(),
+                    };
+                    row.push(value);
+                }
+                row.extend([
                     s.front.len().to_string(),
+                    // '|'-separated: a comma would split the CSV cell.
+                    schema.names().join("|"),
                     s.cache_warm_hits.to_string(),
                     s.cache_cold_hits.to_string(),
                     s.cache_misses.to_string(),
                     s.wall_ms.to_string(),
-                ]
+                ]);
+                row
             })
             .collect();
-        write_csv(path, &headers, &rows)
+        write_csv(path, &header_refs, &rows)
     }
 }
 
@@ -427,14 +533,18 @@ mod tests {
         let report = tiny_report();
         let front = report.merged_front("Unconstrained");
         assert!(!front.is_empty());
-        let points: Vec<[f64; 3]> = front.iter().map(|(m, _)| *m).collect();
+        assert_eq!(front.schema().names(), ["area", "lat", "acc"]);
+        let points: Vec<&codesign_moo::MetricVector> = front.iter().map(|(m, _)| m).collect();
         for (i, a) in points.iter().enumerate() {
             for (j, b) in points.iter().enumerate() {
                 if i != j {
-                    assert!(!codesign_moo::dominates(a, b), "{i} dominates {j}");
+                    assert!(!codesign_moo::dominates_dyn(a, b), "{i} dominates {j}");
                 }
             }
         }
+        // An unknown scenario yields an empty, axis-less front.
+        let missing = report.merged_front("nope");
+        assert!(missing.is_empty() && missing.schema().is_empty());
     }
 
     #[test]
@@ -466,10 +576,19 @@ mod tests {
             header.get("shards").and_then(Json::as_usize),
             Some(report.shards.len())
         );
+        assert!(header.get("scenarios").and_then(Json::as_arr).is_some());
         for line in &lines[1..] {
             let shard = Json::parse(line).unwrap();
             assert_eq!(shard.get("type").and_then(Json::as_str), Some("shard"));
             assert!(shard.get("front").and_then(Json::as_arr).is_some());
+            // Every shard names its scenario's own metric axes.
+            let metrics = shard.get("metrics").and_then(Json::as_arr).unwrap();
+            let names: Vec<&str> = metrics.iter().filter_map(Json::as_str).collect();
+            assert_eq!(names, ["area", "lat", "acc"]);
+            // Front rows have exactly that many coordinates.
+            for row in shard.get("front").and_then(Json::as_arr).unwrap() {
+                assert_eq!(row.as_arr().unwrap().len(), names.len());
+            }
         }
     }
 
@@ -483,6 +602,11 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content.lines().count(), 1 + report.shards.len());
         assert!(content.starts_with("shard,scenario,strategy"));
+        // Best-point columns are the scenarios' own metric axes.
+        let header = content.lines().next().unwrap();
+        assert!(header.contains("best_area,best_lat,best_acc"));
+        assert!(!header.contains("best_power"), "no scenario declares power");
+        assert!(header.contains("front_axes"));
     }
 
     #[test]

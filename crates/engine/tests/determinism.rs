@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use codesign_core::{CodesignSpace, Evaluator, ScenarioSpec, SearchConfig, SearchContext};
 use codesign_engine::{Campaign, CampaignReport, ShardedDriver, StrategyKind, WorkStealingBackend};
-use codesign_moo::ParetoFront;
+use codesign_moo::DynParetoFront;
 use codesign_nasbench::NasbenchDatabase;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -20,19 +20,8 @@ fn sweep_campaign() -> Campaign {
         .steps(60)
 }
 
-fn front_bits(
-    front: &ParetoFront<
-        3,
-        (
-            codesign_nasbench::CellSpec,
-            codesign_accel::AcceleratorConfig,
-        ),
-    >,
-) -> Vec<[u64; 3]> {
-    let mut bits: Vec<[u64; 3]> = front
-        .iter()
-        .map(|(m, _)| [m[0].to_bits(), m[1].to_bits(), m[2].to_bits()])
-        .collect();
+fn front_bits<T>(front: &DynParetoFront<T>) -> Vec<Vec<u64>> {
+    let mut bits: Vec<Vec<u64>> = front.iter().map(|(m, _)| m.to_bits()).collect();
     bits.sort_unstable();
     bits
 }
@@ -169,8 +158,11 @@ fn merged_shard_fronts_equal_front_of_concatenated_histories() {
     // Re-run each shard standalone and pool every *visited* point from the
     // step histories; the front of that concatenation must equal the
     // campaign's merged per-shard fronts (multiplicity included — ties are
-    // retained by both paths).
-    let mut concatenated: ParetoFront<3, ()> = ParetoFront::new();
+    // retained by both paths). The Unconstrained scenario's axes are the
+    // signed paper triple, so `StepRecord::metrics` diagnostics are the
+    // same points the scenario-native fronts collect.
+    let mut concatenated: DynParetoFront<()> =
+        DynParetoFront::new(codesign_moo::AxisSchema::new(["area", "lat", "acc"]));
     for shard in campaign.shards() {
         let mut evaluator = Evaluator::with_shared_database(Arc::clone(&db));
         let mut ctx = SearchContext {
@@ -190,14 +182,11 @@ fn merged_shard_fronts_equal_front_of_concatenated_histories() {
             .run_with_rng(&mut ctx, &config, &mut rng);
         for record in &outcome.history {
             if let Some(metrics) = record.metrics {
-                concatenated.insert(metrics, ());
+                concatenated.insert(metrics.into(), ());
             }
         }
     }
-    let mut history_bits: Vec<[u64; 3]> = concatenated
-        .iter()
-        .map(|(m, ())| [m[0].to_bits(), m[1].to_bits(), m[2].to_bits()])
-        .collect();
+    let mut history_bits: Vec<Vec<u64>> = concatenated.iter().map(|(m, ())| m.to_bits()).collect();
     history_bits.sort_unstable();
     assert_eq!(
         front_bits(&report.merged_front("Unconstrained")),

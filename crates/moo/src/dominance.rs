@@ -98,6 +98,88 @@ pub fn dominates_weak<const N: usize>(a: &[f64; N], b: &[f64; N]) -> bool {
     matches!(compare(a, b), Dominance::Dominates | Dominance::Equal)
 }
 
+/// [`compare`] with the dimension chosen at runtime: classifies the dominance
+/// relation of two equal-length metric slices.
+///
+/// The comparison loop is the same sequence of `f64` comparisons as the
+/// const-generic [`compare`], so the two can never disagree on points of the
+/// same dimension — the parity the scenario-native front stack is built on.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length; in debug builds also if either
+/// contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::dominance::{compare_dyn, Dominance};
+///
+/// assert_eq!(compare_dyn(&[1.0, 2.0], &[0.5, 1.0]), Dominance::Dominates);
+/// assert_eq!(compare_dyn(&[1.0, 0.0], &[0.0, 1.0]), Dominance::Incomparable);
+/// ```
+#[must_use]
+pub fn compare_dyn(a: &[f64], b: &[f64]) -> Dominance {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dominance between different dimensions ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    debug_assert!(
+        a.iter().chain(b.iter()).all(|v| !v.is_nan()),
+        "NaN metric in dominance comparison"
+    );
+    let mut a_better = false;
+    let mut b_better = false;
+    for i in 0..a.len() {
+        if a[i] > b[i] {
+            a_better = true;
+        } else if a[i] < b[i] {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Equal,
+        (true, true) => unreachable!("early return above"),
+    }
+}
+
+/// [`dominates`] over runtime-dimension slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::dominates_dyn;
+///
+/// assert!(dominates_dyn(&[2.0, 3.0], &[2.0, 2.0]));
+/// assert!(!dominates_dyn(&[2.0, 2.0], &[2.0, 2.0]));
+/// ```
+#[must_use]
+pub fn dominates_dyn(a: &[f64], b: &[f64]) -> bool {
+    compare_dyn(a, b) == Dominance::Dominates
+}
+
+/// [`dominates_weak`] over runtime-dimension slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn dominates_weak_dyn(a: &[f64], b: &[f64]) -> bool {
+    matches!(compare_dyn(a, b), Dominance::Dominates | Dominance::Equal)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +224,26 @@ mod tests {
     fn infinities_are_ordered() {
         assert!(dominates(&[f64::INFINITY, 0.0], &[0.0, 0.0]));
         assert!(dominates(&[0.0, 0.0], &[f64::NEG_INFINITY, 0.0]));
+    }
+
+    #[test]
+    fn dyn_compare_agrees_with_const_generic() {
+        let pairs = [
+            ([3.0, 1.0, 2.0], [2.0, 1.0, 1.0]),
+            ([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]),
+            ([1.0, 1.0, 1.0], [1.0, 1.0, 1.0]),
+            ([-5.0, 2.0, 0.5], [-5.0, 2.0, 0.6]),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(compare(&a, &b), compare_dyn(&a, &b));
+            assert_eq!(dominates(&a, &b), dominates_dyn(&a, &b));
+            assert_eq!(dominates_weak(&a, &b), dominates_weak_dyn(&a, &b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn dyn_compare_rejects_mismatched_lengths() {
+        let _ = compare_dyn(&[1.0, 2.0], &[1.0]);
     }
 }

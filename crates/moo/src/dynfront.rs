@@ -1,0 +1,662 @@
+//! Runtime-dimension Pareto fronts with named axes.
+//!
+//! The const-generic [`crate::ParetoFront`] fixes the objective count at
+//! compile time — the right tool for the paper's `(−area, −lat, acc)` triple,
+//! and retained as the parity anchor for it. Declarative scenarios choose an
+//! arbitrary set of named metrics at *runtime*, so everything downstream of a
+//! scenario (search fronts, campaign reports, exports) needs the dimension —
+//! and the axis labels — to be data. This module provides that stack:
+//!
+//! * [`AxisSchema`] — an `Arc`-shared, ordered list of axis names. Cloning a
+//!   schema is a refcount bump; every front of one scenario shares one
+//!   allocation, and exports read column names straight from it.
+//! * [`MetricVector`] — a small-vec-style point: up to
+//!   [`MetricVector::INLINE_DIMS`] values live inline (no heap allocation for
+//!   any registry-sized scenario), larger vectors spill to a `Vec`.
+//! * [`DynParetoFront`] — the runtime-dimension [`crate::ParetoFront`]:
+//!   incremental insertion with dominated-member eviction, bit-identical
+//!   membership to the const-generic front at equal dimension (the insertion
+//!   loop performs the same comparisons in the same order).
+//! * [`DynStreamingParetoFilter`] — the runtime-dimension
+//!   [`crate::StreamingParetoFilter`]: bounded-memory exact filtering for
+//!   enumeration-scale streams, in whatever axes the scenario declares.
+//!
+//! All points use the all-maximize convention of the rest of the crate.
+//!
+//! # Examples
+//!
+//! A two-axis accuracy × power front — inexpressible as a paper triple:
+//!
+//! ```
+//! use codesign_moo::{AxisSchema, DynParetoFront, MetricVector};
+//!
+//! let schema = AxisSchema::new(["acc", "power"]);
+//! let mut front: DynParetoFront<&str> = DynParetoFront::new(schema);
+//! assert!(front.insert(MetricVector::from_slice(&[0.94, -8.0]), "accurate"));
+//! assert!(front.insert(MetricVector::from_slice(&[0.90, -2.0]), "frugal"));
+//! assert!(!front.insert(MetricVector::from_slice(&[0.89, -9.0]), "bad"));
+//! assert_eq!(front.len(), 2);
+//! assert_eq!(front.schema().names(), ["acc", "power"]);
+//! ```
+
+use std::sync::Arc;
+
+use crate::dominance::dominates_dyn;
+use crate::hypervolume::hypervolume_dyn;
+use crate::pareto::pareto_filter_dyn;
+
+/// An ordered, shared list of metric axis names — the identity of a
+/// runtime-dimension front.
+///
+/// Schemas are cheap to clone (`Arc` bump) and compare (pointer equality
+/// fast path, name-by-name fallback), so every front, filter, and export of
+/// one scenario can carry the same schema without duplicating strings.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::AxisSchema;
+///
+/// let a = AxisSchema::new(["acc", "power"]);
+/// let b = a.clone(); // refcount bump, same allocation
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 2);
+/// assert_eq!(a.position("power"), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AxisSchema {
+    axes: Arc<[String]>,
+}
+
+impl AxisSchema {
+    /// Builds a schema from axis names, in objective order.
+    #[must_use]
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            axes: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of axes (the dimension of every point under this schema).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// `true` when the schema names no axes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// The axis names, in objective order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.axes
+    }
+
+    /// The name of axis `index`, if in range.
+    #[must_use]
+    pub fn name(&self, index: usize) -> Option<&str> {
+        self.axes.get(index).map(String::as_str)
+    }
+
+    /// The index of the named axis, if present.
+    #[must_use]
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.axes.iter().position(|a| a == name)
+    }
+}
+
+impl PartialEq for AxisSchema {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.axes, &other.axes) || self.axes == other.axes
+    }
+}
+
+impl Eq for AxisSchema {}
+
+impl std::fmt::Display for AxisSchema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.axes.join(","))
+    }
+}
+
+/// A runtime-dimension metric point.
+///
+/// Vectors of up to [`MetricVector::INLINE_DIMS`] values — every scenario
+/// over the five-metric registry — are stored inline; pushing one into a
+/// front never allocates. Larger vectors spill to the heap transparently.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::MetricVector;
+///
+/// let v = MetricVector::from_slice(&[-120.0, -40.0, 0.93]);
+/// assert_eq!(v.len(), 3);
+/// assert_eq!(v[2], 0.93);
+/// assert_eq!(v.as_slice(), &[-120.0, -40.0, 0.93]);
+/// ```
+#[derive(Clone)]
+pub struct MetricVector {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        values: [f64; MetricVector::INLINE_DIMS],
+    },
+    Heap(Vec<f64>),
+}
+
+impl MetricVector {
+    /// Dimensions stored without heap allocation.
+    pub const INLINE_DIMS: usize = 6;
+
+    /// Copies a slice into a metric vector.
+    #[must_use]
+    pub fn from_slice(values: &[f64]) -> Self {
+        if values.len() <= Self::INLINE_DIMS {
+            let mut inline = [0.0; Self::INLINE_DIMS];
+            inline[..values.len()].copy_from_slice(values);
+            Self {
+                repr: Repr::Inline {
+                    len: values.len() as u8,
+                    values: inline,
+                },
+            }
+        } else {
+            Self {
+                repr: Repr::Heap(values.to_vec()),
+            }
+        }
+    }
+
+    /// The values as a slice, in axis order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        match &self.repr {
+            Repr::Inline { len, values } => &values[..usize::from(*len)],
+            Repr::Heap(values) => values,
+        }
+    }
+
+    /// The dimension of the point.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` for the zero-dimensional vector.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// The bit patterns of the values — the exact-identity key used by
+    /// parity tests and deterministic fingerprints.
+    #[must_use]
+    pub fn to_bits(&self) -> Vec<u64> {
+        self.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+}
+
+impl std::ops::Deref for MetricVector {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[f64]> for MetricVector {
+    fn as_ref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for MetricVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for MetricVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<Vec<f64>> for MetricVector {
+    fn from(values: Vec<f64>) -> Self {
+        Self::from_slice(&values)
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for MetricVector {
+    fn from(values: [f64; N]) -> Self {
+        Self::from_slice(&values)
+    }
+}
+
+impl FromIterator<f64> for MetricVector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let values: Vec<f64> = iter.into_iter().collect();
+        Self::from_slice(&values)
+    }
+}
+
+/// An incrementally-maintained Pareto front whose dimension — and axis
+/// names — are chosen at runtime.
+///
+/// The runtime-dimension counterpart of [`crate::ParetoFront`]: insertion
+/// performs the same dominance comparisons in the same order, so at equal
+/// dimension the two fronts retain exactly the same member set (the
+/// engine's parity test proves this bit-for-bit on recorded campaigns).
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::{AxisSchema, DynParetoFront};
+///
+/// let mut front: DynParetoFront<&str> = DynParetoFront::new(AxisSchema::new(["lat", "acc"]));
+/// assert!(front.insert([-20.0, 0.91].into(), "fast"));
+/// assert!(front.insert([-90.0, 0.94].into(), "accurate"));
+/// assert!(!front.insert([-95.0, 0.93].into(), "dominated"));
+/// assert_eq!(front.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynParetoFront<T> {
+    schema: AxisSchema,
+    entries: Vec<(MetricVector, T)>,
+}
+
+impl<T> DynParetoFront<T> {
+    /// Creates an empty front over `schema`'s axes.
+    #[must_use]
+    pub fn new(schema: AxisSchema) -> Self {
+        Self {
+            schema,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The axis schema every member conforms to.
+    #[must_use]
+    pub fn schema(&self) -> &AxisSchema {
+        &self.schema
+    }
+
+    /// Attempts to insert a point. Returns `true` if the point joined the
+    /// front (it was not dominated by any current member); dominated
+    /// members are evicted. Duplicate metric vectors are retained, exactly
+    /// like the const-generic front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimension differs from the schema's.
+    pub fn insert(&mut self, metrics: MetricVector, payload: T) -> bool {
+        self.check_dims(&metrics);
+        for (m, _) in &self.entries {
+            if dominates_dyn(m, &metrics) {
+                return false;
+            }
+        }
+        self.entries.retain(|(m, _)| !dominates_dyn(&metrics, m));
+        self.entries.push((metrics, payload));
+        true
+    }
+
+    /// Returns `true` if `metrics` would be rejected (some member dominates
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimension differs from the schema's.
+    #[must_use]
+    pub fn would_reject(&self, metrics: &[f64]) -> bool {
+        assert_eq!(metrics.len(), self.schema.len(), "dimension mismatch");
+        self.entries.iter().any(|(m, _)| dominates_dyn(m, metrics))
+    }
+
+    /// Number of points currently on the front.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the front holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(metrics, payload)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(MetricVector, T)> {
+        self.entries.iter()
+    }
+
+    /// Consumes the front and returns its entries.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<(MetricVector, T)> {
+        self.entries
+    }
+
+    /// Merges another front of the *same schema* into this one (the merged
+    /// front is exactly the front of the two member sets' concatenation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemas disagree.
+    pub fn merge(&mut self, other: DynParetoFront<T>) {
+        assert_eq!(
+            self.schema, other.schema,
+            "cannot merge fronts with different axes"
+        );
+        for (m, p) in other.entries {
+            self.insert(m, p);
+        }
+    }
+
+    /// Dominated hypervolume of the front relative to `reference`
+    /// (see [`crate::hypervolume::hypervolume_dyn`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` has a different dimension than the schema.
+    #[must_use]
+    pub fn hypervolume(&self, reference: &[f64]) -> f64 {
+        assert_eq!(reference.len(), self.schema.len(), "dimension mismatch");
+        let points: Vec<&[f64]> = self.entries.iter().map(|(m, _)| m.as_slice()).collect();
+        hypervolume_dyn(&points, reference)
+    }
+
+    fn check_dims(&self, metrics: &MetricVector) {
+        assert_eq!(
+            metrics.len(),
+            self.schema.len(),
+            "point dimension {} does not match the {}-axis schema [{}]",
+            metrics.len(),
+            self.schema.len(),
+            self.schema
+        );
+    }
+}
+
+impl<T> Extend<(MetricVector, T)> for DynParetoFront<T> {
+    fn extend<I: IntoIterator<Item = (MetricVector, T)>>(&mut self, iter: I) {
+        for (m, p) in iter {
+            self.insert(m, p);
+        }
+    }
+}
+
+/// A bounded-memory exact Pareto filter whose dimension is chosen at
+/// runtime — the [`crate::StreamingParetoFilter`] of the scenario-native
+/// stack.
+///
+/// Points accumulate in a buffer; when the buffer exceeds its capacity it
+/// is compacted with the runtime-dimension batch filter (which itself
+/// drops to the `O(n log n)` 3-D staircase sweep when the schema has three
+/// axes). Dominance is transitive, so intermediate compaction never
+/// discards a globally non-dominated point: [`DynStreamingParetoFilter::finish`]
+/// returns the exact front of everything pushed.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::{AxisSchema, DynStreamingParetoFilter};
+///
+/// let schema = AxisSchema::new(["acc", "power"]);
+/// let mut filter: DynStreamingParetoFilter<u32> =
+///     DynStreamingParetoFilter::with_capacity(schema, 4);
+/// for i in 0..100u32 {
+///     let x = f64::from(i % 10);
+///     filter.push([x, -x].into(), i);
+/// }
+/// assert!(filter.finish().len() >= 10);
+/// ```
+#[derive(Debug)]
+pub struct DynStreamingParetoFilter<T> {
+    schema: AxisSchema,
+    buffer: Vec<(MetricVector, T)>,
+    capacity: usize,
+}
+
+impl<T> DynStreamingParetoFilter<T> {
+    /// Default buffer capacity before a compaction pass runs.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a filter over `schema`'s axes with
+    /// [`Self::DEFAULT_CAPACITY`].
+    #[must_use]
+    pub fn new(schema: AxisSchema) -> Self {
+        Self::with_capacity(schema, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a filter that compacts whenever more than `capacity`
+    /// candidate points are buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(schema: AxisSchema, capacity: usize) -> Self {
+        assert!(capacity > 0, "streaming filter capacity must be positive");
+        Self {
+            schema,
+            buffer: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// The axis schema every pushed point conforms to.
+    #[must_use]
+    pub fn schema(&self) -> &AxisSchema {
+        &self.schema
+    }
+
+    /// Adds one candidate point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimension differs from the schema's.
+    pub fn push(&mut self, metrics: MetricVector, payload: T) {
+        assert_eq!(
+            metrics.len(),
+            self.schema.len(),
+            "point dimension {} does not match the {}-axis schema [{}]",
+            metrics.len(),
+            self.schema.len(),
+            self.schema
+        );
+        self.buffer.push((metrics, payload));
+        if self.buffer.len() > self.capacity {
+            self.compact();
+        }
+    }
+
+    /// Merges another filter's surviving candidates into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemas disagree.
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.schema, other.schema,
+            "cannot merge filters with different axes"
+        );
+        for (m, p) in other.buffer {
+            self.push(m, p);
+        }
+    }
+
+    /// Number of candidates currently buffered (post any compaction).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Compacts and returns the exact Pareto front of all pushed points,
+    /// preserving input order among survivors.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<(MetricVector, T)> {
+        self.compact();
+        self.buffer
+    }
+
+    /// Compacts and returns the front as a [`DynParetoFront`] carrying the
+    /// filter's schema.
+    #[must_use]
+    pub fn finish_front(self) -> DynParetoFront<T> {
+        let schema = self.schema.clone();
+        let entries = self.finish();
+        DynParetoFront { schema, entries }
+    }
+
+    fn compact(&mut self) {
+        let buf = std::mem::take(&mut self.buffer);
+        self.buffer = pareto_filter_dyn(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::pareto_indices;
+    use crate::ParetoFront;
+
+    #[test]
+    fn schema_equality_and_lookup() {
+        let a = AxisSchema::new(["acc", "lat", "area"]);
+        let b = AxisSchema::new(vec!["acc".to_owned(), "lat".to_owned(), "area".to_owned()]);
+        assert_eq!(a, b);
+        assert_eq!(a, a.clone());
+        assert_ne!(a, AxisSchema::new(["acc", "lat"]));
+        assert_eq!(a.position("area"), Some(2));
+        assert_eq!(a.position("power"), None);
+        assert_eq!(a.name(1), Some("lat"));
+        assert_eq!(a.to_string(), "acc,lat,area");
+    }
+
+    #[test]
+    fn metric_vector_inline_and_heap_agree() {
+        let small = MetricVector::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(matches!(small.repr, Repr::Inline { .. }));
+        let big: MetricVector = (0..9).map(f64::from).collect();
+        assert!(matches!(big.repr, Repr::Heap(_)));
+        assert_eq!(big.len(), 9);
+        assert_eq!(big[8], 8.0);
+        assert_eq!(small, MetricVector::from(vec![1.0, 2.0, 3.0]));
+        assert_eq!(
+            small.to_bits(),
+            vec![1.0f64.to_bits(), 2.0f64.to_bits(), 3.0f64.to_bits()]
+        );
+    }
+
+    #[test]
+    fn dyn_front_matches_const_generic_membership() {
+        let points: Vec<[f64; 3]> = vec![
+            [3.0, 1.0, 2.0],
+            [1.0, 3.0, 2.0],
+            [2.0, 2.0, 2.0],
+            [1.0, 1.0, 1.0],
+            [3.0, 1.0, 2.0], // duplicate: retained by both
+            [0.0, 0.0, 5.0],
+        ];
+        let mut fixed: ParetoFront<3, usize> = ParetoFront::new();
+        let mut dynamic: DynParetoFront<usize> =
+            DynParetoFront::new(AxisSchema::new(["a", "b", "c"]));
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(fixed.insert(*p, i), dynamic.insert((*p).into(), i));
+        }
+        let mut a: Vec<usize> = fixed.iter().map(|(_, i)| *i).collect();
+        let mut b: Vec<usize> = dynamic.iter().map(|(_, i)| *i).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(dynamic.would_reject(&[0.5, 0.5, 0.5]));
+        assert!(!dynamic.would_reject(&[9.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn dyn_front_rejects_wrong_dimension() {
+        let mut front: DynParetoFront<()> = DynParetoFront::new(AxisSchema::new(["a", "b"]));
+        front.insert([1.0, 2.0, 3.0].into(), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "different axes")]
+    fn dyn_front_merge_rejects_schema_mismatch() {
+        let mut a: DynParetoFront<()> = DynParetoFront::new(AxisSchema::new(["x"]));
+        let b: DynParetoFront<()> = DynParetoFront::new(AxisSchema::new(["y"]));
+        a.merge(b);
+    }
+
+    #[test]
+    fn dyn_front_merge_equals_front_of_concatenation() {
+        let schema = AxisSchema::new(["x", "y"]);
+        let pts_a = [[1.0, 0.0], [0.5, 0.5]];
+        let pts_b = [[0.0, 1.0], [0.4, 0.4], [0.6, 0.6]];
+        let mut a: DynParetoFront<()> = DynParetoFront::new(schema.clone());
+        let mut b: DynParetoFront<()> = DynParetoFront::new(schema.clone());
+        for p in pts_a {
+            a.insert(p.into(), ());
+        }
+        for p in pts_b {
+            b.insert(p.into(), ());
+        }
+        a.merge(b);
+        let all: Vec<[f64; 2]> = pts_a.iter().chain(pts_b.iter()).copied().collect();
+        let expected = pareto_indices(&all).len();
+        assert_eq!(a.len(), expected);
+    }
+
+    #[test]
+    fn dyn_streaming_filter_is_exact_under_tiny_buffer() {
+        let schema = AxisSchema::new(["a", "b", "c"]);
+        let pts: Vec<[f64; 3]> = (0..200)
+            .map(|i| {
+                let t = f64::from(i) * 0.1;
+                [t.sin(), t.cos(), (t * 0.37).sin()]
+            })
+            .collect();
+        let mut filter: DynStreamingParetoFilter<usize> =
+            DynStreamingParetoFilter::with_capacity(schema, 8);
+        for (i, p) in pts.iter().enumerate() {
+            filter.push((*p).into(), i);
+        }
+        let mut got: Vec<usize> = filter.finish().into_iter().map(|(_, i)| i).collect();
+        got.sort_unstable();
+        assert_eq!(got, pareto_indices(&pts));
+    }
+
+    #[test]
+    fn dyn_streaming_finish_front_carries_the_schema() {
+        let schema = AxisSchema::new(["acc", "power"]);
+        let mut filter: DynStreamingParetoFilter<u8> =
+            DynStreamingParetoFilter::new(schema.clone());
+        filter.push([0.9, -3.0].into(), 1);
+        filter.push([0.8, -1.0].into(), 2);
+        let front = filter.finish_front();
+        assert_eq!(front.schema(), &schema);
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn dyn_front_hypervolume_matches_batch() {
+        let schema = AxisSchema::new(["x", "y"]);
+        let mut front: DynParetoFront<()> = DynParetoFront::new(schema);
+        front.insert([1.0, 2.0].into(), ());
+        front.insert([2.0, 1.0].into(), ());
+        assert!((front.hypervolume(&[0.0, 0.0]) - 3.0).abs() < 1e-12);
+    }
+}

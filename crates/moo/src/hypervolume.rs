@@ -89,6 +89,122 @@ pub fn hypervolume_3d(points: &[[f64; 3]], reference: [f64; 3]) -> f64 {
     hv
 }
 
+/// Hypervolume dominated by a runtime-dimension point set relative to
+/// `reference`.
+///
+/// The dimension is read from `reference`; every point must match it. The
+/// two- and three-objective cases delegate to [`hypervolume_2d`] and
+/// [`hypervolume_3d`] — the exact same floating-point operations, so a
+/// scenario over the paper triple scores the same hypervolume bit-for-bit
+/// through either API. Higher dimensions use the standard slicing
+/// recursion (sweep the last objective; between consecutive levels the
+/// dominated cross-section is the `(d−1)`-dimensional hypervolume of the
+/// active points' projections), `O(n^(d-1))` — ample for the
+/// few-thousand-point fronts this repo produces.
+///
+/// # Panics
+///
+/// Panics if any point's dimension differs from the reference's.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::{hypervolume_3d, hypervolume_dyn};
+///
+/// let pts = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+/// assert!((hypervolume_dyn(&pts, &[0.0, 0.0]) - 3.0).abs() < 1e-12);
+///
+/// // Bit-identical to the const-generic path at three objectives:
+/// let triple = [[-120.0, -40.0, 0.93], [-60.0, -200.0, 0.91]];
+/// let dyn_pts: Vec<&[f64]> = triple.iter().map(|p| p.as_slice()).collect();
+/// let reference = [-250.0, -500.0, 0.5];
+/// assert_eq!(
+///     hypervolume_dyn(&dyn_pts, &reference).to_bits(),
+///     hypervolume_3d(&triple, reference).to_bits(),
+/// );
+/// ```
+#[must_use]
+pub fn hypervolume_dyn<P: AsRef<[f64]>>(points: &[P], reference: &[f64]) -> f64 {
+    let dims = reference.len();
+    assert!(
+        points.iter().all(|p| p.as_ref().len() == dims),
+        "all points must match the reference dimension ({dims})"
+    );
+    match dims {
+        0 => 0.0,
+        1 => {
+            let best = points
+                .iter()
+                .map(|p| p.as_ref()[0])
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best > reference[0] {
+                best - reference[0]
+            } else {
+                0.0
+            }
+        }
+        2 => {
+            let pts: Vec<[f64; 2]> = points
+                .iter()
+                .map(|p| {
+                    let s = p.as_ref();
+                    [s[0], s[1]]
+                })
+                .collect();
+            hypervolume_2d(&pts, [reference[0], reference[1]])
+        }
+        3 => {
+            let pts: Vec<[f64; 3]> = points
+                .iter()
+                .map(|p| {
+                    let s = p.as_ref();
+                    [s[0], s[1], s[2]]
+                })
+                .collect();
+            hypervolume_3d(&pts, [reference[0], reference[1], reference[2]])
+        }
+        _ => {
+            let mut pts: Vec<&[f64]> = points
+                .iter()
+                .map(AsRef::as_ref)
+                .filter(|p| p.iter().zip(reference.iter()).all(|(a, r)| a > r))
+                .collect();
+            if pts.is_empty() {
+                return 0.0;
+            }
+            let last = dims - 1;
+            // Sweep the last objective from high to low; between consecutive
+            // levels the dominated cross-section is constant.
+            pts.sort_by(|a, b| {
+                b[last]
+                    .partial_cmp(&a[last])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut hv = 0.0;
+            let mut active: Vec<&[f64]> = Vec::new();
+            let mut i = 0;
+            while i < pts.len() {
+                let z_hi = pts[i][last];
+                while i < pts.len() && pts[i][last] == z_hi {
+                    active.push(pts[i]);
+                    i += 1;
+                }
+                let z_lo = if i < pts.len() {
+                    pts[i][last]
+                } else {
+                    reference[last]
+                };
+                let slab = z_hi - z_lo;
+                if slab > 0.0 {
+                    let projections: Vec<&[f64]> = active.iter().map(|p| &p[..last]).collect();
+                    hv += slab * hypervolume_dyn(&projections, &reference[..last]);
+                }
+            }
+            hv
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +263,56 @@ mod tests {
         let small = hypervolume_3d(&pts, [1.0, 1.0, 1.0]);
         assert!((big - 8.0).abs() < 1e-12);
         assert!((small - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dyn_delegates_bitwise_to_fixed_dimensions() {
+        let pts2 = vec![[3.0, 1.0], [1.0, 3.0]];
+        let dyn2: Vec<&[f64]> = pts2.iter().map(|p| p.as_slice()).collect();
+        assert_eq!(
+            hypervolume_dyn(&dyn2, &[0.0, 0.0]).to_bits(),
+            hypervolume_2d(&pts2, [0.0, 0.0]).to_bits()
+        );
+        let pts3 = vec![[2.0, 1.0, 1.0], [1.0, 2.0, 1.0], [1.0, 1.0, 2.0]];
+        let dyn3: Vec<&[f64]> = pts3.iter().map(|p| p.as_slice()).collect();
+        assert_eq!(
+            hypervolume_dyn(&dyn3, &[0.0, 0.0, 0.0]).to_bits(),
+            hypervolume_3d(&pts3, [0.0, 0.0, 0.0]).to_bits()
+        );
+    }
+
+    #[test]
+    fn dyn_one_dimension_is_the_best_margin() {
+        let pts = vec![vec![3.0], vec![1.0], vec![-2.0]];
+        assert!((hypervolume_dyn(&pts, &[0.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(hypervolume_dyn(&pts, &[5.0]), 0.0);
+        // Negative values above a lower reference still count their margin.
+        assert!((hypervolume_dyn(&[vec![-1.0]], &[-5.0]) - 4.0).abs() < 1e-12);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(hypervolume_dyn(&empty, &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn dyn_four_dimensions_box_and_union() {
+        // One unit hypercube.
+        let unit = vec![vec![1.0, 1.0, 1.0, 1.0]];
+        assert!((hypervolume_dyn(&unit, &[0.0; 4]) - 1.0).abs() < 1e-12);
+        // Two boxes overlapping in a known volume: by inclusion-exclusion
+        // |A∪B| = 2·2 − 1 = 3 when each box has volume 2 and overlap 1.
+        let boxes = vec![vec![2.0, 1.0, 1.0, 1.0], vec![1.0, 2.0, 1.0, 1.0]];
+        assert!((hypervolume_dyn(&boxes, &[0.0; 4]) - 3.0).abs() < 1e-12);
+        // Dominated points add nothing; duplicates do not double-count.
+        let dup = vec![
+            vec![2.0, 1.0, 1.0, 1.0],
+            vec![2.0, 1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+        ];
+        assert!((hypervolume_dyn(&dup, &[0.0; 4]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dyn_zero_dimensions_is_empty_volume() {
+        let pts: Vec<Vec<f64>> = vec![vec![], vec![]];
+        assert_eq!(hypervolume_dyn(&pts, &[]), 0.0);
     }
 }

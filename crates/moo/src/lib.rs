@@ -4,9 +4,14 @@
 //! *"Best of Both Worlds: AutoML Codesign of a CNN and its Hardware
 //! Accelerator"* (DAC 2020):
 //!
-//! * [`dominance`] — Pareto dominance between metric vectors,
+//! * [`dominance`] — Pareto dominance between metric vectors (const-generic
+//!   and runtime-dimension),
 //! * [`pareto`] — Pareto-front extraction (naive, sort-sweep, incremental and
 //!   streaming variants used to filter the ~billions-of-points codesign space),
+//! * [`dynfront`] — the runtime-dimension front stack ([`AxisSchema`],
+//!   [`MetricVector`], [`DynParetoFront`], [`DynStreamingParetoFilter`]):
+//!   fronts in whatever named axes a scenario declares, with the
+//!   const-generic types kept as the fixed-triple parity anchor,
 //! * [`normalize`] — the element-wise linear normalization `N` of Eq. 3,
 //! * [`reward`] — the ε-constraint + weighted-sum reward `R` of Eq. 3/4 and the
 //!   punishment function `Rv` for infeasible points,
@@ -51,6 +56,7 @@
 //! ```
 
 pub mod dominance;
+pub mod dynfront;
 pub mod hypervolume;
 pub mod normalize;
 pub mod pareto;
@@ -58,11 +64,15 @@ pub mod reward;
 
 mod error;
 
-pub use dominance::{dominates, dominates_weak, Dominance};
+pub use dominance::{dominates, dominates_dyn, dominates_weak, dominates_weak_dyn, Dominance};
+pub use dynfront::{AxisSchema, DynParetoFront, DynStreamingParetoFilter, MetricVector};
 pub use error::MooError;
-pub use hypervolume::{hypervolume_2d, hypervolume_3d};
+pub use hypervolume::{hypervolume_2d, hypervolume_3d, hypervolume_dyn};
 pub use normalize::LinearNorm;
-pub use pareto::{pareto_filter, pareto_indices, ParetoFront, StreamingParetoFilter};
+pub use pareto::{
+    pareto_filter, pareto_filter_dyn, pareto_indices, pareto_indices_dyn, ParetoFront,
+    StreamingParetoFilter,
+};
 pub use reward::{
     validate_punishment, validate_weights, DynRewardSpec, DynRewardSpecBuilder, Punishment,
     RewardOutcome, RewardSpec, RewardSpecBuilder,

@@ -149,6 +149,95 @@ pub fn pareto_filter<const N: usize, T>(pairs: Vec<([f64; N], T)>) -> Vec<([f64;
         .collect()
 }
 
+/// Returns the indices of the non-dominated points of a runtime-dimension
+/// point set, in ascending index order.
+///
+/// The runtime-dimension counterpart of [`pareto_indices`]: candidates are
+/// sorted lexicographically (descending) and tested against
+/// already-accepted front members — the same algorithm, so the two agree on
+/// every point set of equal dimension. When the points have exactly three
+/// objectives the `O(n log n)` staircase sweep of [`pareto_indices_3d`]
+/// runs instead; tie handling is identical, so the fast path is invisible
+/// in the result.
+///
+/// # Panics
+///
+/// Panics if the points do not all share one dimension.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::pareto::pareto_indices_dyn;
+///
+/// let pts = vec![vec![1.0, 0.0], vec![0.5, 0.5], vec![0.4, 0.4]];
+/// assert_eq!(pareto_indices_dyn(&pts), vec![0, 1]);
+/// ```
+#[must_use]
+pub fn pareto_indices_dyn<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    let dims = first.as_ref().len();
+    assert!(
+        points.iter().all(|p| p.as_ref().len() == dims),
+        "all points must share one dimension ({dims})"
+    );
+    if dims == 3 {
+        // Automatic fast path: the staircase sweep, bit-identical in its
+        // result set (exact tie handling matches the generic filter).
+        let triples: Vec<[f64; 3]> = points
+            .iter()
+            .map(|p| {
+                let s = p.as_ref();
+                [s[0], s[1], s[2]]
+            })
+            .collect();
+        return pareto_indices_3d(&triples);
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_unstable_by(|&a, &b| lex_cmp_dyn(points[b].as_ref(), points[a].as_ref()));
+    let mut front: Vec<usize> = Vec::new();
+    'candidates: for &i in &order {
+        for &j in &front {
+            if crate::dominance::dominates_dyn(points[j].as_ref(), points[i].as_ref()) {
+                continue 'candidates;
+            }
+        }
+        front.push(i);
+    }
+    front.sort_unstable();
+    front
+}
+
+/// Filters runtime-dimension `(metrics, payload)` pairs down to the
+/// non-dominated subset, preserving input order among survivors — the
+/// [`pareto_filter`] of the dyn stack (and the compaction pass of
+/// [`crate::DynStreamingParetoFilter`]).
+///
+/// # Panics
+///
+/// Panics if the points do not all share one dimension.
+#[must_use]
+pub fn pareto_filter_dyn<M: AsRef<[f64]>, T>(pairs: Vec<(M, T)>) -> Vec<(M, T)> {
+    let keep = {
+        let metrics: Vec<&[f64]> = pairs.iter().map(|(m, _)| m.as_ref()).collect();
+        pareto_indices_dyn(&metrics)
+    };
+    let mut keep_iter = keep.into_iter().peekable();
+    pairs
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            if keep_iter.peek() == Some(&i) {
+                keep_iter.next();
+                Some(p)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
 /// A staircase over `(y, z)` supporting "is (y, z) weakly dominated?" queries.
 ///
 /// Invariant: entries are sorted by `y` strictly descending with `z` strictly
@@ -405,6 +494,18 @@ impl<const N: usize, T> Default for StreamingParetoFilter<N, T> {
 
 fn lex_cmp<const N: usize>(a: &[f64; N], b: &[f64; N]) -> std::cmp::Ordering {
     for i in 0..N {
+        match a[i].partial_cmp(&b[i]) {
+            Some(std::cmp::Ordering::Equal) | None => continue,
+            Some(o) => return o,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// [`lex_cmp`] over slices — the same comparison sequence, so the dyn sort
+/// order matches the const-generic one at equal dimension.
+fn lex_cmp_dyn(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for i in 0..a.len() {
         match a[i].partial_cmp(&b[i]) {
             Some(std::cmp::Ordering::Equal) | None => continue,
             Some(o) => return o,

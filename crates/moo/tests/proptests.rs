@@ -1,8 +1,13 @@
 //! Property-based tests for the multi-objective primitives.
 
 use codesign_moo::dominance::{compare, Dominance};
-use codesign_moo::pareto::{pareto_indices, pareto_indices_3d, StreamingParetoFilter};
-use codesign_moo::{dominates, hypervolume_3d, LinearNorm, ParetoFront, RewardSpec};
+use codesign_moo::pareto::{
+    pareto_indices, pareto_indices_3d, pareto_indices_dyn, StreamingParetoFilter,
+};
+use codesign_moo::{
+    dominates, hypervolume_3d, hypervolume_dyn, AxisSchema, DynParetoFront, LinearNorm,
+    ParetoFront, RewardSpec,
+};
 use proptest::prelude::*;
 
 fn metric() -> impl Strategy<Value = f64> {
@@ -10,8 +15,22 @@ fn metric() -> impl Strategy<Value = f64> {
     (-3i32..=3).prop_map(f64::from)
 }
 
+fn point2() -> impl Strategy<Value = [f64; 2]> {
+    [metric(), metric()]
+}
+
 fn point3() -> impl Strategy<Value = [f64; 3]> {
     [metric(), metric(), metric()]
+}
+
+fn point4() -> impl Strategy<Value = [f64; 4]> {
+    [metric(), metric(), metric(), metric()]
+}
+
+/// A point in the paper-triple value ranges (signed `(−area, −lat, acc)`),
+/// the regime the dyn/const hypervolume parity must hold bitwise in.
+fn paper_point() -> impl Strategy<Value = [f64; 3]> {
+    [-215.0f64..-45.0, -400.0f64..-5.0, 0.80f64..0.95]
 }
 
 fn brute_force(points: &[[f64; 3]]) -> Vec<usize> {
@@ -111,6 +130,66 @@ proptest! {
         let mut more = pts.clone();
         more.push(extra);
         prop_assert!(hypervolume_3d(&more, reference) >= base - 1e-9);
+    }
+
+    // Satellite coverage: the runtime-dimension filter agrees with the
+    // const-generic implementation at every dimension scenarios use.
+    #[test]
+    fn dyn_indices_equal_const_generic_2d(pts in prop::collection::vec(point2(), 0..120)) {
+        prop_assert_eq!(pareto_indices_dyn(&pts), pareto_indices(&pts));
+    }
+
+    #[test]
+    fn dyn_indices_equal_const_generic_3d(pts in prop::collection::vec(point3(), 0..120)) {
+        // dims == 3 takes the automatic staircase fast path.
+        prop_assert_eq!(pareto_indices_dyn(&pts), pareto_indices(&pts));
+    }
+
+    #[test]
+    fn dyn_indices_equal_const_generic_4d(pts in prop::collection::vec(point4(), 0..120)) {
+        prop_assert_eq!(pareto_indices_dyn(&pts), pareto_indices(&pts));
+    }
+
+    #[test]
+    fn dyn_front_membership_equals_const_generic(pts in prop::collection::vec(point3(), 0..120)) {
+        let mut fixed: ParetoFront<3, usize> = ParetoFront::new();
+        let mut dynamic: DynParetoFront<usize> =
+            DynParetoFront::new(AxisSchema::new(["area", "lat", "acc"]));
+        for (i, p) in pts.iter().enumerate() {
+            prop_assert_eq!(fixed.insert(*p, i), dynamic.insert((*p).into(), i));
+        }
+        let mut a: Vec<usize> = fixed.iter().map(|(_, i)| *i).collect();
+        let mut b: Vec<usize> = dynamic.iter().map(|(_, i)| *i).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dyn_hypervolume_matches_3d_bitwise_on_the_paper_triple(
+        pts in prop::collection::vec(paper_point(), 0..60),
+    ) {
+        let reference = [-215.0, -400.0, 0.80];
+        let fixed = hypervolume_3d(&pts, reference);
+        let dynamic = hypervolume_dyn(&pts, &reference);
+        prop_assert_eq!(fixed.to_bits(), dynamic.to_bits());
+    }
+
+    #[test]
+    fn dyn_hypervolume_4d_is_monotone_and_bounded(
+        pts in prop::collection::vec([0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0], 1..25),
+        extra in [0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0],
+    ) {
+        let reference = [0.0; 4];
+        let base = hypervolume_dyn(&pts, &reference);
+        let bound: f64 = pts
+            .iter()
+            .map(|p| p.iter().product::<f64>())
+            .sum();
+        prop_assert!(base <= bound + 1e-9, "union volume exceeds sum of boxes");
+        let mut more = pts.clone();
+        more.push(extra);
+        prop_assert!(hypervolume_dyn(&more, &reference) >= base - 1e-9);
     }
 
     #[test]

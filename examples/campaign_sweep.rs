@@ -21,11 +21,11 @@ use codesign_nas::engine::{
 };
 use codesign_nas::nasbench::NasbenchDatabase;
 
-fn front_fingerprint(report: &CampaignReport, scenario: &str) -> Vec<[u64; 3]> {
-    let mut bits: Vec<[u64; 3]> = report
+fn front_fingerprint(report: &CampaignReport, scenario: &str) -> Vec<Vec<u64>> {
+    let mut bits: Vec<Vec<u64>> = report
         .merged_front(scenario)
         .iter()
-        .map(|(m, _)| [m[0].to_bits(), m[1].to_bits(), m[2].to_bits()])
+        .map(|(m, _)| m.to_bits())
         .collect();
     bits.sort_unstable();
     bits
