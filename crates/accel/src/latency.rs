@@ -3,8 +3,8 @@
 //! The paper measures each of the "85 unique variations of convolutions,
 //! pooling and element-wise operations" on the FPGA and stores the results in
 //! a lookup table. Without the board, this module computes those entries from
-//! an analytical engine model instead (see the substitution notes in
-//! `DESIGN.md`): convolutions run on a MAC array whose compute time is the
+//! an analytical engine model instead (a documented substitution — see
+//! the module docs below and `ARCHITECTURE.md`): convolutions run on a MAC array whose compute time is the
 //! quantized ideal cycle count divided by a pipeline efficiency, overlapped
 //! (double-buffered) with external-memory traffic whose volume depends on how
 //! the layer tiles into the configured on-chip buffers; pooling runs on the
@@ -59,7 +59,7 @@ impl EngineKind {
 
 /// Analytical latency model constants.
 ///
-/// Calibrated (see `EXPERIMENTS.md`) so the ResNet-cell network on its best
+/// Calibrated (pinned by `tests/calibration.rs`) so the ResNet-cell network on its best
 /// accelerator lands near Table II's 42 ms and the GoogLeNet-cell network
 /// near 19 ms, with the 0–400 ms spread of Fig. 4 across the space.
 #[derive(Debug, Clone, Copy, PartialEq)]

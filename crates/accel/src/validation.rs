@@ -8,8 +8,8 @@
 //! congestion, DDR row conflicts, scheduling jitter) at the magnitudes
 //! reported for such models in the literature. The validation machinery —
 //! fixture selection, error accounting, acceptance thresholds — reproduces
-//! the paper's §II-C methodology exactly; see `DESIGN.md` for the
-//! substitution rationale.
+//! the paper's §II-C methodology exactly; the substitution rationale is
+//! documented in the [`crate::latency`] module docs.
 
 use codesign_nasbench::{known_cells, Network, NetworkConfig};
 

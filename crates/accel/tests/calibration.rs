@@ -7,7 +7,7 @@
 //! Absolute numbers from an analytical substitute cannot match a measured
 //! board exactly; these tests pin the *shape*: latency ordering, area
 //! regime, and perf/area ratios within generous bands. The `print_calibration`
-//! test (ignored by default) dumps the numbers recorded in EXPERIMENTS.md.
+//! test (ignored by default) dumps the full calibration table.
 
 use codesign_accel::{best_accelerator_for, AreaModel, ConfigSpace, DseObjective, LatencyModel};
 use codesign_nasbench::{known_cells, Network, NetworkConfig};
@@ -56,7 +56,7 @@ fn table2_baseline_shape() {
 }
 
 #[test]
-#[ignore = "diagnostic: prints the calibration table for EXPERIMENTS.md"]
+#[ignore = "diagnostic: prints the full calibration table"]
 fn print_calibration() {
     for (name, cell) in known_cells::all_named() {
         let b = best(&cell);

@@ -1,4 +1,4 @@
-//! Quality ablations for the design choices called out in `DESIGN.md`:
+//! Quality ablations for the reproduction's documented design choices:
 //!
 //! 1. LSTM controller vs. uniform random search at equal step budgets;
 //! 2. punishment function `Rv` on vs. off (constraint-satisfaction rate);

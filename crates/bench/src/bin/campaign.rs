@@ -21,11 +21,20 @@
 //! wall times become the campaign's `CostModel`, and the full sweep is
 //! re-dispatched with measured scheduling weights automatically.
 //!
+//! The `nsga` strategy is the true multi-objective searcher: selection by
+//! non-dominated sorting + crowding over the scenario's own axes instead
+//! of a scalarized reward. `--population` sizes its generations and
+//! `--generations` expresses the step budget as `population × generations`
+//! (overriding `--steps`); every nsga shard exports its per-generation
+//! front hypervolume in the JSONL.
+//!
 //! Run: `cargo run --release -p codesign-bench --bin campaign`
 //! Args: `[--steps N] [--repeats R] [--max-vertices V] [--workers W]`
 //!       `[--scenario PRESET-INDEX|PRESET-NAME|COMPACT-SPEC]`
 //!       `[--scenarios-file FILE] [--list-scenarios] [--check-scenarios]`
-//!       `[--strategies separate,combined,phase,random]`
+//!       `[--strategies separate,combined,phase,random,evolution,nsga]`
+//!       `(--strategy is a singular alias)`
+//!       `[--population P] [--generations G]`
 //!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
 //!       `[--cache-path FILE] [--cache-capacity N]`
 //!       `[--calibrate] [--probe-steps N] [--probe-samples N]`
@@ -116,7 +125,6 @@ fn main() {
         return;
     }
 
-    let steps = args.get_usize("steps", 1000);
     let repeats = args.get_usize("repeats", 3);
     let max_v = args.get_usize("max-vertices", 4);
     let workers = args.get_usize("workers", 0);
@@ -125,12 +133,34 @@ fn main() {
     let cache_path = args.get_str("cache-path", "");
     let cache_capacity = args.get_usize("cache-capacity", 0);
 
-    let strategies: Vec<StrategyKind> = args
-        .get_str("strategies", "separate,combined,phase,random")
+    // NSGA knobs: --population sizes each generation; --generations, when
+    // given, expresses the whole step budget as population × generations
+    // (the natural unit for a generational strategy) and overrides --steps.
+    let population = args.get_usize("population", StrategyKind::DEFAULT_NSGA_POPULATION);
+    let generations = args.get_usize("generations", 0);
+    let steps = if generations > 0 {
+        population * generations
+    } else {
+        args.get_usize("steps", 1000)
+    };
+
+    // `--strategy` is accepted as a singular alias for `--strategies`.
+    let mut strategy_list = args.get_str("strategies", "");
+    if strategy_list.is_empty() {
+        strategy_list = args.get_str("strategy", "");
+    }
+    if strategy_list.is_empty() {
+        strategy_list = "separate,combined,phase,random".to_owned();
+    }
+    let strategies: Vec<StrategyKind> = strategy_list
         .split(',')
         .map(|name| {
-            StrategyKind::from_name(name.trim())
-                .unwrap_or_else(|| panic!("unknown strategy '{name}'"))
+            let kind = StrategyKind::from_name(name.trim())
+                .unwrap_or_else(|| panic!("unknown strategy '{name}'"));
+            match kind {
+                StrategyKind::Nsga { .. } => StrategyKind::Nsga { population },
+                other => other,
+            }
         })
         .collect();
 

@@ -1,9 +1,10 @@
 //! Shared harness utilities for the reproduction binaries.
 //!
-//! Every table and figure of the paper has a binary in `src/bin/`; see
-//! `DESIGN.md` for the experiment index. The binaries share a tiny
-//! `--key value` argument parser and a common output directory for CSV
-//! series (`target/paper-results/`).
+//! Every table and figure of the paper has a binary in `src/bin/`, plus
+//! the general `campaign` driver; the repository's `README.md` and
+//! `ARCHITECTURE.md` index them. The binaries share a tiny `--key value`
+//! argument parser and a common output directory for CSV series
+//! (`target/paper-results/`).
 
 use std::collections::HashMap;
 use std::path::PathBuf;

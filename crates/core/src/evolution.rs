@@ -16,6 +16,32 @@ use rand::Rng;
 
 use crate::search::{SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy};
 
+/// A uniform random genome over `vocab` (one action per position).
+///
+/// The seeding operator shared by [`EvolutionSearch`] and
+/// [`crate::NsgaSearch`].
+pub(crate) fn random_genome(vocab: &[usize], rng: &mut SmallRng) -> Vec<usize> {
+    vocab.iter().map(|&v| rng.gen_range(0..v)).collect()
+}
+
+/// Resamples `mutations.max(1)` uniformly-chosen positions of `genome`
+/// (with replacement, so the effective count can be lower).
+///
+/// The mutation operator shared by [`EvolutionSearch`] and
+/// [`crate::NsgaSearch`]; both strategies walk the joint codesign genome
+/// with exactly these draws, in this order, from the injected stream.
+pub(crate) fn mutate_genome(
+    genome: &mut [usize],
+    vocab: &[usize],
+    mutations: usize,
+    rng: &mut SmallRng,
+) {
+    for _ in 0..mutations.max(1) {
+        let pos = rng.gen_range(0..genome.len());
+        genome[pos] = rng.gen_range(0..vocab[pos]);
+    }
+}
+
 /// Regularized-evolution search over the joint codesign genome.
 #[derive(Debug, Clone, Copy)]
 pub struct EvolutionSearch {
@@ -57,7 +83,7 @@ impl SearchStrategy for EvolutionSearch {
         while recorder.steps() < config.steps {
             let genome: Vec<usize> = if population.len() < self.population {
                 // Seeding phase: uniform random genomes.
-                vocab.iter().map(|&v| rng.gen_range(0..v)).collect()
+                random_genome(&vocab, rng)
             } else {
                 // Tournament: mutate the best of a random sample.
                 let mut best: Option<&(Vec<usize>, f64)> = None;
@@ -69,10 +95,7 @@ impl SearchStrategy for EvolutionSearch {
                     }
                 }
                 let mut child = best.expect("non-empty population").0.clone();
-                for _ in 0..self.mutations.max(1) {
-                    let pos = rng.gen_range(0..child.len());
-                    child[pos] = rng.gen_range(0..vocab[pos]);
-                }
+                mutate_genome(&mut child, &vocab, self.mutations, rng);
                 child
             };
             let proposal = ctx.space.decode(&genome);

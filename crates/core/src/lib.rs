@@ -14,6 +14,11 @@
 //! * [`cifar100`] — the threshold-schedule CIFAR-100 flow (§IV, Fig. 7);
 //! * [`baselines`] — ResNet/GoogLeNet on their best accelerators (Table II).
 //!
+//! Beyond the paper: [`scenarios`] opens the reward space to arbitrary
+//! named-metric declarations, and two population strategies extend the RL
+//! controllers — [`evolution`] (aging evolution) and [`nsga`] (NSGA-II
+//! true multi-objective selection over the scenario's own Pareto front).
+//!
 //! # Examples
 //!
 //! Run a short combined search on a small, fully-enumerable space:
@@ -43,6 +48,7 @@ pub mod enumerate;
 pub mod evaluator;
 pub mod evolution;
 pub mod experiments;
+pub mod nsga;
 pub mod report;
 pub mod scenarios;
 pub mod search;
@@ -63,6 +69,7 @@ pub use evolution::EvolutionSearch;
 pub use experiments::{
     compare_strategies, top_pareto_points, ComparisonConfig, ScenarioComparison, StrategyRuns,
 };
+pub use nsga::NsgaSearch;
 #[allow(deprecated)]
 pub use scenarios::Scenario;
 pub use scenarios::{
@@ -71,8 +78,8 @@ pub use scenarios::{
     SCENARIO_VERSION,
 };
 pub use search::{
-    reward_curve, BestPoint, SearchConfig, SearchContext, SearchOutcome, SearchRecorder,
-    SearchStrategy, StepRecord, INVALID_PROPOSAL_REWARD,
+    reward_curve, BestPoint, GenerationStat, SearchConfig, SearchContext, SearchOutcome,
+    SearchRecorder, SearchStrategy, StepRecord, INVALID_PROPOSAL_REWARD,
 };
 pub use space::{CnnSpace, CodesignSpace, HwSpace, Proposal};
 pub use strategies::{CombinedSearch, PhaseSearch, RandomSearch, SeparateSearch};

@@ -1,8 +1,8 @@
 //! Plain-text tables and CSV series for the reproduction harness.
 //!
 //! Every figure/table binary in `codesign-bench` prints through these
-//! helpers so the output format is uniform and easy to diff against
-//! `EXPERIMENTS.md`.
+//! helpers so the output format is uniform and easy to diff across runs
+//! and machines.
 
 use std::fmt::Write as _;
 use std::io::{self, Write};

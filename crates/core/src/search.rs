@@ -73,6 +73,27 @@ pub struct StepRecord {
     pub metrics: Option<[f64; 3]>,
 }
 
+/// One per-generation snapshot of a population-based run: how good (and
+/// how large) the Pareto front of everything visited so far was when the
+/// generation closed.
+///
+/// Produced by [`SearchRecorder::snapshot_generation`]; population
+/// strategies ([`crate::NsgaSearch`]) call it once per generation, so the
+/// sequence is the hypervolume-over-time curve of the run. Step-at-a-time
+/// strategies record no snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationStat {
+    /// Generation index, 0-based (generation 0 is the seeded population).
+    pub generation: usize,
+    /// Total evaluations recorded when the snapshot was taken.
+    pub evaluations: usize,
+    /// Size of the visited-points Pareto front at that moment.
+    pub front_size: usize,
+    /// Dominated hypervolume of that front relative to the scenario's
+    /// [`crate::scenarios::CompiledScenario::hypervolume_reference`].
+    pub hypervolume: f64,
+}
+
 /// The best feasible point found by a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BestPoint {
@@ -105,6 +126,9 @@ pub struct SearchOutcome {
     pub feasible_steps: usize,
     /// Count of invalid (undecodable/unknown CNN) steps.
     pub invalid_steps: usize,
+    /// Per-generation front snapshots, for population strategies that call
+    /// [`SearchRecorder::snapshot_generation`]; empty otherwise.
+    pub generations: Vec<GenerationStat>,
 }
 
 impl SearchOutcome {
@@ -180,6 +204,7 @@ pub struct SearchRecorder {
     front: DynParetoFront<(CellSpec, AcceleratorConfig)>,
     feasible_steps: usize,
     invalid_steps: usize,
+    generations: Vec<GenerationStat>,
 }
 
 impl SearchRecorder {
@@ -195,6 +220,7 @@ impl SearchRecorder {
             front: scenario.empty_front(),
             feasible_steps: 0,
             invalid_steps: 0,
+            generations: Vec::new(),
         }
     }
 
@@ -289,6 +315,21 @@ impl SearchRecorder {
         self.best.as_ref().or(self.best_valid.as_ref())
     }
 
+    /// Closes one generation of a population-based strategy: snapshots the
+    /// current visited-points front (size + dominated hypervolume against
+    /// the scenario's fixed reference box) so the finished outcome carries
+    /// a hypervolume-over-time curve. Step-at-a-time strategies simply
+    /// never call this.
+    pub fn snapshot_generation(&mut self, scenario: &CompiledScenario) {
+        let reference = scenario.hypervolume_reference();
+        self.generations.push(GenerationStat {
+            generation: self.generations.len(),
+            evaluations: self.history.len(),
+            front_size: self.front.len(),
+            hypervolume: self.front.hypervolume(&reference),
+        });
+    }
+
     /// Finalizes the run.
     #[must_use]
     pub fn finish(self) -> SearchOutcome {
@@ -299,6 +340,7 @@ impl SearchRecorder {
             front: self.front,
             feasible_steps: self.feasible_steps,
             invalid_steps: self.invalid_steps,
+            generations: self.generations,
         }
     }
 }

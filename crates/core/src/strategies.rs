@@ -8,6 +8,13 @@
 //!   accuracy-only CNN search followed by accelerator DSE for the found CNN.
 //! * [`RandomSearch`] — uniform sampling, the ablation baseline for the RL
 //!   controller.
+//!
+//! All four optimize a *scalarized* reward built from any declarative
+//! [`crate::ScenarioSpec`] — not just the paper's three presets. Two
+//! population-based extensions live in sibling modules:
+//! [`crate::evolution`] (aging evolution on the same scalarized reward)
+//! and [`crate::nsga`] (NSGA-II selection directly on the scenario's
+//! Pareto front).
 
 use rand::rngs::SmallRng;
 use rand::Rng;

@@ -4,8 +4,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use codesign_core::{
-    CodesignSpace, CombinedSearch, CompiledScenario, EvolutionSearch, PairEvaluation, PhaseSearch,
-    RandomSearch, ScenarioError, ScenarioSpec, SearchConfig, SearchStrategy, SeparateSearch,
+    CodesignSpace, CombinedSearch, CompiledScenario, EvolutionSearch, NsgaSearch, PairEvaluation,
+    PhaseSearch, RandomSearch, ScenarioError, ScenarioSpec, SearchConfig, SearchStrategy,
+    SeparateSearch,
 };
 
 use crate::mix64;
@@ -26,6 +27,14 @@ pub enum StrategyKind {
     Random,
     /// Regularized (aging) evolution over the joint genome (extension).
     Evolution,
+    /// NSGA-II-style true multi-objective selection over the scenario's
+    /// own axes (extension): the one strategy that optimizes the Pareto
+    /// front directly instead of a scalarized reward.
+    Nsga {
+        /// Living individuals per generation (also the per-generation
+        /// offspring count).
+        population: usize,
+    },
 }
 
 impl StrategyKind {
@@ -38,6 +47,11 @@ impl StrategyKind {
         StrategyKind::Random,
     ];
 
+    /// The default NSGA-II population when none is chosen explicitly
+    /// (what [`StrategyKind::from_name`] resolves `"nsga"` to) — the same
+    /// value a bare [`NsgaSearch::default`] runs with.
+    pub const DEFAULT_NSGA_POPULATION: usize = NsgaSearch::DEFAULT_POPULATION;
+
     /// Display name (matches [`SearchStrategy::name`] of the built strategy).
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -47,10 +61,12 @@ impl StrategyKind {
             StrategyKind::Separate => "separate",
             StrategyKind::Random => "random",
             StrategyKind::Evolution => "evolution",
+            StrategyKind::Nsga { .. } => "nsga",
         }
     }
 
-    /// Parses a display name back into a kind.
+    /// Parses a display name back into a kind (`"nsga"` resolves with
+    /// [`StrategyKind::DEFAULT_NSGA_POPULATION`]).
     #[must_use]
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
@@ -59,6 +75,9 @@ impl StrategyKind {
             "separate" => Some(StrategyKind::Separate),
             "random" => Some(StrategyKind::Random),
             "evolution" => Some(StrategyKind::Evolution),
+            "nsga" => Some(StrategyKind::Nsga {
+                population: Self::DEFAULT_NSGA_POPULATION,
+            }),
             _ => None,
         }
     }
@@ -72,6 +91,10 @@ impl StrategyKind {
             StrategyKind::Separate => Box::new(SeparateSearch::scaled(total_steps)),
             StrategyKind::Random => Box::new(RandomSearch),
             StrategyKind::Evolution => Box::new(EvolutionSearch::default()),
+            StrategyKind::Nsga { population } => Box::new(NsgaSearch {
+                population: *population,
+                ..NsgaSearch::default()
+            }),
         }
     }
 }
@@ -468,10 +491,12 @@ mod tests {
 
     #[test]
     fn strategy_kinds_roundtrip_names() {
-        for kind in StrategyKind::ALL
-            .into_iter()
-            .chain([StrategyKind::Evolution])
-        {
+        for kind in StrategyKind::ALL.into_iter().chain([
+            StrategyKind::Evolution,
+            StrategyKind::Nsga {
+                population: StrategyKind::DEFAULT_NSGA_POPULATION,
+            },
+        ]) {
             assert_eq!(StrategyKind::from_name(kind.name()), Some(kind));
             assert_eq!(kind.build(1000).name(), kind.name());
         }

@@ -5,7 +5,7 @@ use std::path::Path;
 
 use codesign_accel::AcceleratorConfig;
 use codesign_core::report::{fmt_f, write_csv, TextTable};
-use codesign_core::{reward_curve, BestPoint, MetricId, SearchOutcome, StepRecord};
+use codesign_core::{reward_curve, BestPoint, GenerationStat, MetricId, SearchOutcome, StepRecord};
 use codesign_moo::{AxisSchema, DynParetoFront};
 use codesign_nasbench::{CellSpec, Json};
 
@@ -30,6 +30,18 @@ pub struct ShardResult {
     /// Pareto front of every valid point the run visited, in the shard
     /// scenario's own signed metric axes.
     pub front: DynParetoFront<(CellSpec, AcceleratorConfig)>,
+    /// Dominated hypervolume of [`ShardResult::front`] against the shard
+    /// scenario's fixed reference box
+    /// ([`CompiledScenario::hypervolume_reference`]) — the scalar front
+    /// quality every shard exports, comparable across strategies of the
+    /// same scenario.
+    ///
+    /// [`CompiledScenario::hypervolume_reference`]:
+    /// codesign_core::CompiledScenario::hypervolume_reference
+    pub hypervolume: f64,
+    /// Per-generation front snapshots (size + hypervolume), for population
+    /// strategies that record them (`nsga`); empty otherwise.
+    pub generations: Vec<GenerationStat>,
     /// The full per-step history, when the campaign recorded histories.
     pub history: Option<Vec<StepRecord>>,
     /// Shared-cache lookups this shard answered from entries preloaded
@@ -55,6 +67,9 @@ impl ShardResult {
         wall_ms: u64,
         keep_history: bool,
     ) -> Self {
+        let hypervolume = outcome
+            .front
+            .hypervolume(&spec.scenario.hypervolume_reference());
         Self {
             spec,
             steps: outcome.history.len(),
@@ -62,6 +77,8 @@ impl ShardResult {
             invalid_steps: outcome.invalid_steps,
             best: outcome.best,
             front: outcome.front,
+            hypervolume,
+            generations: outcome.generations,
             history: keep_history.then_some(outcome.history),
             cache_warm_hits: 0,
             cache_cold_hits: 0,
@@ -82,6 +99,8 @@ impl ShardResult {
             invalid_steps: 0,
             best: None,
             front,
+            hypervolume: 0.0,
+            generations: Vec::new(),
             history: None,
             cache_warm_hits: 0,
             cache_cold_hits: 0,
@@ -103,7 +122,10 @@ impl ShardResult {
     /// `front` rows and the `best` object's metric entries are written in
     /// exactly those axes (signed convention for `front`, natural units
     /// for `best`), so a power-capped scenario exports `power` columns —
-    /// never a borrowed triple.
+    /// never a borrowed triple. `hypervolume` scores the final front
+    /// against the scenario's reference box, and population strategies add
+    /// a `generations` array whose entries each carry their own
+    /// per-generation `hypervolume` — the front-quality-over-time curve.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let axes = self.front.schema().clone();
@@ -129,6 +151,18 @@ impl ShardResult {
             .iter()
             .map(|(m, _)| Json::Arr(m.iter().map(|&x| Json::Num(x)).collect()))
             .collect();
+        let generations = self
+            .generations
+            .iter()
+            .map(|g| {
+                Json::obj(vec![
+                    ("generation", Json::Num(g.generation as f64)),
+                    ("evaluations", Json::Num(g.evaluations as f64)),
+                    ("front", Json::Num(g.front_size as f64)),
+                    ("hypervolume", Json::Num(g.hypervolume)),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("type", Json::Str("shard".into())),
             ("index", Json::Num(self.spec.index as f64)),
@@ -144,6 +178,8 @@ impl ShardResult {
             ),
             ("best", best),
             ("front", Json::Arr(front)),
+            ("hypervolume", Json::Num(self.hypervolume)),
+            ("generations", Json::Arr(generations)),
             ("cache_warm_hits", Json::Num(self.cache_warm_hits as f64)),
             ("cache_cold_hits", Json::Num(self.cache_cold_hits as f64)),
             ("cache_misses", Json::Num(self.cache_misses as f64)),
@@ -286,7 +322,10 @@ impl CampaignReport {
     }
 
     /// A per-(scenario, strategy) summary table. The `axes` column names
-    /// the metric axes each scenario's front is collected in.
+    /// the metric axes each scenario's front is collected in; `hv` is the
+    /// dominated hypervolume of the group's merged front against the
+    /// scenario's reference box (comparable across strategies of one
+    /// scenario — the strategy-comparison scalar).
     #[must_use]
     pub fn summary_table(&self) -> TextTable {
         let mut table = TextTable::new(vec![
@@ -298,6 +337,7 @@ impl CampaignReport {
             "best lat [ms]",
             "best acc [%]",
             "front",
+            "hv",
             "axes",
         ]);
         for (scenario, strategy) in self.groups() {
@@ -323,6 +363,9 @@ impl CampaignReport {
             for member in &members {
                 group_front.extend(member.front.iter().cloned());
             }
+            let group_hv = members.first().map_or(0.0, |m| {
+                group_front.hypervolume(&m.spec.scenario.hypervolume_reference())
+            });
             table.add_row(vec![
                 scenario,
                 strategy.name().into(),
@@ -332,6 +375,7 @@ impl CampaignReport {
                 best.map_or("-".into(), |b| fmt_f(b.evaluation.latency_ms, 1)),
                 best.map_or("-".into(), |b| fmt_f(b.evaluation.accuracy * 100.0, 2)),
                 group_front.len().to_string(),
+                fmt_f(group_hv, 4),
                 schema.to_string(),
             ]);
         }
@@ -411,7 +455,8 @@ impl CampaignReport {
     /// columns of its *own* scenario's axes — a power-capped sweep exports
     /// `best_power`, and no `best_area_mm2` column exists unless some
     /// scenario optimizes area. `front_axes` records each shard's axis
-    /// schema.
+    /// schema and `hypervolume` its final front quality against the
+    /// scenario's reference box.
     ///
     /// # Errors
     ///
@@ -436,6 +481,7 @@ impl CampaignReport {
             [
                 "front_size",
                 "front_axes",
+                "hypervolume",
                 "cache_warm_hits",
                 "cache_cold_hits",
                 "cache_misses",
@@ -476,6 +522,7 @@ impl CampaignReport {
                     s.front.len().to_string(),
                     // '|'-separated: a comma would split the CSV cell.
                     schema.names().join("|"),
+                    fmt_f(s.hypervolume, 6),
                     s.cache_warm_hits.to_string(),
                     s.cache_cold_hits.to_string(),
                     s.cache_misses.to_string(),

@@ -180,6 +180,84 @@ pub fn dominates_weak_dyn(a: &[f64], b: &[f64]) -> bool {
     matches!(compare_dyn(a, b), Dominance::Dominates | Dominance::Equal)
 }
 
+/// Fast non-dominated sorting (the ranking half of NSGA-II selection):
+/// assigns every point its Pareto front index under the all-maximize
+/// convention.
+///
+/// Rank 0 is the non-dominated front of the whole set; rank `k` is the
+/// front that remains after peeling ranks `0..k`. Equal points share a
+/// rank (neither strictly dominates the other). The result is a pure
+/// function of the point values — independent of input order up to the
+/// obvious index permutation — so population-based strategies built on it
+/// stay bit-identical across worker counts.
+///
+/// Runs the Deb et al. bookkeeping: one `O(n²·d)` pairwise-dominance pass
+/// building per-point domination counts, then a linear peel per front.
+///
+/// # Panics
+///
+/// Panics if the points differ in dimension; in debug builds also if any
+/// point contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::rank_dyn;
+///
+/// // Two incomparable optima, one dominated point, one worst point.
+/// let ranks = rank_dyn(&[
+///     [1.0, 3.0], // rank 0
+///     [3.0, 1.0], // rank 0 (incomparable with the first)
+///     [2.0, 0.5], // rank 1 (dominated by [3,1] only)
+///     [0.5, 0.5], // rank 2
+/// ]);
+/// assert_eq!(ranks, vec![0, 0, 1, 2]);
+/// ```
+#[must_use]
+pub fn rank_dyn<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    let n = points.len();
+    let mut ranks = vec![0usize; n];
+    if n == 0 {
+        return ranks;
+    }
+    // dominated_by[i]: how many points strictly dominate i.
+    // dominates[i]: the points i strictly dominates.
+    let mut dominated_by = vec![0usize; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match compare_dyn(points[i].as_ref(), points[j].as_ref()) {
+                Dominance::Dominates => {
+                    dominates_list[i].push(j);
+                    dominated_by[j] += 1;
+                }
+                Dominance::DominatedBy => {
+                    dominates_list[j].push(i);
+                    dominated_by[i] += 1;
+                }
+                Dominance::Equal | Dominance::Incomparable => {}
+            }
+        }
+    }
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut rank = 0usize;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            ranks[i] = rank;
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        rank += 1;
+    }
+    ranks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +323,40 @@ mod tests {
     #[should_panic(expected = "different dimensions")]
     fn dyn_compare_rejects_mismatched_lengths() {
         let _ = compare_dyn(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn rank_dyn_peels_fronts_in_order() {
+        // A 2-D staircase: each shell is one rank.
+        let ranks = rank_dyn(&[
+            [2.0, 2.0], // dominates everything: rank 0
+            [1.0, 2.0], // rank 1
+            [2.0, 1.0], // rank 1
+            [1.0, 1.0], // rank 2
+            [0.0, 0.0], // rank 3
+        ]);
+        assert_eq!(ranks, vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_dyn_handles_duplicates_and_empty_sets() {
+        assert!(rank_dyn::<[f64; 2]>(&[]).is_empty());
+        // Equal points never dominate each other: same rank.
+        let ranks = rank_dyn(&[[1.0, 1.0], [1.0, 1.0], [0.0, 0.0]]);
+        assert_eq!(ranks, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn rank_zero_is_exactly_the_pareto_front() {
+        let pts = [
+            [3.0, 1.0, 2.0],
+            [1.0, 3.0, 2.0],
+            [2.0, 2.0, 2.0],
+            [1.0, 1.0, 1.0],
+            [0.0, 0.0, 5.0],
+        ];
+        let ranks = rank_dyn(&pts);
+        let rank0: Vec<usize> = (0..pts.len()).filter(|&i| ranks[i] == 0).collect();
+        assert_eq!(rank0, crate::pareto::pareto_indices(&pts));
     }
 }

@@ -527,6 +527,80 @@ impl<T> DynStreamingParetoFilter<T> {
     }
 }
 
+/// Crowding distance of every point in one front (the diversity half of
+/// NSGA-II selection), under the all-maximize convention.
+///
+/// For each objective the points are sorted by value (ties broken by input
+/// index, keeping the result a deterministic function of the input); the
+/// extreme points of every objective receive `f64::INFINITY`, and each
+/// interior point accumulates the normalized gap between its sorted
+/// neighbors, summed over objectives. Larger is less crowded — NSGA-II
+/// prefers larger distances to spread the population along the front.
+/// An objective whose values are all equal contributes nothing. Sets of
+/// fewer than three points are all boundary: every distance is infinite.
+///
+/// Callers group points by [`crate::rank_dyn`] rank first and compute
+/// crowding within each front — distances compare meaningfully only
+/// between points of equal rank.
+///
+/// # Panics
+///
+/// Panics if the points differ in dimension; in debug builds also if any
+/// point contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::crowding_distance_dyn;
+///
+/// // Three points on a 2-D front: the extremes are infinitely uncrowded,
+/// // the middle point's gap spans the whole range in both objectives.
+/// let d = crowding_distance_dyn(&[[0.0, 2.0], [1.0, 1.0], [2.0, 0.0]]);
+/// assert_eq!(d[0], f64::INFINITY);
+/// assert_eq!(d[2], f64::INFINITY);
+/// assert!((d[1] - 2.0).abs() < 1e-12); // (2-0)/2 per objective, twice
+/// ```
+#[must_use]
+pub fn crowding_distance_dyn<P: AsRef<[f64]>>(points: &[P]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dims = points[0].as_ref().len();
+    for p in points {
+        assert_eq!(
+            p.as_ref().len(),
+            dims,
+            "crowding distance across mixed dimensions"
+        );
+        debug_assert!(
+            p.as_ref().iter().all(|v| !v.is_nan()),
+            "NaN metric in crowding distance"
+        );
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut distance = vec![0.0f64; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    for m in 0..dims {
+        let value = |i: usize| points[i].as_ref()[m];
+        order.sort_by(|&a, &b| value(a).total_cmp(&value(b)).then(a.cmp(&b)));
+        let (first, last) = (order[0], order[n - 1]);
+        let span = value(last) - value(first);
+        distance[first] = f64::INFINITY;
+        distance[last] = f64::INFINITY;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in order.windows(3) {
+            let (prev, mid, next) = (w[0], w[1], w[2]);
+            distance[mid] += (value(next) - value(prev)) / span;
+        }
+    }
+    distance
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,6 +723,59 @@ mod tests {
         let front = filter.finish_front();
         assert_eq!(front.schema(), &schema);
         assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn crowding_extremes_are_infinite_and_interior_sums_gaps() {
+        // 4 points on a line front: interior gaps are normalized per axis.
+        let d = crowding_distance_dyn(&[[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]]);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        // Each interior point: (2/3) per objective, two objectives.
+        assert!((d[1] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((d[2] - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_small_sets_are_all_boundary() {
+        assert!(crowding_distance_dyn::<[f64; 2]>(&[]).is_empty());
+        assert_eq!(crowding_distance_dyn(&[[1.0, 2.0]]), vec![f64::INFINITY]);
+        assert_eq!(
+            crowding_distance_dyn(&[[1.0, 2.0], [2.0, 1.0]]),
+            vec![f64::INFINITY; 2]
+        );
+    }
+
+    #[test]
+    fn crowding_constant_objective_contributes_nothing() {
+        // Second objective is flat: only the first objective's gaps count,
+        // and the flat axis still marks its (index-tie-broken) extremes.
+        let d = crowding_distance_dyn(&[[0.0, 5.0], [1.0, 5.0], [2.0, 5.0], [4.0, 5.0]]);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!((d[1] - 0.5).abs() < 1e-12); // (2-0)/4
+        assert!((d[2] - 0.75).abs() < 1e-12); // (4-1)/4
+    }
+
+    #[test]
+    fn crowding_ties_break_by_input_index() {
+        // Indices 0 and 1 tie at the minimum of axis 0: the *earlier* index
+        // sorts first and takes the boundary infinity of that axis. The
+        // result is a deterministic function of the input sequence.
+        let pts = [[0.0, 1.0], [0.0, 2.0], [3.0, 0.0], [1.0, 0.5]];
+        let d = crowding_distance_dyn(&pts);
+        assert_eq!(d[0], f64::INFINITY, "axis-0 tie boundary goes to index 0");
+        assert_eq!(d[1], f64::INFINITY, "index 1 is the axis-1 maximum");
+        assert_eq!(d[2], f64::INFINITY, "index 2 is the axis-0 maximum");
+        assert!(d[3].is_finite(), "interior point stays finite");
+        assert_eq!(d, crowding_distance_dyn(&pts), "pure function of input");
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed dimensions")]
+    fn crowding_rejects_mixed_dimensions() {
+        let pts: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![1.0]];
+        let _ = crowding_distance_dyn(&pts);
     }
 
     #[test]

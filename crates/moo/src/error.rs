@@ -14,15 +14,32 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum MooError {
     /// A normalization range had `min >= max` or a non-finite bound.
-    DegenerateRange { min: f64, max: f64 },
+    DegenerateRange {
+        /// The rejected lower bound.
+        min: f64,
+        /// The rejected upper bound.
+        max: f64,
+    },
     /// A weight vector contained a negative or non-finite entry, or summed to zero.
-    InvalidWeights { reason: &'static str },
+    InvalidWeights {
+        /// What the validator rejected.
+        reason: &'static str,
+    },
     /// A metric vector contained a NaN, which has no defined dominance order.
-    NanMetric { index: usize },
+    NanMetric {
+        /// Index of the NaN entry.
+        index: usize,
+    },
     /// A reward specification was incomplete (missing normalization ranges).
-    IncompleteSpec { missing: &'static str },
+    IncompleteSpec {
+        /// The component the builder still needs.
+        missing: &'static str,
+    },
     /// A punishment configuration was invalid (non-positive scale).
-    InvalidPunishment { reason: &'static str },
+    InvalidPunishment {
+        /// What the validator rejected.
+        reason: &'static str,
+    },
     /// A runtime-dimension spec mixed differently-sized weight/norm vectors,
     /// or a threshold index was out of bounds.
     DimensionMismatch {

@@ -5,13 +5,14 @@
 //! Accelerator"* (DAC 2020):
 //!
 //! * [`dominance`] — Pareto dominance between metric vectors (const-generic
-//!   and runtime-dimension),
+//!   and runtime-dimension), plus [`rank_dyn`] fast non-dominated sorting,
 //! * [`pareto`] — Pareto-front extraction (naive, sort-sweep, incremental and
 //!   streaming variants used to filter the ~billions-of-points codesign space),
 //! * [`dynfront`] — the runtime-dimension front stack ([`AxisSchema`],
-//!   [`MetricVector`], [`DynParetoFront`], [`DynStreamingParetoFilter`]):
-//!   fronts in whatever named axes a scenario declares, with the
-//!   const-generic types kept as the fixed-triple parity anchor,
+//!   [`MetricVector`], [`DynParetoFront`], [`DynStreamingParetoFilter`],
+//!   [`crowding_distance_dyn`]): fronts in whatever named axes a scenario
+//!   declares, with the const-generic types kept as the fixed-triple parity
+//!   anchor,
 //! * [`normalize`] — the element-wise linear normalization `N` of Eq. 3,
 //! * [`reward`] — the ε-constraint + weighted-sum reward `R` of Eq. 3/4 and the
 //!   punishment function `Rv` for infeasible points,
@@ -55,6 +56,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod dominance;
 pub mod dynfront;
 pub mod hypervolume;
@@ -64,8 +67,12 @@ pub mod reward;
 
 mod error;
 
-pub use dominance::{dominates, dominates_dyn, dominates_weak, dominates_weak_dyn, Dominance};
-pub use dynfront::{AxisSchema, DynParetoFront, DynStreamingParetoFilter, MetricVector};
+pub use dominance::{
+    dominates, dominates_dyn, dominates_weak, dominates_weak_dyn, rank_dyn, Dominance,
+};
+pub use dynfront::{
+    crowding_distance_dyn, AxisSchema, DynParetoFront, DynStreamingParetoFilter, MetricVector,
+};
 pub use error::MooError;
 pub use hypervolume::{hypervolume_2d, hypervolume_3d, hypervolume_dyn};
 pub use normalize::LinearNorm;

@@ -5,8 +5,8 @@ use codesign_moo::pareto::{
     pareto_indices, pareto_indices_3d, pareto_indices_dyn, StreamingParetoFilter,
 };
 use codesign_moo::{
-    dominates, hypervolume_3d, hypervolume_dyn, AxisSchema, DynParetoFront, LinearNorm,
-    ParetoFront, RewardSpec,
+    crowding_distance_dyn, dominates, dominates_dyn, hypervolume_3d, hypervolume_dyn, rank_dyn,
+    AxisSchema, DynParetoFront, LinearNorm, ParetoFront, RewardSpec,
 };
 use proptest::prelude::*;
 
@@ -37,6 +37,67 @@ fn brute_force(points: &[[f64; 3]]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| !(0..points.len()).any(|j| dominates(&points[j], &points[i])))
         .collect()
+}
+
+/// Brute-force non-dominated-sorting oracle: peel the non-dominated set of
+/// the remainder, one rank at a time, by direct pairwise dominance checks
+/// (`O(n³)` — fine at test sizes).
+fn brute_force_ranks(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut ranks = vec![usize::MAX; points.len()];
+    let mut rank = 0;
+    while ranks.contains(&usize::MAX) {
+        let alive: Vec<usize> = (0..points.len())
+            .filter(|&i| ranks[i] == usize::MAX)
+            .collect();
+        for &i in &alive {
+            if !alive.iter().any(|&j| dominates_dyn(&points[j], &points[i])) {
+                ranks[i] = rank;
+            }
+        }
+        rank += 1;
+    }
+    ranks
+}
+
+/// Brute-force crowding oracle with the same tie semantics as the library
+/// (sort by value with index tie-break), written independently: for each
+/// point and objective, scan for the sorted predecessor/successor directly
+/// instead of sorting once.
+fn brute_force_crowding(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let dims = points[0].len();
+    let mut distance = vec![0.0f64; n];
+    // Sort key with index tie-break; predecessor = greatest key below ours.
+    let key = |i: usize, m: usize| (points[i][m], i);
+    let below = |a: (f64, usize), b: (f64, usize)| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+    for m in 0..dims {
+        let lo = points.iter().map(|p| p[m]).fold(f64::INFINITY, f64::min);
+        let hi = points
+            .iter()
+            .map(|p| p[m])
+            .fold(f64::NEG_INFINITY, f64::max);
+        for (i, slot) in distance.iter_mut().enumerate() {
+            let me = key(i, m);
+            let prev = (0..n)
+                .filter(|&j| below(key(j, m), me))
+                .max_by(|&a, &b| (points[a][m], a).partial_cmp(&(points[b][m], b)).unwrap());
+            let next = (0..n)
+                .filter(|&j| below(me, key(j, m)))
+                .min_by(|&a, &b| (points[a][m], a).partial_cmp(&(points[b][m], b)).unwrap());
+            match (prev, next) {
+                (Some(p), Some(q)) => {
+                    if hi > lo {
+                        *slot += (points[q][m] - points[p][m]) / (hi - lo);
+                    }
+                }
+                _ => *slot = f64::INFINITY,
+            }
+        }
+    }
+    distance
 }
 
 proptest! {
@@ -190,6 +251,67 @@ proptest! {
         let mut more = pts.clone();
         more.push(extra);
         prop_assert!(hypervolume_dyn(&more, &reference) >= base - 1e-9);
+    }
+
+    // NSGA-II primitives: pinned against brute-force oracles at every
+    // dimension scenarios use (the integer grid maximizes ties, the hard
+    // case for rank peeling).
+    #[test]
+    fn rank_dyn_equals_brute_force_2d(pts in prop::collection::vec(point2(), 0..80)) {
+        let dyn_pts: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        prop_assert_eq!(rank_dyn(&pts), brute_force_ranks(&dyn_pts));
+    }
+
+    #[test]
+    fn rank_dyn_equals_brute_force_3d(pts in prop::collection::vec(point3(), 0..80)) {
+        let dyn_pts: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        prop_assert_eq!(rank_dyn(&pts), brute_force_ranks(&dyn_pts));
+    }
+
+    #[test]
+    fn rank_dyn_equals_brute_force_4d(pts in prop::collection::vec(point4(), 0..80)) {
+        let dyn_pts: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        prop_assert_eq!(rank_dyn(&pts), brute_force_ranks(&dyn_pts));
+    }
+
+    #[test]
+    fn crowding_dyn_equals_brute_force_2d(pts in prop::collection::vec(point2(), 0..60)) {
+        let dyn_pts: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        let got = crowding_distance_dyn(&pts);
+        let want = brute_force_crowding(&dyn_pts);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-9 || (g.is_infinite() && w.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn crowding_dyn_equals_brute_force_3d(
+        pts in prop::collection::vec([0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0], 0..60),
+    ) {
+        let dyn_pts: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        let got = crowding_distance_dyn(&pts);
+        let want = brute_force_crowding(&dyn_pts);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-9 || (g.is_infinite() && w.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn crowding_dyn_equals_brute_force_4d(pts in prop::collection::vec(point4(), 0..50)) {
+        let dyn_pts: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        let got = crowding_distance_dyn(&pts);
+        let want = brute_force_crowding(&dyn_pts);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-9 || (g.is_infinite() && w.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn rank_zero_matches_pareto_indices_dyn(pts in prop::collection::vec(point3(), 0..80)) {
+        let ranks = rank_dyn(&pts);
+        let rank0: Vec<usize> = (0..pts.len()).filter(|&i| ranks[i] == 0).collect();
+        prop_assert_eq!(rank0, pareto_indices_dyn(&pts));
     }
 
     #[test]

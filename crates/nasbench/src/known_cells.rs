@@ -4,8 +4,8 @@
 //! GoogLeNet \[13\] cells embedded in the NASBench skeleton (§IV, Table II) and
 //! reports its two best discovered cells, Cod-1 and Cod-2 (Fig. 8). The
 //! published figure omits exact adjacency matrices for Cod-1/Cod-2; the
-//! encodings below are faithful reconstructions of the drawn dataflow and are
-//! documented as such in `DESIGN.md`.
+//! encodings below are faithful reconstructions of the drawn dataflow,
+//! documented as such here.
 
 use crate::graph::AdjMatrix;
 use crate::{CellSpec, Op};

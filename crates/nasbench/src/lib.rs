@@ -4,8 +4,9 @@
 //! Abdelfattah et al.): the cell search space of Fig. 2, NASBench-101's
 //! validation/pruning/canonicalization rules, lowering of cells into concrete
 //! operation lists for the FPGA latency model, and a deterministic surrogate
-//! standing in for the NASBench accuracy database (see the substitution notes
-//! in `DESIGN.md` and [`surrogate`]).
+//! standing in for the NASBench accuracy database (see [`surrogate`] for the
+//! substitution notes, and the repository's `ARCHITECTURE.md` for where this
+//! crate sits in the pipeline).
 //!
 //! # Quick tour
 //!

@@ -1,6 +1,6 @@
 //! The surrogate accuracy model.
 //!
-//! **Substitution notice** (see `DESIGN.md`): the paper reads CIFAR-10
+//! **Substitution notice**: the paper reads CIFAR-10
 //! accuracies from the NASBench-101 database of 423k trained models and
 //! trains CIFAR-100 models from scratch (≈1 GPU-hour each). Neither resource
 //! is available here, so this module provides a *deterministic surrogate*: a

@@ -2,22 +2,25 @@
 //!
 //! A comprehensive Rust reproduction of *"Best of Both Worlds: AutoML
 //! Codesign of a CNN and its Hardware Accelerator"* (Abdelfattah, Dudziak,
-//! Chau, Lee, Kim, Lane — DAC 2020). This facade crate re-exports the five
-//! workspace crates:
+//! Chau, Lee, Kim, Lane — DAC 2020). This facade crate re-exports the
+//! library crates of the workspace:
 //!
 //! * [`nasbench`] — the NASBench-101-style CNN cell space and surrogate
 //!   accuracy database,
 //! * [`accel`] — the CHaiDNN-style FPGA accelerator space with analytical
 //!   area/latency models,
-//! * [`moo`] — Pareto fronts, ε-constraint + weighted-sum rewards,
+//! * [`moo`] — Pareto fronts (const-generic and runtime-dimension),
+//!   ε-constraint + weighted-sum rewards, hypervolume, and the NSGA-II
+//!   selection primitives,
 //! * [`rl`] — the from-scratch REINFORCE LSTM controller,
-//! * [`core`] — the joint search space, evaluator, strategies and the
-//!   paper's experiments,
+//! * [`core`] — the joint search space, evaluator, declarative scenarios
+//!   ([`core::ScenarioSpec`]), strategies (including the NSGA-II
+//!   multi-objective searcher) and the paper's experiments,
 //! * [`engine`] — the parallel, sharded campaign engine with a shared
 //!   evaluation cache (see `examples/campaign_sweep.rs`).
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! substitution notes, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for a tour and `ARCHITECTURE.md` for the crate-by-crate
+//! map, the lifecycle of one campaign, and the contributor guide.
 //!
 //! # Examples
 //!
