@@ -138,6 +138,37 @@ fn main() {
             .run(&campaign, &db)
     }));
 
+    // Telemetry overhead: the identical cached 1-worker sweep with the
+    // span/metrics subsystem cold vs hot. The hot runs drain the span
+    // buffer inside the timed region, so the number charges telemetry for
+    // its full cost (recording *and* collection), never for unbounded
+    // buffer growth across repetitions.
+    let (_, telemetry_off) = timed("telemetry-off/1-worker", || {
+        ShardedDriver::new(1).run(&campaign, &db)
+    });
+    codesign_telemetry::set_enabled(true);
+    let (_, telemetry_on) = timed("telemetry-on/1-worker", || {
+        let report = ShardedDriver::new(1).run(&campaign, &db);
+        let _ = codesign_telemetry::drain_spans();
+        report
+    });
+    codesign_telemetry::set_enabled(false);
+    codesign_telemetry::reset();
+    let off_ms = telemetry_off.get("wall_ms").and_then(Json::as_f64).unwrap();
+    let on_ms = telemetry_on.get("wall_ms").and_then(Json::as_f64).unwrap();
+    let overhead_pct = (on_ms / off_ms - 1.0) * 100.0;
+    println!(
+        "bench: telemetry overhead {overhead_pct:+.2}% ({off_ms:.1} ms off, {on_ms:.1} ms on)"
+    );
+    entries.push((
+        "telemetry-overhead".into(),
+        Json::obj(vec![
+            ("wall_ms_off", Json::Num(off_ms)),
+            ("wall_ms_on", Json::Num(on_ms)),
+            ("overhead_pct", Json::Num(overhead_pct)),
+        ]),
+    ));
+
     let doc = Json::Obj(entries);
     println!("{doc}");
     // `cargo bench` sets the CWD to the package dir; anchor the output at

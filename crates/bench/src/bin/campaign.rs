@@ -38,6 +38,14 @@
 //!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
 //!       `[--cache-path FILE] [--cache-capacity N]`
 //!       `[--calibrate] [--probe-steps N] [--probe-samples N]`
+//!       `[--trace-out FILE] [--metrics-out FILE] [--progress]`
+//!
+//! Telemetry is off by default (a disabled check is one relaxed atomic
+//! load; the campaign's exports are bit-identical either way). Any of the
+//! three flags turns it on: `--trace-out` writes a Chrome trace-event JSON
+//! (open in Perfetto or `chrome://tracing`), `--metrics-out` writes every
+//! span and metric as JSONL, and `--progress` streams a live
+//! shards-done / ETA / cache-hit-rate line to stderr while the sweep runs.
 
 use std::sync::Arc;
 
@@ -123,6 +131,16 @@ fn main() {
             describe(spec);
         }
         return;
+    }
+
+    // Telemetry: any of the three flags enables the subsystem for the whole
+    // process (including the --calibrate probe sweep). Off, every
+    // instrumentation site is a single relaxed atomic load.
+    let trace_out = args.get_str("trace-out", "");
+    let metrics_out = args.get_str("metrics-out", "");
+    let progress = args.flag("progress");
+    if !trace_out.is_empty() || !metrics_out.is_empty() || progress {
+        codesign_telemetry::set_enabled(true);
     }
 
     let repeats = args.get_usize("repeats", 3);
@@ -290,6 +308,44 @@ fn main() {
         driver = driver.with_cache(Arc::clone(cache));
     }
 
+    // --progress: a ticker thread polls the metrics registry (shards done,
+    // cache hit rate) and repaints one stderr line until the sweep — probe
+    // and full — finishes. Reads only counters; never touches results.
+    let progress_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let progress_ticker = progress.then(|| {
+        let stop = Arc::clone(&progress_stop);
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            let started = std::time::Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                let snap = codesign_telemetry::metrics_snapshot();
+                let total = snap.counter("engine.shards_total").unwrap_or(0);
+                let done = snap.counter("engine.shards_done").unwrap_or(0);
+                let hits = snap.counter("cache.pair_hits").unwrap_or(0)
+                    + snap.counter("cache.warm_hits").unwrap_or(0);
+                let misses = snap.counter("cache.pair_misses").unwrap_or(0);
+                let hit_rate = if hits + misses > 0 {
+                    100.0 * hits as f64 / (hits + misses) as f64
+                } else {
+                    0.0
+                };
+                let elapsed = started.elapsed().as_secs_f64();
+                let eta = if done > 0 && total > done {
+                    format!("{:.0}s", elapsed / done as f64 * (total - done) as f64)
+                } else {
+                    "-".to_owned()
+                };
+                eprint!(
+                    "\rshards {done}/{total}  cache hit-rate {hit_rate:.1}%  \
+                     elapsed {elapsed:.0}s  eta {eta}   "
+                );
+                let _ = std::io::Write::flush(&mut std::io::stderr());
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+            eprintln!();
+        })
+    });
+
     // --calibrate: run a short probe sweep, derive a measured CostModel
     // from its per-shard wall times, and re-dispatch the full sweep with
     // measured scheduling weights (ShardSpec::estimated_cost). Cost
@@ -320,6 +376,10 @@ fn main() {
     }
 
     let report = driver.run(&campaign, &db);
+    progress_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(ticker) = progress_ticker {
+        let _ = ticker.join();
+    }
     println!("{report}");
     if let Some(stats) = &report.cache {
         println!(
@@ -361,4 +421,37 @@ fn main() {
         jsonl.display(),
         csv.display()
     );
+
+    // Telemetry exports: drain the span buffer once and feed every sink
+    // from the same snapshot, so the trace, the event log, and the summary
+    // all describe the identical run.
+    if codesign_telemetry::enabled() {
+        let spans = codesign_telemetry::drain_spans();
+        let metrics = codesign_telemetry::metrics_snapshot();
+        if !trace_out.is_empty() {
+            let file = std::fs::File::create(&trace_out).expect("create trace file");
+            let mut writer = std::io::BufWriter::new(file);
+            codesign_telemetry::write_chrome_trace(
+                &mut writer,
+                &spans,
+                &codesign_telemetry::thread_names(),
+            )
+            .expect("write chrome trace");
+            println!(
+                "chrome trace written to {trace_out} ({} spans; open in Perfetto or chrome://tracing)",
+                spans.len()
+            );
+        }
+        if !metrics_out.is_empty() {
+            let file = std::fs::File::create(&metrics_out).expect("create metrics file");
+            let mut writer = std::io::BufWriter::new(file);
+            codesign_telemetry::write_events_jsonl(&mut writer, &spans, &metrics)
+                .expect("write telemetry events");
+            println!("telemetry events written to {metrics_out}");
+        }
+        println!(
+            "\ntelemetry summary:\n{}",
+            codesign_telemetry::render_summary(&spans, &metrics)
+        );
+    }
 }

@@ -18,6 +18,13 @@ use codesign_nasbench::{
 
 use crate::space::Proposal;
 
+/// End-to-end latency of one pair resolution (shared-cache lookup through
+/// metric computation), µs.
+static EVAL_US: codesign_telemetry::Histogram = codesign_telemetry::Histogram::new("core.eval_us");
+/// Pair resolutions attempted (cache hits included).
+static EVALUATIONS: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("core.evaluations");
+
 /// A pluggable cache backend consulted *before* the evaluator's private
 /// memoization, keyed by `(canonical cell hash, accelerator config)`.
 ///
@@ -355,6 +362,20 @@ impl Evaluator {
     /// Resolves the metrics of a structurally-valid pair: shared cache
     /// first, then the private per-metric caches / models.
     fn resolve_pair(
+        &mut self,
+        cell: &CellSpec,
+        config: &AcceleratorConfig,
+    ) -> Option<PairEvaluation> {
+        EVALUATIONS.add(1);
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let eval = self.resolve_pair_untimed(cell, config);
+        if let Some(t) = timer {
+            EVAL_US.record_duration(t.elapsed());
+        }
+        eval
+    }
+
+    fn resolve_pair_untimed(
         &mut self,
         cell: &CellSpec,
         config: &AcceleratorConfig,

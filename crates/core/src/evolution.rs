@@ -16,6 +16,11 @@ use rand::Rng;
 
 use crate::search::{SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy};
 
+/// Telemetry: genomes created by uniform random seeding.
+static SEEDED: codesign_telemetry::Counter = codesign_telemetry::Counter::new("evolution.seeded");
+/// Telemetry: genomes bred by tournament + mutation.
+static BRED: codesign_telemetry::Counter = codesign_telemetry::Counter::new("evolution.bred");
+
 /// A uniform random genome over `vocab` (one action per position).
 ///
 /// The seeding operator shared by [`EvolutionSearch`] and
@@ -83,6 +88,7 @@ impl SearchStrategy for EvolutionSearch {
         while recorder.steps() < config.steps {
             let genome: Vec<usize> = if population.len() < self.population {
                 // Seeding phase: uniform random genomes.
+                SEEDED.add(1);
                 random_genome(&vocab, rng)
             } else {
                 // Tournament: mutate the best of a random sample.
@@ -96,6 +102,7 @@ impl SearchStrategy for EvolutionSearch {
                 }
                 let mut child = best.expect("non-empty population").0.clone();
                 mutate_genome(&mut child, &vocab, self.mutations, rng);
+                BRED.add(1);
                 child
             };
             let proposal = ctx.space.decode(&genome);

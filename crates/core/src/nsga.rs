@@ -161,12 +161,21 @@ impl SearchStrategy for NsgaSearch {
         let pop_size = self.population.max(2);
 
         // Generation 0: uniform random seeding (capped by the step budget).
-        let mut population: Vec<Individual> = (0..pop_size.min(config.steps))
-            .map(|_| evaluate(ctx, &mut recorder, random_genome(&vocab, rng)))
-            .collect();
-        recorder.snapshot_generation(ctx.reward);
+        let mut population: Vec<Individual> = {
+            let _span = codesign_telemetry::span("nsga.generation", "strategy")
+                .with_arg("generation", 0u64);
+            let population: Vec<Individual> = (0..pop_size.min(config.steps))
+                .map(|_| evaluate(ctx, &mut recorder, random_genome(&vocab, rng)))
+                .collect();
+            recorder.snapshot_generation(ctx.reward);
+            population
+        };
+        let mut generation = 0u64;
 
         while recorder.steps() < config.steps {
+            generation += 1;
+            let _span = codesign_telemetry::span("nsga.generation", "strategy")
+                .with_arg("generation", generation);
             let keys = selection_keys(&population);
             let offspring_budget = pop_size.min(config.steps - recorder.steps());
             let offspring: Vec<Individual> = (0..offspring_budget)

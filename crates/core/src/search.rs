@@ -194,6 +194,15 @@ pub struct SearchContext<'a> {
     pub reward: &'a CompiledScenario,
 }
 
+/// Telemetry: controller steps recorded across every strategy run.
+static STEPS: codesign_telemetry::Counter = codesign_telemetry::Counter::new("search.steps");
+/// Telemetry: steps meeting every scenario constraint.
+static FEASIBLE: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("search.feasible_steps");
+/// Telemetry: steps proposing invalid/unknown CNNs.
+static INVALID: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("search.invalid_steps");
+
 /// Incremental bookkeeping for a run; strategies call
 /// [`SearchRecorder::record`] once per step.
 pub struct SearchRecorder {
@@ -205,6 +214,10 @@ pub struct SearchRecorder {
     feasible_steps: usize,
     invalid_steps: usize,
     generations: Vec<GenerationStat>,
+    /// Telemetry span covering the whole run (opened in [`Self::new`],
+    /// recorded when the recorder is consumed by [`Self::finish`]); inert
+    /// when telemetry is disabled.
+    _span: codesign_telemetry::SpanGuard,
 }
 
 impl SearchRecorder {
@@ -221,6 +234,9 @@ impl SearchRecorder {
             feasible_steps: 0,
             invalid_steps: 0,
             generations: Vec::new(),
+            _span: codesign_telemetry::span(strategy, "strategy")
+                .with_arg("scenario", scenario.name())
+                .with_arg("steps", expected_steps),
         }
     }
 
@@ -241,6 +257,7 @@ impl SearchRecorder {
         config: &AcceleratorConfig,
     ) -> f64 {
         let step = self.history.len();
+        STEPS.add(1);
         match outcome {
             EvalOutcome::Valid(eval) => {
                 let metrics = eval.metrics();
@@ -262,6 +279,7 @@ impl SearchRecorder {
                     }
                     if feasible {
                         self.feasible_steps += 1;
+                        FEASIBLE.add(1);
                         let improves = self.best.as_ref().is_none_or(|b| value > b.reward);
                         if improves {
                             self.best = Some(BestPoint {
@@ -284,6 +302,7 @@ impl SearchRecorder {
             }
             EvalOutcome::InvalidCnn(_) | EvalOutcome::UnknownCell => {
                 self.invalid_steps += 1;
+                INVALID.add(1);
                 self.history.push(StepRecord {
                     reward: INVALID_PROPOSAL_REWARD,
                     feasible: false,

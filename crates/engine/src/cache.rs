@@ -33,6 +33,27 @@ use codesign_core::{EvalCache, PairEvaluation};
 /// Default number of independently-locked map shards.
 const DEFAULT_SHARDS: usize = 64;
 
+/// Telemetry: pair lookups answered from the cache.
+static TM_HITS: codesign_telemetry::Counter = codesign_telemetry::Counter::new("cache.pair_hits");
+/// Telemetry: pair lookups answered by preloaded (warm) entries.
+static TM_WARM_HITS: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("cache.warm_hits");
+/// Telemetry: pair lookups that missed.
+static TM_MISSES: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("cache.pair_misses");
+/// Telemetry: per-cell accuracy lookups answered from the cache.
+static TM_ACC_HITS: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("cache.accuracy_hits");
+/// Telemetry: per-cell accuracy lookups that missed.
+static TM_ACC_MISSES: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("cache.accuracy_misses");
+/// Telemetry: time spent acquiring a map-shard lock (contention), µs.
+static TM_LOCK_WAIT_US: codesign_telemetry::Histogram =
+    codesign_telemetry::Histogram::new("cache.lock_wait_us");
+/// Telemetry: end-to-end pair lookup latency (lock + probe), µs.
+static TM_LOOKUP_US: codesign_telemetry::Histogram =
+    codesign_telemetry::Histogram::new("cache.lookup_us");
+
 /// A snapshot of the cache's accounting counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -372,22 +393,30 @@ impl SharedEvalCache {
         cell_hash: u128,
         config: &AcceleratorConfig,
     ) -> Option<(PairEvaluation, bool)> {
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
         let key = (cell_hash, *config);
-        let found = self
-            .shard(&key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(&key);
+        let guard = self.shard(&key).lock().expect("cache shard poisoned");
+        if let Some(t) = timer {
+            TM_LOCK_WAIT_US.record_duration(t.elapsed());
+        }
+        let found = guard.get(&key);
+        drop(guard);
+        if let Some(t) = timer {
+            TM_LOOKUP_US.record_duration(t.elapsed());
+        }
         match found {
             Some((eval, warm)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                TM_HITS.add(1);
                 if warm {
                     self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                    TM_WARM_HITS.add(1);
                 }
                 Some((eval, warm))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                TM_MISSES.add(1);
                 None
             }
         }
@@ -403,6 +432,7 @@ impl SharedEvalCache {
         match found {
             Some((acc, warm)) => {
                 self.accuracy_hits.fetch_add(1, Ordering::Relaxed);
+                TM_ACC_HITS.add(1);
                 if warm {
                     self.accuracy_warm_hits.fetch_add(1, Ordering::Relaxed);
                 }
@@ -410,6 +440,7 @@ impl SharedEvalCache {
             }
             None => {
                 self.accuracy_misses.fetch_add(1, Ordering::Relaxed);
+                TM_ACC_MISSES.add(1);
                 None
             }
         }

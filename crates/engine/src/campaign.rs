@@ -362,14 +362,19 @@ impl Campaign {
     /// sweep's work-stealing backend dispatches by real measurements
     /// instead of static premiums.
     ///
-    /// Scenarios absent from the report (or with zero recorded wall-clock,
-    /// as in sub-millisecond test runs) keep their static premium.
+    /// Calibration runs on the microsecond wall-clock
+    /// ([`ShardResult::wall_us`]), so even sub-millisecond shards — which
+    /// the old millisecond field truncated to zero — contribute measured
+    /// weights. Scenarios absent from the report (or with zero recorded
+    /// wall-clock) keep their static premium.
+    ///
+    /// [`ShardResult::wall_us`]: crate::report::ShardResult::wall_us
     #[must_use]
     pub fn calibrated_costs(&self, report: &CampaignReport) -> CostModel {
-        let mut totals: HashMap<&str, (u64, u64)> = HashMap::new(); // (wall_ms, steps)
+        let mut totals: HashMap<&str, (u64, u64)> = HashMap::new(); // (wall_us, steps)
         for shard in &report.shards {
             let entry = totals.entry(shard.spec.scenario_name()).or_default();
-            entry.0 += shard.wall_ms;
+            entry.0 += shard.wall_us;
             entry.1 += shard.steps as u64;
         }
         let per_step: Vec<(&str, f64)> = totals
@@ -554,14 +559,16 @@ mod tests {
                 .map(|spec| {
                     let mut r = ShardResult::empty_for_test(spec.clone());
                     r.steps = spec.steps;
-                    r.wall_ms = wall_for(spec.scenario_name());
+                    r.wall_us = wall_for(spec.scenario_name());
+                    r.wall_ms = r.wall_us / 1000;
                     r
                 })
                 .collect(),
             cache: None,
             backend: "atomic",
             workers: 1,
-            wall_ms: 550,
+            wall_ms: 0,
+            wall_us: 550,
         };
         let model = campaign.calibrated_costs(&report);
         assert_eq!(model.len(), 3);
@@ -604,6 +611,7 @@ mod tests {
             backend: "atomic",
             workers: 1,
             wall_ms: 0,
+            wall_us: 0,
         };
         let model = campaign.calibrated_costs(&report);
         assert!(model.is_empty());

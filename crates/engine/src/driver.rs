@@ -32,6 +32,17 @@ use crate::cache::{ShardCacheView, SharedEvalCache};
 use crate::campaign::{Campaign, ShardSpec};
 use crate::report::{CampaignReport, ShardResult};
 
+/// Telemetry: shards placed on the dispatch queue this process.
+static SHARDS_TOTAL: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("engine.shards_total");
+/// Telemetry: shards that finished executing.
+static SHARDS_DONE: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("engine.shards_done");
+/// Telemetry: time each shard sat on the dispatch queue before a worker
+/// picked it up (campaign start to shard start), µs.
+static QUEUE_WAIT_US: codesign_telemetry::Histogram =
+    codesign_telemetry::Histogram::new("engine.queue_wait_us");
+
 /// A shard-dispatch policy: given the campaign's shard list, produce the
 /// order in which workers pull shards off the shared queue.
 ///
@@ -210,6 +221,14 @@ impl ShardedDriver {
         let started = Instant::now();
         let shards = campaign.shards();
         let workers = self.workers().min(shards.len()).max(1);
+        let run_span = codesign_telemetry::span("campaign.run", "engine")
+            .with_arg("shards", shards.len())
+            .with_arg("workers", workers)
+            .with_arg("backend", self.backend.name());
+        SHARDS_TOTAL.add(shards.len() as u64);
+        // Dispatch epoch on the telemetry clock: queue wait per shard is
+        // measured from here (every shard is enqueued at t=0).
+        let dispatch_epoch_us = codesign_telemetry::now_us();
         let cache = match (&self.preloaded, self.shared_cache) {
             (Some(pre), _) => Some(Arc::clone(pre)),
             (None, true) => Some(Arc::new(SharedEvalCache::new())),
@@ -230,7 +249,7 @@ impl ShardedDriver {
         let cursor = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<ShardResult>>> = Mutex::new(vec![None; shards.len()]);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let cursor = &cursor;
                 let results = &results;
                 let shards = &shards;
@@ -239,14 +258,34 @@ impl ShardedDriver {
                 // One refcount bump per worker; the cell table itself is
                 // never cloned on the shard path.
                 let database = Arc::clone(database);
-                scope.spawn(move || loop {
-                    let next = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&index) = order.get(next) else { break };
-                    let result = run_shard(campaign, &shards[index], &database, cache.as_ref());
-                    results.lock().expect("results poisoned")[index] = Some(result);
+                scope.spawn(move || {
+                    codesign_telemetry::set_thread_name(format!("worker-{worker}"));
+                    let _worker_span = codesign_telemetry::span("campaign.worker", "engine")
+                        .with_arg("worker", worker);
+                    loop {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = order.get(next) else { break };
+                        let shard = &shards[index];
+                        let mut shard_span = codesign_telemetry::span("shard.run", "engine")
+                            .with_arg("shard", index)
+                            .with_arg("scenario", shard.scenario_name())
+                            .with_arg("strategy", shard.strategy.name())
+                            .with_arg("seed", shard.seed);
+                        if shard_span.is_recording() {
+                            let wait_us =
+                                codesign_telemetry::now_us().saturating_sub(dispatch_epoch_us);
+                            QUEUE_WAIT_US.record(wait_us);
+                            shard_span.add_arg("queue_wait_us", wait_us);
+                        }
+                        let result = run_shard(campaign, shard, &database, cache.as_ref());
+                        drop(shard_span);
+                        SHARDS_DONE.add(1);
+                        results.lock().expect("results poisoned")[index] = Some(result);
+                    }
                 });
             }
         });
+        drop(run_span);
 
         let shards: Vec<ShardResult> = results
             .into_inner()
@@ -254,12 +293,14 @@ impl ShardedDriver {
             .into_iter()
             .map(|r| r.expect("every shard executed"))
             .collect();
+        let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         CampaignReport {
             shards,
             cache: cache.map(|c| c.stats()),
             backend: self.backend.name(),
             workers,
-            wall_ms: started.elapsed().as_millis() as u64,
+            wall_ms: wall_us / 1000,
+            wall_us,
         }
     }
 }
@@ -291,7 +332,7 @@ fn run_shard(
     let mut result = ShardResult::from_outcome(
         shard.clone(),
         outcome,
-        started.elapsed().as_millis() as u64,
+        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
         campaign.record_histories,
     );
     if let Some(view) = view {

@@ -172,6 +172,8 @@ impl SharedEvalCache {
     ///
     /// Propagates I/O errors from `writer`.
     pub fn save<W: Write>(&self, mut writer: W, salt: u64) -> io::Result<()> {
+        let _span = codesign_telemetry::span("cache.save", "persist")
+            .with_arg("entries", self.len() as u64);
         let mut pairs = self.snapshot_pairs();
         pairs.sort_unstable_by_key(|&(key, _)| key);
         let mut accuracies = self.snapshot_accuracies();
@@ -218,6 +220,7 @@ impl SharedEvalCache {
     /// rejected: unreadable, malformed, a different format, an incompatible
     /// version, or a salt mismatch.
     pub fn load<R: Read>(mut reader: R, expected_salt: u64) -> Result<Self, CacheLoadError> {
+        let _span = codesign_telemetry::span("cache.load", "persist");
         let mut text = String::new();
         reader.read_to_string(&mut text)?;
         let doc = Json::parse(&text).map_err(CacheLoadError::Malformed)?;

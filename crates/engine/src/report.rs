@@ -52,19 +52,26 @@ pub struct ShardResult {
     pub cache_cold_hits: u64,
     /// Shared-cache lookups this shard had to compute itself.
     pub cache_misses: u64,
-    /// Wall-clock of the shard, ms (informational; not deterministic).
+    /// Wall-clock of the shard, whole ms (informational; not
+    /// deterministic). Kept for export compatibility; derived from
+    /// [`ShardResult::wall_us`], the authoritative measurement.
     pub wall_ms: u64,
+    /// Wall-clock of the shard, µs (informational; not deterministic).
+    /// Sub-millisecond shards used to truncate to `wall_ms == 0` and fall
+    /// out of cost calibration; this field keeps them measurable.
+    pub wall_us: u64,
 }
 
 impl ShardResult {
     /// Distills a [`SearchOutcome`] into the campaign record, keeping the
     /// raw history only when asked. Cache attribution starts zeroed; the
-    /// driver fills it in from the shard's cache view.
+    /// driver fills it in from the shard's cache view. Timing is taken in
+    /// microseconds; the millisecond field is derived.
     #[must_use]
     pub fn from_outcome(
         spec: ShardSpec,
         outcome: SearchOutcome,
-        wall_ms: u64,
+        wall_us: u64,
         keep_history: bool,
     ) -> Self {
         let hypervolume = outcome
@@ -83,7 +90,8 @@ impl ShardResult {
             cache_warm_hits: 0,
             cache_cold_hits: 0,
             cache_misses: 0,
-            wall_ms,
+            wall_ms: wall_us / 1000,
+            wall_us,
         }
     }
 
@@ -106,6 +114,7 @@ impl ShardResult {
             cache_cold_hits: 0,
             cache_misses: 0,
             wall_ms: 0,
+            wall_us: 0,
         }
     }
 
@@ -184,6 +193,7 @@ impl ShardResult {
             ("cache_cold_hits", Json::Num(self.cache_cold_hits as f64)),
             ("cache_misses", Json::Num(self.cache_misses as f64)),
             ("wall_ms", Json::Num(self.wall_ms as f64)),
+            ("wall_us", Json::Num(self.wall_us as f64)),
         ])
     }
 }
@@ -200,8 +210,11 @@ pub struct CampaignReport {
     pub backend: &'static str,
     /// Worker threads the driver used (informational).
     pub workers: usize,
-    /// Total campaign wall-clock, ms (informational; not deterministic).
+    /// Total campaign wall-clock, whole ms (informational; not
+    /// deterministic). Derived from [`CampaignReport::wall_us`].
     pub wall_ms: u64,
+    /// Total campaign wall-clock, µs (informational; not deterministic).
+    pub wall_us: u64,
 }
 
 impl CampaignReport {
@@ -382,6 +395,30 @@ impl CampaignReport {
         table
     }
 
+    /// Per-scenario shared-cache attribution, summed over each scenario's
+    /// shards: `(scenario, warm_hits, cold_hits, misses)` in
+    /// first-appearance order. Tells a mixed campaign *which* scenario's
+    /// evaluations the cache is actually absorbing — campaign-wide totals
+    /// can hide one scenario missing every lookup.
+    #[must_use]
+    pub fn cache_by_scenario(&self) -> Vec<(String, u64, u64, u64)> {
+        let mut rows: Vec<(String, u64, u64, u64)> = Vec::new();
+        for shard in &self.shards {
+            let name = shard.spec.scenario_name();
+            let row = match rows.iter_mut().find(|(n, ..)| n == name) {
+                Some(row) => row,
+                None => {
+                    rows.push((name.to_owned(), 0, 0, 0));
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.1 += shard.cache_warm_hits;
+            row.2 += shard.cache_cold_hits;
+            row.3 += shard.cache_misses;
+        }
+        rows
+    }
+
     /// The campaign-level header record of the JSONL export.
     #[must_use]
     pub fn header_json(&self) -> Json {
@@ -429,7 +466,24 @@ impl CampaignReport {
             ("backend", Json::Str(self.backend.into())),
             ("workers", Json::Num(self.workers as f64)),
             ("wall_ms", Json::Num(self.wall_ms as f64)),
+            ("wall_us", Json::Num(self.wall_us as f64)),
             ("cache", cache),
+            (
+                "cache_by_scenario",
+                Json::Arr(
+                    self.cache_by_scenario()
+                        .into_iter()
+                        .map(|(name, warm, cold, misses)| {
+                            Json::obj(vec![
+                                ("scenario", Json::Str(name)),
+                                ("warm_hits", Json::Num(warm as f64)),
+                                ("cold_hits", Json::Num(cold as f64)),
+                                ("misses", Json::Num(misses as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -486,6 +540,7 @@ impl CampaignReport {
                 "cache_cold_hits",
                 "cache_misses",
                 "wall_ms",
+                "wall_us",
             ]
             .into_iter()
             .map(str::to_owned),
@@ -527,6 +582,7 @@ impl CampaignReport {
                     s.cache_cold_hits.to_string(),
                     s.cache_misses.to_string(),
                     s.wall_ms.to_string(),
+                    s.wall_us.to_string(),
                 ]);
                 row
             })

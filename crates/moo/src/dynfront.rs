@@ -41,9 +41,16 @@
 
 use std::sync::Arc;
 
+use codesign_telemetry::Histogram;
+
 use crate::dominance::dominates_dyn;
 use crate::hypervolume::hypervolume_dyn;
 use crate::pareto::pareto_filter_dyn;
+
+/// Latency of [`DynParetoFront::insert`] (dominance scan + eviction), µs.
+static FRONT_INSERT_US: Histogram = Histogram::new("moo.front.insert_us");
+/// Latency of [`DynParetoFront::hypervolume`] evaluations, µs.
+static HYPERVOLUME_US: Histogram = Histogram::new("moo.hypervolume_us");
 
 /// An ordered, shared list of metric axis names — the identity of a
 /// runtime-dimension front.
@@ -303,6 +310,15 @@ impl<T> DynParetoFront<T> {
     ///
     /// Panics if the point's dimension differs from the schema's.
     pub fn insert(&mut self, metrics: MetricVector, payload: T) -> bool {
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let accepted = self.insert_untimed(metrics, payload);
+        if let Some(t) = timer {
+            FRONT_INSERT_US.record_duration(t.elapsed());
+        }
+        accepted
+    }
+
+    fn insert_untimed(&mut self, metrics: MetricVector, payload: T) -> bool {
         self.check_dims(&metrics);
         for (m, _) in &self.entries {
             if dominates_dyn(m, &metrics) {
@@ -374,8 +390,13 @@ impl<T> DynParetoFront<T> {
     #[must_use]
     pub fn hypervolume(&self, reference: &[f64]) -> f64 {
         assert_eq!(reference.len(), self.schema.len(), "dimension mismatch");
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
         let points: Vec<&[f64]> = self.entries.iter().map(|(m, _)| m.as_slice()).collect();
-        hypervolume_dyn(&points, reference)
+        let hv = hypervolume_dyn(&points, reference);
+        if let Some(t) = timer {
+            HYPERVOLUME_US.record_duration(t.elapsed());
+        }
+        hv
     }
 
     fn check_dims(&self, metrics: &MetricVector) {

@@ -1,0 +1,384 @@
+//! Exporters: Chrome trace-event JSON, a structured JSONL event stream,
+//! and an end-of-run per-stage summary table.
+//!
+//! All three render from the same inputs — a drained slice of
+//! [`SpanRecord`]s and a [`MetricsSnapshot`] — so a run can be exported to
+//! any subset of formats from one collection pass. JSON is emitted by hand
+//! (the workspace builds offline, with no serde); the dialect is the plain
+//! subset every trace viewer accepts.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{ArgValue, SpanRecord};
+
+/// Escapes `s` into a JSON string body (no surrounding quotes).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite f64 the way the rest of the workspace's JSON does
+/// (shortest round-trip via `{}`); non-finite values become `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn args_object(args: &[(&'static str, ArgValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", json_escape(key));
+        match value {
+            ArgValue::Num(n) => out.push_str(&json_num(*n)),
+            ArgValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", json_escape(s));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Writes the spans as a Chrome trace-event file (the `traceEvents` array
+/// form), loadable in Perfetto or `chrome://tracing`.
+///
+/// Every span becomes a `"ph":"X"` complete-duration event with `ts`/`dur`
+/// in microseconds on `pid` 1; `thread_names` entries become `"ph":"M"`
+/// `thread_name` metadata so worker lanes are labelled.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_chrome_trace<W: Write>(
+    w: &mut W,
+    spans: &[SpanRecord],
+    thread_names: &[(u64, String)],
+) -> io::Result<()> {
+    writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    for (tid, name) in thread_names {
+        if !first {
+            writeln!(w, ",")?;
+        }
+        first = false;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            json_escape(name)
+        )?;
+    }
+    for span in spans {
+        if !first {
+            writeln!(w, ",")?;
+        }
+        first = false;
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+            json_escape(span.name),
+            json_escape(span.cat),
+            span.start_us,
+            span.dur_us,
+            span.tid,
+            args_object(&span.args)
+        )?;
+    }
+    writeln!(w, "\n]}}")?;
+    Ok(())
+}
+
+/// Writes one structured JSON object per line: every span (in completion
+/// order), then every counter, gauge, and histogram from `metrics`.
+/// Histogram lines carry only the non-empty buckets as
+/// `[bucket_index, count]` pairs plus `count`/`sum`/`p50_us`/`p99_us`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_events_jsonl<W: Write>(
+    w: &mut W,
+    spans: &[SpanRecord],
+    metrics: &MetricsSnapshot,
+) -> io::Result<()> {
+    for span in spans {
+        write!(
+            w,
+            "{{\"event\":\"span\",\"name\":\"{}\",\"cat\":\"{}\",\"tid\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{}",
+            json_escape(span.name),
+            json_escape(span.cat),
+            span.tid,
+            span.depth,
+            span.start_us,
+            span.dur_us
+        )?;
+        if !span.args.is_empty() {
+            write!(w, ",\"args\":{}", args_object(&span.args))?;
+        }
+        writeln!(w, "}}")?;
+    }
+    for &(name, value) in &metrics.counters {
+        writeln!(
+            w,
+            "{{\"event\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            value
+        )?;
+    }
+    for &(name, value) in &metrics.gauges {
+        writeln!(
+            w,
+            "{{\"event\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            value
+        )?;
+    }
+    for hist in &metrics.histograms {
+        write!(
+            w,
+            "{{\"event\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+            json_escape(hist.name),
+            hist.count(),
+            hist.sum,
+            hist.quantile(0.5),
+            hist.quantile(0.99)
+        )?;
+        let mut first = true;
+        for (i, &c) in hist.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(w, ",")?;
+            }
+            first = false;
+            write!(w, "[{i},{c}]")?;
+        }
+        writeln!(w, "]}}")?;
+    }
+    Ok(())
+}
+
+/// Per-(cat, name) span aggregate used by the summary table.
+struct StageLine {
+    cat: &'static str,
+    name: &'static str,
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Renders the end-of-run summary: a per-stage table of span aggregates
+/// (count, total, mean, max; sorted by total time, descending), then the
+/// counters, gauges, and histogram quantiles.
+#[must_use]
+pub fn render_summary(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String {
+    let mut stages: Vec<StageLine> = Vec::new();
+    for span in spans {
+        match stages
+            .iter_mut()
+            .find(|s| s.cat == span.cat && s.name == span.name)
+        {
+            Some(stage) => {
+                stage.count += 1;
+                stage.total_us += span.dur_us;
+                stage.max_us = stage.max_us.max(span.dur_us);
+            }
+            None => stages.push(StageLine {
+                cat: span.cat,
+                name: span.name,
+                count: 1,
+                total_us: span.dur_us,
+                max_us: span.dur_us,
+            }),
+        }
+    }
+    stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(b.name)));
+
+    let mut out = String::new();
+    out.push_str("telemetry summary\n");
+    out.push_str("=================\n");
+    if stages.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        let mut rows: Vec<[String; 6]> = vec![[
+            "stage".into(),
+            "cat".into(),
+            "count".into(),
+            "total_ms".into(),
+            "mean_us".into(),
+            "max_us".into(),
+        ]];
+        for stage in &stages {
+            rows.push([
+                stage.name.to_owned(),
+                stage.cat.to_owned(),
+                stage.count.to_string(),
+                format!("{:.3}", stage.total_us as f64 / 1000.0),
+                format!("{:.1}", stage.total_us as f64 / stage.count as f64),
+                stage.max_us.to_string(),
+            ]);
+        }
+        let mut widths = [0usize; 6];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        for row in &rows {
+            for (i, (cell, width)) in row.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align the two label columns, right-align numbers.
+                if i < 2 {
+                    let _ = write!(out, "{cell:<width$}");
+                } else {
+                    let _ = write!(out, "{cell:>width$}");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    if !metrics.counters.is_empty() || !metrics.gauges.is_empty() {
+        out.push('\n');
+        for &(name, value) in &metrics.counters {
+            let _ = writeln!(out, "counter  {name} = {value}");
+        }
+        for &(name, value) in &metrics.gauges {
+            let _ = writeln!(out, "gauge    {name} = {value}");
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        out.push('\n');
+        for hist in &metrics.histograms {
+            let _ = writeln!(
+                out,
+                "hist     {} count={} mean={:.1} p50<={} p99<={}",
+                hist.name,
+                hist.count(),
+                hist.mean(),
+                hist.quantile(0.5),
+                hist.quantile(0.99)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                name: "shard.run",
+                cat: "engine",
+                tid: 2,
+                depth: 0,
+                start_us: 10,
+                dur_us: 100,
+                args: vec![
+                    ("shard", ArgValue::Num(0.0)),
+                    ("scenario", ArgValue::Str("edge".into())),
+                ],
+            },
+            SpanRecord {
+                name: "shard.run",
+                cat: "engine",
+                tid: 3,
+                depth: 0,
+                start_us: 15,
+                dur_us: 300,
+                args: vec![],
+            },
+        ]
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let mut hist = HistogramSnapshot::empty("test.latency_us");
+        hist.buckets[crate::metrics::bucket_index(100)] = 4;
+        hist.sum = 400;
+        MetricsSnapshot {
+            counters: vec![("test.hits", 7)],
+            gauges: vec![("test.depth", -2)],
+            histograms: vec![hist],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_duration_and_metadata_events() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &sample_spans(), &[(2, "worker-0".into())]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"M\""));
+        assert!(text.contains("\"name\":\"shard.run\""));
+        assert!(text.contains("\"ts\":10,\"dur\":100"));
+        assert!(text.contains("\"args\":{\"shard\":0,\"scenario\":\"edge\"}"));
+        assert!(text.trim_end().ends_with("]}"));
+        // No trailing comma before the closing bracket.
+        assert!(!text.contains(",\n]"));
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_line() {
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &sample_spans(), &sample_metrics()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 2 spans + 1 counter + 1 gauge + 1 histogram.
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line: {line}"
+            );
+        }
+        assert!(lines[2].contains("\"event\":\"counter\"") && lines[2].contains("\"value\":7"));
+        assert!(lines[3].contains("\"event\":\"gauge\"") && lines[3].contains("\"value\":-2"));
+        assert!(lines[4].contains("\"event\":\"histogram\"") && lines[4].contains("\"count\":4"));
+        assert!(lines[4].contains("\"buckets\":[[7,4]]"));
+    }
+
+    #[test]
+    fn summary_aggregates_per_stage() {
+        let text = render_summary(&sample_spans(), &sample_metrics());
+        assert!(text.contains("shard.run"));
+        assert!(text.contains("2"), "span count");
+        assert!(text.contains("0.400"), "total ms: {text}");
+        assert!(text.contains("counter  test.hits = 7"));
+        assert!(text.contains("hist     test.latency_us count=4"));
+    }
+
+    #[test]
+    fn escaping_handles_control_and_quote_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

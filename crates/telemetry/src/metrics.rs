@@ -1,0 +1,509 @@
+//! The process-wide metrics registry: counters, gauges, and log2
+//! histograms, all `const`-constructible statics with a lock-free hot path.
+//!
+//! Metrics register themselves into a global list on their first touch
+//! (via [`std::sync::Once`]), so instrumented crates just declare
+//! `static HITS: Counter = Counter::new("cache.hits");` and call
+//! `HITS.add(1)` — no init order, no handles to thread through APIs.
+//! While telemetry is disabled every operation is a single relaxed atomic
+//! load; nothing allocates and nothing registers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// Number of buckets in every [`Histogram`]: bucket 0 holds exact zeros,
+/// bucket `k ≥ 1` holds values in `[2^(k-1), 2^k)` — enough for the full
+/// `u64` range (microsecond timings from sub-µs to half a million years).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// One registered metric (what the global registry stores).
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// The global registry of every metric touched while enabled.
+fn registry() -> &'static Mutex<Vec<MetricRef>> {
+    static REGISTRY: OnceLock<Mutex<Vec<MetricRef>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A monotonically-increasing process-wide counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: Once,
+}
+
+impl Counter {
+    /// A counter named `name` (names are the registry keys; use
+    /// `subsystem.noun` style, e.g. `"engine.cache.hits"`).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The counter's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` when telemetry is enabled; a single relaxed load otherwise.
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.registered.call_once(|| {
+            registry()
+                .lock()
+                .expect("metrics registry poisoned")
+                .push(MetricRef::Counter(self))
+        });
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A process-wide last-value gauge (signed, so it can also carry deltas).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    registered: Once,
+}
+
+impl Gauge {
+    /// A gauge named `name`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicI64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The gauge's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the gauge when telemetry is enabled.
+    pub fn set(&'static self, value: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.registered.call_once(|| {
+            registry()
+                .lock()
+                .expect("metrics registry poisoned")
+                .push(MetricRef::Gauge(self))
+        });
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta when telemetry is enabled.
+    pub fn add(&'static self, delta: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.registered.call_once(|| {
+            registry()
+                .lock()
+                .expect("metrics registry poisoned")
+                .push(MetricRef::Gauge(self))
+        });
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` observations (microsecond
+/// timings, sizes, counts).
+///
+/// The bucket layout is fixed at compile time ([`HISTOGRAM_BUCKETS`]), so
+/// two snapshots of the same histogram — or of the same histogram on two
+/// workers — merge by plain element-wise `u64` addition: deterministic,
+/// associative, and commutative by construction (proptest-pinned).
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    registered: Once,
+}
+
+/// The bucket a value lands in: 0 for zero, `ilog2(v) + 1` otherwise
+/// (capped at the last bucket).
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    match value {
+        0 => 0,
+        v => ((v.ilog2() as usize) + 1).min(HISTOGRAM_BUCKETS - 1),
+    }
+}
+
+/// The inclusive `(low, high)` value range of bucket `index`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < HISTOGRAM_BUCKETS, "bucket {index} out of range");
+    match index {
+        0 => (0, 0),
+        i => (
+            1u64 << (i - 1),
+            if i == HISTOGRAM_BUCKETS - 1 {
+                u64::MAX
+            } else {
+                (1u64 << i) - 1
+            },
+        ),
+    }
+}
+
+impl Histogram {
+    /// A histogram named `name`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The histogram's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one observation when telemetry is enabled.
+    pub fn record(&'static self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.registered.call_once(|| {
+            registry()
+                .lock()
+                .expect("metrics registry poisoned")
+                .push(MetricRef::Histogram(self))
+        });
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn record_duration(&'static self, duration: Duration) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record(u64::try_from(duration.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            name: self.name,
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state, the unit of merging and
+/// export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The histogram's registry name.
+    pub name: &'static str,
+    /// Per-bucket observation counts (layout: [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot named `name`.
+    #[must_use]
+    pub fn empty(name: &'static str) -> Self {
+        Self {
+            name,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total observations across every bucket.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Merges two snapshots of the same histogram by element-wise `u64`
+    /// addition — deterministic, associative, and commutative, so worker
+    /// observations combine bit-identically in any merge order. Sums wrap
+    /// on overflow (wrapping keeps the merge algebra associative right up
+    /// to the edge; saturation would not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots carry different names (merging unrelated
+    /// histograms is a bug, not a degenerate merge).
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(self.name, other.name, "merging unrelated histograms");
+        let mut merged = *self;
+        for (out, b) in merged.buckets.iter_mut().zip(&other.buckets) {
+            *out = out.wrapping_add(*b);
+        }
+        merged.sum = merged.sum.wrapping_add(other.sum);
+        merged
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// observation (`q` in `[0, 1]`); 0 when empty. Log2 buckets make this
+    /// an upper estimate within 2× of the true quantile — plenty for a
+    /// latency summary.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
+}
+
+/// A point-in-time copy of every registered metric, sorted by name (so the
+/// export order is a pure function of the metric values, not registration
+/// races).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, count)` for every registered counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// A snapshot of every registered histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of the named counter, if it registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of the named gauge, if it registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The snapshot of the named histogram, if it registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Snapshots every metric that has registered so far.
+#[must_use]
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let registry = registry().lock().expect("metrics registry poisoned");
+    let mut snapshot = MetricsSnapshot::default();
+    for metric in registry.iter() {
+        match metric {
+            MetricRef::Counter(c) => snapshot.counters.push((c.name, c.value())),
+            MetricRef::Gauge(g) => snapshot.gauges.push((g.name, g.value())),
+            MetricRef::Histogram(h) => snapshot.histograms.push(h.snapshot()),
+        }
+    }
+    snapshot.counters.sort_unstable_by_key(|&(n, _)| n);
+    snapshot.gauges.sort_unstable_by_key(|&(n, _)| n);
+    snapshot.histograms.sort_unstable_by_key(|h| h.name);
+    snapshot
+}
+
+/// Zeroes every registered metric in place (registration is kept — the
+/// statics stay registered for the life of the process).
+pub fn reset_metrics() {
+    let registry = registry().lock().expect("metrics registry poisoned");
+    for metric in registry.iter() {
+        match metric {
+            MetricRef::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            MetricRef::Gauge(g) => g.value.store(0, Ordering::Relaxed),
+            MetricRef::Histogram(h) => {
+                for bucket in &h.buckets {
+                    bucket.store(0, Ordering::Relaxed);
+                }
+                h.sum.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Serializes tests that toggle the global enabled flag.
+    fn enabled_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn bucket_layout_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Bounds are consistent with the index function.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "low bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        static C: Counter = Counter::new("test.disabled.counter");
+        static H: Histogram = Histogram::new("test.disabled.histogram");
+        static G: Gauge = Gauge::new("test.disabled.gauge");
+        let _guard = enabled_lock();
+        crate::set_enabled(false);
+        C.add(5);
+        H.record(5);
+        G.set(5);
+        assert_eq!(C.value(), 0);
+        assert_eq!(H.snapshot().count(), 0);
+        assert_eq!(G.value(), 0);
+    }
+
+    #[test]
+    fn enabled_metrics_register_and_count() {
+        static C: Counter = Counter::new("test.enabled.counter");
+        static H: Histogram = Histogram::new("test.enabled.histogram");
+        static G: Gauge = Gauge::new("test.enabled.gauge");
+        let _guard = enabled_lock();
+        crate::set_enabled(true);
+        C.add(2);
+        C.add(3);
+        H.record(0);
+        H.record(7);
+        H.record(9);
+        G.set(10);
+        G.add(-4);
+        crate::set_enabled(false);
+
+        assert_eq!(C.value(), 5);
+        let h = H.snapshot();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum, 16);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[bucket_index(7)], 1);
+        assert_eq!(G.value(), 6);
+
+        let snapshot = metrics_snapshot();
+        assert_eq!(snapshot.counter("test.enabled.counter"), Some(5));
+        assert_eq!(snapshot.gauge("test.enabled.gauge"), Some(6));
+        assert_eq!(
+            snapshot
+                .histogram("test.enabled.histogram")
+                .map(HistogramSnapshot::count),
+            Some(3)
+        );
+        // Snapshot order is sorted by name.
+        let names: Vec<&str> = snapshot.counters.iter().map(|&(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        let mut snap = HistogramSnapshot::empty("test.quantile");
+        // 10 observations of ~100µs (bucket [64,127]), 1 of ~1000µs.
+        snap.buckets[bucket_index(100)] = 10;
+        snap.buckets[bucket_index(1000)] = 1;
+        snap.sum = 2000;
+        assert_eq!(snap.quantile(0.5), 127);
+        assert_eq!(snap.quantile(0.99), 1023);
+        assert_eq!(HistogramSnapshot::empty("e").quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_sums() {
+        let mut a = HistogramSnapshot::empty("m");
+        let mut b = HistogramSnapshot::empty("m");
+        a.buckets[3] = 2;
+        a.sum = 10;
+        b.buckets[3] = 1;
+        b.buckets[5] = 4;
+        b.sum = 90;
+        let ab = a.merge(&b);
+        assert_eq!(ab.buckets[3], 3);
+        assert_eq!(ab.buckets[5], 4);
+        assert_eq!(ab.sum, 100);
+        assert_eq!(ab.count(), 7);
+        assert_eq!(ab, b.merge(&a), "merge must commute");
+    }
+}

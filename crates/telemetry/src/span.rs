@@ -1,0 +1,343 @@
+//! RAII duration spans with per-thread stacks.
+//!
+//! [`span()`] opens a span; dropping the returned [`SpanGuard`] closes it
+//! and pushes a finished [`SpanRecord`] into the process-wide buffer that
+//! the exporters drain. Each thread keeps its own span stack — entering a
+//! span only bumps a thread-local depth counter, so nesting costs nothing
+//! to track and the Chrome-trace export gets correctly nested `"X"`
+//! duration events per thread for free (events on one `tid` nest by
+//! timestamp containment).
+//!
+//! While telemetry is disabled, [`span()`] returns an inert guard without
+//! reading the clock or allocating; the drop is a no-op.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One argument value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A numeric argument (counts, indices, microseconds).
+    Num(f64),
+    /// A string argument (scenario names, strategy names).
+    Str(String),
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Num(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Num(v as f64)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Num(v as f64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// A finished span, as the exporters see it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (the trace event name).
+    pub name: &'static str,
+    /// Category (the trace event `cat`; groups spans by subsystem).
+    pub cat: &'static str,
+    /// Stable id of the thread the span ran on.
+    pub tid: u64,
+    /// Nesting depth on that thread's span stack when the span opened
+    /// (0 = top level).
+    pub depth: u32,
+    /// Start time, microseconds since the telemetry epoch.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Attached arguments, in attachment order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// The process-wide buffer of finished spans.
+fn span_buffer() -> &'static Mutex<Vec<SpanRecord>> {
+    static SPANS: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Thread display names recorded via [`set_thread_name`].
+fn name_table() -> &'static Mutex<Vec<(u64, String)>> {
+    static NAMES: OnceLock<Mutex<Vec<(u64, String)>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static THREAD_ID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// This thread's stable telemetry id (assigned on first use, starting at 1).
+#[must_use]
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// Names the current thread in the trace exports (e.g. `"worker-3"`).
+/// No-op while disabled.
+pub fn set_thread_name(name: impl Into<String>) {
+    if !crate::enabled() {
+        return;
+    }
+    let tid = current_thread_id();
+    let mut table = name_table().lock().expect("thread-name table poisoned");
+    match table.iter_mut().find(|(t, _)| *t == tid) {
+        Some(entry) => entry.1 = name.into(),
+        None => table.push((tid, name.into())),
+    }
+}
+
+/// Every `(tid, name)` recorded so far, in tid order.
+#[must_use]
+pub fn thread_names() -> Vec<(u64, String)> {
+    let mut names = name_table()
+        .lock()
+        .expect("thread-name table poisoned")
+        .clone();
+    names.sort_by_key(|&(tid, _)| tid);
+    names
+}
+
+/// Opens a span; the returned guard records it when dropped. Inert (no
+/// clock read, no allocation) while telemetry is disabled.
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { active: None };
+    }
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            cat,
+            depth,
+            start_us: crate::now_us(),
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// Records an externally-timed span directly (for durations measured
+/// outside an RAII scope, e.g. a queue wait whose start predates the
+/// recording thread's involvement). No-op while disabled.
+pub fn record_span(
+    name: &'static str,
+    cat: &'static str,
+    start_us: u64,
+    dur_us: u64,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !crate::enabled() {
+        return;
+    }
+    let record = SpanRecord {
+        name,
+        cat,
+        tid: current_thread_id(),
+        depth: DEPTH.with(Cell::get),
+        start_us,
+        dur_us,
+        args,
+    };
+    span_buffer()
+        .lock()
+        .expect("span buffer poisoned")
+        .push(record);
+}
+
+/// Drains every finished span recorded so far, in completion order.
+#[must_use]
+pub fn drain_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *span_buffer().lock().expect("span buffer poisoned"))
+}
+
+/// Number of finished spans currently buffered.
+#[must_use]
+pub fn span_count() -> usize {
+    span_buffer().lock().expect("span buffer poisoned").len()
+}
+
+/// An open span being timed; see [`span()`].
+struct ActiveSpan {
+    name: &'static str,
+    cat: &'static str,
+    depth: u32,
+    start_us: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII handle for an open span: records the span when dropped. Obtained
+/// from [`span()`]; inert when telemetry was disabled at open time.
+#[must_use = "a span is timed until its guard drops"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches an argument (builder-style; no-op on an inert guard).
+    pub fn with_arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        if let Some(active) = &mut self.active {
+            active.args.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Attaches an argument to an already-bound guard.
+    pub fn add_arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(active) = &mut self.active {
+            active.args.push((key, value.into()));
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end_us = crate::now_us();
+        let record = SpanRecord {
+            name: active.name,
+            cat: active.cat,
+            tid: current_thread_id(),
+            depth: active.depth,
+            start_us: active.start_us,
+            dur_us: end_us.saturating_sub(active.start_us),
+            args: active.args,
+        };
+        // The span buffer is the only lock on this path, taken once per
+        // span *end* — span bodies dwarf a push, and the disabled path
+        // never gets here.
+        span_buffer()
+            .lock()
+            .expect("span buffer poisoned")
+            .push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    fn enabled_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn spans_nest_by_thread_local_depth() {
+        let _guard = enabled_lock();
+        crate::set_enabled(true);
+        let _ = drain_spans();
+        {
+            let _outer = span("outer", "test").with_arg("k", 1.0);
+            {
+                let _inner = span("inner", "test");
+            }
+        }
+        crate::set_enabled(false);
+        let spans: Vec<SpanRecord> = drain_spans()
+            .into_iter()
+            .filter(|s| s.cat == "test")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner finishes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[1].args, vec![("k", ArgValue::Num(1.0))]);
+        // Inner is contained in outer on the shared clock.
+        assert!(spans[0].start_us >= spans[1].start_us);
+        assert!(spans[0].start_us + spans[0].dur_us <= spans[1].start_us + spans[1].dur_us);
+        assert_eq!(spans[0].tid, spans[1].tid);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = enabled_lock();
+        crate::set_enabled(false);
+        let before = span_count();
+        {
+            let guard = span("nothing", "test2");
+            assert!(!guard.is_recording());
+        }
+        assert_eq!(span_count(), before);
+    }
+
+    #[test]
+    fn threads_get_distinct_ids_and_names() {
+        let _guard = enabled_lock();
+        crate::set_enabled(true);
+        let here = current_thread_id();
+        let there = std::thread::spawn(|| {
+            set_thread_name("test-worker");
+            current_thread_id()
+        })
+        .join()
+        .unwrap();
+        crate::set_enabled(false);
+        assert_ne!(here, there);
+        assert!(thread_names()
+            .iter()
+            .any(|(tid, name)| *tid == there && name == "test-worker"));
+    }
+
+    #[test]
+    fn record_span_buffers_external_durations() {
+        let _guard = enabled_lock();
+        crate::set_enabled(true);
+        let _ = drain_spans();
+        record_span(
+            "external",
+            "test3",
+            100,
+            50,
+            vec![("shard", ArgValue::Num(2.0))],
+        );
+        crate::set_enabled(false);
+        let spans = drain_spans();
+        let rec = spans.iter().find(|s| s.cat == "test3").expect("recorded");
+        assert_eq!((rec.start_us, rec.dur_us), (100, 50));
+    }
+}

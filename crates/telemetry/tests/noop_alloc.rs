@@ -1,0 +1,63 @@
+//! Pins the no-op fast path: with telemetry disabled, the hot-path metric
+//! and span operations must not allocate at all.
+//!
+//! This lives in its own integration-test binary so the counting global
+//! allocator sees only this test's traffic — the measured window still has
+//! to be tight (the test harness itself allocates between tests).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use codesign_telemetry as telemetry;
+use codesign_telemetry::metrics::{Counter, Gauge, Histogram};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+static COUNTER: Counter = Counter::new("noop.counter");
+static GAUGE: Gauge = Gauge::new("noop.gauge");
+static HISTOGRAM: Histogram = Histogram::new("noop.histogram");
+
+#[test]
+fn disabled_hot_path_does_not_allocate() {
+    telemetry::set_enabled(false);
+
+    // Warm up thread-locals (thread id, depth cell) outside the window.
+    let _ = telemetry::span("warmup", "noop");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        COUNTER.add(1);
+        GAUGE.set(i as i64);
+        GAUGE.add(-1);
+        HISTOGRAM.record(i);
+        let span = telemetry::span("hot", "noop").with_arg("i", i);
+        drop(span);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry hot path allocated {} times",
+        after - before
+    );
+    // And nothing was recorded either.
+    assert_eq!(COUNTER.value(), 0);
+    assert_eq!(HISTOGRAM.snapshot().count(), 0);
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the histogram merge algebra: merging worker
+//! snapshots must be bit-deterministic regardless of merge order, which is
+//! what lets per-worker observations combine into one campaign-wide
+//! histogram without introducing scheduling-dependent output.
+
+use codesign_telemetry::metrics::{
+    bucket_bounds, bucket_index, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// A snapshot built from raw observations, the way a worker would fill it.
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let mut snap = HistogramSnapshot::empty("prop.hist");
+    for &v in values {
+        snap.buckets[bucket_index(v)] += 1;
+        snap.sum = snap.sum.wrapping_add(v);
+    }
+    snap
+}
+
+/// Observations spanning several buckets, including the zero bucket and
+/// large values.
+fn observation() -> impl Strategy<Value = u64> {
+    prop::sample::select(vec![
+        0u64,
+        1,
+        2,
+        3,
+        7,
+        8,
+        100,
+        1023,
+        1024,
+        65_536,
+        u64::MAX / 2,
+    ])
+}
+
+fn observations() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(observation(), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn merge_commutes(a in observations(), b in observations()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(a in observations(), b in observations(), c in observations()) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn merge_order_never_changes_bits(parts in prop::collection::vec(observations(), 1..6)) {
+        // Merging per-worker snapshots left-to-right vs right-to-left (the
+        // two extremes of any merge tree, given associativity +
+        // commutativity above) must agree bit-for-bit.
+        let snaps: Vec<HistogramSnapshot> = parts.iter().map(|p| snapshot_of(p)).collect();
+        let forward = snaps
+            .iter()
+            .fold(HistogramSnapshot::empty("prop.hist"), |acc, s| acc.merge(s));
+        let backward = snaps
+            .iter()
+            .rev()
+            .fold(HistogramSnapshot::empty("prop.hist"), |acc, s| acc.merge(s));
+        prop_assert_eq!(forward, backward);
+        // And the merged result equals one snapshot over the concatenation.
+        let all: Vec<u64> = parts.into_iter().flatten().collect();
+        prop_assert_eq!(forward, snapshot_of(&all));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(a in observations()) {
+        let snap = snapshot_of(&a);
+        prop_assert_eq!(snap.merge(&HistogramSnapshot::empty("prop.hist")), snap);
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds(v in observation()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "value {} outside bucket {} = [{}, {}]", v, i, lo, hi);
+    }
+}

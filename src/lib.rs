@@ -57,3 +57,4 @@ pub use codesign_engine as engine;
 pub use codesign_moo as moo;
 pub use codesign_nasbench as nasbench;
 pub use codesign_rl as rl;
+pub use codesign_telemetry as telemetry;
