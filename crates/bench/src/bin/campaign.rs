@@ -12,7 +12,12 @@
 //! and report how many lookups the previous runs already paid for. The
 //! file is salted with the database fingerprint, so a cache built against
 //! a different `--max-vertices` (or database build) is rejected, not
-//! silently reused.
+//! silently reused. `--cache-format binary|json|sharded` picks the
+//! persistence layout (default: inferred from the path — `.json` keeps
+//! the legacy v2 JSON document, a `.d` suffix or existing directory means
+//! a sharded `shard-NN.bin` directory, anything else is the v3 binary
+//! format). `--cache-migrate OLD.json NEW` converts a legacy v2 JSON
+//! cache to v3 (single file, or sharded when NEW ends in `.d`) and exits.
 //!
 //! Scenarios with auto-ranged normalizations (`"norm": "auto"` in a file,
 //! `norm=acc:auto` in the compact grammar) are resolved from a
@@ -36,7 +41,8 @@
 //!       `(--strategy is a singular alias)`
 //!       `[--population P] [--generations G]`
 //!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
-//!       `[--cache-path FILE] [--cache-capacity N]`
+//!       `[--cache-path FILE|DIR.d] [--cache-format binary|json|sharded]`
+//!       `[--cache-capacity N] [--cache-migrate OLD.json NEW]`
 //!       `[--calibrate] [--probe-steps N] [--probe-samples N]`
 //!       `[--trace-out FILE] [--metrics-out FILE] [--progress]`
 //!
@@ -57,6 +63,77 @@ use codesign_nasbench::{Dataset, NasbenchDatabase};
 /// Padding applied to probe-measured normalization ranges so the probe's
 /// extremes do not saturate at exactly 0 or 1.
 const AUTO_NORM_PAD: f64 = 0.05;
+
+/// How the evaluation cache persists across invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheFormat {
+    /// One v3 binary file (the default).
+    Binary,
+    /// One legacy v2 JSON document.
+    Json,
+    /// A directory of `shard-NN.bin` v3 files.
+    Sharded,
+}
+
+impl CacheFormat {
+    /// Resolves `--cache-format`; with no explicit flag, the path decides:
+    /// `.json` keeps the legacy document, a `.d` suffix or an existing
+    /// directory means sharded, anything else is the v3 binary file.
+    fn resolve(flag: &str, path: &str) -> Result<Self, String> {
+        match flag {
+            "binary" => Ok(CacheFormat::Binary),
+            "json" => Ok(CacheFormat::Json),
+            "sharded" => Ok(CacheFormat::Sharded),
+            "" => {
+                if path.ends_with(".d") || std::path::Path::new(path).is_dir() {
+                    Ok(CacheFormat::Sharded)
+                } else if path.ends_with(".json") {
+                    Ok(CacheFormat::Json)
+                } else {
+                    Ok(CacheFormat::Binary)
+                }
+            }
+            other => Err(format!(
+                "unknown --cache-format '{other}' (binary|json|sharded)"
+            )),
+        }
+    }
+}
+
+/// `--cache-migrate OLD.json NEW`: one-shot conversion of a legacy v2
+/// JSON cache to the v3 binary format (sharded when NEW ends in `.d` or
+/// is an existing directory). The original file's own salt is carried
+/// through unchanged, so the migrated cache warm-starts exactly the runs
+/// the original would have. Exits the process.
+fn run_cache_migrate(src: &str, dst: &str) -> ! {
+    let file = std::fs::File::open(src).unwrap_or_else(|e| {
+        eprintln!("cache-migrate: cannot open {src}: {e}");
+        std::process::exit(2);
+    });
+    let (cache, salt) = match SharedEvalCache::load_json_with_salt(std::io::BufReader::new(file)) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("cache-migrate: {src}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let sharded = dst.ends_with(".d") || std::path::Path::new(dst).is_dir();
+    let result = if sharded {
+        cache.save_sharded(dst, salt).map(|_| ())
+    } else {
+        cache.save_to_path(dst, salt)
+    };
+    if let Err(e) = result {
+        eprintln!("cache-migrate: cannot write {dst}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "cache-migrate: {src} -> {dst} ({} pair entries, salt {salt:016x}, {})",
+        cache.len(),
+        if sharded { "sharded v3" } else { "v3 binary" }
+    );
+    std::process::exit(0);
+}
 
 /// Resolves `--scenario` / `--scenarios-file` into the scenario axis.
 /// Both may be given; the file's scenarios come first.
@@ -108,6 +185,21 @@ fn describe(spec: &ScenarioSpec) {
 fn main() {
     let args = Args::parse();
 
+    // --cache-migrate takes two positional operands, which the `--key
+    // value` Args grammar cannot express; pre-parse it from the raw argv.
+    let raw: Vec<String> = std::env::args().collect();
+    if let Some(i) = raw.iter().position(|a| a == "--cache-migrate") {
+        match (raw.get(i + 1), raw.get(i + 2)) {
+            (Some(src), Some(dst)) if !src.starts_with("--") && !dst.starts_with("--") => {
+                run_cache_migrate(src, dst)
+            }
+            _ => {
+                eprintln!("usage: campaign --cache-migrate OLD.json NEW[.d]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     if args.flag("list-scenarios") {
         println!("built-in presets (usable via --scenario INDEX or --scenario NAME):");
         for spec in ScenarioSpec::paper_presets() {
@@ -150,6 +242,13 @@ fn main() {
     let backend_name = args.get_str("backend", "atomic");
     let cache_path = args.get_str("cache-path", "");
     let cache_capacity = args.get_usize("cache-capacity", 0);
+    let cache_format = match CacheFormat::resolve(&args.get_str("cache-format", ""), &cache_path) {
+        Ok(format) => format,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
 
     // NSGA knobs: --population sizes each generation; --generations, when
     // given, expresses the whole step budget as population × generations
@@ -266,12 +365,20 @@ fn main() {
     let cache = if cache_path.is_empty() {
         None
     } else if std::path::Path::new(&cache_path).exists() {
-        let loaded = match SharedEvalCache::load_from_path(&cache_path, salt) {
+        let load_result = match cache_format {
+            CacheFormat::Binary => SharedEvalCache::load_from_path(&cache_path, salt),
+            CacheFormat::Json => std::fs::File::open(&cache_path)
+                .map_err(codesign_engine::CacheLoadError::from)
+                .and_then(|f| SharedEvalCache::load_json(std::io::BufReader::new(f), salt)),
+            CacheFormat::Sharded => SharedEvalCache::load_sharded(&cache_path, salt),
+        };
+        let loaded = match load_result {
             Ok(loaded) => Some(loaded),
             Err(codesign_engine::CacheLoadError::WrongVersion { found }) => {
                 eprintln!(
                     "cache: {cache_path} uses format version {found} (current {}); \
-                     cold-starting and rewriting it in the current format",
+                     cold-starting and rewriting it in the current format \
+                     (or convert it once with --cache-migrate)",
                     codesign_engine::CACHE_VERSION
                 );
                 None
@@ -401,12 +508,32 @@ fn main() {
     if let Some(cache) = &cache {
         // Stamp the sweep's scenario names into the persisted provenance.
         cache.note_scenarios(report.scenario_names());
-        cache
-            .save_to_path(&cache_path, salt)
-            .expect("persist evaluation cache");
+        match cache_format {
+            CacheFormat::Binary => cache
+                .save_to_path(&cache_path, salt)
+                .expect("persist evaluation cache"),
+            CacheFormat::Json => {
+                let file = std::fs::File::create(&cache_path).expect("create cache file");
+                let mut writer = std::io::BufWriter::new(file);
+                cache
+                    .save_json(&mut writer, salt)
+                    .expect("persist evaluation cache");
+                std::io::Write::flush(&mut writer).expect("persist evaluation cache");
+            }
+            CacheFormat::Sharded => {
+                cache
+                    .save_sharded(&cache_path, salt)
+                    .expect("persist evaluation cache");
+            }
+        }
         println!(
-            "cache persisted to {cache_path} ({} pair entries)",
-            cache.len()
+            "cache persisted to {cache_path} ({} pair entries, {} format)",
+            cache.len(),
+            match cache_format {
+                CacheFormat::Binary => "v3 binary",
+                CacheFormat::Json => "v2 json",
+                CacheFormat::Sharded => "sharded v3",
+            }
         );
     }
 

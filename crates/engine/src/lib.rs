@@ -90,7 +90,9 @@ pub use campaign::{Campaign, CostModel, ShardSpec, StrategyKind};
 pub use driver::{
     backend_from_name, AtomicCursorBackend, DriverBackend, ShardedDriver, WorkStealingBackend,
 };
-pub use persist::{CacheLoadError, CACHE_FORMAT, CACHE_VERSION};
+pub use persist::{
+    CacheLoadError, CACHE_FORMAT, CACHE_MAGIC, CACHE_SHARD_FILES, CACHE_VERSION, JSON_CACHE_VERSION,
+};
 pub use report::{CampaignReport, ShardResult};
 
 /// SplitMix64: the stream-derivation mix used for per-shard RNG seeds.

@@ -5,65 +5,149 @@
 //! evaluations instead of recomputing them — the cross-run economy that
 //! CODEBench's accelerator-embedding cache argues for at benchmark scale.
 //!
-//! The format is a single JSON document through `codesign_nasbench::jsonio`
-//! (no serde in this workspace):
+//! # The v3 binary format
 //!
-//! ```json
-//! {
-//!   "format": "codesign-eval-cache",
-//!   "version": 2,
-//!   "salt": "<16 hex digits>",
-//!   "scenarios": ["1 Constraint", "power-capped"],
-//!   "pairs": [["<32-hex cell hash>", {"fp":8,...,"ratio":0.5}, acc, lat, area, power], ...],
-//!   "accuracies": [["<32-hex cell hash>", acc], ...]
-//! }
+//! Version 3 replaced the v2 JSON document with a length-prefixed binary
+//! layout built on [`codesign_nasbench::byteio`]. A million-entry JSON
+//! cache cost a full-document parse (and a 32-hex string per `u128` key)
+//! on every warm start; v3 is one contiguous read plus an in-place walk
+//! over fixed-width little-endian records — [`SharedEvalCache::load_bytes`]
+//! decodes straight out of any borrowed `&[u8]`, so an mmap-backed slice
+//! is a drop-in source. All offsets below are bytes:
+//!
+//! ```text
+//! offset  size  field
+//!      0     6  magic "CDNEVC"
+//!      6     2  format version, u16 LE (= 3)
+//!      8     8  salt, u64 LE
+//!     16     8  FNV-1a 64 checksum of every byte from offset 24 on
+//!     24     8  pair record count, u64 LE
+//!     32     8  accuracy record count, u64 LE
+//!     40     8  scenario-provenance section length in bytes, u64 LE
+//!     48     …  pair records, 68 B each, sorted by (hash, config)
+//!      …     …  accuracy records, 24 B each, sorted by hash
+//!      …     …  scenario names: (u32 LE length + UTF-8 bytes) each, sorted
 //! ```
 //!
-//! Version 2 added the power metric to pair entries and the `scenarios`
-//! provenance list (which sweeps paid for the entries — informational;
-//! entries themselves are scenario-independent). Version-1 files are
-//! rejected with [`CacheLoadError::WrongVersion`] rather than silently
-//! served without power.
+//! A pair record is `cell hash u128 | filter_par u16 | pixel_par u16 |
+//! input/weight/output buffer depths u32×3 | mem width u16 | pool u8 |
+//! ratio index u8 | accuracy/latency/area/power f64×4` — metrics travel as
+//! raw IEEE 754 bit patterns, so a reload is bit-exact. An accuracy record
+//! is `cell hash u128 | accuracy f64`.
 //!
-//! Hashes are hex strings because jsonio numbers are `f64` and cannot carry
-//! a `u128` (or even a full `u64`) exactly. Entries are written in sorted
-//! key order, so the same cache contents always serialize byte-identically.
+//! Both record sections are sorted, so equal cache contents always
+//! serialize to byte-identical files. Truncated files fail the
+//! length-vs-counts consistency check and bit flips fail the checksum;
+//! both reject with a typed [`CacheLoadError`] rather than loading
+//! garbage.
+//!
+//! # Sharded persistence
+//!
+//! [`SharedEvalCache::save_sharded`] splits the same records across
+//! [`CACHE_SHARD_FILES`] files (`shard-NN.bin` inside a directory, keyed
+//! by the top bits of the cell hash), each a complete v3 document.
+//! Because the files partition the key space, [`SharedEvalCache::load_sharded`]
+//! reconstructs one cache bit-identically no matter the merge order —
+//! several processes (or successive runs) can each persist their slice
+//! and any reader sees the union.
+//!
+//! # Versioning and the salt contract
+//!
+//! [`SharedEvalCache::load`] recognizes older JSON caches by their leading
+//! `{` and rejects them with [`CacheLoadError::WrongVersion`] (the
+//! `campaign` CLI treats that as a cold start, or converts entries with
+//! `--cache-migrate`); the legacy v2 codec survives as
+//! [`SharedEvalCache::save_json`] / [`SharedEvalCache::load_json`] for
+//! migration and compatibility.
 //!
 //! The `salt` is supplied by the caller and must describe everything the
 //! cached metrics depend on that the keys themselves don't — in practice
 //! the [`NasbenchDatabase::fingerprint`] of the database the campaign runs
 //! against (cache keys are already salted with the evaluator configuration
-//! by `codesign_core::Evaluator`). [`SharedEvalCache::load`] rejects a file
-//! whose salt doesn't match instead of silently serving stale metrics, and
-//! likewise rejects unknown formats and versions.
+//! by `codesign_core::Evaluator`). Loading rejects a file whose salt
+//! doesn't match instead of silently serving stale metrics.
 //!
 //! [`NasbenchDatabase::fingerprint`]: codesign_nasbench::NasbenchDatabase::fingerprint
 
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use codesign_accel::{AcceleratorConfig, ConvEngineRatio};
 use codesign_core::PairEvaluation;
+use codesign_nasbench::byteio::{self, ByteReader};
 use codesign_nasbench::Json;
 
 use crate::cache::SharedEvalCache;
 
-/// The `format` marker of a persisted cache document.
+/// The `format` marker of a persisted (legacy JSON) cache document.
 pub const CACHE_FORMAT: &str = "codesign-eval-cache";
 
 /// The current on-disk format version.
-pub const CACHE_VERSION: u64 = 2;
+pub const CACHE_VERSION: u64 = 3;
+
+/// The format version of legacy JSON caches ([`SharedEvalCache::save_json`]).
+pub const JSON_CACHE_VERSION: u64 = 2;
+
+/// Leading magic bytes of a v3 binary cache file.
+pub const CACHE_MAGIC: [u8; 6] = *b"CDNEVC";
+
+/// Number of `shard-NN.bin` files a sharded save splits the cache across
+/// (keyed by the top 4 bits of the cell hash).
+pub const CACHE_SHARD_FILES: usize = 16;
+
+/// Fixed header length of a v3 file, bytes.
+const HEADER_LEN: usize = 48;
+/// Fixed length of one pair record, bytes.
+const PAIR_RECORD_LEN: usize = 68;
+/// Fixed length of one per-cell accuracy record, bytes.
+const ACC_RECORD_LEN: usize = 24;
+/// Offset of the checksummed region (everything after the checksum field).
+const CHECKSUM_START: usize = 24;
+
+/// Telemetry: bytes written by cache saves.
+static TM_SAVE_BYTES: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("cache.save_bytes");
+/// Telemetry: bytes read by cache loads.
+static TM_LOAD_BYTES: codesign_telemetry::Counter =
+    codesign_telemetry::Counter::new("cache.load_bytes");
+/// Telemetry: cache save throughput, MB/s.
+static TM_SAVE_MBPS: codesign_telemetry::Histogram =
+    codesign_telemetry::Histogram::new("cache.save_mbps");
+/// Telemetry: cache load throughput, MB/s.
+static TM_LOAD_MBPS: codesign_telemetry::Histogram =
+    codesign_telemetry::Histogram::new("cache.load_mbps");
+
+/// Records byte-count and throughput telemetry for one save/load.
+fn record_io_metrics(
+    span: &mut codesign_telemetry::SpanGuard,
+    bytes: usize,
+    elapsed: Duration,
+    counter: &'static codesign_telemetry::Counter,
+    throughput: &'static codesign_telemetry::Histogram,
+) {
+    span.add_arg("bytes", bytes as u64);
+    counter.add(bytes as u64);
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        throughput.record((bytes as f64 / 1e6 / secs) as u64);
+    }
+}
 
 /// Why a persisted cache file was rejected.
 #[derive(Debug)]
 pub enum CacheLoadError {
     /// The file could not be read.
     Io(io::Error),
-    /// The document is not valid JSON or is missing required fields.
+    /// The document is corrupt: truncated, bit-flipped (checksum
+    /// mismatch), not valid JSON/binary framing, or missing required
+    /// fields.
     Malformed(String),
-    /// The document is JSON but not a persisted evaluation cache.
+    /// The document is parseable but not a persisted evaluation cache.
     WrongFormat(String),
-    /// The document was written by an incompatible format version.
+    /// The document was written by an incompatible format version (e.g. a
+    /// legacy JSON cache; convert it with `campaign --cache-migrate`).
     WrongVersion {
         /// The version found in the file.
         found: u64,
@@ -114,6 +198,112 @@ impl From<io::Error> for CacheLoadError {
     }
 }
 
+/// Map-shard index of a cell hash for sharded persistence: the top 4 bits,
+/// so the `shard-NN.bin` files partition the key space.
+fn persist_shard_of(hash: u128) -> usize {
+    #[allow(clippy::cast_possible_truncation)]
+    let index = (hash >> 124) as usize;
+    index
+}
+
+/// The file name of persistence shard `index`.
+fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:02}.bin")
+}
+
+fn put_config(buf: &mut Vec<u8>, config: &AcceleratorConfig) {
+    let narrow16 = |v: usize| u16::try_from(v).expect("config field exceeds u16");
+    let narrow32 = |v: usize| u32::try_from(v).expect("config field exceeds u32");
+    byteio::put_u16(buf, narrow16(config.filter_par));
+    byteio::put_u16(buf, narrow16(config.pixel_par));
+    byteio::put_u32(buf, narrow32(config.input_buffer_depth));
+    byteio::put_u32(buf, narrow32(config.weight_buffer_depth));
+    byteio::put_u32(buf, narrow32(config.output_buffer_depth));
+    byteio::put_u16(buf, narrow16(config.mem_interface_width));
+    buf.push(u8::from(config.pool_enable));
+    let ratio = ConvEngineRatio::ALL
+        .iter()
+        .position(|r| *r == config.ratio_conv_engines)
+        .expect("every ratio is in ALL");
+    #[allow(clippy::cast_possible_truncation)]
+    buf.push(ratio as u8);
+}
+
+fn read_config(reader: &mut ByteReader<'_>) -> Result<AcceleratorConfig, String> {
+    let filter_par = usize::from(reader.u16()?);
+    let pixel_par = usize::from(reader.u16()?);
+    let input_buffer_depth = reader.u32()? as usize;
+    let weight_buffer_depth = reader.u32()? as usize;
+    let output_buffer_depth = reader.u32()? as usize;
+    let mem_interface_width = usize::from(reader.u16()?);
+    let pool_enable = match reader.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(format!("bad pool flag {other}")),
+    };
+    let ratio_index = usize::from(reader.u8()?);
+    let ratio_conv_engines = *ConvEngineRatio::ALL
+        .get(ratio_index)
+        .ok_or_else(|| format!("bad ratio index {ratio_index}"))?;
+    Ok(AcceleratorConfig {
+        filter_par,
+        pixel_par,
+        input_buffer_depth,
+        weight_buffer_depth,
+        output_buffer_depth,
+        mem_interface_width,
+        pool_enable,
+        ratio_conv_engines,
+    })
+}
+
+/// Encodes sorted records as one complete v3 document.
+fn encode_records(
+    pairs: &[((u128, AcceleratorConfig), PairEvaluation)],
+    accuracies: &[(u128, f64)],
+    scenarios: &[String],
+    salt: u64,
+) -> Vec<u8> {
+    let mut scenario_section = Vec::new();
+    for name in scenarios {
+        byteio::put_u32(
+            &mut scenario_section,
+            u32::try_from(name.len()).expect("scenario name exceeds u32 bytes"),
+        );
+        scenario_section.extend_from_slice(name.as_bytes());
+    }
+    let mut buf = Vec::with_capacity(
+        HEADER_LEN
+            + pairs.len() * PAIR_RECORD_LEN
+            + accuracies.len() * ACC_RECORD_LEN
+            + scenario_section.len(),
+    );
+    buf.extend_from_slice(&CACHE_MAGIC);
+    #[allow(clippy::cast_possible_truncation)]
+    byteio::put_u16(&mut buf, CACHE_VERSION as u16);
+    byteio::put_u64(&mut buf, salt);
+    byteio::put_u64(&mut buf, 0); // checksum, patched below
+    byteio::put_u64(&mut buf, pairs.len() as u64);
+    byteio::put_u64(&mut buf, accuracies.len() as u64);
+    byteio::put_u64(&mut buf, scenario_section.len() as u64);
+    for ((hash, config), eval) in pairs {
+        byteio::put_u128(&mut buf, *hash);
+        put_config(&mut buf, config);
+        byteio::put_f64(&mut buf, eval.accuracy);
+        byteio::put_f64(&mut buf, eval.latency_ms);
+        byteio::put_f64(&mut buf, eval.area_mm2);
+        byteio::put_f64(&mut buf, eval.power_w);
+    }
+    for (hash, acc) in accuracies {
+        byteio::put_u128(&mut buf, *hash);
+        byteio::put_f64(&mut buf, *acc);
+    }
+    buf.extend_from_slice(&scenario_section);
+    let checksum = byteio::fnv1a64(&buf[CHECKSUM_START..]);
+    buf[16..24].copy_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
 fn config_to_json(config: &AcceleratorConfig) -> Json {
     Json::obj(vec![
         ("fp", Json::Num(config.filter_par as f64)),
@@ -162,54 +352,56 @@ fn hash_from_hex(text: &str) -> Result<u128, String> {
     u128::from_str_radix(text, 16).map_err(|e| format!("bad hash {text:?}: {e}"))
 }
 
+/// A pair-cache entry as snapshotted for persistence: key plus metrics.
+type PairRecord = ((u128, AcceleratorConfig), PairEvaluation);
+
 impl SharedEvalCache {
-    /// Writes the cache's entries as one JSON document stamped with
-    /// `salt` (see the module docs for the format and the salt contract).
-    /// Entries are sorted by key, so identical contents always produce an
-    /// identical file.
+    /// Every pair entry sorted by key and every accuracy entry sorted by
+    /// hash — the canonical record order of persisted documents.
+    fn sorted_records(&self) -> (Vec<PairRecord>, Vec<(u128, f64)>) {
+        let mut pairs = self.snapshot_pairs();
+        pairs.sort_unstable_by_key(|&(key, _)| key);
+        let mut accuracies = self.snapshot_accuracies();
+        accuracies.sort_unstable_by_key(|&(key, _)| key);
+        (pairs, accuracies)
+    }
+
+    /// Serializes the cache as one v3 binary document stamped with `salt`
+    /// (see the module docs for the layout and the salt contract). Records
+    /// are sorted, so identical contents always produce an identical file.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `writer`.
     pub fn save<W: Write>(&self, mut writer: W, salt: u64) -> io::Result<()> {
-        let _span = codesign_telemetry::span("cache.save", "persist")
-            .with_arg("entries", self.len() as u64);
-        let mut pairs = self.snapshot_pairs();
-        pairs.sort_unstable_by_key(|&(key, _)| key);
-        let mut accuracies = self.snapshot_accuracies();
-        accuracies.sort_unstable_by_key(|&(key, _)| key);
-        let pairs = pairs
-            .into_iter()
-            .map(|((hash, config), eval)| {
-                Json::Arr(vec![
-                    Json::Str(hash_to_hex(hash)),
-                    config_to_json(&config),
-                    Json::Num(eval.accuracy),
-                    Json::Num(eval.latency_ms),
-                    Json::Num(eval.area_mm2),
-                    Json::Num(eval.power_w),
-                ])
-            })
-            .collect();
-        let accuracies = accuracies
-            .into_iter()
-            .map(|(hash, acc)| Json::Arr(vec![Json::Str(hash_to_hex(hash)), Json::Num(acc)]))
-            .collect();
-        let scenarios = self.provenance().into_iter().map(Json::Str).collect();
-        let doc = Json::obj(vec![
-            ("format", Json::Str(CACHE_FORMAT.into())),
-            ("version", Json::Num(CACHE_VERSION as f64)),
-            ("salt", Json::Str(format!("{salt:016x}"))),
-            ("scenarios", Json::Arr(scenarios)),
-            ("pairs", Json::Arr(pairs)),
-            ("accuracies", Json::Arr(accuracies)),
-        ]);
-        writeln!(writer, "{doc}")
+        let mut span = codesign_telemetry::span("cache.save", "persist")
+            .with_arg("entries", self.len() as u64)
+            .with_arg("format", "v3-binary");
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let (pairs, accuracies) = self.sorted_records();
+        let bytes = encode_records(&pairs, &accuracies, &self.provenance(), salt);
+        writer.write_all(&bytes)?;
+        if let Some(t) = timer {
+            record_io_metrics(
+                &mut span,
+                bytes.len(),
+                t.elapsed(),
+                &TM_SAVE_BYTES,
+                &TM_SAVE_MBPS,
+            );
+        }
+        Ok(())
     }
 
     /// Reads a cache written by [`SharedEvalCache::save`], verifying the
-    /// format, version, and salt. Loaded entries are marked *warm*, so hits
-    /// against them are reported as work saved by the previous invocation.
+    /// magic, version, salt, length, and checksum. Loaded entries are
+    /// marked *warm*, so hits against them are reported as work saved by
+    /// the previous invocation.
+    ///
+    /// Legacy JSON caches (v1/v2) are recognized and rejected with
+    /// [`CacheLoadError::WrongVersion`]; convert them with
+    /// `campaign --cache-migrate` or reload via
+    /// [`SharedEvalCache::load_json`].
     ///
     /// The returned cache is unbounded with the default shard count; chain
     /// [`SharedEvalCache::bounded`] afterwards to cap a warm-started cache.
@@ -217,43 +409,385 @@ impl SharedEvalCache {
     /// # Errors
     ///
     /// Returns a [`CacheLoadError`] describing exactly why the file was
-    /// rejected: unreadable, malformed, a different format, an incompatible
-    /// version, or a salt mismatch.
+    /// rejected: unreadable, malformed/corrupt, a different format, an
+    /// incompatible version, or a salt mismatch.
     pub fn load<R: Read>(mut reader: R, expected_salt: u64) -> Result<Self, CacheLoadError> {
-        let _span = codesign_telemetry::span("cache.load", "persist");
-        let mut text = String::new();
-        reader.read_to_string(&mut text)?;
-        let doc = Json::parse(&text).map_err(CacheLoadError::Malformed)?;
-        let format = doc
-            .get("format")
-            .and_then(Json::as_str)
-            .ok_or_else(|| CacheLoadError::Malformed("missing 'format'".into()))?;
-        if format != CACHE_FORMAT {
-            return Err(CacheLoadError::WrongFormat(format.to_owned()));
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Self::load_bytes(&bytes, expected_salt)
+    }
+
+    /// [`SharedEvalCache::load`] straight from a borrowed byte slice — the
+    /// near-zero-copy path. The slice is walked in place (no intermediate
+    /// document tree), so a memory-mapped file region works unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same rejection contract as [`SharedEvalCache::load`].
+    pub fn load_bytes(bytes: &[u8], expected_salt: u64) -> Result<Self, CacheLoadError> {
+        let mut span =
+            codesign_telemetry::span("cache.load", "persist").with_arg("format", "v3-binary");
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let cache = SharedEvalCache::new();
+        cache.merge_bytes(bytes, expected_salt)?;
+        if let Some(t) = timer {
+            record_io_metrics(
+                &mut span,
+                bytes.len(),
+                t.elapsed(),
+                &TM_LOAD_BYTES,
+                &TM_LOAD_MBPS,
+            );
         }
-        let version = doc
-            .get("version")
-            .and_then(Json::as_usize)
-            .ok_or_else(|| CacheLoadError::Malformed("missing 'version'".into()))?
-            as u64;
+        Ok(cache)
+    }
+
+    /// Decodes one persisted v3 document and merges its entries into this
+    /// cache (preloaded entries are *warm*). Merging is idempotent and —
+    /// because persisted values are deterministic functions of their keys —
+    /// order-independent: merging N shard files in any order reconstructs
+    /// the same cache. This is the primitive [`SharedEvalCache::load_sharded`]
+    /// is built on.
+    ///
+    /// # Errors
+    ///
+    /// Same rejection contract as [`SharedEvalCache::load`]. Validation
+    /// (length and checksum) runs before any insertion, so a rejected
+    /// document contributes nothing — the cache keeps exactly the entries
+    /// earlier merges added.
+    pub fn merge_bytes(&self, bytes: &[u8], expected_salt: u64) -> Result<(), CacheLoadError> {
+        let malformed = |reason: String| CacheLoadError::Malformed(reason);
+        if bytes.starts_with(&CACHE_MAGIC) {
+            return self.merge_v3(bytes, expected_salt);
+        }
+        // Not a binary cache: recognize legacy JSON documents so stale
+        // caches reject with a *typed* version error (the CLI turns that
+        // into a cold start or a migration hint), not checksum noise.
+        let first = bytes.iter().position(|b| !b.is_ascii_whitespace());
+        if first.is_some_and(|i| bytes[i] == b'{') {
+            let text = std::str::from_utf8(bytes).map_err(|e| malformed(e.to_string()))?;
+            let doc = Json::parse(text).map_err(malformed)?;
+            let format = doc
+                .get("format")
+                .and_then(Json::as_str)
+                .ok_or_else(|| malformed("missing 'format'".into()))?;
+            if format != CACHE_FORMAT {
+                return Err(CacheLoadError::WrongFormat(format.to_owned()));
+            }
+            let version =
+                doc.get("version")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| malformed("missing 'version'".into()))? as u64;
+            return Err(CacheLoadError::WrongVersion { found: version });
+        }
+        Err(malformed(
+            "not a cache file (no v3 magic, not a JSON document)".into(),
+        ))
+    }
+
+    /// The v3 decode path: header checks, then an in-place record walk.
+    fn merge_v3(&self, bytes: &[u8], expected_salt: u64) -> Result<(), CacheLoadError> {
+        let malformed = |reason: String| CacheLoadError::Malformed(reason);
+        if bytes.len() < HEADER_LEN {
+            return Err(malformed(format!(
+                "truncated header: {} bytes (need {HEADER_LEN})",
+                bytes.len()
+            )));
+        }
+        let mut header = ByteReader::new(&bytes[CACHE_MAGIC.len()..HEADER_LEN]);
+        let version = u64::from(header.u16().map_err(malformed)?);
         if version != CACHE_VERSION {
             return Err(CacheLoadError::WrongVersion { found: version });
         }
-        let salt = doc
-            .get("salt")
-            .and_then(Json::as_str)
-            .ok_or_else(|| CacheLoadError::Malformed("missing 'salt'".into()))?;
-        let salt = u64::from_str_radix(salt, 16)
-            .map_err(|e| CacheLoadError::Malformed(format!("bad salt: {e}")))?;
+        let salt = header.u64().map_err(malformed)?;
         if salt != expected_salt {
             return Err(CacheLoadError::SaltMismatch {
                 expected: expected_salt,
                 found: salt,
             });
         }
+        let checksum = header.u64().map_err(malformed)?;
+        let pair_count = header.u64().map_err(malformed)?;
+        let acc_count = header.u64().map_err(malformed)?;
+        let scenario_len = header.u64().map_err(malformed)?;
+        let expected_len = HEADER_LEN as u128
+            + u128::from(pair_count) * PAIR_RECORD_LEN as u128
+            + u128::from(acc_count) * ACC_RECORD_LEN as u128
+            + u128::from(scenario_len);
+        if bytes.len() as u128 != expected_len {
+            return Err(malformed(format!(
+                "length mismatch: header promises {expected_len} bytes, file has {} \
+                 (truncated or corrupt counts)",
+                bytes.len()
+            )));
+        }
+        if byteio::fnv1a64(&bytes[CHECKSUM_START..]) != checksum {
+            return Err(malformed(
+                "checksum mismatch (bit corruption or tampering)".into(),
+            ));
+        }
+
+        // Validated: walk the records in place and insert as warm entries.
+        let mut reader = ByteReader::new(&bytes[HEADER_LEN..]);
+        for i in 0..pair_count {
+            let context = |e: String| malformed(format!("pair {i}: {e}"));
+            let hash = reader.u128().map_err(context)?;
+            let config = read_config(&mut reader).map_err(context)?;
+            let eval = PairEvaluation {
+                accuracy: reader.f64().map_err(context)?,
+                latency_ms: reader.f64().map_err(context)?,
+                area_mm2: reader.f64().map_err(context)?,
+                power_w: reader.f64().map_err(context)?,
+            };
+            self.put_preloaded(hash, &config, eval);
+        }
+        for i in 0..acc_count {
+            let context = |e: String| malformed(format!("accuracy {i}: {e}"));
+            let hash = reader.u128().map_err(context)?;
+            let acc = reader.f64().map_err(context)?;
+            self.put_accuracy_preloaded(hash, acc);
+        }
+        let mut scenarios = Vec::new();
+        while !reader.is_empty() {
+            let len = reader.u32().map_err(malformed)? as usize;
+            let raw = reader.take(len).map_err(malformed)?;
+            let name =
+                std::str::from_utf8(raw).map_err(|e| malformed(format!("scenario name: {e}")))?;
+            scenarios.push(name.to_owned());
+        }
+        self.note_scenarios(scenarios);
+        Ok(())
+    }
+
+    /// [`SharedEvalCache::save`] to a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P, salt: u64) -> io::Result<()> {
+        let mut writer = io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut writer, salt)?;
+        writer.flush()
+    }
+
+    /// [`SharedEvalCache::load`] from a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheLoadError`] when the file is missing, unreadable,
+    /// or rejected.
+    pub fn load_from_path<P: AsRef<Path>>(
+        path: P,
+        expected_salt: u64,
+    ) -> Result<Self, CacheLoadError> {
+        Self::load(std::fs::File::open(path)?, expected_salt)
+    }
+
+    /// Persists the cache as [`CACHE_SHARD_FILES`] v3 files
+    /// (`shard-00.bin` … `shard-15.bin`) inside `dir`, each holding the
+    /// entries whose cell hash falls in its slice of the key space (top 4
+    /// bits). Every shard carries the salt and the full scenario
+    /// provenance; every file is written even when its slice is empty, so
+    /// the directory is always a complete, deterministic snapshot.
+    ///
+    /// Returns the total bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn save_sharded<P: AsRef<Path>>(&self, dir: P, salt: u64) -> io::Result<usize> {
+        let mut span = codesign_telemetry::span("cache.save", "persist")
+            .with_arg("entries", self.len() as u64)
+            .with_arg("format", "v3-sharded");
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let (pairs, accuracies) = self.sorted_records();
+        let scenarios = self.provenance();
+        // Bucket the (already sorted) records by hash prefix; each bucket
+        // stays sorted, so each shard file is canonical on its own.
+        let mut pair_buckets: Vec<Vec<((u128, AcceleratorConfig), PairEvaluation)>> =
+            vec![Vec::new(); CACHE_SHARD_FILES];
+        for entry in pairs {
+            pair_buckets[persist_shard_of(entry.0 .0)].push(entry);
+        }
+        let mut acc_buckets: Vec<Vec<(u128, f64)>> = vec![Vec::new(); CACHE_SHARD_FILES];
+        for entry in accuracies {
+            acc_buckets[persist_shard_of(entry.0)].push(entry);
+        }
+        let mut total = 0usize;
+        for index in 0..CACHE_SHARD_FILES {
+            let bytes = encode_records(&pair_buckets[index], &acc_buckets[index], &scenarios, salt);
+            std::fs::write(dir.join(shard_file_name(index)), &bytes)?;
+            total += bytes.len();
+        }
+        if let Some(t) = timer {
+            record_io_metrics(&mut span, total, t.elapsed(), &TM_SAVE_BYTES, &TM_SAVE_MBPS);
+        }
+        Ok(total)
+    }
+
+    /// Reconstructs one cache from every `shard-*.bin` file in `dir`,
+    /// merging their entries (see [`SharedEvalCache::merge_bytes`] — the
+    /// shard files partition the key space, so the merge is
+    /// order-independent and the result equals loading the same contents
+    /// from a single file). An existing directory with no shard files
+    /// yields an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheLoadError`] when the directory is unreadable or
+    /// any shard file is rejected (corrupt, wrong version, or salted for
+    /// a different database).
+    pub fn load_sharded<P: AsRef<Path>>(
+        dir: P,
+        expected_salt: u64,
+    ) -> Result<Self, CacheLoadError> {
+        let mut span =
+            codesign_telemetry::span("cache.load", "persist").with_arg("format", "v3-sharded");
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|path| {
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".bin"))
+            })
+            .collect();
+        files.sort();
+        let cache = SharedEvalCache::new();
+        let mut total = 0usize;
+        for file in files {
+            let bytes = std::fs::read(&file)?;
+            cache.merge_bytes(&bytes, expected_salt)?;
+            total += bytes.len();
+        }
+        if let Some(t) = timer {
+            record_io_metrics(&mut span, total, t.elapsed(), &TM_LOAD_BYTES, &TM_LOAD_MBPS);
+        }
+        Ok(cache)
+    }
+
+    /// Writes the cache in the legacy v2 JSON format (hex-string keys, one
+    /// document), streaming entry by entry so even a huge cache never
+    /// materializes its whole document in memory. Kept for compatibility
+    /// and as the migration source format; new caches should use
+    /// [`SharedEvalCache::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn save_json<W: Write>(&self, mut writer: W, salt: u64) -> io::Result<()> {
+        let mut span = codesign_telemetry::span("cache.save", "persist")
+            .with_arg("entries", self.len() as u64)
+            .with_arg("format", "v2-json");
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let (pairs, accuracies) = self.sorted_records();
+        let scenarios = Json::Arr(self.provenance().into_iter().map(Json::Str).collect());
+        let mut written = 0usize;
+        let mut counting = CountingWriter {
+            inner: &mut writer,
+            written: &mut written,
+        };
+        write!(
+            counting,
+            "{{\"format\":\"{CACHE_FORMAT}\",\"version\":{JSON_CACHE_VERSION},\
+             \"salt\":\"{salt:016x}\",\"scenarios\":{scenarios},\"pairs\":["
+        )?;
+        for (i, ((hash, config), eval)) in pairs.iter().enumerate() {
+            if i > 0 {
+                write!(counting, ",")?;
+            }
+            let entry = Json::Arr(vec![
+                Json::Str(hash_to_hex(*hash)),
+                config_to_json(config),
+                Json::Num(eval.accuracy),
+                Json::Num(eval.latency_ms),
+                Json::Num(eval.area_mm2),
+                Json::Num(eval.power_w),
+            ]);
+            write!(counting, "{entry}")?;
+        }
+        write!(counting, "],\"accuracies\":[")?;
+        for (i, (hash, acc)) in accuracies.iter().enumerate() {
+            if i > 0 {
+                write!(counting, ",")?;
+            }
+            let entry = Json::Arr(vec![Json::Str(hash_to_hex(*hash)), Json::Num(*acc)]);
+            write!(counting, "{entry}")?;
+        }
+        writeln!(counting, "]}}")?;
+        if let Some(t) = timer {
+            record_io_metrics(
+                &mut span,
+                written,
+                t.elapsed(),
+                &TM_SAVE_BYTES,
+                &TM_SAVE_MBPS,
+            );
+        }
+        Ok(())
+    }
+
+    /// Reads a legacy v2 JSON cache, verifying format, version, and salt.
+    /// Loaded entries are marked *warm*, like [`SharedEvalCache::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheLoadError`] with the same taxonomy as
+    /// [`SharedEvalCache::load`].
+    pub fn load_json<R: Read>(reader: R, expected_salt: u64) -> Result<Self, CacheLoadError> {
+        let (cache, salt) = Self::load_json_with_salt(reader)?;
+        if salt != expected_salt {
+            return Err(CacheLoadError::SaltMismatch {
+                expected: expected_salt,
+                found: salt,
+            });
+        }
+        Ok(cache)
+    }
+
+    /// Reads a legacy v2 JSON cache and returns it together with the salt
+    /// recorded in the file, *without* checking the salt against anything —
+    /// the migration primitive: `campaign --cache-migrate` carries the
+    /// original salt into the converted v3 file unchanged, so the migrated
+    /// cache warm-starts exactly the runs the original would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheLoadError`] when the document is unreadable,
+    /// malformed, a different format, or not version 2.
+    pub fn load_json_with_salt<R: Read>(mut reader: R) -> Result<(Self, u64), CacheLoadError> {
+        let mut span =
+            codesign_telemetry::span("cache.load", "persist").with_arg("format", "v2-json");
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let malformed = |reason: String| CacheLoadError::Malformed(reason);
+        let doc = Json::parse(&text).map_err(malformed)?;
+        let format = doc
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed("missing 'format'".into()))?;
+        if format != CACHE_FORMAT {
+            return Err(CacheLoadError::WrongFormat(format.to_owned()));
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| malformed("missing 'version'".into()))? as u64;
+        if version != JSON_CACHE_VERSION {
+            return Err(CacheLoadError::WrongVersion { found: version });
+        }
+        let salt = doc
+            .get("salt")
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed("missing 'salt'".into()))?;
+        let salt =
+            u64::from_str_radix(salt, 16).map_err(|e| malformed(format!("bad salt: {e}")))?;
 
         let cache = SharedEvalCache::new();
-        let malformed = |reason: String| CacheLoadError::Malformed(reason);
         if let Some(scenarios) = doc.get("scenarios").and_then(Json::as_arr) {
             cache.note_scenarios(scenarios.iter().filter_map(Json::as_str).map(str::to_owned));
         }
@@ -303,33 +837,35 @@ impl SharedEvalCache {
                 .ok_or_else(|| malformed(format!("accuracy {i}: bad value")))?;
             cache.put_accuracy_preloaded(hash, acc);
         }
-        Ok(cache)
+        if let Some(t) = timer {
+            record_io_metrics(
+                &mut span,
+                text.len(),
+                t.elapsed(),
+                &TM_LOAD_BYTES,
+                &TM_LOAD_MBPS,
+            );
+        }
+        Ok((cache, salt))
+    }
+}
+
+/// Counts bytes flowing through an inner writer (for save telemetry on
+/// the streaming JSON path, where no buffer exists to measure).
+struct CountingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    written: &'a mut usize,
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        *self.written += n;
+        Ok(n)
     }
 
-    /// [`SharedEvalCache::save`] to a filesystem path.
-    ///
-    /// # Errors
-    ///
-    /// Propagates file-system errors.
-    pub fn save_to_path<P: AsRef<Path>>(&self, path: P, salt: u64) -> io::Result<()> {
-        // Buffered: the document renders as many small formatting
-        // fragments, each of which would otherwise be its own syscall.
-        let mut writer = io::BufWriter::new(std::fs::File::create(path)?);
-        self.save(&mut writer, salt)?;
-        writer.flush()
-    }
-
-    /// [`SharedEvalCache::load`] from a filesystem path.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CacheLoadError`] when the file is missing, unreadable,
-    /// or rejected.
-    pub fn load_from_path<P: AsRef<Path>>(
-        path: P,
-        expected_salt: u64,
-    ) -> Result<Self, CacheLoadError> {
-        Self::load(std::fs::File::open(path)?, expected_salt)
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -362,6 +898,7 @@ mod tests {
         let cache = populated();
         let mut buf = Vec::new();
         cache.save(&mut buf, 0xDEAD).unwrap();
+        assert!(buf.starts_with(&CACHE_MAGIC), "v3 binary is the default");
         let back = SharedEvalCache::load(buf.as_slice(), 0xDEAD).unwrap();
         let space = ConfigSpace::chaidnn();
         assert_eq!(back.get(1, &space.get(0)), Some(eval(0.91)));
@@ -371,6 +908,19 @@ mod tests {
         assert_eq!((stats.preloaded, stats.inserts), (2, 0));
         assert_eq!(stats.warm_hits, 2, "reloaded entries answer warm");
         assert_eq!(stats.accuracy_warm_hits, 1);
+    }
+
+    #[test]
+    fn binary_records_are_fixed_width() {
+        let cache = populated();
+        let mut buf = Vec::new();
+        cache.save(&mut buf, 1).unwrap();
+        let scenario_len = 0; // no provenance noted
+        assert_eq!(
+            buf.len(),
+            48 + 2 * 68 + 24 + scenario_len,
+            "header + 2 pair records + 1 accuracy record"
+        );
     }
 
     #[test]
@@ -421,6 +971,98 @@ mod tests {
     }
 
     #[test]
+    fn json_v2_roundtrips_through_the_legacy_codec() {
+        let cache = populated();
+        cache.note_scenarios(["1 Constraint".to_owned()]);
+        let mut buf = Vec::new();
+        cache.save_json(&mut buf, 0xCAFE).unwrap();
+        assert_eq!(buf[0], b'{', "legacy format is a JSON document");
+        let back = SharedEvalCache::load_json(buf.as_slice(), 0xCAFE).unwrap();
+        let space = ConfigSpace::chaidnn();
+        assert_eq!(back.get(1, &space.get(0)), Some(eval(0.91)));
+        assert_eq!(back.get_accuracy(42), Some(0.935));
+        assert_eq!(back.provenance(), vec!["1 Constraint".to_owned()]);
+        // The default loader refuses it with a typed version error.
+        match SharedEvalCache::load(buf.as_slice(), 0xCAFE) {
+            Err(CacheLoadError::WrongVersion { found: 2 }) => {}
+            other => panic!("expected WrongVersion(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn migration_preserves_entries_salt_and_byte_identity() {
+        let original = populated();
+        original.note_scenarios(["Unconstrained".to_owned()]);
+        let mut v2 = Vec::new();
+        original.save_json(&mut v2, 0x5EED).unwrap();
+
+        // Migrate: reload the JSON without knowing the salt, rewrite as v3.
+        let (migrated, salt) = SharedEvalCache::load_json_with_salt(v2.as_slice()).unwrap();
+        assert_eq!(salt, 0x5EED, "the file's own salt is carried through");
+        let mut v3 = Vec::new();
+        migrated.save(&mut v3, salt).unwrap();
+
+        // The migrated file is byte-identical to saving the original
+        // cache directly in v3 — migration loses nothing and adds nothing.
+        let mut direct = Vec::new();
+        original.save(&mut direct, 0x5EED).unwrap();
+        assert_eq!(v3, direct);
+
+        // And it warm-starts the same lookups.
+        let back = SharedEvalCache::load(v3.as_slice(), 0x5EED).unwrap();
+        let space = ConfigSpace::chaidnn();
+        assert_eq!(back.get(1, &space.get(0)), Some(eval(0.91)));
+        assert_eq!(back.stats().warm_hits, 1);
+    }
+
+    #[test]
+    fn sharded_save_load_reconstructs_the_single_file_cache() {
+        let dir = std::env::temp_dir().join("codesign_persist_shard_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = populated();
+        cache.note_scenarios(["power-capped".to_owned()]);
+        let bytes = cache.save_sharded(&dir, 9).unwrap();
+        assert!(bytes >= CACHE_SHARD_FILES * 48, "every shard has a header");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names.len(), CACHE_SHARD_FILES);
+        assert!(names.contains(&"shard-00.bin".to_owned()));
+        assert!(names.contains(&"shard-15.bin".to_owned()));
+
+        let merged = SharedEvalCache::load_sharded(&dir, 9).unwrap();
+        let space = ConfigSpace::chaidnn();
+        assert_eq!(merged.get(1, &space.get(0)), Some(eval(0.91)));
+        assert_eq!(
+            merged.get(u128::MAX - 7, &space.get(8639)),
+            Some(eval(0.87))
+        );
+        assert_eq!(merged.get_accuracy(42), Some(0.935));
+        assert_eq!(merged.provenance(), vec!["power-capped".to_owned()]);
+
+        // Re-serializing the merged cache as a single file is
+        // byte-identical to serializing the original directly.
+        let (mut single, mut resaved) = (Vec::new(), Vec::new());
+        cache.save(&mut single, 9).unwrap();
+        merged.save(&mut resaved, 9).unwrap();
+        assert_eq!(single, resaved);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_load_rejects_mismatched_salt() {
+        let dir = std::env::temp_dir().join("codesign_persist_shard_salt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        populated().save_sharded(&dir, 1).unwrap();
+        assert!(matches!(
+            SharedEvalCache::load_sharded(&dir, 2),
+            Err(CacheLoadError::SaltMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn version_1_files_are_rejected() {
         let doc = format!(
             "{{\"format\":\"{CACHE_FORMAT}\",\"version\":1,\"salt\":\"0\",\
@@ -450,8 +1092,19 @@ mod tests {
     }
 
     #[test]
+    fn unknown_binary_versions_are_rejected() {
+        let mut buf = Vec::new();
+        populated().save(&mut buf, 0).unwrap();
+        buf[6] = 9; // version u16 LE low byte
+        match SharedEvalCache::load(buf.as_slice(), 0) {
+            Err(CacheLoadError::WrongVersion { found: 9 }) => {}
+            other => panic!("expected WrongVersion(9), got {other:?}"),
+        }
+    }
+
+    #[test]
     fn corrupt_documents_are_rejected_cleanly() {
-        for bad in ["{truncated", "", "[1,2,3]", "{\"format\":3}"] {
+        for bad in ["{truncated", "", "[1,2,3]", "{\"format\":3}", "CDNEV"] {
             let err = SharedEvalCache::load(bad.as_bytes(), 0).unwrap_err();
             assert!(
                 matches!(err, CacheLoadError::Malformed(_)),
@@ -459,6 +1112,23 @@ mod tests {
             );
             // The error formats without panicking.
             let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected_by_the_checksum() {
+        let cache = populated();
+        let mut buf = Vec::new();
+        cache.save(&mut buf, 7).unwrap();
+        // Flip one metric bit deep inside the payload: the length checks
+        // still pass, so only the checksum can catch it.
+        let target = buf.len() - 10;
+        buf[target] ^= 0x10;
+        match SharedEvalCache::load(buf.as_slice(), 7) {
+            Err(CacheLoadError::Malformed(reason)) => {
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            other => panic!("expected checksum rejection, got {other:?}"),
         }
     }
 }

@@ -4,7 +4,7 @@ use std::io::{self, Write};
 use std::path::Path;
 
 use codesign_accel::AcceleratorConfig;
-use codesign_core::report::{fmt_f, write_csv, TextTable};
+use codesign_core::report::{fmt_f, TextTable};
 use codesign_core::{reward_curve, BestPoint, GenerationStat, MetricId, SearchOutcome, StepRecord};
 use codesign_moo::{AxisSchema, DynParetoFront};
 use codesign_nasbench::{CellSpec, Json};
@@ -516,6 +516,21 @@ impl CampaignReport {
     ///
     /// Propagates file-system errors.
     pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut writer = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_csv_to(&mut writer)?;
+        writer.flush()
+    }
+
+    /// Streaming form of [`CampaignReport::write_csv`]: emits the header
+    /// and then one row per shard directly into `writer`, never holding
+    /// more than a single row in memory — a 10k-shard campaign exports in
+    /// O(row), not O(campaign). Commas inside cells become semicolons, as
+    /// in `codesign_core::report::write_csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_csv_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
         let metric_columns = self.metric_columns();
         let mut headers: Vec<String> = [
             "shard",
@@ -545,49 +560,53 @@ impl CampaignReport {
             .into_iter()
             .map(str::to_owned),
         );
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        let rows: Vec<Vec<String>> = self
-            .shards
-            .iter()
-            .map(|s| {
-                let best = s.best.as_ref();
-                let schema = s.front.schema();
-                let mut row = vec![
-                    s.spec.index.to_string(),
-                    s.spec.scenario_name().into(),
-                    s.spec.strategy.name().into(),
-                    s.spec.seed.to_string(),
-                    s.steps.to_string(),
-                    s.feasible_steps.to_string(),
-                    s.invalid_steps.to_string(),
-                    best.map_or("nan".into(), |b| fmt_f(b.reward, 6)),
-                ];
-                for column in &metric_columns {
-                    let value = match (best, schema.position(column)) {
-                        (Some(b), Some(_)) => {
-                            let metric = MetricId::from_name(column)
-                                .expect("schema names are registry names");
-                            fmt_f(metric.extract(&b.evaluation), 6)
-                        }
-                        _ => "nan".into(),
-                    };
-                    row.push(value);
+        writeln!(writer, "{}", headers.join(","))?;
+        let mut row: Vec<String> = Vec::with_capacity(headers.len());
+        for s in &self.shards {
+            row.clear();
+            let best = s.best.as_ref();
+            let schema = s.front.schema();
+            row.extend([
+                s.spec.index.to_string(),
+                s.spec.scenario_name().into(),
+                s.spec.strategy.name().into(),
+                s.spec.seed.to_string(),
+                s.steps.to_string(),
+                s.feasible_steps.to_string(),
+                s.invalid_steps.to_string(),
+                best.map_or("nan".into(), |b| fmt_f(b.reward, 6)),
+            ]);
+            for column in &metric_columns {
+                let value = match (best, schema.position(column)) {
+                    (Some(b), Some(_)) => {
+                        let metric =
+                            MetricId::from_name(column).expect("schema names are registry names");
+                        fmt_f(metric.extract(&b.evaluation), 6)
+                    }
+                    _ => "nan".into(),
+                };
+                row.push(value);
+            }
+            row.extend([
+                s.front.len().to_string(),
+                // '|'-separated: a comma would split the CSV cell.
+                schema.names().join("|"),
+                fmt_f(s.hypervolume, 6),
+                s.cache_warm_hits.to_string(),
+                s.cache_cold_hits.to_string(),
+                s.cache_misses.to_string(),
+                s.wall_ms.to_string(),
+                s.wall_us.to_string(),
+            ]);
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(writer, ",")?;
                 }
-                row.extend([
-                    s.front.len().to_string(),
-                    // '|'-separated: a comma would split the CSV cell.
-                    schema.names().join("|"),
-                    fmt_f(s.hypervolume, 6),
-                    s.cache_warm_hits.to_string(),
-                    s.cache_cold_hits.to_string(),
-                    s.cache_misses.to_string(),
-                    s.wall_ms.to_string(),
-                    s.wall_us.to_string(),
-                ]);
-                row
-            })
-            .collect();
-        write_csv(path, &header_refs, &rows)
+                write!(writer, "{}", cell.replace(',', ";"))?;
+            }
+            writeln!(writer)?;
+        }
+        Ok(())
     }
 }
 

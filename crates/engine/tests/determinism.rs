@@ -128,6 +128,84 @@ fn shared_cache_is_transparent_to_results() {
     assert_reports_identical(&cached, &uncached);
 }
 
+/// The warm-start contract end to end through the v3 binary format: a
+/// campaign warm-started from a persisted cache produces a JSONL export
+/// bit-identical to the cold run's (wall-clock and cache-attribution
+/// fields scrubbed — those legitimately differ), while actually reaping
+/// warm hits.
+#[test]
+fn warm_started_campaign_jsonl_is_bit_identical_to_cold() {
+    let campaign = Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(ScenarioSpec::paper_presets())
+        .strategies(vec![StrategyKind::Random, StrategyKind::Combined])
+        .seeds(vec![0])
+        .steps(60);
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
+    let salt = db.fingerprint();
+
+    // Cold run: compute everything, persist the cache as v3 binary.
+    let cold_cache = Arc::new(codesign_engine::SharedEvalCache::new());
+    let cold = ShardedDriver::new(4)
+        .with_cache(Arc::clone(&cold_cache))
+        .run(&campaign, &db);
+    let mut file = Vec::new();
+    cold_cache.save(&mut file, salt).unwrap();
+
+    // Warm run: reload the persisted bytes and sweep again.
+    let warm_cache =
+        Arc::new(codesign_engine::SharedEvalCache::load(file.as_slice(), salt).unwrap());
+    let warm = ShardedDriver::new(4)
+        .with_cache(warm_cache)
+        .run(&campaign, &db);
+    assert!(
+        warm.cache.expect("cache enabled").total_warm_hits() > 0,
+        "the reloaded cache must actually answer lookups"
+    );
+    assert_reports_identical(&cold, &warm);
+
+    // Byte-level check on the JSONL export, nondeterministic fields
+    // scrubbed: wall-clock and warm/cold attribution differ by design,
+    // every result byte must not.
+    fn scrub(json: &mut codesign_nasbench::Json) {
+        use codesign_nasbench::Json;
+        match json {
+            Json::Obj(pairs) => {
+                for (key, value) in pairs.iter_mut() {
+                    match key.as_str() {
+                        "wall_ms" | "wall_us" | "cache_warm_hits" | "cache_cold_hits"
+                        | "cache_misses" | "warm_hits" | "cold_hits" | "hits" | "misses"
+                        | "hit_rate" | "accuracy_hits" | "accuracy_warm_hits"
+                        | "accuracy_misses" | "inserts" | "preloaded" => {
+                            *value = Json::Num(0.0);
+                        }
+                        _ => scrub(value),
+                    }
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(scrub),
+            _ => {}
+        }
+    }
+    let normalized = |text: &str| {
+        text.lines()
+            .map(|line| {
+                let mut json = codesign_nasbench::Json::parse(line).expect("export line parses");
+                scrub(&mut json);
+                json.to_string()
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (mut cold_jsonl, mut warm_jsonl) = (Vec::new(), Vec::new());
+    cold.write_jsonl(&mut cold_jsonl).unwrap();
+    warm.write_jsonl(&mut warm_jsonl).unwrap();
+    assert_eq!(
+        normalized(&String::from_utf8(cold_jsonl).unwrap()),
+        normalized(&String::from_utf8(warm_jsonl).unwrap()),
+        "warm-started JSONL diverged from the cold run"
+    );
+}
+
 #[test]
 fn campaign_cache_sees_substantial_reuse() {
     let campaign = sweep_campaign();

@@ -127,8 +127,9 @@ proptest! {
         }
         let mut buf = Vec::new();
         cache.save(&mut buf, 7).unwrap();
-        // Chop the document somewhere strictly inside it (the last two
-        // bytes are `}\n`, so any shorter prefix is unbalanced).
+        // Chop the document somewhere strictly inside it: any shorter
+        // prefix fails the header's length consistency check (or the
+        // magic/header checks when the cut lands inside them).
         let cut = ((buf.len() as f64 * cut_fraction) as usize).min(buf.len() - 2);
         let result = SharedEvalCache::load(&buf[..cut], 7);
         match result {
@@ -139,4 +140,141 @@ proptest! {
             Ok(_) => prop_assert!(false, "truncated file at byte {} must not load", cut),
         }
     }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        (pairs, accuracies) in cache_contents(),
+        position in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let space = ConfigSpace::chaidnn();
+        let cache = SharedEvalCache::new();
+        for (hash, config_index, eval) in &pairs {
+            cache.put(*hash, &space.get(*config_index), *eval);
+        }
+        for (hash, acc) in &accuracies {
+            cache.put_accuracy(*hash, *acc);
+        }
+        let mut buf = Vec::new();
+        cache.save(&mut buf, 7).unwrap();
+        let target = ((buf.len() as f64 * position) as usize).min(buf.len() - 1);
+        buf[target] ^= 1 << bit;
+        // A flipped bit may land in the magic, the version, the salt, the
+        // checksum, a count, or the payload — each yields a *different*
+        // typed error, but never a successful load of corrupt data.
+        match SharedEvalCache::load(buf.as_slice(), 7) {
+            Err(err) => { let _ = err.to_string(); }
+            Ok(_) => prop_assert!(
+                false, "bit {} of byte {} flipped yet the file loaded", bit, target
+            ),
+        }
+    }
+
+    #[test]
+    fn sharded_roundtrip_equals_single_file(
+        (pairs, accuracies) in cache_contents(),
+        salt in 0u64..u64::MAX,
+    ) {
+        let space = ConfigSpace::chaidnn();
+        let cache = SharedEvalCache::new();
+        for (hash, config_index, eval) in &pairs {
+            cache.put(*hash, &space.get(*config_index), *eval);
+        }
+        for (hash, acc) in &accuracies {
+            cache.put_accuracy(*hash, *acc);
+        }
+
+        let dir = std::env::temp_dir().join(format!(
+            "codesign_shard_prop_{}_{salt:x}", std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        cache.save_sharded(&dir, salt).unwrap();
+        let merged = SharedEvalCache::load_sharded(&dir, salt).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The merged cache re-serializes byte-identically to the original:
+        // sharding is a pure partition, merge order cannot matter because
+        // the shards are disjoint slices of the key space.
+        let (mut single, mut resaved) = (Vec::new(), Vec::new());
+        cache.save(&mut single, salt).unwrap();
+        merged.save(&mut resaved, salt).unwrap();
+        prop_assert_eq!(&single, &resaved);
+        prop_assert_eq!(merged.len(), cache.len());
+    }
+
+    #[test]
+    fn v2_migration_is_lossless(
+        (pairs, accuracies) in cache_contents(),
+        salt in 0u64..u64::MAX,
+    ) {
+        let space = ConfigSpace::chaidnn();
+        let cache = SharedEvalCache::new();
+        for (hash, config_index, eval) in &pairs {
+            cache.put(*hash, &space.get(*config_index), *eval);
+        }
+        for (hash, acc) in &accuracies {
+            cache.put_accuracy(*hash, *acc);
+        }
+
+        // v2 JSON → migrate → v3: byte-identical to saving v3 directly.
+        let mut v2 = Vec::new();
+        cache.save_json(&mut v2, salt).unwrap();
+        let (migrated, found_salt) =
+            SharedEvalCache::load_json_with_salt(v2.as_slice()).unwrap();
+        prop_assert_eq!(found_salt, salt);
+        let (mut direct, mut converted) = (Vec::new(), Vec::new());
+        cache.save(&mut direct, salt).unwrap();
+        migrated.save(&mut converted, salt).unwrap();
+        prop_assert_eq!(&direct, &converted);
+    }
+}
+
+/// Shard files merged in *reverse* name order reconstruct the same cache
+/// as forward order — merge order independence, explicitly.
+#[test]
+fn shard_merge_is_order_independent() {
+    let space = ConfigSpace::chaidnn();
+    let cache = SharedEvalCache::new();
+    // Hashes spread across several persistence shards (top 4 bits differ).
+    for i in 0u128..64 {
+        let hash = i << 122 | i;
+        cache.put(
+            hash,
+            &space.get((i as usize * 131) % 8640),
+            PairEvaluation {
+                accuracy: 0.9,
+                latency_ms: i as f64,
+                area_mm2: 100.0,
+                power_w: 5.0,
+            },
+        );
+        cache.put_accuracy(hash, 0.93);
+    }
+    let dir = std::env::temp_dir().join(format!("codesign_shard_order_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    cache.save_sharded(&dir, 11).unwrap();
+
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    let forward = SharedEvalCache::new();
+    for file in &files {
+        forward
+            .merge_bytes(&std::fs::read(file).unwrap(), 11)
+            .unwrap();
+    }
+    let backward = SharedEvalCache::new();
+    for file in files.iter().rev() {
+        backward
+            .merge_bytes(&std::fs::read(file).unwrap(), 11)
+            .unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    forward.save(&mut a, 11).unwrap();
+    backward.save(&mut b, 11).unwrap();
+    assert_eq!(a, b, "merge order must not change the reconstructed cache");
 }

@@ -1,0 +1,233 @@
+//! Dependency-free fixed-width binary reading and writing.
+//!
+//! The evaluation-cache persistence in `codesign-engine` outgrew JSON: a
+//! million-entry cache costs a full-document parse per warm start under
+//! [`crate::jsonio`], while fixed-width little-endian records can be
+//! decoded in place from one contiguous byte slice. This module is the
+//! shared byte codec those formats build on: append-style writers over a
+//! `Vec<u8>`, a bounds-checked zero-copy [`ByteReader`] cursor over any
+//! borrowed `&[u8]` (a memory-mapped file drops in unchanged), and the
+//! FNV-1a 64-bit checksum used to reject bit-flipped payloads.
+//!
+//! Everything is little-endian and bit-exact: `f64`s travel as their IEEE
+//! 754 bit patterns, so `write → read` round-trips every value (including
+//! NaNs) without any formatting ambiguity.
+
+/// Appends a `u16` in little-endian order.
+pub fn put_u16(buf: &mut Vec<u8>, value: u16) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u128` in little-endian order.
+pub fn put_u128(buf: &mut Vec<u8>, value: u128) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE 754 bit pattern (bit-exact round trip).
+pub fn put_f64(buf: &mut Vec<u8>, value: f64) {
+    buf.extend_from_slice(&value.to_bits().to_le_bytes());
+}
+
+/// FNV-1a 64-bit hash of `bytes` — the payload checksum of persisted
+/// binary documents. Deterministic, dependency-free, and sensitive to any
+/// single-bit flip.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A bounds-checked cursor over a borrowed byte slice.
+///
+/// Every accessor returns `Err` (a human-readable reason naming the byte
+/// offset) instead of panicking when the slice is too short, so truncated
+/// files reject cleanly. The reader never copies the underlying buffer —
+/// decoding a record section is a pure in-place walk, which is what makes
+/// an mmap-backed slice a drop-in source.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_nasbench::byteio::{put_u32, put_f64, ByteReader};
+///
+/// let mut buf = Vec::new();
+/// put_u32(&mut buf, 7);
+/// put_f64(&mut buf, 0.25);
+/// let mut reader = ByteReader::new(&buf);
+/// assert_eq!(reader.u32().unwrap(), 7);
+/// assert_eq!(reader.f64().unwrap(), 0.25);
+/// assert!(reader.is_empty());
+/// assert!(reader.u32().is_err(), "reads past the end are errors");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// The current byte offset.
+    #[must_use]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Returns `true` when every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes exactly `n` bytes, returning the borrowed subslice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the shortfall when fewer than `n` bytes
+    /// remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated: wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Errors at end of input.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a little-endian `u128`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than 16 bytes remain.
+    pub fn u128(&mut self) -> Result<u128, String> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("len 16"),
+        ))
+    }
+
+    /// Reads an `f64` from its IEEE 754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_width_roundtrips_exactly() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, u16::MAX);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_u128(&mut buf, u128::MAX - 42);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NAN);
+        buf.push(3);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u16().unwrap(), u16::MAX);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.u128().unwrap(), u128::MAX - 42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan(), "NaN survives bit-exactly");
+        assert_eq!(r.u8().unwrap(), 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn short_reads_error_with_offsets() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        let err = r.u32().unwrap_err();
+        assert!(err.contains("offset 2"), "{err}");
+        // The failed read consumed nothing.
+        assert_eq!(r.u8().unwrap(), 3);
+    }
+
+    #[test]
+    fn fnv1a64_detects_single_bit_flips() {
+        let payload = b"the quick brown fox jumps over the lazy dog";
+        let clean = fnv1a64(payload);
+        assert_eq!(fnv1a64(payload), clean, "deterministic");
+        let mut corrupt = payload.to_vec();
+        for byte in 0..corrupt.len() {
+            for bit in 0..8 {
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(fnv1a64(&corrupt), clean, "flip at {byte}:{bit}");
+                corrupt[byte] ^= 1 << bit;
+            }
+        }
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325, "FNV offset basis");
+    }
+}

@@ -29,6 +29,7 @@
 //! # }
 //! ```
 
+pub mod byteio;
 pub mod canon;
 pub mod cell;
 pub mod database;
