@@ -127,12 +127,23 @@ fn main() {
         reloaded.len(),
         persisted.len()
     );
+    // The same blob through the mmap path (`campaign --cache-mmap`): bytes
+    // come straight off the page cache instead of a buffered read.
+    let mmap_path = std::env::temp_dir().join(format!("campaign_bench_{}.bin", std::process::id()));
+    std::fs::write(&mmap_path, &persisted).expect("write mmap blob");
+    let t0 = Instant::now();
+    let mapped = SharedEvalCache::load_from_path_mmap(&mmap_path, salt).expect("mmap reload");
+    let mmap_load_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(mapped.len(), reloaded.len(), "mmap load must be lossless");
+    let _ = std::fs::remove_file(&mmap_path);
+    println!("bench: persisted cache mmap reload in {mmap_load_us:.0} us");
     entries.push((
         "persisted-cache".into(),
         Json::obj(vec![
             ("entries", Json::Num(reloaded.len() as f64)),
             ("bytes", Json::Num(persisted.len() as f64)),
             ("load_us", Json::Num(load_us)),
+            ("mmap_load_us", Json::Num(mmap_load_us)),
             ("load_ms", Json::Num(load_ms)),
         ]),
     ));

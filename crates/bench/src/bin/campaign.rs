@@ -42,7 +42,7 @@
 //!       `[--population P] [--generations G]`
 //!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
 //!       `[--cache-path FILE|DIR.d] [--cache-format binary|json|sharded]`
-//!       `[--cache-capacity N] [--cache-migrate OLD.json NEW]`
+//!       `[--cache-capacity N] [--cache-mmap] [--cache-migrate OLD.json NEW]`
 //!       `[--calibrate] [--probe-steps N] [--probe-samples N]`
 //!       `[--trace-out FILE] [--metrics-out FILE] [--progress]`
 //!
@@ -52,12 +52,37 @@
 //! (open in Perfetto or `chrome://tracing`), `--metrics-out` writes every
 //! span and metric as JSONL, and `--progress` streams a live
 //! shards-done / ETA / cache-hit-rate line to stderr while the sweep runs.
+//!
+//! # Server mode
+//!
+//! `campaign serve` keeps the database and evaluation cache resident and
+//! accepts newline-delimited JSON job frames (see `codesign-server`):
+//!
+//! ```text
+//! campaign serve --stdio [--max-vertices V] [--workers W]
+//!                [--queue-capacity N] [--cache-path P] [--cache-mmap]
+//!                [--cache-sync-secs S] ...
+//! campaign serve --listen /tmp/campaign.sock ...
+//! campaign submit --connect /tmp/campaign.sock [--scenario S]
+//!                 [--strategies L] [--steps N] [--repeats R] ...
+//! ```
+//!
+//! Every job warm-starts from the previous jobs' evaluations. With
+//! `--cache-path DIR.d`, saves go through merge-on-save (`flock` +
+//! `merge_bytes` + atomic rename), so a fleet of processes sharing one
+//! cache directory produces the union of their entries;
+//! `--cache-sync-secs S` re-merges periodically while serving. SIGINT or
+//! SIGTERM cancels at the next shard boundary, flushes the cache, and
+//! prints the telemetry summary before exiting — in serve *and* one-shot
+//! modes.
 
 use std::sync::Arc;
 
 use codesign_bench::{out_dir, Args};
 use codesign_core::{probe_pair_evaluations, CodesignSpace, ScenarioSpec};
-use codesign_engine::{backend_from_name, Campaign, ShardedDriver, SharedEvalCache, StrategyKind};
+use codesign_engine::{
+    backend_from_name, Campaign, CancelToken, ShardedDriver, SharedEvalCache, StrategyKind,
+};
 use codesign_nasbench::{Dataset, NasbenchDatabase};
 
 /// Padding applied to probe-measured normalization ranges so the probe's
@@ -135,6 +160,380 @@ fn run_cache_migrate(src: &str, dst: &str) -> ! {
     std::process::exit(0);
 }
 
+/// Opens (or cold-creates) the persisted evaluation cache for `salt`.
+///
+/// Warm-start: reuse a persisted cache when its salt matches this
+/// database. A missing file just means a cold start, and so does a file
+/// written by an older format version — the cache is a rebuildable
+/// artifact, so a stale format is rebuilt in the current one rather than
+/// aborting the sweep. Everything else (salt mismatch, corruption) stays
+/// fatal: those files may belong to a *different database* and silently
+/// overwriting them would destroy work.
+///
+/// `use_mmap` routes the v3 binary formats through `mmap(2)` instead of a
+/// buffered read — the kernel pages the records in on demand.
+fn open_cache(
+    cache_path: &str,
+    cache_format: CacheFormat,
+    salt: u64,
+    cache_capacity: usize,
+    use_mmap: bool,
+    log_to_stderr: bool,
+) -> Option<Arc<SharedEvalCache>> {
+    // Serve mode keeps stdout clean for the JSONL event stream; its
+    // humans read stderr.
+    let log = |line: String| {
+        if log_to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    if cache_path.is_empty() {
+        return None;
+    }
+    let bounded = |cache: SharedEvalCache| {
+        if cache_capacity > 0 {
+            cache.bounded(cache_capacity)
+        } else {
+            cache
+        }
+    };
+    if !std::path::Path::new(cache_path).exists() {
+        log(format!(
+            "cache: cold start ({cache_path} not found; will create it)"
+        ));
+        return Some(Arc::new(bounded(SharedEvalCache::new())));
+    }
+    let load_result = match (cache_format, use_mmap) {
+        (CacheFormat::Binary, false) => SharedEvalCache::load_from_path(cache_path, salt),
+        (CacheFormat::Binary, true) => SharedEvalCache::load_from_path_mmap(cache_path, salt),
+        (CacheFormat::Json, _) => std::fs::File::open(cache_path)
+            .map_err(codesign_engine::CacheLoadError::from)
+            .and_then(|f| SharedEvalCache::load_json(std::io::BufReader::new(f), salt)),
+        (CacheFormat::Sharded, false) => SharedEvalCache::load_sharded(cache_path, salt),
+        (CacheFormat::Sharded, true) => SharedEvalCache::load_sharded_mmap(cache_path, salt),
+    };
+    let loaded = match load_result {
+        Ok(loaded) => Some(loaded),
+        Err(codesign_engine::CacheLoadError::WrongVersion { found }) => {
+            eprintln!(
+                "cache: {cache_path} uses format version {found} (current {}); \
+                 cold-starting and rewriting it in the current format \
+                 (or convert it once with --cache-migrate)",
+                codesign_engine::CACHE_VERSION
+            );
+            None
+        }
+        Err(e) => panic!("cannot reuse cache {cache_path}: {e}"),
+    };
+    let loaded = bounded(loaded.unwrap_or_default());
+    if loaded.stats().preloaded > 0 {
+        log(format!(
+            "cache: warm start from {cache_path} ({} pair entries preloaded; built by: {})",
+            loaded.stats().preloaded,
+            match loaded.provenance().len() {
+                0 => "unknown scenarios".to_owned(),
+                _ => loaded.provenance().join(", "),
+            }
+        ));
+    }
+    Some(Arc::new(loaded))
+}
+
+/// Persists the cache in its configured format. Sharded directories go
+/// through merge-on-save ([`SharedEvalCache::sync_sharded`]): the on-disk
+/// entries are merged in under per-shard file locks before the union is
+/// written back, so concurrent processes sharing one `cache.d` lose
+/// nothing regardless of save order.
+fn persist_cache(
+    cache: &SharedEvalCache,
+    cache_path: &str,
+    cache_format: CacheFormat,
+    salt: u64,
+    log_to_stderr: bool,
+) {
+    match cache_format {
+        CacheFormat::Binary => cache
+            .save_to_path(cache_path, salt)
+            .expect("persist evaluation cache"),
+        CacheFormat::Json => {
+            let file = std::fs::File::create(cache_path).expect("create cache file");
+            let mut writer = std::io::BufWriter::new(file);
+            cache
+                .save_json(&mut writer, salt)
+                .expect("persist evaluation cache");
+            std::io::Write::flush(&mut writer).expect("persist evaluation cache");
+        }
+        CacheFormat::Sharded => {
+            cache
+                .sync_sharded(cache_path, salt)
+                .expect("persist evaluation cache");
+        }
+    }
+    let line = format!(
+        "cache persisted to {cache_path} ({} pair entries, {} format)",
+        cache.len(),
+        match cache_format {
+            CacheFormat::Binary => "v3 binary",
+            CacheFormat::Json => "v2 json",
+            CacheFormat::Sharded => "sharded v3 (merge-on-save)",
+        }
+    );
+    if log_to_stderr {
+        eprintln!("{line}");
+    } else {
+        println!("{line}");
+    }
+}
+
+/// Drains telemetry once and feeds every sink from the same snapshot, so
+/// the trace, the event log, and the summary all describe the identical
+/// run. No-op while telemetry is disabled.
+fn telemetry_exports(trace_out: &str, metrics_out: &str) {
+    if !codesign_telemetry::enabled() {
+        return;
+    }
+    let spans = codesign_telemetry::drain_spans();
+    let metrics = codesign_telemetry::metrics_snapshot();
+    if !trace_out.is_empty() {
+        let file = std::fs::File::create(trace_out).expect("create trace file");
+        let mut writer = std::io::BufWriter::new(file);
+        codesign_telemetry::write_chrome_trace(
+            &mut writer,
+            &spans,
+            &codesign_telemetry::thread_names(),
+        )
+        .expect("write chrome trace");
+        println!(
+            "chrome trace written to {trace_out} ({} spans; open in Perfetto or chrome://tracing)",
+            spans.len()
+        );
+    }
+    if !metrics_out.is_empty() {
+        let file = std::fs::File::create(metrics_out).expect("create metrics file");
+        let mut writer = std::io::BufWriter::new(file);
+        codesign_telemetry::write_events_jsonl(&mut writer, &spans, &metrics)
+            .expect("write telemetry events");
+        println!("telemetry events written to {metrics_out}");
+    }
+    println!(
+        "\ntelemetry summary:\n{}",
+        codesign_telemetry::render_summary(&spans, &metrics)
+    );
+}
+
+/// `campaign serve`: boot the resident job service. `--stdio` serves one
+/// session over stdin/stdout; `--listen PATH` serves a Unix-domain socket
+/// until a signal or a `shutdown` frame. Either way the database and
+/// cache are loaded once and shared by every job.
+fn run_serve(args: &Args) -> ! {
+    use codesign_server::{CampaignServer, ServerConfig};
+
+    let trace_out = args.get_str("trace-out", "");
+    let metrics_out = args.get_str("metrics-out", "");
+    if !trace_out.is_empty() || !metrics_out.is_empty() {
+        codesign_telemetry::set_enabled(true);
+    }
+
+    let max_v = args.get_usize("max-vertices", 4);
+    let workers = args.get_usize("workers", 0);
+    let queue_capacity = args.get_usize("queue-capacity", 16);
+    let cache_path = args.get_str("cache-path", "");
+    let cache_capacity = args.get_usize("cache-capacity", 0);
+    let cache_format = match CacheFormat::resolve(&args.get_str("cache-format", ""), &cache_path) {
+        Ok(format) => format,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
+    let use_mmap = args.flag("cache-mmap");
+    let sync_secs = args.get_usize("cache-sync-secs", 0);
+
+    codesign_server::install_shutdown_handler();
+    eprintln!("serve: building exhaustive <= {max_v}-vertex database...");
+    let db = Arc::new(NasbenchDatabase::exhaustive(max_v));
+    let salt = db.fingerprint();
+    let cache = open_cache(
+        &cache_path,
+        cache_format,
+        salt,
+        cache_capacity,
+        use_mmap,
+        true,
+    )
+    .unwrap_or_else(|| Arc::new(SharedEvalCache::new()));
+    let server = CampaignServer::start(
+        CodesignSpace::with_max_vertices(max_v),
+        db,
+        Arc::clone(&cache),
+        ServerConfig {
+            workers: if workers == 0 {
+                ServerConfig::default().workers
+            } else {
+                workers
+            },
+            queue_capacity,
+        },
+    );
+    let inner = server.inner();
+
+    // Periodic re-merge: while serving, fold sibling processes' entries in
+    // (and publish ours) every --cache-sync-secs.
+    if sync_secs > 0 && !cache_path.is_empty() && cache_format == CacheFormat::Sharded {
+        let cache = Arc::clone(&cache);
+        let path = cache_path.clone();
+        let inner = server.inner();
+        std::thread::spawn(move || loop {
+            for _ in 0..sync_secs * 10 {
+                if inner.is_shutting_down() || codesign_server::shutdown_requested() {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            match cache.sync_sharded(&path, salt) {
+                Ok(_) => eprintln!("serve: cache re-merged ({} pair entries)", cache.len()),
+                Err(e) => eprintln!("serve: cache sync failed: {e}"),
+            }
+        });
+    }
+
+    // Signal path: cancel the running job at its shard boundary, fail the
+    // queue, flush the cache (merge-on-save), print the telemetry summary,
+    // exit. The session may be blocked reading stdin (glibc restarts the
+    // read around the handler), so the watcher owns the exit.
+    {
+        let inner = Arc::clone(&inner);
+        let cache = Arc::clone(&cache);
+        let cache_path = cache_path.clone();
+        let (trace_out, metrics_out) = (trace_out.clone(), metrics_out.clone());
+        std::thread::spawn(move || {
+            while !codesign_server::shutdown_requested() {
+                if inner.is_shutting_down() {
+                    return; // EOF/shutdown-frame path owns the flush
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            inner.abort();
+            if !cache_path.is_empty() {
+                persist_cache(&cache, &cache_path, cache_format, salt, true);
+            }
+            telemetry_exports(&trace_out, &metrics_out);
+            eprintln!("serve: shut down on signal");
+            std::process::exit(130);
+        });
+    }
+
+    let listen = args.get_str("listen", "");
+    if args.flag("stdio") {
+        server.serve_stdio();
+    } else if listen.is_empty() {
+        eprintln!("usage: campaign serve (--stdio | --listen SOCKET-PATH) [options]");
+        std::process::exit(2);
+    } else {
+        #[cfg(unix)]
+        server
+            .serve_unix(std::path::Path::new(&listen))
+            .unwrap_or_else(|e| {
+                eprintln!("serve: cannot listen on {listen}: {e}");
+                std::process::exit(2);
+            });
+        #[cfg(not(unix))]
+        {
+            eprintln!("serve: --listen requires unix domain sockets; use --stdio");
+            std::process::exit(2);
+        }
+    }
+    server.join();
+    if !cache_path.is_empty() {
+        persist_cache(&cache, &cache_path, cache_format, salt, true);
+    }
+    telemetry_exports(&trace_out, &metrics_out);
+    std::process::exit(0);
+}
+
+/// `campaign submit`: one-shot client for a `campaign serve --listen`
+/// server. Builds a job from the same flags as the one-shot sweep, streams
+/// the server's event lines to stdout, and exits 0 on `job_done` (1 on an
+/// `error` event, 2 on usage errors).
+#[cfg(unix)]
+fn run_submit(args: &Args) -> ! {
+    use codesign_nasbench::Json;
+    use codesign_server::{Event, JobSpec, Request};
+    use std::io::{BufRead, Write};
+
+    let path = args.get_str("connect", "");
+    if path.is_empty() {
+        eprintln!("usage: campaign submit --connect SOCKET-PATH [job flags]");
+        std::process::exit(2);
+    }
+    let scenarios = match resolve_scenarios(args) {
+        Ok(scenarios) => scenarios,
+        Err(err) => {
+            eprintln!("invalid scenarios: {err}");
+            std::process::exit(2);
+        }
+    };
+    let mut strategy_list = args.get_str("strategies", "");
+    if strategy_list.is_empty() {
+        strategy_list = args.get_str("strategy", "random");
+    }
+    let mut fields = vec![
+        (
+            "scenarios",
+            Json::Arr(scenarios.iter().map(ScenarioSpec::to_json).collect()),
+        ),
+        ("strategies", Json::Str(strategy_list)),
+        ("seed_base", Json::Num(args.get_u64("seed-base", 0) as f64)),
+        ("repeats", Json::Num(args.get_usize("repeats", 1) as f64)),
+        ("steps", Json::Num(args.get_usize("steps", 200) as f64)),
+        (
+            "population",
+            Json::Num(args.get_usize("population", StrategyKind::DEFAULT_NSGA_POPULATION) as f64),
+        ),
+    ];
+    let generations = args.get_usize("generations", 0);
+    if generations > 0 {
+        fields.push(("generations", Json::Num(generations as f64)));
+    }
+    let job = match JobSpec::from_json(&Json::obj(fields)) {
+        Ok(job) => job,
+        Err(err) => {
+            eprintln!("invalid job: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    let stream = std::os::unix::net::UnixStream::connect(&path).unwrap_or_else(|e| {
+        eprintln!("submit: cannot connect to {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut writer = stream.try_clone().expect("clone socket");
+    writeln!(writer, "{}", Request::Submit(job).to_line()).expect("send job");
+    // Half-close: the server sees EOF, drains this session's jobs, and
+    // closes its end — so "read until the stream ends" is the protocol.
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close socket");
+
+    let mut failed = false;
+    for line in std::io::BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        println!("{line}");
+        if let Ok(Event::Error { .. }) = Event::parse_line(&line) {
+            failed = true;
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
+#[cfg(not(unix))]
+fn run_submit(_args: &Args) -> ! {
+    eprintln!("submit: requires unix domain sockets");
+    std::process::exit(2);
+}
+
 /// Resolves `--scenario` / `--scenarios-file` into the scenario axis.
 /// Both may be given; the file's scenarios come first.
 fn resolve_scenarios(args: &Args) -> Result<Vec<ScenarioSpec>, String> {
@@ -185,9 +584,15 @@ fn describe(spec: &ScenarioSpec) {
 fn main() {
     let args = Args::parse();
 
-    // --cache-migrate takes two positional operands, which the `--key
-    // value` Args grammar cannot express; pre-parse it from the raw argv.
+    // Subcommands and --cache-migrate's two positional operands are not
+    // expressible in the `--key value` Args grammar; pre-parse the raw
+    // argv. `Args` skips bare words, so the flags still parse normally.
     let raw: Vec<String> = std::env::args().collect();
+    match raw.get(1).map(String::as_str) {
+        Some("serve") => run_serve(&args),
+        Some("submit") => run_submit(&args),
+        _ => {}
+    }
     if let Some(i) = raw.iter().position(|a| a == "--cache-migrate") {
         match (raw.get(i + 1), raw.get(i + 2)) {
             (Some(src), Some(dst)) if !src.starts_with("--") && !dst.starts_with("--") => {
@@ -354,66 +759,35 @@ fn main() {
         driver = driver.without_shared_cache();
     }
 
-    // Warm-start: reuse a persisted cache when its salt matches this
-    // database. A missing file just means a cold start, and so does a file
-    // written by an older format version — the cache is a rebuildable
-    // artifact, so a stale format is rebuilt in the current one rather than
-    // aborting the sweep. Everything else (salt mismatch, corruption) stays
-    // fatal: those files may belong to a *different database* and silently
-    // overwriting them would destroy work.
     let salt = db.fingerprint();
-    let cache = if cache_path.is_empty() {
-        None
-    } else if std::path::Path::new(&cache_path).exists() {
-        let load_result = match cache_format {
-            CacheFormat::Binary => SharedEvalCache::load_from_path(&cache_path, salt),
-            CacheFormat::Json => std::fs::File::open(&cache_path)
-                .map_err(codesign_engine::CacheLoadError::from)
-                .and_then(|f| SharedEvalCache::load_json(std::io::BufReader::new(f), salt)),
-            CacheFormat::Sharded => SharedEvalCache::load_sharded(&cache_path, salt),
-        };
-        let loaded = match load_result {
-            Ok(loaded) => Some(loaded),
-            Err(codesign_engine::CacheLoadError::WrongVersion { found }) => {
-                eprintln!(
-                    "cache: {cache_path} uses format version {found} (current {}); \
-                     cold-starting and rewriting it in the current format \
-                     (or convert it once with --cache-migrate)",
-                    codesign_engine::CACHE_VERSION
-                );
-                None
-            }
-            Err(e) => panic!("cannot reuse cache {cache_path}: {e}"),
-        };
-        let loaded = loaded.unwrap_or_default();
-        let loaded = if cache_capacity > 0 {
-            loaded.bounded(cache_capacity)
-        } else {
-            loaded
-        };
-        if loaded.stats().preloaded > 0 {
-            println!(
-                "cache: warm start from {cache_path} ({} pair entries preloaded; built by: {})",
-                loaded.stats().preloaded,
-                match loaded.provenance().len() {
-                    0 => "unknown scenarios".to_owned(),
-                    _ => loaded.provenance().join(", "),
-                }
-            );
-        }
-        Some(Arc::new(loaded))
-    } else {
-        println!("cache: cold start ({cache_path} not found; will create it)");
-        let fresh = if cache_capacity > 0 {
-            SharedEvalCache::new().bounded(cache_capacity)
-        } else {
-            SharedEvalCache::new()
-        };
-        Some(Arc::new(fresh))
-    };
+    let cache = open_cache(
+        &cache_path,
+        cache_format,
+        salt,
+        cache_capacity,
+        args.flag("cache-mmap"),
+        false,
+    );
     if let Some(cache) = &cache {
         driver = driver.with_cache(Arc::clone(cache));
     }
+
+    // SIGINT/SIGTERM: cancel at the next shard boundary instead of dying
+    // mid-sweep. Completed shards are reported, the cache is persisted,
+    // and the telemetry summary still prints — an interrupted sweep's
+    // evaluations warm-start the next one.
+    let cancel = CancelToken::new();
+    if codesign_server::install_shutdown_handler() {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            while !codesign_server::shutdown_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("\ninterrupted: cancelling at the next shard boundary...");
+            cancel.cancel();
+        });
+    }
+    driver = driver.with_cancel_token(cancel);
 
     // --progress: a ticker thread polls the metrics registry (shards done,
     // cache hit rate) and repaints one stderr line until the sweep — probe
@@ -424,10 +798,17 @@ fn main() {
         std::thread::spawn(move || {
             use std::sync::atomic::Ordering;
             let started = std::time::Instant::now();
-            while !stop.load(Ordering::Relaxed) {
+            let paint = |final_paint: bool| {
                 let snap = codesign_telemetry::metrics_snapshot();
                 let total = snap.counter("engine.shards_total").unwrap_or(0);
+                // The final repaint reads the counters *after* the sweep
+                // returned, so done == total and the line closes at 100%.
                 let done = snap.counter("engine.shards_done").unwrap_or(0);
+                let percent = if total > 0 {
+                    100.0 * done as f64 / total as f64
+                } else {
+                    0.0
+                };
                 let hits = snap.counter("cache.pair_hits").unwrap_or(0)
                     + snap.counter("cache.warm_hits").unwrap_or(0);
                 let misses = snap.counter("cache.pair_misses").unwrap_or(0);
@@ -437,18 +818,24 @@ fn main() {
                     0.0
                 };
                 let elapsed = started.elapsed().as_secs_f64();
-                let eta = if done > 0 && total > done {
+                let eta = if final_paint {
+                    "0s".to_owned()
+                } else if done > 0 && total > done {
                     format!("{:.0}s", elapsed / done as f64 * (total - done) as f64)
                 } else {
                     "-".to_owned()
                 };
                 eprint!(
-                    "\rshards {done}/{total}  cache hit-rate {hit_rate:.1}%  \
+                    "\rshards {done}/{total} ({percent:.0}%)  cache hit-rate {hit_rate:.1}%  \
                      elapsed {elapsed:.0}s  eta {eta}   "
                 );
                 let _ = std::io::Write::flush(&mut std::io::stderr());
+            };
+            while !stop.load(Ordering::Relaxed) {
+                paint(false);
                 std::thread::sleep(std::time::Duration::from_millis(250));
             }
+            paint(true);
             eprintln!();
         })
     });
@@ -508,33 +895,7 @@ fn main() {
     if let Some(cache) = &cache {
         // Stamp the sweep's scenario names into the persisted provenance.
         cache.note_scenarios(report.scenario_names());
-        match cache_format {
-            CacheFormat::Binary => cache
-                .save_to_path(&cache_path, salt)
-                .expect("persist evaluation cache"),
-            CacheFormat::Json => {
-                let file = std::fs::File::create(&cache_path).expect("create cache file");
-                let mut writer = std::io::BufWriter::new(file);
-                cache
-                    .save_json(&mut writer, salt)
-                    .expect("persist evaluation cache");
-                std::io::Write::flush(&mut writer).expect("persist evaluation cache");
-            }
-            CacheFormat::Sharded => {
-                cache
-                    .save_sharded(&cache_path, salt)
-                    .expect("persist evaluation cache");
-            }
-        }
-        println!(
-            "cache persisted to {cache_path} ({} pair entries, {} format)",
-            cache.len(),
-            match cache_format {
-                CacheFormat::Binary => "v3 binary",
-                CacheFormat::Json => "v2 json",
-                CacheFormat::Sharded => "sharded v3",
-            }
-        );
+        persist_cache(cache, &cache_path, cache_format, salt, false);
     }
 
     let jsonl = out_dir().join("campaign.jsonl");
@@ -549,36 +910,5 @@ fn main() {
         csv.display()
     );
 
-    // Telemetry exports: drain the span buffer once and feed every sink
-    // from the same snapshot, so the trace, the event log, and the summary
-    // all describe the identical run.
-    if codesign_telemetry::enabled() {
-        let spans = codesign_telemetry::drain_spans();
-        let metrics = codesign_telemetry::metrics_snapshot();
-        if !trace_out.is_empty() {
-            let file = std::fs::File::create(&trace_out).expect("create trace file");
-            let mut writer = std::io::BufWriter::new(file);
-            codesign_telemetry::write_chrome_trace(
-                &mut writer,
-                &spans,
-                &codesign_telemetry::thread_names(),
-            )
-            .expect("write chrome trace");
-            println!(
-                "chrome trace written to {trace_out} ({} spans; open in Perfetto or chrome://tracing)",
-                spans.len()
-            );
-        }
-        if !metrics_out.is_empty() {
-            let file = std::fs::File::create(&metrics_out).expect("create metrics file");
-            let mut writer = std::io::BufWriter::new(file);
-            codesign_telemetry::write_events_jsonl(&mut writer, &spans, &metrics)
-                .expect("write telemetry events");
-            println!("telemetry events written to {metrics_out}");
-        }
-        println!(
-            "\ntelemetry summary:\n{}",
-            codesign_telemetry::render_summary(&spans, &metrics)
-        );
-    }
+    telemetry_exports(&trace_out, &metrics_out);
 }

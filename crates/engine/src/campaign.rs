@@ -569,6 +569,7 @@ mod tests {
             workers: 1,
             wall_ms: 0,
             wall_us: 550,
+            cancelled: false,
         };
         let model = campaign.calibrated_costs(&report);
         assert_eq!(model.len(), 3);
@@ -612,6 +613,7 @@ mod tests {
             workers: 1,
             wall_ms: 0,
             wall_us: 0,
+            cancelled: false,
         };
         let model = campaign.calibrated_costs(&report);
         assert!(model.is_empty());

@@ -19,7 +19,7 @@
 //!   heterogeneous campaign (mixed step budgets / scenarios) doesn't strand
 //!   one worker on a huge shard at the tail while the rest idle.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -42,6 +42,42 @@ static SHARDS_DONE: codesign_telemetry::Counter =
 /// picked it up (campaign start to shard start), µs.
 static QUEUE_WAIT_US: codesign_telemetry::Histogram =
     codesign_telemetry::Histogram::new("engine.queue_wait_us");
+
+/// A cooperative cancellation handle for an in-flight campaign.
+///
+/// Cancellation is *shard-granular*: workers check the token before
+/// pulling the next shard, so a cancelled campaign finishes the shards
+/// already running (their results are kept and remain bit-identical to an
+/// uncancelled run's) and abandons the rest. Clones share one flag — hand
+/// one clone to [`ShardedDriver::with_cancel_token`] and keep another in a
+/// signal handler or server session.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A callback the driver invokes as each shard completes, from the worker
+/// thread that ran it — the streaming hook the campaign server uses to
+/// push `shard_result` events before the campaign finishes. Completion
+/// order is scheduling-dependent; the final report stays in grid order.
+pub type ShardObserver = Arc<dyn Fn(&ShardResult) + Send + Sync>;
 
 /// A shard-dispatch policy: given the campaign's shard list, produce the
 /// order in which workers pull shards off the shared queue.
@@ -141,6 +177,8 @@ pub struct ShardedDriver {
     shared_cache: bool,
     backend: Arc<dyn DriverBackend>,
     preloaded: Option<Arc<SharedEvalCache>>,
+    cancel: Option<CancelToken>,
+    observer: Option<ShardObserver>,
 }
 
 impl std::fmt::Debug for ShardedDriver {
@@ -150,6 +188,8 @@ impl std::fmt::Debug for ShardedDriver {
             .field("shared_cache", &self.shared_cache)
             .field("backend", &self.backend.name())
             .field("preloaded", &self.preloaded.is_some())
+            .field("cancellable", &self.cancel.is_some())
+            .field("observed", &self.observer.is_some())
             .finish()
     }
 }
@@ -165,7 +205,28 @@ impl ShardedDriver {
             shared_cache: true,
             backend: Arc::new(AtomicCursorBackend),
             preloaded: None,
+            cancel: None,
+            observer: None,
         }
+    }
+
+    /// Attaches a cancellation token: when it trips mid-campaign, workers
+    /// stop pulling new shards (shards already running complete) and the
+    /// report carries `cancelled = true` with only the completed shards.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Registers a callback invoked as each shard completes (from the
+    /// worker thread that ran it) — the streaming-results hook. The
+    /// callback must be cheap or internally buffered; it runs on the
+    /// campaign's critical path.
+    #[must_use]
+    pub fn with_shard_observer(mut self, observer: ShardObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Disables the shared evaluation cache (each shard then relies only on
@@ -258,11 +319,16 @@ impl ShardedDriver {
                 // One refcount bump per worker; the cell table itself is
                 // never cloned on the shard path.
                 let database = Arc::clone(database);
+                let cancel = self.cancel.clone();
+                let observer = self.observer.clone();
                 scope.spawn(move || {
                     codesign_telemetry::set_thread_name(format!("worker-{worker}"));
                     let _worker_span = codesign_telemetry::span("campaign.worker", "engine")
                         .with_arg("worker", worker);
                     loop {
+                        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
                         let next = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&index) = order.get(next) else { break };
                         let shard = &shards[index];
@@ -280,6 +346,9 @@ impl ShardedDriver {
                         let result = run_shard(campaign, shard, &database, cache.as_ref());
                         drop(shard_span);
                         SHARDS_DONE.add(1);
+                        if let Some(observer) = &observer {
+                            observer(&result);
+                        }
                         results.lock().expect("results poisoned")[index] = Some(result);
                     }
                 });
@@ -287,12 +356,16 @@ impl ShardedDriver {
         });
         drop(run_span);
 
+        let scheduled = shards.len();
         let shards: Vec<ShardResult> = results
             .into_inner()
             .expect("results poisoned")
             .into_iter()
-            .map(|r| r.expect("every shard executed"))
+            .flatten()
             .collect();
+        // A gap in the results means a worker bailed on the cancel check:
+        // the report covers only completed shards (still in grid order).
+        let cancelled = shards.len() < scheduled;
         let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         CampaignReport {
             shards,
@@ -301,6 +374,7 @@ impl ShardedDriver {
             workers,
             wall_ms: wall_us / 1000,
             wall_us,
+            cancelled,
         }
     }
 }
@@ -440,6 +514,61 @@ mod tests {
             "work-stealing"
         );
         assert!(backend_from_name("bogus").is_none());
+    }
+
+    #[test]
+    fn pre_cancelled_campaign_runs_no_shards() {
+        let token = CancelToken::new();
+        token.cancel();
+        let report = ShardedDriver::new(2)
+            .with_cancel_token(token)
+            .run(&small_campaign(), &small_db());
+        assert!(report.cancelled);
+        assert!(report.shards.is_empty());
+    }
+
+    #[test]
+    fn cancelling_mid_run_keeps_completed_shards_bit_identical() {
+        let campaign = small_campaign();
+        let db = small_db();
+        let full = ShardedDriver::new(1).run(&campaign, &db);
+        assert!(!full.cancelled);
+
+        // Cancel from the observer after the first completion: a 1-worker
+        // sequential run then stops with exactly one shard done.
+        let token = CancelToken::new();
+        let cancel_after_first = {
+            let token = token.clone();
+            Arc::new(move |_: &ShardResult| token.cancel()) as ShardObserver
+        };
+        let partial = ShardedDriver::new(1)
+            .with_cancel_token(token)
+            .with_shard_observer(cancel_after_first)
+            .run(&campaign, &db);
+        assert!(partial.cancelled);
+        assert_eq!(partial.shards.len(), 1);
+        let (a, b) = (&partial.shards[0], &full.shards[0]);
+        assert_eq!(a.spec.index, b.spec.index);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.hypervolume, b.hypervolume);
+    }
+
+    #[test]
+    fn observer_sees_every_shard_exactly_once() {
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let observer = {
+            let seen = Arc::clone(&seen);
+            Arc::new(move |r: &ShardResult| {
+                seen.lock().unwrap().push(r.spec.index);
+            }) as ShardObserver
+        };
+        let report = ShardedDriver::new(3)
+            .with_shard_observer(observer)
+            .run(&small_campaign(), &small_db());
+        assert!(!report.cancelled);
+        let mut indices = seen.lock().unwrap().clone();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..report.shards.len()).collect::<Vec<_>>());
     }
 
     #[test]

@@ -84,16 +84,19 @@ pub mod campaign;
 pub mod driver;
 pub mod persist;
 pub mod report;
+pub mod sys;
 
 pub use cache::{CacheStats, ShardCacheView, SharedEvalCache};
 pub use campaign::{Campaign, CostModel, ShardSpec, StrategyKind};
 pub use driver::{
-    backend_from_name, AtomicCursorBackend, DriverBackend, ShardedDriver, WorkStealingBackend,
+    backend_from_name, AtomicCursorBackend, CancelToken, DriverBackend, ShardObserver,
+    ShardedDriver, WorkStealingBackend,
 };
 pub use persist::{
     CacheLoadError, CACHE_FORMAT, CACHE_MAGIC, CACHE_SHARD_FILES, CACHE_VERSION, JSON_CACHE_VERSION,
 };
 pub use report::{CampaignReport, ShardResult};
+pub use sys::{FileLock, MappedBytes};
 
 /// SplitMix64: the stream-derivation mix used for per-shard RNG seeds.
 ///

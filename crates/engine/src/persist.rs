@@ -211,6 +211,13 @@ fn shard_file_name(index: usize) -> String {
     format!("shard-{index:02}.bin")
 }
 
+/// The advisory-lock file guarding persistence shard `index` (see
+/// [`SharedEvalCache::sync_sharded`]). Lock files never match the
+/// `shard-*.bin` glob, so loaders skip them.
+fn lock_file_name(index: usize) -> String {
+    format!("shard-{index:02}.lock")
+}
+
 fn put_config(buf: &mut Vec<u8>, config: &AcceleratorConfig) {
     let narrow16 = |v: usize| u16::try_from(v).expect("config field exceeds u16");
     let narrow32 = |v: usize| u32::try_from(v).expect("config field exceeds u32");
@@ -583,6 +590,25 @@ impl SharedEvalCache {
         Self::load(std::fs::File::open(path)?, expected_salt)
     }
 
+    /// [`SharedEvalCache::load_from_path`] through a read-only memory map:
+    /// the v3 decoder walks the mapped region in place
+    /// ([`SharedEvalCache::load_bytes`] never builds an intermediate
+    /// document), so the load copies record bytes straight from the page
+    /// cache into the cache's tables. Falls back to an ordinary read when
+    /// mapping is unavailable (non-Unix, empty file, or an `mmap`
+    /// refusal); results are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same rejection contract as [`SharedEvalCache::load_from_path`].
+    pub fn load_from_path_mmap<P: AsRef<Path>>(
+        path: P,
+        expected_salt: u64,
+    ) -> Result<Self, CacheLoadError> {
+        let bytes = crate::sys::MappedBytes::open(path)?;
+        Self::load_bytes(&bytes, expected_salt)
+    }
+
     /// Persists the cache as [`CACHE_SHARD_FILES`] v3 files
     /// (`shard-00.bin` … `shard-15.bin`) inside `dir`, each holding the
     /// entries whose cell hash falls in its slice of the key space (top 4
@@ -602,12 +628,26 @@ impl SharedEvalCache {
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let (pairs, accuracies) = self.sorted_records();
         let scenarios = self.provenance();
-        // Bucket the (already sorted) records by hash prefix; each bucket
-        // stays sorted, so each shard file is canonical on its own.
-        let mut pair_buckets: Vec<Vec<((u128, AcceleratorConfig), PairEvaluation)>> =
-            vec![Vec::new(); CACHE_SHARD_FILES];
+        let (pair_buckets, acc_buckets) = self.bucketed_records();
+        let mut total = 0usize;
+        for index in 0..CACHE_SHARD_FILES {
+            let bytes = encode_records(&pair_buckets[index], &acc_buckets[index], &scenarios, salt);
+            std::fs::write(dir.join(shard_file_name(index)), &bytes)?;
+            total += bytes.len();
+        }
+        if let Some(t) = timer {
+            record_io_metrics(&mut span, total, t.elapsed(), &TM_SAVE_BYTES, &TM_SAVE_MBPS);
+        }
+        Ok(total)
+    }
+
+    /// Sorted records bucketed by persistence shard (hash prefix). Each
+    /// bucket stays sorted, so each shard file is canonical on its own.
+    #[allow(clippy::type_complexity)]
+    fn bucketed_records(&self) -> (Vec<Vec<PairRecord>>, Vec<Vec<(u128, f64)>>) {
+        let (pairs, accuracies) = self.sorted_records();
+        let mut pair_buckets: Vec<Vec<PairRecord>> = vec![Vec::new(); CACHE_SHARD_FILES];
         for entry in pairs {
             pair_buckets[persist_shard_of(entry.0 .0)].push(entry);
         }
@@ -615,12 +655,77 @@ impl SharedEvalCache {
         for entry in accuracies {
             acc_buckets[persist_shard_of(entry.0)].push(entry);
         }
+        (pair_buckets, acc_buckets)
+    }
+
+    /// Merge-on-save: exchanges entries with a sharded cache directory
+    /// that *other processes may be writing concurrently*, leaving the
+    /// directory holding the union.
+    ///
+    /// Per invocation: every `shard-NN.lock` advisory lock is taken (in
+    /// index order — every cooperating process acquires in the same order,
+    /// so a fleet cannot deadlock), the current on-disk entries are pulled
+    /// into this cache via [`SharedEvalCache::merge_bytes`], and the union
+    /// is written back through temp-file + atomic rename, so lockless
+    /// readers ([`SharedEvalCache::load_sharded`]) only ever observe
+    /// complete documents. Because persisted records are sorted and values
+    /// are deterministic functions of their keys, the directory contents
+    /// are byte-identical no matter how many processes sync or in what
+    /// order — last-writer-wins can reorder *writes*, never change bytes.
+    ///
+    /// A directory written by an older format version is treated as a
+    /// rebuildable artifact and overwritten (like the CLI's cold-start
+    /// fallback); a salt mismatch or corruption stays fatal — those files
+    /// may describe a different database, and clobbering them would
+    /// destroy work.
+    ///
+    /// Returns the total bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors and rejected shard files (corrupt or
+    /// salted for a different database).
+    pub fn sync_sharded<P: AsRef<Path>>(&self, dir: P, salt: u64) -> Result<usize, CacheLoadError> {
+        let mut span = codesign_telemetry::span("cache.sync", "persist")
+            .with_arg("entries", self.len() as u64)
+            .with_arg("format", "v3-sharded");
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        // Phase 1: lock the whole directory (ascending index order), then
+        // pull every on-disk shard into this cache. Holding all the locks
+        // across the read-merge-rewrite cycle makes the sync atomic with
+        // respect to other *syncing* processes.
+        let mut locks = Vec::with_capacity(CACHE_SHARD_FILES);
+        for index in 0..CACHE_SHARD_FILES {
+            locks.push(crate::sys::FileLock::acquire(
+                dir.join(lock_file_name(index)),
+            )?);
+        }
+        for index in 0..CACHE_SHARD_FILES {
+            match std::fs::read(dir.join(shard_file_name(index))) {
+                Ok(bytes) => match self.merge_bytes(&bytes, salt) {
+                    // Stale format: rebuildable, will be overwritten below.
+                    Ok(()) | Err(CacheLoadError::WrongVersion { .. }) => {}
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Phase 2: this cache now holds the union; write it back.
+        let scenarios = self.provenance();
+        let (pair_buckets, acc_buckets) = self.bucketed_records();
         let mut total = 0usize;
         for index in 0..CACHE_SHARD_FILES {
             let bytes = encode_records(&pair_buckets[index], &acc_buckets[index], &scenarios, salt);
-            std::fs::write(dir.join(shard_file_name(index)), &bytes)?;
+            let name = shard_file_name(index);
+            let tmp = dir.join(format!("{name}.tmp"));
+            std::fs::write(&tmp, &bytes)?;
+            std::fs::rename(&tmp, dir.join(name))?;
             total += bytes.len();
         }
+        drop(locks);
         if let Some(t) = timer {
             record_io_metrics(&mut span, total, t.elapsed(), &TM_SAVE_BYTES, &TM_SAVE_MBPS);
         }
@@ -643,10 +748,33 @@ impl SharedEvalCache {
         dir: P,
         expected_salt: u64,
     ) -> Result<Self, CacheLoadError> {
+        Self::load_sharded_inner(dir.as_ref(), expected_salt, false)
+    }
+
+    /// [`SharedEvalCache::load_sharded`] through read-only memory maps of
+    /// each shard file (with the same per-file read fallback as
+    /// [`SharedEvalCache::load_from_path_mmap`]). Results are identical to
+    /// the read path.
+    ///
+    /// # Errors
+    ///
+    /// Same rejection contract as [`SharedEvalCache::load_sharded`].
+    pub fn load_sharded_mmap<P: AsRef<Path>>(
+        dir: P,
+        expected_salt: u64,
+    ) -> Result<Self, CacheLoadError> {
+        Self::load_sharded_inner(dir.as_ref(), expected_salt, true)
+    }
+
+    fn load_sharded_inner(
+        dir: &Path,
+        expected_salt: u64,
+        use_mmap: bool,
+    ) -> Result<Self, CacheLoadError> {
         let mut span =
             codesign_telemetry::span("cache.load", "persist").with_arg("format", "v3-sharded");
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
-        let mut files: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())?
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
             .filter_map(Result::ok)
             .map(|entry| entry.path())
             .filter(|path| {
@@ -659,9 +787,15 @@ impl SharedEvalCache {
         let cache = SharedEvalCache::new();
         let mut total = 0usize;
         for file in files {
-            let bytes = std::fs::read(&file)?;
-            cache.merge_bytes(&bytes, expected_salt)?;
-            total += bytes.len();
+            if use_mmap {
+                let bytes = crate::sys::MappedBytes::open(&file)?;
+                cache.merge_bytes(&bytes, expected_salt)?;
+                total += bytes.len();
+            } else {
+                let bytes = std::fs::read(&file)?;
+                cache.merge_bytes(&bytes, expected_salt)?;
+                total += bytes.len();
+            }
         }
         if let Some(t) = timer {
             record_io_metrics(&mut span, total, t.elapsed(), &TM_LOAD_BYTES, &TM_LOAD_MBPS);
@@ -1047,6 +1181,93 @@ mod tests {
         cache.save(&mut single, 9).unwrap();
         merged.save(&mut resaved, 9).unwrap();
         assert_eq!(single, resaved);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_load_matches_the_read_path() {
+        let dir = std::env::temp_dir().join("codesign_persist_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = populated();
+        cache.note_scenarios(["Unconstrained".to_owned()]);
+        let path = dir.join("cache.bin");
+        cache.save_to_path(&path, 11).unwrap();
+
+        let via_read = SharedEvalCache::load_from_path(&path, 11).unwrap();
+        let via_mmap = SharedEvalCache::load_from_path_mmap(&path, 11).unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        via_read.save(&mut a, 11).unwrap();
+        via_mmap.save(&mut b, 11).unwrap();
+        assert_eq!(a, b, "mmap and read loads reconstruct identical caches");
+
+        // Sharded variant too.
+        let shard_dir = dir.join("cache.d");
+        cache.save_sharded(&shard_dir, 11).unwrap();
+        let sharded_mmap = SharedEvalCache::load_sharded_mmap(&shard_dir, 11).unwrap();
+        let mut c = Vec::new();
+        sharded_mmap.save(&mut c, 11).unwrap();
+        assert_eq!(a, c);
+        // Rejections stay typed through the mmap path.
+        assert!(matches!(
+            SharedEvalCache::load_from_path_mmap(&path, 12),
+            Err(CacheLoadError::SaltMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_sharded_produces_the_union_in_any_order() {
+        let space = ConfigSpace::chaidnn();
+        let make = |range: std::ops::Range<u64>| {
+            let cache = SharedEvalCache::new();
+            for i in range {
+                cache.put(u128::from(i) << 100, &space.get(i as usize % 64), eval(0.9));
+            }
+            cache
+        };
+
+        // Two caches with overlapping key ranges, synced in both orders
+        // into two directories: both directories must hold the union,
+        // byte-identically.
+        let base = std::env::temp_dir().join("codesign_persist_sync_test");
+        let _ = std::fs::remove_dir_all(&base);
+        let (dir_ab, dir_ba) = (base.join("ab.d"), base.join("ba.d"));
+        make(0..40).sync_sharded(&dir_ab, 5).unwrap();
+        make(20..60).sync_sharded(&dir_ab, 5).unwrap();
+        make(20..60).sync_sharded(&dir_ba, 5).unwrap();
+        make(0..40).sync_sharded(&dir_ba, 5).unwrap();
+
+        let union = SharedEvalCache::load_sharded(&dir_ab, 5).unwrap();
+        assert_eq!(union.len(), 60, "no entry may be lost by merge-on-save");
+        for index in 0..CACHE_SHARD_FILES {
+            let name = shard_file_name(index);
+            assert_eq!(
+                std::fs::read(dir_ab.join(&name)).unwrap(),
+                std::fs::read(dir_ba.join(&name)).unwrap(),
+                "{name} differs between save orders"
+            );
+        }
+
+        // The syncing cache itself pulled the on-disk entries (the
+        // bidirectional exchange a fleet relies on).
+        let third = make(100..101);
+        third.sync_sharded(&dir_ab, 5).unwrap();
+        assert_eq!(third.len(), 61);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn sync_sharded_rejects_foreign_salt_instead_of_clobbering() {
+        let dir = std::env::temp_dir().join("codesign_persist_sync_salt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        populated().sync_sharded(&dir, 1).unwrap();
+        let before = std::fs::read(dir.join(shard_file_name(0))).unwrap();
+        assert!(matches!(
+            populated().sync_sharded(&dir, 2),
+            Err(CacheLoadError::SaltMismatch { .. })
+        ));
+        let after = std::fs::read(dir.join(shard_file_name(0))).unwrap();
+        assert_eq!(before, after, "a rejected sync must not touch the files");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -215,6 +215,12 @@ pub struct CampaignReport {
     pub wall_ms: u64,
     /// Total campaign wall-clock, µs (informational; not deterministic).
     pub wall_us: u64,
+    /// Whether the campaign was cancelled mid-run (graceful shutdown or an
+    /// aborted server job). When set, [`CampaignReport::shards`] holds only
+    /// the shards that completed — each still bit-identical to its
+    /// uncancelled counterpart — and the scheduled-but-skipped rest are
+    /// absent.
+    pub cancelled: bool,
 }
 
 impl CampaignReport {
@@ -467,6 +473,7 @@ impl CampaignReport {
             ("workers", Json::Num(self.workers as f64)),
             ("wall_ms", Json::Num(self.wall_ms as f64)),
             ("wall_us", Json::Num(self.wall_us as f64)),
+            ("cancelled", Json::Bool(self.cancelled)),
             ("cache", cache),
             (
                 "cache_by_scenario",
@@ -614,11 +621,16 @@ impl std::fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "campaign: {} shards on {} workers ({} backend) in {:.2}s",
+            "campaign: {} shards on {} workers ({} backend) in {:.2}s{}",
             self.shards.len(),
             self.workers,
             self.backend,
-            self.wall_ms as f64 / 1000.0
+            self.wall_ms as f64 / 1000.0,
+            if self.cancelled {
+                " [CANCELLED: partial results]"
+            } else {
+                ""
+            }
         )?;
         if let Some(stats) = &self.cache {
             writeln!(f, "shared cache: {stats}")?;

@@ -1,0 +1,157 @@
+//! Multi-process cache safety: two *real* processes sharing one `cache.d`
+//! directory, each saving through merge-on-save
+//! ([`SharedEvalCache::sync_sharded`]), must end with the union of their
+//! entries — no lost updates — and the directory bytes must be identical
+//! to a sequential in-process merge, regardless of which process saved
+//! first.
+//!
+//! The second process is this same test binary re-executed with the
+//! `CODESIGN_CACHE_CHILD` environment variable set; the child-role test is
+//! a no-op in normal runs.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use codesign_accel::ConfigSpace;
+use codesign_core::{EvalCache, PairEvaluation};
+use codesign_engine::{SharedEvalCache, CACHE_SHARD_FILES};
+
+const SALT: u64 = 0xC0FF_EE00_DEAD_BEEF;
+
+/// Deterministic synthetic entries: hashes spread across all 16 persist
+/// shards (the bucket is the hash's top 4 bits), values exact in f64 so
+/// every save of the same range is byte-identical.
+fn fill(cache: &SharedEvalCache, range: std::ops::Range<u64>) {
+    let space = ConfigSpace::chaidnn();
+    for i in range {
+        let hash = (u128::from(i) << 124) | u128::from(i * 2 + 1);
+        let config = space.get(i as usize % space.len());
+        cache.put(
+            hash,
+            &config,
+            PairEvaluation {
+                accuracy: 0.5 + (i as f64) / 1024.0,
+                latency_ms: (i * 3) as f64,
+                area_mm2: (i * 7) as f64,
+                power_w: (i % 13) as f64,
+            },
+        );
+        cache.put_accuracy(hash, 0.25 + (i as f64) / 2048.0);
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("codesign_concurrent_cache")
+        .join(format!("pid{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn shard_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = (0..CACHE_SHARD_FILES)
+        .map(|i| {
+            let name = format!("shard-{i:02}.bin");
+            let bytes = std::fs::read(dir.join(&name)).unwrap_or_default();
+            (name, bytes)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Child role: `CODESIGN_CACHE_CHILD` is `dir|start|end`. Fills its range
+/// and merge-saves into the shared directory. In a normal test run the
+/// variable is absent and this test is a no-op.
+#[test]
+fn child_syncs_its_range() {
+    let Ok(spec) = std::env::var("CODESIGN_CACHE_CHILD") else {
+        return;
+    };
+    let parts: Vec<&str> = spec.split('|').collect();
+    assert_eq!(parts.len(), 3, "spec is dir|start|end, got {spec}");
+    let (dir, start, end) = (
+        parts[0],
+        parts[1].parse::<u64>().expect("start"),
+        parts[2].parse::<u64>().expect("end"),
+    );
+    let cache = SharedEvalCache::new();
+    fill(&cache, start..end);
+    cache
+        .sync_sharded(dir, SALT)
+        .expect("child merge-on-save succeeds");
+}
+
+fn spawn_child(dir: &Path, start: u64, end: u64) -> std::process::Child {
+    std::process::Command::new(std::env::current_exe().expect("own test binary"))
+        .args(["child_syncs_its_range", "--exact", "--nocapture"])
+        .env(
+            "CODESIGN_CACHE_CHILD",
+            format!("{}|{start}|{end}", dir.display()),
+        )
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn child process")
+}
+
+#[test]
+fn two_processes_merge_to_the_union_without_losing_entries() {
+    let shared = scratch_dir("shared").join("cache.d");
+
+    // Two real processes, overlapping ranges, racing on one directory.
+    let mut a = spawn_child(&shared, 0, 40);
+    let mut b = spawn_child(&shared, 20, 60);
+    assert!(a.wait().expect("child a").success(), "child a failed");
+    assert!(b.wait().expect("child b").success(), "child b failed");
+
+    // No lost updates: the union of both ranges survives.
+    let merged = SharedEvalCache::load_sharded(&shared, SALT).expect("load shared dir");
+    assert_eq!(merged.len(), 60, "0..40 ∪ 20..60 is 60 distinct entries");
+
+    // Every individual entry is really there — reloaded lookups hit.
+    let probe = Arc::new(merged);
+    let space = ConfigSpace::chaidnn();
+    for i in 0..60u64 {
+        let hash = (u128::from(i) << 124) | u128::from(i * 2 + 1);
+        let config = space.get(i as usize % space.len());
+        assert!(
+            probe.get(hash, &config).is_some(),
+            "entry {i} lost in the two-process merge"
+        );
+    }
+}
+
+#[test]
+fn concurrent_merges_are_byte_deterministic_regardless_of_save_order() {
+    let racing = scratch_dir("racing").join("cache.d");
+    let mut a = spawn_child(&racing, 0, 40);
+    let mut b = spawn_child(&racing, 20, 60);
+    assert!(a.wait().expect("child a").success());
+    assert!(b.wait().expect("child b").success());
+
+    // Reference: the same two ranges merged sequentially in-process, in
+    // the *opposite* of every interleaving the race could have taken.
+    let reference = scratch_dir("reference").join("cache.d");
+    for range in [20..60, 0..40] {
+        let cache = SharedEvalCache::new();
+        fill(&cache, range);
+        cache
+            .sync_sharded(&reference, SALT)
+            .expect("sequential merge-on-save");
+    }
+
+    let racing_bytes = shard_bytes(&racing);
+    let reference_bytes = shard_bytes(&reference);
+    assert!(
+        racing_bytes.iter().any(|(_, bytes)| !bytes.is_empty()),
+        "no shard files written at all"
+    );
+    for ((name, raced), (_, sequential)) in racing_bytes.iter().zip(&reference_bytes) {
+        assert_eq!(
+            raced, sequential,
+            "{name} differs between racing processes and a sequential merge"
+        );
+    }
+}

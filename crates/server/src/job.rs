@@ -1,0 +1,313 @@
+//! Job specifications: the payload of a `submit` frame, validated with the
+//! same `ScenarioSpec`/`Campaign` machinery the one-shot CLI uses.
+
+use codesign_core::{CodesignSpace, ScenarioSpec};
+use codesign_engine::{Campaign, StrategyKind};
+use codesign_nasbench::Json;
+
+/// Upper bound on one job's step budget per shard.
+pub const MAX_STEPS: usize = 1_000_000;
+
+/// Upper bound on one job's grid size (scenarios × strategies × seeds).
+pub const MAX_SHARDS: usize = 100_000;
+
+/// A validated campaign job: the grid a `submit` frame asks the server to
+/// run. The job never names a database — it runs against whatever database
+/// (and `--max-vertices`) the server was started with, which is exactly
+/// what makes job N+1 warm-start from job N's cache entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Scenario axis (never empty; defaults to the paper presets).
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Strategy axis (never empty; defaults to `random`).
+    pub strategies: Vec<StrategyKind>,
+    /// Seed axis (never empty; defaults to `[0]`).
+    pub seeds: Vec<u64>,
+    /// Step budget per shard.
+    pub steps: usize,
+}
+
+impl JobSpec {
+    /// Parses and validates a job object. The shape mirrors the CLI:
+    ///
+    /// ```text
+    /// {
+    ///   "scenarios":  ["0" | "1 Constraint" | "lat<100; w=acc:1.0"
+    ///                  | {…ScenarioSpec JSON…}, …],   // default: presets
+    ///   "strategies": ["random", "nsga", …] | "random,nsga",
+    ///   "seeds":      [0, 1, 2],         // or "seed_base" + "repeats"
+    ///   "steps":      200,               // or "population" + "generations"
+    /// }
+    /// ```
+    ///
+    /// Scenario strings resolve exactly like `campaign --scenario`: a
+    /// preset index, a preset name, or the compact grammar. Scenario
+    /// objects are full `ScenarioSpec` documents ([`ScenarioSpec::from_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason; the server wraps it in a typed
+    /// `invalid_job` error event.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("job must be an object".into());
+        }
+
+        let mut scenarios = Vec::new();
+        match doc.get("scenarios") {
+            None => scenarios = ScenarioSpec::paper_presets(),
+            Some(Json::Arr(entries)) => {
+                for (i, entry) in entries.iter().enumerate() {
+                    scenarios
+                        .push(resolve_scenario(entry).map_err(|e| format!("scenarios[{i}]: {e}"))?);
+                }
+            }
+            Some(_) => return Err("'scenarios' must be an array".into()),
+        }
+        if scenarios.is_empty() {
+            return Err("'scenarios' must not be empty".into());
+        }
+        codesign_core::check_unique_names(&scenarios).map_err(|e| e.to_string())?;
+
+        // NSGA population: one knob for every nsga strategy in the job,
+        // like the CLI's --population.
+        let population = match doc.get("population") {
+            None => StrategyKind::DEFAULT_NSGA_POPULATION,
+            Some(value) => value
+                .as_usize()
+                .filter(|&p| p >= 2)
+                .ok_or("'population' must be an integer >= 2")?,
+        };
+        let strategy_names: Vec<String> = match doc.get("strategies") {
+            None => vec!["random".to_owned()],
+            Some(Json::Str(csv)) => csv.split(',').map(|s| s.trim().to_owned()).collect(),
+            Some(Json::Arr(entries)) => entries
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_owned)
+                        .ok_or("'strategies' entries must be strings")
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err("'strategies' must be an array or a comma list".into()),
+        };
+        let mut strategies = Vec::new();
+        for name in &strategy_names {
+            let kind = StrategyKind::from_name(name)
+                .ok_or_else(|| format!("unknown strategy '{name}'"))?;
+            strategies.push(match kind {
+                StrategyKind::Nsga { .. } => StrategyKind::Nsga { population },
+                other => other,
+            });
+        }
+        if strategies.is_empty() {
+            return Err("'strategies' must not be empty".into());
+        }
+
+        let seeds: Vec<u64> = match doc.get("seeds") {
+            Some(Json::Arr(entries)) => entries
+                .iter()
+                .map(|e| {
+                    e.as_f64()
+                        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                        .map(|n| n as u64)
+                        .ok_or("'seeds' entries must be non-negative integers")
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err("'seeds' must be an array of integers".into()),
+            None => {
+                let base = doc
+                    .get("seed_base")
+                    .map(|v| v.as_usize().ok_or("'seed_base' must be an integer"))
+                    .transpose()?
+                    .unwrap_or(0) as u64;
+                let repeats = doc
+                    .get("repeats")
+                    .map(|v| {
+                        v.as_usize()
+                            .filter(|&r| r >= 1)
+                            .ok_or("'repeats' must be an integer >= 1")
+                    })
+                    .transpose()?
+                    .unwrap_or(1) as u64;
+                (base..base + repeats).collect()
+            }
+        };
+        if seeds.is_empty() {
+            return Err("'seeds' must not be empty".into());
+        }
+
+        // Step budget: explicit steps, or population × generations (the
+        // generational unit, like the CLI's --generations).
+        let generations = doc
+            .get("generations")
+            .map(|v| {
+                v.as_usize()
+                    .filter(|&g| g >= 1)
+                    .ok_or("'generations' must be an integer >= 1")
+            })
+            .transpose()?;
+        let steps = match (generations, doc.get("steps")) {
+            (Some(g), _) => population * g,
+            (None, Some(value)) => value
+                .as_usize()
+                .filter(|&s| s >= 1)
+                .ok_or("'steps' must be an integer >= 1")?,
+            (None, None) => 200,
+        };
+        if steps > MAX_STEPS {
+            return Err(format!(
+                "steps {steps} exceeds the per-shard cap {MAX_STEPS}"
+            ));
+        }
+        let shard_count = scenarios.len() * strategies.len() * seeds.len();
+        if shard_count > MAX_SHARDS {
+            return Err(format!(
+                "grid of {shard_count} shards exceeds the {MAX_SHARDS}-shard cap"
+            ));
+        }
+
+        Ok(JobSpec {
+            scenarios,
+            strategies,
+            seeds,
+            steps,
+        })
+    }
+
+    /// The job as a submit payload. Scenarios are written as full
+    /// `ScenarioSpec` documents (lossless — names, thresholds, weights and
+    /// normalizations all survive), so `to_json` → [`JobSpec::from_json`]
+    /// reconstructs an equivalent job.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(ScenarioSpec::to_json).collect()),
+            ),
+            (
+                "strategies",
+                Json::Arr(
+                    self.strategies
+                        .iter()
+                        .map(|s| Json::Str(s.name().into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::Num(s as f64)).collect()),
+            ),
+            ("steps", Json::Num(self.steps as f64)),
+        ];
+        // The one strategy parameter not captured by its name.
+        if let Some(StrategyKind::Nsga { population }) = self
+            .strategies
+            .iter()
+            .find(|s| matches!(s, StrategyKind::Nsga { .. }))
+        {
+            fields.push(("population", Json::Num(*population as f64)));
+        }
+        Json::obj(fields)
+    }
+
+    /// The number of shards this job dispatches.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.scenarios.len() * self.strategies.len() * self.seeds.len()
+    }
+
+    /// Instantiates the campaign over the server's search space.
+    #[must_use]
+    pub fn to_campaign(&self, space: CodesignSpace) -> Campaign {
+        Campaign::new(space)
+            .scenarios(self.scenarios.clone())
+            .strategies(self.strategies.clone())
+            .seeds(self.seeds.clone())
+            .steps(self.steps)
+    }
+}
+
+/// Resolves one scenario entry: a preset index, a preset name, a compact
+/// spec, or a full `ScenarioSpec` JSON object.
+fn resolve_scenario(entry: &Json) -> Result<ScenarioSpec, String> {
+    match entry {
+        Json::Str(text) => {
+            let presets = ScenarioSpec::paper_presets();
+            match text.parse::<usize>() {
+                Ok(index) if index < presets.len() => Ok(presets[index].clone()),
+                Ok(index) => Err(format!(
+                    "preset index {index} out of range (0..={})",
+                    presets.len() - 1
+                )),
+                Err(_) => match ScenarioSpec::preset_by_name(text) {
+                    Some(preset) => Ok(preset),
+                    None => ScenarioSpec::parse_compact(text).map_err(|e| e.to_string()),
+                },
+            }
+        }
+        Json::Obj(_) => ScenarioSpec::from_json(entry).map_err(|e| e.to_string()),
+        _ => Err("scenario entries must be strings or objects".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fill_an_empty_job() {
+        let job = JobSpec::from_json(&Json::obj(vec![])).unwrap();
+        assert_eq!(job.scenarios.len(), 3, "paper presets by default");
+        assert_eq!(job.strategies, vec![StrategyKind::Random]);
+        assert_eq!(job.seeds, vec![0]);
+        assert_eq!(job.steps, 200);
+    }
+
+    #[test]
+    fn job_json_round_trips() {
+        let doc = Json::parse(
+            r#"{"scenarios":["0","lat<100; w=acc:1.0"],"strategies":"random,nsga",
+                "seeds":[3,4],"steps":120,"population":8}"#,
+        )
+        .unwrap();
+        let job = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(job.shard_count(), 2 * 2 * 2);
+        assert_eq!(job.strategies[1], StrategyKind::Nsga { population: 8 });
+        let back = JobSpec::from_json(&job.to_json()).unwrap();
+        assert_eq!(back.steps, job.steps);
+        assert_eq!(back.seeds, job.seeds);
+        assert_eq!(back.strategies, job.strategies);
+        let names: Vec<&str> = back.scenarios.iter().map(ScenarioSpec::name).collect();
+        let orig: Vec<&str> = job.scenarios.iter().map(ScenarioSpec::name).collect();
+        assert_eq!(names, orig);
+    }
+
+    #[test]
+    fn validation_rejects_bad_jobs() {
+        let cases = [
+            (r#"{"scenarios":[]}"#, "empty"),
+            (r#"{"scenarios":["99"]}"#, "out of range"),
+            (r#"{"strategies":["warp-drive"]}"#, "unknown strategy"),
+            (r#"{"steps":0}"#, ">= 1"),
+            (r#"{"steps":99000000}"#, "cap"),
+            (r#"{"seeds":[-1]}"#, "non-negative"),
+            (r#"{"scenarios":["0","0"]}"#, ""),
+            (r#"{"repeats":0}"#, ">= 1"),
+        ];
+        for (text, needle) in cases {
+            let doc = Json::parse(text).unwrap();
+            let err = JobSpec::from_json(&doc).expect_err(text);
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn generations_express_the_budget_for_nsga() {
+        let doc =
+            Json::parse(r#"{"strategies":["nsga"],"population":10,"generations":7}"#).unwrap();
+        let job = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(job.steps, 70);
+    }
+}

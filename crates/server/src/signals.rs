@@ -1,0 +1,98 @@
+//! SIGINT/SIGTERM shutdown flag, without a libc dependency.
+//!
+//! The handler is the minimum async-signal-safe program: store one relaxed
+//! atomic. Everything that actually reacts — cancelling the running job,
+//! flushing the cache with merge-on-save, printing the telemetry summary —
+//! happens on ordinary threads that poll [`shutdown_requested`].
+//!
+//! On non-unix targets installation is a no-op and the flag only ever
+//! reads `false`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// Set (only) by the signal handler.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    /// `signal(2)` constants for the two termination signals we field.
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// BSD `signal(2)` — glibc's is the sysv variant but both accept a
+        /// plain handler address and return the previous one. `usize`
+        /// stands in for the handler pointer so `SIG_DFL` (0) needs no
+        /// cast gymnastics.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // Handler addresses are data here; the only unsafety is the FFI
+        // call itself, and replacing a handler is always sound.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (once per process; later calls are
+/// free) and returns whether installation is supported on this target.
+pub fn install_shutdown_handler() -> bool {
+    static INSTALL: Once = Once::new();
+    #[cfg(unix)]
+    {
+        INSTALL.call_once(unix::install);
+        true
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = &INSTALL;
+        false
+    }
+}
+
+/// Whether a termination signal has arrived (or [`request_shutdown`] ran).
+#[must_use]
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Raises the shutdown flag from ordinary code — the `shutdown` protocol
+/// frame and tests share the signal path this way.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Lowers the flag. Test-support only: real shutdowns are one-way.
+pub fn reset_for_test() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_flag_follows_requests() {
+        reset_for_test();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_test();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn installation_succeeds_on_unix() {
+        assert!(install_shutdown_handler());
+        assert!(install_shutdown_handler(), "idempotent");
+    }
+}

@@ -1,0 +1,238 @@
+//! Property-based coverage of the wire protocol: every event envelope
+//! round-trips through its own line codec losslessly, and malformed,
+//! oversized, or wrong-version frames are rejected with typed errors —
+//! never a panic, never a silently-accepted frame.
+
+use codesign_nasbench::Json;
+use codesign_server::{Event, ProtocolError, Request, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+/// Job ids (and other u64 payloads) stay below 2^53: the wire carries
+/// numbers as f64, which is exact only up to there. The server's monotonic
+/// ids never get anywhere near it.
+fn wire_u64() -> impl Strategy<Value = u64> {
+    0u64..(1 << 53)
+}
+
+/// Strings with the characters that stress a JSON writer: quotes,
+/// backslashes, control characters, braces, and non-ASCII.
+fn wire_string() -> impl Strategy<Value = String> {
+    let vocabulary = vec![
+        '"', '\\', '\n', '\t', '{', '}', '[', ']', ':', ',', 'a', 'Z', '0', ' ', 'é', '日', '\u{1}',
+    ];
+    prop::collection::vec(prop::sample::select(vocabulary), 0..24)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// A stand-in shard payload: the protocol treats `shard` as opaque JSON,
+/// so a small document with every value kind exercises the pass-through.
+fn shard_payload() -> impl Strategy<Value = Json> {
+    (wire_u64(), wire_string(), -1e6f64..1e6, prop::bool::ANY).prop_map(
+        |(index, name, hypervolume, flag)| {
+            Json::obj(vec![
+                ("index", Json::Num(index as f64)),
+                ("scenario", Json::Str(name)),
+                ("hypervolume", Json::Num(hypervolume)),
+                ("feasible", Json::Bool(flag)),
+                ("front", Json::Arr(vec![Json::Num(1.5), Json::Null])),
+            ])
+        },
+    )
+}
+
+fn any_event() -> impl Strategy<Value = Event> {
+    (0usize..6).prop_flat_map(|variant| match variant {
+        0 => (wire_u64(), 0usize..100_000, 0usize..64)
+            .prop_map(|(job, shards, queue_depth)| Event::JobSubmitted {
+                job,
+                shards,
+                queue_depth,
+            })
+            .boxed(),
+        1 => wire_u64().prop_map(|job| Event::JobStarted { job }).boxed(),
+        2 => (wire_u64(), shard_payload())
+            .prop_map(|(job, shard)| Event::ShardResult { job, shard })
+            .boxed(),
+        3 => (
+            (wire_u64(), 0usize..100_000),
+            (wire_u64(), wire_u64(), wire_u64()),
+            (0.0f64..=1.0, wire_u64(), prop::bool::ANY),
+        )
+            .prop_map(
+                |(
+                    (job, shards),
+                    (cache_hits, cache_warm_hits, cache_misses),
+                    (hit_rate, wall_us, cancelled),
+                )| Event::JobDone {
+                    job,
+                    shards,
+                    cache_hits,
+                    cache_warm_hits,
+                    cache_misses,
+                    hit_rate,
+                    wall_us,
+                    cancelled,
+                },
+            )
+            .boxed(),
+        4 => ((0u64..2, wire_u64()), wire_string(), wire_string())
+            .prop_map(|((some, job), code, message)| Event::Error {
+                job: (some == 1).then_some(job),
+                code,
+                message,
+            })
+            .boxed(),
+        _ => Just(Event::Pong).boxed(),
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_event_round_trips_through_its_line(event in any_event()) {
+        let line = event.to_line();
+        prop_assert!(!line.contains('\n'), "events must be one line: {line:?}");
+        let back = Event::parse_line(&line).expect("own output must parse");
+        prop_assert_eq!(back, event);
+    }
+
+    #[test]
+    fn event_lines_are_deterministic(event in any_event()) {
+        prop_assert_eq!(event.to_line(), event.to_line());
+    }
+
+    #[test]
+    fn arbitrary_garbage_is_rejected_typed_not_panicking(text in wire_string()) {
+        // Whatever this draws, the parser must answer with a typed error
+        // or a valid frame — and `{`-free strings can never be frames.
+        match Request::parse_line(&text) {
+            Ok(_) => prop_assert!(text.contains('{')),
+            Err(e) => { let _ = (e.code(), e.to_string()); }
+        }
+        match Event::parse_line(&text) {
+            Ok(_) => prop_assert!(text.contains('{')),
+            Err(e) => { let _ = (e.code(), e.to_string()); }
+        }
+    }
+
+    #[test]
+    fn wrong_versions_are_rejected_with_the_claimed_version(v in 0u64..1000) {
+        let v = if v == PROTOCOL_VERSION { 0 } else { v };
+        let line = format!(r#"{{"v":{v},"type":"ping"}}"#);
+        prop_assert_eq!(
+            Request::parse_line(&line),
+            Err(ProtocolError::UnknownVersion { found: v })
+        );
+        let line = format!(r#"{{"v":{v},"event":"pong"}}"#);
+        prop_assert_eq!(
+            Event::parse_line(&line),
+            Err(ProtocolError::UnknownVersion { found: v })
+        );
+    }
+}
+
+#[test]
+fn requests_round_trip_through_their_lines() {
+    for request in [Request::Ping, Request::Shutdown] {
+        let line = request.to_line();
+        assert!(
+            matches!(
+                (&request, Request::parse_line(&line).expect("own output")),
+                (Request::Ping, Request::Ping) | (Request::Shutdown, Request::Shutdown)
+            ),
+            "{line}"
+        );
+    }
+    let job = codesign_server::JobSpec::from_json(
+        &Json::parse(r#"{"scenarios":["0"],"strategies":["random"],"steps":25}"#).unwrap(),
+    )
+    .unwrap();
+    let line = Request::Submit(job.clone()).to_line();
+    let Request::Submit(back) = Request::parse_line(&line).expect("own output") else {
+        panic!("submit line parsed as something else: {line}");
+    };
+    assert_eq!(back.steps, job.steps);
+    assert_eq!(back.seeds, job.seeds);
+    assert_eq!(back.strategies, job.strategies);
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_parsing() {
+    let line = format!(
+        r#"{{"v":1,"type":"ping","pad":"{}"}}"#,
+        "x".repeat(MAX_FRAME_BYTES)
+    );
+    assert_eq!(
+        Request::parse_line(&line),
+        Err(ProtocolError::Oversized {
+            len: line.len(),
+            max: MAX_FRAME_BYTES,
+        })
+    );
+    assert_eq!(
+        Event::parse_line(&line),
+        Err(ProtocolError::Oversized {
+            len: line.len(),
+            max: MAX_FRAME_BYTES,
+        })
+    );
+}
+
+#[test]
+fn malformed_frames_are_typed_malformed() {
+    for line in [
+        "not json at all",
+        "{\"v\":1,",
+        "[1,2,3]",
+        "\"just a string\"",
+        "{\"v\":1}",
+    ] {
+        let err = Request::parse_line(line).expect_err(line);
+        assert_eq!(err.code(), "malformed", "{line}: {err:?}");
+    }
+}
+
+#[test]
+fn unknown_types_and_invalid_jobs_are_distinguished() {
+    assert!(matches!(
+        Request::parse_line(r#"{"v":1,"type":"reboot"}"#),
+        Err(ProtocolError::UnknownType(t)) if t == "reboot"
+    ));
+    assert!(matches!(
+        Request::parse_line(r#"{"v":1,"type":"submit"}"#),
+        Err(ProtocolError::InvalidJob(_))
+    ));
+    assert!(matches!(
+        Request::parse_line(r#"{"v":1,"type":"submit","job":{"steps":0}}"#),
+        Err(ProtocolError::InvalidJob(_))
+    ));
+}
+
+#[test]
+fn every_error_code_is_stable_and_printable() {
+    let all = [
+        (ProtocolError::Malformed("x".into()), "malformed"),
+        (ProtocolError::Oversized { len: 9, max: 1 }, "oversized"),
+        (
+            ProtocolError::UnknownVersion { found: 9 },
+            "unknown_version",
+        ),
+        (ProtocolError::UnknownType("x".into()), "unknown_type"),
+        (ProtocolError::InvalidJob("x".into()), "invalid_job"),
+        (ProtocolError::QueueFull { capacity: 4 }, "queue_full"),
+        (ProtocolError::ShuttingDown, "shutting_down"),
+    ];
+    for (error, code) in all {
+        assert_eq!(error.code(), code);
+        assert!(!error.to_string().is_empty());
+        // The error event carries the code across the wire intact.
+        let event = Event::from_error(Some(7), &error);
+        let Event::Error {
+            code: wire, job, ..
+        } = Event::parse_line(&event.to_line()).expect("error events parse")
+        else {
+            panic!("error event parsed as something else");
+        };
+        assert_eq!(wire, code);
+        assert_eq!(job, Some(7));
+    }
+}

@@ -1,0 +1,264 @@
+//! End-to-end session coverage: a server session's streamed shard results
+//! are bit-identical to the one-shot driver's, ordering guarantees hold
+//! across the whole stream, and a repeated job runs ≥ 90% warm.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use codesign_core::CodesignSpace;
+use codesign_engine::{Campaign, ShardedDriver, SharedEvalCache, StrategyKind};
+use codesign_nasbench::{Json, NasbenchDatabase};
+use codesign_server::{CampaignServer, Event, EventSink, JobSpec, Request, ServerConfig};
+
+const MAX_VERTICES: usize = 3;
+const STEPS: usize = 40;
+
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("buffer poisoned")
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn job_doc() -> Json {
+    Json::parse(&format!(
+        r#"{{"scenarios":["0","1"],"strategies":["random","evolution"],"seeds":[0,1],"steps":{STEPS}}}"#
+    ))
+    .expect("literal json")
+}
+
+fn start_server() -> CampaignServer {
+    CampaignServer::start(
+        CodesignSpace::with_max_vertices(MAX_VERTICES),
+        Arc::new(NasbenchDatabase::exhaustive(MAX_VERTICES)),
+        Arc::new(SharedEvalCache::new()),
+        ServerConfig {
+            workers: 3,
+            queue_capacity: 4,
+        },
+    )
+}
+
+/// Runs `frames` through one session and returns the parsed event stream.
+fn run_session(server: &CampaignServer, frames: &str) -> Vec<Event> {
+    let shared = Arc::new(Mutex::new(Vec::new()));
+    let sink = EventSink::new(Box::new(SharedBuf(Arc::clone(&shared))));
+    let mut reader = std::io::Cursor::new(frames.to_owned());
+    server.inner().serve_session(&mut reader, &sink);
+    let bytes = shared.lock().expect("buffer poisoned").clone();
+    String::from_utf8(bytes)
+        .expect("utf8 stream")
+        .lines()
+        .map(|line| Event::parse_line(line).expect("server emits valid frames"))
+        .collect()
+}
+
+/// The result-bearing subset of a shard record: everything except timing
+/// and cache attribution, which legitimately differ run to run.
+fn shard_essence(shard: &Json) -> Vec<(String, String)> {
+    [
+        "index",
+        "scenario",
+        "strategy",
+        "seed",
+        "steps",
+        "best",
+        "front",
+        "hypervolume",
+    ]
+    .iter()
+    .map(|key| {
+        let value = shard
+            .get(key)
+            .unwrap_or_else(|| panic!("shard record missing '{key}'"));
+        ((*key).to_owned(), value.to_string())
+    })
+    .collect()
+}
+
+#[test]
+fn streamed_shards_are_bit_identical_to_the_one_shot_driver() {
+    let job = JobSpec::from_json(&job_doc()).expect("valid job");
+    let frames = format!("{}\n", Request::Submit(job.clone()).to_line());
+    let server = start_server();
+    let events = run_session(&server, &frames);
+    server.join();
+
+    // Reference: the exact same grid through the plain one-shot driver,
+    // with its own fresh cache and a different worker count.
+    let campaign: Campaign = job.to_campaign(CodesignSpace::with_max_vertices(MAX_VERTICES));
+    let db = Arc::new(NasbenchDatabase::exhaustive(MAX_VERTICES));
+    let report = ShardedDriver::new(1).run(&campaign, &db);
+    assert_eq!(report.shards.len(), job.shard_count());
+
+    let mut streamed: Vec<Json> = events
+        .iter()
+        .filter_map(|event| match event {
+            Event::ShardResult { shard, .. } => Some(shard.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(streamed.len(), report.shards.len());
+    streamed.sort_by_key(|shard| shard.get("index").and_then(Json::as_usize));
+
+    for (streamed_shard, direct) in streamed.iter().zip(&report.shards) {
+        assert_eq!(
+            shard_essence(streamed_shard),
+            shard_essence(&direct.to_json()),
+            "server-streamed shard differs from the one-shot driver's"
+        );
+    }
+}
+
+#[test]
+fn the_stream_orders_submitted_started_shards_done() {
+    let job = JobSpec::from_json(&job_doc()).expect("valid job");
+    let frames = format!("{}\n", Request::Submit(job.clone()).to_line());
+    let server = start_server();
+    let events = run_session(&server, &frames);
+    server.join();
+
+    let positions: Vec<(usize, &str)> = events
+        .iter()
+        .enumerate()
+        .map(|(i, event)| {
+            (
+                i,
+                match event {
+                    Event::JobSubmitted { .. } => "submitted",
+                    Event::JobStarted { .. } => "started",
+                    Event::ShardResult { .. } => "shard",
+                    Event::JobDone { .. } => "done",
+                    other => panic!("unexpected event in stream: {other:?}"),
+                },
+            )
+        })
+        .collect();
+    let at = |kind: &str| {
+        positions
+            .iter()
+            .filter(|(_, k)| *k == kind)
+            .map(|(i, _)| *i)
+            .collect::<Vec<_>>()
+    };
+    let (submitted, started, shards, done) =
+        (at("submitted"), at("started"), at("shard"), at("done"));
+    assert_eq!((submitted.len(), started.len(), done.len()), (1, 1, 1));
+    assert_eq!(shards.len(), job.shard_count());
+    assert!(submitted[0] < started[0]);
+    assert!(started[0] < shards[0]);
+    // Every shard_result precedes job_done.
+    assert!(shards.iter().all(|i| *i < done[0]));
+}
+
+#[test]
+fn resubmitting_the_same_job_reports_a_warm_cache() {
+    let job_line = Request::Submit(JobSpec::from_json(&job_doc()).expect("valid job")).to_line();
+    let frames = format!("{job_line}\n{job_line}\n");
+    let server = start_server();
+    let events = run_session(&server, &frames);
+    server.join();
+
+    let done: Vec<&Event> = events
+        .iter()
+        .filter(|event| matches!(event, Event::JobDone { .. }))
+        .collect();
+    assert_eq!(done.len(), 2);
+    let Event::JobDone {
+        hit_rate,
+        cache_hits,
+        cache_misses,
+        ..
+    } = done[1]
+    else {
+        unreachable!()
+    };
+    assert!(
+        *hit_rate >= 0.9,
+        "second identical job must be >=90% warm; got {hit_rate} ({cache_hits} hits / {cache_misses} misses)"
+    );
+    // And the results themselves must not be perturbed by cache reuse.
+    let shard_payloads: Vec<Vec<(String, String)>> = events
+        .iter()
+        .filter_map(|event| match event {
+            Event::ShardResult { shard, .. } => Some(shard_essence(shard)),
+            _ => None,
+        })
+        .collect();
+    let half = shard_payloads.len() / 2;
+    let mut first: Vec<_> = shard_payloads[..half].to_vec();
+    let mut second: Vec<_> = shard_payloads[half..].to_vec();
+    first.sort();
+    second.sort();
+    assert_eq!(first, second, "warm rerun changed shard results");
+}
+
+#[test]
+fn two_sessions_share_one_warm_cache() {
+    let job_line = Request::Submit(JobSpec::from_json(&job_doc()).expect("valid job")).to_line();
+    let server = start_server();
+    let first = run_session(&server, &format!("{job_line}\n"));
+    // A *different client* (new session, new sink) right after: client B
+    // warm-starts from client A's evaluations.
+    let second = run_session(&server, &format!("{job_line}\n"));
+    server.join();
+
+    let done_rate = |events: &[Event]| {
+        events
+            .iter()
+            .find_map(|event| match event {
+                Event::JobDone { hit_rate, .. } => Some(*hit_rate),
+                _ => None,
+            })
+            .expect("job_done present")
+    };
+    assert!(done_rate(&first) < 1.0);
+    assert!(
+        done_rate(&second) >= 0.9,
+        "cross-session warm start below 90%: {}",
+        done_rate(&second)
+    );
+}
+
+#[test]
+fn strategy_nsga_jobs_flow_through_the_server_too() {
+    // A population strategy exercises the generations payload in the
+    // streamed shard records.
+    let doc =
+        Json::parse(r#"{"scenarios":["0"],"strategies":["nsga"],"population":8,"generations":3}"#)
+            .expect("literal json");
+    let frames = format!(
+        "{}\n",
+        Request::Submit(JobSpec::from_json(&doc).expect("valid job")).to_line()
+    );
+    let server = start_server();
+    let events = run_session(&server, &frames);
+    server.join();
+
+    let shard = events
+        .iter()
+        .find_map(|event| match event {
+            Event::ShardResult { shard, .. } => Some(shard),
+            _ => None,
+        })
+        .expect("one shard streamed");
+    assert_eq!(shard.get("strategy").and_then(Json::as_str), Some("nsga"));
+    let generations = shard
+        .get("generations")
+        .and_then(Json::as_arr)
+        .expect("nsga shards carry generations");
+    assert!(!generations.is_empty());
+    assert!(matches!(
+        StrategyKind::from_name("nsga"),
+        Some(StrategyKind::Nsga { .. })
+    ));
+}
