@@ -1,0 +1,199 @@
+//! Hypervolume kernel benchmark: the incremental staircase tracker
+//! (`IncrementalHypervolume::insert`) against a from-scratch
+//! `hypervolume_dyn` recompute, at front sizes 10^2..10^4 in 2D and 3D —
+//! the per-step cost model behind `--reward-shaping` and the NSGA
+//! generation snapshots. A second section times a growing
+//! `DynParetoFront`'s snapshot path scratch-vs-cached, the exact work a
+//! per-generation hypervolume curve pays.
+//!
+//! Emits one JSON document (stdout and
+//! `target/paper-results/codesign_moo_bench.json`) for the perf
+//! trajectory; the `moo` section of `BENCH_campaign.json` is refreshed
+//! from it.
+//!
+//! Run: `cargo bench -p codesign-bench --bench codesign_moo`
+
+use std::time::Instant;
+
+use codesign_moo::{
+    hypervolume_dyn, AxisSchema, DynParetoFront, IncrementalHypervolume, MetricVector,
+};
+use codesign_nasbench::Json;
+
+/// A deterministic mutually-non-dominated seed front of `size` points.
+///
+/// The first two coordinates walk a staircase (`x` ascending, `y`
+/// descending), which makes every pair non-dominated regardless of the
+/// remaining axes — so the tracked front really holds `size` points and
+/// the kernels are measured at the advertised size. The third axis, when
+/// present, is a deterministic hash-spread value.
+fn seed_points(dims: usize, size: usize) -> Vec<Vec<f64>> {
+    (0..size)
+        .map(|i| {
+            let x = i as f64;
+            let y = (size - i) as f64;
+            match dims {
+                2 => vec![x, y],
+                3 => vec![x, y, 1.0 + (i as f64 * 0.618_033_988_749).fract()],
+                _ => unreachable!("bench covers 2D and 3D"),
+            }
+        })
+        .collect()
+}
+
+/// Fresh non-dominated probes that land *between* the seed staircase's
+/// steps: each triggers a genuine local staircase update (positive
+/// marginal volume), never a rejection — the worst honest case for the
+/// incremental path.
+fn probe_points(dims: usize, size: usize, count: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|i| {
+            let slot = (i * 2 + 1) % size;
+            let x = slot as f64 + 0.5;
+            let y = (size - slot) as f64 - 0.5 + 1.0;
+            match dims {
+                2 => vec![x, y],
+                3 => vec![x, y, 2.0 + (i as f64 * 0.414_213_562_373).fract()],
+                _ => unreachable!("bench covers 2D and 3D"),
+            }
+        })
+        .collect()
+}
+
+/// Best-of-3 wall time of `run`, in microseconds.
+fn timed_us(mut run: impl FnMut()) -> f64 {
+    run(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn main() {
+    let mut entries: Vec<(String, Json)> = Vec::new();
+
+    // Section 1: per-insert marginal-HV cost, incremental vs scratch.
+    // "Scratch" is what a per-step hypervolume delta costs without the
+    // tracker: one full-front recompute per observation.
+    let mut kernel_entries: Vec<Json> = Vec::new();
+    println!(
+        "{:<14} {:>9} {:>16} {:>16} {:>9}",
+        "kernel", "front", "scratch us/call", "incr us/insert", "speedup"
+    );
+    for &dims in &[2usize, 3] {
+        for &size in &[100usize, 1_000, 10_000] {
+            // The O(n^2) 3D scratch kernel at 10^4 points costs ~10^8
+            // operations per call; a couple of repetitions is plenty.
+            let scratch_reps = if dims == 3 {
+                (20_000 / size).clamp(1, 200)
+            } else {
+                (200_000 / size).clamp(3, 500)
+            };
+            let seed = seed_points(dims, size);
+            let reference = vec![-1.0; dims];
+            let probes = probe_points(dims, size, size.min(1_000));
+
+            let scratch_total = timed_us(|| {
+                let mut acc = 0.0;
+                for _ in 0..scratch_reps {
+                    acc += hypervolume_dyn(
+                        &seed.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+                        &reference,
+                    );
+                }
+                assert!(acc > 0.0);
+            });
+            let scratch_us = scratch_total / scratch_reps as f64;
+
+            let base =
+                IncrementalHypervolume::from_points(&reference, seed.iter().map(Vec::as_slice));
+            let incremental_total = timed_us(|| {
+                let mut tracker = base.clone();
+                let mut acc = 0.0;
+                for p in &probes {
+                    acc += tracker.insert(p);
+                }
+                assert!(acc > 0.0, "every probe contributes volume");
+            });
+            let incremental_us = incremental_total / probes.len() as f64;
+
+            let speedup = scratch_us / incremental_us;
+            println!(
+                "{:<14} {size:>9} {scratch_us:>16.3} {incremental_us:>16.4} {speedup:>8.1}x",
+                format!("{dims}d"),
+            );
+            kernel_entries.push(Json::obj(vec![
+                ("dims", Json::Num(dims as f64)),
+                ("front_size", Json::Num(size as f64)),
+                ("scratch_us_per_call", Json::Num(scratch_us)),
+                ("incremental_us_per_insert", Json::Num(incremental_us)),
+                ("speedup", Json::Num(speedup)),
+            ]));
+        }
+    }
+    entries.push(("kernels".into(), Json::Arr(kernel_entries)));
+
+    // Section 2: the NSGA generation-snapshot path. A growing front takes
+    // one hypervolume snapshot per generation; before the cache each
+    // snapshot was a scratch recompute of the whole front, now the first
+    // snapshot seeds the incremental tracker and the rest are O(1) reads
+    // (inserts between snapshots keep it current).
+    let generations = 50usize;
+    let batch = 40usize;
+    let dims = 3usize;
+    let reference = vec![-1.0; dims];
+    let schema = AxisSchema::new(["a", "b", "c"].into_iter().map(str::to_owned));
+    let points = seed_points(dims, generations * batch);
+
+    let scratch_ms = timed_us(|| {
+        let mut front: DynParetoFront<usize> = DynParetoFront::new(schema.clone());
+        let mut curve = Vec::with_capacity(generations);
+        for g in 0..generations {
+            for (i, p) in points[g * batch..(g + 1) * batch].iter().enumerate() {
+                front.insert(MetricVector::from_slice(p), i);
+            }
+            curve.push(front.hypervolume(&reference));
+        }
+        assert_eq!(curve.len(), generations);
+    }) / 1e3;
+    let cached_ms = timed_us(|| {
+        let mut front: DynParetoFront<usize> = DynParetoFront::new(schema.clone());
+        let mut curve = Vec::with_capacity(generations);
+        for g in 0..generations {
+            for (i, p) in points[g * batch..(g + 1) * batch].iter().enumerate() {
+                front.insert(MetricVector::from_slice(p), i);
+            }
+            curve.push(front.enable_hv_cache(&reference));
+        }
+        assert_eq!(curve.len(), generations);
+    }) / 1e3;
+    let snapshot_speedup = scratch_ms / cached_ms;
+    println!(
+        "snapshots: {generations} generations x {batch} inserts (3d) \
+         scratch {scratch_ms:.2} ms, cached {cached_ms:.2} ms ({snapshot_speedup:.1}x)"
+    );
+    entries.push((
+        "nsga_snapshots".into(),
+        Json::obj(vec![
+            ("generations", Json::Num(generations as f64)),
+            ("batch", Json::Num(batch as f64)),
+            ("dims", Json::Num(dims as f64)),
+            ("scratch_ms", Json::Num(scratch_ms)),
+            ("cached_ms", Json::Num(cached_ms)),
+            ("speedup", Json::Num(snapshot_speedup)),
+        ]),
+    ));
+
+    let doc = Json::Obj(entries);
+    println!("{doc}");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+        .join("paper-results");
+    std::fs::create_dir_all(&out).expect("create output dir");
+    std::fs::write(out.join("codesign_moo_bench.json"), format!("{doc}\n"))
+        .expect("write codesign_moo_bench.json");
+}

@@ -26,6 +26,14 @@
 //! wall times become the campaign's `CostModel`, and the full sweep is
 //! re-dispatched with measured scheduling weights automatically.
 //!
+//! `--reward-shaping hv:W` turns on hypervolume-gradient reward shaping
+//! for the RL controllers: each step's scalar reward gains `W × ΔHV`, the
+//! proposal's marginal dominated-hypervolume contribution to the shard's
+//! running Pareto front (incremental staircase kernel — no per-step full
+//! recompute). Best-point tracking stays on the unshaped reward, the
+//! shard JSONL records `reward_shaping` and the total `hv_bonus`, and
+//! shaped sweeps remain bit-identical across worker counts.
+//!
 //! The `nsga` strategy is the true multi-objective searcher: selection by
 //! non-dominated sorting + crowding over the scenario's own axes instead
 //! of a scalarized reward. `--population` sizes its generations and
@@ -38,8 +46,8 @@
 //!       `[--scenario PRESET-INDEX|PRESET-NAME|COMPACT-SPEC]`
 //!       `[--scenarios-file FILE] [--list-scenarios] [--check-scenarios]`
 //!       `[--strategies separate,combined,phase,random,evolution,nsga]`
-//!       `(--strategy is a singular alias)`
-//!       `[--population P] [--generations G]`
+//!       `(--strategy is a singular alias; reinforce = combined)`
+//!       `[--population P] [--generations G] [--reward-shaping hv:W]`
 //!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
 //!       `[--cache-path FILE|DIR.d] [--cache-format binary|json|sharded]`
 //!       `[--cache-capacity N] [--cache-mmap] [--cache-migrate OLD.json NEW]`
@@ -79,7 +87,7 @@
 use std::sync::Arc;
 
 use codesign_bench::{out_dir, Args};
-use codesign_core::{probe_pair_evaluations, CodesignSpace, ScenarioSpec};
+use codesign_core::{probe_pair_evaluations, CodesignSpace, RewardShaping, ScenarioSpec};
 use codesign_engine::{
     backend_from_name, Campaign, CancelToken, ShardedDriver, SharedEvalCache, StrategyKind,
 };
@@ -686,17 +694,31 @@ fn main() {
         })
         .collect();
 
+    // --reward-shaping hv:W: hypervolume-gradient shaping for every shard.
+    // Parsed up front so a bad weight fails before the database builds.
+    let shaping = match RewardShaping::parse(&args.get_str("reward-shaping", "")) {
+        Ok(shaping) => shaping,
+        Err(err) => {
+            eprintln!("invalid --reward-shaping: {err}");
+            std::process::exit(2);
+        }
+    };
+
     let mut campaign = Campaign::new(CodesignSpace::with_max_vertices(max_v))
         .scenarios(scenarios)
         .strategies(strategies)
         .seeds((seed_base..seed_base + repeats as u64).collect())
-        .steps(steps);
+        .steps(steps)
+        .with_reward_shaping(shaping);
     println!(
         "campaign: {} shards ({} scenarios x {} strategies x {repeats} seeds x {steps} steps)",
         campaign.shards().len(),
         campaign.scenarios.len(),
         campaign.strategies.len(),
     );
+    if shaping.is_active() {
+        println!("reward shaping: {shaping} (marginal-hypervolume bonus on the controller reward)");
+    }
     for spec in &campaign.scenarios {
         describe(spec);
     }

@@ -78,8 +78,8 @@ pub use scenarios::{
     SCENARIO_VERSION,
 };
 pub use search::{
-    reward_curve, BestPoint, GenerationStat, SearchConfig, SearchContext, SearchOutcome,
-    SearchRecorder, SearchStrategy, StepRecord, INVALID_PROPOSAL_REWARD,
+    reward_curve, BestPoint, GenerationStat, RewardShaping, SearchConfig, SearchContext,
+    SearchOutcome, SearchRecorder, SearchStrategy, StepRecord, INVALID_PROPOSAL_REWARD,
 };
 pub use space::{CnnSpace, CodesignSpace, HwSpace, Proposal};
 pub use strategies::{CombinedSearch, PhaseSearch, RandomSearch, SeparateSearch};

@@ -52,6 +52,7 @@ use codesign_moo::{
 use codesign_nasbench::Json;
 
 use crate::evaluator::PairEvaluation;
+use crate::search::RewardShaping;
 
 /// The scenario file-format marker (see [`scenarios_to_document`]).
 pub const SCENARIO_FORMAT: &str = "codesign-scenarios";
@@ -643,6 +644,7 @@ impl ScenarioSpec {
             schema,
             reward,
             accuracy_norm,
+            shaping: RewardShaping::default(),
         }
     }
 
@@ -1166,6 +1168,11 @@ pub struct CompiledScenario {
     schema: AxisSchema,
     reward: DynRewardSpec,
     accuracy_norm: LinearNorm,
+    /// Per-step shaping applied on top of the Eq. 3 scalar; `None` by
+    /// default. An execution-time knob (set by the campaign layer via
+    /// [`CompiledScenario::with_reward_shaping`]), not part of the
+    /// declarative [`ScenarioSpec`] — the JSON round trip is unaffected.
+    shaping: RewardShaping,
 }
 
 impl CompiledScenario {
@@ -1173,6 +1180,21 @@ impl CompiledScenario {
     #[must_use]
     pub fn name(&self) -> &str {
         self.spec.name()
+    }
+
+    /// Returns this scenario with per-step [`RewardShaping`] applied to
+    /// every controller scalar it scores.
+    #[must_use]
+    pub fn with_reward_shaping(mut self, shaping: RewardShaping) -> Self {
+        self.shaping = shaping;
+        self
+    }
+
+    /// The per-step shaping mode controllers run under (default
+    /// [`RewardShaping::None`]).
+    #[must_use]
+    pub fn reward_shaping(&self) -> RewardShaping {
+        self.shaping
     }
 
     /// The declaration this was compiled from.

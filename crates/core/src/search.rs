@@ -21,6 +21,81 @@ use crate::space::CodesignSpace;
 /// treatment at a fixed magnitude.
 pub const INVALID_PROPOSAL_REWARD: f64 = -0.2;
 
+/// Optional per-step shaping applied on top of the scenario's scalarized
+/// reward before it reaches the controller.
+///
+/// The paper's REINFORCE controllers see only the Eq. 3 scalar; NSGA-II
+/// optimizes the front directly. Shaping bridges the two: with
+/// [`RewardShaping::HypervolumeGradient`], every recorded step adds
+/// `weight ×` its marginal hypervolume contribution (the exact growth of
+/// the visited-points front's dominated volume, priced by
+/// [`codesign_moo::IncrementalHypervolume`]) to the scalar a controller
+/// learns from. Steps that do not expand the front add nothing; invalid
+/// proposals keep the flat [`INVALID_PROPOSAL_REWARD`].
+///
+/// Shaping changes *only* the scalar fed to (and recorded for) the
+/// controller: best-point selection, the retained front, and feasibility
+/// accounting all stay on the unshaped reward, and the shaped scalar is a
+/// deterministic function of the step sequence — shaped campaigns stay
+/// bit-identical across worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RewardShaping {
+    /// No shaping: the controller sees exactly the Eq. 3 scalar.
+    #[default]
+    None,
+    /// Adds `weight ×` the step's marginal hypervolume contribution.
+    HypervolumeGradient {
+        /// Multiplier on the marginal contribution (finite, `> 0`).
+        weight: f64,
+    },
+}
+
+impl RewardShaping {
+    /// `true` when shaping alters the controller scalar.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !matches!(self, Self::None)
+    }
+
+    /// Parses the campaign-flag syntax: `none`/`off` (or empty) for no
+    /// shaping, `hv:<weight>` for hypervolume-gradient shaping.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the mode is unknown or the weight is not
+    /// a finite positive number.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s.is_empty() || s.eq_ignore_ascii_case("none") || s.eq_ignore_ascii_case("off") {
+            return Ok(Self::None);
+        }
+        let Some(raw) = s.strip_prefix("hv:") else {
+            return Err(format!(
+                "unknown reward shaping '{s}' (expected 'none' or 'hv:<weight>')"
+            ));
+        };
+        let weight: f64 = raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid reward-shaping weight '{raw}'"))?;
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(format!(
+                "reward-shaping weight must be finite and positive, got {weight}"
+            ));
+        }
+        Ok(Self::HypervolumeGradient { weight })
+    }
+}
+
+impl std::fmt::Display for RewardShaping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::None => f.write_str("none"),
+            Self::HypervolumeGradient { weight } => write!(f, "hv:{weight}"),
+        }
+    }
+}
+
 /// Shared knobs for one search run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchConfig {
@@ -129,6 +204,10 @@ pub struct SearchOutcome {
     /// Per-generation front snapshots, for population strategies that call
     /// [`SearchRecorder::snapshot_generation`]; empty otherwise.
     pub generations: Vec<GenerationStat>,
+    /// Total shaping bonus paid out over the run (`Σ weight × marginal
+    /// hypervolume` under [`RewardShaping::HypervolumeGradient`]); `0.0`
+    /// when shaping was off.
+    pub shaping_bonus: f64,
 }
 
 impl SearchOutcome {
@@ -214,6 +293,8 @@ pub struct SearchRecorder {
     feasible_steps: usize,
     invalid_steps: usize,
     generations: Vec<GenerationStat>,
+    shaping: RewardShaping,
+    shaping_bonus: f64,
     /// Telemetry span covering the whole run (opened in [`Self::new`],
     /// recorded when the recorder is consumed by [`Self::finish`]); inert
     /// when telemetry is disabled.
@@ -222,18 +303,28 @@ pub struct SearchRecorder {
 
 impl SearchRecorder {
     /// Starts recording a run for `strategy` under `scenario`, whose axis
-    /// schema the retained front is collected in.
+    /// schema the retained front is collected in. A scenario with active
+    /// [`CompiledScenario::reward_shaping`] switches the front into
+    /// cached-hypervolume mode up front, so every recorded step prices its
+    /// marginal contribution incrementally.
     #[must_use]
     pub fn new(strategy: &'static str, expected_steps: usize, scenario: &CompiledScenario) -> Self {
+        let shaping = scenario.reward_shaping();
+        let mut front = scenario.empty_front();
+        if shaping.is_active() {
+            front.enable_hv_cache(&scenario.hypervolume_reference());
+        }
         Self {
             strategy,
             history: Vec::with_capacity(expected_steps),
             best: None,
             best_valid: None,
-            front: scenario.empty_front(),
+            front,
             feasible_steps: 0,
             invalid_steps: 0,
             generations: Vec::new(),
+            shaping,
+            shaping_bonus: 0.0,
             _span: codesign_telemetry::span(strategy, "strategy")
                 .with_arg("scenario", scenario.name())
                 .with_arg("steps", expected_steps),
@@ -249,6 +340,12 @@ impl SearchRecorder {
     /// `StepRecord::metrics` keeps the paper's fixed `(−area, −lat, acc)`
     /// diagnostic so recorded histories stay re-scorable by the legacy
     /// parity anchor.
+    ///
+    /// Under active [`RewardShaping`], the returned (and recorded) scalar
+    /// is the Eq. 3 reward *plus* the shaping bonus of the step's marginal
+    /// hypervolume contribution; best-point selection stays on the
+    /// unshaped reward, so shaping steers learning without redefining
+    /// which point a run reports as best.
     pub fn record(
         &mut self,
         scenario: &CompiledScenario,
@@ -263,9 +360,23 @@ impl SearchRecorder {
                 let metrics = eval.metrics();
                 let scored = scenario.reward(eval);
                 let feasible = scored.is_feasible();
+                let mut shaped = scored.value();
                 if let Some(cell) = proposal_cell {
-                    self.front
-                        .insert(scenario.metric_point(eval), (cell.clone(), *config));
+                    let point = scenario.metric_point(eval);
+                    let hv_delta = if self.shaping.is_active() {
+                        let (_, delta) = self
+                            .front
+                            .insert_with_hv_delta(point, (cell.clone(), *config));
+                        delta
+                    } else {
+                        self.front.insert(point, (cell.clone(), *config));
+                        0.0
+                    };
+                    if let RewardShaping::HypervolumeGradient { weight } = self.shaping {
+                        let bonus = weight * hv_delta;
+                        self.shaping_bonus += bonus;
+                        shaped += bonus;
+                    }
                     let value = scored.value();
                     let improves_valid = self.best_valid.as_ref().is_none_or(|b| value > b.reward);
                     if improves_valid {
@@ -293,12 +404,12 @@ impl SearchRecorder {
                     }
                 }
                 self.history.push(StepRecord {
-                    reward: scored.value(),
+                    reward: shaped,
                     feasible,
                     valid: true,
                     metrics: Some(metrics),
                 });
-                scored.value()
+                shaped
             }
             EvalOutcome::InvalidCnn(_) | EvalOutcome::UnknownCell => {
                 self.invalid_steps += 1;
@@ -339,13 +450,21 @@ impl SearchRecorder {
     /// the scenario's fixed reference box) so the finished outcome carries
     /// a hypervolume-over-time curve. Step-at-a-time strategies simply
     /// never call this.
+    ///
+    /// The first snapshot switches the front into cached-hypervolume mode
+    /// (one incremental seeding pass over the current members); every
+    /// later snapshot — and every insert in between — maintains the total
+    /// incrementally, so per-generation stats stop paying a scratch
+    /// recompute. The cached total is monotone non-decreasing by
+    /// construction.
     pub fn snapshot_generation(&mut self, scenario: &CompiledScenario) {
         let reference = scenario.hypervolume_reference();
+        let hypervolume = self.front.enable_hv_cache(&reference);
         self.generations.push(GenerationStat {
             generation: self.generations.len(),
             evaluations: self.history.len(),
             front_size: self.front.len(),
-            hypervolume: self.front.hypervolume(&reference),
+            hypervolume,
         });
     }
 
@@ -360,6 +479,7 @@ impl SearchRecorder {
             feasible_steps: self.feasible_steps,
             invalid_steps: self.invalid_steps,
             generations: self.generations,
+            shaping_bonus: self.shaping_bonus,
         }
     }
 }
@@ -472,6 +592,95 @@ mod tests {
             curve[2] > curve[0],
             "curve should rise with better feasible points"
         );
+    }
+
+    #[test]
+    fn reward_shaping_parses_the_flag_syntax() {
+        assert_eq!(RewardShaping::parse("none"), Ok(RewardShaping::None));
+        assert_eq!(RewardShaping::parse("off"), Ok(RewardShaping::None));
+        assert_eq!(RewardShaping::parse(""), Ok(RewardShaping::None));
+        assert_eq!(
+            RewardShaping::parse("hv:0.5"),
+            Ok(RewardShaping::HypervolumeGradient { weight: 0.5 })
+        );
+        assert!(RewardShaping::parse("hv:0").is_err());
+        assert!(RewardShaping::parse("hv:-1").is_err());
+        assert!(RewardShaping::parse("hv:nan").is_err());
+        assert!(RewardShaping::parse("gradient").is_err());
+        assert_eq!(
+            RewardShaping::parse("hv:0.5").unwrap().to_string(),
+            "hv:0.5"
+        );
+        assert_eq!(RewardShaping::None.to_string(), "none");
+        assert!(!RewardShaping::None.is_active());
+    }
+
+    #[test]
+    fn shaped_recorder_pays_marginal_hypervolume_bonuses() {
+        let spec = crate::scenarios::ScenarioSpec::unconstrained()
+            .compile()
+            .with_reward_shaping(RewardShaping::HypervolumeGradient { weight: 2.0 });
+        let reference = spec.hypervolume_reference();
+        let mut rec = SearchRecorder::new("test", 3, &spec);
+        let cell = known_cells::resnet_cell();
+        let config = ConfigSpace::chaidnn().get(0);
+        let pe = |acc: f64, lat: f64, area: f64| PairEvaluation {
+            accuracy: acc,
+            latency_ms: lat,
+            area_mm2: area,
+            power_w: 4.0,
+        };
+
+        // First point: bonus = 2 × its marginal (full-box) contribution.
+        let pe0 = pe(0.9, 200.0, 150.0);
+        let r0 = rec.record(&spec, &EvalOutcome::Valid(pe0), Some(&cell), &config);
+        let base0 = spec.reward(&pe0).value();
+        let mut front: DynParetoFront<()> = spec.empty_front();
+        front.enable_hv_cache(&reference);
+        let (_, d0) = front.insert_with_hv_delta(spec.metric_point(&pe0), ());
+        assert!(d0 > 0.0);
+        assert!((r0 - (base0 + 2.0 * d0)).abs() < 1e-12);
+
+        // A dominated point earns no bonus: shaped reward == plain reward.
+        let pe1 = pe(0.85, 300.0, 200.0);
+        let r1 = rec.record(&spec, &EvalOutcome::Valid(pe1), Some(&cell), &config);
+        assert_eq!(r1, spec.reward(&pe1).value());
+
+        let out = rec.finish();
+        assert!((out.shaping_bonus - 2.0 * d0).abs() < 1e-12);
+        // Best-point selection stays on the unshaped reward.
+        assert_eq!(out.best.expect("feasible").reward, base0);
+    }
+
+    #[test]
+    fn unshaped_recorder_reports_zero_bonus() {
+        let spec = crate::scenarios::ScenarioSpec::unconstrained().compile();
+        let mut rec = SearchRecorder::new("test", 1, &spec);
+        let cell = known_cells::resnet_cell();
+        let config = ConfigSpace::chaidnn().get(0);
+        rec.record(&spec, &dummy_eval(0.9, 200.0, 150.0), Some(&cell), &config);
+        assert_eq!(rec.finish().shaping_bonus, 0.0);
+    }
+
+    #[test]
+    fn generation_snapshots_use_the_cached_hypervolume() {
+        let spec = crate::scenarios::ScenarioSpec::unconstrained().compile();
+        let mut rec = SearchRecorder::new("test", 4, &spec);
+        let cell = known_cells::resnet_cell();
+        let config = ConfigSpace::chaidnn().get(0);
+        rec.record(&spec, &dummy_eval(0.90, 200.0, 150.0), Some(&cell), &config);
+        rec.snapshot_generation(&spec);
+        rec.record(&spec, &dummy_eval(0.93, 30.0, 120.0), Some(&cell), &config);
+        rec.snapshot_generation(&spec);
+        let reference = spec.hypervolume_reference();
+        let out = rec.finish();
+        assert_eq!(out.generations.len(), 2);
+        // Monotone by construction, and matching a scratch recompute of the
+        // final front to well under 1e-9 relative.
+        assert!(out.generations[1].hypervolume >= out.generations[0].hypervolume);
+        let scratch = out.front.hypervolume(&reference);
+        let cached = out.generations[1].hypervolume;
+        assert!((cached - scratch).abs() <= 1e-9 * scratch.abs().max(1.0));
     }
 
     #[test]

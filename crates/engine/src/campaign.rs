@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use codesign_core::{
     CodesignSpace, CombinedSearch, CompiledScenario, EvolutionSearch, NsgaSearch, PairEvaluation,
-    PhaseSearch, RandomSearch, ScenarioError, ScenarioSpec, SearchConfig, SearchStrategy,
-    SeparateSearch,
+    PhaseSearch, RandomSearch, RewardShaping, ScenarioError, ScenarioSpec, SearchConfig,
+    SearchStrategy, SeparateSearch,
 };
 
 use crate::mix64;
@@ -67,10 +67,15 @@ impl StrategyKind {
 
     /// Parses a display name back into a kind (`"nsga"` resolves with
     /// [`StrategyKind::DEFAULT_NSGA_POPULATION`]).
+    ///
+    /// `"reinforce"` is accepted as an alias for the combined REINFORCE
+    /// controller over the joint space — the paper's headline RL strategy —
+    /// so shaped-reward invocations read naturally
+    /// (`--strategies reinforce --reward-shaping hv:0.5`).
     #[must_use]
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
-            "combined" => Some(StrategyKind::Combined),
+            "combined" | "reinforce" => Some(StrategyKind::Combined),
             "phase" => Some(StrategyKind::Phase),
             "separate" => Some(StrategyKind::Separate),
             "random" => Some(StrategyKind::Random),
@@ -239,6 +244,11 @@ pub struct Campaign {
     pub record_histories: bool,
     /// Per-scenario scheduling weights (static premiums unless calibrated).
     pub cost_model: CostModel,
+    /// Reward shaping applied by every shard's recorder (off by default).
+    /// Shaping changes the scalar fed back to the controller — it is part
+    /// of the experiment definition, so it rides on the campaign rather
+    /// than the serialized [`ScenarioSpec`]s.
+    pub reward_shaping: RewardShaping,
 }
 
 impl Campaign {
@@ -256,6 +266,7 @@ impl Campaign {
             base_config: SearchConfig::default(),
             record_histories: false,
             cost_model: CostModel::new(),
+            reward_shaping: RewardShaping::None,
         }
     }
 
@@ -321,6 +332,18 @@ impl Campaign {
     #[must_use]
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
+        self
+    }
+
+    /// Applies [`RewardShaping`] to every shard: with
+    /// `RewardShaping::HypervolumeGradient`, each step's reward gains
+    /// `weight × ΔHV`, the point's marginal hypervolume contribution to
+    /// the shard's running Pareto front. The shaped scalar is a pure
+    /// function of the step sequence, so shaped campaigns stay
+    /// bit-identical across worker counts.
+    #[must_use]
+    pub fn with_reward_shaping(mut self, shaping: RewardShaping) -> Self {
+        self.reward_shaping = shaping;
         self
     }
 
@@ -407,7 +430,7 @@ impl Campaign {
         let compiled: Vec<Arc<CompiledScenario>> = self
             .scenarios
             .iter()
-            .map(|s| Arc::new(s.compile()))
+            .map(|s| Arc::new(s.compile().with_reward_shaping(self.reward_shaping)))
             .collect();
         let mut shards = Vec::with_capacity(
             self.scenarios.len() * self.strategies.len() * self.seeds.len() * self.budgets.len(),

@@ -39,6 +39,15 @@ pub struct ShardResult {
     /// [`CompiledScenario::hypervolume_reference`]:
     /// codesign_core::CompiledScenario::hypervolume_reference
     pub hypervolume: f64,
+    /// Total reward-shaping bonus paid out over the run
+    /// (`Σ weight × ΔHV` under
+    /// [`RewardShaping::HypervolumeGradient`]; `0.0` unshaped). Kept
+    /// separate from `best.reward` — best tracking always uses the
+    /// unshaped scalar, so shaped and unshaped campaigns stay comparable.
+    ///
+    /// [`RewardShaping::HypervolumeGradient`]:
+    /// codesign_core::RewardShaping::HypervolumeGradient
+    pub shaping_bonus: f64,
     /// Per-generation front snapshots (size + hypervolume), for population
     /// strategies that record them (`nsga`); empty otherwise.
     pub generations: Vec<GenerationStat>,
@@ -74,9 +83,14 @@ impl ShardResult {
         wall_us: u64,
         keep_history: bool,
     ) -> Self {
+        // `hypervolume_cached` answers from the front's incremental tracker
+        // when one is live (NSGA generation snapshots and shaped runs seed
+        // it); fronts without a tracker fall back to the scratch kernel.
+        // Either path is a pure function of the shard's insert sequence, so
+        // the exported scalar stays deterministic across worker counts.
         let hypervolume = outcome
             .front
-            .hypervolume(&spec.scenario.hypervolume_reference());
+            .hypervolume_cached(&spec.scenario.hypervolume_reference());
         Self {
             spec,
             steps: outcome.history.len(),
@@ -85,6 +99,7 @@ impl ShardResult {
             best: outcome.best,
             front: outcome.front,
             hypervolume,
+            shaping_bonus: outcome.shaping_bonus,
             generations: outcome.generations,
             history: keep_history.then_some(outcome.history),
             cache_warm_hits: 0,
@@ -108,6 +123,7 @@ impl ShardResult {
             best: None,
             front,
             hypervolume: 0.0,
+            shaping_bonus: 0.0,
             generations: Vec::new(),
             history: None,
             cache_warm_hits: 0,
@@ -135,6 +151,9 @@ impl ShardResult {
     /// against the scenario's reference box, and population strategies add
     /// a `generations` array whose entries each carry their own
     /// per-generation `hypervolume` — the front-quality-over-time curve.
+    /// `reward_shaping` records the shard's shaping mode (`"none"` or
+    /// `"hv:<weight>"`) and `hv_bonus` the total shaping bonus paid out,
+    /// so shaped runs are self-describing in the export.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let axes = self.front.schema().clone();
@@ -188,6 +207,11 @@ impl ShardResult {
             ("best", best),
             ("front", Json::Arr(front)),
             ("hypervolume", Json::Num(self.hypervolume)),
+            (
+                "reward_shaping",
+                Json::Str(self.spec.scenario.reward_shaping().to_string()),
+            ),
+            ("hv_bonus", Json::Num(self.shaping_bonus)),
             ("generations", Json::Arr(generations)),
             ("cache_warm_hits", Json::Num(self.cache_warm_hits as f64)),
             ("cache_cold_hits", Json::Num(self.cache_cold_hits as f64)),
@@ -558,6 +582,7 @@ impl CampaignReport {
                 "front_size",
                 "front_axes",
                 "hypervolume",
+                "hv_bonus",
                 "cache_warm_hits",
                 "cache_cold_hits",
                 "cache_misses",
@@ -599,6 +624,7 @@ impl CampaignReport {
                 // '|'-separated: a comma would split the CSV cell.
                 schema.names().join("|"),
                 fmt_f(s.hypervolume, 6),
+                fmt_f(s.shaping_bonus, 6),
                 s.cache_warm_hits.to_string(),
                 s.cache_cold_hits.to_string(),
                 s.cache_misses.to_string(),

@@ -1,0 +1,151 @@
+//! Hypervolume-gradient reward shaping is deterministic plumbing: a
+//! shaped campaign's exports are bit-identical at any worker count and
+//! with telemetry on or off, every shard self-describes its shaping mode
+//! in the JSONL, the paid-out bonus is non-negative, and per-generation
+//! hypervolume curves stay monotone (the incremental tracker only ever
+//! adds volume).
+//!
+//! Everything runs in one `#[test]` because telemetry state (enabled
+//! flag, span buffer, metrics registry) is process-global and the test
+//! harness runs `#[test]`s concurrently.
+
+use std::sync::Arc;
+
+use codesign_core::{CodesignSpace, RewardShaping, ScenarioSpec};
+use codesign_engine::{Campaign, ShardedDriver, StrategyKind};
+use codesign_nasbench::{Json, NasbenchDatabase};
+
+fn shaped_campaign() -> Campaign {
+    Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(vec![
+            ScenarioSpec::unconstrained(),
+            ScenarioSpec::one_constraint(),
+        ])
+        .strategies(vec![
+            StrategyKind::Combined,
+            StrategyKind::Nsga {
+                population: StrategyKind::DEFAULT_NSGA_POPULATION,
+            },
+        ])
+        .seeds(vec![0, 1])
+        .steps(60)
+        .with_reward_shaping(RewardShaping::parse("hv:0.5").expect("flag syntax"))
+}
+
+fn jsonl(campaign: &Campaign, workers: usize) -> String {
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
+    let report = ShardedDriver::new(workers).run(campaign, &db);
+    let mut buf = Vec::new();
+    report.write_jsonl(&mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// Zeroes timing and cross-shard-racy cache attribution — the only fields
+/// that legitimately differ between two runs of the same campaign.
+fn scrub(json: &mut Json) {
+    match json {
+        Json::Obj(pairs) => {
+            for (key, value) in pairs.iter_mut() {
+                match key.as_str() {
+                    "wall_ms" | "wall_us" => *value = Json::Num(0.0),
+                    "cache_warm_hits" | "cache_cold_hits" | "cache_misses" | "warm_hits"
+                    | "cold_hits" | "hits" | "misses" | "hit_rate" | "accuracy_hits"
+                    | "accuracy_warm_hits" | "accuracy_misses" | "inserts" => {
+                        *value = Json::Num(0.0);
+                    }
+                    _ => scrub(value),
+                }
+            }
+        }
+        Json::Arr(items) => items.iter_mut().for_each(scrub),
+        _ => {}
+    }
+}
+
+fn normalized(text: &str) -> String {
+    text.lines()
+        .map(|line| {
+            let mut json = Json::parse(line).expect("export line parses");
+            scrub(&mut json);
+            json.to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn shaped_campaigns_are_deterministic_and_self_describing() {
+    assert!(!codesign_telemetry::enabled(), "tests start with it off");
+    let campaign = shaped_campaign();
+    let off_1 = jsonl(&campaign, 1);
+    let off_4 = jsonl(&campaign, 4);
+
+    codesign_telemetry::set_enabled(true);
+    codesign_telemetry::reset();
+    let on_1 = jsonl(&campaign, 1);
+    codesign_telemetry::set_enabled(false);
+
+    // 1) Bit-identity: the shaped scalar is a pure function of each
+    // shard's own step sequence, so worker count and telemetry change
+    // nothing but wall-clock, racy cache attribution, and the header's
+    // recorded `workers` field.
+    assert_eq!(normalized(&off_1), normalized(&on_1), "telemetry on/off");
+    let shard_lines = |text: &str| normalized(&text.lines().skip(1).collect::<Vec<_>>().join("\n"));
+    assert_eq!(shard_lines(&off_1), shard_lines(&off_4), "1-vs-4 workers");
+
+    // 2) Every shard record carries the shaping mode and a finite,
+    // non-negative total bonus (deltas are clamped at zero).
+    let shards: Vec<Json> = off_1
+        .lines()
+        .skip(1)
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    assert_eq!(shards.len(), 8);
+    for shard in &shards {
+        assert_eq!(
+            shard.get("reward_shaping").and_then(Json::as_str),
+            Some("hv:0.5")
+        );
+        let bonus = shard.get("hv_bonus").and_then(Json::as_f64).unwrap();
+        assert!(bonus.is_finite() && bonus >= 0.0, "hv_bonus {bonus}");
+    }
+    // The RL controller actually collects bonuses: any combined shard
+    // that inserted a point into its front paid out some ΔHV.
+    let combined_bonus: f64 = shards
+        .iter()
+        .filter(|s| s.get("strategy").and_then(Json::as_str) == Some("combined"))
+        .map(|s| s.get("hv_bonus").and_then(Json::as_f64).unwrap())
+        .sum();
+    assert!(combined_bonus > 0.0, "shaped combined shards paid no bonus");
+
+    // 3) NSGA per-generation hypervolume curves are monotone
+    // non-decreasing — the incremental tracker only adds volume.
+    let mut generation_curves = 0;
+    for shard in &shards {
+        let generations = shard.get("generations").and_then(Json::as_arr).unwrap();
+        let curve: Vec<f64> = generations
+            .iter()
+            .map(|g| g.get("hypervolume").and_then(Json::as_f64).unwrap())
+            .collect();
+        for pair in curve.windows(2) {
+            assert!(pair[1] >= pair[0], "hypervolume regressed: {curve:?}");
+        }
+        if curve.len() > 1 {
+            generation_curves += 1;
+        }
+    }
+    assert!(generation_curves >= 4, "every nsga shard records a curve");
+
+    // 4) Unshaped runs of the same grid report mode "none" and zero
+    // bonus — shaping is strictly opt-in.
+    let unshaped = shaped_campaign().with_reward_shaping(RewardShaping::None);
+    let plain = jsonl(&unshaped, 2);
+    for line in plain.lines().skip(1) {
+        let shard = Json::parse(line).unwrap();
+        assert_eq!(
+            shard.get("reward_shaping").and_then(Json::as_str),
+            Some("none")
+        );
+        assert_eq!(shard.get("hv_bonus").and_then(Json::as_f64), Some(0.0));
+    }
+}

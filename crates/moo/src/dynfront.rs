@@ -44,7 +44,8 @@ use std::sync::Arc;
 use codesign_telemetry::Histogram;
 
 use crate::dominance::dominates_dyn;
-use crate::hypervolume::hypervolume_dyn;
+use crate::hv_incremental::IncrementalHypervolume;
+use crate::hypervolume::hypervolume_dyn_iter;
 use crate::pareto::pareto_filter_dyn;
 
 /// Latency of [`DynParetoFront::insert`] (dominance scan + eviction), µs.
@@ -283,6 +284,7 @@ impl FromIterator<f64> for MetricVector {
 pub struct DynParetoFront<T> {
     schema: AxisSchema,
     entries: Vec<(MetricVector, T)>,
+    hv_cache: Option<IncrementalHypervolume>,
 }
 
 impl<T> DynParetoFront<T> {
@@ -292,6 +294,7 @@ impl<T> DynParetoFront<T> {
         Self {
             schema,
             entries: Vec::new(),
+            hv_cache: None,
         }
     }
 
@@ -311,23 +314,55 @@ impl<T> DynParetoFront<T> {
     /// Panics if the point's dimension differs from the schema's.
     pub fn insert(&mut self, metrics: MetricVector, payload: T) -> bool {
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
-        let accepted = self.insert_untimed(metrics, payload);
+        let (accepted, _) = self.insert_untimed(metrics, payload);
         if let Some(t) = timer {
             FRONT_INSERT_US.record_duration(t.elapsed());
         }
         accepted
     }
 
-    fn insert_untimed(&mut self, metrics: MetricVector, payload: T) -> bool {
+    /// Inserts a point like [`Self::insert`], returning `(accepted, delta)`
+    /// where `delta` is the point's marginal hypervolume contribution
+    /// against the cached tracker's reference — the per-step signal behind
+    /// hypervolume-gradient reward shaping. Rejected points price at `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::enable_hv_cache`] was never called, or if the
+    /// point's dimension differs from the schema's.
+    pub fn insert_with_hv_delta(&mut self, metrics: MetricVector, payload: T) -> (bool, f64) {
+        assert!(
+            self.hv_cache.is_some(),
+            "insert_with_hv_delta requires enable_hv_cache first"
+        );
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        let out = self.insert_untimed(metrics, payload);
+        if let Some(t) = timer {
+            FRONT_INSERT_US.record_duration(t.elapsed());
+        }
+        out
+    }
+
+    /// The single delta-aware insert core: every mutation path (`insert`,
+    /// `insert_with_hv_delta`, `merge`, `extend`) lands here, so an enabled
+    /// hypervolume cache stays coherent with the member set.
+    fn insert_untimed(&mut self, metrics: MetricVector, payload: T) -> (bool, f64) {
         self.check_dims(&metrics);
         for (m, _) in &self.entries {
             if dominates_dyn(m, &metrics) {
-                return false;
+                // A rejected point is dominated by an existing member, so
+                // its marginal volume is exactly zero — the cache never
+                // needs to see it.
+                return (false, 0.0);
             }
         }
+        let delta = match &mut self.hv_cache {
+            Some(cache) => cache.insert(metrics.as_slice()),
+            None => 0.0,
+        };
         self.entries.retain(|(m, _)| !dominates_dyn(&metrics, m));
         self.entries.push((metrics, payload));
-        true
+        (true, delta)
     }
 
     /// Returns `true` if `metrics` would be rejected (some member dominates
@@ -367,6 +402,8 @@ impl<T> DynParetoFront<T> {
 
     /// Merges another front of the *same schema* into this one (the merged
     /// front is exactly the front of the two member sets' concatenation).
+    /// Every merged point routes through the delta-aware insert core, so an
+    /// enabled hypervolume cache stays coherent across merges.
     ///
     /// # Panics
     ///
@@ -384,6 +421,11 @@ impl<T> DynParetoFront<T> {
     /// Dominated hypervolume of the front relative to `reference`
     /// (see [`crate::hypervolume::hypervolume_dyn`]).
     ///
+    /// Always recomputes from scratch — bit-identical to
+    /// [`crate::hypervolume::hypervolume_dyn`] over the member set
+    /// regardless of any cache state. For the cached running total, see
+    /// [`Self::enable_hv_cache`] / [`Self::hypervolume_cached`].
+    ///
     /// # Panics
     ///
     /// Panics if `reference` has a different dimension than the schema.
@@ -391,12 +433,70 @@ impl<T> DynParetoFront<T> {
     pub fn hypervolume(&self, reference: &[f64]) -> f64 {
         assert_eq!(reference.len(), self.schema.len(), "dimension mismatch");
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
-        let points: Vec<&[f64]> = self.entries.iter().map(|(m, _)| m.as_slice()).collect();
-        let hv = hypervolume_dyn(&points, reference);
+        let hv = hypervolume_dyn_iter(self.entries.iter().map(|(m, _)| m.as_slice()), reference);
         if let Some(t) = timer {
             HYPERVOLUME_US.record_duration(t.elapsed());
         }
         hv
+    }
+
+    /// Switches the front into cached-hypervolume mode against `reference`
+    /// and returns the current dominated hypervolume.
+    ///
+    /// The first call seeds an [`IncrementalHypervolume`] from the current
+    /// members (one pass, in insertion order); from then on every insert
+    /// path updates the running total with its marginal contribution, so
+    /// repeated hypervolume reads — per-generation snapshots, per-step
+    /// reward shaping — cost `O(1)` instead of a scratch recompute.
+    /// Calling it again with the same reference is a cheap cache read; a
+    /// different reference rebuilds the tracker.
+    ///
+    /// The cached total is the sum of exact marginal contributions, each
+    /// clamped to `≥ 0`: monotone non-decreasing over inserts, and equal to
+    /// the scratch [`Self::hypervolume`] up to accumulated rounding (≤1e-9
+    /// relative at campaign scales; proptest-pinned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` has a different dimension than the schema.
+    pub fn enable_hv_cache(&mut self, reference: &[f64]) -> f64 {
+        assert_eq!(reference.len(), self.schema.len(), "dimension mismatch");
+        match &self.hv_cache {
+            Some(cache) if cache.reference() == reference => cache.hypervolume(),
+            _ => {
+                let cache = IncrementalHypervolume::from_points(
+                    reference,
+                    self.entries.iter().map(|(m, _)| m.as_slice()),
+                );
+                let hv = cache.hypervolume();
+                self.hv_cache = Some(cache);
+                hv
+            }
+        }
+    }
+
+    /// The cached running hypervolume, if [`Self::enable_hv_cache`] was
+    /// called, along with the reference it was built against.
+    #[must_use]
+    pub fn cached_hypervolume(&self) -> Option<(&[f64], f64)> {
+        self.hv_cache
+            .as_ref()
+            .map(|c| (c.reference(), c.hypervolume()))
+    }
+
+    /// Dominated hypervolume relative to `reference`, served from the cache
+    /// when one is enabled against the same reference, otherwise a scratch
+    /// [`Self::hypervolume`] recompute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` has a different dimension than the schema.
+    #[must_use]
+    pub fn hypervolume_cached(&self, reference: &[f64]) -> f64 {
+        match &self.hv_cache {
+            Some(cache) if cache.reference() == reference => cache.hypervolume(),
+            _ => self.hypervolume(reference),
+        }
     }
 
     fn check_dims(&self, metrics: &MetricVector) {
@@ -539,7 +639,11 @@ impl<T> DynStreamingParetoFilter<T> {
     pub fn finish_front(self) -> DynParetoFront<T> {
         let schema = self.schema.clone();
         let entries = self.finish();
-        DynParetoFront { schema, entries }
+        DynParetoFront {
+            schema,
+            entries,
+            hv_cache: None,
+        }
     }
 
     fn compact(&mut self) {
@@ -806,5 +910,43 @@ mod tests {
         front.insert([1.0, 2.0].into(), ());
         front.insert([2.0, 1.0].into(), ());
         assert!((front.hypervolume(&[0.0, 0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv_cache_stays_coherent_across_inserts_and_merges() {
+        let schema = AxisSchema::new(["x", "y"]);
+        let mut front: DynParetoFront<u32> = DynParetoFront::new(schema.clone());
+        front.insert([1.0, 2.0].into(), 0);
+        let hv0 = front.enable_hv_cache(&[0.0, 0.0]);
+        assert!((hv0 - 2.0).abs() < 1e-12);
+        // Re-enabling with the same reference is a cache read.
+        assert_eq!(front.enable_hv_cache(&[0.0, 0.0]), hv0);
+        let (accepted, delta) = front.insert_with_hv_delta([2.0, 1.0].into(), 1);
+        assert!(accepted);
+        assert!((delta - 1.0).abs() < 1e-12);
+        let (rejected, zero) = front.insert_with_hv_delta([0.5, 0.5].into(), 2);
+        assert!(!rejected);
+        assert_eq!(zero, 0.0);
+        // Merge routes through the same delta-aware core.
+        let mut other: DynParetoFront<u32> = DynParetoFront::new(schema);
+        other.insert([3.0, 0.5].into(), 3);
+        front.merge(other);
+        let (reference, cached) = front.cached_hypervolume().expect("cache enabled");
+        assert_eq!(reference, &[0.0, 0.0]);
+        let scratch = front.hypervolume(&[0.0, 0.0]);
+        assert!((cached - scratch).abs() <= 1e-9 * scratch.abs());
+        assert_eq!(front.hypervolume_cached(&[0.0, 0.0]), cached);
+        // A different reference falls back to a scratch recompute.
+        assert_eq!(
+            front.hypervolume_cached(&[-1.0, -1.0]).to_bits(),
+            front.hypervolume(&[-1.0, -1.0]).to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_hv_cache")]
+    fn insert_with_hv_delta_requires_the_cache() {
+        let mut front: DynParetoFront<()> = DynParetoFront::new(AxisSchema::new(["x", "y"]));
+        let _ = front.insert_with_hv_delta([1.0, 1.0].into(), ());
     }
 }

@@ -1,0 +1,490 @@
+//! Incremental dominated-hypervolume tracking.
+//!
+//! Every [`crate::DynParetoFront::hypervolume`] query recomputes the full
+//! dominated volume from scratch — fine once per campaign, ruinous once per
+//! step. This module maintains the hypervolume *alongside* the point set:
+//! [`IncrementalHypervolume::insert`] returns each point's exact **marginal
+//! contribution** and updates the running total, turning per-step
+//! hypervolume (generation snapshots, hypervolume-gradient reward shaping)
+//! from `O(front-HV)` into a local staircase update.
+//!
+//! Kernels by dimension:
+//!
+//! * **1D** — running best margin; `O(1)` per insert.
+//! * **2D** — a staircase sorted by the first objective: a new point's
+//!   contribution is its own rectangle term, minus the terms of the
+//!   contiguous run of points it evicts, plus the shrinkage of its left
+//!   survivor's slab. `O(log n + evicted)` per insert.
+//! * **3D** — points kept sorted by the third objective descending; a new
+//!   point's contribution is a sweep down that axis accumulating its
+//!   marginal 2D staircase area per slab, stopping early the moment the
+//!   area hits zero (the staircase only grows as the sweep descends).
+//!   `O(n log n)` worst case against the scratch kernel's `O(n²)`.
+//! * **N≥4** — a bounded local recompute via the identity
+//!   `HV(F ∪ {p}) − HV(F) = vol(box(ref, p)) − HV(F clipped into box(ref, p))`:
+//!   exact, and the clipping collapses distant points onto the box faces so
+//!   the scratch kernel runs on a Pareto-filtered fraction of the front.
+//!
+//! Every path is a deterministic, insertion-order-pinned function of the
+//! point sequence — campaigns stay bit-identical across worker counts — and
+//! the accumulated total matches the scratch [`crate::hypervolume_dyn`]
+//! oracle to ≤1e-9 relative (proptest-pinned in `tests/proptests.rs`).
+//! Marginal contributions are clamped to `≥ 0`, so the running total is
+//! exactly monotone non-decreasing over inserts.
+//!
+//! # Examples
+//!
+//! ```
+//! use codesign_moo::IncrementalHypervolume;
+//!
+//! let mut hv = IncrementalHypervolume::new(&[0.0, 0.0]);
+//! assert_eq!(hv.insert(&[1.0, 2.0]), 2.0); // its own box
+//! assert_eq!(hv.insert(&[2.0, 1.0]), 1.0); // minus the overlap
+//! assert_eq!(hv.insert(&[0.5, 0.5]), 0.0); // dominated: no new volume
+//! assert_eq!(hv.hypervolume(), 3.0);
+//! ```
+
+use codesign_telemetry::{Counter, Histogram};
+
+use crate::hypervolume::hypervolume_dyn;
+
+/// Latency of [`IncrementalHypervolume::insert`] (marginal-HV updates), µs.
+static HV_DELTA_US: Histogram = Histogram::new("moo.hv_delta_us");
+/// Inserts served by the exact incremental 1D/2D/3D staircase kernels.
+static HV_INCREMENTAL: Counter = Counter::new("moo.hv.incremental");
+/// Inserts served by the N≥4 bounded-local-recompute (scratch) fallback.
+static HV_FALLBACK: Counter = Counter::new("moo.hv.fallback");
+
+/// Tracks the dominated hypervolume of a growing point set and prices each
+/// inserted point's marginal contribution (all-maximize convention, as the
+/// rest of the crate).
+///
+/// Points at or below the reference in any objective contribute nothing and
+/// are not tracked; dominated and duplicate points price at exactly `0.0`.
+/// See the [module docs](self) for the per-dimension kernels and the
+/// determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalHypervolume {
+    reference: Vec<f64>,
+    hv: f64,
+    kernel: Kernel,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Kernel {
+    /// Zero objectives: no volume to dominate.
+    D0,
+    /// One objective: the running best value.
+    D1 { best: f64 },
+    /// Two objectives: staircase sorted by `x` ascending (`y` strictly
+    /// descending) — only mutually non-dominated points strictly above the
+    /// reference.
+    D2 { stairs: Vec<[f64; 2]> },
+    /// Three objectives: non-dominated points sorted by `z` descending
+    /// (ties in insertion order).
+    D3 { points: Vec<[f64; 3]> },
+    /// Four or more objectives: non-dominated points in insertion order,
+    /// priced by bounded local recompute.
+    Dn { points: Vec<Vec<f64>> },
+}
+
+impl IncrementalHypervolume {
+    /// Creates an empty tracker against `reference` (the point every input
+    /// is measured from; no worse than any input in every objective).
+    #[must_use]
+    pub fn new(reference: &[f64]) -> Self {
+        let kernel = match reference.len() {
+            0 => Kernel::D0,
+            1 => Kernel::D1 {
+                best: f64::NEG_INFINITY,
+            },
+            2 => Kernel::D2 { stairs: Vec::new() },
+            3 => Kernel::D3 { points: Vec::new() },
+            _ => Kernel::Dn { points: Vec::new() },
+        };
+        Self {
+            reference: reference.to_vec(),
+            hv: 0.0,
+            kernel,
+        }
+    }
+
+    /// Creates a tracker pre-seeded with `points`, inserted in iteration
+    /// order (the result is the same as calling [`Self::insert`] on each).
+    #[must_use]
+    pub fn from_points<'a, I>(reference: &[f64], points: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut hv = Self::new(reference);
+        for p in points {
+            hv.insert(p);
+        }
+        hv
+    }
+
+    /// The reference point the tracker was built against.
+    #[must_use]
+    pub fn reference(&self) -> &[f64] {
+        &self.reference
+    }
+
+    /// The dominated hypervolume of everything inserted so far.
+    #[must_use]
+    pub fn hypervolume(&self) -> f64 {
+        self.hv
+    }
+
+    /// Number of points currently carrying volume (mutually non-dominated
+    /// and strictly above the reference in every objective).
+    #[must_use]
+    pub fn tracked_len(&self) -> usize {
+        match &self.kernel {
+            Kernel::D0 => 0,
+            Kernel::D1 { best } => usize::from(*best > self.reference[0]),
+            Kernel::D2 { stairs } => stairs.len(),
+            Kernel::D3 { points } => points.len(),
+            Kernel::Dn { points } => points.len(),
+        }
+    }
+
+    /// `true` when nothing inserted so far dominates any volume.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tracked_len() == 0
+    }
+
+    /// Inserts a point and returns its exact marginal hypervolume
+    /// contribution (clamped to `≥ 0`); the running total grows by the
+    /// same amount. Dominated points, duplicates, and points at or below
+    /// the reference return `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimension differs from the reference's.
+    pub fn insert(&mut self, point: &[f64]) -> f64 {
+        assert_eq!(
+            point.len(),
+            self.reference.len(),
+            "point dimension {} does not match the reference dimension {}",
+            point.len(),
+            self.reference.len()
+        );
+        let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
+        // Points at or below the reference in any objective dominate zero
+        // volume and cannot shrink any other point's contribution.
+        let delta = if point.iter().zip(&self.reference).any(|(p, r)| p <= r) {
+            0.0
+        } else {
+            match &mut self.kernel {
+                Kernel::D0 => 0.0,
+                Kernel::D1 { best } => {
+                    let floor = best.max(self.reference[0]);
+                    let delta = (point[0] - floor).max(0.0);
+                    *best = best.max(point[0]);
+                    delta
+                }
+                Kernel::D2 { stairs } => insert_2d(
+                    stairs,
+                    self.reference[0],
+                    self.reference[1],
+                    [point[0], point[1]],
+                ),
+                Kernel::D3 { points } => insert_3d(
+                    points,
+                    [self.reference[0], self.reference[1], self.reference[2]],
+                    [point[0], point[1], point[2]],
+                ),
+                Kernel::Dn { points } => insert_nd(points, &self.reference, point),
+            }
+        };
+        let delta = delta.max(0.0);
+        self.hv += delta;
+        match self.kernel {
+            Kernel::Dn { .. } => HV_FALLBACK.add(1),
+            _ => HV_INCREMENTAL.add(1),
+        }
+        if let Some(t) = timer {
+            HV_DELTA_US.record_duration(t.elapsed());
+        }
+        delta
+    }
+}
+
+/// `true` when `q` is at least as good as `p` in every objective.
+fn weakly_dominates(q: &[f64], p: &[f64]) -> bool {
+    q.iter().zip(p).all(|(a, b)| a >= b)
+}
+
+/// Marginal 2D area `p` would add to the staircase, plus the index range of
+/// members it would evict. `stairs` is sorted by `x` ascending with `y`
+/// strictly descending; `p` must be strictly above the reference. Returns
+/// `None` when `p` is weakly dominated (zero area, nothing to evict).
+/// Pure query: does not mutate.
+fn stair_delta(
+    stairs: &[[f64; 2]],
+    rx: f64,
+    ry: f64,
+    p: [f64; 2],
+) -> Option<(f64, std::ops::Range<usize>)> {
+    let [x, y] = p;
+    debug_assert!(x > rx && y > ry);
+    let j = stairs.partition_point(|q| q[0] < x);
+    if j < stairs.len() && stairs[j][1] >= y {
+        // stairs[j] has x ≥ x and y ≥ y: it weakly dominates p, and it has
+        // the largest y among all members with x ≥ x, so no other member
+        // needs checking.
+        return None;
+    }
+    // Members weakly dominated by p form one contiguous run: the immediate
+    // predecessors with y ≤ y (their x < x by the partition), plus
+    // stairs[j] itself when it shares p's x (its y is < y after the check
+    // above).
+    let end = if j < stairs.len() && stairs[j][0] == x {
+        j + 1
+    } else {
+        j
+    };
+    let mut start = j;
+    while start > 0 && stairs[start - 1][1] <= y {
+        start -= 1;
+    }
+    // Staircase area telescopes as Σᵢ (xᵢ − rx)(yᵢ − y_next); rebuild only
+    // the terms the insertion touches.
+    let y_succ = if end < stairs.len() {
+        stairs[end][1]
+    } else {
+        ry
+    };
+    let mut delta = (x - rx) * (y - y_succ);
+    if start > 0 {
+        // The left survivor's slab now stops at p's y instead of its old
+        // successor's.
+        let old_succ = if start < stairs.len() {
+            stairs[start][1]
+        } else {
+            ry
+        };
+        delta += (stairs[start - 1][0] - rx) * (old_succ - y);
+    }
+    for i in start..end {
+        let next = if i + 1 < stairs.len() {
+            stairs[i + 1][1]
+        } else {
+            ry
+        };
+        delta -= (stairs[i][0] - rx) * (stairs[i][1] - next);
+    }
+    Some((delta, start..end))
+}
+
+/// Inserts `p` into the 2D staircase, returning its marginal area.
+fn insert_2d(stairs: &mut Vec<[f64; 2]>, rx: f64, ry: f64, p: [f64; 2]) -> f64 {
+    match stair_delta(stairs, rx, ry, p) {
+        None => 0.0,
+        Some((delta, evicted)) => {
+            stairs.splice(evicted, std::iter::once(p));
+            delta
+        }
+    }
+}
+
+/// Inserts `p` into the 3D kept set (sorted by `z` descending), returning
+/// its marginal volume via a z-descending sweep of marginal 2D areas.
+fn insert_3d(points: &mut Vec<[f64; 3]>, r: [f64; 3], p: [f64; 3]) -> f64 {
+    if points.iter().any(|q| weakly_dominates(q, &p)) {
+        return 0.0;
+    }
+    // p's marginal volume is ∫ over z of its marginal 2D area against the
+    // staircase of points above each level. The staircase only grows as
+    // the sweep descends, so the marginal area is non-increasing — the
+    // sweep stops the moment it reaches zero.
+    let mut stairs: Vec<[f64; 2]> = Vec::new();
+    let above = points.partition_point(|q| q[2] >= p[2]);
+    for q in &points[..above] {
+        insert_2d(&mut stairs, r[0], r[1], [q[0], q[1]]);
+    }
+    let marginal_area = |stairs: &[[f64; 2]]| {
+        stair_delta(stairs, r[0], r[1], [p[0], p[1]]).map_or(0.0, |(area, _)| area)
+    };
+    let mut area = marginal_area(&stairs);
+    let mut volume = 0.0;
+    let mut z_hi = p[2];
+    for q in &points[above..] {
+        if area <= 0.0 {
+            break;
+        }
+        if q[2] < z_hi {
+            volume += area * (z_hi - q[2]);
+            z_hi = q[2];
+        }
+        if insert_2d(&mut stairs, r[0], r[1], [q[0], q[1]]) != 0.0 {
+            area = marginal_area(&stairs);
+        }
+    }
+    if area > 0.0 {
+        volume += area * (z_hi - r[2]);
+    }
+    points.retain(|q| !weakly_dominates(&p, q));
+    let pos = points.partition_point(|q| q[2] >= p[2]);
+    points.insert(pos, p);
+    volume
+}
+
+/// Prices `p` against an N≥4 kept set by bounded local recompute:
+/// `delta = vol(box(ref, p)) − HV(kept points clipped into box(ref, p))`.
+fn insert_nd(points: &mut Vec<Vec<f64>>, reference: &[f64], p: &[f64]) -> f64 {
+    if points.iter().any(|q| weakly_dominates(q, p)) {
+        return 0.0;
+    }
+    let box_vol: f64 = p.iter().zip(reference).map(|(a, r)| a - r).product();
+    // Clip every kept point into p's box; the scratch kernel then only
+    // sees the volume p shares with the existing front. Clipping collapses
+    // far-away points onto the box faces, so the set Pareto-filters down
+    // hard before the O(n^(d-1)) recursion runs.
+    let mut clipped: Vec<Vec<f64>> = Vec::new();
+    for q in points.iter() {
+        let c: Vec<f64> = q.iter().zip(p).map(|(qi, pi)| qi.min(*pi)).collect();
+        if c.iter().zip(reference).any(|(ci, ri)| ci <= ri)
+            || clipped.iter().any(|k| weakly_dominates(k, &c))
+        {
+            continue;
+        }
+        clipped.retain(|k| !weakly_dominates(&c, k));
+        clipped.push(c);
+    }
+    let covered = hypervolume_dyn(&clipped, reference);
+    points.retain(|q| !weakly_dominates(p, q));
+    points.push(p.to_vec());
+    box_vol - covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervolume::{hypervolume_2d, hypervolume_3d};
+
+    #[test]
+    fn empty_tracker_has_zero_volume() {
+        for dims in 0..6 {
+            let hv = IncrementalHypervolume::new(&vec![0.0; dims]);
+            assert_eq!(hv.hypervolume(), 0.0);
+            assert!(hv.is_empty());
+        }
+    }
+
+    #[test]
+    fn points_below_the_reference_price_at_zero() {
+        let mut hv = IncrementalHypervolume::new(&[0.0, 0.0, 0.0]);
+        assert_eq!(hv.insert(&[1.0, -1.0, 1.0]), 0.0);
+        assert_eq!(hv.insert(&[0.0, 1.0, 1.0]), 0.0); // on the face: zero box
+        assert_eq!(hv.tracked_len(), 0);
+    }
+
+    #[test]
+    fn one_dimension_tracks_the_best_margin() {
+        let mut hv = IncrementalHypervolume::new(&[10.0]);
+        assert_eq!(hv.insert(&[12.0]), 2.0);
+        assert_eq!(hv.insert(&[11.0]), 0.0);
+        assert_eq!(hv.insert(&[15.0]), 3.0);
+        assert_eq!(hv.hypervolume(), 5.0);
+        assert_eq!(hv.tracked_len(), 1);
+    }
+
+    #[test]
+    fn two_dimensions_match_the_scratch_kernel() {
+        let pts = [
+            [3.0, 1.0],
+            [1.0, 3.0],
+            [2.0, 2.0],
+            [2.0, 2.0], // duplicate
+            [0.5, 0.5], // dominated
+            [3.0, 2.5], // evicts two members
+        ];
+        let mut hv = IncrementalHypervolume::new(&[0.0, 0.0]);
+        let mut seen: Vec<[f64; 2]> = Vec::new();
+        for p in pts {
+            let before = hv.hypervolume();
+            let delta = hv.insert(&p);
+            seen.push(p);
+            let scratch = hypervolume_2d(&seen, [0.0, 0.0]);
+            assert!((hv.hypervolume() - scratch).abs() < 1e-12, "{seen:?}");
+            assert!((before + delta - scratch).abs() < 1e-12);
+        }
+        assert_eq!(hv.tracked_len(), 2); // (1,3) and (3,2.5)
+    }
+
+    #[test]
+    fn three_dimensions_match_the_scratch_kernel() {
+        let pts = [
+            [2.0, 1.0, 1.0],
+            [1.0, 2.0, 1.0],
+            [1.0, 1.0, 2.0],
+            [2.0, 2.0, 2.0], // evicts all three
+            [2.0, 2.0, 2.0], // duplicate
+            [1.5, 1.5, 1.5], // dominated
+        ];
+        let mut hv = IncrementalHypervolume::new(&[0.0, 0.0, 0.0]);
+        let mut seen: Vec<[f64; 3]> = Vec::new();
+        for p in pts {
+            hv.insert(&p);
+            seen.push(p);
+            let scratch = hypervolume_3d(&seen, [0.0, 0.0, 0.0]);
+            assert!((hv.hypervolume() - scratch).abs() < 1e-12, "{seen:?}");
+        }
+        assert_eq!(hv.tracked_len(), 1);
+    }
+
+    #[test]
+    fn four_dimensions_use_the_exact_fallback() {
+        let pts = [
+            vec![2.0, 1.0, 1.0, 1.0],
+            vec![1.0, 2.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0, 1.0], // dominated
+            vec![2.0, 2.0, 1.0, 1.0], // evicts the first two
+        ];
+        let mut hv = IncrementalHypervolume::new(&[0.0; 4]);
+        let mut seen: Vec<Vec<f64>> = Vec::new();
+        for p in &pts {
+            hv.insert(p);
+            seen.push(p.clone());
+            let scratch = hypervolume_dyn(&seen, &[0.0; 4]);
+            assert!((hv.hypervolume() - scratch).abs() < 1e-12, "{seen:?}");
+        }
+        assert_eq!(hv.tracked_len(), 1);
+    }
+
+    #[test]
+    fn from_points_equals_sequential_inserts() {
+        let pts = [[1.0, 2.0], [2.0, 1.0], [1.5, 1.5]];
+        let mut sequential = IncrementalHypervolume::new(&[0.0, 0.0]);
+        for p in &pts {
+            sequential.insert(p);
+        }
+        let seeded =
+            IncrementalHypervolume::from_points(&[0.0, 0.0], pts.iter().map(|p| p.as_slice()));
+        assert_eq!(seeded, sequential);
+    }
+
+    #[test]
+    fn deltas_are_monotone_bookkeeping() {
+        // Sum of returned deltas is exactly the running total, and the
+        // total never decreases.
+        let pts = [[0.9, -3.0, 1.0], [0.8, -1.0, 2.0], [0.95, -2.0, 1.5]];
+        let mut hv = IncrementalHypervolume::new(&[0.0, -10.0, 0.0]);
+        let mut total = 0.0;
+        for p in &pts {
+            let before = hv.hypervolume();
+            total += hv.insert(p);
+            assert!(hv.hypervolume() >= before);
+        }
+        assert_eq!(total, hv.hypervolume());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn insert_rejects_wrong_dimension() {
+        let mut hv = IncrementalHypervolume::new(&[0.0, 0.0]);
+        hv.insert(&[1.0, 2.0, 3.0]);
+    }
+}

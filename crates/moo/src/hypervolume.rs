@@ -205,6 +205,83 @@ pub fn hypervolume_dyn<P: AsRef<[f64]>>(points: &[P], reference: &[f64]) -> f64 
     }
 }
 
+/// [`hypervolume_dyn`] over borrowed point slices, without materializing a
+/// `Vec<&[f64]>` first.
+///
+/// For one, two, and three objectives — every registry-sized scenario — the
+/// points are read straight out of the iterator into the fixed-dimension
+/// kernels, performing the exact same floating-point operations as
+/// [`hypervolume_dyn`] (bit-identical results; the engine's front-parity
+/// test leans on this). Four or more objectives collect once and delegate.
+///
+/// # Panics
+///
+/// Panics if any point's dimension differs from the reference's.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_moo::{hypervolume_dyn, hypervolume_dyn_iter};
+///
+/// let pts = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+/// let hv = hypervolume_dyn_iter(pts.iter().map(Vec::as_slice), &[0.0, 0.0]);
+/// assert_eq!(hv.to_bits(), hypervolume_dyn(&pts, &[0.0, 0.0]).to_bits());
+/// ```
+#[must_use]
+pub fn hypervolume_dyn_iter<'a, I>(points: I, reference: &[f64]) -> f64
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let dims = reference.len();
+    let check = |p: &[f64]| {
+        assert!(
+            p.len() == dims,
+            "all points must match the reference dimension ({dims})"
+        );
+    };
+    match dims {
+        0 => 0.0,
+        1 => {
+            let best = points
+                .into_iter()
+                .map(|p| {
+                    check(p);
+                    p[0]
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best > reference[0] {
+                best - reference[0]
+            } else {
+                0.0
+            }
+        }
+        2 => {
+            let pts: Vec<[f64; 2]> = points
+                .into_iter()
+                .map(|p| {
+                    check(p);
+                    [p[0], p[1]]
+                })
+                .collect();
+            hypervolume_2d(&pts, [reference[0], reference[1]])
+        }
+        3 => {
+            let pts: Vec<[f64; 3]> = points
+                .into_iter()
+                .map(|p| {
+                    check(p);
+                    [p[0], p[1], p[2]]
+                })
+                .collect();
+            hypervolume_3d(&pts, [reference[0], reference[1], reference[2]])
+        }
+        _ => {
+            let pts: Vec<&[f64]> = points.into_iter().collect();
+            hypervolume_dyn(&pts, reference)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +391,31 @@ mod tests {
     fn dyn_zero_dimensions_is_empty_volume() {
         let pts: Vec<Vec<f64>> = vec![vec![], vec![]];
         assert_eq!(hypervolume_dyn(&pts, &[]), 0.0);
+    }
+
+    #[test]
+    fn iter_entry_point_is_bitwise_identical_at_every_dimension() {
+        for dims in 0..5usize {
+            let pts: Vec<Vec<f64>> = (0..6)
+                .map(|i| {
+                    (0..dims)
+                        .map(|d| f64::from(((i * 7 + d * 3) % 5) as u32))
+                        .collect()
+                })
+                .collect();
+            let reference = vec![-1.0; dims];
+            assert_eq!(
+                hypervolume_dyn_iter(pts.iter().map(Vec::as_slice), &reference).to_bits(),
+                hypervolume_dyn(&pts, &reference).to_bits(),
+                "{dims} dims"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the reference dimension")]
+    fn iter_entry_point_rejects_wrong_dimension() {
+        let pts = [vec![1.0, 2.0, 3.0]];
+        let _ = hypervolume_dyn_iter(pts.iter().map(Vec::as_slice), &[0.0, 0.0]);
     }
 }

@@ -17,7 +17,10 @@
 //! * [`reward`] — the ε-constraint + weighted-sum reward `R` of Eq. 3/4 and the
 //!   punishment function `Rv` for infeasible points,
 //! * [`hypervolume`] — dominated-hypervolume indicators used to compare search
-//!   strategies quantitatively (an extension over the paper's visual comparison).
+//!   strategies quantitatively (an extension over the paper's visual comparison),
+//! * [`hv_incremental`] — [`IncrementalHypervolume`], the marginal-contribution
+//!   tracker behind cached front hypervolume, per-generation snapshots, and
+//!   hypervolume-gradient reward shaping.
 //!
 //! All functions use the **all-maximize convention**: metrics to be minimized
 //! (area, latency) are negated by the caller, exactly as the paper writes
@@ -60,6 +63,7 @@
 
 pub mod dominance;
 pub mod dynfront;
+pub mod hv_incremental;
 pub mod hypervolume;
 pub mod normalize;
 pub mod pareto;
@@ -74,7 +78,8 @@ pub use dynfront::{
     crowding_distance_dyn, AxisSchema, DynParetoFront, DynStreamingParetoFilter, MetricVector,
 };
 pub use error::MooError;
-pub use hypervolume::{hypervolume_2d, hypervolume_3d, hypervolume_dyn};
+pub use hv_incremental::IncrementalHypervolume;
+pub use hypervolume::{hypervolume_2d, hypervolume_3d, hypervolume_dyn, hypervolume_dyn_iter};
 pub use normalize::LinearNorm;
 pub use pareto::{
     pareto_filter, pareto_filter_dyn, pareto_indices, pareto_indices_dyn, ParetoFront,

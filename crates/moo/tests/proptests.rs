@@ -6,7 +6,7 @@ use codesign_moo::pareto::{
 };
 use codesign_moo::{
     crowding_distance_dyn, dominates, dominates_dyn, hypervolume_3d, hypervolume_dyn, rank_dyn,
-    AxisSchema, DynParetoFront, LinearNorm, ParetoFront, RewardSpec,
+    AxisSchema, DynParetoFront, IncrementalHypervolume, LinearNorm, ParetoFront, RewardSpec,
 };
 use proptest::prelude::*;
 
@@ -323,5 +323,102 @@ proptest! {
         let a = hypervolume_3d(&pts, reference);
         let b = hypervolume_3d(&front, reference);
         prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    // Incremental hypervolume vs the scratch `hypervolume_dyn` oracle, for
+    // N ∈ {2, 3, 4}, under arbitrary insertion orders drawn from the
+    // tie-heavy integer grid (the eviction-heavy hard case) shifted above a
+    // fixed reference. Deltas must telescope to the scratch total after
+    // *every* prefix, to ≤1e-9 relative.
+    #[test]
+    fn incremental_hv_matches_scratch_oracle_2d(
+        pts in prop::collection::vec(point2(), 0..60),
+    ) {
+        check_incremental_hv(&pts.iter().map(|p| p.to_vec()).collect::<Vec<_>>(), &[-4.0; 2]);
+    }
+
+    #[test]
+    fn incremental_hv_matches_scratch_oracle_3d(
+        pts in prop::collection::vec(point3(), 0..60),
+    ) {
+        check_incremental_hv(&pts.iter().map(|p| p.to_vec()).collect::<Vec<_>>(), &[-4.0; 3]);
+    }
+
+    #[test]
+    fn incremental_hv_matches_scratch_oracle_4d(
+        pts in prop::collection::vec(point4(), 0..40),
+    ) {
+        check_incremental_hv(&pts.iter().map(|p| p.to_vec()).collect::<Vec<_>>(), &[-4.0; 4]);
+    }
+
+    // The paper-triple regime: continuous values, no ties, real scales.
+    #[test]
+    fn incremental_hv_matches_scratch_oracle_on_paper_triples(
+        pts in prop::collection::vec(paper_point(), 0..60),
+    ) {
+        let reference = [-250.0, -500.0, 0.5];
+        check_incremental_hv(&pts.iter().map(|p| p.to_vec()).collect::<Vec<_>>(), &reference);
+    }
+
+    // The front-level cached mode: cache enabled mid-stream, the rest of
+    // the points inserted through `insert_with_hv_delta`; the running total
+    // must match a scratch recompute of the surviving members.
+    #[test]
+    fn dyn_front_cached_hv_matches_scratch(
+        pts in prop::collection::vec(point3(), 1..60),
+        split in 0usize..60,
+    ) {
+        let reference = [-4.0; 3];
+        let schema = AxisSchema::new(["a", "b", "c"]);
+        let mut front: DynParetoFront<usize> = DynParetoFront::new(schema);
+        let split = split.min(pts.len());
+        for (i, p) in pts[..split].iter().enumerate() {
+            front.insert((*p).into(), i);
+        }
+        let seeded = front.enable_hv_cache(&reference);
+        prop_assert!(relative_close(seeded, front.hypervolume(&reference)));
+        for (i, p) in pts[split..].iter().enumerate() {
+            let before = front.hypervolume_cached(&reference);
+            let (_, delta) = front.insert_with_hv_delta((*p).into(), split + i);
+            prop_assert!(delta >= 0.0);
+            let after = front.hypervolume_cached(&reference);
+            prop_assert!(relative_close(before + delta, after));
+        }
+        prop_assert!(relative_close(
+            front.hypervolume_cached(&reference),
+            front.hypervolume(&reference),
+        ));
+    }
+}
+
+/// `a` and `b` agree to ≤1e-9 relative (absolute near zero).
+fn relative_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * b.abs().max(a.abs()).max(1.0)
+}
+
+/// Feeds `pts` one at a time into an [`IncrementalHypervolume`] and checks
+/// every prefix's running total against the scratch oracle, plus the
+/// marginal-delta bookkeeping (each delta ≥ 0 and exactly the growth of
+/// the running total).
+fn check_incremental_hv(pts: &[Vec<f64>], reference: &[f64]) {
+    let mut tracker = IncrementalHypervolume::new(reference);
+    let mut seen: Vec<Vec<f64>> = Vec::new();
+    for p in pts {
+        let before = tracker.hypervolume();
+        let delta = tracker.insert(p);
+        assert!(delta >= 0.0, "negative marginal {delta}");
+        assert!(
+            (before + delta - tracker.hypervolume()).abs() <= f64::EPSILON * tracker.hypervolume(),
+            "delta does not telescope"
+        );
+        seen.push(p.clone());
+        let scratch = hypervolume_dyn(&seen, reference);
+        assert!(
+            relative_close(tracker.hypervolume(), scratch),
+            "incremental {} vs scratch {} after {:?}",
+            tracker.hypervolume(),
+            scratch,
+            seen,
+        );
     }
 }
