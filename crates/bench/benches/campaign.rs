@@ -256,6 +256,92 @@ fn main() {
         ]),
     ));
 
+    // Surrogate guidance, budget-matched: the generational strategies run
+    // the paper presets twice at an identical real-evaluation budget —
+    // classic, then predict-then-verify (`--surrogate 4:32`). The guided
+    // sweep pays the same number of real evaluations plus the predictor's
+    // train/rank overhead; the payoff is where those evaluations land, so
+    // the entry records per-preset merged-front hypervolume for both runs
+    // and the acceptance pin is guided >= unguided on at least one preset.
+    let guided_config = codesign_core::SurrogateConfig {
+        overproduce: 4,
+        retrain: 32,
+    };
+    let generational = |surrogate: Option<codesign_core::SurrogateConfig>| {
+        Campaign::new(CodesignSpace::with_max_vertices(4))
+            .scenarios(ScenarioSpec::paper_presets())
+            .strategies(vec![
+                StrategyKind::Evolution,
+                StrategyKind::Nsga {
+                    population: StrategyKind::DEFAULT_NSGA_POPULATION,
+                },
+            ])
+            .seeds(vec![0, 1])
+            .steps(steps)
+            .with_surrogate(surrogate)
+    };
+    let run_generational = |campaign: &Campaign| {
+        let t0 = Instant::now();
+        let report = ShardedDriver::new(n_workers).run(campaign, &db);
+        (t0.elapsed().as_secs_f64() * 1000.0, report)
+    };
+    let (unguided_ms, unguided) = run_generational(&generational(None));
+    let (guided_ms, guided) = run_generational(&generational(Some(guided_config)));
+    let (mut candidates, mut verified, mut err_sum, mut err_n, mut rounds) =
+        (0usize, 0usize, 0.0f64, 0usize, 0usize);
+    for shard in &guided.shards {
+        if let Some(stats) = &shard.surrogate {
+            candidates += stats.candidates;
+            verified += stats.verified;
+            err_sum += stats.pred_err_sum;
+            err_n += stats.pred_count;
+            rounds += stats.train_rounds;
+        }
+    }
+    let verify_rate = verified as f64 / candidates.max(1) as f64;
+    let pred_mae = err_sum / err_n.max(1) as f64;
+    let mut hv_wins = 0usize;
+    let mut preset_entries: Vec<Json> = Vec::new();
+    for scenario in ScenarioSpec::paper_presets() {
+        let reference = scenario.compile().hypervolume_reference();
+        let unguided_hv = unguided
+            .merged_front(scenario.name())
+            .hypervolume(&reference);
+        let guided_hv = guided.merged_front(scenario.name()).hypervolume(&reference);
+        hv_wins += usize::from(guided_hv >= unguided_hv);
+        println!(
+            "bench: surrogate {:<16} guided hv {guided_hv:>10.1} vs unguided {unguided_hv:>10.1}",
+            scenario.name()
+        );
+        preset_entries.push(Json::obj(vec![
+            ("scenario", Json::Str(scenario.name().into())),
+            ("unguided_hv", Json::Num(unguided_hv)),
+            ("guided_hv", Json::Num(guided_hv)),
+            ("hv_ratio", Json::Num(guided_hv / unguided_hv)),
+        ]));
+    }
+    assert!(
+        hv_wins >= 1,
+        "guided merged front must meet unguided on at least one paper preset"
+    );
+    println!(
+        "bench: surrogate guided {guided_ms:.1} ms vs unguided {unguided_ms:.1} ms \
+         (verify rate {verify_rate:.3}, pred mae {pred_mae:.4}, {hv_wins}/3 presets won)"
+    );
+    entries.push((
+        "surrogate".into(),
+        Json::obj(vec![
+            ("config", Json::Str(guided_config.to_string())),
+            ("wall_ms_unguided", Json::Num(unguided_ms)),
+            ("wall_ms_guided", Json::Num(guided_ms)),
+            ("verify_rate", Json::Num(verify_rate)),
+            ("pred_mae", Json::Num(pred_mae)),
+            ("train_rounds", Json::Num(rounds as f64)),
+            ("hv_wins", Json::Num(hv_wins as f64)),
+            ("presets", Json::Arr(preset_entries)),
+        ]),
+    ));
+
     let doc = Json::Obj(entries);
     println!("{doc}");
     // `cargo bench` sets the CWD to the package dir; anchor the output at

@@ -15,9 +15,9 @@
 //! silently reused. `--cache-format binary|json|sharded` picks the
 //! persistence layout (default: inferred from the path — `.json` keeps
 //! the legacy v2 JSON document, a `.d` suffix or existing directory means
-//! a sharded `shard-NN.bin` directory, anything else is the v3 binary
+//! a sharded `shard-NN.bin` directory, anything else is the v4 binary
 //! format). `--cache-migrate OLD.json NEW` converts a legacy v2 JSON
-//! cache to v3 (single file, or sharded when NEW ends in `.d`) and exits.
+//! cache to v4 (single file, or sharded when NEW ends in `.d`) and exits.
 //!
 //! Scenarios with auto-ranged normalizations (`"norm": "auto"` in a file,
 //! `norm=acc:auto` in the compact grammar) are resolved from a
@@ -34,6 +34,17 @@
 //! shard JSONL records `reward_shaping` and the total `hv_bonus`, and
 //! shaped sweeps remain bit-identical across worker counts.
 //!
+//! `--surrogate k:R` turns on predict-then-verify guidance for the
+//! generational strategies (evolution/nsga): each generation over-produces
+//! `k×` candidates, ranks them with a cheap cache-trained predictor
+//! (retrained every `R` real evaluations), and spends real evaluations
+//! only on the top slice. The predictor trains on warm cache entries plus
+//! the shard's own evaluation stream, so guided sweeps stay bit-identical
+//! across worker counts and a persisted `--cache-path` from *other*
+//! scenarios warm-starts the predictor for free. The shard JSONL records
+//! `surrogate`, `verify_rate`, and `pred_mae`; the RL and random
+//! strategies ignore the flag (and export `surrogate: "off"`).
+//!
 //! The `nsga` strategy is the true multi-objective searcher: selection by
 //! non-dominated sorting + crowding over the scenario's own axes instead
 //! of a scalarized reward. `--population` sizes its generations and
@@ -48,6 +59,7 @@
 //!       `[--strategies separate,combined,phase,random,evolution,nsga]`
 //!       `(--strategy is a singular alias; reinforce = combined)`
 //!       `[--population P] [--generations G] [--reward-shaping hv:W]`
+//!       `[--surrogate k:R]`
 //!       `[--seed-base S] [--no-cache] [--backend atomic|work-stealing]`
 //!       `[--cache-path FILE|DIR.d] [--cache-format binary|json|sharded]`
 //!       `[--cache-capacity N] [--cache-mmap] [--cache-migrate OLD.json NEW]`
@@ -87,7 +99,9 @@
 use std::sync::Arc;
 
 use codesign_bench::{out_dir, Args};
-use codesign_core::{probe_pair_evaluations, CodesignSpace, RewardShaping, ScenarioSpec};
+use codesign_core::{
+    probe_pair_evaluations, CodesignSpace, RewardShaping, ScenarioSpec, SurrogateConfig,
+};
 use codesign_engine::{
     backend_from_name, Campaign, CancelToken, ShardedDriver, SharedEvalCache, StrategyKind,
 };
@@ -100,18 +114,18 @@ const AUTO_NORM_PAD: f64 = 0.05;
 /// How the evaluation cache persists across invocations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CacheFormat {
-    /// One v3 binary file (the default).
+    /// One v4 binary file (the default).
     Binary,
     /// One legacy v2 JSON document.
     Json,
-    /// A directory of `shard-NN.bin` v3 files.
+    /// A directory of `shard-NN.bin` v4 files.
     Sharded,
 }
 
 impl CacheFormat {
     /// Resolves `--cache-format`; with no explicit flag, the path decides:
     /// `.json` keeps the legacy document, a `.d` suffix or an existing
-    /// directory means sharded, anything else is the v3 binary file.
+    /// directory means sharded, anything else is the v4 binary file.
     fn resolve(flag: &str, path: &str) -> Result<Self, String> {
         match flag {
             "binary" => Ok(CacheFormat::Binary),
@@ -134,7 +148,7 @@ impl CacheFormat {
 }
 
 /// `--cache-migrate OLD.json NEW`: one-shot conversion of a legacy v2
-/// JSON cache to the v3 binary format (sharded when NEW ends in `.d` or
+/// JSON cache to the v4 binary format (sharded when NEW ends in `.d` or
 /// is an existing directory). The original file's own salt is carried
 /// through unchanged, so the migrated cache warm-starts exactly the runs
 /// the original would have. Exits the process.
@@ -163,7 +177,7 @@ fn run_cache_migrate(src: &str, dst: &str) -> ! {
     println!(
         "cache-migrate: {src} -> {dst} ({} pair entries, salt {salt:016x}, {})",
         cache.len(),
-        if sharded { "sharded v3" } else { "v3 binary" }
+        if sharded { "sharded v4" } else { "v4 binary" }
     );
     std::process::exit(0);
 }
@@ -178,7 +192,7 @@ fn run_cache_migrate(src: &str, dst: &str) -> ! {
 /// fatal: those files may belong to a *different database* and silently
 /// overwriting them would destroy work.
 ///
-/// `use_mmap` routes the v3 binary formats through `mmap(2)` instead of a
+/// `use_mmap` routes the v4 binary formats through `mmap(2)` instead of a
 /// buffered read — the kernel pages the records in on demand.
 fn open_cache(
     cache_path: &str,
@@ -283,9 +297,9 @@ fn persist_cache(
         "cache persisted to {cache_path} ({} pair entries, {} format)",
         cache.len(),
         match cache_format {
-            CacheFormat::Binary => "v3 binary",
+            CacheFormat::Binary => "v4 binary",
             CacheFormat::Json => "v2 json",
-            CacheFormat::Sharded => "sharded v3 (merge-on-save)",
+            CacheFormat::Sharded => "sharded v4 (merge-on-save)",
         }
     );
     if log_to_stderr {
@@ -704,12 +718,23 @@ fn main() {
         }
     };
 
+    // --surrogate k:R: predict-then-verify guidance for the generational
+    // strategies (evolution/nsga). Parsed up front like --reward-shaping.
+    let surrogate = match SurrogateConfig::parse(&args.get_str("surrogate", "")) {
+        Ok(surrogate) => surrogate,
+        Err(err) => {
+            eprintln!("invalid --surrogate: {err}");
+            std::process::exit(2);
+        }
+    };
+
     let mut campaign = Campaign::new(CodesignSpace::with_max_vertices(max_v))
         .scenarios(scenarios)
         .strategies(strategies)
         .seeds((seed_base..seed_base + repeats as u64).collect())
         .steps(steps)
-        .with_reward_shaping(shaping);
+        .with_reward_shaping(shaping)
+        .with_surrogate(surrogate);
     println!(
         "campaign: {} shards ({} scenarios x {} strategies x {repeats} seeds x {steps} steps)",
         campaign.shards().len(),
@@ -718,6 +743,9 @@ fn main() {
     );
     if shaping.is_active() {
         println!("reward shaping: {shaping} (marginal-hypervolume bonus on the controller reward)");
+    }
+    if let Some(cfg) = surrogate {
+        println!("surrogate: {cfg} (predict-then-verify on the evolution/nsga strategies)");
     }
     for spec in &campaign.scenarios {
         describe(spec);

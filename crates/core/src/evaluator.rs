@@ -55,6 +55,32 @@ pub trait EvalCache: Send + Sync {
 
     /// Stores the accuracy of a cell.
     fn put_accuracy(&self, _cell_hash: u128, _accuracy: f64) {}
+
+    /// Whether the cache wants [`EvalCache::put_cell_features`] calls —
+    /// surrogate-guided campaigns turn this on so cold evaluations record
+    /// the structural featurization alongside the metrics (the raw
+    /// `CellSpec` is unrecoverable from a salted key). Defaults to `false`
+    /// so plain caches pay nothing.
+    fn wants_cell_features(&self) -> bool {
+        false
+    }
+
+    /// Stores the structural cell features under the salted cell hash
+    /// (no-op by default).
+    fn put_cell_features(
+        &self,
+        _cell_hash: u128,
+        _features: [f64; crate::surrogate::CELL_FEATURE_DIM],
+    ) {
+    }
+
+    /// Deterministically-ordered `(features, targets)` training pairs from
+    /// entries that were *preloaded* from disk (warm entries only — live
+    /// entries written by concurrent shards are excluded so training sets
+    /// are identical at any worker count). Empty by default.
+    fn snapshot_labeled(&self) -> Vec<crate::surrogate::LabeledSample> {
+        Vec::new()
+    }
 }
 
 /// Where accuracies come from.
@@ -395,6 +421,12 @@ impl Evaluator {
             power_w,
         };
         if let Some(shared) = &self.shared_cache {
+            if shared.wants_cell_features() {
+                shared.put_cell_features(
+                    salted,
+                    crate::surrogate::cell_feature_vec(cell, &self.net_config),
+                );
+            }
             shared.put(salted, config, eval);
         }
         Some(eval)

@@ -11,10 +11,13 @@
 //! bits + op labels + accelerator parameter indices); mutation resamples a
 //! small number of positions uniformly.
 
+use std::collections::VecDeque;
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::search::{SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy};
+use crate::surrogate::{pair_features, SurrogateConfig, SurrogateGuide};
 
 /// Telemetry: genomes created by uniform random seeding.
 static SEEDED: codesign_telemetry::Counter = codesign_telemetry::Counter::new("evolution.seeded");
@@ -56,6 +59,13 @@ pub struct EvolutionSearch {
     pub sample: usize,
     /// Number of genome positions resampled per mutation.
     pub mutations: usize,
+    /// Optional surrogate predict-then-verify guidance: once the guide is
+    /// trained, each step over-produces `k` candidates through the normal
+    /// seed-or-breed operator, ranks them by *predicted* scalarized reward,
+    /// and spends the real evaluation only on the argmax (lowest index on
+    /// ties). `None` runs classic aging evolution, bit-identical to the
+    /// pre-surrogate strategy.
+    pub surrogate: Option<SurrogateConfig>,
 }
 
 impl Default for EvolutionSearch {
@@ -64,7 +74,61 @@ impl Default for EvolutionSearch {
             population: 64,
             sample: 16,
             mutations: 2,
+            surrogate: None,
         }
+    }
+}
+
+/// The seed-or-breed reproduction operator of one step: uniform random
+/// genomes while the population fills, then mutate the best of a tournament
+/// sample. Draws exactly the same stream positions as classic aging
+/// evolution, whether called once (unguided) or `k` times (guided).
+fn propose_genome(
+    population: &VecDeque<(Vec<usize>, f64)>,
+    target_population: usize,
+    sample: usize,
+    mutations: usize,
+    vocab: &[usize],
+    rng: &mut SmallRng,
+) -> Vec<usize> {
+    if population.len() < target_population {
+        // Seeding phase: uniform random genomes.
+        SEEDED.add(1);
+        random_genome(vocab, rng)
+    } else {
+        // Tournament: mutate the best of a random sample.
+        let mut best: Option<&(Vec<usize>, f64)> = None;
+        for _ in 0..sample {
+            let idx = rng.gen_range(0..population.len());
+            let candidate = &population[idx];
+            if best.is_none_or(|b| candidate.1 > b.1) {
+                best = Some(candidate);
+            }
+        }
+        let mut child = best.expect("non-empty population").0.clone();
+        mutate_genome(&mut child, vocab, mutations, rng);
+        BRED.add(1);
+        child
+    }
+}
+
+/// The guide's predicted scalarized reward of one candidate genome:
+/// featurize the decoded pair, predict its evaluation, and score it under
+/// the scenario's (unshaped) reward. Undecodable candidates predict
+/// `-inf`, so a guided step never wastes its real evaluation on a genome
+/// the guide can already tell is invalid.
+pub(crate) fn predict_reward(
+    guide: &SurrogateGuide,
+    ctx: &SearchContext<'_>,
+    genome: &[usize],
+) -> f64 {
+    let proposal = ctx.space.decode(genome);
+    match &proposal.cell {
+        Ok(cell) => {
+            let features = pair_features(cell, ctx.evaluator.net_config(), &proposal.config);
+            ctx.reward.reward(&guide.predict_eval(&features)).value()
+        }
+        Err(_) => f64::NEG_INFINITY,
     }
 }
 
@@ -81,29 +145,60 @@ impl SearchStrategy for EvolutionSearch {
     ) -> SearchOutcome {
         let vocab = ctx.space.vocab_sizes();
         let mut recorder = SearchRecorder::new(self.name(), config.steps, ctx.reward);
+        // When guided, draw exactly one u64 for the guide's model seed (a
+        // disabled guide draws nothing — the stream, and hence the run, is
+        // bit-identical to classic evolution), then warm-start from the
+        // preloaded entries of the shared cache, if any.
+        let mut guide = self.surrogate.map(|cfg| {
+            let mut g = SurrogateGuide::from_stream(cfg, rng);
+            if let Some(shared) = ctx.evaluator.shared_cache() {
+                g.warm_start(&shared.snapshot_labeled());
+            }
+            g
+        });
         // Aging queue of (genome, reward); the oldest dies on overflow.
-        let mut population: std::collections::VecDeque<(Vec<usize>, f64)> =
-            std::collections::VecDeque::with_capacity(self.population);
+        let mut population: VecDeque<(Vec<usize>, f64)> = VecDeque::with_capacity(self.population);
 
         while recorder.steps() < config.steps {
-            let genome: Vec<usize> = if population.len() < self.population {
-                // Seeding phase: uniform random genomes.
-                SEEDED.add(1);
-                random_genome(&vocab, rng)
-            } else {
-                // Tournament: mutate the best of a random sample.
-                let mut best: Option<&(Vec<usize>, f64)> = None;
-                for _ in 0..self.sample {
-                    let idx = rng.gen_range(0..population.len());
-                    let candidate = &population[idx];
-                    if best.is_none_or(|b| candidate.1 > b.1) {
-                        best = Some(candidate);
+            // Predict-then-verify: once trained, over-produce k candidates
+            // through the normal operator and keep the best predicted one
+            // (strict improvement, so ties keep the lowest index).
+            let (genome, predicted) = match guide.as_mut() {
+                Some(g) if g.ready() => {
+                    let k = g.config().overproduce;
+                    g.note_candidates(k);
+                    let mut best: Option<(f64, Vec<usize>)> = None;
+                    for _ in 0..k {
+                        let candidate = propose_genome(
+                            &population,
+                            self.population,
+                            self.sample,
+                            self.mutations,
+                            &vocab,
+                            rng,
+                        );
+                        let score = predict_reward(g, ctx, &candidate);
+                        if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                            best = Some((score, candidate));
+                        }
                     }
+                    let (score, genome) = best.expect("k >= 2 candidates");
+                    (genome, Some(score))
                 }
-                let mut child = best.expect("non-empty population").0.clone();
-                mutate_genome(&mut child, &vocab, self.mutations, rng);
-                BRED.add(1);
-                child
+                other => {
+                    if let Some(g) = other {
+                        g.note_candidates(1);
+                    }
+                    let genome = propose_genome(
+                        &population,
+                        self.population,
+                        self.sample,
+                        self.mutations,
+                        &vocab,
+                        rng,
+                    );
+                    (genome, None)
+                }
             };
             let proposal = ctx.space.decode(&genome);
             let outcome = ctx.evaluator.evaluate(&proposal);
@@ -113,10 +208,25 @@ impl SearchStrategy for EvolutionSearch {
                 proposal.cell.as_ref().ok(),
                 &proposal.config,
             );
+            if let Some(g) = guide.as_mut() {
+                g.note_verified();
+                if let (Ok(cell), Some(eval)) = (&proposal.cell, outcome.evaluation()) {
+                    if let Some(score) = predicted {
+                        g.note_prediction(score, ctx.reward.reward(eval).value());
+                    }
+                    g.observe(
+                        pair_features(cell, ctx.evaluator.net_config(), &proposal.config),
+                        eval,
+                    );
+                }
+            }
             population.push_back((genome, reward));
             if population.len() > self.population {
                 population.pop_front();
             }
+        }
+        if let Some(g) = &guide {
+            recorder.set_surrogate_stats(g.stats());
         }
         recorder.finish()
     }
@@ -182,8 +292,43 @@ mod tests {
             population: 4,
             sample: 2,
             mutations: 1,
+            surrogate: None,
         };
         let out = run(&strategy, 100, 1);
         assert_eq!(out.history.len(), 100);
+    }
+
+    #[test]
+    fn guided_evolution_reports_stats_and_is_reproducible() {
+        let strategy = EvolutionSearch {
+            population: 8,
+            sample: 4,
+            mutations: 1,
+            surrogate: Some(crate::SurrogateConfig {
+                overproduce: 3,
+                retrain: 8,
+            }),
+        };
+        let a = run(&strategy, 120, 5);
+        let b = run(&strategy, 120, 5);
+        let stats = a.surrogate.expect("guided runs export stats");
+        assert_eq!(stats.verified, 120, "every recorded step is a real eval");
+        assert!(
+            stats.candidates > 120,
+            "over-production must kick in once trained ({} candidates)",
+            stats.candidates
+        );
+        assert!(stats.train_rounds >= 1);
+        assert!(stats.verify_rate() < 1.0 && stats.verify_rate() > 0.0);
+        let ra: Vec<u64> = a.history.iter().map(|r| r.reward.to_bits()).collect();
+        let rb: Vec<u64> = b.history.iter().map(|r| r.reward.to_bits()).collect();
+        assert_eq!(ra, rb, "guided runs are bit-identical at a fixed seed");
+        assert_eq!(a.surrogate, b.surrogate);
+    }
+
+    #[test]
+    fn unguided_runs_export_no_surrogate_stats() {
+        let out = run(&EvolutionSearch::default(), 50, 0);
+        assert!(out.surrogate.is_none());
     }
 }

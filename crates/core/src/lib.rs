@@ -54,6 +54,7 @@ pub mod scenarios;
 pub mod search;
 pub mod space;
 pub mod strategies;
+pub mod surrogate;
 
 pub use baselines::{baseline_row, table2_baselines, BaselineRow};
 pub use cifar100::{
@@ -83,3 +84,8 @@ pub use search::{
 };
 pub use space::{CnnSpace, CodesignSpace, HwSpace, Proposal};
 pub use strategies::{CombinedSearch, PhaseSearch, RandomSearch, SeparateSearch};
+pub use surrogate::{
+    cell_feature_vec, config_feature_vec, features_with_config, pair_features, surrogate_targets,
+    LabeledSample, SurrogateConfig, SurrogateGuide, SurrogateStats, CELL_FEATURE_DIM, FEATURE_DIM,
+    HW_FEATURE_DIM, TARGET_DIM,
+};

@@ -45,6 +45,7 @@ use codesign_moo::{crowding_distance_dyn, rank_dyn, MetricVector};
 
 use crate::evolution::{mutate_genome, random_genome};
 use crate::search::{SearchConfig, SearchContext, SearchOutcome, SearchRecorder, SearchStrategy};
+use crate::surrogate::{pair_features, SurrogateConfig, SurrogateGuide};
 
 /// NSGA-II-style multi-objective search over the joint codesign genome.
 ///
@@ -68,6 +69,7 @@ use crate::search::{SearchConfig, SearchContext, SearchOutcome, SearchRecorder, 
 /// let strategy = NsgaSearch {
 ///     population: 8,
 ///     mutations: 2,
+///     surrogate: None,
 /// };
 /// let outcome = strategy.run(&mut ctx, &SearchConfig::quick(40, 0));
 /// assert_eq!(outcome.history.len(), 40);
@@ -87,6 +89,13 @@ pub struct NsgaSearch {
     /// Genome positions resampled per mutation (shared with
     /// [`crate::EvolutionSearch`]).
     pub mutations: usize,
+    /// Optional surrogate predict-then-verify guidance: once the guide is
+    /// trained, each generation over-produces `k × offspring` candidates
+    /// through the normal breed operator, ranks them by *predicted*
+    /// non-dominated rank (then predicted reward, then index), and spends
+    /// real evaluations only on the top `offspring`. `None` runs classic
+    /// NSGA-II, bit-identical to the pre-surrogate strategy.
+    pub surrogate: Option<SurrogateConfig>,
 }
 
 impl NsgaSearch {
@@ -101,6 +110,7 @@ impl Default for NsgaSearch {
         Self {
             population: Self::DEFAULT_POPULATION,
             mutations: 2,
+            surrogate: None,
         }
     }
 }
@@ -159,14 +169,31 @@ impl SearchStrategy for NsgaSearch {
         let vocab = ctx.space.vocab_sizes();
         let mut recorder = SearchRecorder::new(self.name(), config.steps, ctx.reward);
         let pop_size = self.population.max(2);
+        // When guided, draw exactly one u64 for the guide's model seed (a
+        // disabled guide draws nothing — the stream, and hence the run, is
+        // bit-identical to classic NSGA-II), then warm-start from the
+        // preloaded entries of the shared cache, if any.
+        let mut guide = self.surrogate.map(|cfg| {
+            let mut g = SurrogateGuide::from_stream(cfg, rng);
+            if let Some(shared) = ctx.evaluator.shared_cache() {
+                g.warm_start(&shared.snapshot_labeled());
+            }
+            g
+        });
 
         // Generation 0: uniform random seeding (capped by the step budget).
         let mut population: Vec<Individual> = {
             let _span = codesign_telemetry::span("nsga.generation", "strategy")
                 .with_arg("generation", 0u64);
             let population: Vec<Individual> = (0..pop_size.min(config.steps))
-                .map(|_| evaluate(ctx, &mut recorder, random_genome(&vocab, rng)))
+                .map(|_| {
+                    let genome = random_genome(&vocab, rng);
+                    evaluate(ctx, &mut recorder, genome, guide.as_mut(), None)
+                })
                 .collect();
+            if let Some(g) = guide.as_mut() {
+                g.note_candidates(population.len());
+            }
             recorder.snapshot_generation(ctx.reward);
             population
         };
@@ -178,13 +205,35 @@ impl SearchStrategy for NsgaSearch {
                 .with_arg("generation", generation);
             let keys = selection_keys(&population);
             let offspring_budget = pop_size.min(config.steps - recorder.steps());
-            let offspring: Vec<Individual> = (0..offspring_budget)
+            // Predict-then-verify: once trained, breed k×budget candidates
+            // through the normal operator and keep the predicted-best
+            // `budget` of them; otherwise breed exactly the budget.
+            let produced = match guide.as_ref() {
+                Some(g) if g.ready() => g.config().overproduce * offspring_budget,
+                _ => offspring_budget,
+            };
+            if let Some(g) = guide.as_mut() {
+                g.note_candidates(produced);
+            }
+            let candidates: Vec<Vec<usize>> = (0..produced)
                 .map(|_| {
                     let a = tournament(&keys, rng);
                     let b = tournament(&keys, rng);
                     let mut genome = crossover(&population[a].genome, &population[b].genome, rng);
                     mutate_genome(&mut genome, &vocab, self.mutations, rng);
-                    evaluate(ctx, &mut recorder, genome)
+                    genome
+                })
+                .collect();
+            let chosen: Vec<(Vec<usize>, Option<f64>)> = match guide.as_ref() {
+                Some(g) if produced > offspring_budget => {
+                    select_predicted(g, ctx, candidates, offspring_budget)
+                }
+                _ => candidates.into_iter().map(|g| (g, None)).collect(),
+            };
+            let offspring: Vec<Individual> = chosen
+                .into_iter()
+                .map(|(genome, predicted)| {
+                    evaluate(ctx, &mut recorder, genome, guide.as_mut(), predicted)
                 })
                 .collect();
 
@@ -213,16 +262,97 @@ impl SearchStrategy for NsgaSearch {
                 .collect();
             recorder.snapshot_generation(ctx.reward);
         }
+        if let Some(g) = &guide {
+            recorder.set_surrogate_stats(g.stats());
+        }
         recorder.finish()
     }
 }
 
+/// Ranks `candidates` by predicted quality and keeps the best `budget` of
+/// them, preserving candidate order (ascending index) among the survivors.
+///
+/// Each candidate is decoded and scored entirely on the guide's *predicted*
+/// evaluation: predicted-feasible candidates are non-dominated-sorted on
+/// their predicted metric points, predicted-infeasible ones form the next
+/// band, undecodable ones trail. Ties break by higher predicted reward,
+/// then lower index — a total, deterministic order. Survivors carry their
+/// predicted reward so verification can score the guide's accuracy.
+fn select_predicted(
+    guide: &SurrogateGuide,
+    ctx: &SearchContext<'_>,
+    candidates: Vec<Vec<usize>>,
+    budget: usize,
+) -> Vec<(Vec<usize>, Option<f64>)> {
+    struct Predicted {
+        class: u8,
+        point: Option<MetricVector>,
+        reward: f64,
+    }
+    let predictions: Vec<Predicted> = candidates
+        .iter()
+        .map(|genome| {
+            let proposal = ctx.space.decode(genome);
+            match &proposal.cell {
+                Ok(cell) => {
+                    let features =
+                        pair_features(cell, ctx.evaluator.net_config(), &proposal.config);
+                    let eval = guide.predict_eval(&features);
+                    let scored = ctx.reward.reward(&eval);
+                    Predicted {
+                        class: u8::from(!scored.is_feasible()),
+                        point: Some(ctx.reward.metric_point(&eval)),
+                        reward: scored.value(),
+                    }
+                }
+                Err(_) => Predicted {
+                    class: 2,
+                    point: None,
+                    reward: f64::NEG_INFINITY,
+                },
+            }
+        })
+        .collect();
+    let feasible: Vec<usize> = (0..predictions.len())
+        .filter(|&i| predictions[i].class == 0)
+        .collect();
+    let points: Vec<&MetricVector> = feasible
+        .iter()
+        .map(|&i| predictions[i].point.as_ref().expect("class 0 has a point"))
+        .collect();
+    let mut ranks = vec![0usize; predictions.len()];
+    for (&i, rank) in feasible.iter().zip(rank_dyn(&points)) {
+        ranks[i] = rank;
+    }
+    let mut order: Vec<usize> = (0..predictions.len()).collect();
+    order.sort_by(|&a, &b| {
+        (predictions[a].class, ranks[a])
+            .cmp(&(predictions[b].class, ranks[b]))
+            .then(predictions[b].reward.total_cmp(&predictions[a].reward))
+            .then(a.cmp(&b))
+    });
+    order.truncate(budget);
+    order.sort_unstable();
+    let mut pool: Vec<Option<Vec<usize>>> = candidates.into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .map(|i| {
+            let genome = pool[i].take().expect("indices unique");
+            (genome, Some(predictions[i].reward))
+        })
+        .collect()
+}
+
 /// Decodes, evaluates, and records one genome, capturing the scenario-axis
-/// objectives the selection operators work on.
+/// objectives the selection operators work on. A guided run also feeds the
+/// verified evaluation back to the surrogate (and scores the prediction it
+/// was picked on, when there was one).
 fn evaluate(
     ctx: &mut SearchContext<'_>,
     recorder: &mut SearchRecorder,
     genome: Vec<usize>,
+    guide: Option<&mut SurrogateGuide>,
+    predicted: Option<f64>,
 ) -> Individual {
     let proposal = ctx.space.decode(&genome);
     let outcome = ctx.evaluator.evaluate(&proposal);
@@ -232,6 +362,18 @@ fn evaluate(
         proposal.cell.as_ref().ok(),
         &proposal.config,
     );
+    if let Some(g) = guide {
+        g.note_verified();
+        if let (Ok(cell), Some(eval)) = (&proposal.cell, outcome.evaluation()) {
+            if let Some(score) = predicted {
+                g.note_prediction(score, ctx.reward.reward(eval).value());
+            }
+            g.observe(
+                pair_features(cell, ctx.evaluator.net_config(), &proposal.config),
+                eval,
+            );
+        }
+    }
     let (objectives, feasible) = match (outcome.evaluation(), proposal.cell.is_ok()) {
         (Some(eval), true) => (
             Some(ctx.reward.metric_point(eval)),
@@ -360,6 +502,7 @@ mod tests {
         let strategy = NsgaSearch {
             population: 10,
             mutations: 2,
+            surrogate: None,
         };
         let out = run(&strategy, 95, 0);
         assert_eq!(out.strategy, "nsga");
@@ -389,6 +532,7 @@ mod tests {
         let strategy = NsgaSearch {
             population: 12,
             mutations: 1,
+            surrogate: None,
         };
         let a = run(&strategy, 150, 9);
         let b = run(&strategy, 150, 9);
@@ -444,10 +588,40 @@ mod tests {
         let strategy = NsgaSearch {
             population: 64,
             mutations: 2,
+            surrogate: None,
         };
         let out = run(&strategy, 20, 4);
         assert_eq!(out.history.len(), 20);
         assert_eq!(out.generations.len(), 1, "seeding alone exhausts budget");
+    }
+
+    #[test]
+    fn guided_nsga_reports_stats_and_is_reproducible() {
+        let strategy = NsgaSearch {
+            population: 8,
+            mutations: 2,
+            surrogate: Some(crate::SurrogateConfig {
+                overproduce: 3,
+                retrain: 8,
+            }),
+        };
+        let a = run(&strategy, 120, 7);
+        let b = run(&strategy, 120, 7);
+        let stats = a.surrogate.expect("guided runs export stats");
+        assert_eq!(stats.verified, 120);
+        assert!(
+            stats.candidates > 120,
+            "over-production must kick in once trained ({} candidates)",
+            stats.candidates
+        );
+        assert!(stats.train_rounds >= 1);
+        let ra: Vec<u64> = a.history.iter().map(|r| r.reward.to_bits()).collect();
+        let rb: Vec<u64> = b.history.iter().map(|r| r.reward.to_bits()).collect();
+        assert_eq!(ra, rb, "guided runs are bit-identical at a fixed seed");
+        assert_eq!(a.surrogate, b.surrogate);
+        assert_eq!(a.generations, b.generations);
+        // Unguided runs export no surrogate stats.
+        assert!(run(&NsgaSearch::default(), 40, 7).surrogate.is_none());
     }
 
     #[test]

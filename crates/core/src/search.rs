@@ -208,6 +208,9 @@ pub struct SearchOutcome {
     /// hypervolume` under [`RewardShaping::HypervolumeGradient`]); `0.0`
     /// when shaping was off.
     pub shaping_bonus: f64,
+    /// Surrogate predict-then-verify counters, when the strategy ran with
+    /// an active [`crate::SurrogateGuide`]; `None` for unguided runs.
+    pub surrogate: Option<crate::surrogate::SurrogateStats>,
 }
 
 impl SearchOutcome {
@@ -295,6 +298,7 @@ pub struct SearchRecorder {
     generations: Vec<GenerationStat>,
     shaping: RewardShaping,
     shaping_bonus: f64,
+    surrogate: Option<crate::surrogate::SurrogateStats>,
     /// Telemetry span covering the whole run (opened in [`Self::new`],
     /// recorded when the recorder is consumed by [`Self::finish`]); inert
     /// when telemetry is disabled.
@@ -325,6 +329,7 @@ impl SearchRecorder {
             generations: Vec::new(),
             shaping,
             shaping_bonus: 0.0,
+            surrogate: None,
             _span: codesign_telemetry::span(strategy, "strategy")
                 .with_arg("scenario", scenario.name())
                 .with_arg("steps", expected_steps),
@@ -468,6 +473,12 @@ impl SearchRecorder {
         });
     }
 
+    /// Attaches the final surrogate predict-then-verify counters; guided
+    /// strategies call this once before [`SearchRecorder::finish`].
+    pub fn set_surrogate_stats(&mut self, stats: crate::surrogate::SurrogateStats) {
+        self.surrogate = Some(stats);
+    }
+
     /// Finalizes the run.
     #[must_use]
     pub fn finish(self) -> SearchOutcome {
@@ -480,6 +491,7 @@ impl SearchRecorder {
             invalid_steps: self.invalid_steps,
             generations: self.generations,
             shaping_bonus: self.shaping_bonus,
+            surrogate: self.surrogate,
         }
     }
 }

@@ -24,11 +24,13 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use codesign_accel::AcceleratorConfig;
-use codesign_core::{EvalCache, PairEvaluation};
+use codesign_core::{
+    features_with_config, EvalCache, LabeledSample, PairEvaluation, CELL_FEATURE_DIM,
+};
 
 /// Default number of independently-locked map shards.
 const DEFAULT_SHARDS: usize = 64;
@@ -240,6 +242,15 @@ impl<K: Hash + Eq + Clone + Ord, V: Copy> ShardMap<K, V> {
 pub struct SharedEvalCache {
     shards: Vec<Mutex<ShardMap<(u128, AcceleratorConfig), PairEvaluation>>>,
     accuracy_shards: Vec<Mutex<ShardMap<u128, f64>>>,
+    /// Per-cell structural featurizations keyed by salted cell hash —
+    /// written on cold evaluations when [`SharedEvalCache::set_record_features`]
+    /// is on (surrogate-guided campaigns), persisted alongside the metric
+    /// entries, and joined with *warm* pair entries by
+    /// [`EvalCache::snapshot_labeled`]. Unbounded: feature rows are small
+    /// and only distinct cells produce them.
+    feature_shards: Vec<Mutex<HashMap<u128, [f64; CELL_FEATURE_DIM]>>>,
+    /// Whether evaluators should record cell features on cold computes.
+    record_features: AtomicBool,
     /// Names of the scenarios whose campaigns populated this cache —
     /// informational provenance carried through persistence. Entries are
     /// scenario-independent (keyed by `(cell, config)` only); the list
@@ -283,6 +294,10 @@ impl SharedEvalCache {
             accuracy_shards: (0..shards.max(1))
                 .map(|_| Mutex::new(ShardMap::new()))
                 .collect(),
+            feature_shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            record_features: AtomicBool::new(false),
             provenance: Mutex::new(Vec::new()),
             shard_capacity: None,
             hits: AtomicU64::new(0),
@@ -547,6 +562,52 @@ impl SharedEvalCache {
             })
             .collect()
     }
+
+    /// Turns on (or off) cell-feature recording: while on, evaluators that
+    /// compute a cold pair entry also store the cell's structural feature
+    /// vector, which surrogate guides later join with the metric entries.
+    /// Campaign drivers enable this exactly when a surrogate is configured,
+    /// so unguided campaigns pay nothing.
+    pub fn set_record_features(&self, record: bool) {
+        self.record_features.store(record, Ordering::Relaxed);
+    }
+
+    /// Total cell-feature rows currently stored (sums across shards).
+    #[must_use]
+    pub fn feature_len(&self) -> usize {
+        self.feature_shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    fn insert_features(&self, cell_hash: u128, features: [f64; CELL_FEATURE_DIM]) {
+        let index = (cell_hash % self.feature_shards.len() as u128) as usize;
+        self.feature_shards[index]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(cell_hash, features);
+    }
+
+    /// Stores a cell-feature row preloaded from a persisted cache.
+    pub(crate) fn put_features_preloaded(
+        &self,
+        cell_hash: u128,
+        features: [f64; CELL_FEATURE_DIM],
+    ) {
+        self.insert_features(cell_hash, features);
+    }
+
+    /// Every stored cell-feature row, unordered (persistence sorts them).
+    pub(crate) fn snapshot_features(&self) -> Vec<(u128, [f64; CELL_FEATURE_DIM])> {
+        self.feature_shards
+            .iter()
+            .flat_map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                shard.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+            })
+            .collect()
+    }
 }
 
 impl EvalCache for SharedEvalCache {
@@ -564,6 +625,48 @@ impl EvalCache for SharedEvalCache {
 
     fn put_accuracy(&self, cell_hash: u128, accuracy: f64) {
         self.insert_accuracy(cell_hash, accuracy, false);
+    }
+
+    fn wants_cell_features(&self) -> bool {
+        self.record_features.load(Ordering::Relaxed)
+    }
+
+    fn put_cell_features(&self, cell_hash: u128, features: [f64; CELL_FEATURE_DIM]) {
+        self.insert_features(cell_hash, features);
+    }
+
+    /// Deterministically-ordered labeled training pairs: every *warm*
+    /// (preloaded) pair entry whose cell has a stored feature row, joined
+    /// into `(cell ++ config features, metric targets)` samples and sorted
+    /// by `(cell hash, config)`. Restricting to warm entries keeps guided
+    /// shards deterministic at any worker count — the snapshot is a pure
+    /// function of the persisted cache, never of live concurrent inserts.
+    fn snapshot_labeled(&self) -> Vec<LabeledSample> {
+        let features: HashMap<u128, [f64; CELL_FEATURE_DIM]> =
+            self.snapshot_features().into_iter().collect();
+        let mut warm: Vec<((u128, AcceleratorConfig), PairEvaluation)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                shard
+                    .map
+                    .iter()
+                    .filter(|(_, slot)| slot.warm)
+                    .map(|(k, slot)| (*k, slot.value))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        warm.sort_unstable_by_key(|a| a.0);
+        warm.into_iter()
+            .filter_map(|((hash, config), eval)| {
+                let cell = features.get(&hash)?;
+                Some(LabeledSample::from_eval(
+                    features_with_config(cell, &config),
+                    &eval,
+                ))
+            })
+            .collect()
     }
 }
 
@@ -666,6 +769,18 @@ impl EvalCache for ShardCacheView {
     fn put_accuracy(&self, cell_hash: u128, accuracy: f64) {
         self.inner.put_accuracy(cell_hash, accuracy);
     }
+
+    fn wants_cell_features(&self) -> bool {
+        self.inner.wants_cell_features()
+    }
+
+    fn put_cell_features(&self, cell_hash: u128, features: [f64; CELL_FEATURE_DIM]) {
+        self.inner.put_cell_features(cell_hash, features);
+    }
+
+    fn snapshot_labeled(&self) -> Vec<LabeledSample> {
+        self.inner.snapshot_labeled()
+    }
 }
 
 #[cfg(test)]
@@ -712,6 +827,61 @@ mod tests {
         cache.put(5, &space.get(1), eval(0.2));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(5, &space.get(1)), Some(eval(0.2)));
+    }
+
+    #[test]
+    fn snapshot_labeled_order_is_independent_of_insertion_order() {
+        let space = ConfigSpace::chaidnn();
+        let entries: Vec<(u128, AcceleratorConfig, PairEvaluation)> = (0..12u32)
+            .map(|i| {
+                // Spread hashes across shards; two configs per hash parity.
+                let hash = u128::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                (
+                    hash,
+                    space.get(i as usize % 8),
+                    eval(0.5 + f64::from(i) / 100.0),
+                )
+            })
+            .collect();
+        let feats = |hash: u128| [(hash % 97) as f64; CELL_FEATURE_DIM];
+
+        let forward = SharedEvalCache::with_shards(4);
+        for (hash, config, e) in &entries {
+            forward.put_preloaded(*hash, config, *e);
+            forward.put_features_preloaded(*hash, feats(*hash));
+        }
+        let backward = SharedEvalCache::with_shards(4);
+        for (hash, config, e) in entries.iter().rev() {
+            backward.put_features_preloaded(*hash, feats(*hash));
+            backward.put_preloaded(*hash, config, *e);
+        }
+
+        let a = forward.snapshot_labeled();
+        let b = backward.snapshot_labeled();
+        assert_eq!(a.len(), entries.len());
+        assert_eq!(a, b, "snapshot order must not depend on insertion order");
+
+        // Cold (computed-this-process) entries and feature-less warm
+        // entries are both excluded.
+        forward.put(7777, &space.get(3), eval(0.9));
+        forward.put_cell_features(7777, feats(7777));
+        forward.put_preloaded(8888, &space.get(4), eval(0.8));
+        assert_eq!(forward.snapshot_labeled(), a);
+    }
+
+    #[test]
+    fn feature_recording_is_gated_and_delegated() {
+        let cache = Arc::new(SharedEvalCache::new());
+        let view = ShardCacheView::new(Arc::clone(&cache));
+        assert!(!view.wants_cell_features());
+        cache.set_record_features(true);
+        assert!(view.wants_cell_features());
+        view.put_cell_features(42, [1.0; CELL_FEATURE_DIM]);
+        assert_eq!(cache.feature_len(), 1);
+        assert_eq!(
+            cache.snapshot_features(),
+            vec![(42, [1.0; CELL_FEATURE_DIM])]
+        );
     }
 
     #[test]

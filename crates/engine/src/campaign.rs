@@ -6,7 +6,7 @@ use std::sync::Arc;
 use codesign_core::{
     CodesignSpace, CombinedSearch, CompiledScenario, EvolutionSearch, NsgaSearch, PairEvaluation,
     PhaseSearch, RandomSearch, RewardShaping, ScenarioError, ScenarioSpec, SearchConfig,
-    SearchStrategy, SeparateSearch,
+    SearchStrategy, SeparateSearch, SurrogateConfig,
 };
 
 use crate::mix64;
@@ -88,16 +88,30 @@ impl StrategyKind {
     }
 
     /// Instantiates the strategy for a run of `total_steps` steps.
+    ///
+    /// `surrogate` enables predict-then-verify guidance on the strategies
+    /// that support it (evolution and NSGA-II); the RL and random
+    /// strategies ignore it — their proposal distributions are the
+    /// controller itself, so there is no over-produced candidate pool to
+    /// rank.
     #[must_use]
-    pub fn build(&self, total_steps: usize) -> Box<dyn SearchStrategy> {
+    pub fn build(
+        &self,
+        total_steps: usize,
+        surrogate: Option<SurrogateConfig>,
+    ) -> Box<dyn SearchStrategy> {
         match self {
             StrategyKind::Combined => Box::new(CombinedSearch),
             StrategyKind::Phase => Box::new(PhaseSearch::scaled(total_steps)),
             StrategyKind::Separate => Box::new(SeparateSearch::scaled(total_steps)),
             StrategyKind::Random => Box::new(RandomSearch),
-            StrategyKind::Evolution => Box::new(EvolutionSearch::default()),
+            StrategyKind::Evolution => Box::new(EvolutionSearch {
+                surrogate,
+                ..EvolutionSearch::default()
+            }),
             StrategyKind::Nsga { population } => Box::new(NsgaSearch {
                 population: *population,
+                surrogate,
                 ..NsgaSearch::default()
             }),
         }
@@ -174,6 +188,9 @@ pub struct ShardSpec {
     pub rng_seed: u64,
     /// Scheduling cost per step (from the campaign's [`CostModel`]).
     pub cost_weight: f64,
+    /// Surrogate predict-then-verify guidance, from the campaign
+    /// ([`Campaign::with_surrogate`]); `None` runs unguided.
+    pub surrogate: Option<SurrogateConfig>,
 }
 
 impl ShardSpec {
@@ -249,6 +266,10 @@ pub struct Campaign {
     /// of the experiment definition, so it rides on the campaign rather
     /// than the serialized [`ScenarioSpec`]s.
     pub reward_shaping: RewardShaping,
+    /// Surrogate predict-then-verify guidance applied to every shard whose
+    /// strategy supports it (off by default). Like shaping, guidance is
+    /// part of the experiment definition and rides on the campaign.
+    pub surrogate: Option<SurrogateConfig>,
 }
 
 impl Campaign {
@@ -267,6 +288,7 @@ impl Campaign {
             record_histories: false,
             cost_model: CostModel::new(),
             reward_shaping: RewardShaping::None,
+            surrogate: None,
         }
     }
 
@@ -344,6 +366,21 @@ impl Campaign {
     #[must_use]
     pub fn with_reward_shaping(mut self, shaping: RewardShaping) -> Self {
         self.reward_shaping = shaping;
+        self
+    }
+
+    /// Applies surrogate predict-then-verify guidance to every shard whose
+    /// strategy supports it (evolution and NSGA-II): each generation
+    /// over-produces `overproduce × λ` candidates, ranks them by a
+    /// cache-trained predictor, and spends real evaluations only on the
+    /// top λ. Each shard trains its own guide from the warm (persisted)
+    /// cache entries plus its own evaluation stream — never from live
+    /// concurrent inserts — so guided campaigns stay bit-identical across
+    /// worker counts. `None` (the default) is bit-identical to the
+    /// unguided campaign.
+    #[must_use]
+    pub fn with_surrogate(mut self, surrogate: Option<SurrogateConfig>) -> Self {
+        self.surrogate = surrogate;
         self
     }
 
@@ -453,6 +490,7 @@ impl Campaign {
                             steps,
                             rng_seed,
                             cost_weight,
+                            surrogate: self.surrogate,
                         });
                     }
                 }
@@ -526,7 +564,7 @@ mod tests {
             },
         ]) {
             assert_eq!(StrategyKind::from_name(kind.name()), Some(kind));
-            assert_eq!(kind.build(1000).name(), kind.name());
+            assert_eq!(kind.build(1000, None).name(), kind.name());
         }
         assert_eq!(StrategyKind::from_name("bogus"), None);
     }

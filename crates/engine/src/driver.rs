@@ -295,6 +295,14 @@ impl ShardedDriver {
             (None, true) => Some(Arc::new(SharedEvalCache::new())),
             (None, false) => None,
         };
+        // Guided campaigns need each cold evaluation's cell features in the
+        // cache so the next (warm-started) run can train its guides from
+        // the persisted entries.
+        if let Some(cache) = &cache {
+            if campaign.surrogate.is_some() {
+                cache.set_record_features(true);
+            }
+        }
         let order = self.backend.schedule(&shards);
         debug_assert_eq!(
             {
@@ -401,7 +409,7 @@ fn run_shard(
     };
     let config = shard.search_config(&campaign.base_config);
     let mut rng = SmallRng::seed_from_u64(shard.rng_seed);
-    let strategy = shard.strategy.build(shard.steps);
+    let strategy = shard.strategy.build(shard.steps, shard.surrogate);
     let outcome = strategy.run_with_rng(&mut ctx, &config, &mut rng);
     let mut result = ShardResult::from_outcome(
         shard.clone(),

@@ -93,7 +93,8 @@ pub use driver::{
     ShardedDriver, WorkStealingBackend,
 };
 pub use persist::{
-    CacheLoadError, CACHE_FORMAT, CACHE_MAGIC, CACHE_SHARD_FILES, CACHE_VERSION, JSON_CACHE_VERSION,
+    CacheLoadError, CACHE_FORMAT, CACHE_MAGIC, CACHE_SHARD_FILES, CACHE_VERSION, CACHE_VERSION_V3,
+    JSON_CACHE_VERSION,
 };
 pub use report::{CampaignReport, ShardResult};
 pub use sys::{FileLock, MappedBytes};

@@ -5,37 +5,48 @@
 //! evaluations instead of recomputing them — the cross-run economy that
 //! CODEBench's accelerator-embedding cache argues for at benchmark scale.
 //!
-//! # The v3 binary format
+//! # The v4 binary format
 //!
 //! Version 3 replaced the v2 JSON document with a length-prefixed binary
 //! layout built on [`codesign_nasbench::byteio`]. A million-entry JSON
 //! cache cost a full-document parse (and a 32-hex string per `u128` key)
-//! on every warm start; v3 is one contiguous read plus an in-place walk
-//! over fixed-width little-endian records — [`SharedEvalCache::load_bytes`]
-//! decodes straight out of any borrowed `&[u8]`, so an mmap-backed slice
-//! is a drop-in source. All offsets below are bytes:
+//! on every warm start; the binary layout is one contiguous read plus an
+//! in-place walk over fixed-width little-endian records —
+//! [`SharedEvalCache::load_bytes`] decodes straight out of any borrowed
+//! `&[u8]`, so an mmap-backed slice is a drop-in source. Version 4 adds a
+//! cell-feature section (the surrogate guide's per-cell structural
+//! featurizations, see `codesign_core::surrogate`) so a warm-started
+//! campaign can train a predictor from the persisted entries; v3 files
+//! still load, with the feature section empty. All offsets below are
+//! bytes:
 //!
 //! ```text
 //! offset  size  field
 //!      0     6  magic "CDNEVC"
-//!      6     2  format version, u16 LE (= 3)
+//!      6     2  format version, u16 LE (= 4; 3 accepted on load)
 //!      8     8  salt, u64 LE
 //!     16     8  FNV-1a 64 checksum of every byte from offset 24 on
 //!     24     8  pair record count, u64 LE
 //!     32     8  accuracy record count, u64 LE
-//!     40     8  scenario-provenance section length in bytes, u64 LE
-//!     48     …  pair records, 68 B each, sorted by (hash, config)
+//!     40     8  cell-feature record count, u64 LE (absent in v3)
+//!     48     8  scenario-provenance section length in bytes, u64 LE
+//!     56     …  pair records, 68 B each, sorted by (hash, config)
 //!      …     …  accuracy records, 24 B each, sorted by hash
+//!      …     …  cell-feature records, 96 B each, sorted by hash
 //!      …     …  scenario names: (u32 LE length + UTF-8 bytes) each, sorted
 //! ```
+//!
+//! (A v3 header is 48 bytes: no feature-count field, scenario length at
+//! offset 40, records from 48.)
 //!
 //! A pair record is `cell hash u128 | filter_par u16 | pixel_par u16 |
 //! input/weight/output buffer depths u32×3 | mem width u16 | pool u8 |
 //! ratio index u8 | accuracy/latency/area/power f64×4` — metrics travel as
 //! raw IEEE 754 bit patterns, so a reload is bit-exact. An accuracy record
-//! is `cell hash u128 | accuracy f64`.
+//! is `cell hash u128 | accuracy f64`. A cell-feature record is
+//! `cell hash u128 | feature f64 ×`[`CELL_FEATURE_DIM`]\.
 //!
-//! Both record sections are sorted, so equal cache contents always
+//! All record sections are sorted, so equal cache contents always
 //! serialize to byte-identical files. Truncated files fail the
 //! length-vs-counts consistency check and bit flips fail the checksum;
 //! both reject with a typed [`CacheLoadError`] rather than loading
@@ -45,7 +56,7 @@
 //!
 //! [`SharedEvalCache::save_sharded`] splits the same records across
 //! [`CACHE_SHARD_FILES`] files (`shard-NN.bin` inside a directory, keyed
-//! by the top bits of the cell hash), each a complete v3 document.
+//! by the top bits of the cell hash), each a complete v4 document.
 //! Because the files partition the key space, [`SharedEvalCache::load_sharded`]
 //! reconstructs one cache bit-identically no matter the merge order —
 //! several processes (or successive runs) can each persist their slice
@@ -74,7 +85,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use codesign_accel::{AcceleratorConfig, ConvEngineRatio};
-use codesign_core::PairEvaluation;
+use codesign_core::{PairEvaluation, CELL_FEATURE_DIM};
 use codesign_nasbench::byteio::{self, ByteReader};
 use codesign_nasbench::Json;
 
@@ -84,24 +95,32 @@ use crate::cache::SharedEvalCache;
 pub const CACHE_FORMAT: &str = "codesign-eval-cache";
 
 /// The current on-disk format version.
-pub const CACHE_VERSION: u64 = 3;
+pub const CACHE_VERSION: u64 = 4;
+
+/// The previous binary version, still accepted on load (it simply carries
+/// no cell-feature section).
+pub const CACHE_VERSION_V3: u64 = 3;
 
 /// The format version of legacy JSON caches ([`SharedEvalCache::save_json`]).
 pub const JSON_CACHE_VERSION: u64 = 2;
 
-/// Leading magic bytes of a v3 binary cache file.
+/// Leading magic bytes of a binary cache file (v3 and v4).
 pub const CACHE_MAGIC: [u8; 6] = *b"CDNEVC";
 
 /// Number of `shard-NN.bin` files a sharded save splits the cache across
 /// (keyed by the top 4 bits of the cell hash).
 pub const CACHE_SHARD_FILES: usize = 16;
 
-/// Fixed header length of a v3 file, bytes.
-const HEADER_LEN: usize = 48;
+/// Fixed header length of a v4 file, bytes.
+const HEADER_LEN: usize = 56;
+/// Fixed header length of a v3 file, bytes (no feature-count field).
+const HEADER_LEN_V3: usize = 48;
 /// Fixed length of one pair record, bytes.
 const PAIR_RECORD_LEN: usize = 68;
 /// Fixed length of one per-cell accuracy record, bytes.
 const ACC_RECORD_LEN: usize = 24;
+/// Fixed length of one cell-feature record, bytes.
+const FEAT_RECORD_LEN: usize = 16 + 8 * CELL_FEATURE_DIM;
 /// Offset of the checksummed region (everything after the checksum field).
 const CHECKSUM_START: usize = 24;
 
@@ -264,10 +283,11 @@ fn read_config(reader: &mut ByteReader<'_>) -> Result<AcceleratorConfig, String>
     })
 }
 
-/// Encodes sorted records as one complete v3 document.
+/// Encodes sorted records as one complete v4 document.
 fn encode_records(
     pairs: &[((u128, AcceleratorConfig), PairEvaluation)],
     accuracies: &[(u128, f64)],
+    features: &[(u128, [f64; CELL_FEATURE_DIM])],
     scenarios: &[String],
     salt: u64,
 ) -> Vec<u8> {
@@ -283,6 +303,7 @@ fn encode_records(
         HEADER_LEN
             + pairs.len() * PAIR_RECORD_LEN
             + accuracies.len() * ACC_RECORD_LEN
+            + features.len() * FEAT_RECORD_LEN
             + scenario_section.len(),
     );
     buf.extend_from_slice(&CACHE_MAGIC);
@@ -292,6 +313,7 @@ fn encode_records(
     byteio::put_u64(&mut buf, 0); // checksum, patched below
     byteio::put_u64(&mut buf, pairs.len() as u64);
     byteio::put_u64(&mut buf, accuracies.len() as u64);
+    byteio::put_u64(&mut buf, features.len() as u64);
     byteio::put_u64(&mut buf, scenario_section.len() as u64);
     for ((hash, config), eval) in pairs {
         byteio::put_u128(&mut buf, *hash);
@@ -304,6 +326,12 @@ fn encode_records(
     for (hash, acc) in accuracies {
         byteio::put_u128(&mut buf, *hash);
         byteio::put_f64(&mut buf, *acc);
+    }
+    for (hash, feats) in features {
+        byteio::put_u128(&mut buf, *hash);
+        for value in feats {
+            byteio::put_f64(&mut buf, *value);
+        }
     }
     buf.extend_from_slice(&scenario_section);
     let checksum = byteio::fnv1a64(&buf[CHECKSUM_START..]);
@@ -362,18 +390,24 @@ fn hash_from_hex(text: &str) -> Result<u128, String> {
 /// A pair-cache entry as snapshotted for persistence: key plus metrics.
 type PairRecord = ((u128, AcceleratorConfig), PairEvaluation);
 
+/// A cell-feature entry as snapshotted for persistence.
+type FeatRecord = (u128, [f64; CELL_FEATURE_DIM]);
+
 impl SharedEvalCache {
-    /// Every pair entry sorted by key and every accuracy entry sorted by
-    /// hash — the canonical record order of persisted documents.
-    fn sorted_records(&self) -> (Vec<PairRecord>, Vec<(u128, f64)>) {
+    /// Every pair entry sorted by key, every accuracy entry sorted by
+    /// hash, and every cell-feature row sorted by hash — the canonical
+    /// record order of persisted documents.
+    fn sorted_records(&self) -> (Vec<PairRecord>, Vec<(u128, f64)>, Vec<FeatRecord>) {
         let mut pairs = self.snapshot_pairs();
         pairs.sort_unstable_by_key(|&(key, _)| key);
         let mut accuracies = self.snapshot_accuracies();
         accuracies.sort_unstable_by_key(|&(key, _)| key);
-        (pairs, accuracies)
+        let mut features = self.snapshot_features();
+        features.sort_unstable_by_key(|&(key, _)| key);
+        (pairs, accuracies, features)
     }
 
-    /// Serializes the cache as one v3 binary document stamped with `salt`
+    /// Serializes the cache as one v4 binary document stamped with `salt`
     /// (see the module docs for the layout and the salt contract). Records
     /// are sorted, so identical contents always produce an identical file.
     ///
@@ -383,10 +417,10 @@ impl SharedEvalCache {
     pub fn save<W: Write>(&self, mut writer: W, salt: u64) -> io::Result<()> {
         let mut span = codesign_telemetry::span("cache.save", "persist")
             .with_arg("entries", self.len() as u64)
-            .with_arg("format", "v3-binary");
+            .with_arg("format", "v4-binary");
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
-        let (pairs, accuracies) = self.sorted_records();
-        let bytes = encode_records(&pairs, &accuracies, &self.provenance(), salt);
+        let (pairs, accuracies, features) = self.sorted_records();
+        let bytes = encode_records(&pairs, &accuracies, &features, &self.provenance(), salt);
         writer.write_all(&bytes)?;
         if let Some(t) = timer {
             record_io_metrics(
@@ -433,7 +467,7 @@ impl SharedEvalCache {
     /// Same rejection contract as [`SharedEvalCache::load`].
     pub fn load_bytes(bytes: &[u8], expected_salt: u64) -> Result<Self, CacheLoadError> {
         let mut span =
-            codesign_telemetry::span("cache.load", "persist").with_arg("format", "v3-binary");
+            codesign_telemetry::span("cache.load", "persist").with_arg("format", "binary");
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
         let cache = SharedEvalCache::new();
         cache.merge_bytes(bytes, expected_salt)?;
@@ -449,7 +483,7 @@ impl SharedEvalCache {
         Ok(cache)
     }
 
-    /// Decodes one persisted v3 document and merges its entries into this
+    /// Decodes one persisted binary document (v3 or v4) and merges its entries into this
     /// cache (preloaded entries are *warm*). Merging is idempotent and —
     /// because persisted values are deterministic functions of their keys —
     /// order-independent: merging N shard files in any order reconstructs
@@ -465,7 +499,7 @@ impl SharedEvalCache {
     pub fn merge_bytes(&self, bytes: &[u8], expected_salt: u64) -> Result<(), CacheLoadError> {
         let malformed = |reason: String| CacheLoadError::Malformed(reason);
         if bytes.starts_with(&CACHE_MAGIC) {
-            return self.merge_v3(bytes, expected_salt);
+            return self.merge_binary(bytes, expected_salt);
         }
         // Not a binary cache: recognize legacy JSON documents so stale
         // caches reject with a *typed* version error (the CLI turns that
@@ -488,23 +522,32 @@ impl SharedEvalCache {
             return Err(CacheLoadError::WrongVersion { found: version });
         }
         Err(malformed(
-            "not a cache file (no v3 magic, not a JSON document)".into(),
+            "not a cache file (no binary magic, not a JSON document)".into(),
         ))
     }
 
-    /// The v3 decode path: header checks, then an in-place record walk.
-    fn merge_v3(&self, bytes: &[u8], expected_salt: u64) -> Result<(), CacheLoadError> {
+    /// The binary decode path (v3 and v4): header checks, then an in-place
+    /// record walk.
+    fn merge_binary(&self, bytes: &[u8], expected_salt: u64) -> Result<(), CacheLoadError> {
         let malformed = |reason: String| CacheLoadError::Malformed(reason);
-        if bytes.len() < HEADER_LEN {
+        if bytes.len() < HEADER_LEN_V3 {
             return Err(malformed(format!(
-                "truncated header: {} bytes (need {HEADER_LEN})",
+                "truncated header: {} bytes (need at least {HEADER_LEN_V3})",
                 bytes.len()
             )));
         }
-        let mut header = ByteReader::new(&bytes[CACHE_MAGIC.len()..HEADER_LEN]);
+        let mut header = ByteReader::new(&bytes[CACHE_MAGIC.len()..]);
         let version = u64::from(header.u16().map_err(malformed)?);
-        if version != CACHE_VERSION {
-            return Err(CacheLoadError::WrongVersion { found: version });
+        let header_len = match version {
+            CACHE_VERSION_V3 => HEADER_LEN_V3,
+            CACHE_VERSION => HEADER_LEN,
+            found => return Err(CacheLoadError::WrongVersion { found }),
+        };
+        if bytes.len() < header_len {
+            return Err(malformed(format!(
+                "truncated header: {} bytes (need {header_len})",
+                bytes.len()
+            )));
         }
         let salt = header.u64().map_err(malformed)?;
         if salt != expected_salt {
@@ -516,10 +559,16 @@ impl SharedEvalCache {
         let checksum = header.u64().map_err(malformed)?;
         let pair_count = header.u64().map_err(malformed)?;
         let acc_count = header.u64().map_err(malformed)?;
+        let feat_count = if version == CACHE_VERSION {
+            header.u64().map_err(malformed)?
+        } else {
+            0
+        };
         let scenario_len = header.u64().map_err(malformed)?;
-        let expected_len = HEADER_LEN as u128
+        let expected_len = header_len as u128
             + u128::from(pair_count) * PAIR_RECORD_LEN as u128
             + u128::from(acc_count) * ACC_RECORD_LEN as u128
+            + u128::from(feat_count) * FEAT_RECORD_LEN as u128
             + u128::from(scenario_len);
         if bytes.len() as u128 != expected_len {
             return Err(malformed(format!(
@@ -535,7 +584,7 @@ impl SharedEvalCache {
         }
 
         // Validated: walk the records in place and insert as warm entries.
-        let mut reader = ByteReader::new(&bytes[HEADER_LEN..]);
+        let mut reader = ByteReader::new(&bytes[header_len..]);
         for i in 0..pair_count {
             let context = |e: String| malformed(format!("pair {i}: {e}"));
             let hash = reader.u128().map_err(context)?;
@@ -553,6 +602,15 @@ impl SharedEvalCache {
             let hash = reader.u128().map_err(context)?;
             let acc = reader.f64().map_err(context)?;
             self.put_accuracy_preloaded(hash, acc);
+        }
+        for i in 0..feat_count {
+            let context = |e: String| malformed(format!("feature {i}: {e}"));
+            let hash = reader.u128().map_err(context)?;
+            let mut feats = [0.0; CELL_FEATURE_DIM];
+            for value in &mut feats {
+                *value = reader.f64().map_err(context)?;
+            }
+            self.put_features_preloaded(hash, feats);
         }
         let mut scenarios = Vec::new();
         while !reader.is_empty() {
@@ -591,7 +649,7 @@ impl SharedEvalCache {
     }
 
     /// [`SharedEvalCache::load_from_path`] through a read-only memory map:
-    /// the v3 decoder walks the mapped region in place
+    /// the binary decoder walks the mapped region in place
     /// ([`SharedEvalCache::load_bytes`] never builds an intermediate
     /// document), so the load copies record bytes straight from the page
     /// cache into the cache's tables. Falls back to an ordinary read when
@@ -609,7 +667,7 @@ impl SharedEvalCache {
         Self::load_bytes(&bytes, expected_salt)
     }
 
-    /// Persists the cache as [`CACHE_SHARD_FILES`] v3 files
+    /// Persists the cache as [`CACHE_SHARD_FILES`] v4 files
     /// (`shard-00.bin` … `shard-15.bin`) inside `dir`, each holding the
     /// entries whose cell hash falls in its slice of the key space (top 4
     /// bits). Every shard carries the salt and the full scenario
@@ -624,15 +682,21 @@ impl SharedEvalCache {
     pub fn save_sharded<P: AsRef<Path>>(&self, dir: P, salt: u64) -> io::Result<usize> {
         let mut span = codesign_telemetry::span("cache.save", "persist")
             .with_arg("entries", self.len() as u64)
-            .with_arg("format", "v3-sharded");
+            .with_arg("format", "v4-sharded");
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let scenarios = self.provenance();
-        let (pair_buckets, acc_buckets) = self.bucketed_records();
+        let (pair_buckets, acc_buckets, feat_buckets) = self.bucketed_records();
         let mut total = 0usize;
         for index in 0..CACHE_SHARD_FILES {
-            let bytes = encode_records(&pair_buckets[index], &acc_buckets[index], &scenarios, salt);
+            let bytes = encode_records(
+                &pair_buckets[index],
+                &acc_buckets[index],
+                &feat_buckets[index],
+                &scenarios,
+                salt,
+            );
             std::fs::write(dir.join(shard_file_name(index)), &bytes)?;
             total += bytes.len();
         }
@@ -645,8 +709,14 @@ impl SharedEvalCache {
     /// Sorted records bucketed by persistence shard (hash prefix). Each
     /// bucket stays sorted, so each shard file is canonical on its own.
     #[allow(clippy::type_complexity)]
-    fn bucketed_records(&self) -> (Vec<Vec<PairRecord>>, Vec<Vec<(u128, f64)>>) {
-        let (pairs, accuracies) = self.sorted_records();
+    fn bucketed_records(
+        &self,
+    ) -> (
+        Vec<Vec<PairRecord>>,
+        Vec<Vec<(u128, f64)>>,
+        Vec<Vec<FeatRecord>>,
+    ) {
+        let (pairs, accuracies, features) = self.sorted_records();
         let mut pair_buckets: Vec<Vec<PairRecord>> = vec![Vec::new(); CACHE_SHARD_FILES];
         for entry in pairs {
             pair_buckets[persist_shard_of(entry.0 .0)].push(entry);
@@ -655,7 +725,11 @@ impl SharedEvalCache {
         for entry in accuracies {
             acc_buckets[persist_shard_of(entry.0)].push(entry);
         }
-        (pair_buckets, acc_buckets)
+        let mut feat_buckets: Vec<Vec<FeatRecord>> = vec![Vec::new(); CACHE_SHARD_FILES];
+        for entry in features {
+            feat_buckets[persist_shard_of(entry.0)].push(entry);
+        }
+        (pair_buckets, acc_buckets, feat_buckets)
     }
 
     /// Merge-on-save: exchanges entries with a sharded cache directory
@@ -688,7 +762,7 @@ impl SharedEvalCache {
     pub fn sync_sharded<P: AsRef<Path>>(&self, dir: P, salt: u64) -> Result<usize, CacheLoadError> {
         let mut span = codesign_telemetry::span("cache.sync", "persist")
             .with_arg("entries", self.len() as u64)
-            .with_arg("format", "v3-sharded");
+            .with_arg("format", "v4-sharded");
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -715,10 +789,16 @@ impl SharedEvalCache {
         }
         // Phase 2: this cache now holds the union; write it back.
         let scenarios = self.provenance();
-        let (pair_buckets, acc_buckets) = self.bucketed_records();
+        let (pair_buckets, acc_buckets, feat_buckets) = self.bucketed_records();
         let mut total = 0usize;
         for index in 0..CACHE_SHARD_FILES {
-            let bytes = encode_records(&pair_buckets[index], &acc_buckets[index], &scenarios, salt);
+            let bytes = encode_records(
+                &pair_buckets[index],
+                &acc_buckets[index],
+                &feat_buckets[index],
+                &scenarios,
+                salt,
+            );
             let name = shard_file_name(index);
             let tmp = dir.join(format!("{name}.tmp"));
             std::fs::write(&tmp, &bytes)?;
@@ -772,7 +852,7 @@ impl SharedEvalCache {
         use_mmap: bool,
     ) -> Result<Self, CacheLoadError> {
         let mut span =
-            codesign_telemetry::span("cache.load", "persist").with_arg("format", "v3-sharded");
+            codesign_telemetry::span("cache.load", "persist").with_arg("format", "sharded");
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
         let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
             .filter_map(Result::ok)
@@ -817,7 +897,7 @@ impl SharedEvalCache {
             .with_arg("entries", self.len() as u64)
             .with_arg("format", "v2-json");
         let timer = codesign_telemetry::enabled().then(std::time::Instant::now);
-        let (pairs, accuracies) = self.sorted_records();
+        let (pairs, accuracies, _features) = self.sorted_records();
         let scenarios = Json::Arr(self.provenance().into_iter().map(Json::Str).collect());
         let mut written = 0usize;
         let mut counting = CountingWriter {
@@ -885,7 +965,7 @@ impl SharedEvalCache {
     /// Reads a legacy v2 JSON cache and returns it together with the salt
     /// recorded in the file, *without* checking the salt against anything —
     /// the migration primitive: `campaign --cache-migrate` carries the
-    /// original salt into the converted v3 file unchanged, so the migrated
+    /// original salt into the converted binary file unchanged, so the migrated
     /// cache warm-starts exactly the runs the original would have.
     ///
     /// # Errors
@@ -1032,7 +1112,7 @@ mod tests {
         let cache = populated();
         let mut buf = Vec::new();
         cache.save(&mut buf, 0xDEAD).unwrap();
-        assert!(buf.starts_with(&CACHE_MAGIC), "v3 binary is the default");
+        assert!(buf.starts_with(&CACHE_MAGIC), "binary is the default");
         let back = SharedEvalCache::load(buf.as_slice(), 0xDEAD).unwrap();
         let space = ConfigSpace::chaidnn();
         assert_eq!(back.get(1, &space.get(0)), Some(eval(0.91)));
@@ -1047,14 +1127,82 @@ mod tests {
     #[test]
     fn binary_records_are_fixed_width() {
         let cache = populated();
+        cache.put_features_preloaded(1, [0.5; CELL_FEATURE_DIM]);
         let mut buf = Vec::new();
         cache.save(&mut buf, 1).unwrap();
         let scenario_len = 0; // no provenance noted
         assert_eq!(
             buf.len(),
-            48 + 2 * 68 + 24 + scenario_len,
-            "header + 2 pair records + 1 accuracy record"
+            56 + 2 * 68 + 24 + 96 + scenario_len,
+            "header + 2 pair records + 1 accuracy record + 1 feature record"
         );
+    }
+
+    #[test]
+    fn cell_features_survive_the_round_trip() {
+        let cache = populated();
+        let feats = core::array::from_fn(|i| i as f64 / 7.0);
+        cache.put_features_preloaded(1, feats);
+        let mut buf = Vec::new();
+        cache.save(&mut buf, 2).unwrap();
+        let back = SharedEvalCache::load(buf.as_slice(), 2).unwrap();
+        assert_eq!(back.snapshot_features(), vec![(1, feats)]);
+        // Features join with the warm pair entries into labeled samples.
+        let labeled = back.snapshot_labeled();
+        assert_eq!(labeled.len(), 1, "one warm pair has stored features");
+        // And the sharded path carries them too.
+        let dir = std::env::temp_dir().join("codesign_persist_feat_shard_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        cache.save_sharded(&dir, 2).unwrap();
+        let merged = SharedEvalCache::load_sharded(&dir, 2).unwrap();
+        assert_eq!(merged.snapshot_features(), vec![(1, feats)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Hand-encodes a v3 document (48-byte header, no feature section) the
+    /// way the previous release wrote them.
+    fn encode_v3(
+        pairs: &[((u128, AcceleratorConfig), PairEvaluation)],
+        accuracies: &[(u128, f64)],
+        salt: u64,
+    ) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CACHE_MAGIC);
+        byteio::put_u16(&mut buf, 3);
+        byteio::put_u64(&mut buf, salt);
+        byteio::put_u64(&mut buf, 0); // checksum, patched below
+        byteio::put_u64(&mut buf, pairs.len() as u64);
+        byteio::put_u64(&mut buf, accuracies.len() as u64);
+        byteio::put_u64(&mut buf, 0); // scenario section length
+        for ((hash, config), eval) in pairs {
+            byteio::put_u128(&mut buf, *hash);
+            put_config(&mut buf, config);
+            byteio::put_f64(&mut buf, eval.accuracy);
+            byteio::put_f64(&mut buf, eval.latency_ms);
+            byteio::put_f64(&mut buf, eval.area_mm2);
+            byteio::put_f64(&mut buf, eval.power_w);
+        }
+        for (hash, acc) in accuracies {
+            byteio::put_u128(&mut buf, *hash);
+            byteio::put_f64(&mut buf, *acc);
+        }
+        let checksum = byteio::fnv1a64(&buf[CHECKSUM_START..]);
+        buf[16..24].copy_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn v3_files_still_load_with_an_empty_feature_section() {
+        let space = ConfigSpace::chaidnn();
+        let v3 = encode_v3(&[((9, space.get(4)), eval(0.88))], &[(13, 0.91)], 0xFEED);
+        let back = SharedEvalCache::load(v3.as_slice(), 0xFEED).unwrap();
+        assert_eq!(back.get(9, &space.get(4)), Some(eval(0.88)));
+        assert_eq!(back.get_accuracy(13), Some(0.91));
+        assert!(back.snapshot_features().is_empty());
+        // Saving the reloaded cache upgrades it to the current version.
+        let mut resaved = Vec::new();
+        back.save(&mut resaved, 0xFEED).unwrap();
+        assert_eq!(resaved[6], CACHE_VERSION as u8);
     }
 
     #[test]
@@ -1130,14 +1278,14 @@ mod tests {
         let mut v2 = Vec::new();
         original.save_json(&mut v2, 0x5EED).unwrap();
 
-        // Migrate: reload the JSON without knowing the salt, rewrite as v3.
+        // Migrate: reload the JSON without knowing the salt, rewrite as binary.
         let (migrated, salt) = SharedEvalCache::load_json_with_salt(v2.as_slice()).unwrap();
         assert_eq!(salt, 0x5EED, "the file's own salt is carried through");
         let mut v3 = Vec::new();
         migrated.save(&mut v3, salt).unwrap();
 
         // The migrated file is byte-identical to saving the original
-        // cache directly in v3 — migration loses nothing and adds nothing.
+        // cache directly in v4 — migration loses nothing and adds nothing.
         let mut direct = Vec::new();
         original.save(&mut direct, 0x5EED).unwrap();
         assert_eq!(v3, direct);

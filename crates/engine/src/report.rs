@@ -48,6 +48,10 @@ pub struct ShardResult {
     /// [`RewardShaping::HypervolumeGradient`]:
     /// codesign_core::RewardShaping::HypervolumeGradient
     pub shaping_bonus: f64,
+    /// Surrogate predict-then-verify counters, when the shard ran guided
+    /// (`Campaign::with_surrogate` on a strategy that supports guidance);
+    /// `None` on unguided shards.
+    pub surrogate: Option<codesign_core::SurrogateStats>,
     /// Per-generation front snapshots (size + hypervolume), for population
     /// strategies that record them (`nsga`); empty otherwise.
     pub generations: Vec<GenerationStat>,
@@ -100,6 +104,7 @@ impl ShardResult {
             front: outcome.front,
             hypervolume,
             shaping_bonus: outcome.shaping_bonus,
+            surrogate: outcome.surrogate,
             generations: outcome.generations,
             history: keep_history.then_some(outcome.history),
             cache_warm_hits: 0,
@@ -124,6 +129,7 @@ impl ShardResult {
             front,
             hypervolume: 0.0,
             shaping_bonus: 0.0,
+            surrogate: None,
             generations: Vec::new(),
             history: None,
             cache_warm_hits: 0,
@@ -153,7 +159,12 @@ impl ShardResult {
     /// per-generation `hypervolume` — the front-quality-over-time curve.
     /// `reward_shaping` records the shard's shaping mode (`"none"` or
     /// `"hv:<weight>"`) and `hv_bonus` the total shaping bonus paid out,
-    /// so shaped runs are self-describing in the export.
+    /// so shaped runs are self-describing in the export. `surrogate`
+    /// records the guidance mode (`"k:R"` or `"off"`), `verify_rate` the
+    /// fraction of produced candidates that received real evaluations
+    /// (1.0 unguided), and `pred_mae` the mean absolute error of the
+    /// guide's predicted rewards against the verified real rewards (`null`
+    /// until the guide has made predictions).
     #[must_use]
     pub fn to_json(&self) -> Json {
         let axes = self.front.schema().clone();
@@ -212,6 +223,28 @@ impl ShardResult {
                 Json::Str(self.spec.scenario.reward_shaping().to_string()),
             ),
             ("hv_bonus", Json::Num(self.shaping_bonus)),
+            (
+                "surrogate",
+                Json::Str(match (self.spec.surrogate, &self.surrogate) {
+                    (Some(cfg), Some(_)) => cfg.to_string(),
+                    _ => "off".to_owned(),
+                }),
+            ),
+            (
+                "verify_rate",
+                Json::Num(self.surrogate.as_ref().map_or(1.0, |s| s.verify_rate())),
+            ),
+            (
+                "pred_mae",
+                match self.surrogate.as_ref().map(|s| s.pred_mae()) {
+                    Some(mae) if mae.is_finite() => Json::Num(mae),
+                    _ => Json::Null,
+                },
+            ),
+            (
+                "surrogate_train_rounds",
+                Json::Num(self.surrogate.as_ref().map_or(0, |s| s.train_rounds) as f64),
+            ),
             ("generations", Json::Arr(generations)),
             ("cache_warm_hits", Json::Num(self.cache_warm_hits as f64)),
             ("cache_cold_hits", Json::Num(self.cache_cold_hits as f64)),
@@ -583,6 +616,9 @@ impl CampaignReport {
                 "front_axes",
                 "hypervolume",
                 "hv_bonus",
+                "surrogate",
+                "verify_rate",
+                "pred_mae",
                 "cache_warm_hits",
                 "cache_cold_hits",
                 "cache_misses",
@@ -625,6 +661,15 @@ impl CampaignReport {
                 schema.names().join("|"),
                 fmt_f(s.hypervolume, 6),
                 fmt_f(s.shaping_bonus, 6),
+                match (s.spec.surrogate, &s.surrogate) {
+                    (Some(cfg), Some(_)) => cfg.to_string(),
+                    _ => "off".into(),
+                },
+                fmt_f(s.surrogate.as_ref().map_or(1.0, |st| st.verify_rate()), 6),
+                match s.surrogate.as_ref().map(|st| st.pred_mae()) {
+                    Some(mae) if mae.is_finite() => fmt_f(mae, 6),
+                    _ => "nan".into(),
+                },
                 s.cache_warm_hits.to_string(),
                 s.cache_cold_hits.to_string(),
                 s.cache_misses.to_string(),
@@ -749,6 +794,10 @@ mod tests {
             for row in shard.get("front").and_then(Json::as_arr).unwrap() {
                 assert_eq!(row.as_arr().unwrap().len(), names.len());
             }
+            // Surrogate fields are always present; this campaign is unguided.
+            assert_eq!(shard.get("surrogate").and_then(Json::as_str), Some("off"));
+            assert_eq!(shard.get("verify_rate").and_then(Json::as_f64), Some(1.0));
+            assert!(matches!(shard.get("pred_mae"), Some(Json::Null)));
         }
     }
 
@@ -767,6 +816,7 @@ mod tests {
         assert!(header.contains("best_area,best_lat,best_acc"));
         assert!(!header.contains("best_power"), "no scenario declares power");
         assert!(header.contains("front_axes"));
+        assert!(header.contains("surrogate,verify_rate,pred_mae"));
     }
 
     #[test]

@@ -256,7 +256,7 @@ fn merged_shard_fronts_equal_front_of_concatenated_histories() {
         let mut rng = SmallRng::seed_from_u64(shard.rng_seed);
         let outcome = shard
             .strategy
-            .build(shard.steps)
+            .build(shard.steps, shard.surrogate)
             .run_with_rng(&mut ctx, &config, &mut rng);
         for record in &outcome.history {
             if let Some(metrics) = record.metrics {

@@ -1,0 +1,213 @@
+//! Surrogate guidance is deterministic plumbing: a guided campaign's
+//! exports are bit-identical at any worker count, bit-identical across
+//! cache-warm reruns from the same persisted file, every shard
+//! self-describes its guidance mode in the JSONL, and switching the
+//! surrogate off reproduces the pre-surrogate (PR-9 shaping) export
+//! byte-for-byte.
+//!
+//! Everything runs in one `#[test]` because telemetry state and the
+//! surrogate timing histograms are process-global and the test harness
+//! runs `#[test]`s concurrently.
+
+use std::sync::Arc;
+
+use codesign_core::{CodesignSpace, RewardShaping, ScenarioSpec, SurrogateConfig};
+use codesign_engine::{Campaign, ShardedDriver, SharedEvalCache, StrategyKind};
+use codesign_nasbench::{Json, NasbenchDatabase};
+
+/// Guided grid: both generational strategies (which honor the surrogate)
+/// plus the random ablation (which must ignore it).
+fn guided_campaign() -> Campaign {
+    Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(vec![
+            ScenarioSpec::unconstrained(),
+            ScenarioSpec::one_constraint(),
+        ])
+        .strategies(vec![
+            StrategyKind::Evolution,
+            StrategyKind::Nsga {
+                population: StrategyKind::DEFAULT_NSGA_POPULATION,
+            },
+            StrategyKind::Random,
+        ])
+        .seeds(vec![0])
+        .steps(60)
+        .with_surrogate(SurrogateConfig::parse("3:8").expect("flag syntax"))
+}
+
+/// The PR-9 shaping grid, verbatim: shaped RL + NSGA, no surrogate.
+fn shaped_campaign() -> Campaign {
+    Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(vec![
+            ScenarioSpec::unconstrained(),
+            ScenarioSpec::one_constraint(),
+        ])
+        .strategies(vec![
+            StrategyKind::Combined,
+            StrategyKind::Nsga {
+                population: StrategyKind::DEFAULT_NSGA_POPULATION,
+            },
+        ])
+        .seeds(vec![0, 1])
+        .steps(60)
+        .with_reward_shaping(RewardShaping::parse("hv:0.5").expect("flag syntax"))
+}
+
+fn run_jsonl(
+    db: &Arc<NasbenchDatabase>,
+    campaign: &Campaign,
+    workers: usize,
+    cache: Option<Arc<SharedEvalCache>>,
+) -> (String, Option<codesign_engine::CacheStats>) {
+    let mut driver = ShardedDriver::new(workers);
+    if let Some(cache) = cache {
+        driver = driver.with_cache(cache);
+    }
+    let report = driver.run(campaign, db);
+    let mut buf = Vec::new();
+    report.write_jsonl(&mut buf).unwrap();
+    (String::from_utf8(buf).unwrap(), report.cache)
+}
+
+/// Zeroes timing and cross-shard-racy cache attribution — the only fields
+/// that legitimately differ between two runs of the same campaign.
+fn scrub(json: &mut Json) {
+    match json {
+        Json::Obj(pairs) => {
+            for (key, value) in pairs.iter_mut() {
+                match key.as_str() {
+                    "wall_ms" | "wall_us" => *value = Json::Num(0.0),
+                    "cache_warm_hits" | "cache_cold_hits" | "cache_misses" | "warm_hits"
+                    | "cold_hits" | "hits" | "misses" | "hit_rate" | "accuracy_hits"
+                    | "accuracy_warm_hits" | "accuracy_misses" | "inserts" | "preloaded" => {
+                        *value = Json::Num(0.0);
+                    }
+                    _ => scrub(value),
+                }
+            }
+        }
+        Json::Arr(items) => items.iter_mut().for_each(scrub),
+        _ => {}
+    }
+}
+
+fn normalized(text: &str) -> String {
+    text.lines()
+        .map(|line| {
+            let mut json = Json::parse(line).expect("export line parses");
+            scrub(&mut json);
+            json.to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Drops the header line (it records the worker count) and scrubs the rest.
+fn shard_lines(text: &str) -> String {
+    normalized(&text.lines().skip(1).collect::<Vec<_>>().join("\n"))
+}
+
+#[test]
+fn guided_campaigns_are_deterministic_and_surrogate_off_reproduces_pr9() {
+    let campaign = guided_campaign();
+    let db = Arc::new(NasbenchDatabase::exhaustive(4));
+    let db_salt = db.fingerprint();
+
+    // 1) Cold guided runs are bit-identical at 1 vs 4 workers: the guide
+    // trains only on warm cache entries (none here) plus each shard's own
+    // evaluation stream, never on live concurrent snapshots.
+    let cold_cache = Arc::new(SharedEvalCache::new());
+    let (cold_1, _) = run_jsonl(&db, &campaign, 1, Some(Arc::clone(&cold_cache)));
+    let (cold_4, _) = run_jsonl(&db, &campaign, 4, None);
+    assert_eq!(shard_lines(&cold_1), shard_lines(&cold_4), "1-vs-4 workers");
+
+    // 2) Every shard self-describes its guidance. Generational shards
+    // carry the config, a sub-1.0 verify rate (they over-produced), a
+    // finite prediction error, and at least one training round; the
+    // random ablation ignores the flag entirely.
+    let shards: Vec<Json> = cold_1
+        .lines()
+        .skip(1)
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    assert_eq!(shards.len(), 6);
+    let mut guided = 0;
+    for shard in &shards {
+        let strategy = shard.get("strategy").and_then(Json::as_str).unwrap();
+        let mode = shard.get("surrogate").and_then(Json::as_str).unwrap();
+        let verify_rate = shard.get("verify_rate").and_then(Json::as_f64).unwrap();
+        let rounds = shard
+            .get("surrogate_train_rounds")
+            .and_then(Json::as_f64)
+            .unwrap();
+        if strategy == "random" {
+            assert_eq!(mode, "off", "random must ignore --surrogate");
+            assert_eq!(verify_rate, 1.0);
+            assert!(matches!(shard.get("pred_mae"), Some(Json::Null)));
+            assert_eq!(rounds, 0.0);
+        } else {
+            guided += 1;
+            assert_eq!(mode, "3:8", "guided shards record the k:R config");
+            assert!(
+                verify_rate < 1.0,
+                "{strategy}: guided shards over-produce (verify rate {verify_rate})"
+            );
+            assert!(rounds >= 1.0, "{strategy}: the guide never retrained");
+            let mae = shard.get("pred_mae").and_then(Json::as_f64).unwrap();
+            assert!(mae.is_finite() && mae >= 0.0, "pred_mae {mae}");
+        }
+    }
+    assert_eq!(guided, 4, "both generational strategies ran guided");
+
+    // 3) Cache-warm reruns: persist the cold cache (v4 binary — pair
+    // evaluations plus the recorded cell features), reload it, and sweep
+    // again. Warm reruns are bit-identical to each other at any worker
+    // count, and actually reap warm lookups. (A warm rerun legitimately
+    // differs from the cold run: the guide now warm-starts from the
+    // persisted samples — that transfer is the feature.)
+    let mut file = Vec::new();
+    cold_cache.save(&mut file, db_salt).unwrap();
+    let reload = || Arc::new(SharedEvalCache::load(file.as_slice(), db_salt).unwrap());
+    let (warm_1, stats_1) = run_jsonl(&db, &campaign, 1, Some(reload()));
+    let (warm_4, _) = run_jsonl(&db, &campaign, 4, Some(reload()));
+    let (warm_again, _) = run_jsonl(&db, &campaign, 1, Some(reload()));
+    assert!(
+        stats_1.expect("cache enabled").warm_hits > 0,
+        "the reloaded cache must actually answer lookups"
+    );
+    assert_eq!(shard_lines(&warm_1), shard_lines(&warm_4), "warm 1-vs-4");
+    assert_eq!(normalized(&warm_1), normalized(&warm_again), "warm rerun");
+
+    // 4) Surrogate off reproduces the PR-9 shaping export byte-for-byte:
+    // an explicit `with_surrogate(None)` is the same campaign as never
+    // mentioning the flag, and setting the flag on a grid whose
+    // strategies cannot use it (the RL controllers) is a no-op too.
+    let (pr9, _) = run_jsonl(&db, &shaped_campaign(), 2, None);
+    let (off, _) = run_jsonl(&db, &shaped_campaign().with_surrogate(None), 2, None);
+    assert_eq!(normalized(&pr9), normalized(&off), "surrogate-off == PR-9");
+    for line in pr9.lines().skip(1) {
+        let shard = Json::parse(line).unwrap();
+        assert_eq!(shard.get("surrogate").and_then(Json::as_str), Some("off"));
+        assert_eq!(shard.get("verify_rate").and_then(Json::as_f64), Some(1.0));
+        assert!(matches!(shard.get("pred_mae"), Some(Json::Null)));
+    }
+    let rl_only = Campaign::new(CodesignSpace::with_max_vertices(4))
+        .scenarios(vec![ScenarioSpec::one_constraint()])
+        .strategies(vec![StrategyKind::Combined, StrategyKind::Phase])
+        .seeds(vec![0])
+        .steps(60);
+    let (plain, _) = run_jsonl(&db, &rl_only, 2, None);
+    let (flagged, _) = run_jsonl(
+        &db,
+        &rl_only
+            .clone()
+            .with_surrogate(SurrogateConfig::parse("3:8").unwrap()),
+        2,
+        None,
+    );
+    assert_eq!(
+        normalized(&plain),
+        normalized(&flagged),
+        "--surrogate must be a no-op for RL-only grids"
+    );
+}

@@ -37,8 +37,10 @@ pub mod math;
 pub mod nn;
 pub mod optim;
 pub mod policy;
+pub mod regress;
 pub mod reinforce;
 
 pub use optim::{Adam, Sgd};
 pub use policy::{LstmPolicy, PolicyConfig, Rollout};
+pub use regress::{MlpRegressor, RegressorConfig};
 pub use reinforce::{ReinforceConfig, ReinforceTrainer};
